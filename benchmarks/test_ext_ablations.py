@@ -1,0 +1,134 @@
+"""Extension benchmarks: row-wise sharding and cost-model feature
+ablation.
+
+Not in the paper's evaluation — these exercise the future-work
+extension (Section 6) and quantify the design choice behind the
+featurization (Section 2.1's four cost factors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import (
+    bench_train,
+    once,
+    record_result,
+)
+from repro.baselines import GreedySharder
+from repro.config import CollectionConfig, TrainConfig
+from repro.costmodel import ComputeCostModel, collect_compute_data
+from repro.costmodel.pretrain import fit_standardized
+from repro.data import ShardingTask
+from repro.evaluation import format_text_table
+from repro.extensions import AblatedFeaturizer, RowWisePreprocessor, RowWiseSharder
+from repro.hardware.memory import MemoryModel
+from repro.nn import Trainer
+
+
+def test_ext_rowwise_unlocks_dim4_giants(benchmark, pool856, cluster4):
+    """Row-wise sharding places dim-4 giants that column sharding cannot
+    touch (the dimension floor), and balances better than leaving them
+    whole."""
+    # The biggest dim-4 tables in the pool: row-heavy, column-unsplittable.
+    giants = sorted(pool856.tables, key=lambda t: -t.hash_size)[:5]
+    giants = [t.with_dim(4) for t in giants]
+    # Budget: 1.2x the largest giant per device.  5 giants on 4 devices
+    # force one device to hold a pair; even the two smallest giants
+    # together exceed the budget, so whole tables cannot be placed — but
+    # half-row shards can.  Aggregate capacity still covers all 5.
+    memory_bytes = int(
+        1.2 * max(MemoryModel(1).table_bytes(t) for t in giants)
+    )
+    task = ShardingTask(
+        tables=tuple(giants), num_devices=4, memory_bytes=memory_bytes
+    )
+
+    def run():
+        base = GreedySharder("Lookup-based")
+        whole = base.shard(task)
+        whole_cost = np.nan
+        if whole is not None:
+            per_device = whole.per_device_tables(task.tables)
+            if cluster4.memory.placement_fits(per_device):
+                whole_cost = cluster4.evaluate_plan(per_device).max_cost_ms
+        rowwise = RowWiseSharder(base, RowWisePreprocessor(max_fraction=0.45))
+        plan, decision = rowwise.shard_with_tables(task)
+        assert plan is not None
+        per_device = plan.per_device_tables(decision.tables)
+        row_cost = cluster4.evaluate_plan(per_device).max_cost_ms
+        return whole_cost, row_cost, decision.num_splits
+
+    whole_cost, row_cost, splits = once(benchmark, run)
+    record_result(
+        "ext_rowwise",
+        format_text_table(
+            ["variant", "max-device cost (ms)", "row splits"],
+            [
+                ["tables left whole (greedy)", whole_cost, 0],
+                ["row-wise + greedy", row_cost, splits],
+            ],
+            title="Extension: row-wise sharding of dim-4 giant tables "
+            "(paper Section 6 future work)",
+        ),
+    )
+    assert splits >= 1
+    # Either the whole-table plan is infeasible, or row-wise beats it.
+    assert np.isnan(whole_cost) or row_cost < whole_cost * 1.02
+
+
+def test_ext_feature_ablation(benchmark, pool856, cluster4):
+    """Which table features earn their place in the cost model?"""
+    collection = CollectionConfig(num_compute_samples=4000)
+    train = TrainConfig(epochs=300, batch_size=128)
+    variants = [
+        ("full featurization", ()),
+        ("w/o distribution features", ("distribution",)),
+        # The interaction feature (dim x pooling) leaks both groups, so
+        # each workload ablation removes it too.
+        ("w/o pooling features", ("pooling", "interaction")),
+        ("w/o dimension features", ("dimension", "interaction")),
+    ]
+
+    def run():
+        rows = []
+        for name, drops in variants:
+            featurizer = AblatedFeaturizer(cluster4.batch_size, drops)
+            data = collect_compute_data(
+                cluster4, pool856, featurizer, collection, seed=6
+            )
+            model = ComputeCostModel(
+                num_features=featurizer.num_features,
+                rng=np.random.default_rng(0),
+            )
+            result = fit_standardized(
+                model,
+                data,
+                Trainer(train),
+                train.train_frac,
+                train.valid_frac,
+                np.random.default_rng(1),
+                7,
+            )
+            rows.append([name, result.test_mse])
+        return rows
+
+    rows = once(benchmark, run)
+    record_result(
+        "ext_feature_ablation",
+        format_text_table(
+            ["featurization", "test MSE (ms^2)"],
+            rows,
+            precision=3,
+            title="Extension: computation-cost-model feature ablation "
+            "(4000 samples, 300 epochs)",
+        ),
+    )
+    full = rows[0][1]
+    # Pooling (lookup workload) is the dominant factor from Section 2.1:
+    # dropping it must hurt badly; the other ablations must not *help*
+    # beyond training noise.
+    by_name = {name: mse for name, mse in rows}
+    assert by_name["w/o pooling features"] > 1.5 * full
+    for name, mse in rows[1:]:
+        assert mse > full * 0.7, name

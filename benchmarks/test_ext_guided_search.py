@@ -1,0 +1,132 @@
+"""Extension benchmark: policy-guided search (Appendix H, closing idea).
+
+Quantifies what a learned meta-policy buys when *combined with* search
+rather than replacing it: the policy shortlists devices, the cost model
+verifies only the shortlist, so the dominant cost of the online search —
+computation-cost predictions — shrinks by roughly ``D / top_k``.
+
+Compared on 4 GPUs, max dim 64:
+
+- unguided greedy grid search (the paper's inner loop, Algorithm 2);
+- guided, top-2 of 4 devices verified;
+- guided, top-1 (pure policy with cost-model bookkeeping).
+
+Expected shape: evaluations drop monotonically with ``top_k`` while the
+real sharding cost degrades only gently — the meta-policy accelerates
+the search it was distilled from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_TASKS, once, record_result
+from repro.baselines import GreedySharder, RandomSharder
+from repro.config import SearchConfig, TaskConfig
+from repro.core.cache import CostCache
+from repro.core.greedy_grid import greedy_grid_search
+from repro.core.simulator import NeuroShardSimulator
+from repro.data import generate_tasks
+from repro.evaluation import execute_plan, format_text_table
+from repro.extensions import OfflineRLSharder, PolicyGuidedSharder
+from repro.baselines.base import assignment_to_plan
+from repro.hardware.memory import MemoryModel
+
+MAX_DIM = 64
+GRID_POINTS = 5
+
+
+def test_ext_guided_search(benchmark, pool856, cluster4, bundle4):
+    cfg = TaskConfig(num_devices=4, max_dim=MAX_DIM, min_tables=10, max_tables=60)
+    train_tasks = generate_tasks(pool856, cfg, count=8, seed=707)
+    eval_tasks = generate_tasks(pool856, cfg, count=BENCH_TASKS, seed=808)
+
+    def run():
+        policy = OfflineRLSharder(bundle4, seed=4)
+        policy.fit_from_log(
+            train_tasks,
+            [
+                GreedySharder("Dim-based"),
+                GreedySharder("Lookup-based"),
+                GreedySharder("Size-lookup-based"),
+                RandomSharder(seed=5),
+            ],
+            epochs=60,
+        )
+
+        rows = {}
+        # Unguided baseline: Algorithm 2 at the same grid resolution.
+        costs, evals = [], []
+        for task in eval_tasks:
+            cache = CostCache()
+            simulator = NeuroShardSimulator(bundle4, cache)
+            result = greedy_grid_search(
+                list(task.tables),
+                task.num_devices,
+                simulator,
+                MemoryModel(task.memory_bytes),
+                SearchConfig(grid_points=GRID_POINTS),
+            )
+            if not result.feasible:
+                continue
+            plan = assignment_to_plan(result.assignment, task.num_devices)
+            execution = execute_plan(plan, task, cluster4)
+            if execution is not None:
+                costs.append(execution.max_cost_ms)
+                evals.append(cache.misses)
+        rows["unguided greedy grid"] = (
+            float(np.mean(costs)),
+            float(np.mean(evals)),
+            float("nan"),
+        )
+
+        for top_k in (2, 1):
+            sharder = PolicyGuidedSharder(
+                bundle4, policy, device_top_k=top_k, grid_points=GRID_POINTS
+            )
+            costs, evals, agreements = [], [], []
+            for task in eval_tasks:
+                result = sharder.shard_with_stats(task)
+                if result.plan is None:
+                    continue
+                execution = execute_plan(result.plan, task, cluster4)
+                if execution is not None:
+                    costs.append(execution.max_cost_ms)
+                    evals.append(result.evaluations)
+                    agreements.append(result.policy_agreement)
+            rows[f"guided top-{top_k} of 4"] = (
+                float(np.mean(costs)),
+                float(np.mean(evals)),
+                float(np.mean(agreements)),
+            )
+        return rows
+
+    rows = once(benchmark, run)
+
+    headers = [
+        "inner loop",
+        "real cost (ms)",
+        "cost-model evals / task",
+        "policy agreement",
+    ]
+    table_rows = [[name, *vals] for name, vals in rows.items()]
+    record_result(
+        "ext_guided_search",
+        format_text_table(
+            headers,
+            table_rows,
+            title=(
+                f"Extension — policy-guided search (4 GPUs, max dim {MAX_DIM}, "
+                f"{BENCH_TASKS} tasks, grid M={GRID_POINTS})"
+            ),
+        ),
+    )
+
+    unguided_cost, unguided_evals, _ = rows["unguided greedy grid"]
+    top2_cost, top2_evals, _ = rows["guided top-2 of 4"]
+    top1_cost, top1_evals, _ = rows["guided top-1 of 4"]
+    # Guidance reduces cost-model work monotonically...
+    assert top1_evals < top2_evals < unguided_evals
+    # ...at a bounded quality premium.
+    assert top2_cost <= unguided_cost * 1.10
+    assert top1_cost <= unguided_cost * 1.25

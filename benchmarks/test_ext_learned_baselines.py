@@ -1,0 +1,118 @@
+"""Extension benchmark: learned baselines beyond the paper's table.
+
+Two methods from the paper's related-work/future-work discussion, both
+built on the same pre-trained cost models as NeuroShard:
+
+- **SurCo-surrogate** (Ferber et al., 2022; related work) — learns
+  per-instance *linear* surrogate costs against the neural simulator and
+  solves them with the greedy balancer.
+- **OfflineRL** (Appendix H, strategy 3) — advantage-weighted regression
+  on a log of heuristic plans; one-pass amortized sharding.
+
+Compared against their natural anchors:
+
+- Lookup-based greedy — SurCo's initialization / OfflineRL's best
+  logged demonstrator family;
+- NeuroShard — the full search.
+
+Expected shape on 4 GPUs, max dim 64: lookup-greedy < SurCo <= NeuroShard
+on cost; OfflineRL beats the mean heuristic and approaches lookup-greedy
+while sharding in milliseconds (amortization); NeuroShard remains best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_TASKS,
+    SEARCH_4GPU,
+    once,
+    record_result,
+)
+from repro.baselines import (
+    GreedySharder,
+    RandomSharder,
+    SurrogateSharder,
+)
+from repro.config import TaskConfig
+from repro.core import NeuroShard
+from repro.data import generate_tasks
+from repro.evaluation import evaluate_sharder, format_text_table
+from repro.extensions import OfflineRLSharder
+
+MAX_DIM = 64
+NUM_TRAIN_TASKS = 10
+
+
+def test_ext_learned_baselines(benchmark, pool856, cluster4, bundle4):
+    cfg = TaskConfig(num_devices=4, max_dim=MAX_DIM, min_tables=10, max_tables=60)
+    eval_tasks = generate_tasks(pool856, cfg, count=BENCH_TASKS, seed=303)
+    train_tasks = generate_tasks(pool856, cfg, count=NUM_TRAIN_TASKS, seed=404)
+
+    def run():
+        offline = OfflineRLSharder(bundle4, seed=1)
+        offline.fit_from_log(
+            train_tasks,
+            [
+                GreedySharder("Size-based"),
+                GreedySharder("Dim-based"),
+                GreedySharder("Lookup-based"),
+                GreedySharder("Size-lookup-based"),
+                RandomSharder(seed=2),
+            ],
+            epochs=80,
+        )
+        methods = [
+            GreedySharder("Lookup-based"),
+            SurrogateSharder(bundle4, iterations=40, seed=1),
+            offline,
+            NeuroShard(bundle4, search=SEARCH_4GPU),
+        ]
+        rows = {}
+        for method in methods:
+            name = getattr(method, "name", "NeuroShard")
+            rows[name] = evaluate_sharder(method, eval_tasks, cluster4, name=name)
+        return rows
+
+    rows = once(benchmark, run)
+
+    headers = ["method", "mean cost (ms)", "success", "mean shard time (s)"]
+    table_rows = [
+        [
+            name,
+            ev.mean_cost_ms,
+            f"{ev.num_success}/{ev.num_tasks}",
+            ev.mean_sharding_time_s,
+        ]
+        for name, ev in rows.items()
+    ]
+    record_result(
+        "ext_learned_baselines",
+        format_text_table(
+            headers,
+            table_rows,
+            title=(
+                "Extension — learned baselines (4 GPUs, max dim "
+                f"{MAX_DIM}, {BENCH_TASKS} tasks)"
+            ),
+        ),
+    )
+
+    lookup = rows["Lookup-based"]
+    surco = rows["SurCo-surrogate"]
+    neuro = rows["NeuroShard"]
+    offline_ev = rows["OfflineRL"]
+    # SurCo never loses to its own initialization when both scale.
+    if lookup.scales and surco.scales:
+        assert surco.mean_cost_ms <= lookup.mean_cost_ms * 1.02
+    # NeuroShard remains the best method overall.
+    finite = [
+        ev.mean_cost_ms for ev in rows.values() if not np.isnan(ev.mean_cost_ms)
+    ]
+    assert neuro.mean_cost_ms <= min(finite) * 1.02
+    # Amortization: the offline policy shards at least 5x faster than the
+    # full search.
+    assert (
+        offline_ev.mean_sharding_time_s < neuro.mean_sharding_time_s / 5.0
+    )

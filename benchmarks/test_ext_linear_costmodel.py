@@ -1,0 +1,142 @@
+"""Extension ablation: linear vs neural cost models (Section 4.2 claim).
+
+The paper: *"An even simpler network (i.e., a linear one) may not work
+due to the non-linearity of the costs."*  This bench quantifies that
+claim end to end on 4 GPUs, max dim 128:
+
+1. fit the strongest linear competitor (closed-form ridge on sum-pooled
+   features) on the same micro-benchmark data the MLP trains on;
+2. compare held-out test MSE and Kendall's tau;
+3. swap the linear model into the bundle and run the *unmodified*
+   NeuroShard search, comparing real sharding costs.
+
+Expected shape: the linear model's tau trails the MLP's (~0.97), and the
+sharding cost with linear cost modeling is measurably worse — the search
+inherits every ranking mistake the cost model makes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import (
+    BENCH_TASKS,
+    SEARCH_4GPU,
+    bench_collection,
+    once,
+    record_result,
+)
+from repro.config import TaskConfig
+from repro.core import NeuroShard
+from repro.costmodel import (
+    collect_compute_data,
+    fit_linear_compute_model,
+    kendall_tau,
+    mse,
+)
+from repro.data import generate_tasks
+from repro.evaluation import evaluate_sharder, format_text_table
+
+MAX_DIM = 128
+
+
+def test_ext_linear_costmodel(benchmark, pool856, cluster4, bundle4):
+    cfg = TaskConfig(num_devices=4, max_dim=MAX_DIM, min_tables=10, max_tables=60)
+    tasks = generate_tasks(pool856, cfg, count=BENCH_TASKS, seed=505)
+
+    def run():
+        # Held-out accuracy comparison on freshly collected data.
+        collection = dataclasses.replace(
+            bench_collection(4), num_compute_samples=3000
+        )
+        data = collect_compute_data(
+            cluster4, pool856, bundle4.featurizer, collection, seed=71
+        )
+        n = len(data.targets)
+        split = int(0.8 * n)
+        linear, _ = fit_linear_compute_model(
+            dataclasses.replace(
+                data,
+                inputs=list(data.inputs[:split]),
+                targets=np.asarray(data.targets[:split]),
+            ),
+            bundle4.featurizer.num_features,
+        )
+        test_inputs = list(data.inputs[split:])
+        test_targets = np.asarray(data.targets[split:])
+        linear_preds = linear.predict_many(test_inputs)
+        mlp_preds = bundle4.compute.predict_many(test_inputs)
+        accuracy = {
+            "linear": (
+                mse(linear_preds, test_targets),
+                kendall_tau(linear_preds, test_targets),
+            ),
+            "mlp": (
+                mse(mlp_preds, test_targets),
+                kendall_tau(mlp_preds, test_targets),
+            ),
+        }
+
+        # End-to-end: same search, swapped compute model.
+        hybrid = dataclasses.replace(bundle4, compute=linear)
+        evals = {
+            "NeuroShard (linear compute model)": evaluate_sharder(
+                NeuroShard(hybrid, search=SEARCH_4GPU),
+                tasks,
+                cluster4,
+                name="linear",
+            ),
+            "NeuroShard (neural compute model)": evaluate_sharder(
+                NeuroShard(bundle4, search=SEARCH_4GPU),
+                tasks,
+                cluster4,
+                name="mlp",
+            ),
+        }
+        return accuracy, evals
+
+    accuracy, evals = once(benchmark, run)
+
+    headers = ["cost model", "test MSE (ms^2)", "Kendall tau",
+               "sharding cost (ms)", "success"]
+    rows = [
+        [
+            "linear (ridge, sum-pooled)",
+            accuracy["linear"][0],
+            accuracy["linear"][1],
+            evals["NeuroShard (linear compute model)"].mean_cost_ms,
+            f"{evals['NeuroShard (linear compute model)'].num_success}"
+            f"/{BENCH_TASKS}",
+        ],
+        [
+            "neural (shared MLP + sum + head)",
+            accuracy["mlp"][0],
+            accuracy["mlp"][1],
+            evals["NeuroShard (neural compute model)"].mean_cost_ms,
+            f"{evals['NeuroShard (neural compute model)'].num_success}"
+            f"/{BENCH_TASKS}",
+        ],
+    ]
+    record_result(
+        "ext_linear_costmodel",
+        format_text_table(
+            headers,
+            rows,
+            title=(
+                "Extension — linear vs neural compute cost model "
+                f"(4 GPUs, max dim {MAX_DIM}, {BENCH_TASKS} tasks)"
+            ),
+        ),
+    )
+
+    # The MLP must rank combinations better...
+    assert accuracy["mlp"][1] > accuracy["linear"][1]
+    # ...and achieve a lower test MSE...
+    assert accuracy["mlp"][0] < accuracy["linear"][0]
+    # ...and the search built on it must not lose end-to-end.
+    lin_cost = evals["NeuroShard (linear compute model)"].mean_cost_ms
+    mlp_cost = evals["NeuroShard (neural compute model)"].mean_cost_ms
+    if not (np.isnan(lin_cost) or np.isnan(mlp_cost)):
+        assert mlp_cost <= lin_cost * 1.02

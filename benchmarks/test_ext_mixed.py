@@ -1,0 +1,173 @@
+"""Extension benchmark: mixed CPU-GPU sharding (paper Section 6).
+
+Not a paper table — the paper defers CPU/mixed sharding to future work.
+This bench demonstrates the scenario that motivates it: a workload whose
+largest tables exceed every GPU's memory budget.
+
+Methods compared on a 2-GPU + 1-CPU cluster:
+
+- ``gpu-only-greedy`` — dimension-greedy across the GPUs only (what a
+  homogeneous sharder could do); OOMs whenever a giant table appears.
+- ``cpu-offload-heuristic`` — pin every table that does not fit a GPU to
+  the CPU, dimension-greedy the rest across the GPUs.
+- ``mixed-neuroshard`` — the pre-train-and-search extension
+  (:class:`repro.extensions.MixedClusterSharder`): per-class cost models,
+  drain-constrained greedy grid search, column-split outer loop.
+
+Expected shape: gpu-only fails on every task; the heuristic is feasible
+but leaves the bottleneck unbalanced; mixed-neuroshard is feasible with
+the lowest mean bottleneck cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once, record_result
+from repro.config import CollectionConfig, TrainConfig
+from repro.data import TablePool, synthesize_table_pool
+from repro.data.table import TableConfig
+from repro.extensions import MixedClusterSharder, pretrain_mixed_cost_models
+from repro.hardware import HeterogeneousCluster, cpu_host, gpu_2080ti
+
+BATCH = 4096
+GPU_BUDGET = 1 * 1024**3
+CPU_BUDGET = 64 * 1024**3
+NUM_TASKS = 5
+
+
+@pytest.fixture(scope="module")
+def mixed_cluster() -> HeterogeneousCluster:
+    return HeterogeneousCluster(
+        [gpu_2080ti(), gpu_2080ti(), cpu_host()],
+        memory_bytes=[GPU_BUDGET, GPU_BUDGET, CPU_BUDGET],
+        batch_size=BATCH,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool() -> TablePool:
+    return TablePool(synthesize_table_pool(num_tables=128, seed=17))
+
+
+@pytest.fixture(scope="module")
+def mixed_models(mixed_cluster, pool):
+    return pretrain_mixed_cost_models(
+        mixed_cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=2500, num_comm_samples=1),
+        train=TrainConfig(epochs=150),
+        seed=7,
+    )
+
+
+def sample_tasks(pool: TablePool) -> list[list[TableConfig]]:
+    """Workloads with a giant-table tail that gates GPU-only sharding."""
+    rng = np.random.default_rng(99)
+    tasks = []
+    for _ in range(NUM_TASKS):
+        n = int(rng.integers(10, 18))
+        picks = rng.choice(len(pool.tables), size=n, replace=False)
+        dims = rng.choice([16, 32, 64], size=n)
+        tables = [pool.tables[i].with_dim(int(d)) for i, d in zip(picks, dims)]
+        for g in range(int(rng.integers(1, 3))):
+            tables.append(
+                TableConfig(
+                    table_id=2000 + g,
+                    hash_size=int(rng.integers(20, 40)) * 10**6,
+                    dim=64,
+                    pooling_factor=float(rng.uniform(1.0, 2.0)),
+                    zipf_alpha=1.25,
+                )
+            )
+        tasks.append(tables)
+    return tasks
+
+
+def gpu_only_greedy(cluster, tables) -> list[list[TableConfig]] | None:
+    """Dimension-greedy across the GPU devices only."""
+    gpus = [d for d, k in enumerate(cluster.device_classes) if k == "gpu"]
+    per_device: list[list[TableConfig]] = [[] for _ in range(cluster.num_devices)]
+    for t in sorted(tables, key=lambda t: -t.dim):
+        candidates = [
+            d for d in gpus if cluster.device_fits(d, per_device[d] + [t])
+        ]
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda d: sum(x.dim for x in per_device[d]))
+        per_device[best].append(t)
+    return per_device
+
+
+def cpu_offload_heuristic(cluster, tables) -> list[list[TableConfig]] | None:
+    """Pin GPU-impossible tables to the CPU, dim-greedy the rest."""
+    cpus = [d for d, k in enumerate(cluster.device_classes) if k == "cpu"]
+    gpus = [d for d, k in enumerate(cluster.device_classes) if k == "gpu"]
+    per_device: list[list[TableConfig]] = [[] for _ in range(cluster.num_devices)]
+    rest = []
+    for t in tables:
+        if any(cluster.device_fits(d, [t]) for d in gpus):
+            rest.append(t)
+        else:
+            per_device[cpus[0]].append(t)
+    for t in sorted(rest, key=lambda t: -t.dim):
+        candidates = [
+            d for d in gpus if cluster.device_fits(d, per_device[d] + [t])
+        ]
+        if not candidates:
+            candidates = [
+                d for d in cpus if cluster.device_fits(d, per_device[d] + [t])
+            ]
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda d: sum(x.dim for x in per_device[d]))
+        per_device[best].append(t)
+    return per_device
+
+
+def test_ext_mixed_cluster(benchmark, mixed_cluster, mixed_models, pool):
+    tasks = sample_tasks(pool)
+    sharder = MixedClusterSharder(mixed_cluster, mixed_models, max_steps=6)
+
+    def run():
+        rows = {}
+        for name, fn in (
+            ("gpu-only-greedy", lambda t: gpu_only_greedy(mixed_cluster, t)),
+            ("cpu-offload-heuristic",
+             lambda t: cpu_offload_heuristic(mixed_cluster, t)),
+            ("mixed-neuroshard",
+             lambda t: (lambda r: list(map(list, r.per_device))
+                        if r.feasible else None)(sharder.shard(t))),
+        ):
+            costs = []
+            feasible = 0
+            for tables in tasks:
+                placement = fn(tables)
+                if placement is None or not mixed_cluster.plan_fits(placement):
+                    continue
+                feasible += 1
+                costs.append(mixed_cluster.evaluate_plan(placement).max_cost_ms)
+            rows[name] = (feasible, float(np.mean(costs)) if costs else float("nan"))
+        return rows
+
+    rows = once(benchmark, run)
+
+    lines = [
+        "Extension — mixed CPU-GPU sharding "
+        f"(2x gpu-2080ti @ {GPU_BUDGET // 1024**3} GB + cpu-host, "
+        f"{NUM_TASKS} tasks with giant tables)",
+        f"{'Method':24s} {'Feasible':>9s} {'Mean cost (ms)':>15s}",
+    ]
+    for name, (feasible, cost) in rows.items():
+        cost_s = f"{cost:.2f}" if np.isfinite(cost) else "-"
+        lines.append(f"{name:24s} {feasible:>6d}/{NUM_TASKS} {cost_s:>15s}")
+    record_result("ext_mixed_cluster", "\n".join(lines))
+
+    # GPU-only cannot scale to this workload at all.
+    assert rows["gpu-only-greedy"][0] == 0
+    # The extension shards every task.
+    assert rows["mixed-neuroshard"][0] == NUM_TASKS
+    # And it does not lose to the offload heuristic.
+    if rows["cpu-offload-heuristic"][0] == NUM_TASKS:
+        assert rows["mixed-neuroshard"][1] <= rows["cpu-offload-heuristic"][1] * 1.1

@@ -1,0 +1,133 @@
+"""Extension benchmark: does dimension balancing survive an RDMA fabric?
+
+The production deployment (Table 4) runs on 128 GPUs over a hierarchical
+NVLink-island + RDMA-fabric interconnect, not the flat single-server
+all-to-all of the benchmark testbed.  NeuroShard's communication
+balancing rests on Observation 3 — max comm cost tracks max device
+dimension — so the design question is whether that observation is a
+property of the flat topology or of synchronous all-to-alls in general.
+
+This bench measures, on a 32-GPU cluster under both the flat and the
+hierarchical comm model:
+
+1. the correlation between max device dimension and max comm cost over
+   random placements of varying balance (Algorithm 5's generator), and
+2. the embedding-cost gap between a dimension-balanced placement and an
+   imbalanced one.
+
+Expected shape: correlation > 0.9 on *both* fabrics, and balancing wins
+on both — topology changes the constants, not the principle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, record_result
+from repro.config import ClusterConfig
+from repro.evaluation import format_text_table
+from repro.hardware import (
+    HierarchicalAllToAllModel,
+    SimulatedCluster,
+    TopologySpec,
+)
+
+NUM_DEVICES = 32
+BATCH = 65536
+NUM_PLACEMENTS = 40
+
+
+def make_clusters():
+    config = ClusterConfig(num_devices=NUM_DEVICES, batch_size=BATCH)
+    flat = SimulatedCluster(config)
+    hier = SimulatedCluster(
+        config,
+        comm=HierarchicalAllToAllModel(topology=TopologySpec(node_size=8)),
+    )
+    return {"flat (single server)": flat, "hierarchical (8-GPU nodes)": hier}
+
+
+def sample_placements(pool, rng):
+    """Placements of varying balance, per Algorithm 5's greedy-with-
+    randomness generator."""
+    placements = []
+    for _ in range(NUM_PLACEMENTS):
+        n = int(rng.integers(4 * NUM_DEVICES, 8 * NUM_DEVICES))
+        picks = rng.choice(len(pool.tables), size=n, replace=True)
+        dims = rng.choice([16, 32, 64, 128], size=n)
+        tables = [pool.tables[i].with_dim(int(d)) for i, d in zip(picks, dims)]
+        p = float(rng.uniform())
+        per_device = [[] for _ in range(NUM_DEVICES)]
+        device_dims = [0] * NUM_DEVICES
+        for t in sorted(tables, key=lambda t: -t.dim):
+            if rng.uniform() <= p:
+                d = int(np.argmin(device_dims))
+            else:
+                d = int(rng.integers(NUM_DEVICES))
+            per_device[d].append(t)
+            device_dims[d] += t.dim
+        placements.append(per_device)
+    return placements
+
+
+def test_ext_topology(benchmark, pool856):
+    rng = np.random.default_rng(606)
+    placements = sample_placements(pool856, rng)
+    clusters = make_clusters()
+
+    def run():
+        rows = {}
+        for name, cluster in clusters.items():
+            max_dims, max_comms = [], []
+            for per_device in placements:
+                dims = [sum(t.dim for t in dev) for dev in per_device]
+                meas = cluster.measure_comm(dims)
+                max_dims.append(max(dims))
+                max_comms.append(meas.max_cost_ms)
+            corr = float(np.corrcoef(max_dims, max_comms)[0, 1])
+
+            # Balanced vs imbalanced placement of one fixed workload.
+            balanced = min(
+                placements,
+                key=lambda p: max(sum(t.dim for t in dev) for dev in p)
+                / max(np.mean([sum(t.dim for t in dev) for dev in p]), 1),
+            )
+            imbalanced = max(
+                placements,
+                key=lambda p: max(sum(t.dim for t in dev) for dev in p)
+                / max(np.mean([sum(t.dim for t in dev) for dev in p]), 1),
+            )
+            b_dims = [sum(t.dim for t in dev) for dev in balanced]
+            i_dims = [sum(t.dim for t in dev) for dev in imbalanced]
+            b_cost = cluster.measure_comm(b_dims).max_cost_ms
+            i_cost = cluster.measure_comm(i_dims).max_cost_ms
+            # Normalize by total dimension so workloads are comparable.
+            b_norm = b_cost / sum(b_dims)
+            i_norm = i_cost / sum(i_dims)
+            rows[name] = (corr, b_norm * 1e4, i_norm * 1e4)
+        return rows
+
+    rows = once(benchmark, run)
+
+    headers = [
+        "fabric",
+        "corr(max dim, max comm)",
+        "balanced cost / dim (x1e-4)",
+        "imbalanced cost / dim (x1e-4)",
+    ]
+    table_rows = [[name, *values] for name, values in rows.items()]
+    record_result(
+        "ext_topology",
+        format_text_table(
+            headers,
+            table_rows,
+            title=(
+                f"Extension — Observation 3 across fabrics ({NUM_DEVICES} "
+                f"GPUs, {NUM_PLACEMENTS} random placements)"
+            ),
+        ),
+    )
+
+    for name, (corr, b_norm, i_norm) in rows.items():
+        assert corr > 0.9, f"Observation 3 broke on {name}: corr={corr:.3f}"
+        assert b_norm < i_norm, f"balancing did not help on {name}"

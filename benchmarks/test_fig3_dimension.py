@@ -1,0 +1,135 @@
+"""Figure 3 + Figure 10 + Observation 1/2 benchmarks.
+
+Figure 3 (left): computation cost of one table across dimensions
+{128, 64, 32, 16, 8, 4} — each half-dimension shard costs more than half
+its parent (Observation 1).  Figure 10 repeats the sweep for more tables.
+
+Figure 3 (right): for 50 random 10-table subsets, the actual fused
+multi-table cost versus the sum of single-table costs — sub-additive and
+non-linear (Observation 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, record_result
+from repro.evaluation import format_text_table
+
+BATCH = 65536
+DIM_SWEEP = (128, 64, 32, 16, 8, 4)
+
+
+def test_fig3_left_dimension_sweep(benchmark, pool856, cluster4):
+    """Cost vs dimension for a representative heavy table."""
+    kernel = cluster4.kernel
+    # Pick a table with a production-like pooling factor (close to the
+    # pool mean) so the dimension effect is visible, as in the paper.
+    table = min(
+        pool856.tables, key=lambda t: abs(t.pooling_factor - 15.0)
+    )
+
+    def sweep():
+        return [
+            kernel.single_table_ms(table.with_dim(d), BATCH, noisy=False)
+            for d in DIM_SWEEP
+        ]
+
+    costs = once(benchmark, sweep)
+
+    rows = []
+    for (dim, cost), prev in zip(
+        zip(DIM_SWEEP, costs), [None] + list(costs)
+    ):
+        half_check = "-" if prev is None else ("yes" if cost > prev / 2 else "NO")
+        rows.append([dim, cost, half_check])
+    record_result(
+        "fig3_left",
+        format_text_table(
+            ["dimension", "computation cost (ms)", "> half of parent?"],
+            rows,
+            precision=3,
+            title=f"Figure 3 (left): cost vs dimension, table {table.table_id} "
+            f"(pooling={table.pooling_factor:.1f})",
+        ),
+    )
+    # Observation 1 must hold at every halving step.
+    for larger, smaller in zip(costs, costs[1:]):
+        assert smaller > larger / 2
+    # And cost must increase with dimension.
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_fig10_more_tables(benchmark, pool856, cluster4):
+    """The appendix's five additional dimension sweeps."""
+    kernel = cluster4.kernel
+    rng = np.random.default_rng(10)
+    tables = [pool856.tables[i] for i in rng.choice(856, size=5, replace=False)]
+
+    def sweep_all():
+        return {
+            t.table_id: [
+                kernel.single_table_ms(t.with_dim(d), BATCH, noisy=False)
+                for d in DIM_SWEEP
+            ]
+            for t in tables
+        }
+
+    sweeps = once(benchmark, sweep_all)
+
+    rows = [
+        [tid, *costs] for tid, costs in sweeps.items()
+    ]
+    record_result(
+        "fig10",
+        format_text_table(
+            ["table", *(f"dim {d}" for d in DIM_SWEEP)],
+            rows,
+            precision=3,
+            title="Figure 10: cost (ms) vs dimension for 5 random tables",
+        ),
+    )
+    for costs in sweeps.values():
+        for larger, smaller in zip(costs, costs[1:]):
+            assert smaller > larger / 2  # Observation 1, every table
+
+
+def test_fig3_right_multi_table_nonlinearity(benchmark, pool856, cluster4):
+    """Fused cost vs sum of single-table costs over 50 random subsets."""
+    kernel = cluster4.kernel
+    rng = np.random.default_rng(3)
+    subsets = [
+        [pool856.tables[i] for i in rng.choice(856, size=10, replace=False)]
+        for _ in range(50)
+    ]
+
+    def measure():
+        sums, fused = [], []
+        for subset in subsets:
+            sums.append(kernel.sum_of_single_table_ms(subset, BATCH, noisy=False))
+            fused.append(kernel.total_ms(subset, BATCH, noisy=False))
+        return np.array(sums), np.array(fused)
+
+    sums, fused = once(benchmark, measure)
+
+    ratio = fused / sums
+    rows = [
+        [f"{s:.1f}", f"{f:.1f}", f"{r:.3f}"]
+        for s, f, r in zip(sums[:10], fused[:10], ratio[:10])
+    ]
+    summary = (
+        f"50 subsets of 10 tables: fused/sum ratio min={ratio.min():.3f} "
+        f"max={ratio.max():.3f} (sub-additive, non-constant => non-linear)"
+    )
+    record_result(
+        "fig3_right",
+        format_text_table(
+            ["sum of single-table costs", "actual multi-table cost", "ratio"],
+            rows,
+            title="Figure 3 (right), first 10 of 50 points\n" + summary,
+        ),
+    )
+    # Observation 2: strictly sub-additive everywhere...
+    assert np.all(fused < sums)
+    # ...and not explainable by one linear factor.
+    assert ratio.max() - ratio.min() > 0.02

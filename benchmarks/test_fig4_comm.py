@@ -1,0 +1,88 @@
+"""Figure 4: max communication cost vs max device dimension.
+
+Reproduces the paper's communication analysis: random table placements
+(Algorithm 5) on 4 and 8 GPUs with random start skews; the max measured
+forward/backward all-to-all cost across devices is plotted against the
+max device dimension.  Observation 3: they correlate positively — which
+is why bounding the max device dimension is the search's communication
+lever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once, record_result
+from repro.costmodel import kendall_tau
+from repro.evaluation import format_text_table
+
+
+def _run(pool, cluster, num_placements: int, seed: int):
+    rng = np.random.default_rng(seed)
+    points = []
+    for _ in range(num_placements):
+        placement = pool.sample_placement(
+            rng,
+            cluster.num_devices,
+            min_tables=10 * cluster.num_devices // 4,
+            max_tables=60 * cluster.num_devices // 4,
+            memory_bytes=cluster.config.memory_bytes,
+        )
+        dims = placement.device_dims
+        starts = rng.uniform(0.0, 5.0, size=cluster.num_devices)
+        fwd = cluster.measure_comm(dims, start_times_ms=starts)
+        bwd = cluster.measure_comm(dims, start_times_ms=starts, backward=True)
+        points.append((max(dims), fwd.max_cost_ms, bwd.max_cost_ms))
+    return points
+
+
+def _check_and_report(name, title, points):
+    max_dims = np.array([p[0] for p in points], dtype=float)
+    fwd = np.array([p[1] for p in points])
+    bwd = np.array([p[2] for p in points])
+    tau_fwd = kendall_tau(max_dims, fwd)
+    tau_bwd = kendall_tau(max_dims, bwd)
+    order = np.argsort(max_dims)
+    rows = [
+        [int(max_dims[i]), fwd[i], bwd[i]] for i in order[:: max(len(order) // 12, 1)]
+    ]
+    record_result(
+        name,
+        format_text_table(
+            ["max device dimension", "max fwd comm (ms)", "max bwd comm (ms)"],
+            rows,
+            title=(
+                f"{title}\nKendall tau: forward={tau_fwd:.3f}, "
+                f"backward={tau_bwd:.3f} (paper: strong positive correlation)"
+            ),
+        ),
+    )
+    # Observation 3: strong positive rank correlation both directions.
+    assert tau_fwd > 0.5
+    assert tau_bwd > 0.5
+    # Backward collective is the slower one.
+    assert bwd.mean() > fwd.mean()
+
+
+def test_fig4_comm_4gpus(benchmark, pool856, cluster4):
+    points = once(benchmark, lambda: _run(pool856, cluster4, 50, seed=4))
+    _check_and_report(
+        "fig4_4gpus", "Figure 4 (left): 4 GPUs, 50 placements", points
+    )
+
+
+def test_fig4_comm_8gpus(benchmark, pool856, cluster8):
+    points = once(benchmark, lambda: _run(pool856, cluster8, 50, seed=8))
+    _check_and_report(
+        "fig4_8gpus", "Figure 4 (right): 8 GPUs, 50 placements", points
+    )
+
+
+def test_fig4_8gpus_cost_exceeds_4gpus(pool856, cluster4, cluster8):
+    """The paper's 8-GPU costs sit above the 4-GPU ones at equal
+    dimensions (more peers, more latency, larger exchanged fraction)."""
+    dims4 = [600, 550, 580, 560]
+    dims8 = [600, 550, 580, 560] * 2
+    four = cluster4.measure_comm(dims4, noisy=False).max_cost_ms
+    eight = cluster8.measure_comm(dims8, noisy=False).max_cost_ms
+    assert eight > four

@@ -1,0 +1,128 @@
+"""Figure 8: how accurate are the cost models, and how accurate do they
+need to be?
+
+- **Left**: scatter of simulated vs real embedding costs for 100 random
+  sharding plans; the paper reports Kendall's tau = 0.97 — near-perfect
+  rank agreement, which is what search needs.
+- **Middle**: test MSE of the cost models vs the number of training
+  samples (paper sweeps 10^1..10^5; here 30..3000).
+- **Right**: final sharding quality vs the number of training samples —
+  the punchline: even ~10^2 samples already yield strong sharding,
+  because the searcher needs *sufficiently*, not perfectly, accurate
+  models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import (
+    SEARCH_4GPU,
+    load_or_pretrain_bundle,
+    once,
+    record_result,
+)
+from repro.config import CollectionConfig, TaskConfig, TrainConfig
+from repro.core import CostCache, NeuroShard, NeuroShardSimulator
+from repro.costmodel import kendall_tau, pretrain_cost_models, scatter_eval
+from repro.data import generate_tasks
+from repro.evaluation import evaluate_sharder, format_text_table
+
+SAMPLE_SWEEP = (30, 100, 300, 1000, 3000)
+
+
+def test_fig8_left_simulation_vs_real(benchmark, pool856, cluster4):
+    """Simulated vs real cost over 100 random plans."""
+    bundle, _ = load_or_pretrain_bundle(pool856, cluster4)
+    simulator = NeuroShardSimulator(bundle, CostCache())
+    cfg = TaskConfig(num_devices=4, max_dim=64, min_tables=10, max_tables=60)
+    tasks = generate_tasks(pool856, cfg, count=25, seed=81)
+    rng = np.random.default_rng(81)
+
+    def run():
+        simulated, real = [], []
+        for task in tasks:
+            for _ in range(4):  # 4 random plans per task -> 100 points
+                assignment = rng.integers(0, 4, size=task.num_tables)
+                per_device = [[] for _ in range(4)]
+                for t, d in zip(task.tables, assignment):
+                    per_device[d].append(t)
+                if not cluster4.plan_fits(per_device):
+                    continue
+                simulated.append(simulator.plan_cost(per_device).max_cost_ms)
+                real.append(cluster4.evaluate_plan(per_device).max_cost_ms)
+        return scatter_eval(simulated, real)
+
+    ev = once(benchmark, run)
+
+    record_result(
+        "fig8_left",
+        format_text_table(
+            ["points", "Kendall tau", "MSE (ms^2)", "MAE (ms)"],
+            [[len(ev.simulated), ev.tau, ev.mse, ev.mean_absolute_error]],
+            precision=3,
+            title="Figure 8 (left): simulated vs real cost of random plans "
+            "(paper: tau = 0.97)",
+        ),
+    )
+    assert len(ev.simulated) >= 50
+    assert ev.tau > 0.85
+
+
+def test_fig8_middle_and_right_sample_efficiency(benchmark, pool856, cluster4):
+    """Cost-model MSE and final sharding cost vs #training samples."""
+    cfg = TaskConfig(num_devices=4, max_dim=128, min_tables=10, max_tables=40)
+    tasks = generate_tasks(pool856, cfg, count=3, seed=88)
+
+    def run():
+        rows = []
+        for n in SAMPLE_SWEEP:
+            collection = CollectionConfig(
+                num_compute_samples=n, num_comm_samples=max(n, 50)
+            )
+            train = TrainConfig(
+                epochs=200, batch_size=max(16, min(256, n // 4))
+            )
+            bundle, report = pretrain_cost_models(
+                cluster4, pool856, collection, train, seed=5
+            )
+            mses = report.test_mse_rows()
+            sharder = NeuroShard(bundle, search=SEARCH_4GPU)
+            ev = evaluate_sharder(sharder, tasks, cluster4)
+            rows.append(
+                [
+                    n,
+                    mses["Computation"],
+                    mses["Forward Communication"],
+                    mses["Backward Communication"],
+                    ev.mean_cost_of_successes_ms,
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+
+    record_result(
+        "fig8_middle_right",
+        format_text_table(
+            [
+                "#samples",
+                "compute MSE",
+                "fwd comm MSE",
+                "bwd comm MSE",
+                "embedding cost (ms)",
+            ],
+            rows,
+            title="Figure 8 (middle+right): cost-model accuracy and final "
+            "sharding cost vs training-set size",
+        ),
+    )
+    # More samples => more accurate compute model (allowing small noise,
+    # compare the extremes).
+    assert rows[-1][1] < rows[0][1]
+    # Sharding quality saturates early: the 300-sample model is already
+    # within 15% of the 3000-sample model.  (The paper saturates at
+    # ~100 samples; our simulated cost surface has heavier tails, so
+    # "sufficiently accurate" arrives at ~300 — still 300x below the
+    # paper's 100K collection budget.)
+    assert rows[2][4] < rows[-1][4] * 1.15

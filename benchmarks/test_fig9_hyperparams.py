@@ -1,0 +1,82 @@
+"""Figure 9: hyperparameter sensitivity of the online search.
+
+Sweeps each of the four search hyperparameters — L (beam steps), K (beam
+width), N (candidate tables), M (grid points) — around the paper's
+defaults on max-dimension-128 / 4-GPU tasks, reporting simulated
+embedding cost and sharding time.  Shape: larger values never hurt cost
+(more search) but increase sharding time — the optimality/efficiency
+trade-off the paper tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks.conftest import once, record_result
+from repro.config import SearchConfig, TaskConfig
+from repro.core import NeuroShard
+from repro.data import generate_tasks
+from repro.evaluation import format_text_table
+
+#: (display name, config field, sweep values) — paper defaults are
+#: N=10, K=3, L=10, M=11.
+SWEEPS = [
+    ("L (beam steps)", "max_steps", (2, 5, 10, 20)),
+    ("K (beam width)", "beam_width", (1, 2, 3, 6)),
+    ("N (candidates)", "top_n", (2, 5, 10, 20)),
+    ("M (grid points)", "grid_points", (2, 5, 11, 21)),
+]
+
+BASE = SearchConfig()
+
+
+def _run_sweep(pool856, bundle4, tasks, field, values):
+    rows = []
+    for value in values:
+        search = replace(BASE, **{field: value})
+        sharder = NeuroShard(bundle4, search=search, lifelong_cache=False)
+        costs, times = [], []
+        for task in tasks:
+            result = sharder.shard(task)
+            assert result.feasible
+            costs.append(result.simulated_cost_ms)
+            times.append(result.sharding_time_s)
+        rows.append(
+            [value, sum(costs) / len(costs), sum(times) / len(times)]
+        )
+    return rows
+
+
+def test_fig9_hyperparameters(benchmark, pool856, bundle4):
+    cfg = TaskConfig(num_devices=4, max_dim=128, min_tables=10, max_tables=40)
+    tasks = generate_tasks(pool856, cfg, count=3, seed=91)
+
+    def run():
+        return {
+            name: _run_sweep(pool856, bundle4, tasks, field, values)
+            for name, field, values in SWEEPS
+        }
+
+    all_rows = once(benchmark, run)
+
+    blocks = []
+    for name, field, values in SWEEPS:
+        rows = all_rows[name]
+        blocks.append(
+            format_text_table(
+                [name, "embedding cost (ms)", "sharding time (s)"],
+                rows,
+                title=f"Figure 9 sweep: {name}",
+            )
+        )
+    record_result("fig9", "\n\n".join(blocks))
+
+    for name, field, values in SWEEPS:
+        rows = all_rows[name]
+        costs = [r[1] for r in rows]
+        times = [r[2] for r in rows]
+        # More search never hurts the (simulated) objective materially...
+        assert costs[-1] <= costs[0] * 1.02, name
+        # ...and costs time: the largest setting is slower than the
+        # smallest.
+        assert times[-1] > times[0], name

@@ -1,0 +1,172 @@
+"""Table 1: the headline comparison.
+
+Mean max-device embedding cost (ms) of every sharding method on 4 and 8
+GPUs across maximum table dimensions {4, 8, 16, 32, 64, 128}, with "-"
+where a method fails any task of a setting (no plan or out-of-memory).
+
+Scaled down from the paper's 100 tasks per setting to
+``REPRO_BENCH_TASKS`` (default 6); the shape to reproduce:
+
+- NeuroShard is best (or tied) in every column and never fails;
+- greedy/random/RL methods stop scaling as the max dimension grows
+  (table-wise only => oversized tables kill them);
+- TorchRec scales everywhere but trails NeuroShard;
+- learned-cost methods beat heuristic costs at equal scalability.
+
+An extra MILP row (RecShard-style, not in the paper's table) shows the
+linear-cost formulation's limits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import (
+    BENCH_TASKS,
+    SEARCH_4GPU,
+    SEARCH_8GPU,
+    load_or_pretrain_bundle,
+    make_cluster,
+    once,
+    record_result,
+)
+from repro.baselines import (
+    AutoShardSharder,
+    DreamShardSharder,
+    GreedySharder,
+    MilpSharder,
+    PlannerSharder,
+    RandomSharder,
+)
+from repro.config import DIMENSION_GRID, TaskConfig
+from repro.core import NeuroShard
+from repro.data import generate_tasks
+from repro.evaluation import (
+    evaluate_sharder,
+    format_text_table,
+    improvement_percent,
+    strongest_baseline,
+)
+
+RL_EPISODES = 12
+
+
+def _run_column(pool, cluster, bundle, search, max_dim, seed):
+    """One Table 1 column: all methods on one (devices, max_dim) cell."""
+    lo, hi = (10, 60) if cluster.num_devices == 4 else (20, 120)
+    cfg = TaskConfig(
+        num_devices=cluster.num_devices,
+        max_dim=max_dim,
+        min_tables=lo,
+        max_tables=hi,
+    )
+    tasks = generate_tasks(pool, cfg, count=BENCH_TASKS, seed=seed)
+    methods = [
+        RandomSharder(seed=seed),
+        GreedySharder("Size-based"),
+        GreedySharder("Dim-based"),
+        GreedySharder("Lookup-based"),
+        GreedySharder("Size-lookup-based"),
+        AutoShardSharder(bundle, episodes=RL_EPISODES, seed=seed),
+        DreamShardSharder(bundle, episodes=RL_EPISODES, seed=seed),
+        PlannerSharder(batch_size=cluster.batch_size),
+        MilpSharder(time_limit_s=5.0),
+        NeuroShard(bundle, search=search),
+    ]
+    column = {}
+    for method in methods:
+        name = getattr(method, "name", "NeuroShard")
+        column[name] = evaluate_sharder(method, tasks, cluster, name=name)
+    return column
+
+
+METHOD_ORDER = [
+    "Random",
+    "Size-based",
+    "Dim-based",
+    "Lookup-based",
+    "Size-lookup-based",
+    "AutoShard",
+    "DreamShard",
+    "TorchRec",
+    "MILP",
+    "NeuroShard",
+]
+
+
+def _render(results, num_devices):
+    headers = ["method"] + [f"dim {d}" for d in DIMENSION_GRID]
+    rows = []
+    for name in METHOD_ORDER:
+        rows.append(
+            [name] + [results[d][name].mean_cost_ms for d in DIMENSION_GRID]
+        )
+    improvement_row = ["improvement vs best baseline"]
+    for d in DIMENSION_GRID:
+        _, best = strongest_baseline(results[d])
+        improvement_row.append(
+            improvement_percent(best, results[d]["NeuroShard"].mean_cost_ms)
+        )
+    rows.append(improvement_row)
+    return format_text_table(
+        headers,
+        rows,
+        title=(
+            f"Table 1 ({num_devices} GPUs): mean max-device embedding cost "
+            f"(ms) over {BENCH_TASKS} tasks per setting ('-' = cannot scale)"
+        ),
+    )
+
+
+def _check_shape(results):
+    for d in DIMENSION_GRID:
+        column = results[d]
+        ns = column["NeuroShard"]
+        # NeuroShard always scales.
+        assert ns.scales, f"NeuroShard failed a dim-{d} task"
+        # NeuroShard is within a whisker of the best scaling method on
+        # all but the smallest dimension.  At dim 4 nothing can be
+        # column-split and every cost is tiny, so the lookup heuristic is
+        # near-exact on the simulated kernel while the learned model
+        # carries a few percent of relative error — a documented
+        # deviation (see EXPERIMENTS.md); the paper's own margin there
+        # is only +0.5%.
+        _, best = strongest_baseline(column)
+        if not math.isnan(best):
+            slack = 1.30 if d == 4 else 1.05
+            assert ns.mean_cost_ms <= best * slack
+    # Methods without column sharding must fail at max dimension 128
+    # (the paper's "-" entries): at least the random baseline does.
+    assert not results[128]["Random"].scales
+    # NeuroShard strictly wins somewhere on the harder settings.
+    harder = [64, 128]
+    wins = 0
+    for d in harder:
+        _, best = strongest_baseline(results[d])
+        if not math.isnan(best) and results[d]["NeuroShard"].mean_cost_ms < best:
+            wins += 1
+    assert wins >= 1
+
+
+def test_table1_4gpus(benchmark, pool856, cluster4, bundle4):
+    def run():
+        return {
+            d: _run_column(pool856, cluster4, bundle4, SEARCH_4GPU, d, seed=100 + d)
+            for d in DIMENSION_GRID
+        }
+
+    results = once(benchmark, run)
+    record_result("table1_4gpus", _render(results, 4))
+    _check_shape(results)
+
+
+def test_table1_8gpus(benchmark, pool856, cluster8, bundle8):
+    def run():
+        return {
+            d: _run_column(pool856, cluster8, bundle8, SEARCH_8GPU, d, seed=200 + d)
+            for d in DIMENSION_GRID
+        }
+
+    results = once(benchmark, run)
+    record_result("table1_8gpus", _render(results, 8))
+    _check_shape(results)

@@ -1,0 +1,119 @@
+"""Tables 3 and 7: ablation of beam search, grid search, and caching.
+
+For the hardest setting (max dimension 128), each mechanism is removed
+in turn:
+
+- **w/o beam search** — no column-wise sharding: success rate drops
+  below 100% (oversized tables cannot be placed) so the cost column
+  shows "-" under the paper's all-tasks-must-succeed convention;
+- **w/o greedy grid search** — no max-device-dimension constraint: cost
+  rises (communication imbalance is no longer controlled);
+- **w/o caching** — identical plans, hit rate 0, sharding time blows up.
+
+Table 3 is the 4-GPU variant, Table 7 (appendix) the 8-GPU one.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import (
+    BENCH_TASKS,
+    SEARCH_4GPU,
+    SEARCH_8GPU,
+    once,
+    record_result,
+)
+from repro.config import TaskConfig
+from repro.core import NeuroShard
+from repro.data import generate_tasks
+from repro.evaluation import format_text_table
+
+
+def _run_variant(bundle, tasks, search):
+    sharder = NeuroShard(bundle, search=search, lifelong_cache=False)
+    successes, costs, times, hit_rates = 0, [], [], []
+    for task in tasks:
+        result = sharder.shard(task)
+        times.append(result.sharding_time_s)
+        hit_rates.append(result.cache_hit_rate)
+        if result.feasible:
+            successes += 1
+            costs.append(result.simulated_cost_ms)
+    return {
+        "cost": (sum(costs) / len(costs)) if successes == len(tasks) else math.nan,
+        "success": successes / len(tasks) * 100.0,
+        "time": sum(times) / len(times),
+        "hit_rate": sum(hit_rates) / len(hit_rates) * 100.0,
+    }
+
+
+def _run_ablation(pool, bundle, num_devices, base_search, seed):
+    lo, hi = (10, 60) if num_devices == 4 else (20, 120)
+    cfg = TaskConfig(
+        num_devices=num_devices, max_dim=128, min_tables=lo, max_tables=hi
+    )
+    tasks = generate_tasks(pool, cfg, count=BENCH_TASKS, seed=seed)
+    variants = {
+        "w/o beam search": base_search.with_ablation("beam_search"),
+        "w/o greedy grid search": base_search.with_ablation("grid_search"),
+        "w/o caching": base_search.with_ablation("caching"),
+        "Full NeuroShard": base_search,
+    }
+    return {name: _run_variant(bundle, tasks, cfg_) for name, cfg_ in variants.items()}
+
+
+def _render(rows, table_name, num_devices):
+    return format_text_table(
+        ["variant", "cost (ms)", "success rate (%)", "sharding time (s)",
+         "cache hit rate (%)"],
+        [
+            [name, r["cost"], r["success"], r["time"], r["hit_rate"]]
+            for name, r in rows.items()
+        ],
+        title=(
+            f"{table_name} ({num_devices} GPUs, max dimension 128, "
+            f"{BENCH_TASKS} tasks): search ablations"
+        ),
+    )
+
+
+def _check_shape(rows):
+    full = rows["Full NeuroShard"]
+    no_beam = rows["w/o beam search"]
+    no_grid = rows["w/o greedy grid search"]
+    no_cache = rows["w/o caching"]
+    # Beam search is what guarantees feasibility on oversized tables.
+    assert full["success"] == 100.0
+    assert no_beam["success"] < 100.0
+    # Dropping the grid raises (simulated) cost; never lowers it.
+    assert math.isnan(no_grid["cost"]) or no_grid["cost"] >= full["cost"] - 1e-6
+    # The cache is what makes search fast: >70% hit rate in the full
+    # system (paper: >95% with 100-task lifelong reuse), 0 without, and
+    # a large slowdown without it.
+    assert full["hit_rate"] > 70.0
+    assert no_cache["hit_rate"] == 0.0
+    assert no_cache["time"] > 2.0 * full["time"]
+    # Caching must not change the result materially.  (Bit-identity is
+    # not guaranteed: cached and uncached paths batch different row sets
+    # through BLAS, whose summation order can differ in the last float
+    # bits and flip greedy near-ties.)
+    assert math.isclose(no_cache["cost"], full["cost"], rel_tol=0.02)
+
+
+def test_table3_ablation_4gpus(benchmark, pool856, bundle4):
+    rows = once(
+        benchmark,
+        lambda: _run_ablation(pool856, bundle4, 4, SEARCH_4GPU, seed=31),
+    )
+    record_result("table3_4gpus", _render(rows, "Table 3", 4))
+    _check_shape(rows)
+
+
+def test_table7_ablation_8gpus(benchmark, pool856, bundle8):
+    rows = once(
+        benchmark,
+        lambda: _run_ablation(pool856, bundle8, 8, SEARCH_8GPU, seed=37),
+    )
+    record_result("table7_8gpus", _render(rows, "Table 7", 8))
+    _check_shape(rows)

@@ -1,0 +1,82 @@
+"""Table 4: production-scale deployment.
+
+The paper shards a production DLRM (nearly a thousand multi-terabyte
+tables) onto 128 GPUs and reports per-method embedding cost plus
+end-to-end training-throughput improvement over random sharding.  Here
+the experiment is scaled to a 16-GPU simulated cluster with 80
+large-dimension tables under a deliberately tight memory budget (so
+column-wise sharding is mandatory, as in production); see EXPERIMENTS.md
+for the substitution notes.
+
+Shape to reproduce: every informed method beats Random; learned-cost
+methods beat heuristic greedy; NeuroShard is best on both columns.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import (
+    bench_collection,
+    bench_train,
+    once,
+    record_result,
+)
+from repro.config import SearchConfig
+from repro.evaluation import format_text_table, run_production_experiment
+
+NUM_DEVICES = 16
+NUM_TABLES = 80
+MEMORY_BYTES = 2 * 1024**3
+
+
+def test_table4_production(benchmark, pool856):
+    def run():
+        return run_production_experiment(
+            pool856,
+            num_devices=NUM_DEVICES,
+            num_tables=NUM_TABLES,
+            memory_bytes=MEMORY_BYTES,
+            collection=bench_collection(NUM_DEVICES),
+            train=bench_train(),
+            search=SearchConfig(top_n=6, beam_width=2, max_steps=8, grid_points=7),
+            rl_episodes=12,
+            seed=4,
+        )
+
+    rows = once(benchmark, run)
+
+    record_result(
+        "table4",
+        format_text_table(
+            ["method", "embedding cost (ms)", "throughput improvement (%)"],
+            [
+                [r.method, r.embedding_cost_ms, r.throughput_improvement_pct]
+                for r in rows
+            ],
+            title=(
+                f"Table 4 (scaled): production-style task, {NUM_TABLES} "
+                f"large tables on {NUM_DEVICES} GPUs, "
+                f"{MEMORY_BYTES // 1024**3} GB/GPU"
+            ),
+        ),
+    )
+
+    by_name = {r.method: r for r in rows}
+    ns = by_name["NeuroShard"]
+    random_row = by_name["Random"]
+    # NeuroShard has the lowest embedding cost of all methods.
+    for r in rows:
+        if not math.isnan(r.embedding_cost_ms):
+            assert ns.embedding_cost_ms <= r.embedding_cost_ms + 1e-9
+    # ... which translates into the largest throughput improvement.
+    assert ns.throughput_improvement_pct > 0
+    assert ns.embedding_cost_ms < random_row.embedding_cost_ms
+    # DreamShard (full-cost objective) beats AutoShard (balance only).
+    if not math.isnan(by_name["DreamShard"].embedding_cost_ms) and not math.isnan(
+        by_name["AutoShard"].embedding_cost_ms
+    ):
+        assert (
+            by_name["DreamShard"].embedding_cost_ms
+            <= by_name["AutoShard"].embedding_cost_ms * 1.1
+        )

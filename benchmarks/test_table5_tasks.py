@@ -1,0 +1,50 @@
+"""Table 5: the 12 sharding-task settings used by the evaluation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, record_result
+from repro.config import TaskConfig
+from repro.data import generate_tasks
+from repro.evaluation import format_text_table
+
+
+def test_table5_task_grid(benchmark, pool856):
+    def generate():
+        # Verify every setting actually yields valid tasks.
+        samples = {}
+        for cfg in TaskConfig.paper_grid():
+            tasks = generate_tasks(pool856, cfg, count=3, seed=55)
+            samples[(cfg.num_devices, cfg.max_dim)] = tasks
+        return samples
+
+    samples = once(benchmark, generate)
+
+    rows = []
+    for cfg in TaskConfig.paper_grid():
+        tasks = samples[(cfg.num_devices, cfg.max_dim)]
+        rows.append(
+            [
+                cfg.num_devices,
+                f"{cfg.min_tables}-{cfg.max_tables}",
+                ", ".join(str(d) for d in cfg.dim_choices),
+                f"{min(t.num_tables for t in tasks)}-"
+                f"{max(t.num_tables for t in tasks)}",
+            ]
+        )
+    record_result(
+        "table5",
+        format_text_table(
+            [
+                "GPUs",
+                "table-count range",
+                "table dimensions",
+                "sampled range (3 tasks)",
+            ],
+            rows,
+            title="Table 5: sharding-task settings (4 GB per GPU)",
+        ),
+    )
+    for (num_devices, _), tasks in samples.items():
+        for task in tasks:
+            assert task.num_devices == num_devices
+            assert not task.is_trivially_infeasible()

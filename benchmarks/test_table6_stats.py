@@ -1,0 +1,38 @@
+"""Table 6: dataset statistics — synthesized DLRM pool vs public sets."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, record_result
+from repro.data import pool_statistics, public_dataset_statistics
+from repro.evaluation import format_text_table
+
+
+def test_table6_dataset_statistics(benchmark, pool856):
+    def build():
+        return pool_statistics(pool856.tables), public_dataset_statistics()
+
+    stats, public = once(benchmark, build)
+
+    rows = [
+        [r["dataset"], r["num_tables"], r["avg_hash_size"], r["avg_pooling_factor"]]
+        for r in public
+    ]
+    row = stats.as_row()
+    rows.append(
+        [row["dataset"], row["num_tables"], row["avg_hash_size"],
+         row["avg_pooling_factor"]]
+    )
+    record_result(
+        "table6",
+        format_text_table(
+            ["dataset", "# tables", "avg hash size", "avg pooling factor"],
+            rows,
+            title="Table 6: public datasets vs the industrial-scale DLRM pool",
+        ),
+    )
+    # The paper's quantitative claims: >=30x tables and >=200x hash size
+    # over Criteo, ~15x pooling factor.
+    criteo = public[0]
+    assert stats.num_tables >= 30 * criteo["num_tables"]
+    assert stats.mean_hash_size >= 100 * criteo["avg_hash_size"]
+    assert stats.mean_pooling_factor >= 8 * criteo["avg_pooling_factor"]

@@ -1,0 +1,106 @@
+"""Compare every sharding algorithm on one benchmark setting.
+
+Regenerates a single Table 1 column — all nine methods (plus the MILP
+extension) on 4-GPU / max-dimension-128 tasks — and prints the
+paper-style comparison with real measured costs, success rates and
+planning time.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from repro import (
+    ClusterConfig,
+    CollectionConfig,
+    NeuroShard,
+    SimulatedCluster,
+    TablePool,
+    TaskConfig,
+    TrainConfig,
+    generate_tasks,
+    synthesize_table_pool,
+)
+from repro.baselines import (
+    AutoShardSharder,
+    DreamShardSharder,
+    GreedySharder,
+    MilpSharder,
+    PlannerSharder,
+    RandomSharder,
+)
+from repro.evaluation import (
+    evaluate_sharder,
+    format_text_table,
+    improvement_percent,
+    strongest_baseline,
+)
+
+NUM_TASKS = 5
+
+
+def main() -> None:
+    pool = TablePool(synthesize_table_pool(seed=0))
+    cluster = SimulatedCluster(ClusterConfig(num_devices=4))
+
+    print("pre-training NeuroShard's cost models (~1.5 minutes)...")
+    neuroshard, _ = NeuroShard.pretrain(
+        cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=4000, num_comm_samples=1500),
+        train=TrainConfig(epochs=200),
+        seed=0,
+    )
+
+    tasks = generate_tasks(
+        pool,
+        TaskConfig(num_devices=4, max_dim=128),
+        count=NUM_TASKS,
+        seed=17,
+    )
+    methods = [
+        RandomSharder(seed=0),
+        GreedySharder("Size-based"),
+        GreedySharder("Dim-based"),
+        GreedySharder("Lookup-based"),
+        GreedySharder("Size-lookup-based"),
+        AutoShardSharder(neuroshard.models, episodes=20, seed=0),
+        DreamShardSharder(neuroshard.models, episodes=20, seed=0),
+        PlannerSharder(batch_size=cluster.batch_size),
+        MilpSharder(time_limit_s=5),
+        neuroshard,
+    ]
+
+    evaluations = {}
+    for method in methods:
+        name = getattr(method, "name", "NeuroShard")
+        print(f"  running {name}...")
+        evaluations[name] = evaluate_sharder(method, tasks, cluster, name=name)
+
+    rows = [
+        [
+            name,
+            ev.mean_cost_ms,
+            f"{ev.num_success}/{ev.num_tasks}",
+            ev.mean_sharding_time_s,
+        ]
+        for name, ev in evaluations.items()
+    ]
+    print()
+    print(
+        format_text_table(
+            ["method", "mean cost (ms)", "success", "plan time (s)"],
+            rows,
+            title=f"4 GPUs, max dimension 128, {NUM_TASKS} tasks "
+            "('-' = failed some task)",
+        )
+    )
+
+    best_name, best_cost = strongest_baseline(evaluations)
+    ns_cost = evaluations["NeuroShard"].mean_cost_ms
+    print(
+        f"\nNeuroShard vs strongest baseline ({best_name}): "
+        f"{improvement_percent(best_cost, ns_cost):+.1f}% improvement"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Mixed CPU-GPU sharding: offload what no GPU can hold (Section 6).
+
+The paper's future-work list names CPU and mixed CPU-GPU sharding.  This
+example runs the extension end to end on a cluster of two GPUs plus a
+host CPU:
+
+1. build a heterogeneous cluster — tight 1 GB GPU budgets, a 64 GB CPU,
+2. pre-train one computation cost model per device class,
+3. shard a workload whose biggest tables exceed any single GPU's budget,
+4. execute the plan on the simulated hardware and compare against what a
+   GPU-only cluster could do (nothing: the workload does not fit).
+
+Run:  python examples/mixed_cpu_gpu.py
+"""
+
+from repro.config import CollectionConfig, TrainConfig
+from repro.data import TablePool, synthesize_table_pool
+from repro.data.table import TableConfig
+from repro.extensions import MixedClusterSharder, pretrain_mixed_cost_models
+from repro.hardware import HeterogeneousCluster, cpu_host, gpu_2080ti
+
+GPU_BUDGET = 1 * 1024**3
+CPU_BUDGET = 64 * 1024**3
+BATCH = 4096
+
+
+def main() -> None:
+    # --- 1. the heterogeneous cluster --------------------------------
+    cluster = HeterogeneousCluster(
+        [gpu_2080ti(), gpu_2080ti(), cpu_host()],
+        memory_bytes=[GPU_BUDGET, GPU_BUDGET, CPU_BUDGET],
+        batch_size=BATCH,
+    )
+    print(
+        f"cluster: {cluster.num_devices} devices "
+        f"({', '.join(s.name for s in cluster.specs)})"
+    )
+
+    # --- 2. per-class cost models -------------------------------------
+    pool = TablePool(synthesize_table_pool(num_tables=64, seed=0))
+    print("pre-training per-class cost models (~1 minute)...")
+    models = pretrain_mixed_cost_models(
+        cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=2000, num_comm_samples=1),
+        train=TrainConfig(epochs=120),
+        seed=0,
+    )
+    for klass, report in sorted(models.reports.items()):
+        print(f"  {klass} compute model: test MSE = {report.test_mse:.3f} ms^2")
+
+    # --- 3. a workload with GPU-impossible tables ---------------------
+    hot = [pool.tables[i].with_dim(64) for i in range(10)]
+    cold_giants = [
+        TableConfig(
+            table_id=1000 + i,
+            hash_size=25_000_000,  # ~6 GB with optimizer state at dim 64
+            dim=64,
+            pooling_factor=1.2,
+            zipf_alpha=1.25,
+        )
+        for i in range(3)
+    ]
+    workload = hot + cold_giants
+    total_gb = sum(t.size_bytes for t in workload) / 1024**3
+    print(f"\nworkload: {len(workload)} tables, {total_gb:.1f} GB of weights")
+    feasible_gpu_only = all(
+        cluster.device_fits(0, [t]) for t in workload
+    )
+    print(f"every table fits a single GPU: {feasible_gpu_only}")
+
+    # --- 4. shard and execute -----------------------------------------
+    sharder = MixedClusterSharder(cluster, models, max_steps=6)
+    result = sharder.shard(workload)
+    print(f"\nmixed plan feasible: {result.feasible} "
+          f"({result.column_splits} column splits, "
+          f"cache hit rate {result.cache_hit_rate:.0%})")
+    for d, dev_tables in enumerate(result.per_device):
+        name = cluster.specs[d].name
+        dim = sum(t.dim for t in dev_tables)
+        gb = sum(t.size_bytes for t in dev_tables) / 1024**3
+        print(f"  device {d} ({name:10s}): {len(dev_tables):2d} tables, "
+              f"device dim {dim:4d}, {gb:5.1f} GB")
+
+    execution = cluster.evaluate_plan(result.per_device)
+    print(f"\nreal per-device embedding costs (ms): "
+          f"{['%.2f' % c for c in execution.device_costs_ms]}")
+    print(f"bottleneck: {execution.max_cost_ms:.2f} ms, "
+          f"iteration {execution.iteration_ms:.2f} ms, "
+          f"throughput {execution.throughput_samples_per_s:,.0f} samples/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Debugging a sharding plan with the cost models as a diagnostics tool.
+
+The pre-trained cost models are not just a search substrate — they answer
+the questions an on-call engineer asks about a slow training job in
+milliseconds, with no GPU time:
+
+- Which device is the bottleneck, and is it compute- or comm-bound?
+- How unbalanced is the plan (compute balance, dimension balance)?
+- Would moving or splitting one specific table help, and by how much?
+- What is the best single edit available right now?
+
+This example takes a deliberately bad plan (everything dim-greedy onto
+too few devices' worth of balance), diagnoses it, applies the analyzer's
+best suggested edits one at a time, and verifies each step on the
+simulated hardware.
+
+Run:  python examples/plan_debugging.py
+"""
+
+from repro.config import (
+    ClusterConfig,
+    CollectionConfig,
+    TaskConfig,
+    TrainConfig,
+)
+from repro.core import NeuroShard
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator
+from repro.data import TablePool, generate_tasks, synthesize_table_pool
+from repro.evaluation import analyze_plan, best_single_improvement
+from repro.hardware import SimulatedCluster
+from repro.hardware.memory import MemoryModel
+
+
+def main() -> None:
+    pool = TablePool(synthesize_table_pool(num_tables=96, seed=0))
+    cluster = SimulatedCluster(ClusterConfig(num_devices=4))
+    print("pre-training cost models (~1 minute)...")
+    sharder, _ = NeuroShard.pretrain(
+        cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=2500, num_comm_samples=800),
+        train=TrainConfig(epochs=150),
+        seed=0,
+    )
+    simulator = NeuroShardSimulator(sharder.models, CostCache())
+
+    # --- a deliberately bad (but memory-legal) plan --------------------
+    # Pile everything onto the last device until its memory is nearly
+    # full, spilling the rest round-robin — the worst legal imbalance.
+    task = generate_tasks(
+        pool, TaskConfig(num_devices=4, max_dim=64), count=1, seed=9
+    )[0]
+    memory = MemoryModel(task.memory_bytes)
+    per_device = [[], [], [], []]
+    spill = 0
+    for table in task.tables:
+        if memory.device_bytes(per_device[3] + [table]) <= 0.9 * task.memory_bytes:
+            per_device[3].append(table)
+        else:
+            per_device[spill % 3].append(table)
+            spill += 1
+
+    # --- diagnose ------------------------------------------------------
+    analysis = analyze_plan(per_device, simulator, memory)
+    print(f"\ninitial plan: simulated bottleneck "
+          f"{analysis.max_cost_ms:.2f} ms on device "
+          f"{analysis.bottleneck_device} "
+          f"({analysis.bottleneck_fraction_compute:.0%} compute)")
+    print(f"  compute balance {analysis.compute_balance:.2f}, "
+          f"dim balance {analysis.dim_balance:.2f}, "
+          f"device dims {analysis.device_dims}")
+
+    # --- iteratively apply the best single edit ------------------------
+    for step in range(6):
+        edits = best_single_improvement(per_device, simulator, memory, top_k=1)
+        best = edits[0]
+        if best.improvement_ms <= 0:
+            print(f"\nstep {step + 1}: no single edit helps — done")
+            break
+        print(f"\nstep {step + 1}: {best.description}")
+        print(f"  predicted {best.cost_before_ms:.2f} -> "
+              f"{best.cost_after_ms:.2f} ms "
+              f"({best.improvement_ms:+.2f} ms)")
+        per_device = [list(dev) for dev in best.edited]
+        measured = cluster.evaluate_plan(per_device).max_cost_ms
+        print(f"  measured on hardware: {measured:.2f} ms")
+
+    # --- compare against the full search -------------------------------
+    result = sharder.shard(task)
+    neuro_cost = cluster.evaluate_plan(
+        result.plan.per_device_tables(task.tables)
+    ).max_cost_ms
+    final = cluster.evaluate_plan(per_device).max_cost_ms
+    print(f"\nhand-repaired plan: {final:.2f} ms; "
+          f"full NeuroShard search: {neuro_cost:.2f} ms")
+    print("single-edit repair closes most of the gap; the search buys the "
+          "rest (and the column splits).")
+
+
+if __name__ == "__main__":
+    main()

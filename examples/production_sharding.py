@@ -1,0 +1,130 @@
+"""Production-style deployment workflow (paper Sections 3.2 and 4.5).
+
+Demonstrates the operational story around NeuroShard:
+
+1. pre-train cost models once and save a version-controlled bundle,
+2. reload the bundle in a (simulated) training job and shard a
+   production-flavoured task — many large-dimension tables under a tight
+   memory budget, where column-wise sharding is mandatory,
+3. compare embedding cost and end-to-end training throughput against
+   random sharding (the Table 4 protocol),
+4. monitor cost-model drift and decide when to re-train (Section 3.2's
+   deployment note).
+
+Run:  python examples/production_sharding.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ClusterConfig,
+    CollectionConfig,
+    NeuroShard,
+    SearchConfig,
+    ShardingTask,
+    SimulatedCluster,
+    TablePool,
+    TrainConfig,
+    synthesize_table_pool,
+)
+from repro.baselines import RandomSharder
+from repro.costmodel import DriftMonitor
+from repro.evaluation import execute_plan
+from repro.hardware import DeviceSpec
+
+NUM_DEVICES = 8
+MEMORY_BYTES = 2 * 1024**3
+
+
+def make_production_task(pool: TablePool) -> ShardingTask:
+    """~60 tables, dimensions biased to 128, tight memory."""
+    rng = np.random.default_rng(7)
+    tables = pool.sample_tables(60, rng)
+    dims = rng.choice([64, 128], size=len(tables), p=[0.3, 0.7])
+    tables = [t.with_dim(int(d)) for t, d in zip(tables, dims)]
+    tables.sort(key=lambda t: t.size_bytes)
+    while sum(t.size_bytes for t in tables) > 0.7 * MEMORY_BYTES * NUM_DEVICES:
+        tables.pop()
+    return ShardingTask(
+        tables=tuple(tables), num_devices=NUM_DEVICES, memory_bytes=MEMORY_BYTES
+    )
+
+
+def main() -> None:
+    pool = TablePool(synthesize_table_pool(seed=0))
+    cluster = SimulatedCluster(
+        ClusterConfig(num_devices=NUM_DEVICES, memory_bytes=MEMORY_BYTES)
+    )
+
+    # --- 1. pre-train once, save a versioned bundle ------------------
+    print("pre-training cost models for the production cluster...")
+    sharder, report = NeuroShard.pretrain(
+        cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=3000, num_comm_samples=1000),
+        train=TrainConfig(epochs=150),
+        search=SearchConfig(top_n=6, beam_width=2, max_steps=8, grid_points=7),
+        seed=0,
+    )
+    checkpoint = Path(tempfile.mkdtemp()) / "cost_models_v1"
+    sharder.models.save(checkpoint)
+    print(f"saved bundle to {checkpoint}")
+
+    # --- 2. reload and shard ------------------------------------------
+    deployed = NeuroShard.from_directory(
+        checkpoint, search=SearchConfig(top_n=6, beam_width=2, max_steps=8,
+                                        grid_points=7)
+    )
+    task = make_production_task(pool)
+    print(f"\nproduction task: {task.num_tables} tables, "
+          f"{task.total_size_bytes / 1024**3:.1f} GB on {NUM_DEVICES} GPUs "
+          f"x {MEMORY_BYTES / 1024**3:.0f} GB")
+    result = deployed.shard(task)
+    print(f"NeuroShard: {result.plan.num_splits} column splits, "
+          f"{result.sharding_time_s:.1f}s search")
+
+    # --- 3. cost + throughput vs random sharding ----------------------
+    ns_exec = execute_plan(result.plan, task, cluster)
+    random_plan = RandomSharder(seed=1).shard(task)
+    print(f"  embedding cost : {ns_exec.max_cost_ms:8.2f} ms")
+    print(f"  throughput     : {ns_exec.throughput_samples_per_s:12,.0f} samples/s")
+    if random_plan is None:
+        print("  random sharding: out of memory (cannot shard at all)")
+    else:
+        rnd_exec = execute_plan(random_plan, task, cluster)
+        if rnd_exec is None:
+            print("  random sharding: out of memory")
+        else:
+            gain = (
+                ns_exec.throughput_samples_per_s
+                / rnd_exec.throughput_samples_per_s
+                - 1
+            ) * 100
+            print(f"  vs random      : {rnd_exec.max_cost_ms:8.2f} ms, "
+                  f"throughput improvement {gain:+.1f}%")
+
+    # --- 4. drift monitoring ------------------------------------------
+    print("\ndrift monitoring (Section 3.2):")
+    monitor = DriftMonitor(deployed.models, cluster, pool, threshold_mse=250.0)
+    report = monitor.probe(num_samples=16, seed=3)
+    print(f"  same hardware   : probe MSE {report.probe_mse:8.2f}  "
+          f"retrain? {report.needs_retraining}")
+
+    # Simulate a hardware/workload shift: a 2x slower memory system.
+    shifted = SimulatedCluster(
+        ClusterConfig(num_devices=NUM_DEVICES, memory_bytes=MEMORY_BYTES),
+        spec=DeviceSpec(gather_bandwidth_bytes_per_ms=5.0e7, index_cost_ms=2.2e-6),
+    )
+    drift_monitor = DriftMonitor(
+        deployed.models, shifted, pool, threshold_mse=250.0
+    )
+    report = drift_monitor.probe(num_samples=16, seed=3)
+    print(f"  shifted hardware: probe MSE {report.probe_mse:8.2f}  "
+          f"retrain? {report.needs_retraining}")
+
+
+if __name__ == "__main__":
+    main()

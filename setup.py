@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package required
+by PEP 660 editable builds (falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""NeuroShard reproduction: "Pre-train, and Search" embedding-table
+sharding with pre-trained neural cost models (Zha et al., MLSys 2023).
+
+Quickstart::
+
+    from repro import (
+        ClusterConfig, NeuroShard, SimulatedCluster, TablePool, TaskConfig,
+        generate_tasks, synthesize_table_pool,
+    )
+
+    pool = TablePool(synthesize_table_pool(seed=0))
+    cluster = SimulatedCluster(ClusterConfig(num_devices=4))
+    sharder, report = NeuroShard.pretrain(cluster, pool, seed=0)
+
+    task = generate_tasks(pool, TaskConfig(num_devices=4, max_dim=128),
+                          count=1, seed=1)[0]
+    result = sharder.shard(task)
+    per_device = result.plan.per_device_tables(task.tables)
+    print(cluster.evaluate_plan(per_device).max_cost_ms)
+
+Package map — see DESIGN.md for the full inventory:
+
+- :mod:`repro.data` — tables, synthetic pool, augmentation, tasks.
+- :mod:`repro.hardware` — the simulated multi-GPU ground truth.
+- :mod:`repro.nn` — from-scratch NumPy neural nets.
+- :mod:`repro.costmodel` — featurization, cost models, pre-training.
+- :mod:`repro.core` — plans, cache, beam + greedy grid search, facade.
+- :mod:`repro.baselines` — random/greedy/RL/planner/MILP/SurCo comparators.
+- :mod:`repro.evaluation` — the paper's evaluation protocol + plan
+  analysis.
+- :mod:`repro.extensions` — the paper's future-work list, implemented
+  (row-wise, mixed CPU-GPU, imitation, offline RL, guided search).
+"""
+
+from repro.config import (
+    DEFAULT_SEED,
+    DIMENSION_GRID,
+    ClusterConfig,
+    CollectionConfig,
+    ExperimentConfig,
+    SearchConfig,
+    TaskConfig,
+    TrainConfig,
+)
+from repro.core import NeuroShard, ShardingPlan, ShardingResult
+from repro.costmodel import PretrainedCostModels, pretrain_cost_models
+from repro.data import (
+    ShardingTask,
+    TableConfig,
+    TablePool,
+    generate_tasks,
+    synthesize_table_pool,
+)
+from repro.hardware import (
+    DeviceSpec,
+    HeterogeneousCluster,
+    SimulatedCluster,
+    TopologySpec,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "DEFAULT_SEED",
+    "DIMENSION_GRID",
+    "ClusterConfig",
+    "CollectionConfig",
+    "ExperimentConfig",
+    "SearchConfig",
+    "TaskConfig",
+    "TrainConfig",
+    "NeuroShard",
+    "ShardingPlan",
+    "ShardingResult",
+    "PretrainedCostModels",
+    "pretrain_cost_models",
+    "TableConfig",
+    "TablePool",
+    "ShardingTask",
+    "generate_tasks",
+    "synthesize_table_pool",
+    "DeviceSpec",
+    "SimulatedCluster",
+    "HeterogeneousCluster",
+    "TopologySpec",
+]

@@ -1,0 +1,62 @@
+"""Baseline sharding algorithms (Section 4 "Baselines" + Appendix E).
+
+Every baseline implements the :class:`~repro.baselines.base.Sharder`
+protocol — ``shard(task) -> ShardingPlan | None`` — so the evaluation
+harness treats them interchangeably with NeuroShard.  ``None`` means the
+algorithm could not produce a memory-legal plan (the "-" entries of
+Table 1).
+
+Categories, mirroring the paper:
+
+- **Random** — uniform assignment among memory-feasible devices.
+- **Greedy** — sort by a heuristic cost, assign to the least-loaded
+  device: size-based, dim-based, lookup-based, size-lookup-based
+  (Acun et al., 2021; Lui et al., 2021).
+- **Reinforcement learning** — AutoShard-style (computation-balance
+  reward) and DreamShard-style (overall-embedding-cost reward) REINFORCE
+  sharders; table-wise only, hence prone to OOM on large tables, and
+  run-to-run unstable — the deployment problems that motivated
+  NeuroShard.
+- **Planning** — a TorchRec-style planner: enumerates column-wise
+  proposals and allocates greedily, but scores with *heuristic* costs.
+- **MILP** — a RecShard-style mixed-integer linear program
+  (:mod:`scipy.optimize.milp`) that balances *linear* per-table costs,
+  demonstrating what the non-linearity of fused costs (Observation 2)
+  does to linear formulations.
+- **Linear surrogate** — a SurCo-style sharder (Ferber et al., 2022)
+  that learns per-instance linear surrogate costs against the neural
+  cost models with zeroth-order optimization; stronger than the fixed
+  heuristics, still bounded by the linear inner solver.
+"""
+
+from repro.baselines.base import Sharder, assignment_to_plan
+from repro.baselines.random_sharding import RandomSharder
+from repro.baselines.greedy import (
+    GREEDY_COSTS,
+    GreedySharder,
+    dim_cost,
+    lookup_cost,
+    size_cost,
+    size_lookup_cost,
+)
+from repro.baselines.planner import PlannerSharder
+from repro.baselines.milp import MilpSharder
+from repro.baselines.rl import AutoShardSharder, DreamShardSharder
+from repro.baselines.surrogate import SurrogateSharder
+
+__all__ = [
+    "SurrogateSharder",
+    "Sharder",
+    "assignment_to_plan",
+    "RandomSharder",
+    "GreedySharder",
+    "GREEDY_COSTS",
+    "size_cost",
+    "dim_cost",
+    "lookup_cost",
+    "size_lookup_cost",
+    "PlannerSharder",
+    "MilpSharder",
+    "AutoShardSharder",
+    "DreamShardSharder",
+]

@@ -1,0 +1,44 @@
+"""The common sharding-algorithm interface."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.plan import ShardingPlan
+from repro.data.tasks import ShardingTask
+
+__all__ = ["Sharder", "assignment_to_plan"]
+
+
+@runtime_checkable
+class Sharder(Protocol):
+    """Anything that can answer a sharding task.
+
+    Attributes:
+        name: display name used by the evaluation reports.
+    """
+
+    name: str
+
+    def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        """Return a memory-legal plan, or ``None`` when the algorithm
+        cannot produce one (the paper's "-" outcome)."""
+        ...
+
+
+def assignment_to_plan(
+    assignment: Sequence[int],
+    num_devices: int,
+    column_plan: Sequence[int] = (),
+) -> ShardingPlan:
+    """Wrap a raw device assignment as a :class:`ShardingPlan`.
+
+    Most baselines are table-wise only, so their ``column_plan`` is
+    empty; the production experiment pre-applies NeuroShard's column plan
+    and passes it through here (Section 4.5).
+    """
+    return ShardingPlan(
+        column_plan=tuple(column_plan),
+        assignment=tuple(assignment),
+        num_devices=num_devices,
+    )

@@ -1,0 +1,118 @@
+"""Greedy heuristic sharders (Appendix E.1).
+
+Each variant gives every table a scalar heuristic cost, sorts tables by
+descending cost, and assigns each to the device with the lowest
+cost-sum so far (among memory-feasible devices) — the classic
+longest-processing-time load-balancing scheme used in production DLRM
+systems (Acun et al., 2021; Lui et al., 2021).
+
+The four published cost functions:
+
+- **size-based** — table bytes (reduces OOM risk, correlates with work),
+- **dim-based** — table dimension (drives compute and communication),
+- **lookup-based** — dimension × mean pooling factor (lookup workload),
+- **size-lookup-based** — dimension × pooling factor × table size.
+
+These are exactly the oversimplified linear costs whose inaccuracy
+motivates learned cost models: none captures caching, fusion, or the
+communication/computation interplay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import assignment_to_plan
+from repro.core.plan import ShardingPlan
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+from repro.hardware.memory import MemoryModel
+
+__all__ = [
+    "size_cost",
+    "dim_cost",
+    "lookup_cost",
+    "size_lookup_cost",
+    "GREEDY_COSTS",
+    "GreedySharder",
+]
+
+
+def size_cost(table: TableConfig) -> float:
+    """Table weight bytes."""
+    return float(table.size_bytes)
+
+
+def dim_cost(table: TableConfig) -> float:
+    """Embedding dimension."""
+    return float(table.dim)
+
+
+def lookup_cost(table: TableConfig) -> float:
+    """Dimension × mean pooling factor (per-sample lookup workload)."""
+    return float(table.dim) * table.pooling_factor
+
+
+def size_lookup_cost(table: TableConfig) -> float:
+    """Dimension × pooling factor × size (Appendix E's comprehensive
+    heuristic).  Sizes are rescaled to GB so the product stays finite."""
+    return float(table.dim) * table.pooling_factor * (table.size_bytes / 1024**3)
+
+
+#: Published greedy variants by display name.
+GREEDY_COSTS: dict[str, Callable[[TableConfig], float]] = {
+    "Size-based": size_cost,
+    "Dim-based": dim_cost,
+    "Lookup-based": lookup_cost,
+    "Size-lookup-based": size_lookup_cost,
+}
+
+
+class GreedySharder:
+    """Sorting-enhanced greedy balancing of a heuristic cost.
+
+    Args:
+        cost_name: one of :data:`GREEDY_COSTS`, or pass ``cost_fn``.
+        cost_fn: custom per-table cost (overrides ``cost_name``).
+    """
+
+    def __init__(
+        self,
+        cost_name: str = "Dim-based",
+        cost_fn: Callable[[TableConfig], float] | None = None,
+    ) -> None:
+        if cost_fn is not None:
+            self._cost = cost_fn
+            self.name = cost_name
+        else:
+            if cost_name not in GREEDY_COSTS:
+                raise ValueError(
+                    f"unknown greedy variant {cost_name!r}; expected one of "
+                    f"{sorted(GREEDY_COSTS)}"
+                )
+            self._cost = GREEDY_COSTS[cost_name]
+            self.name = cost_name
+
+    def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        memory = MemoryModel(task.memory_bytes)
+        costs = [self._cost(t) for t in task.tables]
+        order = sorted(range(len(costs)), key=lambda i: -costs[i])
+
+        device_cost = [0.0] * task.num_devices
+        device_bytes = [0] * task.num_devices
+        assignment = [0] * len(costs)
+        for ti in order:
+            table = task.tables[ti]
+            t_bytes = memory.table_bytes(table)
+            candidates = [
+                d
+                for d in range(task.num_devices)
+                if device_bytes[d] + t_bytes <= task.memory_bytes
+            ]
+            if not candidates:
+                return None
+            best = min(candidates, key=lambda d: device_cost[d])
+            device_cost[best] += costs[ti]
+            device_bytes[best] += t_bytes
+            assignment[ti] = best
+        return assignment_to_plan(assignment, task.num_devices)

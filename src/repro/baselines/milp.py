@@ -1,0 +1,120 @@
+"""RecShard-style MILP baseline (related work; extension experiment).
+
+RecShard (Sethi et al., 2022) formulates embedding placement as a mixed
+integer linear program over statistical per-table costs.  The paper's
+related-work section points out its blind spot: the MILP requires
+*additive* per-table costs, but fused multi-table kernels are sub-additive
+and non-linear (Observation 2), so even a provably optimal linear balance
+can be noticeably off the true optimum.  This baseline makes that
+concrete: it balances the lookup heuristic cost exactly and still loses
+to NeuroShard's learned, non-linear costs.
+
+Formulation (variables: binary ``x[t, d]``, continuous bottleneck ``z``):
+
+    minimize    z
+    subject to  sum_d x[t, d] = 1                      (each table placed)
+                sum_t cost_t * x[t, d] <= z            (bottleneck)
+                sum_t bytes_t * x[t, d] <= memory      (per-device memory)
+
+Solved with ``scipy.optimize.milp`` (HiGHS) under a time limit; on
+timeout the incumbent is used when HiGHS returns one, otherwise the task
+is reported infeasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.baselines.base import assignment_to_plan
+from repro.baselines.greedy import lookup_cost
+from repro.core.plan import ShardingPlan
+from repro.data.tasks import ShardingTask
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["MilpSharder"]
+
+
+class MilpSharder:
+    """Mixed-integer bottleneck balancing of linear per-table costs.
+
+    Args:
+        time_limit_s: HiGHS wall-clock limit per task.
+    """
+
+    name = "MILP"
+
+    def __init__(self, time_limit_s: float = 10.0) -> None:
+        if time_limit_s <= 0:
+            raise ValueError(f"time_limit_s must be > 0, got {time_limit_s}")
+        self.time_limit_s = time_limit_s
+
+    def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        memory = MemoryModel(task.memory_bytes)
+        num_tables = task.num_tables
+        num_devices = task.num_devices
+        costs = np.array([lookup_cost(t) for t in task.tables])
+        table_bytes = np.array([memory.table_bytes(t) for t in task.tables])
+
+        # Variable layout: x[t * D + d] for all tables, then z at the end.
+        num_x = num_tables * num_devices
+        num_vars = num_x + 1
+
+        # Objective: minimize z.
+        c = np.zeros(num_vars)
+        c[-1] = 1.0
+
+        rows: list[np.ndarray] = []
+        lb_rows: list[float] = []
+        ub_rows: list[float] = []
+
+        # Each table on exactly one device.
+        for t in range(num_tables):
+            row = np.zeros(num_vars)
+            row[t * num_devices : (t + 1) * num_devices] = 1.0
+            rows.append(row)
+            lb_rows.append(1.0)
+            ub_rows.append(1.0)
+
+        # Per-device: cost load - z <= 0 and memory load <= budget.
+        for d in range(num_devices):
+            cost_row = np.zeros(num_vars)
+            mem_row = np.zeros(num_vars)
+            for t in range(num_tables):
+                cost_row[t * num_devices + d] = costs[t]
+                mem_row[t * num_devices + d] = table_bytes[t]
+            cost_row[-1] = -1.0
+            rows.append(cost_row)
+            lb_rows.append(-np.inf)
+            ub_rows.append(0.0)
+            rows.append(mem_row)
+            lb_rows.append(-np.inf)
+            ub_rows.append(float(task.memory_bytes))
+
+        constraints = optimize.LinearConstraint(
+            sparse.csr_matrix(np.stack(rows)), lb_rows, ub_rows
+        )
+        integrality = np.concatenate([np.ones(num_x), np.zeros(1)])
+        bounds = optimize.Bounds(
+            lb=np.concatenate([np.zeros(num_x), [0.0]]),
+            ub=np.concatenate([np.ones(num_x), [np.inf]]),
+        )
+        result = optimize.milp(
+            c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=bounds,
+            options={"time_limit": self.time_limit_s, "disp": False},
+        )
+        if result.x is None:
+            return None
+        x = np.asarray(result.x[:num_x]).reshape(num_tables, num_devices)
+        assignment = [int(np.argmax(x[t])) for t in range(num_tables)]
+
+        # HiGHS incumbents can be slightly fractional; verify feasibility.
+        device_bytes = [0] * num_devices
+        for t, d in enumerate(assignment):
+            device_bytes[d] += int(table_bytes[t])
+        if any(b > task.memory_bytes for b in device_bytes):
+            return None
+        return assignment_to_plan(assignment, num_devices)

@@ -1,0 +1,50 @@
+"""Random sharding baseline.
+
+Assigns each table uniformly at random among the devices that can still
+fit it.  Matches the paper's "Random" row: no balancing at all, and
+failure ("-") as soon as table sizes grow (Table 1 shows it only scales
+to max dimension 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import assignment_to_plan
+from repro.config import rng_from_seed
+from repro.core.plan import ShardingPlan
+from repro.data.tasks import ShardingTask
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["RandomSharder"]
+
+
+class RandomSharder:
+    """Uniform random table-wise sharding.
+
+    Args:
+        seed: RNG seed; each :meth:`shard` call advances the stream.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = rng_from_seed(seed)
+
+    def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        memory = MemoryModel(task.memory_bytes)
+        device_bytes = [0] * task.num_devices
+        assignment: list[int] = []
+        for table in task.tables:
+            t_bytes = memory.table_bytes(table)
+            candidates = [
+                d
+                for d in range(task.num_devices)
+                if device_bytes[d] + t_bytes <= task.memory_bytes
+            ]
+            if not candidates:
+                return None
+            device = int(self._rng.choice(candidates))
+            device_bytes[device] += t_bytes
+            assignment.append(device)
+        return assignment_to_plan(assignment, task.num_devices)

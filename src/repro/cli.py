@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the workflow of the paper's artifact scripts (Appendix I):
+
+- ``gen-data`` — synthesize the table pool and save it to JSON
+  (the artifact's ``tools/gen_dlrm_data.py``).
+- ``gen-tasks`` — generate benchmark sharding tasks and save them to
+  JSON (the artifact's ``tools/gen_tasks.py``).
+- ``pretrain`` — collect micro-benchmark data on the simulated cluster
+  and train the cost models, saving a bundle directory
+  (the artifact's ``collect_*_cost_data.py`` + ``train_*_cost_model.py``).
+- ``shard`` — load a bundle, generate (or load) benchmark tasks and run
+  the online search, reporting simulated and real (simulated-hardware)
+  costs (the artifact's ``eval_simulator.py`` / ``eval.py``).
+- ``compare`` — run a baseline algorithm on the same tasks for a
+  side-by-side (the artifact's ``--alg`` flag).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from repro.baselines import (
+    GREEDY_COSTS,
+    GreedySharder,
+    MilpSharder,
+    PlannerSharder,
+    RandomSharder,
+)
+from repro.config import (
+    ClusterConfig,
+    CollectionConfig,
+    SearchConfig,
+    TaskConfig,
+    TrainConfig,
+)
+from repro.core import NeuroShard
+from repro.data import (
+    TablePool,
+    generate_tasks,
+    load_pool,
+    load_tasks,
+    save_pool,
+    save_tasks,
+    synthesize_table_pool,
+)
+from repro.evaluation import evaluate_sharder, format_text_table
+from repro.hardware import SimulatedCluster
+
+__all__ = ["main", "build_parser"]
+
+_BASELINES = {
+    "random": lambda seed: RandomSharder(seed=seed),
+    "size_greedy": lambda seed: GreedySharder("Size-based"),
+    "dim_greedy": lambda seed: GreedySharder("Dim-based"),
+    "lookup_greedy": lambda seed: GreedySharder("Lookup-based"),
+    "size_lookup_greedy": lambda seed: GreedySharder("Size-lookup-based"),
+    "torchrec": lambda seed: PlannerSharder(),
+    "milp": lambda seed: MilpSharder(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuroShard reproduction (MLSys 2023) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen_data = sub.add_parser(
+        "gen-data", help="synthesize the table pool, save it as JSON"
+    )
+    gen_data.add_argument("output", help="pool JSON file to write")
+    gen_data.add_argument("--tables", type=int, default=856,
+                          help="pool size (paper: 856)")
+    gen_data.add_argument("--seed", type=int, default=0)
+
+    gen_tasks = sub.add_parser(
+        "gen-tasks", help="generate benchmark sharding tasks, save as JSON"
+    )
+    gen_tasks.add_argument("output", help="tasks JSON file to write")
+    gen_tasks.add_argument("--pool", help="pool JSON from 'gen-data' "
+                           "(default: the built-in synthesized pool)")
+    gen_tasks.add_argument("--gpus", type=int, default=4)
+    gen_tasks.add_argument("--max-dim", type=int, default=128)
+    gen_tasks.add_argument("--tasks", type=int, default=100)
+    gen_tasks.add_argument("--seed", type=int, default=0)
+
+    pre = sub.add_parser("pretrain", help="pre-train cost models, save a bundle")
+    pre.add_argument("output", help="bundle directory to create")
+    pre.add_argument("--gpus", type=int, default=4)
+    pre.add_argument("--samples", type=int, default=4000,
+                     help="compute-model training samples (paper: 100000)")
+    pre.add_argument("--epochs", type=int, default=200,
+                     help="training epochs (paper: 1000)")
+    pre.add_argument("--seed", type=int, default=0)
+
+    shard = sub.add_parser("shard", help="shard benchmark tasks with a bundle")
+    shard.add_argument("bundle", help="bundle directory from 'pretrain'")
+    shard.add_argument("--max-dim", type=int, default=128)
+    shard.add_argument("--tasks", type=int, default=5)
+    shard.add_argument("--tasks-file", help="tasks JSON from 'gen-tasks' "
+                       "(overrides --max-dim/--tasks)")
+    shard.add_argument("--seed", type=int, default=0)
+
+    cmp = sub.add_parser("compare", help="run a baseline on benchmark tasks")
+    cmp.add_argument("algorithm", choices=sorted(_BASELINES))
+    cmp.add_argument("--gpus", type=int, default=4)
+    cmp.add_argument("--max-dim", type=int, default=128)
+    cmp.add_argument("--tasks", type=int, default=5)
+    cmp.add_argument("--tasks-file", help="tasks JSON from 'gen-tasks' "
+                     "(overrides --gpus/--max-dim/--tasks)")
+    cmp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _pool() -> TablePool:
+    return TablePool(synthesize_table_pool(seed=0))
+
+
+def _tasks(pool: TablePool, num_devices: int, max_dim: int, count: int, seed: int):
+    lo, hi = (10, 60) if num_devices == 4 else (20, 120)
+    cfg = TaskConfig(
+        num_devices=num_devices, max_dim=max_dim, min_tables=lo, max_tables=hi
+    )
+    return generate_tasks(pool, cfg, count=count, seed=seed)
+
+
+def _cmd_gen_data(args) -> int:
+    print(f"synthesizing a {args.tables}-table pool (seed {args.seed})...")
+    pool = TablePool(
+        synthesize_table_pool(num_tables=args.tables, seed=args.seed)
+    )
+    save_pool(pool, args.output)
+    print(f"saved pool to {args.output}")
+    return 0
+
+
+def _cmd_gen_tasks(args) -> int:
+    pool = load_pool(args.pool) if args.pool else _pool()
+    tasks = _tasks(pool, args.gpus, args.max_dim, args.tasks, args.seed)
+    save_tasks(tasks, args.output)
+    print(f"{len(tasks)} sharding tasks generated!")
+    print(f"saved tasks to {args.output}")
+    return 0
+
+
+def _cmd_pretrain(args) -> int:
+    pool = _pool()
+    cluster = SimulatedCluster(ClusterConfig(num_devices=args.gpus))
+    print(
+        f"collecting {args.samples} compute samples and training for "
+        f"{args.epochs} epochs on a simulated {args.gpus}-GPU cluster..."
+    )
+    sharder, report = NeuroShard.pretrain(
+        cluster,
+        pool,
+        collection=CollectionConfig(
+            num_compute_samples=args.samples,
+            num_comm_samples=max(args.samples // 3, 300),
+        ).for_devices(args.gpus),
+        train=TrainConfig(epochs=args.epochs),
+        seed=args.seed,
+    )
+    for name, mse in report.test_mse_rows().items():
+        print(f"  {name:24s} test MSE = {mse:.3f} ms^2")
+    sharder.models.save(args.output)
+    print(f"saved bundle to {args.output}")
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    sharder = NeuroShard.from_directory(args.bundle, search=SearchConfig())
+    num_devices = sharder.models.num_devices
+    cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
+    if args.tasks_file:
+        tasks = load_tasks(args.tasks_file)
+        bad = [t.task_id for t in tasks if t.num_devices != num_devices]
+        if bad:
+            print(
+                f"error: tasks {bad} target a different device count than "
+                f"the bundle's {num_devices}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        tasks = _tasks(_pool(), num_devices, args.max_dim, args.tasks, args.seed)
+    evaluation = evaluate_sharder(sharder, tasks, cluster, name="NeuroShard")
+    rows = [
+        [o.task_id, "ok" if o.success else "OOM", o.cost_ms, o.sharding_time_s]
+        for o in evaluation.outcomes
+    ]
+    print(
+        format_text_table(
+            ["task", "status", "real cost (ms)", "search time (s)"],
+            rows,
+            title=f"NeuroShard on {len(tasks)} tasks "
+            f"({num_devices} GPUs, max dim {args.max_dim})",
+        )
+    )
+    mean = evaluation.mean_cost_ms
+    print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
+    print(f"Valid {evaluation.num_success} / {evaluation.num_tasks}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    if args.tasks_file:
+        tasks = load_tasks(args.tasks_file)
+        num_devices = tasks[0].num_devices
+        cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
+    else:
+        cluster = SimulatedCluster(ClusterConfig(num_devices=args.gpus))
+        tasks = _tasks(_pool(), args.gpus, args.max_dim, args.tasks, args.seed)
+    sharder = _BASELINES[args.algorithm](args.seed)
+    evaluation = evaluate_sharder(sharder, tasks, cluster)
+    mean = evaluation.mean_cost_ms
+    print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
+    print(f"Valid {evaluation.num_success} / {evaluation.num_tasks}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "gen-data": _cmd_gen_data,
+        "gen-tasks": _cmd_gen_tasks,
+        "pretrain": _cmd_pretrain,
+        "shard": _cmd_shard,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

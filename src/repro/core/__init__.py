@@ -1,0 +1,48 @@
+"""NeuroShard core: sharding plans and the online search (Section 3.3).
+
+The search minimizes the *simulated* embedding cost ``f(c, t)`` over a
+column-wise sharding plan ``c`` (outer loop, beam search — Algorithm 1)
+and a table-wise plan ``t`` (inner loop, greedy allocation under a
+grid-searched max-device-dimension constraint — Algorithm 2), with a
+lifelong computation-cost cache.
+
+Public API:
+
+- :mod:`~repro.core.plan` — plan representations and legality.
+- :class:`~repro.core.cache.CostCache` — the global cache with hit-rate
+  statistics (Table 3's caching ablation).
+- :class:`~repro.core.simulator.NeuroShardSimulator` — ``f(c, t)`` from
+  the pre-trained cost models.
+- :func:`~repro.core.greedy_grid.greedy_grid_search` — Algorithm 2.
+- :func:`~repro.core.beam_search.beam_search` — Algorithm 1.
+- :class:`~repro.core.sharder.NeuroShard` — the end-to-end facade
+  (pre-train once, shard any task).
+"""
+
+from repro.core.plan import (
+    ShardingPlan,
+    apply_column_plan,
+    column_plan_is_legal,
+    split_candidates,
+)
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator, PlanCost
+from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
+from repro.core.beam_search import BeamSearchResult, beam_search
+from repro.core.sharder import NeuroShard, ShardingResult
+
+__all__ = [
+    "ShardingPlan",
+    "apply_column_plan",
+    "column_plan_is_legal",
+    "split_candidates",
+    "CostCache",
+    "NeuroShardSimulator",
+    "PlanCost",
+    "GridSearchResult",
+    "greedy_grid_search",
+    "BeamSearchResult",
+    "beam_search",
+    "NeuroShard",
+    "ShardingResult",
+]

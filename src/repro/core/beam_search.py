@@ -1,0 +1,147 @@
+"""Column-wise sharding: beam search (Algorithm 1).
+
+The outer loop decides *which tables to column-split*.  Column splits
+trade overall computation (Observation 1: two half shards cost more than
+the parent) for balance and memory feasibility, so good plans split as
+few tables as possible — the beam search therefore expands only from the
+most promising candidates:
+
+- in each iteration, the candidate tables of a plan are the union of the
+  top-``N`` predicted-costliest tables and the top-``N`` largest tables
+  (duplicates removed, unsplittable dim-4 tables skipped);
+- each of the top-``K`` plans from the previous iteration is extended by
+  each candidate, scored by the inner loop (Algorithm 2), and the
+  top-``K`` lowest-cost new plans survive;
+- after ``L`` iterations the globally best ``(c, t)`` wins.  The empty
+  plan (no splits) is evaluated first, so zero splits is always an
+  option.
+
+With ``use_beam_search`` disabled only the empty plan is evaluated —
+Table 3's "w/o beam search" ablation, which loses memory feasibility on
+tasks with oversized tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import SearchConfig
+from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
+from repro.core.plan import ShardingPlan, apply_column_plan
+from repro.core.simulator import NeuroShardSimulator
+from repro.data.table import TableConfig
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["BeamSearchResult", "beam_search"]
+
+
+@dataclass(frozen=True)
+class BeamSearchResult:
+    """Outcome of the full (outer + inner) search.
+
+    Attributes:
+        feasible: some evaluated plan was memory-legal.
+        plan: the best complete plan (column plan may be empty); ``None``
+            when nothing feasible was found.
+        cost_ms: its simulated embedding cost.
+        evaluations: number of inner-loop (grid search) invocations.
+    """
+
+    feasible: bool
+    plan: ShardingPlan | None
+    cost_ms: float
+    evaluations: int
+
+
+def _candidates(
+    tables: Sequence[TableConfig],
+    simulator: NeuroShardSimulator,
+    top_n: int,
+) -> list[int]:
+    """Top-N costly ∪ top-N largest splittable table indices."""
+    splittable = [i for i, t in enumerate(tables) if t.can_halve]
+    if not splittable:
+        return []
+    singles = simulator.single_table_costs(tables)
+    by_cost = sorted(splittable, key=lambda i: -singles[i])[:top_n]
+    by_size = sorted(splittable, key=lambda i: -tables[i].size_bytes)[:top_n]
+    merged: list[int] = []
+    for i in by_cost + by_size:
+        if i not in merged:
+            merged.append(i)
+    return merged
+
+
+def beam_search(
+    base_tables: Sequence[TableConfig],
+    num_devices: int,
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel,
+    config: SearchConfig | None = None,
+) -> BeamSearchResult:
+    """Algorithm 1: jointly search column-wise and table-wise plans."""
+    config = config or SearchConfig()
+    if len(base_tables) == 0:
+        raise ValueError("cannot shard an empty table list")
+
+    evaluations = 0
+
+    def evaluate(column_plan: tuple[int, ...]) -> GridSearchResult:
+        nonlocal evaluations
+        evaluations += 1
+        sharded = apply_column_plan(base_tables, column_plan)
+        return greedy_grid_search(sharded, num_devices, simulator, memory, config)
+
+    best_plan: tuple[int, ...] | None = None
+    best_inner: GridSearchResult = GridSearchResult.infeasible()
+
+    empty_result = evaluate(())
+    if empty_result.feasible:
+        best_plan = ()
+        best_inner = empty_result
+
+    if config.use_beam_search and config.max_steps > 0:
+        # Beam entries: (column_plan, beam key).  Infeasible plans stay in
+        # the beam with infinite cost so the search can keep splitting
+        # toward feasibility even before anything fits; among them, the
+        # key's overflow component prefers plans whose oversized tables
+        # are closest to fitting, steering the splits to the right
+        # tables (without it the beam has no signal until something is
+        # feasible and can wander for all L steps).
+        beam: list[tuple[tuple[int, ...], tuple[float, float]]] = [
+            ((), empty_result.beam_key)
+        ]
+        for _ in range(config.max_steps):
+            scored: list[tuple[tuple[int, ...], tuple[float, float]]] = []
+            for plan, _ in beam:
+                sharded = apply_column_plan(base_tables, plan)
+                for index in _candidates(sharded, simulator, config.top_n):
+                    new_plan = plan + (index,)
+                    result = evaluate(new_plan)
+                    scored.append((new_plan, result.beam_key))
+                    if result.feasible and result.cost_ms < best_inner.cost_ms:
+                        best_plan = new_plan
+                        best_inner = result
+            if not scored:
+                break
+            scored.sort(key=lambda item: item[1])
+            beam = scored[: config.beam_width]
+
+    if best_plan is None or not best_inner.feasible:
+        return BeamSearchResult(
+            feasible=False, plan=None, cost_ms=math.inf, evaluations=evaluations
+        )
+    return BeamSearchResult(
+        feasible=True,
+        plan=ShardingPlan(
+            column_plan=best_plan,
+            assignment=best_inner.assignment,
+            num_devices=num_devices,
+        ),
+        cost_ms=best_inner.cost_ms,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,77 @@
+"""Lifelong computation-cost cache (Section 3.3, "Implementation with
+caching").
+
+The search's dominant cost is computation-cost prediction: the model is
+queried ``O(L K N M T D)`` times, but small plan perturbations re-query
+the same device table sets over and over.  Keys are the canonical
+table-multiset keys from :func:`repro.data.table.table_set_key`, so two
+cost-identical device contents share an entry.  The paper reports a >95%
+hit rate (Table 3), which the full-search benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+__all__ = ["CostCache"]
+
+
+class CostCache:
+    """A hit-rate-instrumented memo table for predicted costs.
+
+    Args:
+        enabled: when ``False`` every lookup misses (the "w/o caching"
+            ablation of Table 3) but statistics are still recorded.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._store: dict[Hashable, float] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> float | None:
+        """Look up a predicted cost; records the hit/miss."""
+        if self.enabled:
+            value = self._store.get(key)
+            if value is not None:
+                self._hits += 1
+                return value
+        self._misses += 1
+        return None
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Store a predicted cost (no-op when disabled)."""
+        if self.enabled:
+            self._store[key] = float(value)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def lookups(self) -> int:
+        return self._hits + self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.lookups
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop entries and statistics."""
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0

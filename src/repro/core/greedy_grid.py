@@ -1,0 +1,196 @@
+"""Table-wise sharding: greedy allocation + grid search (Algorithm 2).
+
+Given a (column-sharded) table list, the inner loop finds the table-wise
+plan ``t``:
+
+1. Sort tables by predicted single-table computation cost, descending.
+2. For each ``max_dim`` on a grid from ``Ms`` (the average device
+   dimension) to ``Me = 1.5 * Ms`` (``M`` points):
+   greedily assign each table to the *cheapest* candidate device, where
+   candidates are devices that stay within the memory budget and whose
+   device dimension stays within ``max_dim``, and "cheapest" means the
+   lowest predicted computation cost with the table added (cache-served).
+3. Score each completed assignment with the full simulated embedding
+   cost ``f(c, t)`` and keep the best.
+
+The ``max_dim`` constraint is how Observation 3 enters the search: it
+bounds the max device dimension, which controls the communication
+bottleneck, while the greedy objective balances the non-linear
+computation costs (Observation 2).
+
+Deviation from the paper (documented): when *every* grid point is
+infeasible — e.g. one table's dimension alone exceeds ``Me`` — we fall
+back to an unconstrained greedy pass (``max_dim = ∞``) so that the inner
+loop only reports infeasible when memory genuinely cannot accommodate the
+tables.  The paper's text leaves this case unspecified; without the
+fallback, beam search would be forced to column-split purely to satisfy
+an artificial dimension bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import SearchConfig
+from repro.core.simulator import NeuroShardSimulator, PlanCost
+from repro.data.table import TableConfig
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["GridSearchResult", "greedy_grid_search"]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of the inner loop for one column-sharded table list.
+
+    Attributes:
+        feasible: a memory-legal assignment exists.
+        cost_ms: simulated embedding cost of the best assignment
+            (``inf`` when infeasible).
+        assignment: device per table (aligned with the input order),
+            empty when infeasible.
+        max_dim_used: the grid value that produced the best assignment
+            (``None`` for the unconstrained fallback or infeasible).
+        breakdown: per-device simulated costs of the best assignment.
+        overflow_bytes: for infeasible results, how far oversized tables
+            exceed a single device's budget in total.  The beam search
+            uses this to rank equally-infeasible plans: among plans that
+            cannot be placed at all, the one closer to fitting (smaller
+            overflow) should survive, otherwise the beam has no signal
+            pointing at the tables that must be split.
+    """
+
+    feasible: bool
+    cost_ms: float
+    assignment: tuple[int, ...]
+    max_dim_used: float | None
+    breakdown: PlanCost | None
+    overflow_bytes: float = 0.0
+
+    @staticmethod
+    def infeasible(overflow_bytes: float = math.inf) -> "GridSearchResult":
+        return GridSearchResult(
+            feasible=False,
+            cost_ms=math.inf,
+            assignment=(),
+            max_dim_used=None,
+            breakdown=None,
+            overflow_bytes=overflow_bytes,
+        )
+
+    @property
+    def beam_key(self) -> tuple[float, float]:
+        """Sort key for the beam: cost first, feasibility progress second."""
+        return (self.cost_ms, self.overflow_bytes)
+
+
+def _greedy_assign(
+    tables: Sequence[TableConfig],
+    order: np.ndarray,
+    num_devices: int,
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel,
+    max_dim: float,
+) -> tuple[int, ...] | None:
+    """One greedy pass under a ``max_dim`` constraint.
+
+    Returns the assignment or ``None`` when some table has no candidate
+    device.
+    """
+    device_tables: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+    device_bytes = [0] * num_devices
+    device_dims = [0] * num_devices
+    assignment = [0] * len(tables)
+
+    for ti in order:
+        table = tables[ti]
+        t_bytes = memory.table_bytes(table)
+        candidates = [
+            d
+            for d in range(num_devices)
+            if device_bytes[d] + t_bytes <= memory.memory_bytes
+            and device_dims[d] + table.dim <= max_dim
+        ]
+        if not candidates:
+            return None
+        # Cheapest resulting device per the computation cost model; the
+        # batched call predicts all uncached candidate sets at once.
+        resulting = [device_tables[d] + [table] for d in candidates]
+        costs = simulator.device_compute_costs(resulting)
+        best = candidates[int(np.argmin(costs))]
+        device_tables[best].append(table)
+        device_bytes[best] += t_bytes
+        device_dims[best] += table.dim
+        assignment[ti] = best
+    return tuple(assignment)
+
+
+def greedy_grid_search(
+    tables: Sequence[TableConfig],
+    num_devices: int,
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel,
+    config: SearchConfig | None = None,
+) -> GridSearchResult:
+    """Algorithm 2: find the best table-wise plan for ``tables``.
+
+    With ``config.use_grid_search`` disabled, a single unconstrained
+    greedy pass runs instead (the "w/o greedy grid search" ablation).
+    """
+    config = config or SearchConfig()
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    if len(tables) == 0:
+        raise ValueError("cannot shard an empty table list")
+
+    singles = simulator.single_table_costs(tables)
+    order = np.argsort(-singles, kind="stable")
+
+    # How far this table list is from being placeable at all: tables
+    # larger than one device can never fit, however they are assigned.
+    overflow = float(
+        sum(
+            max(0, memory.table_bytes(t) - memory.memory_bytes)
+            for t in tables
+        )
+    )
+
+    if config.use_grid_search:
+        avg_dim = sum(t.dim for t in tables) / num_devices
+        ms = max(avg_dim, 1.0)
+        me = config.grid_end_factor * ms
+        if config.grid_points == 1:
+            grid: list[float] = [ms]
+        else:
+            grid = list(np.linspace(ms, me, config.grid_points))
+        grid.append(math.inf)  # unconstrained fallback, tried last
+    else:
+        grid = [math.inf]
+
+    best = GridSearchResult.infeasible(overflow)
+    for max_dim in grid:
+        if math.isfinite(max_dim) and max(t.dim for t in tables) > max_dim:
+            continue  # no single table could be placed; skip early
+        assignment = _greedy_assign(
+            tables, order, num_devices, simulator, memory, max_dim
+        )
+        if assignment is None:
+            continue
+        per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+        for ti, d in enumerate(assignment):
+            per_device[d].append(tables[ti])
+        breakdown = simulator.plan_cost(per_device)
+        cost = breakdown.max_cost_ms
+        if cost < best.cost_ms:
+            best = GridSearchResult(
+                feasible=True,
+                cost_ms=cost,
+                assignment=assignment,
+                max_dim_used=None if math.isinf(max_dim) else float(max_dim),
+                breakdown=breakdown,
+            )
+    return best

@@ -1,0 +1,133 @@
+"""Sharding-plan representation and legality (Section 3.3).
+
+A full sharding plan is the pair ``(c, t)``:
+
+- the **column-wise plan** ``c = [c_1, ..., c_m]``: in step ``i`` the
+  table at index ``c_i`` of the *current* table list is split into two
+  half-dimension shards; the first shard replaces the original in place
+  and the second is appended to the end of the list (the paper's "append
+  the resultant new table to the end of the table list");
+- the **table-wise plan** ``t = [t_1, ..., t_{T'}]`` assigning each of
+  the ``T' = T + m`` column-sharded tables to a device.
+
+Legality: every dimension must stay a multiple of 4 (FBGEMM), which
+:meth:`~repro.data.table.TableConfig.halved` enforces, and the placement
+must satisfy per-device memory (checked by the hardware's
+:class:`~repro.hardware.memory.MemoryModel` at evaluation time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.table import TableConfig
+
+__all__ = [
+    "apply_column_plan",
+    "column_plan_is_legal",
+    "split_candidates",
+    "ShardingPlan",
+]
+
+
+def apply_column_plan(
+    tables: Sequence[TableConfig], column_plan: Sequence[int]
+) -> list[TableConfig]:
+    """Materialize the table list after applying ``column_plan``.
+
+    Raises:
+        IndexError: if a step references a table index that does not
+            exist at that step.
+        ValueError: if a step would split a table below the minimum
+            dimension.
+    """
+    working = list(tables)
+    for step, index in enumerate(column_plan):
+        if not 0 <= index < len(working):
+            raise IndexError(
+                f"column plan step {step} references table {index}, but only "
+                f"{len(working)} tables exist at that step"
+            )
+        first, second = working[index].halved()
+        working[index] = first
+        working.append(second)
+    return working
+
+
+def column_plan_is_legal(
+    tables: Sequence[TableConfig], column_plan: Sequence[int]
+) -> bool:
+    """Non-raising legality check of a column-wise plan."""
+    try:
+        apply_column_plan(tables, column_plan)
+    except (IndexError, ValueError):
+        return False
+    return True
+
+
+def split_candidates(tables: Sequence[TableConfig]) -> list[int]:
+    """Indices of tables that can legally be column-halved."""
+    return [i for i, t in enumerate(tables) if t.can_halve]
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """A complete (column-wise, table-wise) sharding decision.
+
+    Attributes:
+        column_plan: the split sequence ``c`` (indices into the evolving
+            table list).
+        assignment: device id per column-sharded table, aligned with
+            :func:`apply_column_plan`'s output order.
+        num_devices: the device count the assignment targets.
+    """
+
+    column_plan: tuple[int, ...]
+    assignment: tuple[int, ...]
+    num_devices: int
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+        for t in self.assignment:
+            if not 0 <= t < self.num_devices:
+                raise ValueError(
+                    f"assignment targets device {t}, valid range is "
+                    f"0..{self.num_devices - 1}"
+                )
+
+    @property
+    def num_splits(self) -> int:
+        return len(self.column_plan)
+
+    def sharded_tables(
+        self, base_tables: Sequence[TableConfig]
+    ) -> list[TableConfig]:
+        """The post-column-sharding table list this plan assigns."""
+        sharded = apply_column_plan(base_tables, self.column_plan)
+        if len(sharded) != len(self.assignment):
+            raise ValueError(
+                f"assignment covers {len(self.assignment)} tables but the "
+                f"column plan produces {len(sharded)}"
+            )
+        return sharded
+
+    def per_device_tables(
+        self, base_tables: Sequence[TableConfig]
+    ) -> list[list[TableConfig]]:
+        """Group the sharded tables by assigned device — the layout the
+        hardware executes."""
+        sharded = self.sharded_tables(base_tables)
+        per_device: list[list[TableConfig]] = [
+            [] for _ in range(self.num_devices)
+        ]
+        for table, device in zip(sharded, self.assignment):
+            per_device[device].append(table)
+        return per_device
+
+    def device_dims(self, base_tables: Sequence[TableConfig]) -> list[int]:
+        """Per-device dimension sums under this plan."""
+        return [
+            sum(t.dim for t in dev) for dev in self.per_device_tables(base_tables)
+        ]

@@ -1,0 +1,120 @@
+"""Sharding-plan persistence and checkpoint-consistency checks.
+
+Section 3.2's deployment notes: a training job must resume with *the
+same* sharding plan it started with (embedding weights are sharded on
+disk accordingly), so plans are version-controlled artifacts tied to
+their cost-model version and to the exact table list they were computed
+for.  This module serializes plans as JSON with a fingerprint of the
+task's tables; loading verifies the fingerprint so a plan can never be
+silently applied to a drifted table list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.plan import ShardingPlan
+from repro.data.table import TableConfig
+
+__all__ = ["PlanCheckpoint", "save_plan", "load_plan", "task_fingerprint"]
+
+#: Bump on incompatible layout changes.
+_FORMAT_VERSION = 1
+
+
+def task_fingerprint(tables: Sequence[TableConfig]) -> str:
+    """Order-sensitive digest of a task's table list.
+
+    Order matters: the plan's assignment is positional, so a permuted
+    table list is a *different* task even with identical contents.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for t in tables:
+        h.update(t.uid.encode("utf-8"))
+        h.update(b"|")
+        h.update(str(t.bytes_per_element).encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class PlanCheckpoint:
+    """A plan plus the metadata needed to validate it on resume.
+
+    Attributes:
+        plan: the sharding plan.
+        fingerprint: digest of the table list the plan was computed for.
+        cost_model_version: free-form tag of the cost-model bundle used
+            (e.g. a bundle directory name or hash), per Section 3.2's
+            "strict version control".
+    """
+
+    plan: ShardingPlan
+    fingerprint: str
+    cost_model_version: str = ""
+
+
+def save_plan(
+    plan: ShardingPlan,
+    tables: Sequence[TableConfig],
+    path: str | os.PathLike,
+    cost_model_version: str = "",
+) -> None:
+    """Write a plan checkpoint for the task defined by ``tables``."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "fingerprint": task_fingerprint(tables),
+        "cost_model_version": cost_model_version,
+        "num_devices": plan.num_devices,
+        "column_plan": list(plan.column_plan),
+        "assignment": list(plan.assignment),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def load_plan(
+    path: str | os.PathLike,
+    tables: Sequence[TableConfig] | None = None,
+) -> PlanCheckpoint:
+    """Load a plan checkpoint; verify it matches ``tables`` if given.
+
+    Raises:
+        ValueError: wrong format version, malformed payload, or (when
+            ``tables`` is provided) fingerprint mismatch — the resume-
+            safety check.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"plan checkpoint version {version!r} != supported {_FORMAT_VERSION}"
+        )
+    try:
+        plan = ShardingPlan(
+            column_plan=tuple(int(c) for c in payload["column_plan"]),
+            assignment=tuple(int(a) for a in payload["assignment"]),
+            num_devices=int(payload["num_devices"]),
+        )
+        fingerprint = str(payload["fingerprint"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed plan checkpoint {path}: {exc}") from exc
+    if tables is not None:
+        actual = task_fingerprint(tables)
+        if actual != fingerprint:
+            raise ValueError(
+                "plan checkpoint does not match the task: table list "
+                f"fingerprint {actual} != checkpoint {fingerprint}; the "
+                "tables changed since the plan was computed (re-shard "
+                "instead of resuming)"
+            )
+    return PlanCheckpoint(
+        plan=plan,
+        fingerprint=fingerprint,
+        cost_model_version=str(payload.get("cost_model_version", "")),
+    )

@@ -1,0 +1,162 @@
+"""The NeuroShard facade: pre-train once, shard any task.
+
+Ties the whole pipeline together (Figure 6): a :class:`NeuroShard`
+instance owns a pre-trained cost-model bundle and answers sharding tasks
+with :meth:`NeuroShard.shard`, returning the plan plus the diagnostics
+the paper reports (simulated cost, wall-clock sharding time, cache hit
+rate — Table 3's columns).
+
+Because the cost models are universal ("once-for-all"), one instance
+serves any task with the matching device count and batch size — no
+per-task training, unlike the RL baselines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.config import (
+    CollectionConfig,
+    SearchConfig,
+    TrainConfig,
+)
+from repro.core.beam_search import beam_search
+from repro.core.cache import CostCache
+from repro.core.plan import ShardingPlan
+from repro.core.simulator import NeuroShardSimulator
+from repro.costmodel.pretrain import (
+    CostModelReport,
+    PretrainedCostModels,
+    pretrain_cost_models,
+)
+from repro.data.pool import TablePool
+from repro.data.tasks import ShardingTask
+from repro.hardware.cluster import SimulatedCluster
+from repro.hardware.memory import MemoryModel
+
+__all__ = ["NeuroShard", "ShardingResult"]
+
+
+@dataclass(frozen=True)
+class ShardingResult:
+    """A sharding decision plus search diagnostics.
+
+    Attributes:
+        feasible: whether a memory-legal plan was found.
+        plan: the plan (``None`` when infeasible).
+        simulated_cost_ms: the cost models' estimate of the plan's
+            embedding cost.
+        sharding_time_s: wall-clock time of the online search.
+        cache_hit_rate: hit rate of the computation-cost cache.
+        evaluations: number of inner-loop invocations.
+    """
+
+    feasible: bool
+    plan: ShardingPlan | None
+    simulated_cost_ms: float
+    sharding_time_s: float
+    cache_hit_rate: float
+    evaluations: int
+
+
+class NeuroShard:
+    """Embedding-table sharder with pre-trained neural cost models.
+
+    Args:
+        models: pre-trained cost-model bundle (from
+            :meth:`NeuroShard.pretrain`, :func:`pretrain_cost_models`, or
+            :meth:`PretrainedCostModels.load`).
+        search: online-search hyperparameters (``N``, ``K``, ``L``,
+            ``M`` and the ablation switches).
+        lifelong_cache: share one computation-cost cache across all
+            :meth:`shard` calls (the paper's "life-long hash map").
+            Disable to give each task a fresh cache (useful for measuring
+            per-task hit rates, as Table 3 does).
+    """
+
+    def __init__(
+        self,
+        models: PretrainedCostModels,
+        search: SearchConfig | None = None,
+        lifelong_cache: bool = True,
+    ) -> None:
+        self.models = models
+        self.search = search or SearchConfig()
+        self._lifelong = lifelong_cache
+        self._shared_cache = CostCache(enabled=self.search.use_cache)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def pretrain(
+        cls,
+        cluster: SimulatedCluster,
+        pool: TablePool,
+        collection: CollectionConfig | None = None,
+        train: TrainConfig | None = None,
+        search: SearchConfig | None = None,
+        seed: int = 0,
+    ) -> tuple["NeuroShard", CostModelReport]:
+        """Run the full pre-training pipeline and wrap the result."""
+        models, report = pretrain_cost_models(
+            cluster, pool, collection=collection, train=train, seed=seed
+        )
+        return cls(models, search=search), report
+
+    @classmethod
+    def from_directory(
+        cls, directory: str | os.PathLike, search: SearchConfig | None = None
+    ) -> "NeuroShard":
+        """Load a sharder from a saved cost-model bundle."""
+        return cls(PretrainedCostModels.load(directory), search=search)
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+
+    def shard(self, task: ShardingTask) -> ShardingResult:
+        """Search for the best sharding plan of ``task``.
+
+        Raises:
+            ValueError: when the task's device count does not match the
+                models' (communication models are device-count-specific).
+        """
+        if task.num_devices != self.models.num_devices:
+            raise ValueError(
+                f"task has {task.num_devices} devices but the cost models "
+                f"were pre-trained for {self.models.num_devices}; pre-train "
+                "a bundle per cluster shape"
+            )
+        cache = (
+            self._shared_cache
+            if self._lifelong
+            else CostCache(enabled=self.search.use_cache)
+        )
+        hits_before, lookups_before = cache.hits, cache.lookups
+        simulator = NeuroShardSimulator(self.models, cache)
+        memory = MemoryModel(task.memory_bytes)
+
+        started = time.perf_counter()
+        result = beam_search(
+            list(task.tables),
+            task.num_devices,
+            simulator,
+            memory,
+            self.search,
+        )
+        elapsed = time.perf_counter() - started
+
+        lookups = cache.lookups - lookups_before
+        hits = cache.hits - hits_before
+        return ShardingResult(
+            feasible=result.feasible,
+            plan=result.plan,
+            simulated_cost_ms=result.cost_ms,
+            sharding_time_s=elapsed,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            evaluations=result.evaluations,
+        )

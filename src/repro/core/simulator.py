@@ -1,0 +1,150 @@
+"""The sharding simulator ``f(c, t)`` built on pre-trained cost models.
+
+The simulated embedding cost of a plan is the max over devices of
+
+    compute_d + forward_comm_d + backward_comm_d
+
+(Section 3.3: "summing up the predicted computation, forward
+communication, and backward communication costs").  The communication
+models take per-device starting timestamps; during search the observable
+proxy for a device's collective start time is its predicted computation
+cost (the trace analysis of Section 2 shows compute imbalance is what
+skews collective starts), so the simulator feeds the predicted compute
+costs as the start times of both collectives.
+
+All computation-cost predictions flow through the
+:class:`~repro.core.cache.CostCache`; batch lookups collect the uncached
+device sets and predict them in one forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache import CostCache
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.data.table import TableConfig, table_set_key
+
+__all__ = ["PlanCost", "NeuroShardSimulator"]
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Simulated per-device cost breakdown of one placement."""
+
+    compute_ms: tuple[float, ...]
+    fwd_comm_ms: tuple[float, ...]
+    bwd_comm_ms: tuple[float, ...]
+
+    @property
+    def device_costs_ms(self) -> tuple[float, ...]:
+        return tuple(
+            c + f + b
+            for c, f, b in zip(self.compute_ms, self.fwd_comm_ms, self.bwd_comm_ms)
+        )
+
+    @property
+    def max_cost_ms(self) -> float:
+        """The simulated embedding cost ``f(c, t)``."""
+        return max(self.device_costs_ms)
+
+
+class NeuroShardSimulator:
+    """Cost-model-backed simulator used by the online search.
+
+    Args:
+        models: the pre-trained bundle.
+        cache: the lifelong computation-cost cache; a fresh enabled cache
+            is created when omitted.
+    """
+
+    def __init__(
+        self,
+        models: PretrainedCostModels,
+        cache: CostCache | None = None,
+    ) -> None:
+        self.models = models
+        self.cache = cache if cache is not None else CostCache()
+
+    @property
+    def num_devices(self) -> int:
+        return self.models.num_devices
+
+    # ------------------------------------------------------------------
+    # computation-cost prediction (cached)
+    # ------------------------------------------------------------------
+
+    def device_compute_cost(self, tables: Sequence[TableConfig]) -> float:
+        """Predicted fused-kernel cost of one device's table set."""
+        return self.device_compute_costs([tables])[0]
+
+    def device_compute_costs(
+        self, table_sets: Sequence[Sequence[TableConfig]]
+    ) -> list[float]:
+        """Batched, cached prediction over several device table sets."""
+        costs: list[float | None] = []
+        missing_indices: list[int] = []
+        missing_keys = []
+        for i, tables in enumerate(table_sets):
+            if len(tables) == 0:
+                costs.append(0.0)
+                continue
+            key = table_set_key(tables)
+            cached = self.cache.get(key)
+            costs.append(cached)
+            if cached is None:
+                missing_indices.append(i)
+                missing_keys.append(key)
+        if missing_indices:
+            matrices = [
+                self.models.featurizer.features_matrix(list(table_sets[i]))
+                for i in missing_indices
+            ]
+            predictions = self.models.compute.predict_many(matrices)
+            # The true cost is positive; a tiny floor also keeps greedy
+            # comparisons meaningful when the model extrapolates low.
+            predictions = np.maximum(predictions, 1e-3)
+            for i, key, value in zip(missing_indices, missing_keys, predictions):
+                self.cache.put(key, float(value))
+                costs[i] = float(value)
+        return [float(c) for c in costs]  # type: ignore[arg-type]
+
+    def single_table_costs(
+        self, tables: Sequence[TableConfig]
+    ) -> np.ndarray:
+        """Predicted isolated cost of each table (used for sorting and
+        for the beam search's "top-N costly" candidates)."""
+        return np.array(self.device_compute_costs([[t] for t in tables]))
+
+    # ------------------------------------------------------------------
+    # full plan cost
+    # ------------------------------------------------------------------
+
+    def plan_cost(
+        self, per_device_tables: Sequence[Sequence[TableConfig]]
+    ) -> PlanCost:
+        """Simulated cost breakdown of a placement ``f(c, t)``."""
+        if len(per_device_tables) != self.num_devices:
+            raise ValueError(
+                f"placement has {len(per_device_tables)} devices, models are "
+                f"for {self.num_devices}"
+            )
+        compute = self.device_compute_costs(per_device_tables)
+        dims = [sum(t.dim for t in dev) for dev in per_device_tables]
+        # Compute imbalance is what skews collective starts; only the
+        # relative skew matters, so anchor at zero (the comm models are
+        # trained on zero-anchored skews).
+        min_compute = min(compute)
+        starts = [c - min_compute for c in compute]
+        fwd = self.models.forward_comm.predict(dims, starts, self.models.batch_size)
+        bwd = self.models.backward_comm.predict(dims, starts, self.models.batch_size)
+        fwd = np.maximum(fwd, 0.0)
+        bwd = np.maximum(bwd, 0.0)
+        return PlanCost(
+            compute_ms=tuple(compute),
+            fwd_comm_ms=tuple(float(x) for x in fwd),
+            bwd_comm_ms=tuple(float(x) for x in bwd),
+        )

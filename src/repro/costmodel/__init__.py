@@ -1,0 +1,69 @@
+"""Pre-trained neural cost models (Sections 3.1-3.2).
+
+This package turns the hardware micro-benchmarks into the "universal
+sharding simulator" at the heart of NeuroShard:
+
+- :mod:`~repro.costmodel.features` — per-table feature extraction
+  (dimension, hash size, pooling factor, index-distribution summaries).
+- :mod:`~repro.costmodel.compute_model` — the computation cost model:
+  a shared table MLP, element-wise sum over the combination, and an MLP
+  head (Figure 5, left).
+- :mod:`~repro.costmodel.comm_model` — the forward/backward communication
+  cost models: an MLP over per-device starting timestamps and transfer
+  sizes (Figure 5, right).
+- :mod:`~repro.costmodel.collect` — micro-benchmark collection against the
+  simulated cluster (the PARAM-benchmark stand-in).
+- :mod:`~repro.costmodel.pretrain` — the end-to-end pre-training pipeline
+  producing a :class:`~repro.costmodel.pretrain.PretrainedCostModels`
+  bundle.
+- :mod:`~repro.costmodel.evaluate` — accuracy metrics (MSE, Kendall's
+  tau) for Table 2 / Figure 8.
+- :mod:`~repro.costmodel.drift` — the production drift monitor sketched
+  in Section 3.2 ("periodically calculate the prediction errors ... and
+  trigger re-training when the error exceeds a certain threshold").
+- :mod:`~repro.costmodel.linear_model` — closed-form *linear* (ridge)
+  cost models, the "even simpler network" Section 4.2 argues cannot
+  capture the cost non-linearity; used by the extension ablation.
+"""
+
+from repro.costmodel.features import TableFeaturizer
+from repro.costmodel.compute_model import ComputeCostModel
+from repro.costmodel.comm_model import CommCostModel, comm_features
+from repro.costmodel.collect import (
+    collect_comm_data,
+    collect_compute_data,
+)
+from repro.costmodel.pretrain import (
+    CostModelReport,
+    PretrainedCostModels,
+    pretrain_cost_models,
+)
+from repro.costmodel.evaluate import kendall_tau, mse, scatter_eval
+from repro.costmodel.drift import DriftMonitor, DriftReport
+from repro.costmodel.linear_model import (
+    LinearCommCostModel,
+    LinearComputeCostModel,
+    fit_linear_comm_model,
+    fit_linear_compute_model,
+)
+
+__all__ = [
+    "LinearCommCostModel",
+    "LinearComputeCostModel",
+    "fit_linear_comm_model",
+    "fit_linear_compute_model",
+    "TableFeaturizer",
+    "ComputeCostModel",
+    "CommCostModel",
+    "comm_features",
+    "collect_compute_data",
+    "collect_comm_data",
+    "PretrainedCostModels",
+    "CostModelReport",
+    "pretrain_cost_models",
+    "mse",
+    "kendall_tau",
+    "scatter_eval",
+    "DriftMonitor",
+    "DriftReport",
+]

@@ -1,0 +1,105 @@
+"""Micro-benchmark data collection (Section 3.1 + Figure 6, middle row).
+
+Runs the paper's input generators against the simulated cluster to
+produce cost-model training data:
+
+- **computation**: random table combinations (Algorithm 4) from the
+  augmented pool (Algorithm 3), measured with the fused-kernel
+  micro-benchmark;
+- **communication**: random table placements (Algorithm 5) plus random
+  per-device starting timestamps in ``[0, 20]`` ms, measured with the
+  all-to-all micro-benchmark, separately for forward and backward.
+
+The returned :class:`~repro.nn.data.ArrayDataset` objects carry
+*featurized* inputs, so they feed directly into the trainers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import CollectionConfig, rng_from_seed
+from repro.costmodel.comm_model import comm_features
+from repro.costmodel.features import TableFeaturizer
+from repro.data.pool import TablePool
+from repro.hardware.cluster import SimulatedCluster
+from repro.nn.data import ArrayDataset
+
+__all__ = ["collect_compute_data", "collect_comm_data"]
+
+
+def collect_compute_data(
+    cluster: SimulatedCluster,
+    pool: TablePool,
+    featurizer: TableFeaturizer,
+    config: CollectionConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> ArrayDataset:
+    """Collect (table combination → fused-kernel latency) samples.
+
+    Returns a dataset whose inputs are per-sample feature matrices
+    ``[T_i, F]`` and whose targets are measured latencies in ms.
+    """
+    config = config or CollectionConfig()
+    rng = rng_from_seed(seed)
+    combinations = pool.sample_combinations(
+        config.num_compute_samples,
+        rng,
+        min_tables=config.min_tables,
+        max_tables=config.max_tables,
+    )
+    inputs = [featurizer.features_matrix(tables) for tables in combinations]
+    targets = np.array(
+        [cluster.measure_compute(tables) for tables in combinations]
+    )
+    return ArrayDataset(inputs=inputs, targets=targets)
+
+
+def collect_comm_data(
+    cluster: SimulatedCluster,
+    pool: TablePool,
+    config: CollectionConfig | None = None,
+    seed: int | np.random.Generator = 0,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Collect (placement + start skew → all-to-all latencies) samples.
+
+    Placements come from Algorithm 5 with the table-count range scaled to
+    the cluster's device count; each device's starting timestamp is drawn
+    uniformly from ``[0, max_start_ms]`` (Section 3.1, point 2).
+
+    Returns:
+        ``(forward_dataset, backward_dataset)`` whose inputs are feature
+        rows ``[N, 2D]`` and targets per-device latencies ``[N, D]``.
+    """
+    config = (config or CollectionConfig()).for_devices(cluster.num_devices)
+    rng = rng_from_seed(seed)
+    features: list[np.ndarray] = []
+    fwd_targets: list[np.ndarray] = []
+    bwd_targets: list[np.ndarray] = []
+    for _ in range(config.num_comm_samples):
+        placement = pool.sample_placement(
+            rng,
+            cluster.num_devices,
+            min_tables=config.min_placement_tables,
+            max_tables=config.max_placement_tables,
+            memory_bytes=cluster.config.memory_bytes,
+        )
+        dims = placement.device_dims
+        starts = rng.uniform(0.0, config.max_start_ms, size=cluster.num_devices)
+        # Collective cost depends only on the *relative* start skew (the
+        # last arrival gates the data flow), so anchor the earliest start
+        # at zero.  The search queries the model with zero-anchored skews
+        # too, keeping queries inside the training support.
+        starts -= starts.min()
+        features.append(comm_features(dims, starts, cluster.batch_size))
+        fwd = cluster.measure_comm(dims, start_times_ms=starts, backward=False)
+        bwd = cluster.measure_comm(dims, start_times_ms=starts, backward=True)
+        fwd_targets.append(np.array(fwd.costs_ms))
+        bwd_targets.append(np.array(bwd.costs_ms))
+    x = np.stack(features)
+    return (
+        ArrayDataset(inputs=x, targets=np.stack(fwd_targets)),
+        ArrayDataset(inputs=x, targets=np.stack(bwd_targets)),
+    )

@@ -1,0 +1,124 @@
+"""The communication cost models (Figure 5, right).
+
+One MLP per direction (forward embeddings / backward gradients) predicts
+the per-device all-to-all latencies from the per-device *starting
+timestamps* and *transfer data sizes* (Section 3.2).  The input is the
+concatenation ``[starts_normalized | sizes_normalized]`` of length ``2D``
+and the output has one latency per device, so a trained model is specific
+to a device count — matching the paper, which trains separate models for
+the 4-GPU, 8-GPU and 128-GPU settings (Table 2).
+
+The architecture is the paper's 128-64-32-16 MLP with a final linear
+projection to ``D`` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Module, Sequential
+
+__all__ = ["CommCostModel", "comm_features"]
+
+#: Start timestamps are divided by this before entering the MLP.
+_START_SCALE_MS = 10.0
+#: Transfer sizes are divided by this (bytes) before entering the MLP.
+_SIZE_SCALE_BYTES = 1.0e8
+
+
+def comm_features(
+    device_dims: Sequence[int],
+    start_times_ms: Sequence[float],
+    batch_size: int,
+) -> np.ndarray:
+    """Feature vector for one collective: ``[starts | sizes]``.
+
+    The transferred data size of device ``d`` is ``batch * device_dim_d *
+    4`` bytes (Section 2.2); both halves are scaled to O(1).
+    """
+    dims = np.asarray(device_dims, dtype=np.float64)
+    starts = np.asarray(start_times_ms, dtype=np.float64)
+    if dims.shape != starts.shape or dims.ndim != 1:
+        raise ValueError(
+            f"device_dims {dims.shape} and start_times_ms {starts.shape} must "
+            "be equal-length 1-D sequences"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    sizes = dims * batch_size * 4.0
+    return np.concatenate([starts / _START_SCALE_MS, sizes / _SIZE_SCALE_BYTES])
+
+
+class CommCostModel(Module):
+    """Per-device all-to-all latency regressor for a fixed device count.
+
+    Args:
+        num_devices: ``D``; inputs are ``2D`` wide, outputs ``D`` wide.
+        hidden: MLP hidden sizes (paper: 128-64-32-16).
+        rng: weight-initialization generator.
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        hidden: Sequence[int] = (128, 64, 32, 16),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if not hidden:
+            raise ValueError("hidden must be non-empty")
+        self.num_devices = num_devices
+        self.mlp = Sequential.mlp(
+            [2 * num_devices, *hidden, num_devices],
+            rng=rng or np.random.default_rng(0),
+            name="comm",
+        )
+        # Training happens in standardized target space; ``predict``
+        # maps raw outputs back to milliseconds.
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    def set_target_stats(self, mean: float, std: float) -> None:
+        """Record the affine transform from raw outputs to milliseconds."""
+        if std <= 0:
+            raise ValueError(f"std must be > 0, got {std}")
+        self.target_mean = float(mean)
+        self.target_std = float(std)
+
+    # ------------------------------------------------------------------
+    # batch interface (used by the Trainer)
+    # ------------------------------------------------------------------
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Predict per-device latencies ``[N, D]`` from features ``[N, 2D]``."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if x.shape[1] != 2 * self.num_devices:
+            raise ValueError(
+                f"expected {2 * self.num_devices} features, got {x.shape[1]}"
+            )
+        return self.mlp.forward(x)
+
+    def backward_batch(self, grad: np.ndarray) -> None:
+        self.mlp.backward(np.asarray(grad, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # convenience prediction
+    # ------------------------------------------------------------------
+
+    def predict(
+        self,
+        device_dims: Sequence[int],
+        start_times_ms: Sequence[float],
+        batch_size: int,
+    ) -> np.ndarray:
+        """Per-device predicted latencies (ms) for one collective."""
+        if len(device_dims) != self.num_devices:
+            raise ValueError(
+                f"model is for {self.num_devices} devices, got {len(device_dims)}"
+            )
+        feats = comm_features(device_dims, start_times_ms, batch_size)
+        raw = self.forward_batch(feats[None, :])[0]
+        return self.target_mean + self.target_std * raw

@@ -1,0 +1,150 @@
+"""The computation cost model (Figure 5, left).
+
+Architecture, following the paper (Appendix C): a *shared* MLP of size
+128-32 processes each table's feature vector into a table representation;
+the representations of a combination are element-wise summed into a
+fixed-size combination representation; a head MLP of size 32-64 produces
+the predicted forward+backward latency.  The sum pooling makes the model
+permutation-invariant and size-agnostic — it can score any number of
+tables, which is what makes it "once-for-all".
+
+A batch of samples is a list of feature matrices (one per combination);
+they are concatenated row-wise with a segment-id vector so the shared MLP
+runs over all tables of the batch at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module, ReLU, SegmentSum, Sequential
+
+__all__ = ["ComputeCostModel"]
+
+
+class ComputeCostModel(Module):
+    """Shared-MLP + sum-pooling + head latency regressor.
+
+    Args:
+        num_features: width of each table's feature vector.
+        table_hidden: hidden sizes of the shared table MLP
+            (paper: ``(128, 32)``).
+        head_hidden: hidden sizes of the head MLP (paper: ``(64,)`` on a
+            32-wide input, i.e. "32-64" then a scalar output).
+        rng: weight-initialization generator.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        table_hidden: Sequence[int] = (128, 32),
+        head_hidden: Sequence[int] = (64,),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        if not table_hidden or not head_hidden:
+            raise ValueError("hidden size tuples must be non-empty")
+        rng = rng or np.random.default_rng(0)
+        self.num_features = num_features
+        self.table_mlp = Sequential.mlp(
+            [num_features, *table_hidden], rng=rng, final_activation=True,
+            name="table",
+        )
+        self.pool = SegmentSum()
+        self.head_mlp = Sequential.mlp(
+            [table_hidden[-1], *head_hidden, 1], rng=rng, name="head"
+        )
+        # Latencies span two orders of magnitude; training happens in
+        # standardized target space (set by the pre-training pipeline via
+        # :meth:`set_target_stats`) and ``predict_*`` map back to ms.
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    # ------------------------------------------------------------------
+    # batch interface (used by the Trainer)
+    # ------------------------------------------------------------------
+
+    def forward_batch(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict latencies for a batch of combinations.
+
+        Args:
+            inputs: per-sample feature matrices ``[T_i, F]`` (``T_i`` may
+                vary; empty combinations are legal and predict the bias).
+
+        Returns:
+            1-D array of predicted latencies, one per combination.
+        """
+        if len(inputs) == 0:
+            raise ValueError("batch must contain at least one combination")
+        mats = [np.atleast_2d(np.asarray(m, dtype=np.float64)) for m in inputs]
+        for i, m in enumerate(mats):
+            if m.size and m.shape[1] != self.num_features:
+                raise ValueError(
+                    f"combination {i} has {m.shape[1]} features, expected "
+                    f"{self.num_features}"
+                )
+        rows = np.concatenate(
+            [m for m in mats if m.size] or [np.zeros((0, self.num_features))]
+        )
+        segments = np.concatenate(
+            [
+                np.full(m.shape[0], i, dtype=np.int64)
+                for i, m in enumerate(mats)
+                if m.size
+            ]
+            or [np.zeros(0, dtype=np.int64)]
+        )
+        table_repr = (
+            self.table_mlp.forward(rows)
+            if rows.size
+            else np.zeros((0, self._repr_width()))
+        )
+        self._had_rows = rows.shape[0] > 0
+        pooled = self.pool.forward(table_repr, segments, len(mats))
+        return self.head_mlp.forward(pooled)[:, 0]
+
+    def backward_batch(self, grad: np.ndarray) -> None:
+        """Backprop the per-sample latency gradient of the last batch."""
+        grad = np.asarray(grad, dtype=np.float64)[:, None]
+        grad_pooled = self.head_mlp.backward(grad)
+        grad_rows = self.pool.backward(grad_pooled)
+        if self._had_rows:
+            self.table_mlp.backward(grad_rows)
+
+    def _repr_width(self) -> int:
+        # Output width of the table MLP = input width of the head MLP.
+        first_head = self.head_mlp.modules[0]
+        assert isinstance(first_head, Linear)
+        return first_head.in_features
+
+    # ------------------------------------------------------------------
+    # target standardization
+    # ------------------------------------------------------------------
+
+    def set_target_stats(self, mean: float, std: float) -> None:
+        """Record the affine transform from raw outputs to milliseconds.
+
+        ``forward_batch`` stays in standardized space (that is what the
+        trainer optimizes); ``predict_*`` return
+        ``mean + std * raw_output``.
+        """
+        if std <= 0:
+            raise ValueError(f"std must be > 0, got {std}")
+        self.target_mean = float(mean)
+        self.target_std = float(std)
+
+    # ------------------------------------------------------------------
+    # convenience prediction (real milliseconds)
+    # ------------------------------------------------------------------
+
+    def predict_one(self, features_matrix: np.ndarray) -> float:
+        """Latency (ms) of a single combination given its feature matrix."""
+        return float(self.predict_many([features_matrix])[0])
+
+    def predict_many(self, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        """Latencies (ms) for many combinations."""
+        raw = self.forward_batch(list(matrices))
+        return self.target_mean + self.target_std * raw

@@ -1,0 +1,115 @@
+"""Cost-model drift monitoring (Section 3.2, deployment notes).
+
+In production, index distributions shift over time, degrading the cost
+models.  The paper: "One could also periodically calculate the prediction
+errors of the cost model by sampling a batch of table indices and trigger
+re-training or fine-tuning when the error exceeds a certain threshold."
+This module implements that monitor: it samples fresh table combinations,
+measures the (current) hardware, compares against the model's predictions
+and recommends re-training when the rolling error exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import rng_from_seed
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.data.pool import TablePool
+from repro.hardware.cluster import SimulatedCluster
+
+__all__ = ["DriftReport", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift probe.
+
+    Attributes:
+        probe_mse: MSE of the probe batch.
+        rolling_mse: mean MSE over the monitor's window.
+        needs_retraining: rolling MSE exceeded the threshold.
+    """
+
+    probe_mse: float
+    rolling_mse: float
+    needs_retraining: bool
+
+
+class DriftMonitor:
+    """Periodic prediction-error probe with a rolling window.
+
+    Args:
+        models: the deployed cost-model bundle.
+        cluster: the *current* hardware/workload to probe against (pass a
+            cluster with a different noise seed or spec to simulate
+            drift).
+        pool: tables to sample probe combinations from.
+        threshold_mse: rolling-MSE level that triggers re-training.  The
+            paper's Table 2 test MSEs are ~0.2, so a few times that is a
+            reasonable default.
+        window: number of probes in the rolling window.
+    """
+
+    def __init__(
+        self,
+        models: PretrainedCostModels,
+        cluster: SimulatedCluster,
+        pool: TablePool,
+        threshold_mse: float = 1.0,
+        window: int = 8,
+    ) -> None:
+        if threshold_mse <= 0:
+            raise ValueError(f"threshold_mse must be > 0, got {threshold_mse}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if models.batch_size != cluster.batch_size:
+            raise ValueError(
+                f"model batch size {models.batch_size} != cluster batch size "
+                f"{cluster.batch_size}"
+            )
+        self.models = models
+        self.cluster = cluster
+        self.pool = pool
+        self.threshold_mse = threshold_mse
+        self._history: deque[float] = deque(maxlen=window)
+
+    def probe(
+        self,
+        num_samples: int = 16,
+        seed: int | np.random.Generator = 0,
+        max_tables: int = 15,
+    ) -> DriftReport:
+        """Sample combinations, measure, compare, and report.
+
+        Args:
+            num_samples: probe batch size.
+            seed: sampling seed.
+            max_tables: upper bound of tables per probe combination.
+        """
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        rng = rng_from_seed(seed)
+        combos = self.pool.sample_combinations(
+            num_samples, rng, min_tables=1, max_tables=max_tables
+        )
+        feats = [self.models.featurizer.features_matrix(c) for c in combos]
+        predictions = self.models.compute.predict_many(feats)
+        measured = np.array(
+            [self.cluster.measure_compute(c) for c in combos]
+        )
+        probe_mse = float(np.mean((predictions - measured) ** 2))
+        self._history.append(probe_mse)
+        rolling = float(np.mean(self._history))
+        return DriftReport(
+            probe_mse=probe_mse,
+            rolling_mse=rolling,
+            needs_retraining=rolling > self.threshold_mse,
+        )
+
+    def reset(self) -> None:
+        """Clear the rolling window (call after re-training)."""
+        self._history.clear()

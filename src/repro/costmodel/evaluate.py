@@ -1,0 +1,69 @@
+"""Cost-model accuracy metrics (Section 4.2 / Figure 8).
+
+The paper evaluates the cost models with test MSE (Table 2) and with a
+scatter of simulated-vs-real costs over random sharding plans whose rank
+agreement is summarized by Kendall's tau (Figure 8 left, tau = 0.97).
+Rank agreement is the metric that matters for search: the searcher only
+needs the simulator to *order* plans correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["mse", "kendall_tau", "ScatterEval", "scatter_eval"]
+
+
+def mse(predictions: Sequence[float], targets: Sequence[float]) -> float:
+    """Mean-squared error."""
+    p = np.asarray(predictions, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.mean((p - t) ** 2))
+
+
+def kendall_tau(predictions: Sequence[float], targets: Sequence[float]) -> float:
+    """Kendall's rank-correlation tau between predictions and targets."""
+    p = np.asarray(predictions, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    if p.size < 2:
+        raise ValueError("need at least two samples for rank correlation")
+    tau = stats.kendalltau(p, t).statistic
+    return float(tau)
+
+
+@dataclass(frozen=True)
+class ScatterEval:
+    """Paired simulated/real costs plus summary statistics."""
+
+    simulated: tuple[float, ...]
+    real: tuple[float, ...]
+    tau: float
+    mse: float
+
+    @property
+    def mean_absolute_error(self) -> float:
+        s = np.asarray(self.simulated)
+        r = np.asarray(self.real)
+        return float(np.mean(np.abs(s - r)))
+
+
+def scatter_eval(
+    simulated: Sequence[float], real: Sequence[float]
+) -> ScatterEval:
+    """Bundle a simulated-vs-real comparison (Figure 8 left)."""
+    return ScatterEval(
+        simulated=tuple(float(x) for x in simulated),
+        real=tuple(float(x) for x in real),
+        tau=kendall_tau(simulated, real),
+        mse=mse(simulated, real),
+    )

@@ -1,0 +1,113 @@
+"""Per-table feature extraction for the computation cost model.
+
+Section 2.1 identifies the cost-relevant factors: dimension, hash size,
+pooling factor and the indices distribution (access skew, unique rows per
+batch).  Following AutoShard (Zha et al., 2022a), each table is encoded as
+a fixed vector of those factors plus distribution summaries; the batch
+size is fixed per deployment, so batch-dependent quantities (indices per
+batch, expected unique rows) are features, not inputs.
+
+All heavy-tailed quantities enter in log scale and are shifted/scaled to
+O(1) magnitudes so the MLP trains without per-dataset normalization
+statistics (which would complicate the "once-for-all" deployment story —
+a pre-trained model must featurize unseen tables identically).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import TableConfig
+
+__all__ = ["TableFeaturizer"]
+
+#: Concentration quantiles summarizing the access distribution: the mass
+#: hitting the hottest 0.1% / 1% / 10% of rows.
+_CONCENTRATION_FRACTIONS = (0.001, 0.01, 0.1)
+
+
+class TableFeaturizer:
+    """Maps a :class:`TableConfig` to the cost model's feature vector.
+
+    Args:
+        batch_size: the deployment batch size (fixed per trained model;
+            a model trained for one batch size must be re-trained for
+            another, like the paper's per-setting models in Table 2).
+
+    The feature layout (``num_features`` wide) is::
+
+        0  log2(dim)                      5  log10(indices per batch)
+        1  dim / 128                      6  unique fraction of the batch
+        2  log10(hash size)               7  log10(expected unique rows)
+        3  log10(pooling factor + 1)      8  zipf alpha
+        4  pooling factor / 100           9  log10(table bytes)
+        10..12  access concentration at the hottest 0.1% / 1% / 10%
+        13 dim * pooling / 1000  (lookup workload, the "lookup-based"
+           greedy heuristic, as a learned-model input)
+        14 constant 1.0 — sums to the table count under the pooling,
+           letting the head model the fused-kernel speedup, which is a
+           function of how many tables are fused (Observation 2)
+
+    Feature vectors are cached per table ``uid`` — the search queries the
+    same tables thousands of times.
+    """
+
+    NUM_FEATURES = 15
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def num_features(self) -> int:
+        return self.NUM_FEATURES
+
+    def features(self, table: TableConfig) -> np.ndarray:
+        """Feature vector of one table (cached)."""
+        cached = self._cache.get(table.uid)
+        if cached is not None:
+            return cached
+        b = self.batch_size
+        indices = table.indices_per_batch(b)
+        unique = table.expected_unique_rows(b)
+        vec = np.array(
+            [
+                np.log2(table.dim),
+                table.dim / 128.0,
+                np.log10(table.hash_size),
+                np.log10(table.pooling_factor + 1.0),
+                table.pooling_factor / 100.0,
+                np.log10(indices),
+                unique / indices,
+                np.log10(unique + 1.0),
+                table.zipf_alpha,
+                np.log10(table.size_bytes),
+                *(
+                    table.access_concentration(f)
+                    for f in _CONCENTRATION_FRACTIONS
+                ),
+                table.dim * table.pooling_factor / 1000.0,
+                1.0,
+            ],
+            dtype=np.float64,
+        )
+        if vec.shape != (self.NUM_FEATURES,):
+            raise AssertionError(
+                f"feature layout drifted: got {vec.shape}, "
+                f"expected ({self.NUM_FEATURES},)"
+            )
+        self._cache[table.uid] = vec
+        return vec
+
+    def features_matrix(self, tables: Sequence[TableConfig]) -> np.ndarray:
+        """Stacked feature rows for a table combination ``[T, F]``."""
+        if len(tables) == 0:
+            return np.zeros((0, self.NUM_FEATURES))
+        return np.stack([self.features(t) for t in tables])
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,229 @@
+"""Linear cost models — the "even simpler network" the paper rules out.
+
+Section 4.2: *"the result does not imply that we can use a simpler model.
+The current neural architecture of NeuroShard is already very shallow.
+An even simpler network (i.e., a linear one) may not work due to the
+non-linearity of the costs."*  This module makes that claim testable:
+
+:class:`LinearComputeCostModel` is the strongest linear competitor one
+can build on the same features — closed-form ridge regression on the
+*pooled* combination representation (the element-wise sum of per-table
+feature vectors, plus the table count).  Sum-pooling is the only
+aggregation that keeps the model linear in per-table quantities, and it
+is exactly the structure a mixed-integer formulation (RecShard) needs:
+``cost(S) = w · sum_t phi(t) + b``.  What it *cannot* represent is
+Observation 2 — the fused multi-table cost being non-linear in the
+single-table sums — which is where the MLP earns its keep.
+
+:class:`LinearCommCostModel` is the analogous ridge regressor on the
+communication features.
+
+Both expose the same ``predict_*`` / ``set_target_stats`` interface as
+the neural models, so they can be dropped into a
+:class:`~repro.costmodel.pretrain.PretrainedCostModels` bundle and run
+through the full search — the extension benchmark does precisely this to
+measure the end-to-end sharding cost of linear cost modeling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset
+
+__all__ = [
+    "LinearComputeCostModel",
+    "LinearCommCostModel",
+    "fit_linear_compute_model",
+    "fit_linear_comm_model",
+]
+
+
+def _ridge_fit(x: np.ndarray, y: np.ndarray, l2: float) -> np.ndarray:
+    """Closed-form ridge solution with an unpenalized bias column.
+
+    Returns the stacked coefficient matrix ``[F+1, O]`` whose last row is
+    the bias.
+    """
+    n, f = x.shape
+    xb = np.concatenate([x, np.ones((n, 1))], axis=1)
+    reg = l2 * np.eye(f + 1)
+    reg[-1, -1] = 0.0  # do not shrink the bias
+    gram = xb.T @ xb + reg
+    return np.linalg.solve(gram, xb.T @ y)
+
+
+def _pooled_features(matrix: np.ndarray, num_features: int) -> np.ndarray:
+    """Sum-pool a combination's [T, F] feature matrix to [F+1]
+    (feature sums plus the table count)."""
+    mat = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    if mat.size == 0:
+        return np.zeros(num_features + 1)
+    if mat.shape[1] != num_features:
+        raise ValueError(
+            f"combination has {mat.shape[1]} features, expected {num_features}"
+        )
+    return np.concatenate([mat.sum(axis=0), [float(mat.shape[0])]])
+
+
+class LinearComputeCostModel:
+    """Ridge regression on sum-pooled table features.
+
+    Interface-compatible with
+    :class:`~repro.costmodel.compute_model.ComputeCostModel` for
+    prediction, so a bundle carrying it runs through the unmodified
+    search.
+
+    Args:
+        num_features: width of each table's feature vector.
+        l2: ridge penalty.
+    """
+
+    def __init__(self, num_features: int, l2: float = 1e-3) -> None:
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.num_features = num_features
+        self.l2 = l2
+        self._coef: np.ndarray | None = None  # [F+2] incl. count + bias
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, matrices: Sequence[np.ndarray], targets: Sequence[float]) -> float:
+        """Closed-form fit; returns the training MSE in ms²."""
+        if len(matrices) != len(targets):
+            raise ValueError(
+                f"{len(matrices)} inputs but {len(targets)} targets"
+            )
+        if len(matrices) == 0:
+            raise ValueError("need at least one sample")
+        x = np.stack(
+            [_pooled_features(m, self.num_features) for m in matrices]
+        )
+        y = np.asarray(targets, dtype=np.float64)
+        self._coef = _ridge_fit(x, y[:, None], self.l2)[:, 0]
+        preds = self._predict_pooled(x)
+        return float(np.mean((preds - y) ** 2))
+
+    def _predict_pooled(self, x: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        xb = np.concatenate([x, np.ones((len(x), 1))], axis=1)
+        return xb @ self._coef
+
+    # ------------------------------------------------------------------
+    # ComputeCostModel-compatible prediction
+    # ------------------------------------------------------------------
+
+    def set_target_stats(self, mean: float, std: float) -> None:
+        """Kept for interface parity; ridge fits in raw ms directly."""
+        if std <= 0:
+            raise ValueError(f"std must be > 0, got {std}")
+        self.target_mean = float(mean)
+        self.target_std = float(std)
+
+    def predict_many(self, matrices: Sequence[np.ndarray]) -> np.ndarray:
+        """Latencies (ms) for many combinations."""
+        if self._coef is None:
+            raise RuntimeError("fit() the model before predicting")
+        x = np.stack(
+            [_pooled_features(m, self.num_features) for m in matrices]
+        )
+        return self._predict_pooled(x)
+
+    def predict_one(self, features_matrix: np.ndarray) -> float:
+        return float(self.predict_many([features_matrix])[0])
+
+
+class LinearCommCostModel:
+    """Ridge regression on the flat communication feature rows.
+
+    Interface-compatible with
+    :class:`~repro.costmodel.comm_model.CommCostModel.predict`.
+
+    Args:
+        num_devices: collective size (output width).
+        l2: ridge penalty.
+    """
+
+    def __init__(self, num_devices: int, l2: float = 1e-3) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.num_devices = num_devices
+        self.l2 = l2
+        self._coef: np.ndarray | None = None
+        self.target_mean = 0.0
+        self.target_std = 1.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Closed-form fit; returns the training MSE in ms²."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2:
+            raise ValueError("features and targets must be 2-D")
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} inputs but {len(y)} targets")
+        if y.shape[1] != self.num_devices:
+            raise ValueError(
+                f"targets have {y.shape[1]} devices, model has "
+                f"{self.num_devices}"
+            )
+        self._coef = _ridge_fit(x, y, self.l2)
+        preds = self._predict_rows(x)
+        return float(np.mean((preds - y) ** 2))
+
+    def _predict_rows(self, x: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        xb = np.concatenate([x, np.ones((len(x), 1))], axis=1)
+        return xb @ self._coef
+
+    def set_target_stats(self, mean: float, std: float) -> None:
+        if std <= 0:
+            raise ValueError(f"std must be > 0, got {std}")
+        self.target_mean = float(mean)
+        self.target_std = float(std)
+
+    def predict(
+        self,
+        device_dims: Sequence[int],
+        start_times_ms: Sequence[float],
+        batch_size: int,
+    ) -> np.ndarray:
+        """Per-device latencies (ms) for one collective query."""
+        if self._coef is None:
+            raise RuntimeError("fit() the model before predicting")
+        from repro.costmodel.comm_model import comm_features
+
+        row = comm_features(device_dims, start_times_ms, batch_size)
+        return self._predict_rows(row[None, :])[0]
+
+
+def fit_linear_compute_model(
+    data: ArrayDataset, num_features: int, l2: float = 1e-3
+) -> tuple[LinearComputeCostModel, float]:
+    """Fit a linear compute model on a collected dataset.
+
+    Returns ``(model, training MSE in ms²)``.
+    """
+    model = LinearComputeCostModel(num_features, l2=l2)
+    train_mse = model.fit(list(data.inputs), np.asarray(data.targets))
+    return model, train_mse
+
+
+def fit_linear_comm_model(
+    data: ArrayDataset, num_devices: int, l2: float = 1e-3
+) -> tuple[LinearCommCostModel, float]:
+    """Fit a linear communication model on a collected dataset."""
+    model = LinearCommCostModel(num_devices, l2=l2)
+    train_mse = model.fit(
+        np.asarray(data.inputs), np.asarray(data.targets)
+    )
+    return model, train_mse

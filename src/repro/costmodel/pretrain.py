@@ -1,0 +1,289 @@
+"""End-to-end cost-model pre-training (Figure 6, top + middle rows).
+
+``pretrain_cost_models`` runs the full pipeline the paper describes:
+augment the table pool, generate random combinations and placements,
+micro-benchmark them on the (simulated) cluster, and train the three
+neural cost models — computation, forward communication and backward
+communication — keeping each model's best-validation weights.
+
+The result is a :class:`PretrainedCostModels` bundle: the universal
+simulator the online search queries.  Bundles serialize to a directory of
+``.npz`` files plus a metadata file for the production version-control
+story of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import (
+    CollectionConfig,
+    TrainConfig,
+    rng_from_seed,
+    spawn_rngs,
+)
+from repro.costmodel.collect import collect_comm_data, collect_compute_data
+from repro.costmodel.comm_model import CommCostModel
+from repro.costmodel.compute_model import ComputeCostModel
+from repro.costmodel.features import TableFeaturizer
+from repro.data.pool import TablePool
+from repro.hardware.cluster import SimulatedCluster
+from repro.nn.data import ArrayDataset, train_valid_test_split
+from repro.nn.serialize import load_params, save_params
+from repro.nn.train import Trainer, TrainResult
+
+__all__ = [
+    "CostModelReport",
+    "PretrainedCostModels",
+    "fit_standardized",
+    "pretrain_cost_models",
+]
+
+
+def fit_standardized(
+    model,
+    data: ArrayDataset,
+    trainer: Trainer,
+    train_frac: float,
+    valid_frac: float,
+    split_rng: np.random.Generator,
+    fit_seed: int,
+) -> TrainResult:
+    """Split, standardize targets, fit, and rescale metrics to ms².
+
+    Latency targets span two orders of magnitude; training in
+    standardized space converges far faster at the paper's fixed learning
+    rate.  The model stores the affine transform so its ``predict_*``
+    methods stay in milliseconds, and the returned losses/MSEs are
+    rescaled back to ms² so reports (Table 2) are in physical units.
+    """
+    tr, va, te = train_valid_test_split(data, train_frac, valid_frac, split_rng)
+    mean = float(np.mean(tr.targets))
+    std = float(np.std(tr.targets))
+    if std <= 0:
+        std = 1.0
+    model.set_target_stats(mean, std)
+
+    def standardized(ds: ArrayDataset) -> ArrayDataset:
+        return ArrayDataset(
+            inputs=ds.inputs,
+            targets=(np.asarray(ds.targets, dtype=np.float64) - mean) / std,
+        )
+
+    result = trainer.fit(
+        model, standardized(tr), standardized(va), standardized(te), seed=fit_seed
+    )
+    scale = std * std
+    result.test_mse *= scale
+    result.best_valid_mse *= scale
+    result.train_losses = [l * scale for l in result.train_losses]
+    result.valid_losses = [l * scale for l in result.valid_losses]
+    return result
+
+
+@dataclass
+class CostModelReport:
+    """Training outcome of the three cost models (paper Table 2 column)."""
+
+    compute: TrainResult
+    forward_comm: TrainResult
+    backward_comm: TrainResult
+
+    def test_mse_rows(self) -> dict[str, float]:
+        """The Table 2 rows: test MSE per model."""
+        return {
+            "Computation": self.compute.test_mse,
+            "Forward Communication": self.forward_comm.test_mse,
+            "Backward Communication": self.backward_comm.test_mse,
+        }
+
+
+@dataclass
+class PretrainedCostModels:
+    """The pre-trained sharding simulator bundle.
+
+    Attributes:
+        compute: computation cost model (any device's table set).
+        forward_comm / backward_comm: per-direction collective models,
+            specific to ``num_devices``.
+        featurizer: the table featurizer the compute model was trained
+            with (its batch size is part of the model contract).
+        num_devices: device count of the comm models.
+        batch_size: deployment batch size.
+    """
+
+    compute: ComputeCostModel
+    forward_comm: CommCostModel
+    backward_comm: CommCostModel
+    featurizer: TableFeaturizer
+    num_devices: int
+    batch_size: int
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    _META_FILE = "metadata.json"
+
+    def save(self, directory: str | os.PathLike) -> None:
+        """Write the bundle to ``directory`` (created if missing)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_params(self.compute, directory / "compute.npz")
+        save_params(self.forward_comm, directory / "forward_comm.npz")
+        save_params(self.backward_comm, directory / "backward_comm.npz")
+        meta = {
+            "num_devices": self.num_devices,
+            "batch_size": self.batch_size,
+            "num_features": self.featurizer.num_features,
+            "target_stats": {
+                "compute": [self.compute.target_mean, self.compute.target_std],
+                "forward_comm": [
+                    self.forward_comm.target_mean,
+                    self.forward_comm.target_std,
+                ],
+                "backward_comm": [
+                    self.backward_comm.target_mean,
+                    self.backward_comm.target_std,
+                ],
+            },
+        }
+        (directory / self._META_FILE).write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "PretrainedCostModels":
+        """Load a bundle saved by :meth:`save`."""
+        directory = Path(directory)
+        meta_path = directory / cls._META_FILE
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no cost-model bundle at {directory}")
+        meta = json.loads(meta_path.read_text())
+        featurizer = TableFeaturizer(batch_size=int(meta["batch_size"]))
+        if featurizer.num_features != int(meta["num_features"]):
+            raise ValueError(
+                "feature layout mismatch: bundle was saved with "
+                f"{meta['num_features']} features, current code has "
+                f"{featurizer.num_features}"
+            )
+        compute = ComputeCostModel(num_features=featurizer.num_features)
+        fwd = CommCostModel(num_devices=int(meta["num_devices"]))
+        bwd = CommCostModel(num_devices=int(meta["num_devices"]))
+        load_params(compute, directory / "compute.npz")
+        load_params(fwd, directory / "forward_comm.npz")
+        load_params(bwd, directory / "backward_comm.npz")
+        stats = meta.get("target_stats", {})
+        for name, model in (
+            ("compute", compute),
+            ("forward_comm", fwd),
+            ("backward_comm", bwd),
+        ):
+            if name in stats:
+                model.set_target_stats(*stats[name])
+        return cls(
+            compute=compute,
+            forward_comm=fwd,
+            backward_comm=bwd,
+            featurizer=featurizer,
+            num_devices=int(meta["num_devices"]),
+            batch_size=int(meta["batch_size"]),
+        )
+
+
+def pretrain_cost_models(
+    cluster: SimulatedCluster,
+    pool: TablePool,
+    collection: CollectionConfig | None = None,
+    train: TrainConfig | None = None,
+    seed: int = 0,
+) -> tuple[PretrainedCostModels, CostModelReport]:
+    """Collect micro-benchmark data and train all three cost models.
+
+    Args:
+        cluster: the (simulated) hardware to benchmark on.
+        pool: table pool; its augmentation grid is taken from
+            ``collection.augment_dims``.
+        collection: data-collection sizes (paper: 100K samples each).
+        train: training hyperparameters (paper: Adam 1e-3, 1000 epochs,
+            batch 512, 80/10/10 split).
+        seed: master seed; collection, initialization and training derive
+            independent streams from it.
+
+    Returns:
+        ``(bundle, report)`` — the pre-trained simulator and the
+        train/valid/test outcome per model.
+    """
+    collection = collection or CollectionConfig()
+    train_cfg = train or TrainConfig()
+    (
+        rng_collect_compute,
+        rng_collect_comm,
+        rng_init,
+        rng_split,
+        rng_fit,
+    ) = spawn_rngs(seed, 5)
+
+    featurizer = TableFeaturizer(batch_size=cluster.batch_size)
+    trainer = Trainer(train_cfg)
+
+    # --- computation cost model ---------------------------------------
+    compute_data = collect_compute_data(
+        cluster, pool, featurizer, collection, rng_collect_compute
+    )
+    compute_model = ComputeCostModel(
+        num_features=featurizer.num_features, rng=rng_init
+    )
+    compute_result = fit_standardized(
+        compute_model,
+        compute_data,
+        trainer,
+        train_cfg.train_frac,
+        train_cfg.valid_frac,
+        rng_split,
+        int(rng_fit.integers(2**31)),
+    )
+
+    # --- communication cost models ------------------------------------
+    fwd_data, bwd_data = collect_comm_data(
+        cluster, pool, collection, rng_collect_comm
+    )
+    fwd_model = CommCostModel(num_devices=cluster.num_devices, rng=rng_init)
+    fwd_result = fit_standardized(
+        fwd_model,
+        fwd_data,
+        trainer,
+        train_cfg.train_frac,
+        train_cfg.valid_frac,
+        rng_split,
+        int(rng_fit.integers(2**31)),
+    )
+
+    bwd_model = CommCostModel(num_devices=cluster.num_devices, rng=rng_init)
+    bwd_result = fit_standardized(
+        bwd_model,
+        bwd_data,
+        trainer,
+        train_cfg.train_frac,
+        train_cfg.valid_frac,
+        rng_split,
+        int(rng_fit.integers(2**31)),
+    )
+
+    bundle = PretrainedCostModels(
+        compute=compute_model,
+        forward_comm=fwd_model,
+        backward_comm=bwd_model,
+        featurizer=featurizer,
+        num_devices=cluster.num_devices,
+        batch_size=cluster.batch_size,
+    )
+    report = CostModelReport(
+        compute=compute_result,
+        forward_comm=fwd_result,
+        backward_comm=bwd_result,
+    )
+    return bundle, report

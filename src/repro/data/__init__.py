@@ -1,0 +1,57 @@
+"""Embedding-table data model and synthetic DLRM dataset.
+
+This package replaces the paper's ``dlrm_datasets`` dependency (856
+synthetic Meta-like tables, distributed as a 4 GB PyTorch file) with a
+seeded generator that matches the published statistics (paper Table 6):
+856 tables, average hash size ~4.1 M rows, average pooling factor ~15,
+skewed (Zipf-like) index distributions.
+
+Public API:
+
+- :class:`~repro.data.table.TableConfig` — one embedding table.
+- :func:`~repro.data.synthesis.synthesize_table_pool` — the 856-table pool.
+- :class:`~repro.data.pool.TablePool` — augmentation (Algorithm 3), random
+  combinations (Algorithm 4) and random placements (Algorithm 5).
+- :class:`~repro.data.tasks.ShardingTask` /
+  :func:`~repro.data.tasks.generate_tasks` — benchmark sharding tasks
+  (paper Table 5).
+"""
+
+from repro.data.table import TableConfig, table_set_key, total_size_bytes
+from repro.data.synthesis import (
+    PoolStatistics,
+    pool_statistics,
+    public_dataset_statistics,
+    synthesize_table_pool,
+)
+from repro.data.pool import Placement, TablePool
+from repro.data.tasks import ShardingTask, generate_task_grid, generate_tasks
+from repro.data.io import (
+    load_pool,
+    load_tasks,
+    save_pool,
+    save_tasks,
+    table_from_dict,
+    table_to_dict,
+)
+
+__all__ = [
+    "generate_task_grid",
+    "load_pool",
+    "load_tasks",
+    "save_pool",
+    "save_tasks",
+    "table_from_dict",
+    "table_to_dict",
+    "TableConfig",
+    "table_set_key",
+    "total_size_bytes",
+    "PoolStatistics",
+    "pool_statistics",
+    "public_dataset_statistics",
+    "synthesize_table_pool",
+    "Placement",
+    "TablePool",
+    "ShardingTask",
+    "generate_tasks",
+]

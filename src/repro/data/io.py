@@ -1,0 +1,151 @@
+"""JSON persistence for table pools and sharding tasks.
+
+The paper's artifact ships its processed table configurations and
+generated sharding tasks as files on disk (Appendix I: ``tools/
+gen_dlrm_data.py`` writes ``data/dlrm_datasets``, ``tools/gen_tasks.py``
+writes ``data/tasks/4_gpus``) so that every later stage — data
+collection, training, evaluation — operates on *identical* inputs.  This
+module provides the same decoupling: pools and task batches round-trip
+through human-readable JSON, letting benchmark runs pin their inputs and
+letting users bring their own table configurations.
+
+Format notes:
+
+- Files carry a ``format`` tag and version so stale files fail loudly
+  instead of deserializing garbage.
+- Tables serialize every cost-relevant field of
+  :class:`~repro.data.table.TableConfig`; nothing is derived at load
+  time, so a file is a complete, reproducible description.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.data.pool import TablePool
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+
+__all__ = [
+    "load_pool",
+    "load_tasks",
+    "save_pool",
+    "save_tasks",
+    "table_from_dict",
+    "table_to_dict",
+]
+
+_POOL_FORMAT = "neuroshard-repro/table-pool"
+_TASKS_FORMAT = "neuroshard-repro/sharding-tasks"
+_VERSION = 1
+
+
+def table_to_dict(table: TableConfig) -> dict:
+    """Serialize one table config to plain JSON types."""
+    return {
+        "table_id": table.table_id,
+        "hash_size": table.hash_size,
+        "dim": table.dim,
+        "pooling_factor": table.pooling_factor,
+        "zipf_alpha": table.zipf_alpha,
+        "bytes_per_element": table.bytes_per_element,
+    }
+
+
+def table_from_dict(data: dict) -> TableConfig:
+    """Inverse of :func:`table_to_dict`; validation happens in the
+    ``TableConfig`` constructor."""
+    try:
+        return TableConfig(
+            table_id=int(data["table_id"]),
+            hash_size=int(data["hash_size"]),
+            dim=int(data["dim"]),
+            pooling_factor=float(data["pooling_factor"]),
+            zipf_alpha=float(data["zipf_alpha"]),
+            bytes_per_element=int(data.get("bytes_per_element", 4)),
+        )
+    except KeyError as exc:
+        raise ValueError(f"table record missing field {exc}") from None
+
+
+def _check_header(data: dict, expected_format: str, path: Path) -> None:
+    if not isinstance(data, dict) or data.get("format") != expected_format:
+        raise ValueError(
+            f"{path} is not a {expected_format} file "
+            f"(format tag: {data.get('format') if isinstance(data, dict) else None!r})"
+        )
+    version = data.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path} has format version {version}, this code reads {_VERSION}"
+        )
+
+
+def save_pool(pool: TablePool, path: str | os.PathLike) -> None:
+    """Write a pool (base tables + augmentation grid) to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": _POOL_FORMAT,
+        "version": _VERSION,
+        "augment_dims": list(pool.augment_dims),
+        "tables": [table_to_dict(t) for t in pool.tables],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def load_pool(path: str | os.PathLike) -> TablePool:
+    """Load a pool saved by :func:`save_pool`."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    _check_header(data, _POOL_FORMAT, path)
+    tables = [table_from_dict(t) for t in data["tables"]]
+    return TablePool(tables, augment_dims=data["augment_dims"])
+
+
+def save_tasks(tasks: Sequence[ShardingTask], path: str | os.PathLike) -> None:
+    """Write a batch of sharding tasks to JSON."""
+    if not tasks:
+        raise ValueError("cannot save an empty task batch")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": _TASKS_FORMAT,
+        "version": _VERSION,
+        "tasks": [
+            {
+                "task_id": task.task_id,
+                "num_devices": task.num_devices,
+                "memory_bytes": task.memory_bytes,
+                "tables": [table_to_dict(t) for t in task.tables],
+            }
+            for task in tasks
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def load_tasks(path: str | os.PathLike) -> list[ShardingTask]:
+    """Load a task batch saved by :func:`save_tasks`."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    _check_header(data, _TASKS_FORMAT, path)
+    tasks = []
+    for record in data["tasks"]:
+        try:
+            tasks.append(
+                ShardingTask(
+                    tables=tuple(
+                        table_from_dict(t) for t in record["tables"]
+                    ),
+                    num_devices=int(record["num_devices"]),
+                    memory_bytes=int(record["memory_bytes"]),
+                    task_id=int(record.get("task_id", 0)),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(f"task record missing field {exc}") from None
+    return tasks

@@ -1,0 +1,284 @@
+"""Table pool: augmentation and random input generation (Section 3.1).
+
+The pre-training data for the cost models is produced from three
+generators, reproduced here exactly as the paper's appendix pseudo-code:
+
+- **Table augmentation** (Algorithm 3): every pool table is replicated at
+  every dimension of the augmentation grid, so the cost models see all the
+  dimensions that feature selection or column-wise sharding can create.
+- **Random table combination generation** (Algorithm 4): uniform table
+  count ``T`` in a range, then ``T`` tables sampled from the augmented
+  pool — the computation-cost micro-benchmark inputs.
+- **Random table placement generation** (Algorithm 5): a
+  greedy-with-probability-``p`` allocation across ``D`` devices where
+  ``p ~ U[0, 1]`` per placement, covering the whole spectrum from
+  perfectly dimension-balanced to fully random placements — the
+  communication-cost micro-benchmark inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import DIMENSION_GRID, rng_from_seed
+from repro.data.table import TableConfig
+
+__all__ = ["Placement", "TablePool"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A table-to-device assignment produced by Algorithm 5.
+
+    Attributes:
+        per_device: ``per_device[d]`` is the list of tables on device ``d``.
+        greedy_probability: the ``p`` drawn for this placement — the
+            probability each table was placed greedily rather than
+            uniformly at random.  Retained for analysis/debugging.
+    """
+
+    per_device: tuple[tuple[TableConfig, ...], ...]
+    greedy_probability: float
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.per_device)
+
+    @property
+    def device_dims(self) -> list[int]:
+        """Sum of table dimensions per device (the comm-balance proxy)."""
+        return [sum(t.dim for t in dev) for dev in self.per_device]
+
+    @property
+    def num_tables(self) -> int:
+        return sum(len(dev) for dev in self.per_device)
+
+    def device_sizes(self) -> list[int]:
+        """Bytes of embedding weights per device."""
+        return [sum(t.size_bytes for t in dev) for dev in self.per_device]
+
+
+class TablePool:
+    """A pool of embedding tables plus the paper's sampling algorithms.
+
+    Args:
+        tables: base tables (typically from
+            :func:`~repro.data.synthesis.synthesize_table_pool`).
+        augment_dims: dimension grid for Algorithm 3; defaults to the
+            paper's {4, 8, 16, 32, 64, 128}.
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[TableConfig],
+        augment_dims: Sequence[int] = DIMENSION_GRID,
+    ) -> None:
+        if not tables:
+            raise ValueError("tables must not be empty")
+        if not augment_dims:
+            raise ValueError("augment_dims must not be empty")
+        self._tables = list(tables)
+        self._augment_dims = tuple(sorted(set(int(d) for d in augment_dims)))
+        self._augmented: list[TableConfig] | None = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tables(self) -> list[TableConfig]:
+        """The base (un-augmented) tables."""
+        return list(self._tables)
+
+    @property
+    def augment_dims(self) -> tuple[int, ...]:
+        return self._augment_dims
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: table augmentation
+    # ------------------------------------------------------------------
+
+    @property
+    def augmented(self) -> list[TableConfig]:
+        """The augmented pool: every base table at every grid dimension.
+
+        Computed lazily and cached; ``len == len(pool) * len(grid)``.
+        """
+        if self._augmented is None:
+            self._augmented = [
+                t.with_dim(d) for t in self._tables for d in self._augment_dims
+            ]
+        return list(self._augmented)
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: random table combination generation
+    # ------------------------------------------------------------------
+
+    def sample_combination(
+        self,
+        rng: int | np.random.Generator,
+        min_tables: int = 1,
+        max_tables: int = 15,
+    ) -> list[TableConfig]:
+        """One random table combination from the augmented pool.
+
+        Sampling is *with replacement* across calls but without
+        replacement within a combination, matching a multi-table fused
+        kernel input.
+        """
+        if not 1 <= min_tables <= max_tables:
+            raise ValueError(
+                f"need 1 <= min_tables <= max_tables, got {min_tables}..{max_tables}"
+            )
+        rng = rng_from_seed(rng)
+        pool = self.augmented
+        num = int(rng.integers(min_tables, max_tables + 1))
+        num = min(num, len(pool))
+        idx = rng.choice(len(pool), size=num, replace=False)
+        return [pool[i] for i in idx]
+
+    def sample_combinations(
+        self,
+        count: int,
+        rng: int | np.random.Generator,
+        min_tables: int = 1,
+        max_tables: int = 15,
+    ) -> list[list[TableConfig]]:
+        """``count`` combinations (Algorithm 4's outer loop)."""
+        rng = rng_from_seed(rng)
+        return [
+            self.sample_combination(rng, min_tables, max_tables)
+            for _ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 5: random table placement generation
+    # ------------------------------------------------------------------
+
+    def sample_placement(
+        self,
+        rng: int | np.random.Generator,
+        num_devices: int,
+        min_tables: int = 10,
+        max_tables: int = 60,
+        memory_bytes: int | None = None,
+    ) -> Placement:
+        """One random placement across ``num_devices`` devices.
+
+        Implements Algorithm 5: sample ``T`` tables, sort by descending
+        dimension, then place each table greedily (onto the device with the
+        lowest running dimension sum) with probability ``p`` and uniformly
+        at random otherwise, where ``p ~ U[0, 1]`` is drawn once per
+        placement.  Devices that would exceed ``memory_bytes`` are never
+        candidates; tables too large for *any* remaining device are
+        skipped (the communication benchmark only needs valid placements
+        with diverse device dimensions — oversized tables are what
+        column-wise sharding exists for).
+
+        Raises:
+            RuntimeError: if no pool table at all fits an empty device.
+        """
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if not 1 <= min_tables <= max_tables:
+            raise ValueError(
+                f"need 1 <= min_tables <= max_tables, got {min_tables}..{max_tables}"
+            )
+        rng = rng_from_seed(rng)
+        pool = self.augmented
+        if memory_bytes is not None:
+            # A table larger than a whole device can never be placed; the
+            # paper's placement benchmark only exercises placeable tables
+            # (oversized ones are what column-wise sharding is for).
+            pool = [t for t in pool if t.size_bytes <= memory_bytes]
+            if not pool:
+                raise RuntimeError(
+                    f"no pool table fits the {memory_bytes} B device budget"
+                )
+        num = min(int(rng.integers(min_tables, max_tables + 1)), len(pool))
+        idx = rng.choice(len(pool), size=num, replace=False)
+        chosen = sorted((pool[i] for i in idx), key=lambda t: -t.dim)
+
+        p = float(rng.random())
+        device_tables: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+        device_dims = np.zeros(num_devices, dtype=np.int64)
+        device_bytes = np.zeros(num_devices, dtype=np.int64)
+
+        for table in chosen:
+            if memory_bytes is None:
+                candidates = np.arange(num_devices)
+            else:
+                candidates = np.flatnonzero(
+                    device_bytes + table.size_bytes <= memory_bytes
+                )
+                if candidates.size == 0:
+                    # Every device is too full for this table.  The comm
+                    # benchmark only needs *valid* placements with diverse
+                    # device dimensions, so the table is skipped rather
+                    # than failing the whole placement.
+                    continue
+            if rng.random() <= p:
+                # Greedy step: lowest device dimension among candidates.
+                target = int(candidates[np.argmin(device_dims[candidates])])
+            else:
+                target = int(rng.choice(candidates))
+            device_tables[target].append(table)
+            device_dims[target] += table.dim
+            device_bytes[target] += table.size_bytes
+
+        return Placement(
+            per_device=tuple(tuple(dev) for dev in device_tables),
+            greedy_probability=p,
+        )
+
+    def sample_placements(
+        self,
+        count: int,
+        rng: int | np.random.Generator,
+        num_devices: int,
+        min_tables: int = 10,
+        max_tables: int = 60,
+        memory_bytes: int | None = None,
+    ) -> list[Placement]:
+        """``count`` placements (Algorithm 5's outer loop)."""
+        rng = rng_from_seed(rng)
+        return [
+            self.sample_placement(
+                rng, num_devices, min_tables, max_tables, memory_bytes
+            )
+            for _ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # misc sampling helpers
+    # ------------------------------------------------------------------
+
+    def sample_tables(
+        self,
+        count: int,
+        rng: int | np.random.Generator,
+        dims: Sequence[int] | None = None,
+    ) -> list[TableConfig]:
+        """Sample ``count`` distinct base tables, optionally re-dimensioned.
+
+        Used by the sharding-task generator: ``dims`` gives the choices
+        each sampled table's dimension is drawn from.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = rng_from_seed(rng)
+        count = min(count, len(self._tables))
+        idx = rng.choice(len(self._tables), size=count, replace=False)
+        chosen = [self._tables[i] for i in idx]
+        if dims is not None:
+            dims = tuple(dims)
+            if not dims:
+                raise ValueError("dims must not be empty when provided")
+            chosen = [t.with_dim(int(rng.choice(dims))) for t in chosen]
+        return chosen

@@ -1,0 +1,290 @@
+"""Embedding-table configuration and index-distribution math.
+
+An embedding table maps a categorical index to a ``dim``-dimensional float
+vector; a lookup gathers and sum-pools ``pooling_factor`` rows on average
+(Section 2.1).  The cost-relevant attributes identified by the paper are:
+
+- **dimension** — number of columns; drives memory bandwidth,
+- **hash size** — number of rows; affects caching/prefetching,
+- **pooling factor** — indices per lookup; drives lookup workload,
+- **indices distribution** — access skew; affects cache effectiveness and
+  the number of *unique* rows touched per batch.
+
+Rather than carrying around gigabytes of raw index tensors (the
+``dlrm_datasets`` file), we model each table's index distribution as a
+Zipf law over row ranks with per-table exponent ``zipf_alpha``.  All
+distribution-dependent quantities used by the hardware simulator and the
+cost-model features (expected unique rows per batch, access concentration)
+are computed analytically with logarithmic rank binning, which is accurate
+to a fraction of a percent and vectorizes well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MIN_DIM",
+    "TableConfig",
+    "table_set_key",
+    "total_size_bytes",
+]
+
+#: FBGEMM requires embedding dimensions divisible by 4 (Section 3.3); a
+#: dimension-4 table therefore cannot be column-sharded further.
+MIN_DIM = 4
+
+#: Number of logarithmic rank bins used for distribution integrals.
+_NUM_RANK_BINS = 96
+
+
+@lru_cache(maxsize=4096)
+def _rank_bins(hash_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Log-spaced rank bins over ``1..hash_size``.
+
+    Returns ``(mid_ranks, counts)`` where ``counts[i]`` is the number of
+    integer ranks covered by bin ``i`` and ``mid_ranks[i]`` is its
+    geometric midpoint.  Cached because the pool reuses few distinct hash
+    sizes after augmentation.
+    """
+    if hash_size <= _NUM_RANK_BINS:
+        ranks = np.arange(1, hash_size + 1, dtype=np.float64)
+        return ranks, np.ones_like(ranks)
+    edges = np.unique(
+        np.concatenate(
+            [
+                np.arange(1, min(33, hash_size + 1), dtype=np.float64),
+                np.geomspace(min(33, hash_size), hash_size + 1, _NUM_RANK_BINS),
+            ]
+        )
+    )
+    lo = edges[:-1]
+    hi = edges[1:]
+    counts = np.floor(hi) - np.floor(lo)
+    keep = counts > 0
+    lo, hi, counts = lo[keep], hi[keep], counts[keep]
+    mids = np.sqrt(lo * np.maximum(hi - 1.0, lo))
+    return mids, counts
+
+
+@lru_cache(maxsize=65536)
+def _zipf_bin_probs(hash_size: int, alpha: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-bin access probability mass for a Zipf(alpha) table.
+
+    Returns ``(bin_mass, counts)``: ``bin_mass[i]`` is the total probability
+    of the ranks in bin ``i`` and ``counts[i]`` how many ranks that is.
+    """
+    mids, counts = _rank_bins(hash_size)
+    weights = counts * mids ** (-alpha)
+    total = weights.sum()
+    return weights / total, counts
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Configuration of a single embedding table.
+
+    Instances are immutable value objects; column-wise sharding produces
+    new instances via :meth:`with_dim` / :meth:`halved`.
+
+    Attributes:
+        table_id: index of the source table in the pool.  Column shards of
+            one table share the ``table_id``.
+        hash_size: number of rows.
+        dim: number of columns (embedding dimension).
+        pooling_factor: mean number of indices per lookup in a batch.
+        zipf_alpha: exponent of the Zipf access distribution over row
+            ranks.  Larger means more skew, fewer unique rows per batch
+            and better cache behaviour.
+        bytes_per_element: storage width; 4 for fp32 (the paper's setup).
+    """
+
+    table_id: int
+    hash_size: int
+    dim: int
+    pooling_factor: float
+    zipf_alpha: float
+    bytes_per_element: int = 4
+
+    def __post_init__(self) -> None:
+        if self.hash_size < 1:
+            raise ValueError(f"hash_size must be >= 1, got {self.hash_size}")
+        if self.dim < MIN_DIM or self.dim % MIN_DIM != 0:
+            raise ValueError(
+                f"dim must be a positive multiple of {MIN_DIM}, got {self.dim}"
+            )
+        if self.pooling_factor <= 0:
+            raise ValueError(
+                f"pooling_factor must be > 0, got {self.pooling_factor}"
+            )
+        if self.zipf_alpha < 0:
+            raise ValueError(f"zipf_alpha must be >= 0, got {self.zipf_alpha}")
+        if self.bytes_per_element not in (1, 2, 4, 8):
+            raise ValueError(
+                f"bytes_per_element must be 1, 2, 4 or 8, got {self.bytes_per_element}"
+            )
+
+    # ------------------------------------------------------------------
+    # identity / size
+    # ------------------------------------------------------------------
+
+    @property
+    def uid(self) -> str:
+        """Cost-identity of the table: two tables with equal ``uid`` have
+        identical cost behaviour, so cache keys are built from ``uid``s.
+
+        Includes every cost-relevant field (row-wise shards share the
+        ``table_id`` and ``dim`` but differ in rows/pooling/skew).
+        """
+        return (
+            f"t{self.table_id}:d{self.dim}:h{self.hash_size}"
+            f":p{round(self.pooling_factor, 4)}:z{round(self.zipf_alpha, 4)}"
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the table's weights."""
+        return self.hash_size * self.dim * self.bytes_per_element
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+
+    def with_dim(self, dim: int) -> "TableConfig":
+        """Copy of this table with a different dimension (Algorithm 3)."""
+        return replace(self, dim=dim)
+
+    @property
+    def can_halve(self) -> bool:
+        """Whether a column-wise split into two dim/2 shards is legal."""
+        half = self.dim // 2
+        return half >= MIN_DIM and half % MIN_DIM == 0
+
+    def halved(self) -> Tuple["TableConfig", "TableConfig"]:
+        """Split column-wise into two shards of half the dimension.
+
+        Both shards see the *same* lookup indices (column sharding splits
+        vectors, not rows), hence the same hash size, pooling factor and
+        distribution — which is exactly why Observation 1 holds: the
+        index-processing portion of the kernel does not halve.
+        """
+        if not self.can_halve:
+            raise ValueError(
+                f"cannot column-shard table {self.uid}: half dimension "
+                f"{self.dim // 2} would violate the multiple-of-{MIN_DIM} "
+                "constraint"
+            )
+        half = self.with_dim(self.dim // 2)
+        return half, half
+
+    def row_halved(self) -> Tuple["TableConfig", "TableConfig"]:
+        """Split row-wise into a hot shard and a cold shard (extension).
+
+        Row-wise sharding is the paper's stated future work ("we will
+        extend NeuroShard to row-wise sharding for partitioning large
+        tables").  Splitting the rank-ordered rows at the midpoint:
+
+        - the **hot shard** keeps ranks ``1..H/2``; it receives the
+          fraction of lookups given by :meth:`access_concentration` at
+          0.5 and keeps (approximately) the original Zipf exponent;
+        - the **cold shard** keeps ranks ``H/2+1..H``; a power law is
+          locally much flatter in its tail, so the shard's effective
+          exponent over its own support shrinks to
+          ``alpha * ln 2 / ln(H/2)`` (the exponent that preserves the
+          head/tail probability ratio of the window).
+
+        Unlike column sharding, row sharding divides *both* memory and
+        lookups between the shards.
+        """
+        if self.hash_size < 2:
+            raise ValueError(
+                f"cannot row-shard table {self.uid}: only {self.hash_size} row"
+            )
+        hot_rows = self.hash_size // 2
+        cold_rows = self.hash_size - hot_rows
+        hot_mass = self.access_concentration(0.5)
+        hot_pooling = max(self.pooling_factor * hot_mass, 0.01)
+        cold_pooling = max(self.pooling_factor * (1.0 - hot_mass), 0.01)
+        cold_alpha = (
+            self.zipf_alpha * math.log(2.0) / math.log(max(hot_rows, 2))
+        )
+        hot = replace(self, hash_size=hot_rows, pooling_factor=hot_pooling)
+        cold = replace(
+            self,
+            hash_size=cold_rows,
+            pooling_factor=cold_pooling,
+            zipf_alpha=round(cold_alpha, 6),
+        )
+        return hot, cold
+
+    # ------------------------------------------------------------------
+    # index-distribution math
+    # ------------------------------------------------------------------
+
+    def indices_per_batch(self, batch_size: int) -> float:
+        """Total number of lookup indices in a batch."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return self.pooling_factor * batch_size
+
+    def expected_unique_rows(self, batch_size: int) -> float:
+        """Expected number of distinct rows touched by one batch.
+
+        For ``n`` i.i.d. Zipf draws, the chance rank ``i`` appears is
+        ``1 - (1 - p_i)^n``; summing over the log-binned ranks gives the
+        expectation.  This drives the simulator's cache model and is a
+        cost-model feature.
+        """
+        n = self.indices_per_batch(batch_size)
+        bin_mass, counts = _zipf_bin_probs(self.hash_size, round(self.zipf_alpha, 6))
+        p = bin_mass / counts  # per-rank probability within each bin
+        # 1 - (1-p)^n computed stably:  -expm1(n * log1p(-p))
+        hit = -np.expm1(n * np.log1p(-np.minimum(p, 1.0 - 1e-12)))
+        return float(np.sum(counts * hit))
+
+    def unique_fraction(self, batch_size: int) -> float:
+        """Unique rows per batch divided by total indices (in (0, 1])."""
+        n = self.indices_per_batch(batch_size)
+        return min(1.0, self.expected_unique_rows(batch_size) / n)
+
+    def access_concentration(self, top_fraction: float = 0.01) -> float:
+        """Probability mass hitting the hottest ``top_fraction`` of rows.
+
+        A skew summary in [0, 1]; a cost-model feature (hot rows cache
+        well).
+        """
+        if not 0 < top_fraction <= 1:
+            raise ValueError(
+                f"top_fraction must be in (0, 1], got {top_fraction}"
+            )
+        bin_mass, counts = _zipf_bin_probs(self.hash_size, round(self.zipf_alpha, 6))
+        cum_rows = np.cumsum(counts)
+        cutoff = max(1.0, top_fraction * self.hash_size)
+        mass = float(bin_mass[cum_rows <= cutoff].sum())
+        # Include the partial bin straddling the cutoff.
+        idx = int(np.searchsorted(cum_rows, cutoff))
+        if idx < len(counts) and (idx == 0 or cum_rows[idx - 1] < cutoff):
+            prev = cum_rows[idx - 1] if idx > 0 else 0.0
+            frac = (cutoff - prev) / counts[idx]
+            mass += float(bin_mass[idx]) * float(np.clip(frac, 0.0, 1.0))
+        return min(1.0, mass)
+
+
+def table_set_key(tables: Iterable[TableConfig]) -> Tuple[str, ...]:
+    """Canonical hashable key for an (unordered) multiset of tables.
+
+    Used by the computation-cost cache (Section 3.3, "Implementation with
+    caching"): two devices holding cost-identical table multisets map to
+    the same key.
+    """
+    return tuple(sorted(t.uid for t in tables))
+
+
+def total_size_bytes(tables: Iterable[TableConfig]) -> int:
+    """Total storage of a collection of tables."""
+    return sum(t.size_bytes for t in tables)

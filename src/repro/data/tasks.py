@@ -1,0 +1,155 @@
+"""Benchmark sharding tasks (paper Section 4, "Datasets" and Table 5).
+
+A *sharding task* is the unit of evaluation: a list of tables (with
+dimensions already assigned) that must be placed onto ``num_devices`` GPUs
+under a per-device memory budget.  The paper constructs 100 random tasks
+for each of 12 settings — {4, 8} GPUs × max dimension {4, 8, 16, 32, 64,
+128} — by sampling 10-60 (4 GPUs) or 20-120 (8 GPUs) tables from the
+856-table pool and drawing each table's dimension uniformly from
+{4, 8, ..., max_dim}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.config import TaskConfig, rng_from_seed
+from repro.data.pool import TablePool
+from repro.data.table import TableConfig
+
+__all__ = ["ShardingTask", "generate_tasks", "generate_task_grid"]
+
+
+@dataclass(frozen=True)
+class ShardingTask:
+    """One sharding problem instance.
+
+    Attributes:
+        tables: the tables to shard, dimensions already assigned.
+        num_devices: number of GPUs.
+        memory_bytes: per-device embedding memory budget.
+        task_id: index within its generation batch (for reporting).
+    """
+
+    tables: tuple[TableConfig, ...]
+    num_devices: int
+    memory_bytes: int
+    task_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a sharding task needs at least one table")
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be > 0, got {self.memory_bytes}")
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(t.size_bytes for t in self.tables)
+
+    @property
+    def total_dim(self) -> int:
+        return sum(t.dim for t in self.tables)
+
+    @property
+    def max_dim(self) -> int:
+        return max(t.dim for t in self.tables)
+
+    def is_trivially_infeasible(self, headroom: float = 1.0) -> bool:
+        """True when total table bytes exceed ``headroom`` times the
+        aggregate cluster memory.
+
+        Column-wise sharding preserves total bytes, so tasks above 100%
+        aggregate memory are unsolvable by any algorithm.  Task
+        generation additionally rejects tasks above a sub-1.0 headroom:
+        bin-packing near 100% utilization is infeasible for *every*
+        placement algorithm, which would say nothing about sharding
+        quality (optimizer state alone adds up to ~25% on dim-4 tables).
+        """
+        return self.total_size_bytes > headroom * self.memory_bytes * self.num_devices
+
+
+def generate_tasks(
+    pool: TablePool,
+    config: TaskConfig,
+    count: int = 100,
+    seed: int | np.random.Generator = 0,
+    max_resample: int = 200,
+    headroom: float = 0.75,
+) -> list[ShardingTask]:
+    """Generate ``count`` random sharding tasks for one Table 5 setting.
+
+    Tasks whose total size exceeds ``headroom`` of the aggregate cluster
+    memory are resampled (above 100% they would be unsolvable by *any*
+    algorithm; between ~75% and 100% the bin-packing itself, not the
+    balancing, dominates feasibility — see
+    :meth:`ShardingTask.is_trivially_infeasible`).
+
+    Args:
+        pool: the table pool to draw from.
+        config: the setting (devices, max dim, table-count range, memory).
+        count: number of tasks (paper: 100 per setting).
+        seed: RNG seed or generator.
+        max_resample: per-task bound on feasibility resampling.
+
+    Raises:
+        RuntimeError: when a feasible task cannot be sampled, which
+            indicates a mis-configured memory budget.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = rng_from_seed(seed)
+    dims = config.dim_choices
+    tasks: list[ShardingTask] = []
+    for task_id in range(count):
+        for attempt in range(max_resample):
+            num_tables = int(
+                rng.integers(config.min_tables, config.max_tables + 1)
+            )
+            tables = pool.sample_tables(num_tables, rng, dims=dims)
+            task = ShardingTask(
+                tables=tuple(tables),
+                num_devices=config.num_devices,
+                memory_bytes=config.memory_bytes,
+                task_id=task_id,
+            )
+            if not task.is_trivially_infeasible(headroom):
+                tasks.append(task)
+                break
+        else:
+            raise RuntimeError(
+                f"could not sample a feasible task after {max_resample} "
+                f"attempts for setting {config}; increase memory_bytes or "
+                "reduce the table-count range"
+            )
+    return tasks
+
+
+def generate_task_grid(
+    pool: TablePool,
+    count_per_setting: int = 100,
+    seed: int = 0,
+) -> Iterator[tuple[TaskConfig, list[ShardingTask]]]:
+    """Yield (setting, tasks) for all 12 paper Table 5 settings.
+
+    Settings are seeded independently (derived from ``seed``), so
+    evaluating a subset of the grid yields the same tasks as evaluating
+    all of it.
+    """
+    settings = TaskConfig.paper_grid()
+    seeds = np.random.SeedSequence(seed).spawn(len(settings))
+    for setting, task_seed in zip(settings, seeds):
+        yield setting, generate_tasks(
+            pool,
+            setting,
+            count=count_per_setting,
+            seed=np.random.default_rng(task_seed),
+        )

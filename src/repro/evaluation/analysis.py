@@ -1,0 +1,285 @@
+"""Plan analysis and what-if probing on the cost-model simulator.
+
+When a sharding plan under-performs in production, the first questions an
+engineer asks are diagnostic: *which device is the bottleneck, is it
+compute- or communication-bound, how unbalanced is the plan, and would
+moving or splitting one table help?*  The pre-trained cost models answer
+all of these in milliseconds without touching hardware — the same
+"universal simulator" role they play in the search, repurposed for
+interactive analysis.
+
+Provided tools:
+
+- :func:`analyze_plan` — per-device cost breakdown plus imbalance
+  metrics (:class:`PlanAnalysis`).
+- :func:`what_if_move` — simulated cost delta of moving one table to
+  another device.
+- :func:`what_if_split` — simulated cost delta of column-splitting one
+  table (keeping both shards in place or moving one to the lightest
+  device).
+- :func:`best_single_improvement` — exhaustive scan of single-move and
+  single-split edits, ranked by simulated improvement; the "one more
+  step" a production operator could apply without re-running the search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.simulator import NeuroShardSimulator, PlanCost
+from repro.data.table import TableConfig
+from repro.hardware.memory import MemoryModel
+
+__all__ = [
+    "PlanAnalysis",
+    "WhatIfResult",
+    "analyze_plan",
+    "best_single_improvement",
+    "what_if_move",
+    "what_if_split",
+]
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """Diagnostic summary of one placement.
+
+    Attributes:
+        breakdown: per-device simulated compute/comm costs.
+        bottleneck_device: index of the most costly device.
+        bottleneck_fraction_compute: share of the bottleneck device's
+            cost that is computation (vs communication) — tells the
+            operator which lever (splitting hot tables vs shedding
+            dimensions) to pull.
+        compute_balance: ``mean / max`` of per-device compute costs in
+            (0, 1]; 1 is perfect balance (AutoShard's balance metric).
+        dim_balance: ``mean / max`` of device dimensions (the
+            communication-balance proxy of Observation 3).
+        device_dims: per-device dimension sums.
+        device_bytes: per-device memory footprints (weights + optimizer).
+    """
+
+    breakdown: PlanCost
+    bottleneck_device: int
+    bottleneck_fraction_compute: float
+    compute_balance: float
+    dim_balance: float
+    device_dims: tuple[int, ...]
+    device_bytes: tuple[int, ...]
+
+    @property
+    def max_cost_ms(self) -> float:
+        return self.breakdown.max_cost_ms
+
+
+def analyze_plan(
+    per_device: Sequence[Sequence[TableConfig]],
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel | None = None,
+) -> PlanAnalysis:
+    """Diagnose a placement on the simulator.
+
+    Args:
+        per_device: table sets per device.
+        simulator: cost-model-backed simulator (device count must match).
+        memory: optional memory model for footprint reporting; a 1-byte
+            placeholder budget is fine since only ``table_bytes`` is used.
+    """
+    if len(per_device) == 0:
+        raise ValueError("placement must have at least one device")
+    memory = memory or MemoryModel(1)
+    breakdown = simulator.plan_cost(per_device)
+    device_costs = breakdown.device_costs_ms
+    bottleneck = int(np.argmax(device_costs))
+    comm = (
+        breakdown.fwd_comm_ms[bottleneck] + breakdown.bwd_comm_ms[bottleneck]
+    )
+    total = device_costs[bottleneck]
+    fraction_compute = breakdown.compute_ms[bottleneck] / total if total else 0.0
+
+    compute = np.asarray(breakdown.compute_ms)
+    max_compute = float(compute.max())
+    compute_balance = float(compute.mean() / max_compute) if max_compute else 1.0
+    dims = [sum(t.dim for t in dev) for dev in per_device]
+    max_dim = max(dims)
+    dim_balance = float(np.mean(dims) / max_dim) if max_dim else 1.0
+
+    return PlanAnalysis(
+        breakdown=breakdown,
+        bottleneck_device=bottleneck,
+        bottleneck_fraction_compute=fraction_compute,
+        compute_balance=compute_balance,
+        dim_balance=dim_balance,
+        device_dims=tuple(dims),
+        device_bytes=tuple(
+            sum(memory.table_bytes(t) for t in dev) for dev in per_device
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Outcome of one hypothetical plan edit.
+
+    Attributes:
+        description: human-readable edit summary.
+        feasible: the edited plan respects the memory budget.
+        cost_before_ms / cost_after_ms: simulated bottleneck costs.
+        edited: the edited placement (``None`` when the edit is
+            infeasible/illegal), so callers can apply the winning edit
+            without reconstructing it.
+    """
+
+    description: str
+    feasible: bool
+    cost_before_ms: float
+    cost_after_ms: float
+    edited: tuple[tuple[TableConfig, ...], ...] | None = None
+
+    @property
+    def improvement_ms(self) -> float:
+        """Positive when the edit helps."""
+        return self.cost_before_ms - self.cost_after_ms
+
+
+def _copy(per_device) -> list[list[TableConfig]]:
+    return [list(dev) for dev in per_device]
+
+
+def what_if_move(
+    per_device: Sequence[Sequence[TableConfig]],
+    simulator: NeuroShardSimulator,
+    source: int,
+    table_index: int,
+    target: int,
+    memory: MemoryModel | None = None,
+) -> WhatIfResult:
+    """Cost delta of moving ``per_device[source][table_index]`` to
+    ``target``."""
+    num_devices = len(per_device)
+    if not (0 <= source < num_devices and 0 <= target < num_devices):
+        raise ValueError(
+            f"source/target must be in [0, {num_devices}), got "
+            f"{source} -> {target}"
+        )
+    if source == target:
+        raise ValueError("source and target devices are the same")
+    if not 0 <= table_index < len(per_device[source]):
+        raise ValueError(
+            f"device {source} has {len(per_device[source])} tables, index "
+            f"{table_index} out of range"
+        )
+    before = simulator.plan_cost(per_device).max_cost_ms
+    edited = _copy(per_device)
+    table = edited[source].pop(table_index)
+    edited[target].append(table)
+    feasible = True
+    if memory is not None:
+        feasible = memory.fits(edited[target])
+    after = (
+        simulator.plan_cost(edited).max_cost_ms if feasible else math.inf
+    )
+    return WhatIfResult(
+        description=(
+            f"move table {table.uid} from device {source} to {target}"
+        ),
+        feasible=feasible,
+        cost_before_ms=before,
+        cost_after_ms=after,
+        edited=tuple(tuple(dev) for dev in edited) if feasible else None,
+    )
+
+
+def what_if_split(
+    per_device: Sequence[Sequence[TableConfig]],
+    simulator: NeuroShardSimulator,
+    device: int,
+    table_index: int,
+    memory: MemoryModel | None = None,
+) -> WhatIfResult:
+    """Cost delta of column-splitting one table, sending the second
+    shard to the device with the lowest simulated compute cost."""
+    num_devices = len(per_device)
+    if not 0 <= device < num_devices:
+        raise ValueError(f"device must be in [0, {num_devices}), got {device}")
+    if not 0 <= table_index < len(per_device[device]):
+        raise ValueError(
+            f"device {device} has {len(per_device[device])} tables, index "
+            f"{table_index} out of range"
+        )
+    table = per_device[device][table_index]
+    before = simulator.plan_cost(per_device).max_cost_ms
+    if not table.can_halve:
+        return WhatIfResult(
+            description=f"split table {table.uid} (illegal: dim {table.dim})",
+            feasible=False,
+            cost_before_ms=before,
+            cost_after_ms=math.inf,
+        )
+    first, second = table.halved()
+    edited = _copy(per_device)
+    edited[device][table_index] = first
+    # Send the second shard to the cheapest device (including staying).
+    compute = simulator.device_compute_costs(edited)
+    target = int(np.argmin(compute))
+    edited[target].append(second)
+    feasible = True
+    if memory is not None:
+        feasible = all(memory.fits(dev) for dev in edited)
+    after = simulator.plan_cost(edited).max_cost_ms if feasible else math.inf
+    return WhatIfResult(
+        description=(
+            f"split table {table.uid} on device {device}, second shard to "
+            f"device {target}"
+        ),
+        feasible=feasible,
+        cost_before_ms=before,
+        cost_after_ms=after,
+        edited=tuple(tuple(dev) for dev in edited) if feasible else None,
+    )
+
+
+def best_single_improvement(
+    per_device: Sequence[Sequence[TableConfig]],
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel | None = None,
+    top_k: int = 5,
+) -> list[WhatIfResult]:
+    """Rank every single-move and single-split edit by improvement.
+
+    Edits are scanned from the devices that can actually cause the
+    bottleneck, not all of them: the bottleneck-*cost* device, the
+    max-*compute* device and the max-*dimension* device.  These differ
+    because measured costs include collective waiting (Figure 1's
+    straggler effect): the device with the highest measured cost is often
+    a lightly-loaded one that waits on the straggler, while the edit that
+    helps removes load from the straggler itself — the max-compute or
+    max-dimension device.
+
+    Returns the ``top_k`` best edits, best first (possibly with negative
+    improvements when nothing helps).
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    analysis = analyze_plan(per_device, simulator, memory)
+    sources = {
+        analysis.bottleneck_device,
+        int(np.argmax(analysis.breakdown.compute_ms)),
+        int(np.argmax(analysis.device_dims)),
+    }
+    results: list[WhatIfResult] = []
+    for b in sorted(sources):
+        for ti in range(len(per_device[b])):
+            for target in range(len(per_device)):
+                if target == b:
+                    continue
+                results.append(
+                    what_if_move(per_device, simulator, b, ti, target, memory)
+                )
+            results.append(what_if_split(per_device, simulator, b, ti, memory))
+    results.sort(key=lambda r: -r.improvement_ms)
+    return results[:top_k]

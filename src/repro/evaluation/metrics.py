@@ -1,0 +1,46 @@
+"""Comparison metrics for evaluation reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.evaluation.runner import MethodEvaluation
+
+__all__ = ["improvement_percent", "strongest_baseline"]
+
+
+def improvement_percent(baseline_cost: float, method_cost: float) -> float:
+    """Relative improvement of ``method`` over ``baseline`` in percent.
+
+    Positive means the method is cheaper (the paper's "+x%" rows).
+    Returns ``nan`` when either side is unavailable.
+    """
+    if (
+        math.isnan(baseline_cost)
+        or math.isnan(method_cost)
+        or baseline_cost <= 0
+    ):
+        return math.nan
+    return (baseline_cost - method_cost) / baseline_cost * 100.0
+
+
+def strongest_baseline(
+    evaluations: Mapping[str, MethodEvaluation],
+    exclude: Sequence[str] = ("NeuroShard",),
+) -> tuple[str, float]:
+    """The lowest-mean-cost scaling baseline (Table 1's bottom row
+    compares NeuroShard against the strongest baseline per column).
+
+    Returns ``("", nan)`` when no baseline scales.
+    """
+    best_name, best_cost = "", math.inf
+    for name, evaluation in evaluations.items():
+        if name in exclude:
+            continue
+        cost = evaluation.mean_cost_ms
+        if not math.isnan(cost) and cost < best_cost:
+            best_name, best_cost = name, cost
+    if best_name == "":
+        return "", math.nan
+    return best_name, best_cost

@@ -1,0 +1,215 @@
+"""The production-scale experiment (Section 4.5 / Table 4).
+
+The paper deploys NeuroShard on an ultra-large production DLRM: nearly a
+thousand embedding tables demanding multi-terabyte memory, sharded onto
+128 GPUs, reporting per-method embedding cost and end-to-end training
+throughput improvement over random sharding.  Production hardware and
+model are unavailable, so this experiment *scales the same shape down*:
+a large table subset with big dimensions under a deliberately tight
+memory budget (so column-wise sharding is mandatory), a large simulated
+cluster, and throughput measured from the trace simulator's steady-state
+iteration time.
+
+Faithful to the paper's protocol, the table-wise-only baselines first
+receive NeuroShard's column-wise plan ("we first apply the column-wise
+sharding plan proposed by NeuroShard and then run the baselines"), while
+TorchRec plans its own column splits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    AutoShardSharder,
+    DreamShardSharder,
+    GreedySharder,
+    PlannerSharder,
+    RandomSharder,
+)
+from repro.baselines.base import Sharder, assignment_to_plan
+from repro.config import (
+    ClusterConfig,
+    CollectionConfig,
+    SearchConfig,
+    TrainConfig,
+)
+from repro.core.plan import apply_column_plan
+from repro.core.sharder import NeuroShard
+from repro.data.pool import TablePool
+from repro.data.tasks import ShardingTask
+from repro.evaluation.runner import execute_plan
+from repro.hardware.cluster import SimulatedCluster
+
+__all__ = ["ProductionRow", "run_production_experiment"]
+
+
+@dataclass(frozen=True)
+class ProductionRow:
+    """One Table 4 row: method, cost, throughput improvement."""
+
+    method: str
+    embedding_cost_ms: float
+    throughput_improvement_pct: float  # vs Random; nan for Random itself
+
+
+def _make_production_task(
+    pool: TablePool,
+    num_devices: int,
+    num_tables: int,
+    memory_bytes: int,
+    seed: int,
+) -> ShardingTask:
+    """A production-flavoured task: many tables, large dimensions.
+
+    Dimensions are drawn from {64, 128} weighted toward 128, the regime
+    where table-wise-only methods hit memory walls.
+    """
+    rng = np.random.default_rng(seed)
+    tables = pool.sample_tables(num_tables, rng)
+    dims = rng.choice([64, 128], size=len(tables), p=[0.3, 0.7])
+    tables = [t.with_dim(int(d)) for t, d in zip(tables, dims)]
+    # Keep the aggregate under cluster capacity (tasks must be solvable
+    # by *some* plan); drop the largest tables until it is.
+    tables.sort(key=lambda t: t.size_bytes)
+    while tables and sum(t.size_bytes for t in tables) > 0.7 * memory_bytes * num_devices:
+        tables.pop()
+    if not tables:
+        raise RuntimeError("memory budget too small for any production table")
+    return ShardingTask(
+        tables=tuple(tables),
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        task_id=0,
+    )
+
+
+def run_production_experiment(
+    pool: TablePool,
+    num_devices: int = 32,
+    num_tables: int = 120,
+    memory_bytes: int = 2 * 1024**3,
+    collection: CollectionConfig | None = None,
+    train: TrainConfig | None = None,
+    search: SearchConfig | None = None,
+    rl_episodes: int = 30,
+    seed: int = 0,
+) -> list[ProductionRow]:
+    """Reproduce Table 4's comparison on a scaled production task.
+
+    Args:
+        pool: the table pool.
+        num_devices: cluster size (paper: 128; default scaled to 32 so
+            the experiment runs in minutes — see EXPERIMENTS.md).
+        num_tables: tables in the production model (paper: ~1000).
+        memory_bytes: per-device budget, deliberately tight.
+        collection / train / search: NeuroShard configuration.
+        rl_episodes: episode budget of the RL baselines.
+        seed: master seed.
+
+    Returns:
+        One row per method, Random first.
+    """
+    cluster = SimulatedCluster(
+        ClusterConfig(num_devices=num_devices, memory_bytes=memory_bytes)
+    )
+    task = _make_production_task(
+        pool, num_devices, num_tables, memory_bytes, seed
+    )
+
+    search = search or SearchConfig(top_n=4, beam_width=2, max_steps=6, grid_points=5)
+    neuroshard, _ = NeuroShard.pretrain(
+        cluster,
+        pool,
+        collection=collection,
+        train=train,
+        search=search,
+        seed=seed,
+    )
+    ns_result = neuroshard.shard(task)
+    if not ns_result.feasible or ns_result.plan is None:
+        raise RuntimeError(
+            "NeuroShard found no feasible production plan; loosen the "
+            "memory budget or reduce num_tables"
+        )
+    column_plan = ns_result.plan.column_plan
+
+    # Baselines (except TorchRec) run table-wise on NeuroShard's
+    # column-sharded tables, as in the paper.
+    sharded_tables = apply_column_plan(task.tables, column_plan)
+    sharded_task = ShardingTask(
+        tables=tuple(sharded_tables),
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        task_id=0,
+    )
+
+    baselines: list[Sharder] = [
+        RandomSharder(seed=seed),
+        GreedySharder("Size-based"),
+        GreedySharder("Dim-based"),
+        GreedySharder("Lookup-based"),
+        GreedySharder("Size-lookup-based"),
+        AutoShardSharder(neuroshard.models, episodes=rl_episodes, seed=seed),
+        DreamShardSharder(neuroshard.models, episodes=rl_episodes, seed=seed),
+    ]
+
+    rows: list[ProductionRow] = []
+    random_throughput = math.nan
+
+    def run(method: str, plan) -> tuple[float, float]:
+        if plan is None:
+            return math.nan, math.nan
+        execution = execute_plan(plan, task, cluster)
+        if execution is None:
+            return math.nan, math.nan
+        return execution.max_cost_ms, execution.throughput_samples_per_s
+
+    for baseline in baselines:
+        plan = baseline.shard(sharded_task)
+        if plan is not None:
+            # Re-anchor the assignment onto the original task by carrying
+            # NeuroShard's column plan.
+            plan = assignment_to_plan(
+                plan.assignment, num_devices, column_plan=column_plan
+            )
+        cost, throughput = run(baseline.name, plan)
+        if baseline.name == "Random":
+            random_throughput = throughput
+            rows.append(ProductionRow(baseline.name, cost, math.nan))
+        else:
+            improvement = (
+                (throughput - random_throughput) / random_throughput * 100.0
+                if not math.isnan(throughput) and not math.isnan(random_throughput)
+                else math.nan
+            )
+            rows.append(ProductionRow(baseline.name, cost, improvement))
+
+    # TorchRec plans its own column-wise sharding on the original task.
+    torchrec = PlannerSharder(batch_size=cluster.batch_size)
+    cost, throughput = run(torchrec.name, torchrec.shard(task))
+    rows.append(
+        ProductionRow(
+            torchrec.name,
+            cost,
+            (throughput - random_throughput) / random_throughput * 100.0
+            if not math.isnan(throughput) and not math.isnan(random_throughput)
+            else math.nan,
+        )
+    )
+
+    cost, throughput = run("NeuroShard", ns_result.plan)
+    rows.append(
+        ProductionRow(
+            "NeuroShard",
+            cost,
+            (throughput - random_throughput) / random_throughput * 100.0
+            if not math.isnan(throughput) and not math.isnan(random_throughput)
+            else math.nan,
+        )
+    )
+    return rows

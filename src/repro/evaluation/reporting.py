@@ -1,0 +1,62 @@
+"""Plain-text and markdown table formatting for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that output aligned and diff-friendly.  ``nan`` cells
+render as "-", matching the paper's notation for methods that cannot
+scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["format_text_table", "format_markdown_table"]
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule."""
+    rendered = [[_render_cell(c, precision) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rendered)) if rendered else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """GitHub-flavored markdown table."""
+    rendered = [[_render_cell(c, precision) for c in row] for row in rows]
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

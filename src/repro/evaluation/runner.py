@@ -1,0 +1,156 @@
+"""Run sharding algorithms over task batches and measure real costs.
+
+Implements the paper's evaluation protocol (Section 4, "Evaluation
+protocol"): every plan is executed on the hardware (here, the simulated
+cluster), the *maximum* embedding cost across devices is the task's
+score, and a method that fails any task of a setting — no plan, or an
+out-of-memory plan — is marked unable to scale ("-").
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.plan import ShardingPlan
+from repro.core.sharder import ShardingResult
+from repro.data.tasks import ShardingTask
+from repro.hardware.cluster import PlanExecution, SimulatedCluster
+from repro.hardware.memory import OutOfMemoryError
+
+__all__ = ["TaskOutcome", "MethodEvaluation", "evaluate_sharder", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one (method, task) pair.
+
+    Attributes:
+        task_id: the task's id within its batch.
+        success: a plan was produced and executed within memory.
+        cost_ms: real max-device embedding cost (``nan`` on failure).
+        sharding_time_s: wall-clock time the algorithm spent planning.
+    """
+
+    task_id: int
+    success: bool
+    cost_ms: float
+    sharding_time_s: float
+
+
+@dataclass(frozen=True)
+class MethodEvaluation:
+    """Aggregate of one method over a task batch (one Table 1 cell)."""
+
+    method: str
+    outcomes: tuple[TaskOutcome, ...]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_success(self) -> int:
+        return sum(1 for o in self.outcomes if o.success)
+
+    @property
+    def success_rate(self) -> float:
+        return self.num_success / self.num_tasks if self.outcomes else 0.0
+
+    @property
+    def scales(self) -> bool:
+        """Paper semantics: a method scales only if *all* tasks succeed."""
+        return self.num_success == self.num_tasks
+
+    @property
+    def mean_cost_ms(self) -> float:
+        """Mean real cost across tasks; ``nan`` unless all succeeded
+        (the paper reports "-" when any task fails)."""
+        if not self.scales:
+            return math.nan
+        return float(np.mean([o.cost_ms for o in self.outcomes]))
+
+    @property
+    def mean_cost_of_successes_ms(self) -> float:
+        """Mean over the successful tasks only (used by ablations that
+        report cost alongside a <100% success rate)."""
+        succeeded = [o.cost_ms for o in self.outcomes if o.success]
+        return float(np.mean(succeeded)) if succeeded else math.nan
+
+    @property
+    def mean_sharding_time_s(self) -> float:
+        return float(np.mean([o.sharding_time_s for o in self.outcomes]))
+
+
+def _extract_plan(result: object) -> ShardingPlan | None:
+    """Accept both raw plans and NeuroShard's ShardingResult."""
+    if result is None or isinstance(result, ShardingPlan):
+        return result
+    if isinstance(result, ShardingResult):
+        return result.plan if result.feasible else None
+    raise TypeError(
+        f"sharder returned {type(result).__name__}; expected ShardingPlan, "
+        "ShardingResult or None"
+    )
+
+
+def execute_plan(
+    plan: ShardingPlan,
+    task: ShardingTask,
+    cluster: SimulatedCluster,
+) -> PlanExecution | None:
+    """Execute a plan on the cluster; ``None`` on out-of-memory."""
+    per_device = plan.per_device_tables(task.tables)
+    try:
+        return cluster.evaluate_plan(per_device)
+    except OutOfMemoryError:
+        return None
+
+
+def evaluate_sharder(
+    sharder,
+    tasks: Sequence[ShardingTask],
+    cluster: SimulatedCluster,
+    name: str | None = None,
+) -> MethodEvaluation:
+    """Run ``sharder`` over ``tasks``, executing every plan on ``cluster``.
+
+    Args:
+        sharder: anything with ``shard(task)`` returning a plan,
+            a :class:`ShardingResult`, or ``None``.
+        tasks: the task batch (all must match the cluster's device count).
+        cluster: the ground-truth hardware.
+        name: display name override (defaults to ``sharder.name``).
+    """
+    outcomes: list[TaskOutcome] = []
+    for task in tasks:
+        if task.num_devices != cluster.num_devices:
+            raise ValueError(
+                f"task {task.task_id} targets {task.num_devices} devices, "
+                f"cluster has {cluster.num_devices}"
+            )
+        started = time.perf_counter()
+        plan = _extract_plan(sharder.shard(task))
+        elapsed = time.perf_counter() - started
+        if plan is None:
+            outcomes.append(
+                TaskOutcome(task.task_id, False, math.nan, elapsed)
+            )
+            continue
+        execution = execute_plan(plan, task, cluster)
+        if execution is None:
+            outcomes.append(
+                TaskOutcome(task.task_id, False, math.nan, elapsed)
+            )
+        else:
+            outcomes.append(
+                TaskOutcome(task.task_id, True, execution.max_cost_ms, elapsed)
+            )
+    return MethodEvaluation(
+        method=name or getattr(sharder, "name", type(sharder).__name__),
+        outcomes=tuple(outcomes),
+    )

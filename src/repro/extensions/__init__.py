@@ -1,0 +1,48 @@
+"""Extensions beyond the paper's evaluated system.
+
+The paper's conclusion lists row-wise sharding as future work; this
+package implements it as a composable pre-processing stage
+(:mod:`repro.extensions.rowwise`), plus cost-model feature ablation
+utilities used by the extension benchmarks
+(:mod:`repro.extensions.feature_ablation`).
+"""
+
+from repro.extensions.rowwise import RowWiseDecision, RowWisePreprocessor, RowWiseSharder
+from repro.extensions.feature_ablation import (
+    AblatedFeaturizer,
+    FEATURE_GROUPS,
+)
+from repro.extensions.imitation import ImitationDataset, ImitationSharder
+from repro.extensions.mixed import (
+    MixedClusterSharder,
+    MixedCostModels,
+    MixedShardingResult,
+    pretrain_mixed_cost_models,
+)
+from repro.extensions.offline_rl import (
+    OfflineDataset,
+    OfflineLogEntry,
+    OfflineRLSharder,
+    collect_sharding_log,
+)
+from repro.extensions.guided import GuidedShardingResult, PolicyGuidedSharder
+
+__all__ = [
+    "GuidedShardingResult",
+    "PolicyGuidedSharder",
+    "OfflineDataset",
+    "OfflineLogEntry",
+    "OfflineRLSharder",
+    "collect_sharding_log",
+    "RowWisePreprocessor",
+    "RowWiseDecision",
+    "RowWiseSharder",
+    "AblatedFeaturizer",
+    "FEATURE_GROUPS",
+    "ImitationDataset",
+    "ImitationSharder",
+    "MixedClusterSharder",
+    "MixedCostModels",
+    "MixedShardingResult",
+    "pretrain_mixed_cost_models",
+]

@@ -1,0 +1,446 @@
+"""Mixed CPU-GPU sharding — the paper's Section 6 future work.
+
+*"Also, we plan to investigate CPU sharding or mixed CPU-GPU sharding
+scenarios."*  This module extends the "pre-train, and search" recipe to a
+:class:`~repro.hardware.hetero.HeterogeneousCluster`:
+
+**Pre-train** (:func:`pretrain_mixed_cost_models`): one computation cost
+model *per device class* ("gpu", "cpu"), each trained exactly like the
+homogeneous pipeline but with the micro-benchmark pointed at that class's
+device.  Table augmentation already covers the dimension space, so no new
+data machinery is needed — the once-for-all property carries over per
+class.
+
+**Search** (:class:`MixedClusterSharder`): a greedy allocation under a
+grid-searched *drain-time* constraint:
+
+- The computation objective is unchanged — assign each table to the
+  device whose *predicted class-specific* cost ends up lowest
+  (Observation 2 applies on every device class; the CPU's cost model is
+  simply a different function).
+- Observation 3 generalizes: on heterogeneous links the collective is
+  gated by the slowest participant's drain time
+  ``device_dim_d / bandwidth_d``, not by the raw max dimension.  The grid
+  therefore constrains per-device *drain* rather than dimension.  We use
+  the analytic drain proxy directly instead of training hetero comm
+  models — the proxy is exactly the quantity Observation 3 shows the comm
+  bottleneck tracks, and a per-cluster-shape comm model would have to be
+  retrained for every device mix (documented deviation).
+- Memory is per-device: the CPU's huge budget is what absorbs tables no
+  GPU can hold.
+- An outer column-wise loop (width-1 beam, ``max_steps`` splits of the
+  currently most costly splittable table) handles tables that are
+  oversized or dominate the bottleneck, mirroring the homogeneous beam
+  search's role at a fraction of its cost.
+
+The ground truth for evaluating the resulting plans is
+:meth:`~repro.hardware.hetero.HeterogeneousCluster.evaluate_plan`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import ClusterConfig, CollectionConfig, TrainConfig, spawn_rngs
+from repro.core.cache import CostCache
+from repro.costmodel.collect import collect_compute_data
+from repro.costmodel.compute_model import ComputeCostModel
+from repro.costmodel.features import TableFeaturizer
+from repro.costmodel.pretrain import fit_standardized
+from repro.data.pool import TablePool
+from repro.data.table import TableConfig, table_set_key
+from repro.hardware.cluster import SimulatedCluster
+from repro.hardware.hetero import HeterogeneousCluster
+from repro.nn.train import Trainer, TrainResult
+
+__all__ = [
+    "MixedCostModels",
+    "MixedShardingResult",
+    "MixedClusterSharder",
+    "pretrain_mixed_cost_models",
+]
+
+
+@dataclass
+class MixedCostModels:
+    """Per-device-class computation cost models for a mixed cluster.
+
+    Attributes:
+        by_class: class name ("gpu" / "cpu") → trained compute model.
+        featurizer: shared table featurizer (batch size is part of the
+            model contract).
+        reports: class name → training outcome, for accuracy reporting.
+        batch_size: deployment batch size the models were trained at.
+    """
+
+    by_class: Mapping[str, ComputeCostModel]
+    featurizer: TableFeaturizer
+    reports: Mapping[str, TrainResult]
+    batch_size: int
+
+    def model_for(self, klass: str) -> ComputeCostModel:
+        try:
+            return self.by_class[klass]
+        except KeyError:
+            raise KeyError(
+                f"no cost model for device class {klass!r}; trained classes: "
+                f"{sorted(self.by_class)}"
+            ) from None
+
+
+def pretrain_mixed_cost_models(
+    cluster: HeterogeneousCluster,
+    pool: TablePool,
+    collection: CollectionConfig | None = None,
+    train: TrainConfig | None = None,
+    seed: int = 0,
+) -> MixedCostModels:
+    """Train one computation cost model per device class of ``cluster``.
+
+    For each distinct class, the micro-benchmark runs on a single-device
+    :class:`~repro.hardware.cluster.SimulatedCluster` built from the first
+    device of that class (classes are homogeneous within themselves), with
+    the same combination generator, featurizer, and training protocol as
+    the homogeneous pipeline.
+    """
+    collection = collection or CollectionConfig()
+    train_cfg = train or TrainConfig()
+    featurizer = TableFeaturizer(batch_size=cluster.batch_size)
+    trainer = Trainer(train_cfg)
+
+    classes: dict[str, int] = {}
+    for d, klass in enumerate(cluster.device_classes):
+        classes.setdefault(klass, d)
+
+    by_class: dict[str, ComputeCostModel] = {}
+    reports: dict[str, TrainResult] = {}
+    for i, (klass, device_index) in enumerate(sorted(classes.items())):
+        rng_collect, rng_init, rng_split, rng_fit = spawn_rngs(seed + i, 4)
+        spec = cluster.specs[device_index]
+        bench = SimulatedCluster(
+            ClusterConfig(
+                num_devices=1,
+                memory_bytes=cluster.memory_budgets[device_index],
+                batch_size=cluster.batch_size,
+            ),
+            spec=spec,
+            noise_seed=cluster.noise_seed,
+        )
+        data = collect_compute_data(bench, pool, featurizer, collection, rng_collect)
+        model = ComputeCostModel(num_features=featurizer.num_features, rng=rng_init)
+        reports[klass] = fit_standardized(
+            model,
+            data,
+            trainer,
+            train_cfg.train_frac,
+            train_cfg.valid_frac,
+            rng_split,
+            int(rng_fit.integers(2**31)),
+        )
+        by_class[klass] = model
+    return MixedCostModels(
+        by_class=by_class,
+        featurizer=featurizer,
+        reports=reports,
+        batch_size=cluster.batch_size,
+    )
+
+
+@dataclass(frozen=True)
+class MixedShardingResult:
+    """Outcome of mixed-cluster sharding.
+
+    Attributes:
+        feasible: a memory-legal placement exists.
+        per_device: table sets per device (after column splits).
+        predicted_bottleneck_ms: the search's estimate of the bottleneck
+            device cost (class-specific compute + drain proxy).
+        column_splits: how many column-wise splits the outer loop applied.
+        cache_hit_rate: computation-cost cache hit rate during the search.
+    """
+
+    feasible: bool
+    per_device: tuple[tuple[TableConfig, ...], ...]
+    predicted_bottleneck_ms: float
+    column_splits: int
+    cache_hit_rate: float
+
+    @property
+    def device_dims(self) -> tuple[int, ...]:
+        return tuple(sum(t.dim for t in dev) for dev in self.per_device)
+
+
+class MixedClusterSharder:
+    """Greedy mixed CPU-GPU sharder on per-class pre-trained cost models.
+
+    Args:
+        cluster: the heterogeneous cluster (shapes, classes and memory
+            budgets; never probed for costs during search).
+        models: per-class cost models from
+            :func:`pretrain_mixed_cost_models`.
+        grid_points: drain-constraint grid resolution (``M`` analogue).
+        grid_end_factor: grid upper bound as a multiple of the average
+            drain (1.5, as in the paper's ``Me = 1.5 * Ms``).
+        max_steps: column-wise split budget of the outer loop (``L``
+            analogue).
+        comm_weight: weight of the drain proxy in the bottleneck estimate.
+            The proxy is in milliseconds already (bytes / bandwidth), so
+            1.0 treats predicted compute and drain equally.
+    """
+
+    def __init__(
+        self,
+        cluster: HeterogeneousCluster,
+        models: MixedCostModels,
+        grid_points: int = 8,
+        grid_end_factor: float = 1.5,
+        max_steps: int = 6,
+        comm_weight: float = 1.0,
+    ) -> None:
+        if grid_points < 1:
+            raise ValueError(f"grid_points must be >= 1, got {grid_points}")
+        if grid_end_factor < 1.0:
+            raise ValueError(
+                f"grid_end_factor must be >= 1.0, got {grid_end_factor}"
+            )
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+        if comm_weight < 0:
+            raise ValueError(f"comm_weight must be >= 0, got {comm_weight}")
+        for klass in set(cluster.device_classes):
+            models.model_for(klass)  # fail fast on a missing class
+        self.cluster = cluster
+        self.models = models
+        self.grid_points = grid_points
+        self.grid_end_factor = grid_end_factor
+        self.max_steps = max_steps
+        self.comm_weight = comm_weight
+        # One cache per device class: the same table set has a different
+        # cost on a CPU than on a GPU, so keys must not collide.
+        self._caches = {k: CostCache() for k in set(cluster.device_classes)}
+
+    # ------------------------------------------------------------------
+    # cost prediction
+    # ------------------------------------------------------------------
+
+    def _predict_compute(
+        self, klass: str, table_sets: Sequence[Sequence[TableConfig]]
+    ) -> list[float]:
+        """Cached class-specific compute predictions for device sets."""
+        cache = self._caches[klass]
+        model = self.models.model_for(klass)
+        costs: list[float | None] = []
+        missing: list[int] = []
+        keys = []
+        for i, tables in enumerate(table_sets):
+            if len(tables) == 0:
+                costs.append(0.0)
+                continue
+            key = table_set_key(tables)
+            cached = cache.get(key)
+            costs.append(cached)
+            if cached is None:
+                missing.append(i)
+                keys.append(key)
+        if missing:
+            matrices = [
+                self.models.featurizer.features_matrix(list(table_sets[i]))
+                for i in missing
+            ]
+            preds = np.maximum(model.predict_many(matrices), 1e-3)
+            for i, key, value in zip(missing, keys, preds):
+                cache.put(key, float(value))
+                costs[i] = float(value)
+        return [float(c) for c in costs]  # type: ignore[arg-type]
+
+    def _drain_ms(self, device: int, device_dim: int) -> float:
+        """Analytic all-to-all drain proxy for one device (Observation 3
+        generalized to heterogeneous links)."""
+        spec = self.cluster.specs[device]
+        num_devices = self.cluster.num_devices
+        if num_devices == 1:
+            return 0.0
+        peer_fraction = (num_devices - 1) / num_devices
+        volume = device_dim * self.cluster.batch_size * 4.0 * peer_fraction
+        return volume / spec.comm_bandwidth_bytes_per_ms
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+
+    def shard(self, tables: Sequence[TableConfig]) -> MixedShardingResult:
+        """Search for the best mixed placement of ``tables``.
+
+        Outer loop: up to ``max_steps`` column splits of the currently
+        most costly splittable table; inner loop: greedy allocation under
+        the grid-searched drain constraint.  Returns the best placement
+        found across all outer steps.
+        """
+        if len(tables) == 0:
+            raise ValueError("cannot shard an empty table list")
+        current = list(tables)
+        best: MixedShardingResult | None = None
+        splits = 0
+        for step in range(self.max_steps + 1):
+            candidate = self._grid_search(current, splits)
+            if candidate.feasible and (
+                best is None
+                or not best.feasible
+                or candidate.predicted_bottleneck_ms < best.predicted_bottleneck_ms
+            ):
+                best = candidate
+            elif best is None:
+                best = candidate
+            if step == self.max_steps:
+                break
+            split_index = self._pick_split(current)
+            if split_index is None:
+                break
+            a, b = current[split_index].halved()
+            current = (
+                current[: split_index]
+                + [a]
+                + current[split_index + 1 :]
+                + [b]
+            )
+            splits += 1
+        assert best is not None
+        return best
+
+    def _pick_split(self, tables: list[TableConfig]) -> int | None:
+        """Index of the most costly splittable table (GPU-class cost),
+        breaking ties towards the largest size; ``None`` if none can."""
+        splittable = [i for i, t in enumerate(tables) if t.can_halve]
+        if not splittable:
+            return None
+        klass = "gpu" if "gpu" in self._caches else next(iter(self._caches))
+        costs = self._predict_compute(klass, [[tables[i]] for i in splittable])
+        ranked = sorted(
+            zip(splittable, costs),
+            key=lambda ic: (-ic[1], -tables[ic[0]].size_bytes),
+        )
+        return ranked[0][0]
+
+    def _grid_search(
+        self, tables: Sequence[TableConfig], splits: int
+    ) -> MixedShardingResult:
+        """Inner loop: greedy allocation under a drain-constraint grid."""
+        num_devices = self.cluster.num_devices
+        # Average drain if dimensions were spread evenly over devices,
+        # each draining at its own link speed.
+        total_dim = sum(t.dim for t in tables)
+        avg_dim = total_dim / num_devices
+        drains = [self._drain_ms(d, int(avg_dim)) for d in range(num_devices)]
+        ms = max(float(np.mean(drains)), 1e-9)
+        me = self.grid_end_factor * ms
+        if self.grid_points == 1:
+            grid = [ms]
+        else:
+            grid = list(np.linspace(ms, me, self.grid_points))
+        grid.append(math.inf)
+
+        # Sort by GPU-class single-table cost (the class most tables land
+        # on); CPUs see the same ordering, which only affects tie-breaks.
+        klass0 = "gpu" if "gpu" in self._caches else next(iter(self._caches))
+        singles = self._predict_compute(klass0, [[t] for t in tables])
+        order = np.argsort(-np.asarray(singles), kind="stable")
+
+        lookups_before = sum(c.lookups for c in self._caches.values())
+        hits_before = sum(c.hits for c in self._caches.values())
+
+        best_cost = math.inf
+        best_assignment: tuple[int, ...] | None = None
+        for max_drain in grid:
+            assignment = self._greedy_assign(tables, order, max_drain)
+            if assignment is None:
+                continue
+            cost = self._bottleneck(tables, assignment)
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+
+        lookups = sum(c.lookups for c in self._caches.values()) - lookups_before
+        hits = sum(c.hits for c in self._caches.values()) - hits_before
+        hit_rate = hits / lookups if lookups else 0.0
+
+        if best_assignment is None:
+            return MixedShardingResult(
+                feasible=False,
+                per_device=tuple(() for _ in range(num_devices)),
+                predicted_bottleneck_ms=math.inf,
+                column_splits=splits,
+                cache_hit_rate=hit_rate,
+            )
+        per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+        for ti, d in enumerate(best_assignment):
+            per_device[d].append(tables[ti])
+        return MixedShardingResult(
+            feasible=True,
+            per_device=tuple(tuple(dev) for dev in per_device),
+            predicted_bottleneck_ms=best_cost,
+            column_splits=splits,
+            cache_hit_rate=hit_rate,
+        )
+
+    def _greedy_assign(
+        self,
+        tables: Sequence[TableConfig],
+        order: np.ndarray,
+        max_drain: float,
+    ) -> tuple[int, ...] | None:
+        """One greedy pass under a per-device drain constraint."""
+        num_devices = self.cluster.num_devices
+        classes = self.cluster.device_classes
+        device_tables: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+        device_bytes = [0] * num_devices
+        device_dims = [0] * num_devices
+        assignment = [0] * len(tables)
+        memories = [slot.memory for slot in self.cluster.devices]
+
+        for ti in order:
+            table = tables[ti]
+            candidates = []
+            for d in range(num_devices):
+                t_bytes = memories[d].table_bytes(table)
+                if device_bytes[d] + t_bytes > memories[d].memory_bytes:
+                    continue
+                if self._drain_ms(d, device_dims[d] + table.dim) > max_drain:
+                    continue
+                candidates.append(d)
+            if not candidates:
+                return None
+            # Bottleneck-aware greedy: the winning device is the one whose
+            # class-specific (compute + drain) cost ends up lowest.
+            scores = []
+            for d in candidates:
+                compute = self._predict_compute(
+                    classes[d], [device_tables[d] + [table]]
+                )[0]
+                drain = self._drain_ms(d, device_dims[d] + table.dim)
+                scores.append(compute + self.comm_weight * drain)
+            best = candidates[int(np.argmin(scores))]
+            device_tables[best].append(table)
+            device_bytes[best] += memories[best].table_bytes(table)
+            device_dims[best] += table.dim
+            assignment[ti] = best
+        return tuple(assignment)
+
+    def _bottleneck(
+        self, tables: Sequence[TableConfig], assignment: Sequence[int]
+    ) -> float:
+        """Predicted bottleneck cost of a completed assignment."""
+        num_devices = self.cluster.num_devices
+        classes = self.cluster.device_classes
+        per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+        for ti, d in enumerate(assignment):
+            per_device[d].append(tables[ti])
+        worst = 0.0
+        for d in range(num_devices):
+            compute = self._predict_compute(classes[d], [per_device[d]])[0]
+            drain = self._drain_ms(d, sum(t.dim for t in per_device[d]))
+            worst = max(worst, compute + self.comm_weight * drain)
+        return worst

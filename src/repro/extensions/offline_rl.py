@@ -1,0 +1,265 @@
+"""Offline-RL sharding policy (paper Appendix H, strategy 3).
+
+Appendix H's third sketch: *"Offline reinforcement learning: the idea is
+to learn the optimal strategy based on offline data ... this can also be
+applied to the offline sharding log."*  Unlike self-imitation
+(:mod:`repro.extensions.imitation`), which clones only *good* plans, an
+offline-RL learner consumes the **whole** log — good and bad plans with
+their measured costs — and weights its updates by how much better than
+the log average each plan was.
+
+:class:`OfflineRLSharder` implements advantage-weighted regression (AWR),
+a simple, stable offline-RL algorithm that fits this setting exactly:
+
+1. **Log collection** (:func:`collect_sharding_log`) — run any mix of
+   sharders (greedy heuristics, random, NeuroShard) on training tasks and
+   record ``(task, plan, simulated cost)`` triples, mimicking the system
+   log a production sharding service accumulates.
+2. **Advantage weighting** — within each task's log entries, a plan's
+   advantage is the (standardized) gap between the task's mean cost and
+   its own cost; sample weights are ``exp(advantage / temperature)``,
+   clipped for stability.  Plans worse than average get weights < 1,
+   plans better than average dominate the gradient — which is how the
+   policy can *exceed* the average demonstrator rather than imitate it.
+3. **Weighted behaviour cloning** — the same decision-replay state
+   encoding as the imitation sharder, but every logged decision's
+   cross-entropy term is scaled by its plan's weight.
+4. **Deployment** — one-pass greedy rollout with memory masking
+   (inherited).
+
+The comparison the extension benchmark draws: trained on a log of
+*heuristic* plans only, the offline-RL policy beats the mean heuristic
+because it preferentially reproduces the per-task winner's decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache import CostCache
+from repro.core.plan import ShardingPlan
+from repro.core.simulator import NeuroShardSimulator
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.data.tasks import ShardingTask
+from repro.extensions.imitation import ImitationSharder
+from repro.nn import Adam
+
+__all__ = [
+    "OfflineLogEntry",
+    "OfflineDataset",
+    "OfflineRLSharder",
+    "collect_sharding_log",
+]
+
+
+@dataclass(frozen=True)
+class OfflineLogEntry:
+    """One line of the sharding system log.
+
+    Attributes:
+        task_index: which training task the plan answers (advantages are
+            computed within a task; costs across tasks are not
+            comparable).
+        plan: the logged sharding plan.
+        cost_ms: the plan's embedding cost — measured on hardware in
+            production, simulated on the cost models here.
+    """
+
+    task_index: int
+    plan: ShardingPlan
+    cost_ms: float
+
+    def __post_init__(self) -> None:
+        if self.task_index < 0:
+            raise ValueError(f"task_index must be >= 0, got {self.task_index}")
+        if not np.isfinite(self.cost_ms) or self.cost_ms < 0:
+            raise ValueError(f"cost_ms must be finite and >= 0, got {self.cost_ms}")
+
+
+@dataclass
+class OfflineDataset:
+    """Flattened (state, action, weight) decisions from the log."""
+
+    states: np.ndarray  # [N, F]
+    actions: np.ndarray  # [N]
+    weights: np.ndarray  # [N]
+
+    def __post_init__(self) -> None:
+        if not len(self.states) == len(self.actions) == len(self.weights):
+            raise ValueError("states, actions and weights must align")
+        if len(self.states) == 0:
+            raise ValueError("empty offline dataset")
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def collect_sharding_log(
+    tasks: Sequence[ShardingTask],
+    sharders: Sequence,
+    models: PretrainedCostModels,
+) -> list[OfflineLogEntry]:
+    """Run every sharder on every task; log feasible plans with costs.
+
+    The cost recorded is the *simulated* embedding cost on the cost-model
+    bundle — the offline-RL story only needs costs that rank plans
+    consistently, and the simulator is what a production log would have
+    attached to every historical job anyway.
+    """
+    simulator = NeuroShardSimulator(models, CostCache())
+    log: list[OfflineLogEntry] = []
+    for i, task in enumerate(tasks):
+        for sharder in sharders:
+            result = sharder.shard(task)
+            plan = getattr(result, "plan", result)
+            if plan is None or getattr(result, "feasible", True) is False:
+                continue
+            per_device = plan.per_device_tables(task.tables)
+            cost = simulator.plan_cost(per_device).max_cost_ms
+            log.append(OfflineLogEntry(task_index=i, plan=plan, cost_ms=cost))
+    return log
+
+
+class OfflineRLSharder(ImitationSharder):
+    """Advantage-weighted regression on the sharding log.
+
+    Args:
+        models: the cost-model bundle (state featurization).
+        temperature: AWR temperature; smaller concentrates weight on the
+            per-task best plans (→ imitation of the winner), larger
+            flattens towards plain behaviour cloning of everything.
+        max_weight: weight clip for stability.
+        hidden: policy MLP hidden sizes.
+        seed: initialization seed.
+    """
+
+    name = "OfflineRL"
+
+    def __init__(
+        self,
+        models: PretrainedCostModels,
+        temperature: float = 0.5,
+        max_weight: float = 20.0,
+        hidden: tuple[int, ...] = (128, 64),
+        seed: int = 0,
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        if max_weight <= 0:
+            raise ValueError(f"max_weight must be > 0, got {max_weight}")
+        super().__init__(models, hidden=hidden, seed=seed)
+        self.temperature = temperature
+        self.max_weight = max_weight
+
+    # ------------------------------------------------------------------
+    # dataset construction
+    # ------------------------------------------------------------------
+
+    def build_offline_dataset(
+        self,
+        tasks: Sequence[ShardingTask],
+        log: Sequence[OfflineLogEntry],
+    ) -> OfflineDataset:
+        """Replay every logged plan; weight decisions by plan advantage.
+
+        Advantages are standardized within each task: a task logged with
+        one single plan contributes weight 1 (no signal either way).
+        """
+        if len(log) == 0:
+            raise ValueError("empty sharding log")
+        for entry in log:
+            if entry.task_index >= len(tasks):
+                raise ValueError(
+                    f"log entry references task {entry.task_index} but only "
+                    f"{len(tasks)} tasks were given"
+                )
+        simulator = NeuroShardSimulator(self.models, CostCache())
+
+        # Per-task cost statistics for the advantage baseline.
+        by_task: dict[int, list[float]] = {}
+        for entry in log:
+            by_task.setdefault(entry.task_index, []).append(entry.cost_ms)
+
+        states, actions, weights = [], [], []
+        for entry in log:
+            costs = by_task[entry.task_index]
+            mean = float(np.mean(costs))
+            std = float(np.std(costs))
+            if std > 0:
+                advantage = (mean - entry.cost_ms) / std
+                weight = float(
+                    np.clip(
+                        np.exp(advantage / self.temperature), 0.0, self.max_weight
+                    )
+                )
+            else:
+                weight = 1.0
+            task = tasks[entry.task_index]
+            sharded = entry.plan.sharded_tables(task.tables)
+            s, a = self._replay(task, sharded, entry.plan.assignment, simulator)
+            states.extend(s)
+            actions.extend(a)
+            weights.extend([weight] * len(a))
+        return OfflineDataset(
+            states=np.stack(states),
+            actions=np.array(actions, dtype=np.int64),
+            weights=np.array(weights, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # weighted behaviour cloning
+    # ------------------------------------------------------------------
+
+    def fit_offline(
+        self,
+        dataset: OfflineDataset,
+        epochs: int = 60,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+    ) -> list[float]:
+        """Advantage-weighted cross-entropy; returns the loss curve."""
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        optimizer = Adam(self.policy.parameters(), lr=lr)
+        n = len(dataset)
+        curve = []
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                x = dataset.states[idx]
+                y = dataset.actions[idx]
+                w = dataset.weights[idx]
+                logits = self.policy.forward(x)
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                probs = exp / exp.sum(axis=1, keepdims=True)
+                nll = -np.log(probs[np.arange(len(y)), y] + 1e-12)
+                epoch_loss += float((w * nll).sum())
+                grad = probs
+                grad[np.arange(len(y)), y] -= 1.0
+                grad *= (w / max(float(w.sum()), 1e-12))[:, None]
+                optimizer.zero_grad()
+                self.policy.backward(grad)
+                optimizer.step()
+            curve.append(epoch_loss / n)
+        self._trained = True
+        return curve
+
+    def fit_from_log(
+        self,
+        tasks: Sequence[ShardingTask],
+        sharders: Sequence,
+        epochs: int = 60,
+    ) -> list[float]:
+        """Convenience: collect the log from ``sharders`` and train."""
+        log = collect_sharding_log(tasks, sharders, self.models)
+        if not log:
+            raise RuntimeError("no sharder produced a feasible plan to log")
+        return self.fit_offline(self.build_offline_dataset(tasks, log), epochs=epochs)

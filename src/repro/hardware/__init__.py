@@ -1,0 +1,76 @@
+"""Simulated multi-GPU hardware substrate (ground truth for all costs).
+
+The paper measures embedding computation and communication latencies on a
+server with eight RTX 2080 Ti GPUs running FBGEMM fused embedding kernels
+and NCCL all-to-all collectives.  That hardware is not available here, so
+this package provides a deterministic analytical simulator, calibrated so
+that the paper's three motivating observations hold (see
+:mod:`repro.hardware.kernel` and :mod:`repro.hardware.comm` for the cost
+equations and DESIGN.md for the substitution rationale):
+
+- **Observation 1** — column-halving a table yields shards that each cost
+  more than half the parent (fixed per-table work + sub-linear dimension
+  efficiency).
+- **Observation 2** — fused multi-table cost is a non-linear, sub-additive
+  function of single-table costs (kernel-fusion speedup grows with the
+  number of tables).
+- **Observation 3** — the max all-to-all communication cost across devices
+  is driven by the max device dimension (plus start-time skew).
+
+The sharding algorithms interact with hardware only through measured
+latencies, so any ground truth with this qualitative structure exercises
+exactly the code paths the paper exercises.
+
+Public API:
+
+- :class:`~repro.hardware.device.DeviceSpec` — calibration constants.
+- :class:`~repro.hardware.kernel.EmbeddingKernelModel` — fused-kernel cost.
+- :class:`~repro.hardware.comm.AllToAllModel` — collective cost.
+- :class:`~repro.hardware.memory.MemoryModel` — memory accounting / OOM.
+- :class:`~repro.hardware.cluster.SimulatedCluster` — the facade the rest
+  of the repository talks to.
+- :class:`~repro.hardware.trace.TraceSimulator` — per-iteration timelines,
+  straggler accumulation, end-to-end throughput.
+- :class:`~repro.hardware.hetero.HeterogeneousCluster` — mixed CPU-GPU
+  clusters (Section 6 future work), with per-device calibrations from
+  :mod:`repro.hardware.presets`.
+"""
+
+from repro.hardware.device import DeviceSpec
+from repro.hardware.kernel import EmbeddingKernelModel
+from repro.hardware.comm import AllToAllModel, CommMeasurement
+from repro.hardware.memory import MemoryModel, OutOfMemoryError
+from repro.hardware.cluster import PlanExecution, SimulatedCluster
+from repro.hardware.trace import IterationTrace, TraceEvent, TraceSimulator
+from repro.hardware.hetero import HeteroAllToAllModel, HeterogeneousCluster
+from repro.hardware.topology import HierarchicalAllToAllModel, TopologySpec
+from repro.hardware.presets import (
+    DEVICE_PRESETS,
+    cpu_host,
+    device_class,
+    gpu_2080ti,
+    gpu_a100,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "EmbeddingKernelModel",
+    "AllToAllModel",
+    "CommMeasurement",
+    "MemoryModel",
+    "OutOfMemoryError",
+    "PlanExecution",
+    "SimulatedCluster",
+    "IterationTrace",
+    "TraceEvent",
+    "TraceSimulator",
+    "HeteroAllToAllModel",
+    "HeterogeneousCluster",
+    "HierarchicalAllToAllModel",
+    "TopologySpec",
+    "DEVICE_PRESETS",
+    "cpu_host",
+    "device_class",
+    "gpu_2080ti",
+    "gpu_a100",
+]

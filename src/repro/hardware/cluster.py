@@ -1,0 +1,186 @@
+"""The simulated cluster facade: what the rest of the repo calls "GPUs".
+
+Everything outside :mod:`repro.hardware` interacts with hardware through
+this class, which mirrors the roles the real testbed plays in the paper:
+
+- **micro-benchmarking** for cost-model training data
+  (:meth:`SimulatedCluster.measure_compute`,
+  :meth:`SimulatedCluster.measure_comm` — the PARAM-benchmark stand-in),
+- **plan evaluation** (:meth:`SimulatedCluster.evaluate_plan` — "run the
+  embedding operations on GPUs ... and use a timer", Section 4), and
+- **memory feasibility** (:meth:`SimulatedCluster.plan_fits`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config import ClusterConfig
+from repro.data.table import TableConfig
+from repro.hardware.comm import AllToAllModel, CommMeasurement
+from repro.hardware.device import DeviceSpec
+from repro.hardware.kernel import EmbeddingKernelModel
+from repro.hardware.memory import MemoryModel, OutOfMemoryError
+from repro.hardware.trace import IterationTrace, TraceSimulator
+
+__all__ = ["PlanExecution", "SimulatedCluster"]
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """Result of executing a sharding plan on the simulated cluster.
+
+    Attributes:
+        compute_costs_ms: per-device embedding forward+backward time.
+        fwd_comm_costs_ms / bwd_comm_costs_ms: per-device measured
+            all-to-all latencies (waiting included), steady state.
+        iteration_ms: wall-clock duration of a steady-state iteration.
+        throughput_samples_per_s: end-to-end training throughput.
+    """
+
+    compute_costs_ms: tuple[float, ...]
+    fwd_comm_costs_ms: tuple[float, ...]
+    bwd_comm_costs_ms: tuple[float, ...]
+    iteration_ms: float
+    throughput_samples_per_s: float
+
+    @property
+    def device_costs_ms(self) -> tuple[float, ...]:
+        """Per-device embedding cost: compute + fwd comm + bwd comm."""
+        return tuple(
+            c + f + b
+            for c, f, b in zip(
+                self.compute_costs_ms,
+                self.fwd_comm_costs_ms,
+                self.bwd_comm_costs_ms,
+            )
+        )
+
+    @property
+    def max_cost_ms(self) -> float:
+        """The bottleneck device's embedding cost — Table 1's metric."""
+        return max(self.device_costs_ms)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.compute_costs_ms)
+
+
+class SimulatedCluster:
+    """A homogeneous multi-GPU training cluster (simulated).
+
+    Args:
+        config: device count, memory budget, batch size.
+        spec: per-device calibration constants.
+        noise_seed: measurement-noise seed (a different seed simulates a
+            different physical machine).
+        comm: optional collective-model override; anything with
+            ``AllToAllModel``'s ``measure`` signature, e.g. a
+            :class:`~repro.hardware.topology.HierarchicalAllToAllModel`
+            for NVLink-island / RDMA-fabric production topologies.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        spec: DeviceSpec | None = None,
+        noise_seed: int = 0,
+        comm: AllToAllModel | None = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.spec = spec or DeviceSpec()
+        self.noise_seed = noise_seed
+        self.kernel = EmbeddingKernelModel(self.spec, noise_seed)
+        self.comm = comm if comm is not None else AllToAllModel(self.spec, noise_seed)
+        self.memory = MemoryModel(self.config.memory_bytes)
+        self.tracer = TraceSimulator(
+            self.spec, self.config.batch_size, noise_seed, comm=self.comm
+        )
+
+    @property
+    def num_devices(self) -> int:
+        return self.config.num_devices
+
+    @property
+    def batch_size(self) -> int:
+        return self.config.batch_size
+
+    # ------------------------------------------------------------------
+    # micro-benchmarks (training-data collection)
+    # ------------------------------------------------------------------
+
+    def measure_compute(
+        self, tables: Sequence[TableConfig], noisy: bool = True
+    ) -> float:
+        """Fused-kernel forward+backward latency of one table combination.
+
+        The warm-up + median-of-repeats protocol of Appendix A is folded
+        into the deterministic noise model (the median's residual variance
+        is what ``noise_fraction`` represents).
+        """
+        return self.kernel.total_ms(list(tables), self.config.batch_size, noisy=noisy)
+
+    def measure_comm(
+        self,
+        device_dims: Sequence[int],
+        start_times_ms: Sequence[float] | None = None,
+        backward: bool = False,
+        noisy: bool = True,
+    ) -> CommMeasurement:
+        """All-to-all latency for given device dimensions and start skew."""
+        return self.comm.measure(
+            device_dims,
+            self.config.batch_size,
+            start_times_ms=start_times_ms,
+            backward=backward,
+            noisy=noisy,
+        )
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def plan_fits(self, per_device: Sequence[Sequence[TableConfig]]) -> bool:
+        """Whether every device of the placement fits the memory budget."""
+        if len(per_device) != self.num_devices:
+            raise ValueError(
+                f"placement has {len(per_device)} devices, cluster has "
+                f"{self.num_devices}"
+            )
+        return self.memory.placement_fits(per_device)
+
+    # ------------------------------------------------------------------
+    # plan execution (ground-truth evaluation)
+    # ------------------------------------------------------------------
+
+    def evaluate_plan(
+        self,
+        per_device: Sequence[Sequence[TableConfig]],
+        warmup_iterations: int = 2,
+    ) -> PlanExecution:
+        """Execute a placement and measure steady-state per-device costs.
+
+        Raises:
+            OutOfMemoryError: if any device's table set exceeds the
+                embedding memory budget (the paper's "-" outcome).
+        """
+        if len(per_device) != self.num_devices:
+            raise ValueError(
+                f"placement has {len(per_device)} devices, cluster has "
+                f"{self.num_devices}"
+            )
+        self.memory.check_placement(per_device)
+        trace: IterationTrace = self.tracer.steady_state(
+            per_device, warmup_iterations=warmup_iterations
+        )
+        throughput = (
+            self.num_devices * self.config.batch_size / trace.iteration_ms * 1000.0
+        )
+        return PlanExecution(
+            compute_costs_ms=trace.compute_costs_ms,
+            fwd_comm_costs_ms=trace.fwd_comm_costs_ms,
+            bwd_comm_costs_ms=trace.bwd_comm_costs_ms,
+            iteration_ms=trace.iteration_ms,
+            throughput_samples_per_s=throughput,
+        )

@@ -1,0 +1,150 @@
+"""All-to-all communication cost (ground truth).
+
+In DLRM model-parallel training every device holds a slice of the tables,
+computes pooled embeddings for the *global* batch, and exchanges slices
+with every peer through an all-to-all collective — once forward
+(embeddings) and once backward (gradients), per iteration (Figure 1).
+
+Cost structure (Section 2.2):
+
+- Device ``d`` sends ``batch * device_dim_d * 4`` bytes per peer slice;
+  total egress is proportional to its *device dimension* (sum of its
+  tables' dimensions).
+- The collective is synchronous: no data flows until every participant
+  has arrived, so a device arriving early *waits* for the last starter.
+  The paper injects random starting timestamps when collecting training
+  data precisely to cover this skew (Section 3.1).
+- Completion is dominated by the slowest participant's message volume:
+  we blend ``straggler_weight`` of the max device dimension with the
+  remainder of the device's own dimension.
+
+The *measured* cost on device ``d`` is ``completion_d - start_d`` — what a
+timer around the collective call would report — which makes **Observation
+3** (max measured cost tracks max device dimension) structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.utils import deterministic_normal
+
+__all__ = ["AllToAllModel", "CommMeasurement"]
+
+
+@dataclass(frozen=True)
+class CommMeasurement:
+    """Per-device timings of one all-to-all collective.
+
+    Attributes:
+        costs_ms: measured latency per device (completion − own start).
+        completion_ms: absolute completion timestamp per device.
+    """
+
+    costs_ms: tuple[float, ...]
+    completion_ms: tuple[float, ...]
+
+    @property
+    def max_cost_ms(self) -> float:
+        """The bottleneck cost (the paper's evaluation metric)."""
+        return max(self.costs_ms)
+
+
+class AllToAllModel:
+    """Ground-truth communication model for a ``D``-device collective.
+
+    Args:
+        spec: device/link calibration constants.
+        noise_seed: folded into deterministic measurement noise.
+    """
+
+    def __init__(self, spec: DeviceSpec | None = None, noise_seed: int = 0) -> None:
+        self.spec = spec or DeviceSpec()
+        self.noise_seed = noise_seed
+
+    def _transfer_ms(
+        self, device_dims: np.ndarray, batch_size: int, backward: bool
+    ) -> np.ndarray:
+        """Wire time per device once all participants have arrived."""
+        spec = self.spec
+        num_devices = len(device_dims)
+        if num_devices == 1:
+            return np.zeros(1)
+        # Each device exchanges (D-1)/D of the global batch's slice bytes.
+        peer_fraction = (num_devices - 1) / num_devices
+        bytes_per_dim = batch_size * 4.0 * peer_fraction
+        max_dim = float(device_dims.max())
+        blended = (
+            spec.straggler_weight * max_dim
+            + (1.0 - spec.straggler_weight) * device_dims.astype(np.float64)
+        )
+        wire = blended * bytes_per_dim / spec.comm_bandwidth_bytes_per_ms
+        wire += spec.comm_latency_ms * (num_devices - 1)
+        if backward:
+            wire *= spec.backward_comm_factor
+        return wire
+
+    def measure(
+        self,
+        device_dims: Sequence[int],
+        batch_size: int,
+        start_times_ms: Sequence[float] | None = None,
+        backward: bool = False,
+        noisy: bool = True,
+    ) -> CommMeasurement:
+        """Measure one collective.
+
+        Args:
+            device_dims: per-device sum of table dimensions.
+            batch_size: per-device mini-batch size.
+            start_times_ms: per-device timestamps at which each device
+                reaches the collective; ``None`` means simultaneous.
+            backward: gradient all-to-all (slightly slower).
+            noisy: include deterministic measurement noise.
+
+        Returns:
+            Per-device measured costs and absolute completion times.
+        """
+        dims = np.asarray(device_dims, dtype=np.int64)
+        if dims.ndim != 1 or len(dims) < 1:
+            raise ValueError("device_dims must be a non-empty 1-D sequence")
+        if np.any(dims < 0):
+            raise ValueError("device dimensions must be >= 0")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if start_times_ms is None:
+            starts = np.zeros(len(dims))
+        else:
+            starts = np.asarray(start_times_ms, dtype=np.float64)
+            if starts.shape != dims.shape:
+                raise ValueError(
+                    f"start_times_ms length {len(starts)} != devices {len(dims)}"
+                )
+            if np.any(starts < 0):
+                raise ValueError("start times must be >= 0")
+
+        # Synchronous collective: data flows once the last device arrives.
+        barrier = float(starts.max())
+        wire = self._transfer_ms(dims, batch_size, backward)
+        completion = barrier + wire
+        costs = completion - starts
+
+        if noisy and self.spec.noise_fraction > 0 and len(dims) > 1:
+            tag = "bwd" if backward else "fwd"
+            key_dims = tuple(int(d) for d in dims)
+            key_starts = tuple(round(float(s), 3) for s in starts)
+            for d in range(len(dims)):
+                z = deterministic_normal(
+                    "comm", tag, self.noise_seed, batch_size, key_dims, key_starts, d
+                )
+                costs[d] *= 1.0 + self.spec.noise_fraction * z
+            completion = starts + costs
+
+        return CommMeasurement(
+            costs_ms=tuple(float(c) for c in costs),
+            completion_ms=tuple(float(c) for c in completion),
+        )

@@ -1,0 +1,136 @@
+"""Device calibration constants for the simulated GPU.
+
+Defaults model an RTX 2080 Ti-class device (the paper's testbed): ~11 GB
+of device memory, a ~5.5 MB L2 cache, ~616 GB/s DRAM bandwidth (much lower
+effective bandwidth for random gathers), and PCIe-class inter-GPU links.
+The absolute values only set the latency *scale*; the reproduction targets
+the qualitative shape of the paper's results, not its exact milliseconds
+(Appendix I: "the cost is highly dependent on the GPUs used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Calibration constants of one simulated GPU and its links.
+
+    Computation-side attributes (used by
+    :class:`~repro.hardware.kernel.EmbeddingKernelModel`):
+
+    Attributes:
+        cache_bytes: effective on-chip cache for embedding rows.  Tables
+            whose per-batch unique working set fits here are cheap to
+            re-read; large cold tables pay DRAM gather cost.
+        gather_bandwidth_bytes_per_ms: effective DRAM bandwidth for random
+            row gathers (far below peak streaming bandwidth).
+        cache_bandwidth_bytes_per_ms: effective bandwidth for rows resident
+            in cache.
+        index_cost_ms: index-processing time per lookup index (hashing,
+            offsets, address generation).  Independent of the embedding
+            dimension — the root cause of Observation 1.
+        kernel_launch_ms: fixed cost of launching the fused kernel.
+        table_overhead_ms: fixed per-table setup cost inside the fused
+            kernel (argument marshalling, pointer chasing).
+        dim_half_sat: dimension at which gather efficiency reaches 50%;
+            small dimensions under-utilize memory transactions, making
+            per-byte cost higher (sub-linear dimension scaling).
+        fusion_max_speedup: asymptotic speedup of the fused multi-table
+            kernel over running tables back-to-back (Observation 2).
+        fusion_tau: number of tables at which fusion speedup saturates
+            (e-folding scale).
+        backward_memory_factor: backward pass gather/scatter traffic
+            relative to forward (gradient scatter re-reads and writes).
+        backward_index_factor: backward index-processing relative to
+            forward (atomic collision handling).
+
+    Communication-side attributes (used by
+    :class:`~repro.hardware.comm.AllToAllModel`):
+
+    Attributes:
+        comm_bandwidth_bytes_per_ms: aggregate all-to-all egress bandwidth
+            per device.
+        comm_latency_ms: per-peer latency term of the collective.
+        backward_comm_factor: backward all-to-all slowdown versus forward.
+        straggler_weight: how strongly the slowest participant's message
+            size dominates collective completion (1.0 = completely).
+
+    Other:
+
+    Attributes:
+        memory_bytes: physical device memory (the benchmark tasks impose a
+            tighter 4 GB *embedding* budget on top of this).
+        dense_forward_ms / dense_backward_ms: latency of the data-parallel
+            dense part of the model, used only by the trace simulator for
+            end-to-end iteration time and throughput (Table 4).
+        noise_fraction: relative std-dev of residual measurement noise
+            after the warm-up + median protocol.
+    """
+
+    name: str = "sim-2080ti"
+    # computation
+    cache_bytes: int = 6 * 1024**2
+    gather_bandwidth_bytes_per_ms: float = 1.0e8  # 100 GB/s random gather
+    cache_bandwidth_bytes_per_ms: float = 1.8e9  # ~1.8 TB/s on-chip
+    index_cost_ms: float = 1.1e-6
+    kernel_launch_ms: float = 0.06
+    table_overhead_ms: float = 0.05
+    dim_half_sat: float = 18.0
+    fusion_max_speedup: float = 1.9
+    fusion_tau: float = 4.0
+    backward_memory_factor: float = 1.35
+    backward_index_factor: float = 1.6
+    # communication
+    comm_bandwidth_bytes_per_ms: float = 6.0e6  # ~6 GB/s effective egress
+    comm_latency_ms: float = 0.25
+    backward_comm_factor: float = 1.15
+    straggler_weight: float = 0.75
+    # other
+    memory_bytes: int = 11 * 1024**3
+    dense_forward_ms: float = 6.0
+    dense_backward_ms: float = 9.0
+    noise_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        positive = (
+            "cache_bytes",
+            "gather_bandwidth_bytes_per_ms",
+            "cache_bandwidth_bytes_per_ms",
+            "index_cost_ms",
+            "dim_half_sat",
+            "fusion_tau",
+            "comm_bandwidth_bytes_per_ms",
+            "memory_bytes",
+        )
+        for attr in positive:
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be > 0, got {getattr(self, attr)}")
+        non_negative = (
+            "kernel_launch_ms",
+            "table_overhead_ms",
+            "comm_latency_ms",
+            "dense_forward_ms",
+            "dense_backward_ms",
+            "noise_fraction",
+        )
+        for attr in non_negative:
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0, got {getattr(self, attr)}")
+        if self.fusion_max_speedup < 1.0:
+            raise ValueError(
+                f"fusion_max_speedup must be >= 1.0, got {self.fusion_max_speedup}"
+            )
+        if not 0.0 <= self.straggler_weight <= 1.0:
+            raise ValueError(
+                f"straggler_weight must be in [0, 1], got {self.straggler_weight}"
+            )
+        if self.backward_memory_factor < 1.0 or self.backward_index_factor < 1.0:
+            raise ValueError("backward factors must be >= 1.0")
+        if self.backward_comm_factor < 1.0:
+            raise ValueError(
+                f"backward_comm_factor must be >= 1.0, got {self.backward_comm_factor}"
+            )

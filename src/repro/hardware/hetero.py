@@ -1,0 +1,356 @@
+"""Heterogeneous (mixed CPU-GPU) cluster simulation — paper future work.
+
+Section 6 of the paper: *"we plan to investigate CPU sharding or mixed
+CPU-GPU sharding scenarios."*  This module provides the substrate for
+that scenario: a cluster whose devices have *different*
+:class:`~repro.hardware.device.DeviceSpec` calibrations (e.g. a few GPUs
+plus a host CPU with huge-but-slow memory), with the same three roles the
+homogeneous :class:`~repro.hardware.cluster.SimulatedCluster` plays —
+micro-benchmarking, plan evaluation, and memory feasibility.
+
+Differences from the homogeneous cluster:
+
+- **computation** is device-specific: the same table set costs a
+  different amount on a CPU than on a GPU, so ``measure_compute`` takes a
+  device index and there is one kernel model per device;
+- **communication** is link-specific: each participant drains its
+  all-to-all volume at its own egress bandwidth, and the synchronous
+  collective completes when the *slowest* participant finishes — a CPU
+  behind PCIe drags every GPU's measured cost up
+  (:class:`HeteroAllToAllModel`);
+- **memory** is per-device: the CPU typically has a far larger embedding
+  budget than the GPUs, which is the entire point of offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import TableConfig
+from repro.hardware.cluster import PlanExecution
+from repro.hardware.device import DeviceSpec
+from repro.hardware.kernel import EmbeddingKernelModel
+from repro.hardware.memory import MemoryModel, OutOfMemoryError
+from repro.hardware.presets import device_class
+from repro.utils import deterministic_normal
+
+__all__ = ["HeteroAllToAllModel", "HeterogeneousCluster"]
+
+
+class HeteroAllToAllModel:
+    """All-to-all collective over devices with unequal egress links.
+
+    The homogeneous :class:`~repro.hardware.comm.AllToAllModel` assumes
+    every participant drains its volume at the same bandwidth.  Here each
+    device ``d`` has its own ``comm_bandwidth_bytes_per_ms`` and latency;
+    the synchronous barrier and straggler-domination structure are
+    unchanged (Section 2.2), but the straggler is now determined by the
+    per-device *drain time* ``dim_d / bandwidth_d`` rather than by the
+    dimension alone — a small CPU shard behind a slow link can still be
+    the bottleneck.
+
+    Args:
+        specs: one calibration per participating device.
+        noise_seed: folded into deterministic measurement noise.
+    """
+
+    def __init__(self, specs: Sequence[DeviceSpec], noise_seed: int = 0) -> None:
+        if len(specs) < 1:
+            raise ValueError("need at least one device spec")
+        self.specs = tuple(specs)
+        self.noise_seed = noise_seed
+
+    def _transfer_ms(
+        self, device_dims: np.ndarray, batch_size: int, backward: bool
+    ) -> np.ndarray:
+        num_devices = len(device_dims)
+        if num_devices == 1:
+            return np.zeros(1)
+        peer_fraction = (num_devices - 1) / num_devices
+        bytes_per_dim = batch_size * 4.0 * peer_fraction
+        bandwidths = np.array(
+            [s.comm_bandwidth_bytes_per_ms for s in self.specs], dtype=np.float64
+        )
+        latencies = np.array([s.comm_latency_ms for s in self.specs])
+        drain = device_dims.astype(np.float64) * bytes_per_dim / bandwidths
+        max_drain = float(drain.max())
+        weights = np.array([s.straggler_weight for s in self.specs])
+        wire = weights * max_drain + (1.0 - weights) * drain
+        wire += latencies * (num_devices - 1)
+        if backward:
+            factors = np.array([s.backward_comm_factor for s in self.specs])
+            wire *= factors
+        return wire
+
+    def measure(
+        self,
+        device_dims: Sequence[int],
+        batch_size: int,
+        start_times_ms: Sequence[float] | None = None,
+        backward: bool = False,
+        noisy: bool = True,
+    ):
+        """Measure one collective; mirrors ``AllToAllModel.measure``."""
+        from repro.hardware.comm import CommMeasurement
+
+        dims = np.asarray(device_dims, dtype=np.int64)
+        if dims.shape != (len(self.specs),):
+            raise ValueError(
+                f"device_dims has {dims.size} entries, cluster has "
+                f"{len(self.specs)} devices"
+            )
+        if np.any(dims < 0):
+            raise ValueError("device dimensions must be >= 0")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if start_times_ms is None:
+            starts = np.zeros(len(dims))
+        else:
+            starts = np.asarray(start_times_ms, dtype=np.float64)
+            if starts.shape != dims.shape:
+                raise ValueError(
+                    f"start_times_ms length {len(starts)} != devices {len(dims)}"
+                )
+            if np.any(starts < 0):
+                raise ValueError("start times must be >= 0")
+
+        barrier = float(starts.max())
+        wire = self._transfer_ms(dims, batch_size, backward)
+        completion = barrier + wire
+        costs = completion - starts
+
+        if noisy and len(dims) > 1:
+            tag = "hbwd" if backward else "hfwd"
+            key_dims = tuple(int(d) for d in dims)
+            key_starts = tuple(round(float(s), 3) for s in starts)
+            for d in range(len(dims)):
+                frac = self.specs[d].noise_fraction
+                if frac <= 0:
+                    continue
+                z = deterministic_normal(
+                    "hcomm", tag, self.noise_seed, batch_size, key_dims, key_starts, d
+                )
+                costs[d] *= 1.0 + frac * z
+            completion = starts + costs
+
+        return CommMeasurement(
+            costs_ms=tuple(float(c) for c in costs),
+            completion_ms=tuple(float(c) for c in completion),
+        )
+
+
+@dataclass(frozen=True)
+class _DeviceSlot:
+    """One device of the heterogeneous cluster."""
+
+    spec: DeviceSpec
+    kernel: EmbeddingKernelModel
+    memory: MemoryModel
+
+    @property
+    def klass(self) -> str:
+        return device_class(self.spec)
+
+
+class HeterogeneousCluster:
+    """A multi-device training cluster with per-device calibrations.
+
+    Args:
+        specs: device calibrations in device order (e.g.
+            ``[gpu_2080ti()] * 4 + [cpu_host()]``).
+        memory_bytes: per-device *embedding* memory budgets.  ``None``
+            uses each spec's physical ``memory_bytes`` (appropriate for
+            the mixed scenario where the CPU budget is the offload
+            headroom); a scalar applies one budget to every device.
+        batch_size: per-iteration mini-batch size.
+        noise_seed: measurement-noise seed.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[DeviceSpec],
+        memory_bytes: Sequence[int] | int | None = None,
+        batch_size: int = 65536,
+        noise_seed: int = 0,
+    ) -> None:
+        if len(specs) < 1:
+            raise ValueError("need at least one device")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if memory_bytes is None:
+            budgets = [s.memory_bytes for s in specs]
+        elif isinstance(memory_bytes, int):
+            budgets = [memory_bytes] * len(specs)
+        else:
+            budgets = list(memory_bytes)
+            if len(budgets) != len(specs):
+                raise ValueError(
+                    f"{len(budgets)} memory budgets for {len(specs)} devices"
+                )
+        self.batch_size = batch_size
+        self.noise_seed = noise_seed
+        self.devices = tuple(
+            _DeviceSlot(
+                spec=spec,
+                kernel=EmbeddingKernelModel(spec, noise_seed),
+                memory=MemoryModel(budget),
+            )
+            for spec, budget in zip(specs, budgets)
+        )
+        self.comm = HeteroAllToAllModel([s for s in specs], noise_seed)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def specs(self) -> tuple[DeviceSpec, ...]:
+        return tuple(slot.spec for slot in self.devices)
+
+    @property
+    def device_classes(self) -> tuple[str, ...]:
+        """Coarse class per device (``"gpu"`` / ``"cpu"``)."""
+        return tuple(slot.klass for slot in self.devices)
+
+    @property
+    def memory_budgets(self) -> tuple[int, ...]:
+        return tuple(slot.memory.memory_bytes for slot in self.devices)
+
+    # ------------------------------------------------------------------
+    # micro-benchmarks
+    # ------------------------------------------------------------------
+
+    def measure_compute(
+        self, device: int, tables: Sequence[TableConfig], noisy: bool = True
+    ) -> float:
+        """Fused forward+backward latency of ``tables`` on ``device``."""
+        self._check_device(device)
+        return self.devices[device].kernel.total_ms(
+            list(tables), self.batch_size, noisy=noisy
+        )
+
+    def measure_comm(
+        self,
+        device_dims: Sequence[int],
+        start_times_ms: Sequence[float] | None = None,
+        backward: bool = False,
+        noisy: bool = True,
+    ):
+        """All-to-all latency across the heterogeneous links."""
+        return self.comm.measure(
+            device_dims,
+            self.batch_size,
+            start_times_ms=start_times_ms,
+            backward=backward,
+            noisy=noisy,
+        )
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def device_fits(self, device: int, tables: Sequence[TableConfig]) -> bool:
+        """Whether ``tables`` fit ``device``'s embedding budget."""
+        self._check_device(device)
+        return self.devices[device].memory.fits(tables)
+
+    def plan_fits(self, per_device: Sequence[Sequence[TableConfig]]) -> bool:
+        """Whether every device of the placement fits its own budget."""
+        self._check_placement_shape(per_device)
+        return all(
+            slot.memory.fits(tables)
+            for slot, tables in zip(self.devices, per_device)
+        )
+
+    def check_placement(self, per_device: Sequence[Sequence[TableConfig]]) -> None:
+        """Raise :class:`OutOfMemoryError` on any over-committed device."""
+        self._check_placement_shape(per_device)
+        for d, (slot, tables) in enumerate(zip(self.devices, per_device)):
+            used = slot.memory.device_bytes(tables)
+            if used > slot.memory.memory_bytes:
+                raise OutOfMemoryError(
+                    f"device {d} ({slot.spec.name}) needs {used} B but its "
+                    f"budget is {slot.memory.memory_bytes} B"
+                )
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+
+    def evaluate_plan(
+        self,
+        per_device: Sequence[Sequence[TableConfig]],
+        warmup_iterations: int = 2,
+    ) -> PlanExecution:
+        """Execute a placement; same timeline mechanics as the
+        homogeneous :class:`~repro.hardware.trace.TraceSimulator`, with
+        per-device compute times and the heterogeneous collective.
+
+        Raises:
+            OutOfMemoryError: if any device over-commits its own budget.
+        """
+        self.check_placement(per_device)
+        num_devices = self.num_devices
+        fwd_ms = np.array(
+            [
+                slot.kernel.forward_ms(list(tabs), self.batch_size)
+                for slot, tabs in zip(self.devices, per_device)
+            ]
+        )
+        bwd_ms = np.array(
+            [
+                slot.kernel.backward_ms(list(tabs), self.batch_size)
+                for slot, tabs in zip(self.devices, per_device)
+            ]
+        )
+        device_dims = [sum(t.dim for t in tabs) for tabs in per_device]
+        # The dense (data-parallel) part runs only on devices that have
+        # one (CPUs in the mixed scenario hold embeddings only).
+        dense_ms = np.array(
+            [s.dense_forward_ms + s.dense_backward_ms for s in self.specs]
+        )
+
+        ready = np.zeros(num_devices)
+        iter_start = 0.0
+        fwd_meas = bwd_meas = None
+        for it in range(warmup_iterations + 1):
+            iter_start = float(ready.max()) if it > 0 else 0.0
+            fwd_end = ready + fwd_ms
+            fwd_meas = self.measure_comm(device_dims, start_times_ms=fwd_end.tolist())
+            dense_end = np.array(fwd_meas.completion_ms) + dense_ms
+            bwd_meas = self.measure_comm(
+                device_dims, start_times_ms=dense_end.tolist(), backward=True
+            )
+            ready = np.array(bwd_meas.completion_ms) + bwd_ms
+
+        iteration_ms = float(ready.max()) - iter_start
+        global_batch = num_devices * self.batch_size
+        return PlanExecution(
+            compute_costs_ms=tuple(float(c) for c in fwd_ms + bwd_ms),
+            fwd_comm_costs_ms=tuple(float(c) for c in fwd_meas.costs_ms),
+            bwd_comm_costs_ms=tuple(float(c) for c in bwd_meas.costs_ms),
+            iteration_ms=iteration_ms,
+            throughput_samples_per_s=global_batch / iteration_ms * 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+
+    def _check_device(self, device: int) -> None:
+        if not 0 <= device < self.num_devices:
+            raise ValueError(
+                f"device index {device} out of range [0, {self.num_devices})"
+            )
+
+    def _check_placement_shape(
+        self, per_device: Sequence[Sequence[TableConfig]]
+    ) -> None:
+        if len(per_device) != self.num_devices:
+            raise ValueError(
+                f"placement has {len(per_device)} devices, cluster has "
+                f"{self.num_devices}"
+            )

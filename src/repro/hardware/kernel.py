@@ -1,0 +1,201 @@
+"""Fused embedding-kernel computation cost (ground truth).
+
+Models the latency of an FBGEMM-style fused multi-table embedding lookup
+(forward + backward) on one device.  The cost equation is built from the
+mechanics the paper identifies in Section 2.1 and is calibrated so the two
+computation-side observations hold *structurally* (not by curve fitting):
+
+Per table ``t`` with batch ``B``:
+
+- index processing: ``idx_t = B * pooling_t * index_cost`` — independent
+  of dimension.
+- memory traffic: every lookup reads a ``dim``-float row.  The expected
+  unique working set (``resident_t = unique_rows * dim * 4``) competes for
+  the cache: the miss fraction ``resident / (resident + cache)`` of
+  traffic pays slow random-gather DRAM bandwidth, the rest hits cache
+  bandwidth.  Small dimensions under-utilize memory transactions, dividing
+  bandwidth by ``dim / (dim + dim_half_sat)``.
+
+Fused multi-table execution of tables ``S``:
+
+- ``cost(S) = launch + overhead * |S| + (sum_t base_t) / speedup(S)``
+  where ``speedup(S)`` rises from 1 (single table) towards
+  ``fusion_max_speedup`` with the table count
+  (``s(T) = s_max - (s_max - 1) * exp(-(T - 1) / tau)``), *scaled by the
+  load balance of the combination*: a fused kernel whose per-table works
+  are skewed under-utilizes its thread blocks, so
+  ``speedup(S) = 1 + (s(T) - 1) * (0.55 + 0.45 * mean(w) / max(w))``.
+  The balance term is what makes the fused cost depend on the
+  *composition* of the combination, not just on the sum of works and the
+  count.
+
+Why the observations follow:
+
+- **Observation 1** (half-dim shards cost more than half): splitting a
+  table leaves ``idx_t`` and the per-table overhead un-halved on *each*
+  shard, and the shard's smaller ``dim`` has worse transaction efficiency.
+- **Observation 2** (multi-table cost is non-linear in the sum of
+  single-table costs): single-table runs pay ``launch`` per table and get
+  ``speedup(1) = 1``, while the fused run pays one launch and
+  ``speedup(T) > 1`` — so the fused cost is sub-additive, with the gap
+  depending non-linearly on how many and which tables are combined.
+
+Measured costs include deterministic pseudo-noise (see
+:mod:`repro.utils`) emulating the residual variance after the paper's
+warm-up + median-of-100 protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.data.table import TableConfig, table_set_key
+from repro.hardware.device import DeviceSpec
+from repro.utils import deterministic_normal
+
+__all__ = ["EmbeddingKernelModel"]
+
+
+class EmbeddingKernelModel:
+    """Ground-truth computation-cost model for one simulated device.
+
+    Args:
+        spec: device calibration constants.
+        noise_seed: seed folded into the deterministic measurement noise;
+            two models with different seeds simulate two different
+            hardware instances.
+    """
+
+    def __init__(self, spec: DeviceSpec | None = None, noise_seed: int = 0) -> None:
+        self.spec = spec or DeviceSpec()
+        self.noise_seed = noise_seed
+
+    # ------------------------------------------------------------------
+    # per-table building blocks (noise-free)
+    # ------------------------------------------------------------------
+
+    def _dim_efficiency(self, dim: int) -> float:
+        """Memory-transaction efficiency in (0, 1); 1 at large dims."""
+        return dim / (dim + self.spec.dim_half_sat)
+
+    def _table_forward_base_ms(self, table: TableConfig, batch_size: int) -> float:
+        """Noise-free forward work of one table inside the fused kernel,
+        excluding launch and per-table overhead."""
+        spec = self.spec
+        num_indices = table.indices_per_batch(batch_size)
+        idx_ms = num_indices * spec.index_cost_ms
+
+        row_bytes = table.dim * table.bytes_per_element
+        total_bytes = num_indices * row_bytes
+        resident = table.expected_unique_rows(batch_size) * row_bytes
+        miss_frac = resident / (resident + spec.cache_bytes)
+        eff = self._dim_efficiency(table.dim)
+        mem_ms = (
+            total_bytes * miss_frac / spec.gather_bandwidth_bytes_per_ms
+            + total_bytes * (1.0 - miss_frac) / spec.cache_bandwidth_bytes_per_ms
+        ) / eff
+        return idx_ms + mem_ms
+
+    def _table_backward_base_ms(self, table: TableConfig, batch_size: int) -> float:
+        """Noise-free backward work (gradient scatter) of one table."""
+        spec = self.spec
+        num_indices = table.indices_per_batch(batch_size)
+        idx_ms = num_indices * spec.index_cost_ms * spec.backward_index_factor
+
+        row_bytes = table.dim * table.bytes_per_element
+        total_bytes = num_indices * row_bytes
+        resident = table.expected_unique_rows(batch_size) * row_bytes
+        miss_frac = resident / (resident + spec.cache_bytes)
+        eff = self._dim_efficiency(table.dim)
+        mem_ms = (
+            spec.backward_memory_factor
+            * (
+                total_bytes * miss_frac / spec.gather_bandwidth_bytes_per_ms
+                + total_bytes * (1.0 - miss_frac) / spec.cache_bandwidth_bytes_per_ms
+            )
+            / eff
+        )
+        return idx_ms + mem_ms
+
+    def fusion_speedup(self, num_tables: int, balance: float = 1.0) -> float:
+        """Fused-kernel speedup over back-to-back execution.
+
+        Args:
+            num_tables: how many tables the kernel fuses.
+            balance: ``mean(work) / max(work)`` of the combination in
+                (0, 1]; skewed combinations under-utilize thread blocks
+                and realize less of the count-driven speedup.
+        """
+        if num_tables < 1:
+            raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+        if not 0 < balance <= 1.0 + 1e-9:
+            raise ValueError(f"balance must be in (0, 1], got {balance}")
+        s_max = self.spec.fusion_max_speedup
+        by_count = s_max - (s_max - 1.0) * math.exp(
+            -(num_tables - 1) / self.spec.fusion_tau
+        )
+        return 1.0 + (by_count - 1.0) * (0.55 + 0.45 * balance)
+
+    # ------------------------------------------------------------------
+    # fused multi-table costs
+    # ------------------------------------------------------------------
+
+    def forward_ms(
+        self, tables: Sequence[TableConfig], batch_size: int, noisy: bool = True
+    ) -> float:
+        """Forward latency of the fused kernel over ``tables``."""
+        return self._fused_ms(tables, batch_size, self._table_forward_base_ms, "fwd", noisy)
+
+    def backward_ms(
+        self, tables: Sequence[TableConfig], batch_size: int, noisy: bool = True
+    ) -> float:
+        """Backward latency of the fused kernel over ``tables``."""
+        return self._fused_ms(
+            tables, batch_size, self._table_backward_base_ms, "bwd", noisy
+        )
+
+    def total_ms(
+        self, tables: Sequence[TableConfig], batch_size: int, noisy: bool = True
+    ) -> float:
+        """Forward + backward latency — the paper's "computation cost"."""
+        return self.forward_ms(tables, batch_size, noisy) + self.backward_ms(
+            tables, batch_size, noisy
+        )
+
+    def _fused_ms(self, tables, batch_size, base_fn, tag, noisy) -> float:
+        if len(tables) == 0:
+            return 0.0
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        spec = self.spec
+        works = [base_fn(t, batch_size) for t in tables]
+        total_work = sum(works)
+        balance = (sum(works) / len(works)) / max(works) if max(works) > 0 else 1.0
+        cost = (
+            spec.kernel_launch_ms
+            + spec.table_overhead_ms * len(tables)
+            + total_work / self.fusion_speedup(len(tables), balance)
+        )
+        if noisy and spec.noise_fraction > 0:
+            z = deterministic_normal(
+                "kernel", tag, self.noise_seed, batch_size, table_set_key(tables)
+            )
+            cost *= 1.0 + spec.noise_fraction * z
+        return max(cost, 1e-6)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def single_table_ms(
+        self, table: TableConfig, batch_size: int, noisy: bool = True
+    ) -> float:
+        """Cost of running one table alone (its own kernel launch)."""
+        return self.total_ms([table], batch_size, noisy=noisy)
+
+    def sum_of_single_table_ms(
+        self, tables: Iterable[TableConfig], batch_size: int, noisy: bool = True
+    ) -> float:
+        """Sum of isolated single-table costs (Figure 3 right, x-axis)."""
+        return sum(self.single_table_ms(t, batch_size, noisy=noisy) for t in tables)

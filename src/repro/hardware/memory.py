@@ -1,0 +1,80 @@
+"""Embedding memory accounting and out-of-memory detection.
+
+The benchmark tasks impose a per-device *embedding* memory budget (4 GB in
+the paper's Section 4).  A table's footprint is its weight matrix plus the
+optimizer state: DLRMs train embeddings with row-wise AdaGrad, which keeps
+one fp32 accumulator per row (Mudigere et al., 2022), i.e.
+``hash_size * 4`` bytes — equal to ``weights / dim``.
+
+Sharding a table column-wise halves the weight bytes of each shard but
+duplicates the row-wise optimizer state on both shards, a real (small)
+memory cost of column sharding that the plan-legality checks account for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.data.table import TableConfig
+
+__all__ = ["MemoryModel", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """A sharding plan exceeds some device's embedding memory budget.
+
+    Mirrors the paper's "-" entries in Table 1: an algorithm whose plan
+    triggers this on any task "cannot scale" to the setting.
+    """
+
+
+class MemoryModel:
+    """Per-device embedding memory accounting.
+
+    Args:
+        memory_bytes: the per-device embedding budget.
+        optimizer_rowwise_bytes: optimizer state bytes per table row
+            (4 for row-wise AdaGrad's fp32 accumulator).
+    """
+
+    def __init__(self, memory_bytes: int, optimizer_rowwise_bytes: int = 4) -> None:
+        if memory_bytes <= 0:
+            raise ValueError(f"memory_bytes must be > 0, got {memory_bytes}")
+        if optimizer_rowwise_bytes < 0:
+            raise ValueError(
+                f"optimizer_rowwise_bytes must be >= 0, got {optimizer_rowwise_bytes}"
+            )
+        self.memory_bytes = memory_bytes
+        self.optimizer_rowwise_bytes = optimizer_rowwise_bytes
+
+    def table_bytes(self, table: TableConfig) -> int:
+        """Footprint of one table: weights + row-wise optimizer state."""
+        return table.size_bytes + table.hash_size * self.optimizer_rowwise_bytes
+
+    def device_bytes(self, tables: Iterable[TableConfig]) -> int:
+        """Total footprint of a device's table set."""
+        return sum(self.table_bytes(t) for t in tables)
+
+    def fits(self, tables: Iterable[TableConfig]) -> bool:
+        """Whether a device's table set fits the budget."""
+        return self.device_bytes(tables) <= self.memory_bytes
+
+    def remaining_bytes(self, tables: Iterable[TableConfig]) -> int:
+        """Free budget on a device holding ``tables`` (may be negative)."""
+        return self.memory_bytes - self.device_bytes(tables)
+
+    def check_placement(
+        self, per_device: Sequence[Sequence[TableConfig]]
+    ) -> None:
+        """Raise :class:`OutOfMemoryError` if any device over-commits."""
+        for d, tables in enumerate(per_device):
+            used = self.device_bytes(tables)
+            if used > self.memory_bytes:
+                raise OutOfMemoryError(
+                    f"device {d} needs {used} B for {len(list(tables))} tables "
+                    f"but the budget is {self.memory_bytes} B"
+                )
+
+    def placement_fits(self, per_device: Sequence[Sequence[TableConfig]]) -> bool:
+        """Non-raising variant of :meth:`check_placement`."""
+        return all(self.fits(tables) for tables in per_device)

@@ -1,0 +1,121 @@
+"""Calibration presets for simulated device classes.
+
+The paper's testbed is homogeneous (eight RTX 2080 Ti GPUs), but its
+future-work list (Section 6) names *CPU sharding and mixed CPU-GPU
+sharding* as the next target.  The mixed-cluster extension in
+:mod:`repro.hardware.hetero` and :mod:`repro.extensions.mixed` needs
+device classes with distinct cost behaviour; this module provides them.
+
+Each preset is an honest qualitative model of its class, expressed in the
+same :class:`~repro.hardware.device.DeviceSpec` vocabulary the
+:class:`~repro.hardware.kernel.EmbeddingKernelModel` consumes:
+
+- ``gpu_2080ti`` — the default spec (the paper's device), re-exported here
+  for discoverability.
+- ``gpu_a100`` — a datacenter-class GPU: ~3x the gather bandwidth, a much
+  larger L2, 40 GB of memory, NVLink-class egress.
+- ``cpu_host`` — a host CPU with DRAM-resident tables: two orders of
+  magnitude more memory than a GPU but far lower random-gather bandwidth,
+  higher per-index cost (no massively-parallel gather units), essentially
+  no multi-table fusion benefit (the "fused" CPU loop is just a loop), and
+  PCIe-class egress into the collective.
+
+The class of a spec is recoverable from :func:`device_class`, which keys
+on the preset's ``name`` prefix; the mixed-cluster sharder uses it to pick
+the matching cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.hardware.device import DeviceSpec
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "cpu_host",
+    "device_class",
+    "gpu_2080ti",
+    "gpu_a100",
+]
+
+
+def gpu_2080ti() -> DeviceSpec:
+    """The paper's testbed device — identical to ``DeviceSpec()``."""
+    return DeviceSpec(name="gpu-2080ti")
+
+
+def gpu_a100() -> DeviceSpec:
+    """A datacenter-class GPU (A100-like): faster at everything.
+
+    Relative to the 2080 Ti baseline: ~3x random-gather bandwidth, 40 MB
+    of L2 (bigger working sets stay cheap), 40 GB memory, and NVLink-class
+    egress bandwidth into the all-to-all.
+    """
+    return replace(
+        DeviceSpec(),
+        name="gpu-a100",
+        cache_bytes=40 * 1024**2,
+        gather_bandwidth_bytes_per_ms=3.0e8,
+        cache_bandwidth_bytes_per_ms=5.0e9,
+        index_cost_ms=6.0e-7,
+        kernel_launch_ms=0.05,
+        table_overhead_ms=0.035,
+        comm_bandwidth_bytes_per_ms=4.5e7,
+        comm_latency_ms=0.1,
+        memory_bytes=40 * 1024**3,
+        dense_forward_ms=2.5,
+        dense_backward_ms=4.0,
+    )
+
+
+def cpu_host() -> DeviceSpec:
+    """A host-CPU device holding tables in DRAM.
+
+    Qualitative properties that matter to sharding:
+
+    - **huge memory** (256 GB DRAM) — the reason to offload at all;
+    - **slow lookups** — random gathers run at DRAM-latency-bound rates
+      (~8 GB/s effective) and index processing costs ~20x a GPU's;
+    - **no fusion** — ``fusion_max_speedup`` barely above 1: a CPU
+      "fused" embedding op is a sequential loop over tables;
+    - **weak caching** — last-level cache is larger than a GPU L2 but
+      the gap between cache and DRAM bandwidth is much smaller, so skew
+      helps less;
+    - **PCIe egress** — the CPU participates in the collective over the
+      host-device interconnect.
+    """
+    return replace(
+        DeviceSpec(),
+        name="cpu-host",
+        cache_bytes=32 * 1024**2,
+        gather_bandwidth_bytes_per_ms=8.0e6,
+        cache_bandwidth_bytes_per_ms=1.0e8,
+        index_cost_ms=2.2e-5,
+        kernel_launch_ms=0.005,
+        table_overhead_ms=0.02,
+        fusion_max_speedup=1.05,
+        fusion_tau=2.0,
+        comm_bandwidth_bytes_per_ms=3.0e6,
+        comm_latency_ms=0.5,
+        memory_bytes=256 * 1024**3,
+        dense_forward_ms=0.0,
+        dense_backward_ms=0.0,
+    )
+
+
+#: Name → factory for every preset, for CLI/config lookup.
+DEVICE_PRESETS = {
+    "gpu-2080ti": gpu_2080ti,
+    "gpu-a100": gpu_a100,
+    "cpu-host": cpu_host,
+}
+
+
+def device_class(spec: DeviceSpec) -> str:
+    """Coarse class of a spec: ``"cpu"`` or ``"gpu"``.
+
+    Keyed on the spec's name prefix; custom specs default to ``"gpu"``
+    (the common case) unless named ``cpu-*``.
+    """
+    return "cpu" if spec.name.startswith("cpu") else "gpu"

@@ -1,0 +1,247 @@
+"""Per-iteration execution traces with straggler accumulation.
+
+Reproduces the timeline mechanics of the paper's Figure 1 (right): each
+training iteration interleaves embedding forward computation, a forward
+all-to-all, the dense (data-parallel) forward/backward, a backward
+all-to-all and the embedding backward computation.  Because the
+all-to-alls are synchronous, a device whose embedding computation runs
+long delays *everyone*, and its own next iteration starts later —
+imbalance accumulates into idle time on the fast devices, which is exactly
+why balanced sharding matters (Section 2).
+
+The trace simulator is also the source of end-to-end iteration time and
+training throughput for the production experiment (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.table import TableConfig
+from repro.hardware.comm import AllToAllModel
+from repro.hardware.device import DeviceSpec
+from repro.hardware.kernel import EmbeddingKernelModel
+
+__all__ = ["TraceEvent", "IterationTrace", "TraceSimulator"]
+
+#: Event kinds in execution order within an iteration.
+EVENT_KINDS = ("fwd_comp", "fwd_comm", "dense", "bwd_comm", "bwd_comp")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval on one device's timeline."""
+
+    device: int
+    kind: str
+    start_ms: float
+    end_ms: float
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"event ends before it starts: {self.start_ms}..{self.end_ms}"
+            )
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class IterationTrace:
+    """All events plus summary costs of one iteration.
+
+    Attributes:
+        events: per-device intervals.
+        embedding_costs_ms: per-device embedding cost — computation plus
+            *measured* (waiting-inclusive) communication, the quantity the
+            paper's evaluation timer reports.
+        compute_costs_ms / fwd_comm_costs_ms / bwd_comm_costs_ms: the
+            per-device breakdown.
+        iteration_ms: wall-clock duration of the iteration.
+    """
+
+    events: tuple[TraceEvent, ...]
+    embedding_costs_ms: tuple[float, ...]
+    compute_costs_ms: tuple[float, ...]
+    fwd_comm_costs_ms: tuple[float, ...]
+    bwd_comm_costs_ms: tuple[float, ...]
+    iteration_ms: float
+
+    @property
+    def max_embedding_cost_ms(self) -> float:
+        """The bottleneck device's embedding cost (evaluation metric)."""
+        return max(self.embedding_costs_ms)
+
+    def device_events(self, device: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.device == device]
+
+    def idle_ms(self, device: int) -> float:
+        """Time ``device`` spends waiting inside collectives this
+        iteration — the straggler effect made visible."""
+        waits = 0.0
+        for e in self.events:
+            if e.device == device and e.kind in ("fwd_comm", "bwd_comm"):
+                waits += e.duration_ms
+        # Waiting is the part of comm beyond the pure wire time of the
+        # least-loaded participant; we report the full comm interval here
+        # and leave decomposition to callers that have the comm model.
+        return waits
+
+
+class TraceSimulator:
+    """Event-driven simulation of synchronous DLRM training iterations.
+
+    Args:
+        spec: device calibration.
+        batch_size: per-device mini-batch size.
+        noise_seed: measurement-noise seed shared by the kernel and comm
+            models.
+        comm: optional collective-model override (e.g. a hierarchical
+            topology model); defaults to the flat ``AllToAllModel``.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec | None = None,
+        batch_size: int = 65536,
+        noise_seed: int = 0,
+        comm: AllToAllModel | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.spec = spec or DeviceSpec()
+        self.batch_size = batch_size
+        self.kernel = EmbeddingKernelModel(self.spec, noise_seed)
+        self.comm = comm if comm is not None else AllToAllModel(self.spec, noise_seed)
+
+    def simulate(
+        self,
+        per_device_tables: Sequence[Sequence[TableConfig]],
+        num_iterations: int = 3,
+    ) -> list[IterationTrace]:
+        """Simulate ``num_iterations`` synchronous training iterations.
+
+        The first iteration starts with all devices aligned at t=0; skew
+        develops (and reaches steady state) from the imbalance of the plan
+        itself, so use the *last* iteration as the steady-state
+        measurement.
+        """
+        if num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {num_iterations}")
+        num_devices = len(per_device_tables)
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+
+        fwd_ms = np.array(
+            [
+                self.kernel.forward_ms(list(tabs), self.batch_size)
+                for tabs in per_device_tables
+            ]
+        )
+        bwd_ms = np.array(
+            [
+                self.kernel.backward_ms(list(tabs), self.batch_size)
+                for tabs in per_device_tables
+            ]
+        )
+        device_dims = [sum(t.dim for t in tabs) for tabs in per_device_tables]
+        dense_ms = self.spec.dense_forward_ms + self.spec.dense_backward_ms
+
+        ready = np.zeros(num_devices)
+        traces: list[IterationTrace] = []
+        for it in range(num_iterations):
+            events: list[TraceEvent] = []
+            iter_start = float(ready.max()) if it > 0 else 0.0
+
+            # --- embedding forward computation ------------------------
+            fwd_end = ready + fwd_ms
+            for d in range(num_devices):
+                events.append(
+                    TraceEvent(d, "fwd_comp", float(ready[d]), float(fwd_end[d]), it)
+                )
+
+            # --- forward all-to-all (synchronous) ----------------------
+            fwd_meas = self.comm.measure(
+                device_dims, self.batch_size, start_times_ms=fwd_end.tolist()
+            )
+            fwd_done = np.array(fwd_meas.completion_ms)
+            for d in range(num_devices):
+                events.append(
+                    TraceEvent(d, "fwd_comm", float(fwd_end[d]), float(fwd_done[d]), it)
+                )
+
+            # --- dense forward + backward (data-parallel) --------------
+            dense_end = fwd_done + dense_ms
+            for d in range(num_devices):
+                events.append(
+                    TraceEvent(d, "dense", float(fwd_done[d]), float(dense_end[d]), it)
+                )
+
+            # --- backward all-to-all -----------------------------------
+            bwd_meas = self.comm.measure(
+                device_dims,
+                self.batch_size,
+                start_times_ms=dense_end.tolist(),
+                backward=True,
+            )
+            bwd_done = np.array(bwd_meas.completion_ms)
+            for d in range(num_devices):
+                events.append(
+                    TraceEvent(
+                        d, "bwd_comm", float(dense_end[d]), float(bwd_done[d]), it
+                    )
+                )
+
+            # --- embedding backward computation ------------------------
+            new_ready = bwd_done + bwd_ms
+            for d in range(num_devices):
+                events.append(
+                    TraceEvent(
+                        d, "bwd_comp", float(bwd_done[d]), float(new_ready[d]), it
+                    )
+                )
+
+            embedding_costs = (
+                fwd_ms
+                + bwd_ms
+                + np.array(fwd_meas.costs_ms)
+                + np.array(bwd_meas.costs_ms)
+            )
+            traces.append(
+                IterationTrace(
+                    events=tuple(events),
+                    embedding_costs_ms=tuple(float(c) for c in embedding_costs),
+                    compute_costs_ms=tuple(float(c) for c in fwd_ms + bwd_ms),
+                    fwd_comm_costs_ms=tuple(float(c) for c in fwd_meas.costs_ms),
+                    bwd_comm_costs_ms=tuple(float(c) for c in bwd_meas.costs_ms),
+                    iteration_ms=float(new_ready.max()) - iter_start,
+                )
+            )
+            ready = new_ready
+        return traces
+
+    def steady_state(
+        self,
+        per_device_tables: Sequence[Sequence[TableConfig]],
+        warmup_iterations: int = 2,
+    ) -> IterationTrace:
+        """The steady-state iteration (after skew has accumulated)."""
+        return self.simulate(per_device_tables, warmup_iterations + 1)[-1]
+
+    def throughput_samples_per_s(
+        self,
+        per_device_tables: Sequence[Sequence[TableConfig]],
+        warmup_iterations: int = 2,
+    ) -> float:
+        """End-to-end training throughput (global samples per second)."""
+        trace = self.steady_state(per_device_tables, warmup_iterations)
+        num_devices = len(per_device_tables)
+        return num_devices * self.batch_size / trace.iteration_ms * 1000.0

@@ -1,0 +1,60 @@
+"""A small from-scratch NumPy neural-network library.
+
+Replaces the paper's PyTorch dependency for the cost models.  It provides
+exactly what the NeuroShard architectures need (Figure 5 / Appendix C):
+
+- fully-connected layers with ReLU (``Linear``, ``ReLU``, ``Sequential``),
+- segment-sum pooling over variable-length table sets (the element-wise
+  sum that turns per-table representations into a fixed-size combination
+  representation),
+- MSE loss, SGD and Adam optimizers,
+- a mini-batch trainer with train/valid/test splitting and
+  best-validation checkpoint keeping,
+- ``.npz`` serialization of model parameters.
+
+Gradients are computed with hand-written backward passes (no autograd);
+each module caches what its backward needs during forward, so the usage
+contract is the usual ``loss = forward(); backward(); step()`` cycle.
+"""
+
+from repro.nn.layers import (
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SegmentSum,
+    Tanh,
+)
+from repro.nn.loss import HuberLoss, MSELoss
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.data import ArrayDataset, minibatches, train_valid_test_split
+from repro.nn.train import TrainResult, Trainer
+from repro.nn.serialize import load_params, save_params
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "SegmentSum",
+    "Tanh",
+    "Dropout",
+    "LayerNorm",
+    "MSELoss",
+    "HuberLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ArrayDataset",
+    "minibatches",
+    "train_valid_test_split",
+    "Trainer",
+    "TrainResult",
+    "load_params",
+    "save_params",
+]

@@ -1,0 +1,105 @@
+"""Dataset containers, splitting and mini-batching.
+
+The cost models train on fixed arrays (features → latency), split
+80/10/10 into train/valid/test with shuffling (Appendix F).  The compute
+model's inputs are *sets* of table-feature rows, so the dataset here is
+deliberately generic: it shuffles and batches by sample index and lets the
+model assemble whatever array layout it needs per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.config import rng_from_seed
+
+__all__ = ["ArrayDataset", "train_valid_test_split", "minibatches"]
+
+
+@dataclass(frozen=True)
+class ArrayDataset:
+    """Aligned (inputs, targets) arrays.
+
+    ``inputs`` may be any per-sample indexable object (2-D array for the
+    comm model, list of per-sample feature matrices for the compute
+    model); ``targets`` is a 1-D float array of measured latencies.
+    """
+
+    inputs: Sequence
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.targets):
+            raise ValueError(
+                f"inputs ({len(self.inputs)}) and targets ({len(self.targets)}) "
+                "must align"
+            )
+        if len(self.targets) == 0:
+            raise ValueError("dataset must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """A new dataset restricted to ``indices`` (copying targets)."""
+        if isinstance(self.inputs, np.ndarray):
+            inputs = self.inputs[indices]
+        else:
+            inputs = [self.inputs[i] for i in indices]
+        return ArrayDataset(inputs=inputs, targets=np.asarray(self.targets)[indices])
+
+
+def train_valid_test_split(
+    dataset: ArrayDataset,
+    train_frac: float = 0.8,
+    valid_frac: float = 0.1,
+    seed: int | np.random.Generator = 0,
+) -> tuple[ArrayDataset, ArrayDataset, ArrayDataset]:
+    """Shuffle and split into train/valid/test (paper: 80/10/10).
+
+    Every split is guaranteed at least one sample; tiny datasets steal
+    from the training split to achieve that.
+    """
+    if not 0 < train_frac < 1 or not 0 < valid_frac < 1:
+        raise ValueError("fractions must be in (0, 1)")
+    if train_frac + valid_frac >= 1:
+        raise ValueError("train_frac + valid_frac must be < 1")
+    n = len(dataset)
+    if n < 3:
+        raise ValueError(f"need at least 3 samples to split, got {n}")
+    rng = rng_from_seed(seed)
+    order = rng.permutation(n)
+    n_valid = max(1, int(round(n * valid_frac)))
+    n_test = max(1, int(round(n * (1 - train_frac - valid_frac))))
+    n_train = n - n_valid - n_test
+    if n_train < 1:
+        raise ValueError(f"split leaves no training data for n={n}")
+    return (
+        dataset.subset(order[:n_train]),
+        dataset.subset(order[n_train : n_train + n_valid]),
+        dataset.subset(order[n_train + n_valid :]),
+    )
+
+
+def minibatches(
+    n: int,
+    batch_size: int,
+    rng: int | np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches.
+
+    Shuffles when ``rng`` is given (training); sequential otherwise
+    (evaluation).  The last batch may be smaller.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        order = rng_from_seed(rng).permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,372 @@
+"""Neural-network modules with hand-written backward passes.
+
+The module contract:
+
+- ``forward(x)`` computes the output and caches whatever the backward
+  pass needs (inputs, masks).
+- ``backward(grad_out)`` consumes the cache, accumulates parameter
+  gradients into ``Parameter.grad`` and returns the gradient w.r.t. the
+  module input.
+- ``parameters()`` yields all trainable :class:`Parameter` objects.
+
+Shapes follow the row-major convention: activations are ``[batch,
+features]`` float64 arrays (float64 keeps the tiny cost models' training
+numerically boring; they are far too small for speed to matter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "SegmentSum",
+]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name or 'unnamed'}, shape={self.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield trainable parameters (depth-first over submodules)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Parameter):
+                        yield item
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> np.ndarray:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameter values keyed by enumeration order."""
+        return {f"p{i}": p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_dict`; shapes must match exactly."""
+        params = list(self.parameters())
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)} parameters"
+            )
+        for i, p in enumerate(params):
+            key = f"p{i}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key} in state dict")
+            if state[key].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: state {state[key].shape} vs "
+                    f"model {p.data.shape}"
+                )
+            p.data[...] = state[key]
+
+
+class Linear(Module):
+    """Fully-connected layer: ``y = x @ W + b``.
+
+    Weights use He-uniform initialization (suitable for the ReLU MLPs of
+    the cost models); biases start at zero.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        name: str = "",
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"features must be >= 1, got {in_features} -> {out_features}"
+            )
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input [batch, {self.in_features}], got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+
+class ReLU(Module):
+    """Element-wise ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Module):
+    """Element-wise hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=np.float64) * (1.0 - self._y**2)
+
+
+class Dropout(Module):
+    """Inverted dropout: zero activations with probability ``p`` and
+    rescale the survivors by ``1/(1-p)`` so expectations match eval mode.
+
+    Training-time stochasticity flows through an explicit generator (set
+    via :meth:`set_rng` or the constructor) — no global random state, per
+    the repository's determinism contract.  Call :meth:`eval` /
+    :meth:`train` to toggle; dropout is the identity in eval mode.
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = p
+        self.training = True
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def set_rng(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def train(self) -> None:
+        self.training = True
+
+    def eval(self) -> None:
+        self.training = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class LayerNorm(Module):
+    """Per-row layer normalization with learned affine parameters.
+
+    Normalizes each activation row to zero mean / unit variance and
+    applies ``gamma * x_hat + beta``.  Useful when feature magnitudes
+    span orders (hash sizes vs pooling factors) and the input
+    standardization alone is insufficient.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, name: str = "") -> None:
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), name=f"{name}.beta")
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.gamma.shape[0]:
+            raise ValueError(
+                f"expected input [batch, {self.gamma.shape[0]}], got {x.shape}"
+            )
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return x_hat * self.gamma.data + self.beta.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        grad_out = np.asarray(grad_out, dtype=np.float64)
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        g = grad_out * self.gamma.data
+        n = x_hat.shape[1]
+        # d/dx of (x - mean) * inv_std with mean/var both functions of x.
+        return inv_std * (
+            g
+            - g.mean(axis=1, keepdims=True)
+            - x_hat * (g * x_hat).mean(axis=1, keepdims=True)
+        )
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        if not modules:
+            raise ValueError("Sequential needs at least one module")
+        self.modules = list(modules)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for m in self.modules:
+            x = m.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for m in reversed(self.modules):
+            grad_out = m.backward(grad_out)
+        return grad_out
+
+    @staticmethod
+    def mlp(
+        sizes: Sequence[int],
+        rng: np.random.Generator | None = None,
+        final_activation: bool = False,
+        name: str = "mlp",
+    ) -> "Sequential":
+        """Build an MLP from layer sizes, ReLU between layers.
+
+        ``sizes = [in, h1, ..., out]``; with ``final_activation`` a ReLU
+        follows the last Linear too (used for the shared table MLP whose
+        output feeds the sum pooling).
+        """
+        if len(sizes) < 2:
+            raise ValueError(f"need at least [in, out] sizes, got {sizes}")
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        for i, (a, b) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(a, b, rng=rng, name=f"{name}.{i}"))
+            if i < len(sizes) - 2 or final_activation:
+                layers.append(ReLU())
+        return Sequential(*layers)
+
+
+class SegmentSum(Module):
+    """Sum-pooling of row vectors into per-segment vectors.
+
+    Turns per-table representations ``[num_rows, H]`` plus a segment-id
+    vector into per-combination representations ``[num_segments, H]`` —
+    the "element-wise sum of all the table representations" of the
+    computation cost model (Section 3.2).  Forward takes the segment ids
+    as a side input; backward scatters the segment gradient back to rows.
+    """
+
+    def __init__(self) -> None:
+        self._segments: np.ndarray | None = None
+        self._num_rows: int = 0
+
+    def forward(  # type: ignore[override]
+        self, x: np.ndarray, segments: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        segments = np.asarray(segments, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError(f"expected [rows, features], got {x.shape}")
+        if segments.shape != (x.shape[0],):
+            raise ValueError(
+                f"segments shape {segments.shape} must be ({x.shape[0]},)"
+            )
+        if num_segments < 1:
+            raise ValueError(f"num_segments must be >= 1, got {num_segments}")
+        if segments.size and (segments.min() < 0 or segments.max() >= num_segments):
+            raise ValueError("segment ids out of range")
+        self._segments = segments
+        self._num_rows = x.shape[0]
+        out = np.zeros((num_segments, x.shape[1]), dtype=np.float64)
+        np.add.at(out, segments, x)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._segments is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_out, dtype=np.float64)[self._segments]

@@ -1,0 +1,86 @@
+"""Loss functions.
+
+Both NeuroShard cost models train with mean-squared error (Appendix C,
+Equation 2).  :class:`HuberLoss` is provided for robust variants: the
+production deployment story of Section 3.2 re-trains on costs sampled
+from live jobs, where stragglers and interference produce heavy-tailed
+latency outliers that MSE over-weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MSELoss", "HuberLoss"]
+
+
+class MSELoss:
+    """Mean-squared error over all elements.
+
+    ``forward`` returns the scalar loss; ``backward`` returns the gradient
+    w.r.t. the prediction (averaged, so learning rates are batch-size
+    independent).
+    """
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+        self._n: int = 0
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target {target.shape}"
+            )
+        self._diff = prediction - target
+        self._n = prediction.size
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._n
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class HuberLoss:
+    """Huber loss: quadratic within ``delta`` of the target, linear
+    beyond — bounds the gradient contribution of latency outliers.
+
+    ``forward`` returns the scalar loss (mean over elements); ``backward``
+    returns the gradient w.r.t. the prediction.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be > 0, got {delta}")
+        self.delta = delta
+        self._diff: np.ndarray | None = None
+        self._n: int = 0
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"prediction shape {prediction.shape} != target {target.shape}"
+            )
+        diff = prediction - target
+        self._diff = diff
+        self._n = prediction.size
+        abs_diff = np.abs(diff)
+        quadratic = 0.5 * diff**2
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        clipped = np.clip(self._diff, -self.delta, self.delta)
+        return clipped / self._n
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)

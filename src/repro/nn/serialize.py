@@ -1,0 +1,53 @@
+"""Model parameter serialization.
+
+The production-deployment story of Section 3.2 requires strict version
+control of cost-model checkpoints (a training job must resume with the
+same sharding plan, hence the same cost model).  Parameters are stored as
+plain ``.npz`` archives together with a version tag so stale checkpoints
+fail loudly instead of silently mis-predicting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["save_params", "load_params", "FORMAT_VERSION"]
+
+#: Bump when the checkpoint layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class _HasStateDict(Protocol):
+    def state_dict(self) -> dict[str, np.ndarray]: ...
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None: ...
+
+
+def save_params(model: _HasStateDict, path: str | os.PathLike) -> None:
+    """Save a model's parameters (and the format version) to ``path``."""
+    state = model.state_dict()
+    np.savez(
+        path,
+        __format_version__=np.array(FORMAT_VERSION),
+        **state,
+    )
+
+
+def load_params(model: _HasStateDict, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_params` into ``model``.
+
+    Raises:
+        ValueError: on version mismatch or shape mismatch.
+    """
+    with np.load(path) as archive:
+        if "__format_version__" not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        version = int(archive["__format_version__"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint version {version} != supported {FORMAT_VERSION}"
+            )
+        state = {k: archive[k] for k in archive.files if k != "__format_version__"}
+    model.load_state_dict(state)

@@ -1,0 +1,146 @@
+"""Terminal plotting: ASCII scatter and line charts.
+
+The benchmark harness regenerates the paper's *figures* as well as its
+tables; without a display or matplotlib, figures render as fixed-width
+ASCII charts that are stored alongside the numeric tables in
+``benchmarks/results/``.  Deliberately tiny feature set: two-variable
+scatter plots (Figure 3 right, Figure 8 left) and multi-series line
+charts over a shared x-axis (Figure 3 left, Figure 8 middle, Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_scatter", "ascii_lines"]
+
+#: Glyphs assigned to successive series in a line chart.
+_SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _bounds(values: Sequence[float]) -> tuple[float, float]:
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        raise ValueError("no finite values to plot")
+    lo, hi = min(finite), max(finite)
+    if lo == hi:  # degenerate axis: widen symmetrically
+        pad = abs(lo) * 0.05 + 1e-9
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def _format_axis(value: float) -> str:
+    if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+        return f"{value:.2e}"
+    return f"{value:.2f}"
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    marker: str = "o",
+) -> str:
+    """Render paired samples as an ASCII scatter plot.
+
+    Points outside the finite range are dropped; overlapping points
+    render as a single marker.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x ({len(x)}) and y ({len(y)}) must align")
+    if len(x) == 0:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    x_lo, x_hi = _bounds(x)
+    y_lo, y_hi = _bounds(y)
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        if not (math.isfinite(xi) and math.isfinite(yi)):
+            continue
+        col = int((xi - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{_format_axis(y_lo)} .. {_format_axis(y_hi)}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"{x_label}  [{_format_axis(x_lo)} .. {_format_axis(x_hi)}]"
+    )
+    return "\n".join(lines)
+
+
+def ascii_lines(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more y-series over a shared x-axis.
+
+    Each series gets its own glyph; a legend follows the chart.  Values
+    between samples are linearly interpolated so sparse sweeps still read
+    as lines.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise ValueError(f"at most {len(_SERIES_GLYPHS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x)}"
+            )
+    if len(x) < 2:
+        raise ValueError("need at least two x samples")
+
+    x_lo, x_hi = _bounds(x)
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = _bounds(all_y)
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot_point(xv: float, yv: float, glyph: str) -> None:
+        if not (math.isfinite(xv) and math.isfinite(yv)):
+            return
+        col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    for glyph, (name, ys) in zip(_SERIES_GLYPHS, series.items()):
+        # Interpolate along columns between consecutive samples.
+        for (x0, y0), (x1, y1) in zip(zip(x, ys), zip(x[1:], ys[1:])):
+            if not all(map(math.isfinite, (x0, y0, x1, y1))):
+                continue
+            steps = max(
+                2, int(abs(x1 - x0) / (x_hi - x_lo) * (width - 1)) + 1
+            )
+            for i in range(steps + 1):
+                t = i / steps
+                plot_point(x0 + t * (x1 - x0), y0 + t * (y1 - y0), glyph)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{_format_axis(y_lo)} .. {_format_axis(y_hi)}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}  [{_format_axis(x_lo)} .. {_format_axis(x_hi)}]")
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(_SERIES_GLYPHS, series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Small shared utilities: stable hashing and deterministic noise.
+
+The real testbed's latency measurements carry run-to-run variance which the
+paper suppresses with a warm-up + median-of-100 protocol (Appendix A).  Our
+simulator reproduces the *residual* post-median variance as deterministic
+pseudo-noise: the noise for a measurement is a pure function of the
+workload key and a seed, so identical workloads measure identical costs in
+any process — which is what makes benchmarks and tests reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["stable_hash64", "deterministic_normal", "deterministic_uniform"]
+
+
+def stable_hash64(*parts: object) -> int:
+    """A 64-bit hash of ``parts`` that is stable across processes.
+
+    ``hash()`` is salted per-process for strings, so it cannot be used for
+    reproducible noise; this uses blake2b instead.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x1f")
+    return struct.unpack("<Q", h.digest())[0]
+
+
+def deterministic_normal(*key_parts: object) -> float:
+    """A standard-normal draw that is a pure function of the key."""
+    rng = np.random.default_rng(stable_hash64(*key_parts))
+    return float(rng.standard_normal())
+
+
+def deterministic_uniform(*key_parts: object) -> float:
+    """A U[0, 1) draw that is a pure function of the key."""
+    rng = np.random.default_rng(stable_hash64(*key_parts))
+    return float(rng.random())

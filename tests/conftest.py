@@ -1,0 +1,90 @@
+"""Shared fixtures.
+
+Heavyweight artifacts (the table pool, a trained cost-model bundle) are
+session-scoped: the bundle in particular takes a few seconds to pre-train
+and is reused by every search/baseline test.  Test sizes are deliberately
+small — benchmark-grade fidelity lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    CollectionConfig,
+    TaskConfig,
+    TrainConfig,
+)
+from repro.costmodel import pretrain_cost_models
+from repro.data import TablePool, generate_tasks, synthesize_table_pool
+from repro.hardware import SimulatedCluster
+
+TEST_MEMORY_BYTES = 2 * 1024**3
+
+
+@pytest.fixture(scope="session")
+def small_pool() -> TablePool:
+    """A 48-table pool — enough diversity, fast to augment."""
+    return TablePool(synthesize_table_pool(num_tables=48, seed=7))
+
+
+@pytest.fixture(scope="session")
+def cluster2() -> SimulatedCluster:
+    """A 2-device cluster with a 2 GB budget."""
+    return SimulatedCluster(
+        ClusterConfig(num_devices=2, memory_bytes=TEST_MEMORY_BYTES)
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster4() -> SimulatedCluster:
+    """A 4-device cluster with a 2 GB budget."""
+    return SimulatedCluster(
+        ClusterConfig(num_devices=4, memory_bytes=TEST_MEMORY_BYTES)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_collection() -> CollectionConfig:
+    return CollectionConfig(
+        num_compute_samples=600,
+        num_comm_samples=300,
+        max_tables=8,
+        min_placement_tables=4,
+        max_placement_tables=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_train() -> TrainConfig:
+    # Small batches: the tiny datasets need enough optimizer steps.
+    return TrainConfig(epochs=100, batch_size=64)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(small_pool, cluster2, tiny_collection, tiny_train):
+    """A small pre-trained cost-model bundle for the 2-device cluster."""
+    bundle, _ = pretrain_cost_models(
+        cluster2, small_pool, tiny_collection, tiny_train, seed=11
+    )
+    return bundle
+
+
+@pytest.fixture(scope="session")
+def tasks2(small_pool):
+    """Five small 2-device sharding tasks."""
+    config = TaskConfig(
+        num_devices=2,
+        max_dim=64,
+        min_tables=4,
+        max_tables=10,
+        memory_bytes=TEST_MEMORY_BYTES,
+    )
+    return generate_tasks(small_pool, config, count=5, seed=13)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

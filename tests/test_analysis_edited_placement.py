@@ -1,0 +1,85 @@
+"""Tests for WhatIfResult.edited and multi-source improvement scanning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator
+from repro.evaluation import (
+    best_single_improvement,
+    what_if_move,
+    what_if_split,
+)
+from repro.hardware.memory import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def simulator(tiny_bundle):
+    return NeuroShardSimulator(tiny_bundle, CostCache())
+
+
+@pytest.fixture(scope="module")
+def placement(small_pool):
+    tables = [t.with_dim(32) for t in small_pool.tables[:8]]
+    return [tables[:6], tables[6:]]
+
+
+class TestEditedPlacement:
+    def test_move_edited_matches_description(self, placement, simulator):
+        result = what_if_move(placement, simulator, 0, 2, 1)
+        assert result.edited is not None
+        moved = placement[0][2]
+        assert moved not in result.edited[0]
+        assert moved in result.edited[1]
+        total = sum(len(dev) for dev in result.edited)
+        assert total == sum(len(dev) for dev in placement)
+
+    def test_move_cost_after_matches_edited(self, placement, simulator):
+        result = what_if_move(placement, simulator, 0, 1, 1)
+        assert result.cost_after_ms == pytest.approx(
+            simulator.plan_cost(result.edited).max_cost_ms
+        )
+
+    def test_split_edited_has_one_more_table(self, placement, simulator):
+        result = what_if_split(placement, simulator, 0, 0)
+        assert result.edited is not None
+        assert sum(len(dev) for dev in result.edited) == (
+            sum(len(dev) for dev in placement) + 1
+        )
+        # Dimension is conserved by a column split.
+        assert sum(t.dim for dev in result.edited for t in dev) == sum(
+            t.dim for dev in placement for t in dev
+        )
+
+    def test_infeasible_edit_has_no_placement(self, placement, simulator):
+        tiny = MemoryModel(1)
+        result = what_if_move(placement, simulator, 0, 0, 1, memory=tiny)
+        assert result.edited is None
+
+
+class TestMultiSourceScan:
+    def test_scan_covers_straggler_source(self, simulator, small_pool):
+        """A plan whose measured-cost bottleneck is a waiting device must
+        still surface edits that unload the max-compute device."""
+        tables = [t.with_dim(32) for t in small_pool.tables[:10]]
+        lopsided = [tables[:1], tables[1:]]  # device 1 is the straggler
+        edits = best_single_improvement(lopsided, simulator, top_k=3)
+        assert edits[0].improvement_ms > 0
+        # The winning edit must touch the overloaded device 1.
+        assert "device 1" in edits[0].description
+
+    def test_applying_best_edit_chain_monotone(self, simulator, small_pool):
+        """Greedily applying the analyzer's best edit never increases
+        the simulated cost."""
+        tables = [t.with_dim(32) for t in small_pool.tables[:9]]
+        per_device = [list(tables[:1]), list(tables[1:])]
+        cost = simulator.plan_cost(per_device).max_cost_ms
+        for _ in range(4):
+            edits = best_single_improvement(per_device, simulator, top_k=1)
+            if edits[0].improvement_ms <= 0 or edits[0].edited is None:
+                break
+            per_device = [list(dev) for dev in edits[0].edited]
+            new_cost = simulator.plan_cost(per_device).max_cost_ms
+            assert new_cost <= cost + 1e-9
+            cost = new_cost

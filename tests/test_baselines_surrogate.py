@@ -1,0 +1,120 @@
+"""Tests for the SurCo-style linear-surrogate sharder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedySharder, SurrogateSharder
+from repro.baselines.surrogate import _greedy_solve
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator
+from repro.data.table import TableConfig
+from repro.hardware.memory import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def sharder(tiny_bundle):
+    return SurrogateSharder(tiny_bundle, iterations=15, seed=0)
+
+
+def simulated_cost(bundle, task, plan):
+    simulator = NeuroShardSimulator(bundle, CostCache())
+    per_device = plan.per_device_tables(task.tables)
+    return simulator.plan_cost(per_device).max_cost_ms
+
+
+class TestGreedySolve:
+    def test_balances_weights(self):
+        tables = [
+            TableConfig(i, hash_size=1000, dim=8, pooling_factor=2.0, zipf_alpha=1.0)
+            for i in range(6)
+        ]
+        weights = np.array([6.0, 5.0, 4.0, 3.0, 2.0, 1.0])
+        memory = MemoryModel(1024**3)
+        assignment = _greedy_solve(tables, weights, 2, memory)
+        assert assignment is not None
+        per_device = [0.0, 0.0]
+        for ti, d in enumerate(assignment):
+            per_device[d] += weights[ti]
+        # LPT on these weights gives a 11/10 split.
+        assert abs(per_device[0] - per_device[1]) <= 1.0
+
+    def test_returns_none_when_memory_gates(self):
+        big = TableConfig(0, hash_size=10**7, dim=128, pooling_factor=2.0,
+                          zipf_alpha=1.0)
+        memory = MemoryModel(1024**2)
+        assert _greedy_solve([big], np.ones(1), 2, memory) is None
+
+
+class TestSurrogateSharder:
+    def test_validation(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            SurrogateSharder(tiny_bundle, iterations=-1)
+        with pytest.raises(ValueError):
+            SurrogateSharder(tiny_bundle, step_size=0.0)
+        with pytest.raises(ValueError):
+            SurrogateSharder(tiny_bundle, perturbation=-1.0)
+
+    def test_device_count_mismatch(self, tiny_bundle, tasks2):
+        import dataclasses
+
+        bad_task = dataclasses.replace(tasks2[0], num_devices=7)
+        with pytest.raises(ValueError, match="devices"):
+            SurrogateSharder(tiny_bundle).shard(bad_task)
+
+    def test_produces_legal_plans(self, sharder, tasks2):
+        memoryless = 0
+        for task in tasks2:
+            plan = sharder.shard(task)
+            if plan is None:
+                memoryless += 1
+                continue
+            assert plan.num_devices == task.num_devices
+            assert len(plan.assignment) == len(task.tables)
+            per_device = plan.per_device_tables(task.tables)
+            memory = MemoryModel(task.memory_bytes)
+            assert memory.placement_fits(per_device)
+        assert memoryless < len(tasks2)
+
+    def test_no_column_splits(self, sharder, tasks2):
+        """Like the greedy family, the surrogate is table-wise only."""
+        plan = sharder.shard(tasks2[0])
+        assert plan is not None
+        assert plan.column_plan == ()
+
+    def test_optimization_does_not_hurt(self, tiny_bundle, tasks2):
+        """More iterations never yield a worse plan than zero iterations
+        (the best-ever plan is kept)."""
+        for task in tasks2[:3]:
+            zero = SurrogateSharder(tiny_bundle, iterations=0, seed=1).shard(task)
+            many = SurrogateSharder(tiny_bundle, iterations=20, seed=1).shard(task)
+            if zero is None or many is None:
+                continue
+            assert simulated_cost(tiny_bundle, task, many) <= simulated_cost(
+                tiny_bundle, task, zero
+            ) + 1e-9
+
+    def test_improves_over_lookup_greedy_on_some_task(self, sharder, tiny_bundle,
+                                                      tasks2):
+        """Across the test tasks the learned surrogate must beat its own
+        initialization (lookup-greedy) at least once, and never lose on
+        simulated cost."""
+        better = 0
+        for task in tasks2:
+            surco = sharder.shard(task)
+            greedy = GreedySharder("Lookup-based").shard(task)
+            if surco is None or greedy is None:
+                continue
+            s_cost = simulated_cost(tiny_bundle, task, surco)
+            g_cost = simulated_cost(tiny_bundle, task, greedy)
+            assert s_cost <= g_cost + 1e-6
+            if s_cost < g_cost - 1e-6:
+                better += 1
+        assert better >= 1
+
+    def test_deterministic_given_seed(self, tiny_bundle, tasks2):
+        a = SurrogateSharder(tiny_bundle, iterations=10, seed=5).shard(tasks2[0])
+        b = SurrogateSharder(tiny_bundle, iterations=10, seed=5).shard(tasks2[0])
+        assert a is not None and b is not None
+        assert a.assignment == b.assignment

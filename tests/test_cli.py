@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pretrain_args(self):
+        args = build_parser().parse_args(
+            ["pretrain", "/tmp/x", "--gpus", "8", "--samples", "100"]
+        )
+        assert args.command == "pretrain"
+        assert args.gpus == 8
+        assert args.samples == 100
+
+    def test_compare_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "quantum"])
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_pretrain_then_shard(self, tmp_path, capsys):
+        bundle_dir = str(tmp_path / "bundle")
+        code = main(
+            [
+                "pretrain",
+                bundle_dir,
+                "--gpus",
+                "4",
+                "--samples",
+                "400",
+                "--epochs",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test MSE" in out
+        assert "saved bundle" in out
+
+        code = main(
+            ["shard", bundle_dir, "--max-dim", "32", "--tasks", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Average:" in out
+        assert "Valid" in out
+
+    def test_compare_baseline(self, capsys):
+        code = main(
+            ["compare", "dim_greedy", "--max-dim", "16", "--tasks", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Valid 2 / 2" in out

@@ -1,0 +1,36 @@
+"""CLI tests for the artifact-style tasks-file workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.data import save_tasks
+
+
+class TestShardWithTasksFile:
+    @pytest.fixture()
+    def bundle_dir(self, tiny_bundle, tmp_path):
+        directory = tmp_path / "bundle"
+        tiny_bundle.save(directory)
+        return str(directory)
+
+    def test_shard_reads_tasks_file(self, bundle_dir, tasks2, tmp_path, capsys):
+        tasks_path = tmp_path / "tasks.json"
+        save_tasks(tasks2[:2], tasks_path)
+        rc = main(["shard", bundle_dir, "--tasks-file", str(tasks_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NeuroShard on 2 tasks" in out
+        assert "Valid" in out
+
+    def test_shard_rejects_device_mismatch(self, bundle_dir, tasks2, tmp_path,
+                                           capsys):
+        import dataclasses
+
+        tasks_path = tmp_path / "tasks.json"
+        bad = [dataclasses.replace(tasks2[0], num_devices=6)]
+        save_tasks(bad, tasks_path)
+        rc = main(["shard", bundle_dir, "--tasks-file", str(tasks_path)])
+        assert rc == 1
+        assert "different device count" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Tests for repro.config."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DIMENSION_GRID,
+    ClusterConfig,
+    CollectionConfig,
+    SearchConfig,
+    TaskConfig,
+    TrainConfig,
+    rng_from_seed,
+    spawn_rngs,
+)
+
+
+class TestRngHelpers:
+    def test_rng_from_int_is_deterministic(self):
+        a = rng_from_seed(5).integers(0, 1000, size=8)
+        b = rng_from_seed(5).integers(0, 1000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_from_seed(gen) is gen
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(3, 4)
+        assert len(streams) == 4
+        draws = [g.random() for g in streams]
+        assert len(set(draws)) == 4
+
+    def test_spawn_rngs_stable(self):
+        a = [g.random() for g in spawn_rngs(9, 3)]
+        b = [g.random() for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestSearchConfig:
+    def test_defaults_match_paper(self):
+        cfg = SearchConfig()
+        assert (cfg.top_n, cfg.beam_width, cfg.max_steps, cfg.grid_points) == (
+            10,
+            3,
+            10,
+            11,
+        )
+        assert cfg.grid_end_factor == 1.5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("top_n", 0),
+            ("beam_width", 0),
+            ("max_steps", -1),
+            ("grid_points", 0),
+            ("grid_end_factor", 0.5),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SearchConfig(**{field: value})
+
+    @pytest.mark.parametrize(
+        "name,attr",
+        [
+            ("beam_search", "use_beam_search"),
+            ("grid_search", "use_grid_search"),
+            ("caching", "use_cache"),
+        ],
+    )
+    def test_ablations(self, name, attr):
+        cfg = SearchConfig().with_ablation(name)
+        assert getattr(cfg, attr) is False
+
+    def test_unknown_ablation(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            SearchConfig().with_ablation("nope")
+
+
+class TestCollectionConfig:
+    def test_augment_dims_must_be_multiple_of_4(self):
+        with pytest.raises(ValueError, match="divisible by 4"):
+            CollectionConfig(augment_dims=(6,))
+
+    def test_table_range_validation(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(min_tables=5, max_tables=2)
+
+    def test_for_devices_scales_placement_range(self):
+        base = CollectionConfig()
+        eight = base.for_devices(8)
+        assert eight.min_placement_tables == 20
+        assert eight.max_placement_tables == 120
+        four = base.for_devices(4)
+        assert four.min_placement_tables == 10
+        assert four.max_placement_tables == 60
+
+
+class TestTrainConfig:
+    def test_split_must_leave_test_data(self):
+        with pytest.raises(ValueError):
+            TrainConfig(train_frac=0.9, valid_frac=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            TrainConfig(learning_rate=0)
+
+
+class TestTaskConfig:
+    def test_dim_choices_reproduce_table5_rows(self):
+        # Paper Table 5 skips 32 in the max-dim-64 and 128 rows.
+        assert TaskConfig(max_dim=128).dim_choices == (4, 8, 16, 64, 128)
+        assert TaskConfig(max_dim=64).dim_choices == (4, 8, 16, 64)
+        assert TaskConfig(max_dim=32).dim_choices == (4, 8, 16, 32)
+        assert TaskConfig(max_dim=4).dim_choices == (4,)
+
+    def test_paper_grid_has_12_settings(self):
+        grid = TaskConfig.paper_grid()
+        assert len(grid) == 12
+        assert {g.num_devices for g in grid} == {4, 8}
+        assert {g.max_dim for g in grid} == set(DIMENSION_GRID)
+        for g in grid:
+            if g.num_devices == 4:
+                assert (g.min_tables, g.max_tables) == (10, 60)
+            else:
+                assert (g.min_tables, g.max_tables) == (20, 120)
+
+    def test_max_dim_must_be_on_grid(self):
+        with pytest.raises(ValueError):
+            TaskConfig(max_dim=100)
+
+    def test_cluster_matches_task(self):
+        cfg = TaskConfig(num_devices=8)
+        cluster = cfg.cluster(batch_size=1024)
+        assert cluster.num_devices == 8
+        assert cluster.batch_size == 1024
+        assert cluster.memory_bytes == cfg.memory_bytes
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_devices=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(memory_bytes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(batch_size=0)

@@ -1,0 +1,66 @@
+"""Tests for repro.core.cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostCache
+
+
+class TestCostCache:
+    def test_miss_then_hit(self):
+        cache = CostCache()
+        assert cache.get(("a",)) is None
+        cache.put(("a",), 1.5)
+        assert cache.get(("a",)) == 1.5
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_disabled_always_misses(self):
+        cache = CostCache(enabled=False)
+        cache.put(("a",), 1.0)
+        assert cache.get(("a",)) is None
+        assert cache.hit_rate == 0.0
+        assert len(cache) == 0
+
+    def test_overwrite(self):
+        cache = CostCache()
+        cache.put("k", 1.0)
+        cache.put("k", 2.0)
+        assert cache.get("k") == 2.0
+
+    def test_clear_resets_everything(self):
+        cache = CostCache()
+        cache.put("k", 1.0)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookups == 0
+        assert cache.hit_rate == 0.0
+
+    def test_hit_rate_zero_when_unused(self):
+        assert CostCache().hit_rate == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.floats(0, 100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cache_consistent_counts(operations):
+    cache = CostCache()
+    stored: dict[int, float] = {}
+    for key, value in operations:
+        result = cache.get(key)
+        if key in stored:
+            assert result == stored[key]
+        else:
+            assert result is None
+            cache.put(key, value)
+            stored[key] = value
+    assert cache.lookups == len(operations)
+    assert cache.hits + cache.misses == cache.lookups
+    assert len(cache) == len(stored)

@@ -1,0 +1,116 @@
+"""Tests for repro.core.plan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import (
+    ShardingPlan,
+    apply_column_plan,
+    column_plan_is_legal,
+    split_candidates,
+)
+from repro.data import synthesize_table_pool
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return synthesize_table_pool(num_tables=6, seed=9)  # all dim 64
+
+
+class TestApplyColumnPlan:
+    def test_empty_plan_is_identity(self, tables):
+        assert apply_column_plan(tables, ()) == list(tables)
+
+    def test_single_split_semantics(self, tables):
+        out = apply_column_plan(tables, (2,))
+        assert len(out) == 7
+        # Index 2 halved in place; new shard appended at the end.
+        assert out[2].dim == 32
+        assert out[-1].dim == 32
+        assert out[2].table_id == out[-1].table_id == tables[2].table_id
+        for i in (0, 1, 3, 4, 5):
+            assert out[i] == tables[i]
+
+    def test_split_of_appended_shard(self, tables):
+        # Split table 0, then split the appended shard (index 6).
+        out = apply_column_plan(tables, (0, 6))
+        assert len(out) == 8
+        assert out[0].dim == 32
+        assert out[6].dim == 16
+        assert out[7].dim == 16
+
+    def test_preserves_total_dim(self, tables):
+        out = apply_column_plan(tables, (0, 1, 6, 0))
+        assert sum(t.dim for t in out) == sum(t.dim for t in tables)
+
+    def test_out_of_range_raises(self, tables):
+        with pytest.raises(IndexError):
+            apply_column_plan(tables, (6,))
+
+    def test_index_valid_only_after_growth(self, tables):
+        # Index 6 exists only once a split appended a shard.
+        out = apply_column_plan(tables, (0, 6))
+        assert len(out) == 8
+        assert not column_plan_is_legal(tables, (6,))
+
+    def test_cannot_split_below_min_dim(self, tables):
+        plan = (0, 0, 0, 0, 0)  # 64 -> 32 -> 16 -> 8 -> 4 -> error
+        with pytest.raises(ValueError):
+            apply_column_plan(tables, plan)
+        assert not column_plan_is_legal(tables, plan)
+
+
+class TestSplitCandidates:
+    def test_all_64_dim_splittable(self, tables):
+        assert split_candidates(tables) == list(range(len(tables)))
+
+    def test_dim4_excluded(self, tables):
+        mixed = [tables[0].with_dim(4), tables[1]]
+        assert split_candidates(mixed) == [1]
+
+
+class TestShardingPlan:
+    def test_per_device_tables(self, tables):
+        plan = ShardingPlan(
+            column_plan=(0,),
+            assignment=(0, 1, 0, 1, 0, 1, 0),
+            num_devices=2,
+        )
+        per_device = plan.per_device_tables(tables)
+        assert len(per_device) == 2
+        assert sum(len(d) for d in per_device) == 7
+
+    def test_assignment_length_checked(self, tables):
+        plan = ShardingPlan(column_plan=(), assignment=(0,), num_devices=2)
+        with pytest.raises(ValueError):
+            plan.per_device_tables(tables)
+
+    def test_device_range_checked(self):
+        with pytest.raises(ValueError):
+            ShardingPlan(column_plan=(), assignment=(3,), num_devices=2)
+
+    def test_device_dims(self, tables):
+        plan = ShardingPlan(
+            column_plan=(),
+            assignment=tuple(i % 2 for i in range(6)),
+            num_devices=2,
+        )
+        dims = plan.device_dims(tables)
+        assert sum(dims) == sum(t.dim for t in tables)
+
+    def test_num_splits(self):
+        assert ShardingPlan((1, 2), (0,) * 0 or (), 1).num_splits == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=6))
+def test_property_plan_application_conserves_dim_and_bytes(raw_plan):
+    tables = synthesize_table_pool(num_tables=5, seed=1, default_dim=128)
+    if not column_plan_is_legal(tables, raw_plan):
+        return
+    out = apply_column_plan(tables, raw_plan)
+    assert len(out) == len(tables) + len(raw_plan)
+    assert sum(t.dim for t in out) == sum(t.dim for t in tables)
+    assert sum(t.size_bytes for t in out) == sum(t.size_bytes for t in tables)
+    assert all(t.dim % 4 == 0 for t in out)

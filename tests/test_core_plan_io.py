@@ -1,0 +1,81 @@
+"""Tests for repro.core.plan_io (plan checkpointing)."""
+
+import json
+
+import pytest
+
+from repro.core.plan import ShardingPlan
+from repro.core.plan_io import load_plan, save_plan, task_fingerprint
+from repro.data import synthesize_table_pool
+
+
+@pytest.fixture()
+def tables():
+    return synthesize_table_pool(num_tables=5, seed=12)
+
+
+@pytest.fixture()
+def plan(tables):
+    return ShardingPlan(
+        column_plan=(0,),
+        assignment=tuple(i % 2 for i in range(6)),
+        num_devices=2,
+    )
+
+
+class TestFingerprint:
+    def test_stable(self, tables):
+        assert task_fingerprint(tables) == task_fingerprint(tables)
+
+    def test_order_sensitive(self, tables):
+        assert task_fingerprint(tables) != task_fingerprint(tables[::-1])
+
+    def test_dim_sensitive(self, tables):
+        changed = [tables[0].with_dim(8), *tables[1:]]
+        assert task_fingerprint(tables) != task_fingerprint(changed)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tables, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, tables, path, cost_model_version="bundle-v1")
+        checkpoint = load_plan(path, tables)
+        assert checkpoint.plan == plan
+        assert checkpoint.cost_model_version == "bundle-v1"
+
+    def test_load_without_validation(self, tables, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, tables, path)
+        checkpoint = load_plan(path)  # no tables: no check
+        assert checkpoint.plan == plan
+
+    def test_drifted_tables_rejected(self, tables, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, tables, path)
+        drifted = [tables[0].with_dim(8), *tables[1:]]
+        with pytest.raises(ValueError, match="does not match the task"):
+            load_plan(path, drifted)
+
+    def test_wrong_version_rejected(self, tables, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, tables, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_plan(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"format_version": 1}))
+        with pytest.raises(ValueError, match="malformed"):
+            load_plan(path)
+
+    def test_loaded_plan_executes(self, tables, plan, tmp_path):
+        """A restored plan reproduces the exact device layout."""
+        path = tmp_path / "plan.json"
+        save_plan(plan, tables, path)
+        restored = load_plan(path, tables).plan
+        assert restored.per_device_tables(tables) == plan.per_device_tables(
+            tables
+        )

@@ -1,0 +1,72 @@
+"""Tests for repro.costmodel.features."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import TableFeaturizer
+from repro.data import synthesize_table_pool
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return synthesize_table_pool(num_tables=20, seed=8)
+
+
+@pytest.fixture()
+def featurizer() -> TableFeaturizer:
+    return TableFeaturizer(batch_size=65536)
+
+
+class TestFeaturizer:
+    def test_vector_width(self, featurizer, tables):
+        vec = featurizer.features(tables[0])
+        assert vec.shape == (featurizer.num_features,)
+
+    def test_all_finite(self, featurizer, tables):
+        for t in tables:
+            assert np.all(np.isfinite(featurizer.features(t)))
+
+    def test_matrix_stacking(self, featurizer, tables):
+        mat = featurizer.features_matrix(tables[:5])
+        assert mat.shape == (5, featurizer.num_features)
+        assert np.allclose(mat[2], featurizer.features(tables[2]))
+
+    def test_empty_matrix(self, featurizer):
+        mat = featurizer.features_matrix([])
+        assert mat.shape == (0, featurizer.num_features)
+
+    def test_dim_affects_features(self, featurizer, tables):
+        t = tables[0]
+        a = featurizer.features(t.with_dim(8))
+        b = featurizer.features(t.with_dim(128))
+        assert not np.allclose(a, b)
+
+    def test_cache_returns_same_vector(self, featurizer, tables):
+        a = featurizer.features(tables[0])
+        b = featurizer.features(tables[0])
+        assert a is b  # cached object identity
+
+    def test_clear_cache(self, featurizer, tables):
+        a = featurizer.features(tables[0])
+        featurizer.clear_cache()
+        b = featurizer.features(tables[0])
+        assert a is not b
+        assert np.allclose(a, b)
+
+    def test_batch_size_changes_features(self, tables):
+        small = TableFeaturizer(batch_size=1024).features(tables[0])
+        large = TableFeaturizer(batch_size=65536).features(tables[0])
+        assert not np.allclose(small, large)
+
+    def test_constant_count_feature_is_last(self, featurizer, tables):
+        vec = featurizer.features(tables[0])
+        assert vec[-1] == 1.0
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            TableFeaturizer(batch_size=0)
+
+    def test_features_scale_reasonably(self, featurizer, tables):
+        """Features should stay O(10) so the MLP needs no normalizer."""
+        mats = featurizer.features_matrix(tables)
+        assert np.abs(mats).max() < 50

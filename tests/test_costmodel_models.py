@@ -1,0 +1,159 @@
+"""Tests for repro.costmodel.compute_model and comm_model."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CommCostModel, ComputeCostModel, comm_features
+from repro.nn import Adam, MSELoss
+
+
+class TestComputeCostModel:
+    @pytest.fixture()
+    def model(self) -> ComputeCostModel:
+        return ComputeCostModel(num_features=6, rng=np.random.default_rng(0))
+
+    def test_batch_shapes(self, model, rng):
+        inputs = [rng.normal(size=(t, 6)) for t in (1, 3, 7)]
+        out = model.forward_batch(inputs)
+        assert out.shape == (3,)
+
+    def test_permutation_invariance(self, model, rng):
+        mat = rng.normal(size=(5, 6))
+        a = model.predict_one(mat)
+        b = model.predict_one(mat[::-1])
+        assert a == pytest.approx(b)
+
+    def test_feature_width_validated(self, model, rng):
+        with pytest.raises(ValueError):
+            model.forward_batch([rng.normal(size=(2, 4))])
+
+    def test_empty_batch_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.forward_batch([])
+
+    def test_target_stats_affect_predictions(self, model, rng):
+        mat = rng.normal(size=(3, 6))
+        raw = model.predict_one(mat)
+        model.set_target_stats(mean=100.0, std=10.0)
+        scaled = model.predict_one(mat)
+        assert scaled == pytest.approx(100.0 + 10.0 * raw)
+
+    def test_set_target_stats_validates(self, model):
+        with pytest.raises(ValueError):
+            model.set_target_stats(0.0, 0.0)
+
+    def test_gradient_flow_trains_set_function(self, rng):
+        """The model can learn a simple set-additive function."""
+        model = ComputeCostModel(
+            num_features=3, table_hidden=(16, 8), head_hidden=(16,),
+            rng=np.random.default_rng(1),
+        )
+        loss = MSELoss()
+        opt = Adam(model.parameters(), lr=3e-3)
+        def sample(batch=32):
+            inputs, targets = [], []
+            for _ in range(batch):
+                t = rng.integers(1, 6)
+                m = rng.normal(size=(t, 3))
+                inputs.append(m)
+                targets.append(m[:, 0].sum())
+            return inputs, np.array(targets)
+        first = None
+        for step in range(400):
+            inputs, targets = sample()
+            pred = model.forward_batch(inputs)
+            value = loss(pred, targets)
+            if first is None:
+                first = value
+            opt.zero_grad()
+            model.backward_batch(loss.backward())
+            opt.step()
+        assert value < first / 10
+
+    def test_paper_architecture_sizes(self):
+        """Default sizes follow the paper: 128-32 shared MLP, 32-64 head."""
+        model = ComputeCostModel(num_features=15)
+        from repro.nn import Linear
+
+        table_linears = [
+            m for m in model.table_mlp.modules if isinstance(m, Linear)
+        ]
+        head_linears = [m for m in model.head_mlp.modules if isinstance(m, Linear)]
+        assert [(l.in_features, l.out_features) for l in table_linears] == [
+            (15, 128),
+            (128, 32),
+        ]
+        assert [(l.in_features, l.out_features) for l in head_linears] == [
+            (32, 64),
+            (64, 1),
+        ]
+
+
+class TestCommFeatures:
+    def test_layout(self):
+        feats = comm_features([100, 200], [1.0, 2.0], batch_size=65536)
+        assert feats.shape == (4,)
+        # First half: scaled starts; second half: scaled sizes.
+        assert feats[0] == pytest.approx(0.1)
+        assert feats[2] == pytest.approx(100 * 65536 * 4.0 / 1e8)
+
+    def test_validates_alignment(self):
+        with pytest.raises(ValueError):
+            comm_features([100, 200], [0.0], batch_size=65536)
+        with pytest.raises(ValueError):
+            comm_features([100], [0.0], batch_size=0)
+
+
+class TestCommCostModel:
+    def test_shapes(self, rng):
+        model = CommCostModel(num_devices=4, rng=rng)
+        out = model.forward_batch(rng.normal(size=(6, 8)))
+        assert out.shape == (6, 4)
+
+    def test_predict_applies_target_stats(self, rng):
+        model = CommCostModel(num_devices=2, rng=rng)
+        raw = model.forward_batch(
+            comm_features([10, 20], [0.0, 1.0], 1024)[None, :]
+        )[0]
+        model.set_target_stats(5.0, 2.0)
+        scaled = model.predict([10, 20], [0.0, 1.0], 1024)
+        assert np.allclose(scaled, 5.0 + 2.0 * raw)
+
+    def test_wrong_device_count_rejected(self, rng):
+        model = CommCostModel(num_devices=4, rng=rng)
+        with pytest.raises(ValueError):
+            model.predict([10, 20], [0.0, 1.0], 1024)
+
+    def test_input_width_validated(self, rng):
+        model = CommCostModel(num_devices=4, rng=rng)
+        with pytest.raises(ValueError):
+            model.forward_batch(rng.normal(size=(3, 6)))
+
+    def test_paper_architecture(self):
+        """Hidden sizes 128-64-32-16 per the paper."""
+        from repro.nn import Linear
+
+        model = CommCostModel(num_devices=4)
+        widths = [
+            (l.in_features, l.out_features)
+            for l in model.mlp.modules
+            if isinstance(l, Linear)
+        ]
+        assert widths == [(8, 128), (128, 64), (64, 32), (32, 16), (16, 4)]
+
+    def test_learns_linear_map(self, rng):
+        model = CommCostModel(num_devices=2, hidden=(16,), rng=np.random.default_rng(2))
+        loss = MSELoss()
+        opt = Adam(model.parameters(), lr=5e-3)
+        x = rng.normal(size=(256, 4))
+        y = np.stack([x[:, 2] * 3, x[:, 3] * 2], axis=1)
+        first = None
+        for _ in range(300):
+            pred = model.forward_batch(x)
+            value = loss(pred, y)
+            if first is None:
+                first = value
+            opt.zero_grad()
+            model.backward_batch(loss.backward())
+            opt.step()
+        assert value < first / 10

@@ -1,0 +1,172 @@
+"""Tests for collection, pre-training, evaluation and drift monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    DriftMonitor,
+    PretrainedCostModels,
+    TableFeaturizer,
+    collect_comm_data,
+    collect_compute_data,
+    kendall_tau,
+    mse,
+    scatter_eval,
+)
+from repro.hardware import DeviceSpec, SimulatedCluster
+from repro.config import ClusterConfig
+
+
+class TestCollectCompute:
+    def test_dataset_shape(self, cluster2, small_pool, tiny_collection):
+        featurizer = TableFeaturizer(batch_size=cluster2.batch_size)
+        data = collect_compute_data(
+            cluster2, small_pool, featurizer, tiny_collection, seed=0
+        )
+        assert len(data) == tiny_collection.num_compute_samples
+        assert all(m.shape[1] == featurizer.num_features for m in data.inputs)
+        assert np.all(np.asarray(data.targets) > 0)
+
+    def test_table_counts_in_range(self, cluster2, small_pool, tiny_collection):
+        featurizer = TableFeaturizer(batch_size=cluster2.batch_size)
+        data = collect_compute_data(
+            cluster2, small_pool, featurizer, tiny_collection, seed=1
+        )
+        counts = [m.shape[0] for m in data.inputs]
+        assert min(counts) >= tiny_collection.min_tables
+        assert max(counts) <= tiny_collection.max_tables
+
+    def test_deterministic(self, cluster2, small_pool, tiny_collection):
+        featurizer = TableFeaturizer(batch_size=cluster2.batch_size)
+        a = collect_compute_data(cluster2, small_pool, featurizer, tiny_collection, 7)
+        b = collect_compute_data(cluster2, small_pool, featurizer, tiny_collection, 7)
+        assert np.array_equal(a.targets, b.targets)
+
+
+class TestCollectComm:
+    def test_datasets_aligned(self, cluster2, small_pool, tiny_collection):
+        fwd, bwd = collect_comm_data(cluster2, small_pool, tiny_collection, seed=0)
+        assert len(fwd) == len(bwd) == tiny_collection.num_comm_samples
+        assert np.array_equal(np.asarray(fwd.inputs), np.asarray(bwd.inputs))
+        assert fwd.targets.shape == (len(fwd), cluster2.num_devices)
+
+    def test_starts_are_zero_anchored(self, cluster2, small_pool, tiny_collection):
+        fwd, _ = collect_comm_data(cluster2, small_pool, tiny_collection, seed=0)
+        x = np.asarray(fwd.inputs)
+        starts = x[:, : cluster2.num_devices]
+        assert np.allclose(starts.min(axis=1), 0.0)
+
+    def test_backward_targets_larger(self, cluster2, small_pool, tiny_collection):
+        fwd, bwd = collect_comm_data(cluster2, small_pool, tiny_collection, seed=0)
+        assert bwd.targets.mean() > fwd.targets.mean()
+
+
+class TestPretrainedBundle:
+    def test_report_rows(self, tiny_bundle):
+        # The fixture builds the bundle; here we check its structure.
+        assert tiny_bundle.num_devices == 2
+        assert tiny_bundle.compute.target_std > 0
+
+    def test_models_beat_predicting_the_mean(
+        self, tiny_bundle, cluster2, small_pool
+    ):
+        """Even the tiny test bundle must out-predict a constant."""
+        rng = np.random.default_rng(3)
+        combos = small_pool.sample_combinations(40, rng, 1, 8)
+        feats = [tiny_bundle.featurizer.features_matrix(c) for c in combos]
+        pred = tiny_bundle.compute.predict_many(feats)
+        real = np.array([cluster2.measure_compute(c) for c in combos])
+        model_mse = float(np.mean((pred - real) ** 2))
+        const_mse = float(np.var(real))
+        assert model_mse < const_mse
+
+    def test_save_load_roundtrip(self, tiny_bundle, tmp_path):
+        tiny_bundle.save(tmp_path / "bundle")
+        loaded = PretrainedCostModels.load(tmp_path / "bundle")
+        assert loaded.num_devices == tiny_bundle.num_devices
+        assert loaded.batch_size == tiny_bundle.batch_size
+        mat = np.random.default_rng(0).normal(
+            size=(4, tiny_bundle.featurizer.num_features)
+        )
+        assert loaded.compute.predict_one(mat) == pytest.approx(
+            tiny_bundle.compute.predict_one(mat)
+        )
+        assert np.allclose(
+            loaded.forward_comm.predict([10, 20], [0.0, 1.0], 1024),
+            tiny_bundle.forward_comm.predict([10, 20], [0.0, 1.0], 1024),
+        )
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PretrainedCostModels.load(tmp_path / "nowhere")
+
+
+class TestMetrics:
+    def test_mse(self):
+        assert mse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_kendall_tau_perfect(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_kendall_tau_inverted(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_scatter_eval(self):
+        ev = scatter_eval([1.0, 2.0, 3.0], [1.1, 2.2, 2.9])
+        assert ev.tau == pytest.approx(1.0)
+        assert ev.mean_absolute_error > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mse([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            kendall_tau([1.0], [1.0])
+
+
+class TestDriftMonitor:
+    def test_fresh_model_needs_no_retraining(
+        self, tiny_bundle, cluster2, small_pool
+    ):
+        monitor = DriftMonitor(
+            tiny_bundle, cluster2, small_pool, threshold_mse=1e6
+        )
+        report = monitor.probe(num_samples=10, seed=0, max_tables=6)
+        assert report.probe_mse >= 0
+        assert not report.needs_retraining
+
+    def test_shifted_hardware_triggers_retraining(
+        self, tiny_bundle, small_pool, cluster2
+    ):
+        """A 3x slower device must push the error over a tight threshold."""
+        slow = SimulatedCluster(
+            ClusterConfig(num_devices=2, memory_bytes=cluster2.config.memory_bytes),
+            spec=DeviceSpec(
+                gather_bandwidth_bytes_per_ms=3.0e7, index_cost_ms=3.3e-6
+            ),
+        )
+        baseline = DriftMonitor(
+            tiny_bundle, cluster2, small_pool, threshold_mse=1e6, window=4
+        ).probe(num_samples=12, seed=1, max_tables=6)
+        monitor = DriftMonitor(
+            tiny_bundle, slow, small_pool,
+            threshold_mse=max(4 * baseline.probe_mse, 1.0), window=4,
+        )
+        report = monitor.probe(num_samples=12, seed=1, max_tables=6)
+        assert report.probe_mse > baseline.probe_mse
+        assert report.needs_retraining
+
+    def test_rolling_window(self, tiny_bundle, cluster2, small_pool):
+        monitor = DriftMonitor(
+            tiny_bundle, cluster2, small_pool, threshold_mse=1e6, window=2
+        )
+        r1 = monitor.probe(num_samples=6, seed=0, max_tables=5)
+        r2 = monitor.probe(num_samples=6, seed=1, max_tables=5)
+        assert r2.rolling_mse == pytest.approx((r1.probe_mse + r2.probe_mse) / 2)
+        monitor.reset()
+        r3 = monitor.probe(num_samples=6, seed=2, max_tables=5)
+        assert r3.rolling_mse == pytest.approx(r3.probe_mse)
+
+    def test_batch_size_mismatch_rejected(self, tiny_bundle, small_pool):
+        other = SimulatedCluster(ClusterConfig(num_devices=2, batch_size=1024))
+        with pytest.raises(ValueError, match="batch size"):
+            DriftMonitor(tiny_bundle, other, small_pool)

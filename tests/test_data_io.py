@@ -1,0 +1,183 @@
+"""Tests for pool/task JSON persistence and the artifact-style CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import TaskConfig
+from repro.data import (
+    TablePool,
+    generate_tasks,
+    load_pool,
+    load_tasks,
+    save_pool,
+    save_tasks,
+    synthesize_table_pool,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.data.table import TableConfig
+
+
+@pytest.fixture()
+def pool():
+    return TablePool(
+        synthesize_table_pool(num_tables=12, seed=3), augment_dims=(4, 8, 16)
+    )
+
+
+@pytest.fixture()
+def tasks(pool):
+    cfg = TaskConfig(
+        num_devices=2, max_dim=16, min_tables=3, max_tables=6,
+        memory_bytes=2 * 1024**3,
+    )
+    return generate_tasks(pool, cfg, count=3, seed=1)
+
+
+class TestTableDicts:
+    def test_round_trip(self):
+        table = TableConfig(
+            table_id=7, hash_size=123_456, dim=32, pooling_factor=9.5,
+            zipf_alpha=1.07, bytes_per_element=2,
+        )
+        assert table_from_dict(table_to_dict(table)) == table
+
+    def test_bytes_per_element_defaults(self):
+        data = table_to_dict(
+            TableConfig(table_id=0, hash_size=10, dim=4, pooling_factor=1.0,
+                        zipf_alpha=0.5)
+        )
+        del data["bytes_per_element"]
+        assert table_from_dict(data).bytes_per_element == 4
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ValueError, match="missing field"):
+            table_from_dict({"table_id": 1})
+
+    def test_invalid_values_rejected_by_constructor(self):
+        data = table_to_dict(
+            TableConfig(table_id=0, hash_size=10, dim=4, pooling_factor=1.0,
+                        zipf_alpha=0.5)
+        )
+        data["dim"] = 5  # not a multiple of 4
+        with pytest.raises(ValueError, match="dim"):
+            table_from_dict(data)
+
+
+class TestPoolIO:
+    def test_round_trip(self, pool, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        loaded = load_pool(path)
+        assert loaded.tables == pool.tables
+        assert loaded.augment_dims == pool.augment_dims
+
+    def test_creates_parent_directories(self, pool, tmp_path):
+        path = tmp_path / "nested" / "dir" / "pool.json"
+        save_pool(pool, path)
+        assert path.exists()
+
+    def test_rejects_wrong_format(self, pool, tmp_path):
+        path = tmp_path / "tasks-as-pool.json"
+        save_tasks(
+            generate_tasks(
+                pool,
+                TaskConfig(num_devices=2, max_dim=16, min_tables=2,
+                           max_tables=4, memory_bytes=2 * 1024**3),
+                count=1,
+                seed=0,
+            ),
+            path,
+        )
+        with pytest.raises(ValueError, match="not a"):
+            load_pool(path)
+
+    def test_rejects_wrong_version(self, pool, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        data = json.loads(path.read_text())
+        data["version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            load_pool(path)
+
+    def test_file_is_human_readable_json(self, pool, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        data = json.loads(path.read_text())
+        assert data["format"].endswith("table-pool")
+        assert len(data["tables"]) == len(pool)
+
+
+class TestTasksIO:
+    def test_round_trip(self, tasks, tmp_path):
+        path = tmp_path / "tasks.json"
+        save_tasks(tasks, path)
+        loaded = load_tasks(path)
+        assert loaded == tasks
+
+    def test_rejects_empty_batch(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_tasks([], tmp_path / "x.json")
+
+    def test_rejects_pool_file(self, pool, tasks, tmp_path):
+        path = tmp_path / "pool.json"
+        save_pool(pool, path)
+        with pytest.raises(ValueError, match="not a"):
+            load_tasks(path)
+
+    def test_missing_task_field_raises(self, tasks, tmp_path):
+        path = tmp_path / "tasks.json"
+        save_tasks(tasks, path)
+        data = json.loads(path.read_text())
+        del data["tasks"][0]["num_devices"]
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="missing field"):
+            load_tasks(path)
+
+
+class TestCliDataCommands:
+    def test_gen_data_writes_pool(self, tmp_path, capsys):
+        out = tmp_path / "pool.json"
+        rc = main(["gen-data", str(out), "--tables", "10", "--seed", "4"])
+        assert rc == 0
+        assert "saved pool" in capsys.readouterr().out
+        assert len(load_pool(out)) == 10
+
+    def test_gen_tasks_from_generated_pool(self, tmp_path, capsys):
+        pool_path = tmp_path / "pool.json"
+        tasks_path = tmp_path / "tasks.json"
+        main(["gen-data", str(pool_path), "--tables", "30", "--seed", "4"])
+        rc = main(
+            [
+                "gen-tasks", str(tasks_path), "--pool", str(pool_path),
+                "--gpus", "4", "--max-dim", "16", "--tasks", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 sharding tasks generated!" in out
+        loaded = load_tasks(tasks_path)
+        assert len(loaded) == 3
+        assert all(t.num_devices == 4 for t in loaded)
+
+    def test_compare_accepts_tasks_file(self, tmp_path, capsys):
+        pool_path = tmp_path / "pool.json"
+        tasks_path = tmp_path / "tasks.json"
+        main(["gen-data", str(pool_path), "--tables", "30", "--seed", "4"])
+        main(
+            [
+                "gen-tasks", str(tasks_path), "--pool", str(pool_path),
+                "--gpus", "2", "--max-dim", "16", "--tasks", "2",
+            ]
+        )
+        rc = main(
+            ["compare", "dim_greedy", "--tasks-file", str(tasks_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Valid" in out

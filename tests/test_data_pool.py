@@ -1,0 +1,147 @@
+"""Tests for repro.data.pool (Algorithms 3, 4, 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DIMENSION_GRID
+from repro.data import TablePool, synthesize_table_pool
+
+
+@pytest.fixture(scope="module")
+def pool() -> TablePool:
+    return TablePool(synthesize_table_pool(num_tables=30, seed=5))
+
+
+class TestAugmentation:
+    def test_size_is_pool_times_grid(self, pool):
+        assert len(pool.augmented) == 30 * len(DIMENSION_GRID)
+
+    def test_every_table_at_every_dim(self, pool):
+        dims_per_table = {}
+        for t in pool.augmented:
+            dims_per_table.setdefault(t.table_id, set()).add(t.dim)
+        assert all(dims == set(DIMENSION_GRID) for dims in dims_per_table.values())
+
+    def test_augmentation_preserves_base_attributes(self, pool):
+        base = {t.table_id: t for t in pool.tables}
+        for aug in pool.augmented:
+            src = base[aug.table_id]
+            assert aug.hash_size == src.hash_size
+            assert aug.pooling_factor == src.pooling_factor
+            assert aug.zipf_alpha == src.zipf_alpha
+
+    def test_custom_grid(self):
+        pool = TablePool(
+            synthesize_table_pool(num_tables=4, seed=0), augment_dims=(8, 16)
+        )
+        assert len(pool.augmented) == 8
+        assert {t.dim for t in pool.augmented} == {8, 16}
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            TablePool([])
+
+
+class TestCombinationGeneration:
+    def test_count_in_range(self, pool):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            combo = pool.sample_combination(rng, min_tables=2, max_tables=6)
+            assert 2 <= len(combo) <= 6
+
+    def test_no_duplicates_within_combination(self, pool):
+        rng = np.random.default_rng(1)
+        combo = pool.sample_combination(rng, min_tables=10, max_tables=10)
+        uids = [t.uid for t in combo]
+        assert len(set(uids)) == len(uids)
+
+    def test_deterministic_given_seed(self, pool):
+        a = pool.sample_combinations(5, 42, 1, 8)
+        b = pool.sample_combinations(5, 42, 1, 8)
+        assert a == b
+
+    def test_validates_range(self, pool):
+        with pytest.raises(ValueError):
+            pool.sample_combination(0, min_tables=5, max_tables=2)
+
+
+class TestPlacementGeneration:
+    def test_shape(self, pool):
+        placement = pool.sample_placement(0, num_devices=4, min_tables=8, max_tables=12)
+        assert placement.num_devices == 4
+        assert 8 <= placement.num_tables <= 12
+
+    def test_greedy_probability_recorded(self, pool):
+        placement = pool.sample_placement(3, num_devices=2)
+        assert 0.0 <= placement.greedy_probability <= 1.0
+
+    def test_device_dims_consistent(self, pool):
+        placement = pool.sample_placement(1, num_devices=4)
+        for dev, dim_sum in zip(placement.per_device, placement.device_dims):
+            assert sum(t.dim for t in dev) == dim_sum
+
+    def test_memory_budget_respected(self, pool):
+        budget = 256 * 1024**2
+        placement = pool.sample_placement(
+            2, num_devices=4, min_tables=10, max_tables=20, memory_bytes=budget
+        )
+        for size in placement.device_sizes():
+            assert size <= budget
+
+    def test_fully_greedy_balances_dimensions(self, pool):
+        """With p=1 (forced via seed search) greedy placements are more
+        balanced than the most random ones."""
+        rng = np.random.default_rng(0)
+        spreads = []
+        probs = []
+        for _ in range(40):
+            placement = pool.sample_placement(rng, num_devices=4)
+            dims = placement.device_dims
+            if max(dims) > 0:
+                spreads.append((max(dims) - min(dims)) / max(dims))
+                probs.append(placement.greedy_probability)
+        spreads = np.array(spreads)
+        probs = np.array(probs)
+        greedy = spreads[probs > 0.8]
+        chaotic = spreads[probs < 0.2]
+        if len(greedy) and len(chaotic):
+            assert greedy.mean() < chaotic.mean()
+
+    def test_rejects_bad_devices(self, pool):
+        with pytest.raises(ValueError):
+            pool.sample_placement(0, num_devices=0)
+
+
+class TestSampleTables:
+    def test_distinct_base_tables(self, pool):
+        tables = pool.sample_tables(10, 0)
+        assert len({t.table_id for t in tables}) == 10
+
+    def test_dims_drawn_from_choices(self, pool):
+        tables = pool.sample_tables(20, 0, dims=(8, 16))
+        assert all(t.dim in (8, 16) for t in tables)
+
+    def test_count_clamped_to_pool(self, pool):
+        tables = pool.sample_tables(10_000, 0)
+        assert len(tables) == len(pool)
+
+    def test_rejects_empty_dims(self, pool):
+        with pytest.raises(ValueError):
+            pool.sample_tables(3, 0, dims=())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_devices=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_placement_partitions_tables(num_devices, seed):
+    pool = TablePool(synthesize_table_pool(num_tables=12, seed=1))
+    placement = pool.sample_placement(
+        seed, num_devices=num_devices, min_tables=5, max_tables=10
+    )
+    # Every sampled table lands on exactly one device.
+    assert placement.num_tables == sum(len(d) for d in placement.per_device)
+    assert len(placement.per_device) == num_devices

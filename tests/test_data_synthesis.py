@@ -1,0 +1,102 @@
+"""Tests for repro.data.synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthesis import (
+    DEFAULT_NUM_TABLES,
+    pool_statistics,
+    public_dataset_statistics,
+    synthesize_table_pool,
+)
+
+
+class TestSynthesis:
+    def test_default_pool_size_matches_dlrm_datasets(self):
+        pool = synthesize_table_pool(seed=0)
+        assert len(pool) == DEFAULT_NUM_TABLES == 856
+
+    def test_table_ids_are_positions(self):
+        pool = synthesize_table_pool(num_tables=20, seed=0)
+        assert [t.table_id for t in pool] == list(range(20))
+
+    def test_deterministic(self):
+        a = synthesize_table_pool(num_tables=50, seed=3)
+        b = synthesize_table_pool(num_tables=50, seed=3)
+        assert a == b
+
+    def test_seed_changes_pool(self):
+        a = synthesize_table_pool(num_tables=50, seed=3)
+        b = synthesize_table_pool(num_tables=50, seed=4)
+        assert a != b
+
+    def test_mean_hash_size_near_published(self):
+        """Paper Table 6: average hash size 4,107,458 rows."""
+        pool = synthesize_table_pool(seed=0)
+        mean = np.mean([t.hash_size for t in pool])
+        assert 1.5e6 < mean < 1.2e7
+
+    def test_mean_pooling_near_published(self):
+        """Paper Table 6: average pooling factor 15."""
+        pool = synthesize_table_pool(seed=0)
+        mean = np.mean([t.pooling_factor for t in pool])
+        assert 9 < mean < 24
+
+    def test_hash_sizes_span_orders_of_magnitude(self):
+        pool = synthesize_table_pool(seed=0)
+        sizes = np.array([t.hash_size for t in pool])
+        assert sizes.max() / sizes.min() > 1e3
+
+    def test_all_tables_valid(self):
+        pool = synthesize_table_pool(num_tables=100, seed=1)
+        for t in pool:
+            assert t.hash_size >= 1
+            assert t.dim % 4 == 0
+            assert t.pooling_factor >= 1.0
+            assert t.zipf_alpha > 0
+
+    def test_custom_default_dim(self):
+        pool = synthesize_table_pool(num_tables=5, seed=0, default_dim=32)
+        assert all(t.dim == 32 for t in pool)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synthesize_table_pool(num_tables=0)
+
+
+class TestStatistics:
+    def test_pool_statistics_fields(self):
+        pool = synthesize_table_pool(num_tables=100, seed=0)
+        stats = pool_statistics(pool)
+        assert stats.num_tables == 100
+        assert stats.min_hash_size <= stats.mean_hash_size <= stats.max_hash_size
+        assert stats.total_size_gb_at_dim > 0
+
+    def test_as_row_shape(self):
+        pool = synthesize_table_pool(num_tables=10, seed=0)
+        row = pool_statistics(pool).as_row()
+        assert set(row) == {
+            "dataset",
+            "num_tables",
+            "avg_hash_size",
+            "avg_pooling_factor",
+        }
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            pool_statistics([])
+
+    def test_public_rows_match_paper_table6(self):
+        rows = {r["dataset"]: r for r in public_dataset_statistics()}
+        assert rows["Criteo"]["num_tables"] == 26
+        assert rows["Avazu"]["avg_hash_size"] == 67_152
+        assert rows["KDD"]["avg_hash_size"] == 601_908
+
+    def test_dlrm_dwarfs_public_datasets(self):
+        """The paper's argument: DLRM has ~30x the tables and ~200x the
+        average hash size of Criteo."""
+        pool = synthesize_table_pool(seed=0)
+        stats = pool_statistics(pool)
+        criteo = public_dataset_statistics()[0]
+        assert stats.num_tables > 30 * criteo["num_tables"]
+        assert stats.mean_hash_size > 100 * criteo["avg_hash_size"]

@@ -1,0 +1,214 @@
+"""Tests for repro.data.table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import MIN_DIM, TableConfig, table_set_key, total_size_bytes
+
+
+def make_table(**overrides) -> TableConfig:
+    defaults = dict(
+        table_id=0, hash_size=100_000, dim=64, pooling_factor=10.0, zipf_alpha=1.2
+    )
+    defaults.update(overrides)
+    return TableConfig(**defaults)
+
+
+class TestValidation:
+    def test_dim_must_be_multiple_of_4(self):
+        with pytest.raises(ValueError):
+            make_table(dim=10)
+
+    def test_dim_must_be_at_least_4(self):
+        with pytest.raises(ValueError):
+            make_table(dim=0)
+
+    def test_hash_size_positive(self):
+        with pytest.raises(ValueError):
+            make_table(hash_size=0)
+
+    def test_pooling_positive(self):
+        with pytest.raises(ValueError):
+            make_table(pooling_factor=0.0)
+
+    def test_bytes_per_element(self):
+        with pytest.raises(ValueError):
+            make_table(bytes_per_element=3)
+
+
+class TestIdentityAndSize:
+    def test_uid_encodes_cost_identity(self):
+        uid = make_table(table_id=7, dim=32).uid
+        assert uid.startswith("t7:d32:")
+        # All cost-relevant fields are part of the identity.
+        base = make_table()
+        assert base.uid != make_table(hash_size=200_000).uid
+        assert base.uid != make_table(pooling_factor=11.0).uid
+        assert base.uid != make_table(zipf_alpha=1.5).uid
+
+    def test_size_bytes(self):
+        t = make_table(hash_size=1000, dim=16)
+        assert t.size_bytes == 1000 * 16 * 4
+
+    def test_with_dim_preserves_everything_else(self):
+        t = make_table()
+        t2 = t.with_dim(8)
+        assert t2.dim == 8
+        assert (t2.table_id, t2.hash_size, t2.pooling_factor) == (
+            t.table_id,
+            t.hash_size,
+            t.pooling_factor,
+        )
+
+    def test_total_size(self):
+        tables = [make_table(dim=4), make_table(dim=8)]
+        assert total_size_bytes(tables) == sum(t.size_bytes for t in tables)
+
+
+class TestColumnSharding:
+    def test_halved_splits_dimension(self):
+        a, b = make_table(dim=64).halved()
+        assert a.dim == b.dim == 32
+        assert a.hash_size == b.hash_size == 100_000
+
+    def test_halves_preserve_total_bytes(self):
+        t = make_table(dim=64)
+        a, b = t.halved()
+        assert a.size_bytes + b.size_bytes == t.size_bytes
+
+    def test_min_dim_cannot_halve(self):
+        t = make_table(dim=MIN_DIM)
+        assert not t.can_halve
+        with pytest.raises(ValueError):
+            t.halved()
+
+    def test_dim_12_cannot_halve(self):
+        # 12 is a legal dimension but 6 is not a multiple of 4.
+        t = make_table(dim=12)
+        assert not t.can_halve
+
+    def test_dim_8_halves_to_4(self):
+        t = make_table(dim=8)
+        assert t.can_halve
+        a, _ = t.halved()
+        assert a.dim == 4
+
+
+class TestDistributionMath:
+    def test_unique_rows_bounded(self):
+        t = make_table()
+        for batch in (128, 4096, 65536):
+            unique = t.expected_unique_rows(batch)
+            assert 0 < unique <= min(t.hash_size, t.indices_per_batch(batch)) + 1
+
+    def test_unique_rows_monotone_in_batch(self):
+        t = make_table()
+        assert t.expected_unique_rows(1024) < t.expected_unique_rows(65536)
+
+    def test_higher_skew_fewer_unique(self):
+        mild = make_table(zipf_alpha=1.0)
+        heavy = make_table(zipf_alpha=2.0)
+        assert heavy.expected_unique_rows(65536) < mild.expected_unique_rows(65536)
+
+    def test_unique_fraction_in_unit_interval(self):
+        f = make_table().unique_fraction(65536)
+        assert 0 < f <= 1
+
+    def test_small_table_saturates(self):
+        t = make_table(hash_size=50, pooling_factor=100.0)
+        unique = t.expected_unique_rows(65536)
+        assert unique == pytest.approx(50, rel=0.05)
+
+    def test_accuracy_against_monte_carlo(self):
+        """The log-binned analytic estimate matches sampling."""
+        t = make_table(hash_size=2_000, zipf_alpha=1.3, pooling_factor=2.0)
+        rng = np.random.default_rng(0)
+        n = int(t.indices_per_batch(512))
+        ranks = np.arange(1, t.hash_size + 1)
+        p = ranks ** (-t.zipf_alpha)
+        p /= p.sum()
+        trials = [
+            len(np.unique(rng.choice(t.hash_size, size=n, p=p)))
+            for _ in range(20)
+        ]
+        mc = float(np.mean(trials))
+        analytic = t.expected_unique_rows(512)
+        assert analytic == pytest.approx(mc, rel=0.05)
+
+    def test_concentration_monotone_in_fraction(self):
+        t = make_table()
+        c1 = t.access_concentration(0.001)
+        c2 = t.access_concentration(0.01)
+        c3 = t.access_concentration(0.1)
+        assert 0 < c1 <= c2 <= c3 <= 1
+
+    def test_concentration_increases_with_skew(self):
+        mild = make_table(zipf_alpha=1.0)
+        heavy = make_table(zipf_alpha=2.0)
+        assert heavy.access_concentration(0.01) > mild.access_concentration(0.01)
+
+    def test_concentration_validates_fraction(self):
+        with pytest.raises(ValueError):
+            make_table().access_concentration(0.0)
+
+    def test_indices_per_batch_validates(self):
+        with pytest.raises(ValueError):
+            make_table().indices_per_batch(0)
+
+
+class TestTableSetKey:
+    def test_order_invariant(self):
+        a, b = make_table(table_id=1), make_table(table_id=2)
+        assert table_set_key([a, b]) == table_set_key([b, a])
+
+    def test_multiset_semantics(self):
+        a = make_table(table_id=1)
+        assert table_set_key([a, a]) != table_set_key([a])
+
+    def test_dim_distinguishes(self):
+        a = make_table(table_id=1, dim=64)
+        b = a.with_dim(32)
+        assert table_set_key([a]) != table_set_key([b])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dim=st.sampled_from([8, 16, 32, 64, 128]),
+    hash_size=st.integers(min_value=100, max_value=10_000_000),
+    pooling=st.floats(min_value=1.0, max_value=100.0),
+    alpha=st.floats(min_value=0.0, max_value=2.5),
+)
+def test_property_halving_preserves_bytes_and_legality(
+    dim, hash_size, pooling, alpha
+):
+    t = TableConfig(
+        table_id=0,
+        hash_size=hash_size,
+        dim=dim,
+        pooling_factor=pooling,
+        zipf_alpha=alpha,
+    )
+    a, b = t.halved()
+    assert a.size_bytes + b.size_bytes == t.size_bytes
+    assert a.dim % MIN_DIM == 0 and b.dim % MIN_DIM == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hash_size=st.integers(min_value=10, max_value=50_000_000),
+    pooling=st.floats(min_value=0.5, max_value=200.0),
+    alpha=st.floats(min_value=0.0, max_value=3.0),
+    batch=st.sampled_from([256, 4096, 65536]),
+)
+def test_property_unique_rows_within_bounds(hash_size, pooling, alpha, batch):
+    t = TableConfig(
+        table_id=0,
+        hash_size=hash_size,
+        dim=16,
+        pooling_factor=pooling,
+        zipf_alpha=alpha,
+    )
+    unique = t.expected_unique_rows(batch)
+    assert 0.0 < unique <= min(hash_size, t.indices_per_batch(batch)) * 1.001

@@ -1,0 +1,82 @@
+"""Tests for repro.data.tasks (paper Table 5 task generation)."""
+
+import pytest
+
+from repro.config import TaskConfig
+from repro.data import ShardingTask, TablePool, generate_tasks, synthesize_table_pool
+from repro.data.tasks import generate_task_grid
+
+
+@pytest.fixture(scope="module")
+def pool() -> TablePool:
+    return TablePool(synthesize_table_pool(num_tables=200, seed=2))
+
+
+class TestShardingTask:
+    def test_properties(self, pool):
+        task = generate_tasks(pool, TaskConfig(), count=1, seed=0)[0]
+        assert task.num_tables == len(task.tables)
+        assert task.total_dim == sum(t.dim for t in task.tables)
+        assert task.max_dim == max(t.dim for t in task.tables)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ShardingTask(tables=(), num_devices=4, memory_bytes=1)
+
+    def test_trivially_infeasible_detection(self, pool):
+        table = pool.tables[0].with_dim(128)
+        task = ShardingTask(
+            tables=(table,), num_devices=1, memory_bytes=1024
+        )
+        assert task.is_trivially_infeasible()
+
+
+class TestGenerateTasks:
+    def test_count_and_ids(self, pool):
+        tasks = generate_tasks(pool, TaskConfig(), count=7, seed=0)
+        assert len(tasks) == 7
+        assert [t.task_id for t in tasks] == list(range(7))
+
+    def test_table_count_range(self, pool):
+        cfg = TaskConfig(min_tables=10, max_tables=60)
+        tasks = generate_tasks(pool, cfg, count=20, seed=1)
+        for task in tasks:
+            assert 10 <= task.num_tables <= 60
+
+    def test_dims_from_config_choices(self, pool):
+        cfg = TaskConfig(max_dim=128)
+        tasks = generate_tasks(pool, cfg, count=10, seed=2)
+        for task in tasks:
+            for table in task.tables:
+                assert table.dim in cfg.dim_choices
+
+    def test_tasks_fit_aggregate_memory(self, pool):
+        cfg = TaskConfig(max_dim=128)
+        tasks = generate_tasks(pool, cfg, count=20, seed=3)
+        for task in tasks:
+            assert not task.is_trivially_infeasible()
+
+    def test_deterministic(self, pool):
+        a = generate_tasks(pool, TaskConfig(), count=3, seed=9)
+        b = generate_tasks(pool, TaskConfig(), count=3, seed=9)
+        assert a == b
+
+    def test_rejects_zero_count(self, pool):
+        with pytest.raises(ValueError):
+            generate_tasks(pool, TaskConfig(), count=0)
+
+
+class TestTaskGrid:
+    def test_grid_covers_all_settings(self, pool):
+        grid = list(generate_task_grid(pool, count_per_setting=2, seed=0))
+        assert len(grid) == 12
+        for setting, tasks in grid:
+            assert len(tasks) == 2
+            assert all(t.num_devices == setting.num_devices for t in tasks)
+
+    def test_grid_settings_independent_of_subset(self, pool):
+        full = list(generate_task_grid(pool, count_per_setting=1, seed=4))
+        again = list(generate_task_grid(pool, count_per_setting=1, seed=4))
+        assert [t for _, ts in full for t in ts] == [
+            t for _, ts in again for t in ts
+        ]

@@ -1,0 +1,142 @@
+"""Tests for repro.evaluation (runner, metrics, reporting)."""
+
+import math
+
+import pytest
+
+from repro.baselines import GreedySharder, RandomSharder
+from repro.core import NeuroShard
+from repro.config import SearchConfig
+from repro.data import ShardingTask
+from repro.evaluation import (
+    evaluate_sharder,
+    execute_plan,
+    format_markdown_table,
+    format_text_table,
+    improvement_percent,
+    strongest_baseline,
+)
+
+
+class TestEvaluateSharder:
+    def test_greedy_over_tasks(self, tasks2, cluster2):
+        ev = evaluate_sharder(GreedySharder("Dim-based"), tasks2, cluster2)
+        assert ev.method == "Dim-based"
+        assert ev.num_tasks == len(tasks2)
+        if ev.scales:
+            assert not math.isnan(ev.mean_cost_ms)
+            assert ev.mean_cost_ms > 0
+
+    def test_neuroshard_result_accepted(self, tiny_bundle, tasks2, cluster2):
+        sharder = NeuroShard(
+            tiny_bundle,
+            search=SearchConfig(top_n=2, beam_width=1, max_steps=2, grid_points=3),
+        )
+        ev = evaluate_sharder(sharder, tasks2[:2], cluster2)
+        assert ev.num_success >= 1
+
+    def test_failure_marks_dash_semantics(self, tasks2, cluster2):
+        class NeverSharder:
+            name = "Never"
+
+            def shard(self, task):
+                return None
+
+        ev = evaluate_sharder(NeverSharder(), tasks2, cluster2)
+        assert not ev.scales
+        assert math.isnan(ev.mean_cost_ms)
+        assert ev.success_rate == 0.0
+
+    def test_partial_failure(self, tasks2, cluster2):
+        class FlakySharder:
+            name = "Flaky"
+
+            def __init__(self):
+                self.inner = GreedySharder("Dim-based")
+                self.calls = 0
+
+            def shard(self, task):
+                self.calls += 1
+                return None if self.calls == 1 else self.inner.shard(task)
+
+        ev = evaluate_sharder(FlakySharder(), tasks2, cluster2)
+        assert not ev.scales
+        assert math.isnan(ev.mean_cost_ms)
+        assert not math.isnan(ev.mean_cost_of_successes_ms)
+
+    def test_device_count_mismatch(self, tasks2, cluster4):
+        with pytest.raises(ValueError):
+            evaluate_sharder(RandomSharder(), tasks2, cluster4)
+
+    def test_bad_return_type(self, tasks2, cluster2):
+        class WeirdSharder:
+            name = "Weird"
+
+            def shard(self, task):
+                return 42
+
+        with pytest.raises(TypeError):
+            evaluate_sharder(WeirdSharder(), tasks2, cluster2)
+
+    def test_execute_plan_oom_returns_none(self, tasks2, cluster2):
+        plan = GreedySharder("Dim-based").shard(tasks2[0])
+        tight_task = ShardingTask(
+            tables=tasks2[0].tables, num_devices=2, memory_bytes=1024
+        )
+        from repro.hardware import SimulatedCluster
+        from repro.config import ClusterConfig
+
+        tight_cluster = SimulatedCluster(
+            ClusterConfig(num_devices=2, memory_bytes=1024)
+        )
+        assert execute_plan(plan, tight_task, tight_cluster) is None
+
+
+class TestMetrics:
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 80.0) == pytest.approx(20.0)
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_nan_propagation(self):
+        assert math.isnan(improvement_percent(float("nan"), 10.0))
+        assert math.isnan(improvement_percent(10.0, float("nan")))
+        assert math.isnan(improvement_percent(0.0, 10.0))
+
+    def test_strongest_baseline(self, tasks2, cluster2):
+        evs = {
+            name: evaluate_sharder(GreedySharder(name), tasks2, cluster2)
+            for name in ("Dim-based", "Size-based")
+        }
+        name, cost = strongest_baseline(evs)
+        if not math.isnan(cost):
+            assert name in evs
+            assert cost == min(
+                e.mean_cost_ms for e in evs.values() if not math.isnan(e.mean_cost_ms)
+            )
+
+    def test_strongest_baseline_empty(self):
+        name, cost = strongest_baseline({})
+        assert name == ""
+        assert math.isnan(cost)
+
+
+class TestReporting:
+    def test_text_table_renders_nan_as_dash(self):
+        table = format_text_table(
+            ["method", "cost"],
+            [["A", 1.234], ["B", float("nan")]],
+            precision=2,
+        )
+        assert "1.23" in table
+        assert "-" in table.splitlines()[-1]
+
+    def test_text_table_title(self):
+        table = format_text_table(["x"], [[1]], title="Table 1")
+        assert table.startswith("Table 1")
+
+    def test_markdown_table_structure(self):
+        md = format_markdown_table(["a", "b"], [[1, 2.5]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2.50 |"

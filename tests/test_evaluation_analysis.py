@@ -1,0 +1,163 @@
+"""Tests for plan diagnostics and what-if probing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator
+from repro.evaluation import (
+    analyze_plan,
+    best_single_improvement,
+    what_if_move,
+    what_if_split,
+)
+from repro.hardware.memory import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def simulator(tiny_bundle):
+    return NeuroShardSimulator(tiny_bundle, CostCache())
+
+
+@pytest.fixture(scope="module")
+def placement(small_pool):
+    tables = [t.with_dim(32) for t in small_pool.tables[:8]]
+    # Deliberately imbalanced: 6 tables on device 0, 2 on device 1.
+    return [tables[:6], tables[6:]]
+
+
+class TestAnalyzePlan:
+    def test_rejects_empty(self, simulator):
+        with pytest.raises(ValueError, match="at least one"):
+            analyze_plan([], simulator)
+
+    def test_bottleneck_is_argmax(self, placement, simulator):
+        analysis = analyze_plan(placement, simulator)
+        costs = analysis.breakdown.device_costs_ms
+        assert analysis.bottleneck_device == int(np.argmax(costs))
+        assert analysis.max_cost_ms == max(costs)
+
+    def test_balance_metrics_in_unit_interval(self, placement, simulator):
+        analysis = analyze_plan(placement, simulator)
+        assert 0.0 < analysis.compute_balance <= 1.0
+        assert 0.0 < analysis.dim_balance <= 1.0
+
+    def test_imbalanced_plan_detected(self, placement, simulator):
+        analysis = analyze_plan(placement, simulator)
+        # 6 vs 2 equal-dim tables: dim balance is mean/max = (192+64)/2/192.
+        # (The *bottleneck device* is not necessarily the loaded one:
+        # measured comm costs include waiting, so the under-loaded device
+        # accrues wait time — exactly the straggler effect of Figure 1.)
+        assert analysis.dim_balance == pytest.approx(128 / 192)
+        assert analysis.compute_balance < 0.75
+
+    def test_fraction_compute_in_unit_interval(self, placement, simulator):
+        analysis = analyze_plan(placement, simulator)
+        assert 0.0 <= analysis.bottleneck_fraction_compute <= 1.0
+
+    def test_device_bytes_uses_memory_model(self, placement, simulator):
+        memory = MemoryModel(1024**4)
+        analysis = analyze_plan(placement, simulator, memory)
+        expected = tuple(
+            sum(memory.table_bytes(t) for t in dev) for dev in placement
+        )
+        assert analysis.device_bytes == expected
+
+
+class TestWhatIfMove:
+    def test_validation(self, placement, simulator):
+        with pytest.raises(ValueError, match="source/target"):
+            what_if_move(placement, simulator, 5, 0, 0)
+        with pytest.raises(ValueError, match="same"):
+            what_if_move(placement, simulator, 0, 0, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            what_if_move(placement, simulator, 0, 99, 1)
+
+    def test_moving_off_bottleneck_helps(self, placement, simulator):
+        result = what_if_move(placement, simulator, 0, 0, 1)
+        assert result.feasible
+        assert result.improvement_ms > 0
+
+    def test_costs_consistent_with_simulator(self, placement, simulator):
+        """before/after costs must equal direct simulator queries on the
+        original and edited placements."""
+        result = what_if_move(placement, simulator, 1, 0, 0)
+        assert result.cost_before_ms == pytest.approx(
+            simulator.plan_cost(placement).max_cost_ms
+        )
+        edited = [list(dev) for dev in placement]
+        edited[0].append(edited[1].pop(0))
+        assert result.cost_after_ms == pytest.approx(
+            simulator.plan_cost(edited).max_cost_ms
+        )
+
+    def test_memory_infeasible_move(self, placement, simulator):
+        tiny = MemoryModel(1)  # nothing fits anywhere
+        result = what_if_move(placement, simulator, 0, 0, 1, memory=tiny)
+        assert not result.feasible
+        assert result.cost_after_ms == math.inf
+
+    def test_original_placement_untouched(self, placement, simulator):
+        sizes = [len(dev) for dev in placement]
+        what_if_move(placement, simulator, 0, 0, 1)
+        assert [len(dev) for dev in placement] == sizes
+
+
+class TestWhatIfSplit:
+    def test_validation(self, placement, simulator):
+        with pytest.raises(ValueError, match="device"):
+            what_if_split(placement, simulator, 9, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            what_if_split(placement, simulator, 0, 99)
+
+    def test_split_produces_conserving_edit(self, placement, simulator):
+        result = what_if_split(placement, simulator, 0, 0)
+        assert result.feasible
+        assert math.isfinite(result.cost_after_ms)
+        assert "split" in result.description
+
+    def test_unsplittable_table_reported_infeasible(self, simulator,
+                                                    small_pool):
+        tables = [t.with_dim(4) for t in small_pool.tables[:4]]
+        result = what_if_split([tables[:2], tables[2:]], simulator, 0, 0)
+        assert not result.feasible
+        assert "illegal" in result.description
+
+
+class TestBestSingleImprovement:
+    def test_validation(self, placement, simulator):
+        with pytest.raises(ValueError, match="top_k"):
+            best_single_improvement(placement, simulator, top_k=0)
+
+    def test_returns_sorted_edits(self, placement, simulator):
+        edits = best_single_improvement(placement, simulator, top_k=4)
+        assert len(edits) == 4
+        improvements = [e.improvement_ms for e in edits]
+        assert improvements == sorted(improvements, reverse=True)
+
+    def test_finds_an_improving_edit_on_imbalanced_plan(self, placement,
+                                                        simulator):
+        edits = best_single_improvement(placement, simulator, top_k=1)
+        assert edits[0].improvement_ms > 0
+
+    def test_near_optimal_plan_offers_little(self, simulator, small_pool,
+                                             tiny_bundle, tasks2):
+        """On a NeuroShard-searched plan, the best single edit should
+        improve far less than on the deliberately imbalanced plan."""
+        from repro.config import SearchConfig
+        from repro.core import NeuroShard
+
+        task = tasks2[0]
+        result = NeuroShard(tiny_bundle, search=SearchConfig(max_steps=4)).shard(
+            task
+        )
+        assert result.feasible
+        per_device = result.plan.per_device_tables(task.tables)
+        edits = best_single_improvement(per_device, simulator, top_k=1)
+        before = simulator.plan_cost(per_device).max_cost_ms
+        # Best remaining edit gains less than 5% of the plan cost.
+        assert edits[0].improvement_ms < 0.05 * before

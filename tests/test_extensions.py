@@ -1,0 +1,167 @@
+"""Tests for repro.extensions (row-wise sharding, feature ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedySharder
+from repro.config import SearchConfig
+from repro.core import NeuroShard
+from repro.data import ShardingTask
+from repro.data.table import TableConfig
+from repro.extensions import (
+    FEATURE_GROUPS,
+    AblatedFeaturizer,
+    RowWisePreprocessor,
+    RowWiseSharder,
+)
+from repro.hardware.memory import MemoryModel
+
+
+def big_table(hash_size=50_000_000, dim=8) -> TableConfig:
+    return TableConfig(
+        table_id=99,
+        hash_size=hash_size,
+        dim=dim,
+        pooling_factor=20.0,
+        zipf_alpha=1.4,
+    )
+
+
+class TestRowHalved:
+    def test_splits_rows_and_pooling(self):
+        t = big_table()
+        hot, cold = t.row_halved()
+        assert hot.hash_size + cold.hash_size == t.hash_size
+        assert hot.dim == cold.dim == t.dim
+        assert hot.pooling_factor + cold.pooling_factor == pytest.approx(
+            t.pooling_factor, rel=0.01
+        )
+
+    def test_hot_shard_gets_most_lookups(self):
+        hot, cold = big_table().row_halved()
+        assert hot.pooling_factor > cold.pooling_factor
+
+    def test_cold_shard_is_flatter(self):
+        t = big_table()
+        _, cold = t.row_halved()
+        assert cold.zipf_alpha < t.zipf_alpha
+
+    def test_memory_halves(self):
+        t = big_table()
+        hot, cold = t.row_halved()
+        assert hot.size_bytes + cold.size_bytes == t.size_bytes
+
+    def test_uids_differ(self):
+        t = big_table()
+        hot, cold = t.row_halved()
+        assert hot.uid != cold.uid != t.uid
+
+    def test_single_row_rejected(self):
+        t = TableConfig(
+            table_id=0, hash_size=1, dim=4, pooling_factor=1.0, zipf_alpha=1.0
+        )
+        with pytest.raises(ValueError):
+            t.row_halved()
+
+
+class TestRowWisePreprocessor:
+    def test_splits_only_oversized(self):
+        small = TableConfig(
+            table_id=1, hash_size=1000, dim=8, pooling_factor=2.0, zipf_alpha=1.0
+        )
+        memory = MemoryModel(1 * 1024**3)
+        pre = RowWisePreprocessor(max_fraction=0.5)
+        decision = pre.preprocess([big_table(), small], memory)
+        assert decision.num_splits >= 1
+        assert 99 in decision.split_table_ids
+        assert 1 not in decision.split_table_ids
+        # Every output table fits the fraction limit.
+        limit = 0.5 * memory.memory_bytes
+        assert all(memory.table_bytes(t) <= limit for t in decision.tables)
+
+    def test_preserves_total_bytes(self):
+        memory = MemoryModel(1 * 1024**3)
+        decision = RowWisePreprocessor().preprocess([big_table()], memory)
+        assert sum(t.size_bytes for t in decision.tables) == big_table().size_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowWisePreprocessor(max_fraction=0.0)
+        with pytest.raises(ValueError):
+            RowWisePreprocessor(max_splits_per_table=0)
+
+
+class TestRowWiseSharder:
+    def test_enables_infeasible_dim4_tasks(self):
+        """A dim-4 giant cannot be column-split (dimension floor) but can
+        be row-split — the case the paper's future work targets."""
+        giant = big_table(hash_size=60_000_000, dim=4)  # ~0.96 GB + opt
+        filler = [
+            TableConfig(
+                table_id=i, hash_size=10_000, dim=4,
+                pooling_factor=2.0, zipf_alpha=1.0,
+            )
+            for i in range(4)
+        ]
+        task = ShardingTask(
+            tables=(giant, *filler),
+            num_devices=2,
+            memory_bytes=int(0.7 * 1024**3),
+        )
+        base = GreedySharder("Dim-based")
+        assert base.shard(task) is None  # giant fits nowhere
+        rowwise = RowWiseSharder(base)
+        plan, decision = rowwise.shard_with_tables(task)
+        assert plan is not None
+        assert decision.num_splits >= 1
+        per_device = plan.per_device_tables(decision.tables)
+        assert MemoryModel(task.memory_bytes).placement_fits(per_device)
+
+    def test_composes_with_neuroshard(self, tiny_bundle, tasks2):
+        sharder = RowWiseSharder(
+            NeuroShard(
+                tiny_bundle,
+                search=SearchConfig(top_n=2, beam_width=1, max_steps=2,
+                                    grid_points=3),
+            ),
+            RowWisePreprocessor(max_fraction=0.4),
+        )
+        plan, decision = sharder.shard_with_tables(tasks2[0])
+        assert plan is not None
+        # The plan indexes the preprocessed table list.
+        sharded = plan.sharded_tables(decision.tables)
+        assert len(sharded) == len(decision.tables) + plan.num_splits
+
+    def test_name_reflects_base(self):
+        sharder = RowWiseSharder(GreedySharder("Dim-based"))
+        assert sharder.name == "RowWise+Dim-based"
+
+
+class TestAblatedFeaturizer:
+    def test_zeroes_selected_groups(self):
+        full = AblatedFeaturizer(65536, drop_groups=())
+        ablated = AblatedFeaturizer(65536, drop_groups=("distribution",))
+        t = big_table()
+        fv_full = full.features(t)
+        fv_ablated = ablated.features(t)
+        for index in FEATURE_GROUPS["distribution"]:
+            assert fv_ablated[index] == 0.0
+        kept = [
+            i
+            for i in range(full.num_features)
+            if i not in FEATURE_GROUPS["distribution"]
+        ]
+        assert np.allclose(fv_full[kept], fv_ablated[kept])
+
+    def test_same_width_as_full(self):
+        ablated = AblatedFeaturizer(65536, drop_groups=("pooling", "size"))
+        assert ablated.num_features == AblatedFeaturizer(65536, ()).num_features
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            AblatedFeaturizer(65536, drop_groups=("nope",))
+
+    def test_groups_cover_all_informative_features(self):
+        """Every feature except the constant belongs to exactly one group."""
+        covered = sorted(i for idxs in FEATURE_GROUPS.values() for i in idxs)
+        assert covered == list(range(14))  # feature 14 is the constant

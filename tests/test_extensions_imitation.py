@@ -1,0 +1,103 @@
+"""Tests for the self-imitation sharder (Appendix H extension)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedySharder
+from repro.config import SearchConfig
+from repro.core import NeuroShard
+from repro.data import ShardingTask
+from repro.extensions import ImitationDataset, ImitationSharder
+from repro.hardware.memory import MemoryModel
+
+FAST_SEARCH = SearchConfig(top_n=2, beam_width=1, max_steps=2, grid_points=3)
+
+
+@pytest.fixture(scope="module")
+def teacher_and_student(tiny_bundle, tasks2):
+    """A NeuroShard teacher distilled into an imitation policy."""
+    teacher = NeuroShard(tiny_bundle, search=FAST_SEARCH)
+    student = ImitationSharder(tiny_bundle, hidden=(32,), seed=0)
+    curve = student.fit_from_search(teacher, tasks2[:4], epochs=40)
+    return teacher, student, curve
+
+
+class TestDataset:
+    def test_build_dataset_shapes(self, tiny_bundle, tasks2):
+        teacher = GreedySharder("Dim-based")
+        plans = [teacher.shard(t) for t in tasks2[:2]]
+        student = ImitationSharder(tiny_bundle, hidden=(16,))
+        ds = student.build_dataset(tasks2[:2], plans)
+        expected = sum(t.num_tables for t in tasks2[:2])
+        assert len(ds) == expected
+        assert ds.states.shape[1] == (
+            tiny_bundle.featurizer.num_features + 3 * tiny_bundle.num_devices
+        )
+        assert set(np.unique(ds.actions)) <= {0, 1}
+
+    def test_misaligned_rejected(self, tiny_bundle, tasks2):
+        student = ImitationSharder(tiny_bundle)
+        with pytest.raises(ValueError):
+            student.build_dataset(tasks2[:2], [])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ImitationDataset(states=np.zeros((0, 3)), actions=np.zeros(0))
+
+
+class TestTraining:
+    def test_loss_decreases(self, teacher_and_student):
+        _, _, curve = teacher_and_student
+        assert curve[-1] < curve[0]
+
+    def test_shard_before_fit_rejected(self, tiny_bundle, tasks2):
+        student = ImitationSharder(tiny_bundle)
+        with pytest.raises(RuntimeError, match="fit"):
+            student.shard(tasks2[0])
+
+
+class TestDeployment:
+    def test_produces_legal_plans(self, teacher_and_student, tasks2):
+        _, student, _ = teacher_and_student
+        for task in tasks2:
+            plan = student.shard(task)
+            assert plan is not None
+            memory = MemoryModel(task.memory_bytes)
+            assert memory.placement_fits(plan.per_device_tables(task.tables))
+
+    def test_much_faster_than_search(self, teacher_and_student, tasks2):
+        import time
+
+        teacher, student, _ = teacher_and_student
+        task = tasks2[4]
+        t0 = time.perf_counter()
+        teacher.shard(task)
+        teacher_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        student.shard(task)
+        student_time = time.perf_counter() - t0
+        assert student_time < teacher_time
+
+    def test_quality_close_to_teacher(
+        self, teacher_and_student, tasks2, cluster2
+    ):
+        """The distilled policy stays within 2x of the teacher on the
+        held-out task (typically much closer)."""
+        from repro.evaluation import execute_plan
+
+        teacher, student, _ = teacher_and_student
+        task = tasks2[4]  # not in the training tasks
+        t_plan = teacher.shard(task).plan
+        s_plan = student.shard(task)
+        t_cost = execute_plan(t_plan, task, cluster2).max_cost_ms
+        s_cost = execute_plan(s_plan, task, cluster2).max_cost_ms
+        assert s_cost < 2.0 * t_cost
+
+    def test_device_count_mismatch(self, teacher_and_student, tasks2):
+        _, student, _ = teacher_and_student
+        task = tasks2[0]
+        bad = ShardingTask(
+            tables=task.tables, num_devices=4, memory_bytes=task.memory_bytes
+        )
+        with pytest.raises(ValueError):
+            student.shard(bad)

@@ -1,0 +1,203 @@
+"""Tests for the mixed CPU-GPU sharding extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import CollectionConfig, TrainConfig
+from repro.data import TablePool, synthesize_table_pool
+from repro.data.table import TableConfig
+from repro.extensions import (
+    MixedClusterSharder,
+    MixedCostModels,
+    pretrain_mixed_cost_models,
+)
+from repro.hardware import HeterogeneousCluster, cpu_host, gpu_2080ti
+
+BATCH = 4096
+GPU_BUDGET = 1024**3  # 1 GB per GPU: tight enough to force offloading
+CPU_BUDGET = 64 * 1024**3
+
+
+@pytest.fixture(scope="module")
+def pool() -> TablePool:
+    return TablePool(synthesize_table_pool(num_tables=32, seed=5))
+
+
+@pytest.fixture(scope="module")
+def mixed_cluster() -> HeterogeneousCluster:
+    return HeterogeneousCluster(
+        [gpu_2080ti(), gpu_2080ti(), cpu_host()],
+        memory_bytes=[GPU_BUDGET, GPU_BUDGET, CPU_BUDGET],
+        batch_size=BATCH,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_models(mixed_cluster, pool) -> MixedCostModels:
+    return pretrain_mixed_cost_models(
+        mixed_cluster,
+        pool,
+        collection=CollectionConfig(
+            num_compute_samples=400, num_comm_samples=1, max_tables=8
+        ),
+        train=TrainConfig(epochs=60, batch_size=64),
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def sharder(mixed_cluster, mixed_models) -> MixedClusterSharder:
+    return MixedClusterSharder(mixed_cluster, mixed_models, max_steps=4)
+
+
+def task_tables(pool, n=10, dim=32, seed=0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(pool.tables), size=n, replace=False)
+    return [pool.tables[i].with_dim(dim) for i in picks]
+
+
+class TestPretrainMixed:
+    def test_one_model_per_class(self, mixed_models):
+        assert set(mixed_models.by_class) == {"gpu", "cpu"}
+        assert set(mixed_models.reports) == {"gpu", "cpu"}
+
+    def test_models_learned_something(self, mixed_models):
+        for klass, result in mixed_models.reports.items():
+            assert result.test_mse < 1e4, f"{klass} model did not converge"
+
+    def test_cpu_model_predicts_higher_costs(self, mixed_models, pool):
+        tables = task_tables(pool, n=5)
+        mat = mixed_models.featurizer.features_matrix(tables)
+        cpu = mixed_models.model_for("cpu").predict_one(mat)
+        gpu = mixed_models.model_for("gpu").predict_one(mat)
+        assert cpu > gpu
+
+    def test_model_for_unknown_class_raises(self, mixed_models):
+        with pytest.raises(KeyError, match="tpu"):
+            mixed_models.model_for("tpu")
+
+
+class TestMixedSharderValidation:
+    def test_rejects_bad_hyperparameters(self, mixed_cluster, mixed_models):
+        with pytest.raises(ValueError):
+            MixedClusterSharder(mixed_cluster, mixed_models, grid_points=0)
+        with pytest.raises(ValueError):
+            MixedClusterSharder(mixed_cluster, mixed_models, grid_end_factor=0.5)
+        with pytest.raises(ValueError):
+            MixedClusterSharder(mixed_cluster, mixed_models, max_steps=-1)
+        with pytest.raises(ValueError):
+            MixedClusterSharder(mixed_cluster, mixed_models, comm_weight=-1.0)
+
+    def test_rejects_missing_class_model(self, mixed_cluster, mixed_models):
+        gpu_only = MixedCostModels(
+            by_class={"gpu": mixed_models.by_class["gpu"]},
+            featurizer=mixed_models.featurizer,
+            reports={},
+            batch_size=mixed_models.batch_size,
+        )
+        with pytest.raises(KeyError, match="cpu"):
+            MixedClusterSharder(mixed_cluster, gpu_only)
+
+    def test_rejects_empty_table_list(self, sharder):
+        with pytest.raises(ValueError, match="empty"):
+            sharder.shard([])
+
+
+class TestMixedSharding:
+    def test_produces_feasible_legal_plan(self, sharder, mixed_cluster, pool):
+        tables = task_tables(pool, n=12, dim=32)
+        result = sharder.shard(tables)
+        assert result.feasible
+        assert mixed_cluster.plan_fits(result.per_device)
+        assert math.isfinite(result.predicted_bottleneck_ms)
+
+    def test_preserves_total_dimension(self, sharder, pool):
+        tables = task_tables(pool, n=10, dim=64, seed=1)
+        result = sharder.shard(tables)
+        placed_dim = sum(result.device_dims)
+        assert placed_dim == sum(t.dim for t in tables)
+
+    def test_plan_evaluates_on_ground_truth(self, sharder, mixed_cluster, pool):
+        tables = task_tables(pool, n=10, dim=32, seed=2)
+        result = sharder.shard(tables)
+        execution = mixed_cluster.evaluate_plan(result.per_device)
+        assert execution.max_cost_ms > 0
+
+    def test_oversized_table_offloaded_to_cpu(self, sharder, pool):
+        """A table bigger than any GPU budget must land on the CPU."""
+        huge = TableConfig(
+            table_id=999,
+            hash_size=30_000_000,
+            dim=64,
+            pooling_factor=1.5,
+            zipf_alpha=1.2,
+        )
+        small = task_tables(pool, n=6, dim=16, seed=3)
+        result = sharder.shard(small + [huge])
+        assert result.feasible
+        cpu_tables = result.per_device[2]
+        assert any(t.table_id == 999 for t in cpu_tables)
+
+    def test_column_split_used_when_helpful(self, mixed_cluster, mixed_models, pool):
+        """With splits allowed, the search never does worse than without."""
+        tables = task_tables(pool, n=8, dim=128, seed=4)
+        no_split = MixedClusterSharder(
+            mixed_cluster, mixed_models, max_steps=0
+        ).shard(tables)
+        with_split = MixedClusterSharder(
+            mixed_cluster, mixed_models, max_steps=6
+        ).shard(tables)
+        assert with_split.feasible
+        assert (
+            with_split.predicted_bottleneck_ms
+            <= no_split.predicted_bottleneck_ms + 1e-9
+        )
+
+    def test_cache_hit_rate_reported(self, sharder, pool):
+        tables = task_tables(pool, n=10, dim=32, seed=5)
+        result = sharder.shard(tables)
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+
+    def test_deterministic(self, mixed_cluster, mixed_models, pool):
+        tables = task_tables(pool, n=9, dim=32, seed=6)
+        a = MixedClusterSharder(mixed_cluster, mixed_models).shard(tables)
+        b = MixedClusterSharder(mixed_cluster, mixed_models).shard(tables)
+        assert a.per_device == b.per_device
+
+    def test_infeasible_when_nothing_fits(self, mixed_models, pool):
+        """A cluster whose every device is tiny cannot place a big table."""
+        tiny = HeterogeneousCluster(
+            [gpu_2080ti(), cpu_host()],
+            memory_bytes=1024**2,  # 1 MB everywhere
+            batch_size=BATCH,
+        )
+        sharder = MixedClusterSharder(tiny, mixed_models, max_steps=2)
+        result = sharder.shard(task_tables(pool, n=4, dim=32, seed=7))
+        assert not result.feasible
+        assert result.predicted_bottleneck_ms == math.inf
+
+    def test_mixed_beats_gpu_only_when_memory_gates(
+        self, mixed_cluster, mixed_models, pool
+    ):
+        """With a workload that exceeds aggregate GPU memory, the mixed
+        cluster finds a plan while a GPU-only allocation cannot."""
+        big_tables = [
+            TableConfig(
+                table_id=100 + i,
+                hash_size=8_000_000,
+                dim=64,
+                pooling_factor=4.0,
+                zipf_alpha=1.1,
+            )
+            for i in range(8)
+        ]  # ~2 GB each with optimizer state: 8 tables >> 2 GB of GPU
+        result = MixedClusterSharder(
+            mixed_cluster, mixed_models, max_steps=2
+        ).shard(big_tables)
+        assert result.feasible
+        assert len(result.per_device[2]) > 0  # CPU absorbed the overflow

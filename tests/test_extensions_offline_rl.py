@@ -1,0 +1,203 @@
+"""Tests for the offline-RL (advantage-weighted regression) sharder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedySharder, RandomSharder
+from repro.core.cache import CostCache
+from repro.core.simulator import NeuroShardSimulator
+from repro.config import TaskConfig
+from repro.data import generate_tasks
+from repro.extensions import (
+    OfflineDataset,
+    OfflineLogEntry,
+    OfflineRLSharder,
+    collect_sharding_log,
+)
+from repro.hardware.memory import MemoryModel
+
+from tests.conftest import TEST_MEMORY_BYTES
+
+
+@pytest.fixture(scope="module")
+def train_tasks(small_pool):
+    config = TaskConfig(
+        num_devices=2,
+        max_dim=64,
+        min_tables=4,
+        max_tables=10,
+        memory_bytes=TEST_MEMORY_BYTES,
+    )
+    return generate_tasks(small_pool, config, count=8, seed=29)
+
+
+@pytest.fixture(scope="module")
+def log_sharders():
+    return [
+        GreedySharder("Size-based"),
+        GreedySharder("Dim-based"),
+        GreedySharder("Lookup-based"),
+        RandomSharder(seed=1),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sharding_log(train_tasks, log_sharders, tiny_bundle):
+    return collect_sharding_log(train_tasks, log_sharders, tiny_bundle)
+
+
+@pytest.fixture(scope="module")
+def trained_policy(train_tasks, sharding_log, tiny_bundle):
+    policy = OfflineRLSharder(tiny_bundle, seed=3)
+    dataset = policy.build_offline_dataset(train_tasks, sharding_log)
+    policy.fit_offline(dataset, epochs=40)
+    return policy
+
+
+def simulated_cost(bundle, task, plan):
+    simulator = NeuroShardSimulator(bundle, CostCache())
+    return simulator.plan_cost(plan.per_device_tables(task.tables)).max_cost_ms
+
+
+class TestLogCollection:
+    def test_log_covers_tasks_and_sharders(self, sharding_log, train_tasks,
+                                           log_sharders):
+        assert len(sharding_log) > len(train_tasks)  # multiple plans per task
+        indices = {e.task_index for e in sharding_log}
+        assert indices <= set(range(len(train_tasks)))
+
+    def test_log_costs_positive(self, sharding_log):
+        assert all(e.cost_ms > 0 for e in sharding_log)
+
+    def test_entry_validation(self, sharding_log):
+        entry = sharding_log[0]
+        with pytest.raises(ValueError):
+            OfflineLogEntry(task_index=-1, plan=entry.plan, cost_ms=1.0)
+        with pytest.raises(ValueError):
+            OfflineLogEntry(task_index=0, plan=entry.plan, cost_ms=float("nan"))
+
+
+class TestOfflineDataset:
+    def test_builds_aligned_arrays(self, train_tasks, sharding_log, tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle)
+        dataset = policy.build_offline_dataset(train_tasks, sharding_log)
+        assert len(dataset.states) == len(dataset.actions) == len(dataset.weights)
+        assert dataset.states.ndim == 2
+
+    def test_better_plans_get_larger_weights(self, train_tasks, sharding_log,
+                                             tiny_bundle):
+        """Within a task, the cheapest logged plan's decisions must carry
+        more weight than the most expensive one's."""
+        policy = OfflineRLSharder(tiny_bundle)
+        dataset = policy.build_offline_dataset(train_tasks, sharding_log)
+        # Reconstruct per-entry weights: decisions of one entry share one
+        # weight, and entries appear in log order.
+        by_task: dict[int, list[OfflineLogEntry]] = {}
+        for e in sharding_log:
+            by_task.setdefault(e.task_index, []).append(e)
+        # Walk the flattened weights entry by entry.
+        pos = 0
+        entry_weight = {}
+        for e in sharding_log:
+            n = len(e.plan.assignment)
+            entry_weight[id(e)] = dataset.weights[pos]
+            pos += n
+        for task_index, entries in by_task.items():
+            if len(entries) < 2:
+                continue
+            best = min(entries, key=lambda e: e.cost_ms)
+            worst = max(entries, key=lambda e: e.cost_ms)
+            if best.cost_ms < worst.cost_ms - 1e-9:
+                assert entry_weight[id(best)] > entry_weight[id(worst)]
+
+    def test_weights_clipped(self, train_tasks, sharding_log, tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle, temperature=0.01, max_weight=5.0)
+        dataset = policy.build_offline_dataset(train_tasks, sharding_log)
+        assert dataset.weights.max() <= 5.0 + 1e-12
+
+    def test_rejects_empty_log(self, train_tasks, tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle)
+        with pytest.raises(ValueError, match="empty"):
+            policy.build_offline_dataset(train_tasks, [])
+
+    def test_rejects_out_of_range_task_index(self, train_tasks, sharding_log,
+                                             tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle)
+        bad = OfflineLogEntry(
+            task_index=len(train_tasks), plan=sharding_log[0].plan, cost_ms=1.0
+        )
+        with pytest.raises(ValueError, match="task"):
+            policy.build_offline_dataset(train_tasks, [bad])
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError):
+            OfflineDataset(
+                states=np.zeros((2, 3)),
+                actions=np.zeros(2, dtype=np.int64),
+                weights=np.array([-1.0, 1.0]),
+            )
+        with pytest.raises(ValueError):
+            OfflineDataset(
+                states=np.zeros((0, 3)),
+                actions=np.zeros(0, dtype=np.int64),
+                weights=np.zeros(0),
+            )
+
+
+class TestOfflineRLSharder:
+    def test_hyperparameter_validation(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            OfflineRLSharder(tiny_bundle, temperature=0.0)
+        with pytest.raises(ValueError):
+            OfflineRLSharder(tiny_bundle, max_weight=0.0)
+
+    def test_requires_training_before_shard(self, tiny_bundle, tasks2):
+        with pytest.raises(RuntimeError, match="fit"):
+            OfflineRLSharder(tiny_bundle).shard(tasks2[0])
+
+    def test_loss_decreases(self, train_tasks, sharding_log, tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle, seed=7)
+        dataset = policy.build_offline_dataset(train_tasks, sharding_log)
+        curve = policy.fit_offline(dataset, epochs=30)
+        assert curve[-1] < curve[0]
+
+    def test_produces_legal_plans(self, trained_policy, tasks2):
+        for task in tasks2:
+            plan = trained_policy.shard(task)
+            if plan is None:
+                continue
+            memory = MemoryModel(task.memory_bytes)
+            assert memory.placement_fits(plan.per_device_tables(task.tables))
+
+    def test_beats_mean_heuristic_on_held_out_tasks(
+        self, trained_policy, log_sharders, tiny_bundle, tasks2
+    ):
+        """Trained on the heuristics' log, the AWR policy should be at
+        least as good as the *average* logged heuristic on unseen tasks
+        (it preferentially clones the per-task winners)."""
+        policy_costs, mean_heuristic_costs = [], []
+        for task in tasks2:
+            plan = trained_policy.shard(task)
+            if plan is None:
+                continue
+            heuristic_costs = []
+            for sharder in log_sharders:
+                h_plan = sharder.shard(task)
+                if h_plan is not None:
+                    heuristic_costs.append(
+                        simulated_cost(tiny_bundle, task, h_plan)
+                    )
+            if not heuristic_costs:
+                continue
+            policy_costs.append(simulated_cost(tiny_bundle, task, plan))
+            mean_heuristic_costs.append(float(np.mean(heuristic_costs)))
+        assert policy_costs, "policy solved no held-out task"
+        assert np.mean(policy_costs) <= np.mean(mean_heuristic_costs) * 1.05
+
+    def test_fit_from_log_end_to_end(self, train_tasks, log_sharders, tiny_bundle):
+        policy = OfflineRLSharder(tiny_bundle, seed=11)
+        curve = policy.fit_from_log(train_tasks[:4], log_sharders, epochs=10)
+        assert len(curve) == 10
+        assert policy._trained

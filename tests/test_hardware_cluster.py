@@ -1,0 +1,82 @@
+"""Tests for repro.hardware.cluster (the facade)."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.data import synthesize_table_pool
+from repro.hardware import OutOfMemoryError, SimulatedCluster
+
+
+@pytest.fixture(scope="module")
+def tables():
+    # Keep only tables small enough that any split fits the 4 GB budget.
+    pool = synthesize_table_pool(num_tables=60, seed=6)
+    small = [t for t in pool if t.size_bytes < 200 * 1024**2]
+    assert len(small) >= 12
+    return small[:12]
+
+
+@pytest.fixture(scope="module")
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(num_devices=2, memory_bytes=4 * 1024**3))
+
+
+class TestMicroBenchmarks:
+    def test_measure_compute_matches_kernel(self, cluster, tables):
+        cost = cluster.measure_compute(tables[:3])
+        direct = cluster.kernel.total_ms(tables[:3], cluster.batch_size)
+        assert cost == direct
+
+    def test_measure_comm_matches_model(self, cluster):
+        m = cluster.measure_comm([100, 200], start_times_ms=[0.0, 1.0])
+        direct = cluster.comm.measure(
+            [100, 200], cluster.batch_size, start_times_ms=[0.0, 1.0]
+        )
+        assert m == direct
+
+
+class TestPlanExecution:
+    def test_evaluate_plan_breakdown(self, cluster, tables):
+        per_device = [tables[:6], tables[6:]]
+        execution = cluster.evaluate_plan(per_device)
+        assert execution.num_devices == 2
+        costs = execution.device_costs_ms
+        for d in range(2):
+            assert costs[d] == pytest.approx(
+                execution.compute_costs_ms[d]
+                + execution.fwd_comm_costs_ms[d]
+                + execution.bwd_comm_costs_ms[d]
+            )
+        assert execution.max_cost_ms == max(costs)
+        assert execution.iteration_ms > 0
+        assert execution.throughput_samples_per_s > 0
+
+    def test_oom_raises(self, tables):
+        tiny = SimulatedCluster(
+            ClusterConfig(num_devices=2, memory_bytes=1024)
+        )
+        with pytest.raises(OutOfMemoryError):
+            tiny.evaluate_plan([tables[:6], tables[6:]])
+
+    def test_device_count_validated(self, cluster, tables):
+        with pytest.raises(ValueError):
+            cluster.evaluate_plan([tables])  # 1 list for a 2-device cluster
+
+    def test_plan_fits(self, cluster, tables):
+        assert cluster.plan_fits([tables[:2], tables[2:4]]) in (True, False)
+        with pytest.raises(ValueError):
+            cluster.plan_fits([tables])
+
+    def test_balanced_beats_imbalanced(self, cluster, tables):
+        balanced = [tables[0::2], tables[1::2]]
+        imbalanced = [list(tables), []]
+        if cluster.plan_fits(balanced) and cluster.plan_fits(imbalanced):
+            b = cluster.evaluate_plan(balanced).max_cost_ms
+            i = cluster.evaluate_plan(imbalanced).max_cost_ms
+            assert b < i
+
+    def test_deterministic(self, cluster, tables):
+        per_device = [tables[:6], tables[6:]]
+        a = cluster.evaluate_plan(per_device)
+        b = cluster.evaluate_plan(per_device)
+        assert a == b

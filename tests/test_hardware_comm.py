@@ -1,0 +1,110 @@
+"""Tests for repro.hardware.comm — including Observation 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import AllToAllModel
+
+BATCH = 65536
+
+
+@pytest.fixture(scope="module")
+def comm() -> AllToAllModel:
+    return AllToAllModel()
+
+
+class TestBasics:
+    def test_single_device_is_free(self, comm):
+        m = comm.measure([100], BATCH)
+        assert m.costs_ms == (0.0,)
+
+    def test_costs_positive(self, comm):
+        m = comm.measure([100, 200, 300], BATCH)
+        assert all(c > 0 for c in m.costs_ms)
+
+    def test_backward_slower_than_forward(self, comm):
+        dims = [400, 500, 450, 480]
+        fwd = comm.measure(dims, BATCH, noisy=False)
+        bwd = comm.measure(dims, BATCH, backward=True, noisy=False)
+        assert bwd.max_cost_ms > fwd.max_cost_ms
+
+    def test_deterministic(self, comm):
+        a = comm.measure([100, 200], BATCH, start_times_ms=[1.0, 0.0])
+        b = comm.measure([100, 200], BATCH, start_times_ms=[1.0, 0.0])
+        assert a == b
+
+    def test_validation(self, comm):
+        with pytest.raises(ValueError):
+            comm.measure([], BATCH)
+        with pytest.raises(ValueError):
+            comm.measure([100, -5], BATCH)
+        with pytest.raises(ValueError):
+            comm.measure([100, 200], 0)
+        with pytest.raises(ValueError):
+            comm.measure([100, 200], BATCH, start_times_ms=[0.0])
+        with pytest.raises(ValueError):
+            comm.measure([100, 200], BATCH, start_times_ms=[-1.0, 0.0])
+
+
+class TestSynchronousSemantics:
+    def test_late_starter_makes_others_wait(self, comm):
+        dims = [300, 300, 300, 300]
+        aligned = comm.measure(dims, BATCH, noisy=False)
+        skewed = comm.measure(
+            dims, BATCH, start_times_ms=[10.0, 0.0, 0.0, 0.0], noisy=False
+        )
+        # The early starters pay the late starter's delay.
+        assert skewed.costs_ms[1] > aligned.costs_ms[1] + 9.0
+        # The late starter itself pays only the wire time.
+        assert skewed.costs_ms[0] == pytest.approx(aligned.costs_ms[0], rel=0.01)
+
+    def test_shift_invariance(self, comm):
+        """Adding a constant to every start leaves measured costs alone."""
+        dims = [300, 400, 350, 360]
+        a = comm.measure(dims, BATCH, start_times_ms=[0.0, 2.0, 4.0, 1.0], noisy=False)
+        b = comm.measure(dims, BATCH, start_times_ms=[5.0, 7.0, 9.0, 6.0], noisy=False)
+        assert a.costs_ms == pytest.approx(b.costs_ms)
+
+    def test_completion_equals_start_plus_cost(self, comm):
+        starts = [0.0, 3.0, 1.0]
+        m = comm.measure([100, 200, 300], BATCH, start_times_ms=starts)
+        for s, c, done in zip(starts, m.costs_ms, m.completion_ms):
+            assert done == pytest.approx(s + c)
+
+
+class TestObservation3:
+    """Max communication cost tracks the max device dimension
+    (paper Figure 4)."""
+
+    @pytest.mark.parametrize("num_devices", [4, 8])
+    def test_max_cost_increases_with_max_dim(self, comm, num_devices):
+        base = [420] * num_devices
+        max_costs = []
+        for max_dim in (500, 600, 700, 800):
+            dims = list(base)
+            dims[0] = max_dim
+            m = comm.measure(dims, BATCH, noisy=False)
+            max_costs.append(m.max_cost_ms)
+        assert max_costs == sorted(max_costs)
+        assert max_costs[-1] > max_costs[0] * 1.1
+
+    def test_more_devices_cost_more(self, comm):
+        four = comm.measure([500] * 4, BATCH, noisy=False)
+        eight = comm.measure([500] * 8, BATCH, noisy=False)
+        assert eight.max_cost_ms > four.max_cost_ms
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dims=st.lists(st.integers(min_value=0, max_value=2000), min_size=2, max_size=8),
+    skew=st.floats(min_value=0.0, max_value=30.0),
+)
+def test_property_max_cost_at_least_wire_time(dims, skew):
+    comm = AllToAllModel()
+    starts = [skew] + [0.0] * (len(dims) - 1)
+    skewed = comm.measure(dims, BATCH, start_times_ms=starts, noisy=False)
+    aligned = comm.measure(dims, BATCH, noisy=False)
+    # Skew can only increase the bottleneck cost.
+    assert skewed.max_cost_ms >= aligned.max_cost_ms - 1e-9

@@ -1,0 +1,308 @@
+"""Tests for the heterogeneous (mixed CPU-GPU) cluster substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import TableConfig
+from repro.hardware import (
+    DeviceSpec,
+    HeteroAllToAllModel,
+    HeterogeneousCluster,
+    OutOfMemoryError,
+    SimulatedCluster,
+    cpu_host,
+    device_class,
+    gpu_2080ti,
+    gpu_a100,
+)
+from repro.config import ClusterConfig
+
+BATCH = 4096
+
+
+def table(tid=0, hash_size=100_000, dim=32, pooling=8.0, alpha=1.05):
+    return TableConfig(
+        table_id=tid,
+        hash_size=hash_size,
+        dim=dim,
+        pooling_factor=pooling,
+        zipf_alpha=alpha,
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_cluster() -> HeterogeneousCluster:
+    return HeterogeneousCluster(
+        [gpu_2080ti(), gpu_2080ti(), cpu_host()],
+        memory_bytes=[2 * 1024**3, 2 * 1024**3, 32 * 1024**3],
+        batch_size=BATCH,
+    )
+
+
+# ----------------------------------------------------------------------
+# presets
+# ----------------------------------------------------------------------
+
+
+class TestPresets:
+    def test_presets_are_valid_specs(self):
+        for factory in (gpu_2080ti, gpu_a100, cpu_host):
+            spec = factory()
+            assert isinstance(spec, DeviceSpec)
+
+    def test_device_class_detection(self):
+        assert device_class(gpu_2080ti()) == "gpu"
+        assert device_class(gpu_a100()) == "gpu"
+        assert device_class(cpu_host()) == "cpu"
+        assert device_class(DeviceSpec(name="custom")) == "gpu"
+
+    def test_cpu_has_much_more_memory_than_gpu(self):
+        assert cpu_host().memory_bytes > 10 * gpu_2080ti().memory_bytes
+
+    def test_cpu_lookups_slower_than_gpu(self):
+        t = table()
+        gpu = SimulatedCluster(
+            ClusterConfig(num_devices=1, batch_size=BATCH), spec=gpu_2080ti()
+        )
+        cpu = SimulatedCluster(
+            ClusterConfig(num_devices=1, batch_size=BATCH), spec=cpu_host()
+        )
+        assert cpu.measure_compute([t], noisy=False) > 3 * gpu.measure_compute(
+            [t], noisy=False
+        )
+
+    def test_a100_faster_than_2080ti(self):
+        tabs = [table(i, dim=64) for i in range(5)]
+        old = SimulatedCluster(
+            ClusterConfig(num_devices=1, batch_size=BATCH), spec=gpu_2080ti()
+        )
+        new = SimulatedCluster(
+            ClusterConfig(num_devices=1, batch_size=BATCH), spec=gpu_a100()
+        )
+        assert new.measure_compute(tabs, noisy=False) < old.measure_compute(
+            tabs, noisy=False
+        )
+
+    def test_cpu_fusion_nearly_flat(self):
+        # The CPU "fused" op is a loop: fusing many tables barely helps.
+        from repro.hardware.kernel import EmbeddingKernelModel
+
+        cpu_kernel = EmbeddingKernelModel(cpu_host())
+        gpu_kernel = EmbeddingKernelModel(gpu_2080ti())
+        assert cpu_kernel.fusion_speedup(10) < 1.06
+        assert gpu_kernel.fusion_speedup(10) > 1.5
+
+
+# ----------------------------------------------------------------------
+# heterogeneous all-to-all
+# ----------------------------------------------------------------------
+
+
+class TestHeteroComm:
+    def test_rejects_dim_count_mismatch(self):
+        model = HeteroAllToAllModel([gpu_2080ti(), cpu_host()])
+        with pytest.raises(ValueError, match="devices"):
+            model.measure([100, 100, 100], BATCH)
+
+    def test_single_device_free(self):
+        model = HeteroAllToAllModel([gpu_2080ti()])
+        meas = model.measure([500], BATCH, noisy=False)
+        assert meas.costs_ms == (0.0,)
+
+    def test_slow_link_drags_everyone(self):
+        """A CPU behind a slow link raises every GPU's measured cost."""
+        dims = [256, 256, 256]
+        all_gpu = HeteroAllToAllModel([gpu_2080ti()] * 3)
+        with_cpu = HeteroAllToAllModel([gpu_2080ti(), gpu_2080ti(), cpu_host()])
+        fast = all_gpu.measure(dims, BATCH, noisy=False)
+        slow = with_cpu.measure(dims, BATCH, noisy=False)
+        assert slow.max_cost_ms > fast.max_cost_ms
+        # The GPUs themselves get slower because the straggler blend is
+        # dominated by the CPU's drain time.
+        assert slow.costs_ms[0] > fast.costs_ms[0]
+
+    def test_drain_not_dimension_determines_straggler(self):
+        """A small shard behind a slow link can out-straggle a large one
+        behind a fast link."""
+        specs = [gpu_a100(), cpu_host()]
+        model = HeteroAllToAllModel(specs)
+        # Device 0 (fast link) has 4x the dimension of device 1 (slow link)
+        meas = model.measure([400, 100], BATCH, noisy=False)
+        drain0 = 400 / gpu_a100().comm_bandwidth_bytes_per_ms
+        drain1 = 100 / cpu_host().comm_bandwidth_bytes_per_ms
+        assert drain1 > drain0  # the CPU is the true straggler
+        assert meas.max_cost_ms > 0
+
+    def test_homogeneous_reduces_to_alltoall(self):
+        """With identical specs, hetero and homogeneous models agree."""
+        from repro.hardware.comm import AllToAllModel
+
+        spec = gpu_2080ti()
+        dims = [300, 200, 100, 250]
+        homo = AllToAllModel(spec).measure(dims, BATCH, noisy=False)
+        hetero = HeteroAllToAllModel([spec] * 4).measure(dims, BATCH, noisy=False)
+        np.testing.assert_allclose(homo.costs_ms, hetero.costs_ms, rtol=1e-12)
+
+    def test_start_skew_creates_waiting(self):
+        model = HeteroAllToAllModel([gpu_2080ti()] * 2)
+        sync = model.measure([100, 100], BATCH, noisy=False)
+        skew = model.measure(
+            [100, 100], BATCH, start_times_ms=[0.0, 5.0], noisy=False
+        )
+        # The early device waits 5 ms for the barrier.
+        assert skew.costs_ms[0] == pytest.approx(sync.costs_ms[0] + 5.0)
+
+    def test_backward_slower_than_forward(self):
+        model = HeteroAllToAllModel([gpu_2080ti()] * 2)
+        fwd = model.measure([200, 200], BATCH, noisy=False)
+        bwd = model.measure([200, 200], BATCH, backward=True, noisy=False)
+        assert bwd.max_cost_ms > fwd.max_cost_ms
+
+    def test_rejects_negative_inputs(self):
+        model = HeteroAllToAllModel([gpu_2080ti()] * 2)
+        with pytest.raises(ValueError):
+            model.measure([-1, 5], BATCH)
+        with pytest.raises(ValueError):
+            model.measure([1, 5], 0)
+        with pytest.raises(ValueError):
+            model.measure([1, 5], BATCH, start_times_ms=[-1.0, 0.0])
+
+
+# ----------------------------------------------------------------------
+# heterogeneous cluster
+# ----------------------------------------------------------------------
+
+
+class TestHeterogeneousCluster:
+    def test_shape_properties(self, mixed_cluster):
+        assert mixed_cluster.num_devices == 3
+        assert mixed_cluster.device_classes == ("gpu", "gpu", "cpu")
+        assert mixed_cluster.memory_budgets == (
+            2 * 1024**3,
+            2 * 1024**3,
+            32 * 1024**3,
+        )
+
+    def test_default_budgets_from_specs(self):
+        cluster = HeterogeneousCluster([gpu_2080ti(), cpu_host()], batch_size=BATCH)
+        assert cluster.memory_budgets == (
+            gpu_2080ti().memory_bytes,
+            cpu_host().memory_bytes,
+        )
+
+    def test_scalar_budget_broadcasts(self):
+        cluster = HeterogeneousCluster(
+            [gpu_2080ti(), cpu_host()], memory_bytes=1024**3, batch_size=BATCH
+        )
+        assert cluster.memory_budgets == (1024**3, 1024**3)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            HeterogeneousCluster([])
+        with pytest.raises(ValueError):
+            HeterogeneousCluster([gpu_2080ti()], memory_bytes=[1, 2])
+        with pytest.raises(ValueError):
+            HeterogeneousCluster([gpu_2080ti()], batch_size=0)
+
+    def test_compute_depends_on_device(self, mixed_cluster):
+        t = table()
+        gpu_cost = mixed_cluster.measure_compute(0, [t], noisy=False)
+        cpu_cost = mixed_cluster.measure_compute(2, [t], noisy=False)
+        assert cpu_cost > gpu_cost
+
+    def test_compute_rejects_bad_device(self, mixed_cluster):
+        with pytest.raises(ValueError, match="out of range"):
+            mixed_cluster.measure_compute(3, [table()])
+
+    def test_per_device_memory(self, mixed_cluster):
+        # ~24 GB of table fits the CPU but not a GPU.
+        big = table(hash_size=50_000_000, dim=128)
+        assert not mixed_cluster.device_fits(0, [big])
+        assert mixed_cluster.device_fits(2, [big])
+
+    def test_plan_fits_uses_per_device_budgets(self, mixed_cluster):
+        big = table(hash_size=50_000_000, dim=128)
+        small = table(1)
+        assert mixed_cluster.plan_fits([[small], [small], [big]])
+        assert not mixed_cluster.plan_fits([[big], [small], [small]])
+
+    def test_check_placement_names_device(self, mixed_cluster):
+        big = table(hash_size=50_000_000, dim=128)
+        with pytest.raises(OutOfMemoryError, match="device 0"):
+            mixed_cluster.check_placement([[big], [], []])
+
+    def test_evaluate_plan_shapes(self, mixed_cluster):
+        tabs = [table(i) for i in range(6)]
+        execution = mixed_cluster.evaluate_plan([tabs[:3], tabs[3:5], tabs[5:]])
+        assert execution.num_devices == 3
+        assert execution.iteration_ms > 0
+        assert execution.throughput_samples_per_s > 0
+        assert all(c > 0 for c in execution.device_costs_ms)
+
+    def test_evaluate_plan_oom(self, mixed_cluster):
+        big = table(hash_size=50_000_000, dim=128)
+        with pytest.raises(OutOfMemoryError):
+            mixed_cluster.evaluate_plan([[big], [], []])
+
+    def test_offloading_cold_table_to_cpu_beats_oversubscribed_gpu(self):
+        """The mixed scenario's raison d'etre: a huge cold table that no
+        GPU can hold evaluates fine once placed on the CPU."""
+        cluster = HeterogeneousCluster(
+            [gpu_2080ti(), gpu_2080ti(), cpu_host()],
+            memory_bytes=[1024**3, 1024**3, 64 * 1024**3],
+            batch_size=BATCH,
+        )
+        huge_cold = table(9, hash_size=80_000_000, dim=16, pooling=1.0, alpha=1.3)
+        hot = [table(i, hash_size=200_000, dim=64) for i in range(4)]
+        execution = cluster.evaluate_plan([hot[:2], hot[2:], [huge_cold]])
+        assert execution.iteration_ms > 0
+        # No pure-GPU placement of the huge table is legal at all.
+        assert not cluster.plan_fits([[huge_cold], hot[:2], hot[2:]])
+
+    def test_deterministic_across_instances(self):
+        tabs = [table(i) for i in range(4)]
+        placement = [tabs[:2], tabs[2:], []]
+        a = HeterogeneousCluster(
+            [gpu_2080ti(), gpu_2080ti(), cpu_host()], batch_size=BATCH
+        ).evaluate_plan(placement)
+        b = HeterogeneousCluster(
+            [gpu_2080ti(), gpu_2080ti(), cpu_host()], batch_size=BATCH
+        ).evaluate_plan(placement)
+        assert a.device_costs_ms == b.device_costs_ms
+
+    def test_noise_seed_changes_measurements(self):
+        tabs = [table(i) for i in range(4)]
+        placement = [tabs[:2], tabs[2:]]
+        a = HeterogeneousCluster(
+            [gpu_2080ti(), gpu_2080ti()], batch_size=BATCH, noise_seed=0
+        ).evaluate_plan(placement)
+        b = HeterogeneousCluster(
+            [gpu_2080ti(), gpu_2080ti()], batch_size=BATCH, noise_seed=1
+        ).evaluate_plan(placement)
+        assert a.device_costs_ms != b.device_costs_ms
+
+    def test_matches_homogeneous_cluster_semantics(self):
+        """An all-identical hetero cluster gives the same steady-state
+        costs as SimulatedCluster (same kernel, comm and timeline)."""
+        spec = gpu_2080ti()
+        tabs = [table(i) for i in range(6)]
+        placement = [tabs[:3], tabs[3:]]
+        homo = SimulatedCluster(
+            ClusterConfig(
+                num_devices=2, memory_bytes=2 * 1024**3, batch_size=BATCH
+            ),
+            spec=spec,
+        ).evaluate_plan(placement)
+        hetero = HeterogeneousCluster(
+            [spec, spec], memory_bytes=2 * 1024**3, batch_size=BATCH
+        ).evaluate_plan(placement)
+        np.testing.assert_allclose(
+            homo.compute_costs_ms, hetero.compute_costs_ms, rtol=1e-9
+        )
+        # Comm noise keys differ (hetero uses its own tag) but the
+        # noise-free magnitudes must be close.
+        np.testing.assert_allclose(
+            homo.fwd_comm_costs_ms, hetero.fwd_comm_costs_ms, rtol=0.1
+        )

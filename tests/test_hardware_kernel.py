@@ -1,0 +1,180 @@
+"""Tests for repro.hardware.kernel — including the paper's Observations
+1 and 2, which the whole algorithm design rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthesize_table_pool
+from repro.hardware import DeviceSpec, EmbeddingKernelModel
+
+BATCH = 65536
+
+
+@pytest.fixture(scope="module")
+def kernel() -> EmbeddingKernelModel:
+    return EmbeddingKernelModel()
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return synthesize_table_pool(num_tables=40, seed=3)
+
+
+class TestBasics:
+    def test_empty_set_costs_nothing(self, kernel):
+        assert kernel.total_ms([], BATCH) == 0.0
+
+    def test_costs_positive(self, kernel, tables):
+        assert kernel.total_ms(tables[:5], BATCH) > 0
+
+    def test_total_is_forward_plus_backward(self, kernel, tables):
+        subset = tables[:4]
+        total = kernel.total_ms(subset, BATCH, noisy=False)
+        fwd = kernel.forward_ms(subset, BATCH, noisy=False)
+        bwd = kernel.backward_ms(subset, BATCH, noisy=False)
+        assert total == pytest.approx(fwd + bwd)
+
+    def test_backward_costs_more_than_forward(self, kernel, tables):
+        subset = tables[:4]
+        assert kernel.backward_ms(subset, BATCH, noisy=False) > kernel.forward_ms(
+            subset, BATCH, noisy=False
+        )
+
+    def test_rejects_bad_batch(self, kernel, tables):
+        with pytest.raises(ValueError):
+            kernel.total_ms(tables[:1], 0)
+
+    def test_measurement_deterministic(self, kernel, tables):
+        a = kernel.total_ms(tables[:6], BATCH)
+        b = kernel.total_ms(tables[:6], BATCH)
+        assert a == b
+
+    def test_noise_is_small_and_seeded(self, tables):
+        base = EmbeddingKernelModel(noise_seed=0)
+        other = EmbeddingKernelModel(noise_seed=1)
+        clean = base.total_ms(tables[:6], BATCH, noisy=False)
+        noisy0 = base.total_ms(tables[:6], BATCH)
+        noisy1 = other.total_ms(tables[:6], BATCH)
+        assert noisy0 != noisy1  # different machines measure differently
+        assert abs(noisy0 - clean) / clean < 0.1
+
+    def test_order_invariance(self, kernel, tables):
+        subset = tables[:6]
+        shuffled = list(reversed(subset))
+        assert kernel.total_ms(subset, BATCH) == pytest.approx(
+            kernel.total_ms(shuffled, BATCH)
+        )
+
+
+class TestCostStructure:
+    def test_cost_increases_with_dimension(self, kernel, tables):
+        t = tables[0]
+        costs = [
+            kernel.single_table_ms(t.with_dim(d), BATCH, noisy=False)
+            for d in (4, 8, 16, 32, 64, 128)
+        ]
+        assert costs == sorted(costs)
+
+    def test_cost_increases_with_pooling(self, kernel, tables):
+        from dataclasses import replace
+
+        t = tables[0]
+        low = kernel.single_table_ms(replace(t, pooling_factor=2.0), BATCH, noisy=False)
+        high = kernel.single_table_ms(
+            replace(t, pooling_factor=50.0), BATCH, noisy=False
+        )
+        assert high > low
+
+    def test_skew_reduces_cost(self, kernel, tables):
+        """Hot (high-zipf) tables cache better and run faster."""
+        from dataclasses import replace
+
+        t = replace(tables[0], hash_size=10_000_000, pooling_factor=20.0)
+        mild = kernel.single_table_ms(replace(t, zipf_alpha=1.0), BATCH, noisy=False)
+        heavy = kernel.single_table_ms(replace(t, zipf_alpha=2.2), BATCH, noisy=False)
+        assert heavy < mild
+
+    def test_fusion_speedup_monotone(self, kernel):
+        speedups = [kernel.fusion_speedup(t) for t in range(1, 20)]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] <= kernel.spec.fusion_max_speedup
+
+
+class TestObservation1:
+    """Column-halving a table yields shards each costing more than half
+    the parent (paper Figure 3 left)."""
+
+    @pytest.mark.parametrize("dim", [128, 64, 32, 16, 8])
+    def test_half_dim_costs_more_than_half(self, kernel, tables, dim):
+        for t in tables[:8]:
+            parent = kernel.single_table_ms(t.with_dim(dim), BATCH, noisy=False)
+            shard = kernel.single_table_ms(t.with_dim(dim // 2), BATCH, noisy=False)
+            assert shard > parent / 2
+
+    def test_splitting_increases_overall_cost(self, kernel, tables):
+        """Running both half shards costs more than the parent."""
+        t = tables[1].with_dim(64)
+        a, b = t.halved()
+        parent = kernel.total_ms([t], BATCH, noisy=False)
+        split = kernel.total_ms([a, b], BATCH, noisy=False)
+        assert split > parent
+
+
+class TestObservation2:
+    """Multi-table cost is non-linear and sub-additive in single-table
+    costs (paper Figure 3 right)."""
+
+    def test_fused_cheaper_than_sum_of_singles(self, kernel, tables):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            idx = rng.choice(len(tables), size=10, replace=False)
+            subset = [tables[i] for i in idx]
+            fused = kernel.total_ms(subset, BATCH, noisy=False)
+            summed = kernel.sum_of_single_table_ms(subset, BATCH, noisy=False)
+            assert fused < summed
+
+    def test_relationship_is_nonlinear(self, kernel, tables):
+        """The fused/summed ratio varies across subsets — a single linear
+        factor cannot explain multi-table costs."""
+        rng = np.random.default_rng(1)
+        ratios = []
+        for size in (2, 5, 10, 15):
+            idx = rng.choice(len(tables), size=size, replace=False)
+            subset = [tables[i] for i in idx]
+            fused = kernel.total_ms(subset, BATCH, noisy=False)
+            summed = kernel.sum_of_single_table_ms(subset, BATCH, noisy=False)
+            ratios.append(fused / summed)
+        assert max(ratios) - min(ratios) > 0.05
+
+
+class TestDeviceSpecValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(gather_bandwidth_bytes_per_ms=0)
+
+    def test_rejects_fusion_below_one(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(fusion_max_speedup=0.5)
+
+    def test_rejects_bad_straggler_weight(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(straggler_weight=1.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_fused_never_exceeds_sum_of_singles(size, seed):
+    tables = synthesize_table_pool(num_tables=15, seed=2)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(tables), size=size, replace=False)
+    subset = [tables[i] for i in idx]
+    kernel = EmbeddingKernelModel()
+    fused = kernel.total_ms(subset, BATCH, noisy=False)
+    summed = kernel.sum_of_single_table_ms(subset, BATCH, noisy=False)
+    assert fused <= summed + 1e-9

@@ -1,0 +1,73 @@
+"""Tests for repro.hardware.memory."""
+
+import pytest
+
+from repro.data.table import TableConfig
+from repro.hardware import MemoryModel, OutOfMemoryError
+
+
+def table(hash_size=1000, dim=64) -> TableConfig:
+    return TableConfig(
+        table_id=0, hash_size=hash_size, dim=dim, pooling_factor=5.0, zipf_alpha=1.1
+    )
+
+
+class TestAccounting:
+    def test_table_bytes_includes_optimizer_state(self):
+        model = MemoryModel(memory_bytes=10**9)
+        t = table(hash_size=1000, dim=16)
+        assert model.table_bytes(t) == t.size_bytes + 1000 * 4
+
+    def test_optimizer_state_configurable(self):
+        model = MemoryModel(memory_bytes=10**9, optimizer_rowwise_bytes=0)
+        t = table()
+        assert model.table_bytes(t) == t.size_bytes
+
+    def test_device_bytes_sums(self):
+        model = MemoryModel(memory_bytes=10**9)
+        tables = [table(), table(hash_size=2000)]
+        assert model.device_bytes(tables) == sum(
+            model.table_bytes(t) for t in tables
+        )
+
+    def test_column_split_duplicates_optimizer_state(self):
+        """Both half shards keep the full row-wise accumulator — column
+        sharding is not memory-free."""
+        model = MemoryModel(memory_bytes=10**9)
+        t = table(dim=64)
+        a, b = t.halved()
+        assert model.table_bytes(a) + model.table_bytes(b) > model.table_bytes(t)
+
+
+class TestFeasibility:
+    def test_fits(self):
+        t = table()
+        model = MemoryModel(memory_bytes=2 * t.size_bytes + t.hash_size * 4)
+        assert model.fits([t])
+        assert not model.fits([t, t, t])
+
+    def test_remaining_bytes_sign(self):
+        t = table()
+        model = MemoryModel(memory_bytes=t.size_bytes // 2)
+        assert model.remaining_bytes([t]) < 0
+
+    def test_check_placement_raises_with_device_info(self):
+        t = table(hash_size=10**6, dim=128)
+        model = MemoryModel(memory_bytes=1024)
+        with pytest.raises(OutOfMemoryError, match="device 1"):
+            model.check_placement([[], [t]])
+
+    def test_placement_fits_non_raising(self):
+        t = table()
+        model = MemoryModel(memory_bytes=1024)
+        assert not model.placement_fits([[t]])
+
+    def test_empty_devices_fit(self):
+        model = MemoryModel(memory_bytes=1)
+        model.check_placement([[], []])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(memory_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryModel(memory_bytes=10, optimizer_rowwise_bytes=-1)

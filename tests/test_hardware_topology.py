@@ -1,0 +1,172 @@
+"""Tests for the hierarchical (NVLink islands / RDMA fabric) topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig
+from repro.data.table import TableConfig
+from repro.hardware import (
+    AllToAllModel,
+    HierarchicalAllToAllModel,
+    SimulatedCluster,
+    TopologySpec,
+)
+
+BATCH = 4096
+
+
+class TestTopologySpec:
+    def test_defaults_valid(self):
+        spec = TopologySpec()
+        assert spec.node_size == 8
+        assert spec.intra_bandwidth_bytes_per_ms > spec.inter_bandwidth_bytes_per_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(node_size=0)
+        with pytest.raises(ValueError):
+            TopologySpec(intra_bandwidth_bytes_per_ms=0)
+        with pytest.raises(ValueError):
+            TopologySpec(inter_bandwidth_bytes_per_ms=-1)
+        with pytest.raises(ValueError):
+            TopologySpec(intra_latency_ms=-0.1)
+
+
+class TestHierarchicalAllToAll:
+    def test_node_of(self):
+        model = HierarchicalAllToAllModel(topology=TopologySpec(node_size=4))
+        assert [model.node_of(d) for d in range(10)] == [
+            0, 0, 0, 0, 1, 1, 1, 1, 2, 2,
+        ]
+        with pytest.raises(ValueError):
+            model.node_of(-1)
+
+    def test_single_device_free(self):
+        model = HierarchicalAllToAllModel()
+        assert model.measure([500], BATCH, noisy=False).costs_ms == (0.0,)
+
+    def test_input_validation(self):
+        model = HierarchicalAllToAllModel()
+        with pytest.raises(ValueError):
+            model.measure([], BATCH)
+        with pytest.raises(ValueError):
+            model.measure([-1, 2], BATCH)
+        with pytest.raises(ValueError):
+            model.measure([1, 2], 0)
+        with pytest.raises(ValueError):
+            model.measure([1, 2], BATCH, start_times_ms=[0.0])
+        with pytest.raises(ValueError):
+            model.measure([1, 2], BATCH, start_times_ms=[-1.0, 0.0])
+
+    def test_intra_node_collective_cheaper_than_cross_node(self):
+        """The same 4-device collective costs less inside one node than
+        spread over four nodes (one device each)."""
+        dims = [256] * 4
+        one_node = HierarchicalAllToAllModel(
+            topology=TopologySpec(node_size=4)
+        ).measure(dims, BATCH, noisy=False)
+        four_nodes = HierarchicalAllToAllModel(
+            topology=TopologySpec(node_size=1)
+        ).measure(dims, BATCH, noisy=False)
+        assert one_node.max_cost_ms < four_nodes.max_cost_ms
+
+    def test_observation3_survives_topology(self):
+        """Max measured cost still tracks max device dimension on a
+        hierarchical fabric — the property NeuroShard's communication
+        balancing relies on (and why it deploys on RDMA clusters)."""
+        model = HierarchicalAllToAllModel(topology=TopologySpec(node_size=4))
+        rng = np.random.default_rng(0)
+        max_dims, max_costs = [], []
+        for _ in range(30):
+            dims = rng.integers(64, 1024, size=16)
+            meas = model.measure(list(dims), BATCH, noisy=False)
+            max_dims.append(int(dims.max()))
+            max_costs.append(meas.max_cost_ms)
+        corr = np.corrcoef(max_dims, max_costs)[0, 1]
+        assert corr > 0.9
+
+    def test_backward_slower(self):
+        model = HierarchicalAllToAllModel()
+        dims = [128] * 16
+        fwd = model.measure(dims, BATCH, noisy=False)
+        bwd = model.measure(dims, BATCH, backward=True, noisy=False)
+        assert bwd.max_cost_ms > fwd.max_cost_ms
+
+    def test_barrier_semantics(self):
+        model = HierarchicalAllToAllModel(topology=TopologySpec(node_size=2))
+        sync = model.measure([100, 100], BATCH, noisy=False)
+        skew = model.measure(
+            [100, 100], BATCH, start_times_ms=[0.0, 7.0], noisy=False
+        )
+        assert skew.costs_ms[0] == pytest.approx(sync.costs_ms[0] + 7.0)
+        assert skew.costs_ms[1] == pytest.approx(sync.costs_ms[1])
+
+    def test_fat_fabric_converges_to_flat_shape(self):
+        """With inter-node links as fast as intra-node and node size 1,
+        the hierarchical wire time is within a small factor of the flat
+        model's (different but comparable analytic forms)."""
+        flat = AllToAllModel().measure([256] * 8, BATCH, noisy=False)
+        spec = TopologySpec(
+            node_size=1,
+            inter_bandwidth_bytes_per_ms=6.0e6,
+            intra_bandwidth_bytes_per_ms=6.0e6,
+            inter_latency_ms=0.25,
+            intra_latency_ms=0.25,
+        )
+        hier = HierarchicalAllToAllModel(topology=spec).measure(
+            [256] * 8, BATCH, noisy=False
+        )
+        assert hier.max_cost_ms == pytest.approx(flat.max_cost_ms, rel=0.2)
+
+    @given(node_size=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_costs_positive_for_any_node_size(self, node_size):
+        model = HierarchicalAllToAllModel(
+            topology=TopologySpec(node_size=node_size)
+        )
+        meas = model.measure([64] * 12, BATCH, noisy=False)
+        assert all(c > 0 for c in meas.costs_ms)
+
+    def test_ragged_last_node(self):
+        """Device counts that do not divide evenly still work: the last
+        node simply has fewer devices."""
+        model = HierarchicalAllToAllModel(topology=TopologySpec(node_size=4))
+        meas = model.measure([128] * 10, BATCH, noisy=False)  # nodes 4+4+2
+        assert len(meas.costs_ms) == 10
+        assert all(np.isfinite(c) for c in meas.costs_ms)
+
+
+class TestTopologyInCluster:
+    def table(self, tid=0):
+        return TableConfig(
+            table_id=tid, hash_size=100_000, dim=32, pooling_factor=8.0,
+            zipf_alpha=1.05,
+        )
+
+    def test_cluster_accepts_comm_override(self):
+        config = ClusterConfig(num_devices=4, batch_size=BATCH)
+        topo_comm = HierarchicalAllToAllModel(
+            topology=TopologySpec(node_size=2)
+        )
+        cluster = SimulatedCluster(config, comm=topo_comm)
+        assert cluster.comm is topo_comm
+        assert cluster.tracer.comm is topo_comm
+
+    def test_topology_changes_measured_plan_costs(self):
+        config = ClusterConfig(num_devices=4, batch_size=BATCH)
+        tables = [self.table(i) for i in range(8)]
+        placement = [tables[:2], tables[2:4], tables[4:6], tables[6:]]
+        flat = SimulatedCluster(config).evaluate_plan(placement)
+        hier = SimulatedCluster(
+            config,
+            comm=HierarchicalAllToAllModel(topology=TopologySpec(node_size=2)),
+        ).evaluate_plan(placement)
+        # Compute identical, communication different.
+        np.testing.assert_allclose(
+            flat.compute_costs_ms, hier.compute_costs_ms, rtol=1e-9
+        )
+        assert flat.fwd_comm_costs_ms != hier.fwd_comm_costs_ms

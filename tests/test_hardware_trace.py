@@ -1,0 +1,118 @@
+"""Tests for repro.hardware.trace (Figure 1 timeline mechanics)."""
+
+import pytest
+
+from repro.data import synthesize_table_pool
+from repro.hardware import TraceSimulator
+from repro.hardware.trace import EVENT_KINDS, TraceEvent
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return synthesize_table_pool(num_tables=16, seed=4)
+
+
+@pytest.fixture(scope="module")
+def tracer() -> TraceSimulator:
+    return TraceSimulator(batch_size=65536)
+
+
+def split_round_robin(tables, num_devices):
+    return [list(tables[d::num_devices]) for d in range(num_devices)]
+
+
+class TestTraceEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, "mystery", 0.0, 1.0, 0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, "dense", 2.0, 1.0, 0)
+
+    def test_duration(self):
+        assert TraceEvent(0, "dense", 1.0, 3.5, 0).duration_ms == 2.5
+
+
+class TestSimulation:
+    def test_event_count_and_kinds(self, tracer, tables):
+        per_device = split_round_robin(tables, 4)
+        traces = tracer.simulate(per_device, num_iterations=2)
+        assert len(traces) == 2
+        for trace in traces:
+            assert len(trace.events) == 4 * len(EVENT_KINDS)
+            for d in range(4):
+                kinds = [e.kind for e in trace.device_events(d)]
+                assert kinds == list(EVENT_KINDS)
+
+    def test_events_are_sequential_per_device(self, tracer, tables):
+        per_device = split_round_robin(tables, 4)
+        trace = tracer.simulate(per_device, num_iterations=1)[0]
+        for d in range(4):
+            events = trace.device_events(d)
+            for a, b in zip(events, events[1:]):
+                assert b.start_ms == pytest.approx(a.end_ms)
+
+    def test_collectives_synchronize(self, tracer, tables):
+        """No device's comm completes before the last device arrives."""
+        per_device = split_round_robin(tables, 4)
+        trace = tracer.simulate(per_device, num_iterations=1)[0]
+        fwd_comm = [e for e in trace.events if e.kind == "fwd_comm"]
+        last_arrival = max(e.start_ms for e in fwd_comm)
+        assert all(e.end_ms >= last_arrival for e in fwd_comm)
+
+    def test_embedding_cost_decomposition(self, tracer, tables):
+        per_device = split_round_robin(tables, 2)
+        trace = tracer.simulate(per_device, num_iterations=1)[0]
+        for d in range(2):
+            total = (
+                trace.compute_costs_ms[d]
+                + trace.fwd_comm_costs_ms[d]
+                + trace.bwd_comm_costs_ms[d]
+            )
+            assert trace.embedding_costs_ms[d] == pytest.approx(total)
+
+    def test_max_embedding_cost(self, tracer, tables):
+        per_device = split_round_robin(tables, 4)
+        trace = tracer.steady_state(per_device)
+        assert trace.max_embedding_cost_ms == max(trace.embedding_costs_ms)
+
+    def test_iteration_time_positive_and_stable(self, tracer, tables):
+        per_device = split_round_robin(tables, 4)
+        traces = tracer.simulate(per_device, num_iterations=4)
+        times = [t.iteration_ms for t in traces]
+        assert all(t > 0 for t in times)
+        # Steady state: consecutive iterations converge.
+        assert times[-1] == pytest.approx(times[-2], rel=0.05)
+
+    def test_validation(self, tracer, tables):
+        with pytest.raises(ValueError):
+            tracer.simulate([], num_iterations=1)
+        with pytest.raises(ValueError):
+            tracer.simulate([[tables[0]]], num_iterations=0)
+        with pytest.raises(ValueError):
+            TraceSimulator(batch_size=0)
+
+
+class TestStragglerEffect:
+    def test_imbalance_raises_iteration_time(self, tracer, tables):
+        """Piling every table on one device (imbalanced) must be slower
+        than spreading them (balanced) — the Figure 1 story."""
+        balanced = split_round_robin(tables, 4)
+        imbalanced = [list(tables), [], [], []]
+        t_bal = tracer.steady_state(balanced).iteration_ms
+        t_imb = tracer.steady_state(imbalanced).iteration_ms
+        assert t_imb > t_bal
+
+    def test_imbalance_creates_waiting(self, tracer, tables):
+        imbalanced = [list(tables), [], [], []]
+        trace = tracer.steady_state(imbalanced)
+        # The empty devices wait in the collectives for the loaded one.
+        assert trace.idle_ms(1) > trace.idle_ms(0) * 0.5
+
+    def test_throughput_favors_balance(self, tracer, tables):
+        balanced = split_round_robin(tables, 4)
+        imbalanced = [list(tables), [], [], []]
+        assert tracer.throughput_samples_per_s(
+            balanced
+        ) > tracer.throughput_samples_per_s(imbalanced)

@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the full Figure 6 pipeline on a small
+scale, plus the production experiment."""
+
+import math
+
+import pytest
+
+from repro.baselines import GreedySharder, RandomSharder
+from repro.config import CollectionConfig, SearchConfig, TrainConfig
+from repro.core import NeuroShard
+from repro.evaluation import (
+    evaluate_sharder,
+    execute_plan,
+    run_production_experiment,
+)
+
+FAST_SEARCH = SearchConfig(top_n=3, beam_width=2, max_steps=3, grid_points=4)
+
+
+class TestEndToEnd:
+    def test_pretrain_shard_execute(self, tiny_bundle, tasks2, cluster2):
+        """Pre-train -> search -> execute on hardware, full circle."""
+        sharder = NeuroShard(tiny_bundle, search=FAST_SEARCH)
+        for task in tasks2:
+            result = sharder.shard(task)
+            assert result.feasible
+            execution = execute_plan(result.plan, task, cluster2)
+            assert execution is not None
+            assert execution.max_cost_ms > 0
+
+    def test_neuroshard_beats_random(self, tiny_bundle, tasks2, cluster2):
+        ns = evaluate_sharder(
+            NeuroShard(tiny_bundle, search=FAST_SEARCH), tasks2, cluster2
+        )
+        rnd = evaluate_sharder(RandomSharder(seed=0), tasks2, cluster2)
+        assert ns.scales
+        if rnd.scales:
+            assert ns.mean_cost_ms < rnd.mean_cost_ms
+
+    def test_neuroshard_competitive_with_greedy(
+        self, tiny_bundle, tasks2, cluster2
+    ):
+        """Even the tiny test bundle should keep NeuroShard within 20% of
+        the best greedy heuristic (the benchmark-grade bundle beats it)."""
+        ns = evaluate_sharder(
+            NeuroShard(tiny_bundle, search=FAST_SEARCH), tasks2, cluster2
+        )
+        greedy = evaluate_sharder(
+            GreedySharder("Lookup-based"), tasks2, cluster2
+        )
+        assert ns.scales
+        if greedy.scales:
+            assert ns.mean_cost_ms < greedy.mean_cost_ms * 1.2
+
+    def test_saved_bundle_reproduces_plans(
+        self, tiny_bundle, tasks2, tmp_path
+    ):
+        """Version-controlled checkpoints (Section 3.2): a reloaded bundle
+        must produce the identical plan."""
+        tiny_bundle.save(tmp_path / "bundle")
+        a = NeuroShard(tiny_bundle, search=FAST_SEARCH).shard(tasks2[0])
+        b = NeuroShard.from_directory(
+            tmp_path / "bundle", search=FAST_SEARCH
+        ).shard(tasks2[0])
+        assert a.plan == b.plan
+
+
+@pytest.mark.slow
+class TestProductionExperiment:
+    def test_scaled_production_rows(self, small_pool):
+        rows = run_production_experiment(
+            small_pool,
+            num_devices=4,
+            num_tables=24,
+            memory_bytes=1 * 1024**3,
+            collection=CollectionConfig(
+                num_compute_samples=1200,
+                num_comm_samples=500,
+                max_tables=10,
+                min_placement_tables=4,
+                max_placement_tables=14,
+            ),
+            train=TrainConfig(epochs=150, batch_size=64),
+            search=SearchConfig(top_n=4, beam_width=2, max_steps=5, grid_points=5),
+            rl_episodes=10,
+            seed=0,
+        )
+        methods = [r.method for r in rows]
+        assert methods[0] == "Random"
+        assert methods[-1] == "NeuroShard"
+        assert "DreamShard" in methods and "TorchRec" in methods
+        by_name = {r.method: r for r in rows}
+        assert math.isnan(by_name["Random"].throughput_improvement_pct)
+        ns = by_name["NeuroShard"]
+        assert not math.isnan(ns.embedding_cost_ms)
+        # NeuroShard improves over random sharding.
+        assert ns.embedding_cost_ms < by_name["Random"].embedding_cost_ms
+        assert ns.throughput_improvement_pct > 0

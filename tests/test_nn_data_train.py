@@ -1,0 +1,178 @@
+"""Tests for repro.nn.data, repro.nn.train and repro.nn.serialize."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainConfig
+from repro.nn import (
+    ArrayDataset,
+    Sequential,
+    Trainer,
+    load_params,
+    minibatches,
+    save_params,
+    train_valid_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(inputs=np.zeros((3, 2)), targets=np.zeros(4))
+
+    def test_non_empty(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(inputs=np.zeros((0, 2)), targets=np.zeros(0))
+
+    def test_subset_array_inputs(self):
+        ds = ArrayDataset(inputs=np.arange(10).reshape(5, 2), targets=np.arange(5.0))
+        sub = ds.subset(np.array([0, 3]))
+        assert np.array_equal(sub.targets, [0.0, 3.0])
+        assert np.array_equal(sub.inputs, [[0, 1], [6, 7]])
+
+    def test_subset_list_inputs(self):
+        ds = ArrayDataset(inputs=["a", "b", "c"], targets=np.arange(3.0))
+        sub = ds.subset(np.array([2, 0]))
+        assert sub.inputs == ["c", "a"]
+
+
+class TestSplit:
+    def test_fractions(self):
+        ds = ArrayDataset(inputs=np.zeros((100, 2)), targets=np.arange(100.0))
+        tr, va, te = train_valid_test_split(ds, 0.8, 0.1, seed=0)
+        assert len(tr) == 80 and len(va) == 10 and len(te) == 10
+
+    def test_partition_is_exact(self):
+        ds = ArrayDataset(inputs=np.zeros((57, 1)), targets=np.arange(57.0))
+        tr, va, te = train_valid_test_split(ds, 0.8, 0.1, seed=1)
+        combined = sorted(
+            list(tr.targets) + list(va.targets) + list(te.targets)
+        )
+        assert combined == sorted(ds.targets)
+
+    def test_every_split_non_empty_even_tiny(self):
+        ds = ArrayDataset(inputs=np.zeros((4, 1)), targets=np.arange(4.0))
+        tr, va, te = train_valid_test_split(ds, 0.8, 0.1, seed=2)
+        assert len(tr) >= 1 and len(va) >= 1 and len(te) >= 1
+
+    def test_deterministic(self):
+        ds = ArrayDataset(inputs=np.zeros((30, 1)), targets=np.arange(30.0))
+        a = train_valid_test_split(ds, seed=5)
+        b = train_valid_test_split(ds, seed=5)
+        assert np.array_equal(a[0].targets, b[0].targets)
+
+    def test_validates_fractions(self):
+        ds = ArrayDataset(inputs=np.zeros((10, 1)), targets=np.arange(10.0))
+        with pytest.raises(ValueError):
+            train_valid_test_split(ds, 0.95, 0.1)
+
+
+class TestMinibatches:
+    def test_covers_everything(self):
+        seen = np.concatenate(list(minibatches(10, 3)))
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffles_with_rng(self):
+        ordered = np.concatenate(list(minibatches(20, 5)))
+        shuffled = np.concatenate(list(minibatches(20, 5, rng=3)))
+        assert not np.array_equal(ordered, shuffled)
+        assert sorted(shuffled) == list(range(20))
+
+    def test_batch_sizes(self):
+        batches = list(minibatches(10, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+
+class _MlpRegressor:
+    """Adapter: plain MLP as a TrainableRegressor over 2-D inputs."""
+
+    def __init__(self, seed=0):
+        self.net = Sequential.mlp([3, 16, 1], rng=np.random.default_rng(seed))
+
+    def forward_batch(self, inputs):
+        return self.net.forward(np.asarray(inputs))[:, 0]
+
+    def backward_batch(self, grad):
+        self.net.backward(np.asarray(grad)[:, None])
+
+    def parameters(self):
+        return self.net.parameters()
+
+    def state_dict(self):
+        return self.net.state_dict()
+
+    def load_state_dict(self, state):
+        self.net.load_state_dict(state)
+
+
+def make_dataset(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = x[:, 0] * 2 + np.sin(x[:, 1])
+    return ArrayDataset(inputs=x, targets=y)
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        ds = make_dataset()
+        tr, va, te = train_valid_test_split(ds, seed=0)
+        model = _MlpRegressor()
+        config = TrainConfig(epochs=60, batch_size=32, learning_rate=1e-2)
+        result = Trainer(config).fit(model, tr, va, te, seed=1)
+        assert result.train_losses[-1] < result.train_losses[0] / 2
+        assert result.test_mse < np.var(ds.targets)
+
+    def test_best_validation_weights_kept(self):
+        ds = make_dataset()
+        tr, va, te = train_valid_test_split(ds, seed=0)
+        model = _MlpRegressor()
+        trainer = Trainer(TrainConfig(epochs=30, batch_size=32))
+        result = trainer.fit(model, tr, va, test=None, seed=1)
+        # The loaded weights must reproduce the recorded best valid MSE.
+        assert trainer.evaluate(model, va) == pytest.approx(
+            result.best_valid_mse, rel=1e-6
+        )
+        assert 0 <= result.best_epoch < 30
+
+    def test_no_test_set_gives_nan(self):
+        ds = make_dataset(n=50)
+        tr, va, _ = train_valid_test_split(ds, seed=0)
+        result = Trainer(TrainConfig(epochs=3)).fit(
+            _MlpRegressor(), tr, va, test=None
+        )
+        assert np.isnan(result.test_mse)
+
+    def test_curves_recorded(self):
+        ds = make_dataset(n=60)
+        tr, va, te = train_valid_test_split(ds, seed=0)
+        result = Trainer(TrainConfig(epochs=7)).fit(_MlpRegressor(), tr, va, te)
+        assert len(result.train_losses) == 7
+        assert len(result.valid_losses) == 7
+
+
+class TestSerialize:
+    def test_roundtrip(self, tmp_path):
+        a = _MlpRegressor(seed=1)
+        b = _MlpRegressor(seed=2)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        assert not np.allclose(a.forward_batch(x), b.forward_batch(x))
+        path = tmp_path / "model.npz"
+        save_params(a, path)
+        load_params(b, path)
+        assert np.allclose(a.forward_batch(x), b.forward_batch(x))
+
+    def test_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_params(_MlpRegressor(), path)
+
+    def test_rejects_shape_mismatch(self, tmp_path):
+        class Other(_MlpRegressor):
+            def __init__(self):
+                self.net = Sequential.mlp([3, 8, 1])
+
+        path = tmp_path / "model.npz"
+        save_params(_MlpRegressor(), path)
+        with pytest.raises(ValueError):
+            load_params(Other(), path)

@@ -1,0 +1,297 @@
+"""Tests for the nn additions: Tanh, Dropout, LayerNorm, Huber, clipping.
+
+Every layer's hand-written backward pass is checked against central
+finite differences — the library-wide correctness standard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Dropout,
+    HuberLoss,
+    LayerNorm,
+    Linear,
+    MSELoss,
+    Parameter,
+    Sequential,
+    Tanh,
+    clip_grad_norm,
+)
+
+
+def numerical_input_grad(module, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_out) w.r.t x."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy()
+        xm = x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        fp = float((module.forward(xp) * grad_out).sum())
+        fm = float((module.forward(xm) * grad_out).sum())
+        grad[idx] = (fp - fm) / (2 * eps)
+    return grad
+
+
+class TestTanh:
+    def test_forward_matches_numpy(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_backward_matches_finite_differences(self, rng):
+        x = rng.normal(size=(3, 4))
+        grad_out = rng.normal(size=(3, 4))
+        layer = Tanh()
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numerical_input_grad(Tanh(), x, grad_out)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 1)))
+
+
+class TestDropout:
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(p=-0.1)
+        with pytest.raises(ValueError):
+            Dropout(p=1.0)
+
+    def test_eval_mode_is_identity(self, rng):
+        x = rng.normal(size=(8, 5))
+        layer = Dropout(p=0.5)
+        layer.eval()
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_p_zero_is_identity_in_training(self, rng):
+        x = rng.normal(size=(8, 5))
+        np.testing.assert_array_equal(Dropout(p=0.0).forward(x), x)
+
+    def test_training_mode_zeroes_and_rescales(self):
+        x = np.ones((2000, 10))
+        layer = Dropout(p=0.3, rng=np.random.default_rng(1))
+        y = layer.forward(x)
+        zero_frac = float(np.mean(y == 0.0))
+        assert 0.25 < zero_frac < 0.35  # ~p of activations dropped
+        # Inverted scaling keeps the expectation at 1.
+        assert abs(float(y.mean()) - 1.0) < 0.03
+        survivors = y[y != 0]
+        np.testing.assert_allclose(survivors, 1.0 / 0.7)
+
+    def test_backward_uses_same_mask(self, rng):
+        x = rng.normal(size=(6, 4))
+        layer = Dropout(p=0.5, rng=np.random.default_rng(3))
+        y = layer.forward(x)
+        grad = layer.backward(np.ones_like(y))
+        # Gradient is zero exactly where the forward dropped.
+        np.testing.assert_array_equal(grad == 0.0, y == 0.0)
+
+    def test_deterministic_given_rng(self, rng):
+        x = rng.normal(size=(5, 5))
+        a = Dropout(p=0.4, rng=np.random.default_rng(9)).forward(x)
+        b = Dropout(p=0.4, rng=np.random.default_rng(9)).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLayerNorm:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        with pytest.raises(ValueError):
+            LayerNorm(4, eps=0.0)
+        with pytest.raises(ValueError, match="expected input"):
+            LayerNorm(4).forward(np.ones((2, 5)))
+
+    def test_normalizes_rows(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(6, 16))
+        y = LayerNorm(16).forward(x)
+        np.testing.assert_allclose(y.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(y.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_trainable(self):
+        layer = LayerNorm(8)
+        names = [p.name for p in layer.parameters()]
+        assert len(names) == 2
+
+    def test_input_backward_matches_finite_differences(self, rng):
+        x = rng.normal(size=(3, 6))
+        grad_out = rng.normal(size=(3, 6))
+        layer = LayerNorm(6)
+        layer.gamma.data[:] = rng.normal(size=6)
+        layer.beta.data[:] = rng.normal(size=6)
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+
+        probe = LayerNorm(6)
+        probe.gamma.data[:] = layer.gamma.data
+        probe.beta.data[:] = layer.beta.data
+        numeric = numerical_input_grad(probe, x, grad_out, eps=1e-6)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_parameter_backward_matches_finite_differences(self, rng):
+        x = rng.normal(size=(4, 5))
+        grad_out = rng.normal(size=(4, 5))
+        layer = LayerNorm(5)
+        layer.forward(x)
+        layer.backward(grad_out)
+        eps = 1e-6
+        for param in (layer.gamma, layer.beta):
+            numeric = np.zeros_like(param.data)
+            for i in range(param.data.size):
+                orig = param.data[i]
+                param.data[i] = orig + eps
+                fp = float((layer.forward(x) * grad_out).sum())
+                param.data[i] = orig - eps
+                fm = float((layer.forward(x) * grad_out).sum())
+                param.data[i] = orig
+                numeric[i] = (fp - fm) / (2 * eps)
+            np.testing.assert_allclose(param.grad, numeric, atol=1e-5)
+
+    def test_composes_in_sequential(self, rng):
+        model = Sequential(
+            Linear(4, 8, rng=rng), LayerNorm(8), Tanh(), Linear(8, 1, rng=rng)
+        )
+        x = rng.normal(size=(10, 4))
+        y = model.forward(x)
+        model.backward(np.ones_like(y))
+        assert all(np.isfinite(p.grad).all() for p in model.parameters())
+
+
+class TestHuberLoss:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+        with pytest.raises(ValueError, match="shape"):
+            HuberLoss().forward(np.ones(3), np.ones(4))
+
+    def test_quadratic_inside_delta_matches_half_mse(self, rng):
+        pred = rng.normal(size=20) * 0.1
+        target = np.zeros(20)
+        huber = HuberLoss(delta=10.0).forward(pred, target)
+        half_mse = 0.5 * MSELoss().forward(pred, target)
+        assert huber == pytest.approx(half_mse)
+
+    def test_linear_outside_delta(self):
+        pred = np.array([100.0])
+        target = np.array([0.0])
+        loss = HuberLoss(delta=1.0).forward(pred, target)
+        assert loss == pytest.approx(1.0 * (100.0 - 0.5))
+
+    def test_gradient_bounded_by_delta(self, rng):
+        pred = rng.normal(scale=50.0, size=30)
+        target = np.zeros(30)
+        loss = HuberLoss(delta=2.0)
+        loss.forward(pred, target)
+        grad = loss.backward()
+        assert np.all(np.abs(grad) <= 2.0 / 30 + 1e-12)
+
+    def test_backward_matches_finite_differences(self, rng):
+        pred = rng.normal(scale=3.0, size=12)
+        target = rng.normal(size=12)
+        loss = HuberLoss(delta=1.5)
+        loss.forward(pred, target)
+        analytic = loss.backward()
+        eps = 1e-7
+        numeric = np.zeros_like(pred)
+        for i in range(len(pred)):
+            pp, pm = pred.copy(), pred.copy()
+            pp[i] += eps
+            pm[i] -= eps
+            numeric[i] = (
+                HuberLoss(delta=1.5).forward(pp, target)
+                - HuberLoss(delta=1.5).forward(pm, target)
+            ) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            HuberLoss().backward()
+
+
+class TestClipGradNorm:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.ones(2))], 0.0)
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 1.0)
+
+    def test_no_op_when_under_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad[:] = [0.1, 0.2, 0.2]
+        before = p.grad.copy()
+        norm = clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_array_equal(p.grad, before)
+        assert norm == pytest.approx(0.3)
+
+    def test_scales_to_max_norm(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.zeros(2))
+        p1.grad[:] = [3.0, 0.0]
+        p2.grad[:] = [0.0, 4.0]
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(np.sum(p1.grad**2) + np.sum(p2.grad**2))
+        assert total == pytest.approx(1.0)
+        # Direction preserved.
+        assert p1.grad[0] == pytest.approx(3.0 / 5.0)
+
+    @given(
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        max_norm=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_postcondition_norm_never_exceeds_max(self, scale, max_norm):
+        rng = np.random.default_rng(0)
+        params = [Parameter(np.zeros(4)) for _ in range(3)]
+        for p in params:
+            p.grad[:] = rng.normal(scale=scale, size=4)
+        clip_grad_norm(params, max_norm)
+        total = np.sqrt(sum(np.sum(p.grad**2) for p in params))
+        assert total <= max_norm * (1 + 1e-9)
+
+
+class TestComposedTraining:
+    """End-to-end: the new layers and losses actually train together."""
+
+    def test_dropout_layernorm_huber_mlp_learns(self, rng):
+        from repro.nn import Adam, Dropout, LayerNorm, Linear, ReLU, Sequential
+
+        # Noisy linear ground truth with a few gross outliers.
+        n = 400
+        x = rng.normal(size=(n, 6))
+        w = rng.normal(size=6)
+        y = x @ w + 0.05 * rng.normal(size=n)
+        outliers = rng.choice(n, size=8, replace=False)
+        y[outliers] += rng.normal(scale=50.0, size=8)
+
+        dropout = Dropout(p=0.1, rng=np.random.default_rng(7))
+        model = Sequential(
+            Linear(6, 32, rng=rng), LayerNorm(32), ReLU(), dropout,
+            Linear(32, 1, rng=rng),
+        )
+        loss_fn = HuberLoss(delta=1.0)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        first_loss = None
+        for _ in range(300):
+            pred = model.forward(x)[:, 0]
+            loss = loss_fn.forward(pred, y)
+            if first_loss is None:
+                first_loss = loss
+            optimizer.zero_grad()
+            model.backward(loss_fn.backward()[:, None])
+            clip_grad_norm(model.parameters(), 10.0)
+            optimizer.step()
+        dropout.eval()
+        final_pred = model.forward(x)[:, 0]
+        clean = np.setdiff1d(np.arange(n), outliers)
+        rmse = float(np.sqrt(np.mean((final_pred[clean] - y[clean]) ** 2)))
+        assert loss < first_loss
+        # Robust loss: clean-sample fit is good despite the outliers.
+        assert rmse < 1.0

@@ -1,0 +1,197 @@
+"""Tests for repro.nn.layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Linear, MSELoss, Parameter, ReLU, SegmentSum, Sequential
+
+
+def numeric_gradient(f, param: Parameter, index, eps=1e-6) -> float:
+    orig = param.data[index]
+    param.data[index] = orig + eps
+    up = f()
+    param.data[index] = orig - eps
+    down = f()
+    param.data[index] = orig
+    return (up - down) / (2 * eps)
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert np.all(p.grad == 0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 4)))
+        assert out.shape == (3, 7)
+
+    def test_rejects_wrong_width(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(3, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng=rng).backward(np.zeros((1, 2)))
+
+    def test_gradients_match_numeric(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(6, 5))
+        y = rng.normal(size=(6, 3))
+        loss = MSELoss()
+
+        def run():
+            return loss(layer.forward(x), y)
+
+        run()
+        layer.zero_grad()
+        layer.backward(loss.backward())
+        for index in [(0, 0), (2, 1), (4, 2)]:
+            numeric = numeric_gradient(run, layer.weight, index)
+            assert layer.weight.grad[index] == pytest.approx(numeric, abs=1e-6)
+        numeric_b = numeric_gradient(run, layer.bias, (1,))
+        assert layer.bias.grad[1] == pytest.approx(numeric_b, abs=1e-6)
+
+    def test_input_gradient(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        layer.forward(x)
+        grad_x = layer.backward(np.ones((4, 2)))
+        expected = np.ones((4, 2)) @ layer.weight.data.T
+        assert np.allclose(grad_x, expected)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 3.0]]))
+        grad = relu.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+
+class TestSequential:
+    def test_mlp_builder_layer_count(self, rng):
+        net = Sequential.mlp([4, 8, 8, 1], rng=rng)
+        linears = [m for m in net.modules if isinstance(m, Linear)]
+        relus = [m for m in net.modules if isinstance(m, ReLU)]
+        assert len(linears) == 3
+        assert len(relus) == 2  # no ReLU after the output layer
+
+    def test_mlp_final_activation(self, rng):
+        net = Sequential.mlp([4, 8], rng=rng, final_activation=True)
+        assert isinstance(net.modules[-1], ReLU)
+        out = net.forward(rng.normal(size=(10, 4)))
+        assert np.all(out >= 0)
+
+    def test_end_to_end_gradient(self, rng):
+        net = Sequential.mlp([3, 6, 1], rng=rng)
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(5, 1))
+        loss = MSELoss()
+
+        def run():
+            return loss(net.forward(x), y)
+
+        run()
+        net.zero_grad()
+        net.backward(loss.backward())
+        p = next(net.parameters())
+        numeric = numeric_gradient(run, p, (0, 0))
+        assert p.grad[0, 0] == pytest.approx(numeric, abs=1e-6)
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Sequential.mlp([3, 5, 1], rng=np.random.default_rng(1))
+        b = Sequential.mlp([3, 5, 1], rng=np.random.default_rng(2))
+        x = rng.normal(size=(4, 3))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        a = Sequential.mlp([3, 5, 1], rng=rng)
+        b = Sequential.mlp([3, 4, 1], rng=rng)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_num_parameters(self, rng):
+        net = Sequential.mlp([3, 5, 1], rng=rng)
+        assert net.num_parameters() == 3 * 5 + 5 + 5 * 1 + 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequential()
+
+
+class TestSegmentSum:
+    def test_forward_sums_segments(self, rng):
+        ss = SegmentSum()
+        x = rng.normal(size=(5, 3))
+        segments = np.array([0, 0, 1, 2, 2])
+        out = ss.forward(x, segments, 3)
+        assert np.allclose(out[0], x[:2].sum(axis=0))
+        assert np.allclose(out[1], x[2])
+        assert np.allclose(out[2], x[3:].sum(axis=0))
+
+    def test_empty_segment_is_zero(self, rng):
+        ss = SegmentSum()
+        x = rng.normal(size=(2, 3))
+        out = ss.forward(x, np.array([0, 2]), 3)
+        assert np.allclose(out[1], 0.0)
+
+    def test_backward_scatters(self, rng):
+        ss = SegmentSum()
+        x = rng.normal(size=(4, 2))
+        segments = np.array([1, 0, 1, 1])
+        ss.forward(x, segments, 2)
+        grad_out = rng.normal(size=(2, 2))
+        grad_x = ss.backward(grad_out)
+        assert np.allclose(grad_x, grad_out[segments])
+
+    def test_validation(self, rng):
+        ss = SegmentSum()
+        with pytest.raises(ValueError):
+            ss.forward(rng.normal(size=(3, 2)), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            ss.forward(rng.normal(size=(2, 2)), np.array([0, 5]), 2)
+
+    def test_permutation_invariance_of_sums(self, rng):
+        """Summing a segment is order-invariant — the property that makes
+        the compute cost model permutation-invariant."""
+        ss = SegmentSum()
+        x = rng.normal(size=(6, 4))
+        seg = np.zeros(6, dtype=np.int64)
+        out1 = ss.forward(x, seg, 1)
+        perm = rng.permutation(6)
+        out2 = ss.forward(x[perm], seg, 1)
+        assert np.allclose(out1, out2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=20),
+    segments=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_segment_sum_conserves_mass(rows, segments, seed):
+    rng = np.random.default_rng(seed)
+    ss = SegmentSum()
+    x = rng.normal(size=(rows, 3))
+    seg = rng.integers(0, segments, size=rows)
+    out = ss.forward(x, seg, segments)
+    assert np.allclose(out.sum(axis=0), x.sum(axis=0))

@@ -1,0 +1,70 @@
+"""Tests for repro.plotting (ASCII charts)."""
+
+import math
+
+import pytest
+
+from repro.plotting import ascii_lines, ascii_scatter
+
+
+class TestScatter:
+    def test_basic_render(self):
+        chart = ascii_scatter([1, 2, 3], [1, 4, 9], title="squares")
+        assert chart.startswith("squares")
+        assert chart.count("o") == 3
+        assert "[1.00 .. 3.00]" in chart
+
+    def test_marker_positions_monotone(self):
+        chart = ascii_scatter([0, 10], [0, 10], width=10, height=5)
+        rows = [l for l in chart.splitlines() if l.startswith("|")]
+        # Low point bottom-left, high point top-right.
+        assert rows[0].index("o") > rows[-1].index("o")
+
+    def test_non_finite_points_dropped(self):
+        chart = ascii_scatter([1, 2, math.nan], [1, 2, 3])
+        assert chart.count("o") == 2
+
+    def test_constant_axis_handled(self):
+        chart = ascii_scatter([1, 2, 3], [5, 5, 5])
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1, 2])
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+        with pytest.raises(ValueError):
+            ascii_scatter([1], [1], width=2)
+        with pytest.raises(ValueError):
+            ascii_scatter([math.nan], [1.0])
+
+
+class TestLines:
+    def test_two_series_with_legend(self):
+        chart = ascii_lines(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            x_label="step",
+            y_label="cost",
+        )
+        assert "legend: o=up  x=down" in chart
+        assert "o" in chart and "x" in chart
+        assert "step" in chart and "cost" in chart
+
+    def test_interpolation_fills_columns(self):
+        chart = ascii_lines([0, 10], {"line": [0, 10]}, width=20, height=10)
+        body = [l for l in chart.splitlines() if l.startswith("|")]
+        assert sum(row.count("o") for row in body) >= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_lines([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_lines([1, 2], {"a": [1]})
+        with pytest.raises(ValueError):
+            ascii_lines([1], {"a": [1]})
+        with pytest.raises(ValueError):
+            ascii_lines(
+                [1, 2],
+                {str(i): [1, 2] for i in range(9)},  # more than 8 series
+            )

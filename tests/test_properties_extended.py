@@ -1,0 +1,269 @@
+"""Extended property-based tests and failure injection.
+
+Covers invariants across the newer substrates (hetero comm, topology,
+JSON I/O, linear models) plus adversarial inputs for the persistence
+layers.  Complements ``test_search_properties.py`` (search invariants)
+and the per-module hypothesis tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import LinearComputeCostModel
+from repro.data import load_tasks, save_tasks, table_from_dict, table_to_dict
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+from repro.hardware import (
+    AllToAllModel,
+    EmbeddingKernelModel,
+    HeteroAllToAllModel,
+    HierarchicalAllToAllModel,
+    MemoryModel,
+    TopologySpec,
+    cpu_host,
+    gpu_2080ti,
+    gpu_a100,
+)
+
+BATCH = 2048
+
+# A strategy over legal table configurations (dims are multiples of 4).
+tables_st = st.builds(
+    TableConfig,
+    table_id=st.integers(min_value=0, max_value=10_000),
+    hash_size=st.integers(min_value=1, max_value=10**8),
+    dim=st.sampled_from([4, 8, 16, 32, 64, 128, 256]),
+    pooling_factor=st.floats(min_value=0.01, max_value=200.0),
+    zipf_alpha=st.floats(min_value=0.0, max_value=2.5),
+    bytes_per_element=st.sampled_from([1, 2, 4, 8]),
+)
+
+dims_st = st.lists(
+    st.integers(min_value=0, max_value=4096), min_size=2, max_size=12
+)
+
+
+class TestTableSerializationProperties:
+    @given(table=tables_st)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_is_identity(self, table):
+        encoded = json.dumps(table_to_dict(table))
+        assert table_from_dict(json.loads(encoded)) == table
+
+    @given(table=tables_st)
+    @settings(max_examples=50, deadline=None)
+    def test_task_round_trip_is_identity(self, table, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "tasks.json"
+        task = ShardingTask(
+            tables=(table,), num_devices=2, memory_bytes=1024**4
+        )
+        save_tasks([task], path)
+        assert load_tasks(path) == [task]
+
+
+class TestMemoryModelProperties:
+    @given(tables=st.lists(tables_st, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_device_bytes_additive(self, tables):
+        memory = MemoryModel(1024**3)
+        total = memory.device_bytes(tables)
+        assert total == sum(memory.table_bytes(t) for t in tables)
+
+    @given(table=tables_st.filter(lambda t: t.dim >= 8))
+    @settings(max_examples=60, deadline=None)
+    def test_column_split_never_reduces_footprint(self, table):
+        """Column sharding duplicates the row-wise optimizer state, so
+        the shards' combined footprint is >= the parent's."""
+        memory = MemoryModel(1024**3)
+        a, b = table.halved()
+        assert memory.table_bytes(a) + memory.table_bytes(b) >= (
+            memory.table_bytes(table)
+        )
+
+    @given(table=tables_st.filter(lambda t: t.hash_size >= 2))
+    @settings(max_examples=60, deadline=None)
+    def test_row_split_conserves_rows_and_lookups(self, table):
+        hot, cold = table.row_halved()
+        assert hot.hash_size + cold.hash_size == table.hash_size
+        combined = hot.pooling_factor + cold.pooling_factor
+        # Pooling splits by access mass, floored at 0.01 per shard.
+        assert combined == pytest.approx(table.pooling_factor, abs=0.025)
+
+
+class TestKernelProperties:
+    @given(
+        table=tables_st.filter(lambda t: t.dim <= 128),
+        factor=st.floats(min_value=1.5, max_value=8.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cost_monotone_in_pooling(self, table, factor):
+        kernel = EmbeddingKernelModel(gpu_2080ti())
+        import dataclasses
+
+        heavier = dataclasses.replace(
+            table, pooling_factor=table.pooling_factor * factor
+        )
+        assert kernel.total_ms([heavier], BATCH, noisy=False) > (
+            kernel.total_ms([table], BATCH, noisy=False)
+        )
+
+    @given(table=tables_st.filter(lambda t: 8 <= t.dim <= 256))
+    @settings(max_examples=40, deadline=None)
+    def test_observation1_holds_for_arbitrary_tables(self, table):
+        """Each half-dim shard costs more than half the parent — for any
+        legal table, not just the figures' samples."""
+        kernel = EmbeddingKernelModel(gpu_2080ti())
+        parent = kernel.total_ms([table], BATCH, noisy=False)
+        shard, _ = table.halved()
+        shard_cost = kernel.total_ms([shard], BATCH, noisy=False)
+        assert shard_cost > parent / 2
+
+    @given(tables=st.lists(tables_st, min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_observation2_fused_subadditive(self, tables):
+        kernel = EmbeddingKernelModel(gpu_2080ti())
+        fused = kernel.total_ms(tables, BATCH, noisy=False)
+        singles = kernel.sum_of_single_table_ms(tables, BATCH, noisy=False)
+        assert fused < singles
+
+
+class TestCommProperties:
+    @given(dims=dims_st)
+    @settings(max_examples=60, deadline=None)
+    def test_hetero_matches_flat_on_identical_specs(self, dims):
+        spec = gpu_2080ti()
+        flat = AllToAllModel(spec).measure(dims, BATCH, noisy=False)
+        hetero = HeteroAllToAllModel([spec] * len(dims)).measure(
+            dims, BATCH, noisy=False
+        )
+        np.testing.assert_allclose(flat.costs_ms, hetero.costs_ms, rtol=1e-12)
+
+    @given(dims=dims_st, bump=st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_growing_any_dim_never_reduces_max_cost(self, dims, bump):
+        specs = [gpu_2080ti(), gpu_a100(), cpu_host()] * 4
+        model = HeteroAllToAllModel(specs[: len(dims)])
+        base = model.measure(dims, BATCH, noisy=False).max_cost_ms
+        grown = list(dims)
+        grown[0] += bump
+        bigger = model.measure(grown, BATCH, noisy=False).max_cost_ms
+        assert bigger >= base - 1e-9
+
+    @given(dims=dims_st, node_size=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_topology_costs_finite_and_nonnegative(self, dims, node_size):
+        model = HierarchicalAllToAllModel(
+            topology=TopologySpec(node_size=node_size)
+        )
+        meas = model.measure(dims, BATCH, noisy=False)
+        assert all(np.isfinite(c) and c >= 0 for c in meas.costs_ms)
+
+    @given(
+        dims=dims_st,
+        starts=st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=12
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_barrier_cost_lower_bound(self, dims, starts):
+        """Every device's measured cost is at least its wait for the
+        barrier: completion >= latest start."""
+        n = min(len(dims), len(starts))
+        dims, starts = dims[:n], starts[:n]
+        if n < 2:
+            return
+        model = AllToAllModel(gpu_2080ti())
+        meas = model.measure(dims, BATCH, start_times_ms=starts, noisy=False)
+        barrier = max(starts)
+        for cost, start in zip(meas.costs_ms, starts):
+            assert cost >= barrier - start - 1e-9
+
+
+class TestLinearModelProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_samples=st.integers(min_value=30, max_value=120),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ridge_recovers_linear_ground_truth(self, seed, n_samples):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=5)
+        count_w = float(rng.normal())
+        bias = float(rng.normal())
+        mats = [
+            rng.normal(size=(int(rng.integers(1, 7)), 5))
+            for _ in range(n_samples)
+        ]
+        y = [float(m.sum(axis=0) @ w + count_w * len(m) + bias) for m in mats]
+        model = LinearComputeCostModel(num_features=5, l2=1e-12)
+        model.fit(mats, y)
+        preds = model.predict_many(mats)
+        np.testing.assert_allclose(preds, y, atol=1e-5)
+
+    @given(l2=st.floats(min_value=1e-6, max_value=1e3))
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_finite_for_any_penalty(self, l2):
+        rng = np.random.default_rng(0)
+        mats = [rng.normal(size=(3, 4)) for _ in range(50)]
+        y = rng.normal(size=50)
+        model = LinearComputeCostModel(num_features=4, l2=l2)
+        model.fit(mats, list(y))
+        assert np.all(np.isfinite(model.predict_many(mats[:5])))
+
+
+class TestFailureInjection:
+    def test_bundle_with_corrupted_metadata_rejected(self, tiny_bundle, tmp_path):
+        from repro.costmodel import PretrainedCostModels
+
+        directory = tmp_path / "bundle"
+        tiny_bundle.save(directory)
+        meta = json.loads((directory / "metadata.json").read_text())
+        meta["num_features"] = meta["num_features"] + 3
+        (directory / "metadata.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="feature layout"):
+            PretrainedCostModels.load(directory)
+
+    def test_bundle_with_missing_weights_rejected(self, tiny_bundle, tmp_path):
+        from repro.costmodel import PretrainedCostModels
+
+        directory = tmp_path / "bundle"
+        tiny_bundle.save(directory)
+        (directory / "compute.npz").unlink()
+        with pytest.raises((FileNotFoundError, OSError)):
+            PretrainedCostModels.load(directory)
+
+    def test_tasks_file_with_corrupt_table_rejected(self, tmp_path):
+        task = ShardingTask(
+            tables=(
+                TableConfig(table_id=0, hash_size=10, dim=8,
+                            pooling_factor=1.0, zipf_alpha=0.5),
+            ),
+            num_devices=2,
+            memory_bytes=1024**3,
+        )
+        path = tmp_path / "tasks.json"
+        save_tasks([task], path)
+        data = json.loads(path.read_text())
+        data["tasks"][0]["tables"][0]["hash_size"] = -5
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="hash_size"):
+            load_tasks(path)
+
+    def test_tasks_file_with_truncated_json_rejected(self, tmp_path):
+        path = tmp_path / "tasks.json"
+        path.write_text('{"format": "neuroshard-repro/sharding-tasks", "ver')
+        with pytest.raises(json.JSONDecodeError):
+            load_tasks(path)
+
+    def test_nan_features_do_not_crash_linear_model(self):
+        model = LinearComputeCostModel(num_features=3, l2=1.0)
+        mats = [np.ones((2, 3))] * 10
+        model.fit(mats, [1.0] * 10)
+        pred = model.predict_one(np.full((2, 3), np.nan))
+        assert np.isnan(pred)  # NaN in, NaN out — never a wrong number

@@ -1,0 +1,125 @@
+"""Property-based tests of search invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SearchConfig, TaskConfig
+from repro.core import CostCache, NeuroShardSimulator, beam_search, greedy_grid_search
+from repro.data import generate_tasks
+from repro.hardware.memory import MemoryModel
+
+SEARCH = SearchConfig(top_n=2, beam_width=1, max_steps=2, grid_points=3)
+
+
+def _task(small_pool, seed: int):
+    cfg = TaskConfig(
+        num_devices=2,
+        max_dim=64,
+        min_tables=3,
+        max_tables=8,
+        memory_bytes=2 * 1024**3,
+    )
+    return generate_tasks(small_pool, cfg, count=1, seed=seed)[0]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_grid_search_partitions_and_fits(tiny_bundle, small_pool, seed):
+    task = _task(small_pool, seed)
+    simulator = NeuroShardSimulator(tiny_bundle, CostCache())
+    memory = MemoryModel(task.memory_bytes)
+    result = greedy_grid_search(
+        list(task.tables), 2, simulator, memory, SEARCH
+    )
+    if not result.feasible:
+        return
+    # Every table assigned to exactly one valid device.
+    assert len(result.assignment) == task.num_tables
+    assert all(d in (0, 1) for d in result.assignment)
+    # Memory respected on both devices.
+    per_device_bytes = [0, 0]
+    for table, device in zip(task.tables, result.assignment):
+        per_device_bytes[device] += memory.table_bytes(table)
+    assert all(b <= memory.memory_bytes for b in per_device_bytes)
+    # Reported cost equals the simulator's cost of the assignment.
+    per_device = [[], []]
+    for table, device in zip(task.tables, result.assignment):
+        per_device[device].append(table)
+    assert result.cost_ms == pytest.approx(
+        simulator.plan_cost(per_device).max_cost_ms
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_beam_search_plan_is_legal(tiny_bundle, small_pool, seed):
+    task = _task(small_pool, seed)
+    simulator = NeuroShardSimulator(tiny_bundle, CostCache())
+    memory = MemoryModel(task.memory_bytes)
+    result = beam_search(list(task.tables), 2, simulator, memory, SEARCH)
+    if not result.feasible:
+        return
+    plan = result.plan
+    sharded = plan.sharded_tables(task.tables)
+    # Dimension legality survives all splits.
+    assert all(t.dim % 4 == 0 for t in sharded)
+    # Total dimension is conserved by column splits.
+    assert sum(t.dim for t in sharded) == task.total_dim
+    # The plan's placement fits memory.
+    assert memory.placement_fits(plan.per_device_tables(task.tables))
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_simulator_cost_dominates_compute(tiny_bundle, small_pool, seed):
+    """Plan cost = compute + comm >= compute alone, per device."""
+    task = _task(small_pool, seed)
+    simulator = NeuroShardSimulator(tiny_bundle, CostCache())
+    rng = np.random.default_rng(seed)
+    per_device = [[], []]
+    for table in task.tables:
+        per_device[int(rng.integers(0, 2))].append(table)
+    cost = simulator.plan_cost(per_device)
+    for total, compute in zip(cost.device_costs_ms, cost.compute_ms):
+        assert total >= compute - 1e-9
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_cache_reuse_does_not_change_results(
+    tiny_bundle, small_pool, seed
+):
+    """Searching the same task twice through one lifelong cache gives the
+    same plan and cost as a cold cache."""
+    task = _task(small_pool, seed)
+    memory = MemoryModel(task.memory_bytes)
+
+    cold = beam_search(
+        list(task.tables), 2,
+        NeuroShardSimulator(tiny_bundle, CostCache()), memory, SEARCH,
+    )
+    shared_cache = CostCache()
+    warm_sim = NeuroShardSimulator(tiny_bundle, shared_cache)
+    beam_search(list(task.tables), 2, warm_sim, memory, SEARCH)
+    warm = beam_search(list(task.tables), 2, warm_sim, memory, SEARCH)
+    assert warm.feasible == cold.feasible
+    if cold.feasible:
+        assert warm.cost_ms == pytest.approx(cold.cost_ms, rel=1e-6)

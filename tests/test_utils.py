@@ -1,0 +1,47 @@
+"""Tests for repro.utils (stable hashing / deterministic noise)."""
+
+from repro.utils import (
+    deterministic_normal,
+    deterministic_uniform,
+    stable_hash64,
+)
+
+
+class TestStableHash:
+    def test_same_inputs_same_hash(self):
+        assert stable_hash64("a", 1, (2, 3)) == stable_hash64("a", 1, (2, 3))
+
+    def test_different_inputs_differ(self):
+        assert stable_hash64("a") != stable_hash64("b")
+
+    def test_order_matters(self):
+        assert stable_hash64("a", "b") != stable_hash64("b", "a")
+
+    def test_part_boundaries_are_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert stable_hash64("ab", "c") != stable_hash64("a", "bc")
+
+    def test_returns_64_bit_unsigned(self):
+        h = stable_hash64("x")
+        assert 0 <= h < 2**64
+
+
+class TestDeterministicDraws:
+    def test_normal_is_pure_function(self):
+        assert deterministic_normal("k", 1) == deterministic_normal("k", 1)
+
+    def test_normal_varies_with_key(self):
+        draws = {deterministic_normal("k", i) for i in range(16)}
+        assert len(draws) == 16
+
+    def test_normal_is_roughly_standard(self):
+        draws = [deterministic_normal("stat", i) for i in range(500)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert abs(mean) < 0.15
+        assert 0.7 < var < 1.3
+
+    def test_uniform_in_range(self):
+        draws = [deterministic_uniform("u", i) for i in range(100)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert deterministic_uniform("u", 3) == deterministic_uniform("u", 3)
