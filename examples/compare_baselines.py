@@ -1,17 +1,20 @@
 """Compare every sharding algorithm on one benchmark setting.
 
-Regenerates a single Table 1 column — all nine methods (plus the MILP
-extension) on 4-GPU / max-dimension-128 tasks — and prints the
-paper-style comparison with real measured costs, success rates and
-planning time.
+Regenerates a single Table 1 column — the core search plus the baseline
+families on 4-GPU / max-dimension-128 tasks — and prints the paper-style
+comparison with real measured costs, success rates and planning time.
+
+All methods are resolved by name through the :mod:`repro.api` registry
+and evaluated with :func:`repro.evaluation.evaluate_strategy`; adding an
+algorithm to the comparison is one ``@register_strategy`` away.
 
 Run:  python examples/compare_baselines.py
 """
 
 from repro import (
     ClusterConfig,
-    CollectionConfig,
     NeuroShard,
+    CollectionConfig,
     SimulatedCluster,
     TablePool,
     TaskConfig,
@@ -19,22 +22,28 @@ from repro import (
     generate_tasks,
     synthesize_table_pool,
 )
-from repro.baselines import (
-    AutoShardSharder,
-    DreamShardSharder,
-    GreedySharder,
-    MilpSharder,
-    PlannerSharder,
-    RandomSharder,
-)
 from repro.evaluation import (
-    evaluate_sharder,
+    evaluate_strategy,
     format_text_table,
     improvement_percent,
     strongest_baseline,
 )
 
 NUM_TASKS = 5
+
+#: (registry name, factory kwargs) per compared method.
+METHODS = [
+    ("random", {"seed": 0}),
+    ("size_greedy", {}),
+    ("dim_greedy", {}),
+    ("lookup_greedy", {}),
+    ("size_lookup_greedy", {}),
+    ("autoshard", {"episodes": 20, "seed": 0}),
+    ("rl", {"episodes": 20, "seed": 0}),  # DreamShard-style
+    ("planner", {}),
+    ("milp", {"time_limit_s": 5}),
+    ("beam", {}),  # NeuroShard
+]
 
 
 def main() -> None:
@@ -49,6 +58,7 @@ def main() -> None:
         train=TrainConfig(epochs=200),
         seed=0,
     )
+    bundle = neuroshard.models
 
     tasks = generate_tasks(
         pool,
@@ -56,24 +66,14 @@ def main() -> None:
         count=NUM_TASKS,
         seed=17,
     )
-    methods = [
-        RandomSharder(seed=0),
-        GreedySharder("Size-based"),
-        GreedySharder("Dim-based"),
-        GreedySharder("Lookup-based"),
-        GreedySharder("Size-lookup-based"),
-        AutoShardSharder(neuroshard.models, episodes=20, seed=0),
-        DreamShardSharder(neuroshard.models, episodes=20, seed=0),
-        PlannerSharder(batch_size=cluster.batch_size),
-        MilpSharder(time_limit_s=5),
-        neuroshard,
-    ]
 
     evaluations = {}
-    for method in methods:
-        name = getattr(method, "name", "NeuroShard")
-        print(f"  running {name}...")
-        evaluations[name] = evaluate_sharder(method, tasks, cluster, name=name)
+    for strategy, kwargs in METHODS:
+        print(f"  running {strategy}...")
+        evaluation = evaluate_strategy(
+            strategy, tasks, cluster, bundle=bundle, **kwargs
+        )
+        evaluations[evaluation.method] = evaluation
 
     rows = [
         [

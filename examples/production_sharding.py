@@ -30,6 +30,7 @@ from repro import (
     TrainConfig,
     synthesize_table_pool,
 )
+from repro.api import BundleStore
 from repro.baselines import RandomSharder
 from repro.costmodel import DriftMonitor
 from repro.evaluation import execute_plan
@@ -69,14 +70,18 @@ def main() -> None:
         search=SearchConfig(top_n=6, beam_width=2, max_steps=8, grid_points=7),
         seed=0,
     )
-    checkpoint = Path(tempfile.mkdtemp()) / "cost_models_v1"
-    sharder.models.save(checkpoint)
-    print(f"saved bundle to {checkpoint}")
+    store = BundleStore(Path(tempfile.mkdtemp()) / "bundles")
+    info = store.save(
+        sharder.models,
+        "prod-8gpu",
+        metadata={"test_mse": report.test_mse_rows()},
+    )
+    print(f"saved bundle {info.version_tag} to {info.path}")
 
-    # --- 2. reload and shard ------------------------------------------
-    deployed = NeuroShard.from_directory(
-        checkpoint, search=SearchConfig(top_n=6, beam_width=2, max_steps=8,
-                                        grid_points=7)
+    # --- 2. reload (latest version) and shard -------------------------
+    deployed = NeuroShard(
+        store.load("prod-8gpu"),
+        search=SearchConfig(top_n=6, beam_width=2, max_steps=8, grid_points=7),
     )
     task = make_production_task(pool)
     print(f"\nproduction task: {task.num_tables} tables, "

@@ -1,14 +1,15 @@
-"""Quickstart: pre-train cost models and shard a task in ~1 minute.
+"""Quickstart: pre-train cost models and serve sharding requests.
 
-Walks the full NeuroShard pipeline (paper Figure 6) at a small scale:
+Walks the full NeuroShard pipeline (paper Figure 6) at a small scale,
+through the service API every caller in this repository uses:
 
 1. synthesize the table pool (the ``dlrm_datasets`` stand-in),
 2. micro-benchmark random inputs on the simulated cluster and pre-train
    the three neural cost models,
-3. search for the best column-wise + table-wise sharding plan of an
-   unseen task,
-4. execute the plan on the simulated hardware and compare against a
-   naive baseline.
+3. stand up a :class:`repro.api.ShardingEngine` on the bundle and answer
+   a :class:`repro.api.ShardingRequest` with the beam-search strategy,
+4. execute the plan on the simulated hardware and compare against the
+   dim-greedy baseline — served by the same engine, same request.
 
 Run:  python examples/quickstart.py
 """
@@ -25,7 +26,7 @@ from repro import (
     generate_tasks,
     synthesize_table_pool,
 )
-from repro.baselines import GreedySharder
+from repro.api import ShardingEngine, ShardingRequest
 from repro.evaluation import execute_plan
 
 
@@ -42,37 +43,41 @@ def main() -> None:
         pool,
         collection=CollectionConfig(num_compute_samples=3000, num_comm_samples=1000),
         train=TrainConfig(epochs=150),
-        search=SearchConfig(),  # the paper's N=10, K=3, L=10, M=11
         seed=0,
     )
     for name, mse in report.test_mse_rows().items():
         print(f"  {name:24s} test MSE = {mse:.3f} ms^2")
 
-    # --- 3. shard an unseen task -------------------------------------
+    # --- 3. serve an unseen task through the engine ------------------
+    engine = ShardingEngine(
+        cluster,
+        sharder.models,
+        search=SearchConfig(),  # the paper's N=10, K=3, L=10, M=11
+    )
     task = generate_tasks(
         pool, TaskConfig(num_devices=4, max_dim=128), count=1, seed=42
     )[0]
     print(f"\ntask: {task.num_tables} tables, max dim {task.max_dim}, "
           f"{task.total_size_bytes / 1024**3:.1f} GB total")
-    result = sharder.shard(task)
-    plan = result.plan
+    response = engine.shard(ShardingRequest(task, strategy="beam"))
+    plan = response.plan
     print(f"NeuroShard plan: {plan.num_splits} column splits, "
-          f"searched in {result.sharding_time_s:.1f}s "
-          f"(cache hit rate {result.cache_hit_rate:.0%})")
+          f"searched in {response.sharding_time_s:.1f}s "
+          f"(cache hit rate {response.cache_hit_rate:.0%})")
     print(f"  device dims: {plan.device_dims(task.tables)}")
 
     # --- 4. execute on the (simulated) hardware ---------------------
     execution = execute_plan(plan, task, cluster)
     print(f"  real max-device embedding cost: {execution.max_cost_ms:.2f} ms "
-          f"(simulated: {result.simulated_cost_ms:.2f} ms)")
+          f"(simulated: {response.simulated_cost_ms:.2f} ms)")
 
-    baseline_plan = GreedySharder("Dim-based").shard(task)
-    if baseline_plan is None:
+    baseline = engine.shard(ShardingRequest(task, strategy="dim_greedy"))
+    if not baseline.feasible:
         print("dim-greedy baseline: cannot shard this task (out of memory)")
     else:
-        baseline = execute_plan(baseline_plan, task, cluster)
-        print(f"dim-greedy baseline cost: {baseline.max_cost_ms:.2f} ms "
-              f"({(baseline.max_cost_ms / execution.max_cost_ms - 1) * 100:+.1f}% "
+        base_exec = execute_plan(baseline.plan, task, cluster)
+        print(f"dim-greedy baseline cost: {base_exec.max_cost_ms:.2f} ms "
+              f"({(base_exec.max_cost_ms / execution.max_cost_ms - 1) * 100:+.1f}% "
               "vs NeuroShard)")
 
 

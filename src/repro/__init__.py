@@ -1,24 +1,31 @@
 """NeuroShard reproduction: "Pre-train, and Search" embedding-table
 sharding with pre-trained neural cost models (Zha et al., MLSys 2023).
 
-Quickstart::
+Quickstart — pre-train once, then serve any strategy through the
+:mod:`repro.api` engine::
 
     from repro import (
         ClusterConfig, NeuroShard, SimulatedCluster, TablePool, TaskConfig,
         generate_tasks, synthesize_table_pool,
     )
+    from repro.api import ShardingEngine, ShardingRequest
 
     pool = TablePool(synthesize_table_pool(seed=0))
     cluster = SimulatedCluster(ClusterConfig(num_devices=4))
     sharder, report = NeuroShard.pretrain(cluster, pool, seed=0)
 
-    task = generate_tasks(pool, TaskConfig(num_devices=4, max_dim=128),
-                          count=1, seed=1)[0]
-    result = sharder.shard(task)
-    per_device = result.plan.per_device_tables(task.tables)
+    engine = ShardingEngine(cluster, sharder.models)
+    tasks = generate_tasks(pool, TaskConfig(num_devices=4, max_dim=128),
+                           count=8, seed=1)
+    response = engine.shard(ShardingRequest(tasks[0]))       # beam search
+    batch = engine.shard_batch(
+        [ShardingRequest(t) for t in tasks], max_workers=4)  # concurrent
+    roster = engine.compare(ShardingRequest(tasks[0]))       # vs baselines
+
+    per_device = response.plan.per_device_tables(tasks[0].tables)
     print(cluster.evaluate_plan(per_device).max_cost_ms)
 
-Package map — see DESIGN.md for the full inventory:
+Package map — see README.md for the full inventory:
 
 - :mod:`repro.data` — tables, synthetic pool, augmentation, tasks.
 - :mod:`repro.hardware` — the simulated multi-GPU ground truth.
@@ -26,6 +33,9 @@ Package map — see DESIGN.md for the full inventory:
 - :mod:`repro.costmodel` — featurization, cost models, pre-training.
 - :mod:`repro.core` — plans, cache, beam + greedy grid search, facade.
 - :mod:`repro.baselines` — random/greedy/RL/planner/MILP/SurCo comparators.
+- :mod:`repro.api` — the service layer: strategy registry, versioned
+  request/response schema, :class:`~repro.api.engine.ShardingEngine`,
+  :class:`~repro.api.store.BundleStore`.
 - :mod:`repro.evaluation` — the paper's evaluation protocol + plan
   analysis.
 - :mod:`repro.extensions` — the paper's future-work list, implemented
@@ -58,7 +68,7 @@ from repro.hardware import (
     TopologySpec,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,69 @@
+"""The service API: registry-driven sharding behind one engine.
+
+This package is the stable public surface of the reproduction.  Instead
+of one constructor per algorithm, every sharding strategy registers in a
+:mod:`~repro.api.registry` and is served by a
+:class:`~repro.api.engine.ShardingEngine` with uniform
+:class:`~repro.api.schema.ShardingRequest` /
+:class:`~repro.api.schema.ShardingResponse` types::
+
+    from repro.api import BundleStore, ShardingEngine, ShardingRequest
+
+    store = BundleStore("bundles/")
+    engine = ShardingEngine(cluster, store.load("prod-4gpu"))
+    response = engine.shard(ShardingRequest(task))            # NeuroShard
+    batch = engine.shard_batch(
+        [ShardingRequest(t, strategy="beam") for t in tasks], max_workers=4
+    )
+    roster = engine.compare(ShardingRequest(task))            # vs baselines
+
+Modules:
+
+- :mod:`~repro.api.registry` — ``@register_strategy`` + ``make_sharder``.
+- :mod:`~repro.api.strategies` — the built-in registrations.
+- :mod:`~repro.api.schema` — versioned request/response dataclasses.
+- :mod:`~repro.api.engine` — single/batched/compare serving.
+- :mod:`~repro.api.store` — versioned cost-model bundle storage.
+"""
+
+from repro.api.registry import (
+    StrategyInfo,
+    UnknownStrategyError,
+    all_names,
+    available_strategies,
+    iter_strategies,
+    make_sharder,
+    register_strategy,
+    strategy_info,
+)
+from repro.api import strategies as _strategies  # noqa: F401 — populates registry
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    PlanOverTables,
+    ShardingRequest,
+    ShardingResponse,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.api.engine import ShardingEngine
+from repro.api.store import BundleInfo, BundleStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BundleInfo",
+    "BundleStore",
+    "PlanOverTables",
+    "ShardingEngine",
+    "ShardingRequest",
+    "ShardingResponse",
+    "StrategyInfo",
+    "UnknownStrategyError",
+    "all_names",
+    "available_strategies",
+    "iter_strategies",
+    "make_sharder",
+    "plan_from_dict",
+    "plan_to_dict",
+    "register_strategy",
+    "strategy_info",
+]

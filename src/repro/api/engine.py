@@ -1,0 +1,313 @@
+"""The sharding service: one engine, every strategy, batched serving.
+
+:class:`ShardingEngine` owns the deployment context — a cluster shape, an
+optional pre-trained cost-model bundle, and a shared (optionally
+LRU-bounded) :class:`~repro.core.cache.CostCache` — and answers
+:class:`~repro.api.schema.ShardingRequest`s with uniform
+:class:`~repro.api.schema.ShardingResponse`s, whichever registered
+strategy serves them:
+
+- :meth:`ShardingEngine.shard` — answer one request;
+- :meth:`ShardingEngine.shard_batch` — answer many concurrently on a
+  thread pool, preserving request order and sequential-identical
+  results;
+- :meth:`ShardingEngine.compare` — answer one task with several
+  strategies side by side.
+
+Uniform diagnostics: strategies that return a bare
+:class:`~repro.core.plan.ShardingPlan` (every baseline) get their plan
+scored on the engine's cost-model simulator, so ``simulated_cost_ms`` is
+comparable across strategies; strategies that report their own search
+diagnostics (NeuroShard's :class:`~repro.core.sharder.ShardingResult`)
+pass them through.
+
+Determinism: results are independent of batch interleaving.  Strategies
+whose ``shard()`` mutates internal state (random, the RL baselines) are
+rebuilt fresh per request; everything else is constructed once and
+reused.  The shared cache memoizes deterministic model predictions, so
+its contents never change a plan or cost — only speed.  It backs the
+engine's uniform plan scoring; the core search strategies use fresh
+per-request caches by default (keeping reported hit rates
+order-independent) and share the engine's cache when constructed with
+``strategy_kwargs={"beam": {"lifelong_cache": True}}`` — the paper's
+lifelong hash map, whose per-request hit rates then depend on serving
+order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping, Sequence
+
+from repro.api.registry import available_strategies, make_sharder, strategy_info
+from repro.api.schema import PlanOverTables, ShardingRequest, ShardingResponse
+from repro.config import SearchConfig
+from repro.core.cache import CostCache
+from repro.core.plan import ShardingPlan
+from repro.core.sharder import ShardingResult
+from repro.core.simulator import NeuroShardSimulator
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.hardware.cluster import SimulatedCluster
+
+__all__ = ["ShardingEngine"]
+
+#: Strategies `compare` runs when none are named: cheap, construction-
+#: argument-free, spanning the core search and the baseline families.
+_DEFAULT_COMPARE = (
+    "beam",
+    "size_greedy",
+    "dim_greedy",
+    "lookup_greedy",
+    "size_lookup_greedy",
+    "planner",
+    "milp",
+    "random",
+)
+
+
+class ShardingEngine:
+    """Serve sharding requests with any registered strategy.
+
+    Args:
+        cluster: deployment cluster (device count, memory, batch size).
+        bundle: pre-trained cost models; required to serve cost-model-
+            driven strategies and to score baseline plans uniformly.
+        search: default search hyperparameters for the core strategies.
+        default_strategy: served when a request names no strategy
+            (``"beam"`` with a bundle, ``"dim_greedy"`` without).
+        strategy_kwargs: per-strategy construction keywords, e.g.
+            ``{"milp": {"time_limit_s": 2.0}, "guided": {"policy": p}}``.
+        cache_max_entries: LRU bound of the engine's shared cost cache
+            (``None`` keeps the paper's unbounded lifelong hash map).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        bundle: PretrainedCostModels | None = None,
+        *,
+        search: SearchConfig | None = None,
+        default_strategy: str | None = None,
+        strategy_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
+        cache_max_entries: int | None = None,
+    ) -> None:
+        if bundle is not None and bundle.num_devices != cluster.num_devices:
+            raise ValueError(
+                f"bundle was pre-trained for {bundle.num_devices} devices "
+                f"but the cluster has {cluster.num_devices}"
+            )
+        self.cluster = cluster
+        self.bundle = bundle
+        self.search = search
+        self.default_strategy = default_strategy or (
+            "beam" if bundle is not None else "dim_greedy"
+        )
+        # Normalize alias keys (e.g. "neuroshard") to canonical names;
+        # unknown keys fail fast instead of being silently ignored.
+        self.strategy_kwargs = {
+            strategy_info(name).name: dict(kwargs)
+            for name, kwargs in (strategy_kwargs or {}).items()
+        }
+        self.cache = CostCache(max_entries=cache_max_entries)
+        self._simulator = (
+            NeuroShardSimulator(bundle, self.cache) if bundle is not None else None
+        )
+        self._sharders: dict[str, Any] = {}
+        self._sharders_lock = threading.Lock()
+        # Fail fast on an unknown default.
+        strategy_info(self.default_strategy)
+
+    # ------------------------------------------------------------------
+    # strategy management
+    # ------------------------------------------------------------------
+
+    def available(self) -> list[str]:
+        """Canonical strategy names this engine can serve right now."""
+        return [
+            name
+            for name in available_strategies()
+            if self.bundle is not None or not strategy_info(name).needs_bundle
+        ]
+
+    def _construction_kwargs(self, name: str) -> dict[str, Any]:
+        info = strategy_info(name)
+        kwargs = dict(self.strategy_kwargs.get(info.name, {}))
+        if info.category == "core":
+            if self.search is not None:
+                kwargs.setdefault("search", self.search)
+            # Offered to core strategies as their lifelong cache; only
+            # used when the caller opts into lifelong_cache=True.
+            kwargs.setdefault("cache", self.cache)
+        return kwargs
+
+    def sharder_for(
+        self, name: str, options: Mapping[str, Any] | None = None
+    ):
+        """Resolve the serving sharder for one strategy.
+
+        Stateful strategies and per-request option overrides get a fresh
+        instance; everything else is memoized per strategy name.
+        """
+        options = options or {}
+        info = strategy_info(name)
+        kwargs = self._construction_kwargs(name)
+        if options:
+            kwargs.update(options)
+            return make_sharder(
+                info.name, cluster=self.cluster, bundle=self.bundle, **kwargs
+            )
+        if info.stateful:
+            return make_sharder(
+                info.name, cluster=self.cluster, bundle=self.bundle, **kwargs
+            )
+        with self._sharders_lock:
+            if info.name not in self._sharders:
+                self._sharders[info.name] = make_sharder(
+                    info.name, cluster=self.cluster, bundle=self.bundle, **kwargs
+                )
+            return self._sharders[info.name]
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def shard(self, request: ShardingRequest) -> ShardingResponse:
+        """Answer one sharding request.
+
+        Strategy exceptions are contained: the response carries the
+        message in ``error`` and reports the task infeasible.
+        """
+        name = request.strategy or self.default_strategy
+        canonical = name
+        started = time.perf_counter()
+        try:
+            canonical = strategy_info(name).name
+            sharder = self.sharder_for(name, request.options)
+            raw = sharder.shard(request.task)
+        except Exception as exc:  # noqa: BLE001 — service boundary
+            return ShardingResponse(
+                request_id=request.request_id,
+                strategy=canonical,
+                feasible=False,
+                plan=None,
+                simulated_cost_ms=math.inf,
+                sharding_time_s=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        elapsed = time.perf_counter() - started
+        return self._normalize(request, canonical, raw, elapsed)
+
+    def _normalize(
+        self,
+        request: ShardingRequest,
+        strategy: str,
+        raw: object,
+        elapsed: float,
+    ) -> ShardingResponse:
+        """Lift any strategy return type into the response schema."""
+        if isinstance(raw, ShardingResult):
+            return ShardingResponse(
+                request_id=request.request_id,
+                strategy=strategy,
+                feasible=raw.feasible,
+                plan=raw.plan if raw.feasible else None,
+                simulated_cost_ms=raw.simulated_cost_ms,
+                sharding_time_s=elapsed,
+                cache_hit_rate=raw.cache_hit_rate,
+                evaluations=raw.evaluations,
+            )
+        if raw is None:
+            return ShardingResponse(
+                request_id=request.request_id,
+                strategy=strategy,
+                feasible=False,
+                plan=None,
+                simulated_cost_ms=math.inf,
+                sharding_time_s=elapsed,
+            )
+        if isinstance(raw, ShardingPlan):
+            return ShardingResponse(
+                request_id=request.request_id,
+                strategy=strategy,
+                feasible=True,
+                plan=raw,
+                simulated_cost_ms=self._simulate(raw, request.task.tables),
+                sharding_time_s=elapsed,
+            )
+        if isinstance(raw, PlanOverTables):
+            rewritten = raw.tables != request.task.tables
+            return ShardingResponse(
+                request_id=request.request_id,
+                strategy=strategy,
+                feasible=True,
+                plan=raw.plan,
+                simulated_cost_ms=self._simulate(raw.plan, raw.tables),
+                sharding_time_s=elapsed,
+                effective_tables=raw.tables if rewritten else None,
+            )
+        raise TypeError(
+            f"strategy {strategy!r} returned {type(raw).__name__}; expected "
+            "ShardingPlan, PlanOverTables, ShardingResult or None"
+        )
+
+    def _simulate(self, plan: ShardingPlan, tables) -> float:
+        """Score a plan on the engine's cost models (nan without them)."""
+        if self._simulator is None:
+            return math.nan
+        per_device = plan.per_device_tables(tables)
+        return self._simulator.plan_cost(per_device).max_cost_ms
+
+    def shard_batch(
+        self,
+        requests: Sequence[ShardingRequest],
+        max_workers: int = 4,
+    ) -> list[ShardingResponse]:
+        """Answer many requests concurrently, in request order.
+
+        Responses are identical to sequential :meth:`shard` calls except
+        for wall-clock timing (see
+        :meth:`~repro.api.schema.ShardingResponse.deterministic_dict`).
+        """
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        requests = list(requests)
+        if max_workers == 1 or len(requests) <= 1:
+            return [self.shard(r) for r in requests]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.shard, requests))
+
+    def compare(
+        self,
+        request: ShardingRequest,
+        strategies: Sequence[str] | None = None,
+    ) -> list[ShardingResponse]:
+        """Answer one task with several strategies, in the given order.
+
+        Args:
+            request: the task to compare on (its own ``strategy`` field
+                is ignored).
+            strategies: names to run; defaults to the cheap construction-
+                argument-free roster this engine can serve.
+        """
+        if strategies is None:
+            available = set(self.available())
+            strategies = [s for s in _DEFAULT_COMPARE if s in available]
+        return [self.shard(request.with_strategy(name)) for name in strategies]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, float | int]:
+        """Shared-cache statistics of this engine process."""
+        return {
+            "entries": len(self.cache),
+            "max_entries": self.cache.max_entries,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "evictions": self.cache.evictions,
+            "hit_rate": self.cache.hit_rate,
+        }

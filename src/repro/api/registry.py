@@ -1,0 +1,200 @@
+"""The strategy registry: one namespace for every sharding algorithm.
+
+Every algorithm in the repository — NeuroShard's beam search, the
+greedy-grid ablation, the six baseline families, and the extension
+sharders — registers a *factory* under a short name.  A factory builds a
+:class:`~repro.baselines.base.Sharder` from the deployment context (the
+cluster and, when the algorithm is cost-model-driven, a pre-trained
+bundle) plus strategy-specific keyword arguments.
+
+Call :func:`make_sharder` to construct by name, or go through
+:class:`repro.api.engine.ShardingEngine`, which adds uniform
+request/response handling, batching and comparison on top.
+
+Registering a new algorithm is one decorator::
+
+    @register_strategy(
+        "my_algo",
+        description="what it does",
+        category="extension",
+        needs_bundle=True,
+    )
+    def _make_my_algo(cluster, bundle, **kwargs):
+        return MyAlgoSharder(bundle, **kwargs)
+
+The built-in registrations live in :mod:`repro.api.strategies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.hardware.cluster import SimulatedCluster
+
+__all__ = [
+    "StrategyInfo",
+    "UnknownStrategyError",
+    "available_strategies",
+    "make_sharder",
+    "register_strategy",
+    "strategy_info",
+]
+
+#: Factory signature: ``(cluster, bundle, **kwargs) -> Sharder``.
+StrategyFactory = Callable[..., Any]
+
+
+class UnknownStrategyError(ValueError):
+    """Raised when a strategy name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Registry record of one sharding algorithm.
+
+    Attributes:
+        name: canonical registry name.
+        factory: builds the sharder from ``(cluster, bundle, **kwargs)``.
+        description: one-line summary for listings and docs.
+        category: ``"core"``, ``"baseline"`` or ``"extension"``.
+        needs_bundle: the factory requires a pre-trained cost-model
+            bundle (``make_sharder`` fails fast without one).
+        stateful: ``shard()`` mutates internal state (e.g. advances an
+            RNG stream), so the engine builds a fresh instance per
+            request to keep batch and sequential serving identical.
+        aliases: alternative names resolving to this strategy.
+    """
+
+    name: str
+    factory: StrategyFactory
+    description: str
+    category: str
+    needs_bundle: bool = False
+    stateful: bool = False
+    aliases: tuple[str, ...] = field(default=())
+
+
+_REGISTRY: dict[str, StrategyInfo] = {}
+_ALIASES: dict[str, str] = {}
+
+_CATEGORIES = ("core", "baseline", "extension")
+
+
+def register_strategy(
+    name: str,
+    *,
+    description: str,
+    category: str,
+    needs_bundle: bool = False,
+    stateful: bool = False,
+    aliases: tuple[str, ...] = (),
+) -> Callable[[StrategyFactory], StrategyFactory]:
+    """Decorator registering a sharder factory under ``name``.
+
+    Raises:
+        ValueError: on duplicate names/aliases or an unknown category.
+    """
+    if category not in _CATEGORIES:
+        raise ValueError(
+            f"category must be one of {_CATEGORIES}, got {category!r}"
+        )
+
+    def decorator(factory: StrategyFactory) -> StrategyFactory:
+        for key in (name, *aliases):
+            if key in _REGISTRY or key in _ALIASES:
+                raise ValueError(f"strategy name {key!r} already registered")
+        _REGISTRY[name] = StrategyInfo(
+            name=name,
+            factory=factory,
+            description=description,
+            category=category,
+            needs_bundle=needs_bundle,
+            stateful=stateful,
+            aliases=tuple(aliases),
+        )
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return factory
+
+    return decorator
+
+
+def _resolve(name: str) -> StrategyInfo:
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise UnknownStrategyError(
+            f"unknown sharding strategy {name!r}; available strategies: "
+            f"{known}"
+        ) from None
+
+
+def strategy_info(name: str) -> StrategyInfo:
+    """Look up a strategy (or alias) record.
+
+    Raises:
+        UnknownStrategyError: when the name is not registered.
+    """
+    return _resolve(name)
+
+
+def available_strategies(category: str | None = None) -> list[str]:
+    """Sorted canonical strategy names, optionally filtered by category."""
+    names = [
+        info.name
+        for info in _REGISTRY.values()
+        if category is None or info.category == category
+    ]
+    return sorted(names)
+
+
+def iter_strategies() -> Iterator[StrategyInfo]:
+    """All registered strategies in name order."""
+    for name in available_strategies():
+        yield _REGISTRY[name]
+
+
+def all_names() -> list[str]:
+    """Every resolvable name: canonical names plus aliases, sorted."""
+    return sorted(set(_REGISTRY) | set(_ALIASES))
+
+
+def make_sharder(
+    name: str,
+    *,
+    cluster: SimulatedCluster,
+    bundle: PretrainedCostModels | None = None,
+    **kwargs: Any,
+):
+    """Construct the sharder registered under ``name``.
+
+    Args:
+        name: a canonical strategy name or alias (see
+            :func:`available_strategies`).
+        cluster: the deployment cluster (device count, memory, batch
+            size) the sharder plans for.
+        bundle: pre-trained cost models; required by cost-model-driven
+            strategies (``strategy_info(name).needs_bundle``).
+        **kwargs: strategy-specific options forwarded to the factory.
+
+    Raises:
+        UnknownStrategyError: when ``name`` is not registered.
+        ValueError: when the strategy needs a bundle and none was given,
+            or when the bundle's device count mismatches the cluster's.
+    """
+    info = _resolve(name)
+    if info.needs_bundle and bundle is None:
+        raise ValueError(
+            f"strategy {info.name!r} needs a pre-trained cost-model bundle; "
+            "pass bundle=... (see PretrainedCostModels / BundleStore)"
+        )
+    if bundle is not None and bundle.num_devices != cluster.num_devices:
+        raise ValueError(
+            f"bundle was pre-trained for {bundle.num_devices} devices but "
+            f"the cluster has {cluster.num_devices}"
+        )
+    return info.factory(cluster=cluster, bundle=bundle, **kwargs)

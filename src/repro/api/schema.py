@@ -1,0 +1,244 @@
+"""Stable request/response dataclasses of the service API.
+
+:class:`ShardingRequest` and :class:`ShardingResponse` are the wire types
+of :class:`repro.api.engine.ShardingEngine`: every strategy — NeuroShard
+beam search, the heuristic/learned baselines, the extensions — answers
+the same request shape with the same response shape, so callers (CLI,
+evaluation harness, batch servers) never special-case an algorithm.
+
+The response generalizes :class:`repro.core.sharder.ShardingResult`
+(feasibility, plan, simulated cost, timing, cache statistics) and adds
+the strategy name, a request correlation id, and an error field for
+strategies that raise instead of returning.
+
+Both types round-trip through versioned JSON dictionaries
+(:meth:`to_dict` / :meth:`from_dict`); ``SCHEMA_VERSION`` is bumped on
+incompatible layout changes and checked on load, so stale payloads fail
+loudly instead of deserializing garbage.  Non-finite floats (the
+infeasible-plan ``inf`` cost) map to ``None`` in JSON and back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, NamedTuple
+
+from repro.core.plan import ShardingPlan
+from repro.data.io import table_from_dict, table_to_dict
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PlanOverTables",
+    "ShardingRequest",
+    "ShardingResponse",
+    "plan_from_dict",
+    "plan_to_dict",
+]
+
+
+class PlanOverTables(NamedTuple):
+    """A strategy's plan plus the table list it indexes.
+
+    Strategies that rewrite the task's tables before planning (row-wise
+    pre-processing splits oversized tables) return this instead of a bare
+    plan, so the engine can score and report the plan against the list it
+    actually applies to (``ShardingResponse.effective_tables``).
+    """
+
+    plan: ShardingPlan
+    tables: tuple[TableConfig, ...]
+
+#: Version tag embedded in every serialized request/response.
+SCHEMA_VERSION = 1
+
+
+def plan_to_dict(plan: ShardingPlan) -> dict[str, Any]:
+    """Serialize a plan to plain JSON types."""
+    return {
+        "column_plan": list(plan.column_plan),
+        "assignment": list(plan.assignment),
+        "num_devices": plan.num_devices,
+    }
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> ShardingPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    return ShardingPlan(
+        column_plan=tuple(int(i) for i in data["column_plan"]),
+        assignment=tuple(int(d) for d in data["assignment"]),
+        num_devices=int(data["num_devices"]),
+    )
+
+
+def _check_version(data: Mapping[str, Any], kind: str) -> None:
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{kind} payload has schema version {version!r}, this code "
+            f"reads {SCHEMA_VERSION}"
+        )
+
+
+def _to_finite(value: float) -> float | None:
+    """JSON-safe float: non-finite values become ``None``."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _from_finite(value: float | None, default: float) -> float:
+    return default if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class ShardingRequest:
+    """One sharding question posed to the engine.
+
+    Attributes:
+        task: the sharding problem (tables, device count, memory budget).
+        strategy: registry name of the algorithm to answer with; ``None``
+            uses the engine's default strategy.
+        request_id: caller-chosen correlation id, echoed in the response.
+        options: per-request strategy keyword overrides, merged over the
+            engine's construction-time ``strategy_kwargs``.
+    """
+
+    task: ShardingTask
+    strategy: str | None = None
+    request_id: str = ""
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_strategy(self, strategy: str) -> "ShardingRequest":
+        """Copy of this request targeting another strategy."""
+        return replace(self, strategy=strategy)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "strategy": self.strategy,
+            "options": dict(self.options),
+            "task": {
+                "task_id": self.task.task_id,
+                "num_devices": self.task.num_devices,
+                "memory_bytes": self.task.memory_bytes,
+                "tables": [table_to_dict(t) for t in self.task.tables],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardingRequest":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "request")
+        task_data = data["task"]
+        task = ShardingTask(
+            tables=tuple(table_from_dict(t) for t in task_data["tables"]),
+            num_devices=int(task_data["num_devices"]),
+            memory_bytes=int(task_data["memory_bytes"]),
+            task_id=int(task_data.get("task_id", 0)),
+        )
+        return cls(
+            task=task,
+            strategy=data.get("strategy"),
+            request_id=str(data.get("request_id", "")),
+            options=dict(data.get("options", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ShardingResponse:
+    """Uniform answer of any strategy to a :class:`ShardingRequest`.
+
+    Attributes:
+        request_id: echo of the request's correlation id.
+        strategy: registry name that produced this answer.
+        feasible: a memory-legal plan was found.
+        plan: the plan (``None`` when infeasible or on error).
+        simulated_cost_ms: the cost models' estimate of the plan's
+            embedding cost (``nan`` when no bundle can score the plan,
+            ``inf`` when infeasible).
+        sharding_time_s: wall-clock planning time.
+        cache_hit_rate: computation-cost cache hit rate of the search
+            (0.0 for strategies that do not use the cache).
+        evaluations: inner-loop invocations (0 when not reported).
+        error: diagnostic message when the strategy raised; a response
+            with an error is always infeasible.
+        effective_tables: when set, the plan indexes this table list
+            instead of the request task's (strategies that rewrite the
+            task first, e.g. row-wise splitting of oversized tables).
+    """
+
+    request_id: str
+    strategy: str
+    feasible: bool
+    plan: ShardingPlan | None
+    simulated_cost_ms: float
+    sharding_time_s: float
+    cache_hit_rate: float = 0.0
+    evaluations: int = 0
+    error: str | None = None
+    effective_tables: tuple[TableConfig, ...] | None = None
+
+    def plan_tables(self, task: ShardingTask) -> tuple[TableConfig, ...]:
+        """The table list :attr:`plan` assigns, for ``task``."""
+        return self.effective_tables or task.tables
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "strategy": self.strategy,
+            "feasible": self.feasible,
+            "plan": None if self.plan is None else plan_to_dict(self.plan),
+            "simulated_cost_ms": _to_finite(self.simulated_cost_ms),
+            "sharding_time_s": float(self.sharding_time_s),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "evaluations": int(self.evaluations),
+            "error": self.error,
+            "effective_tables": (
+                None
+                if self.effective_tables is None
+                else [table_to_dict(t) for t in self.effective_tables]
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardingResponse":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "response")
+        plan_data = data.get("plan")
+        feasible = bool(data["feasible"])
+        tables_data = data.get("effective_tables")
+        return cls(
+            request_id=str(data.get("request_id", "")),
+            strategy=str(data["strategy"]),
+            feasible=feasible,
+            plan=None if plan_data is None else plan_from_dict(plan_data),
+            simulated_cost_ms=_from_finite(
+                data.get("simulated_cost_ms"),
+                math.inf if not feasible else math.nan,
+            ),
+            sharding_time_s=float(data.get("sharding_time_s", 0.0)),
+            cache_hit_rate=float(data.get("cache_hit_rate", 0.0)),
+            evaluations=int(data.get("evaluations", 0)),
+            error=data.get("error"),
+            effective_tables=(
+                None
+                if tables_data is None
+                else tuple(table_from_dict(t) for t in tables_data)
+            ),
+        )
+
+    def deterministic_dict(self) -> dict[str, Any]:
+        """The serialized response minus its wall-clock timing.
+
+        Everything the engine computes is deterministic except
+        ``sharding_time_s``; this view is what batch-vs-sequential
+        equivalence is defined (and tested) over.
+        """
+        payload = self.to_dict()
+        payload.pop("sharding_time_s")
+        return payload

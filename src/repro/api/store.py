@@ -1,0 +1,200 @@
+"""Versioned cost-model bundle storage (Section 3.2's version control).
+
+The paper's production deployment keeps cost models under "strict
+version control": a sharding plan must always be reproducible from the
+exact bundle that produced it.  :class:`BundleStore` provides that
+discipline on a directory tree::
+
+    <root>/
+      <name>/
+        v1/   compute.npz forward_comm.npz backward_comm.npz
+              metadata.json bundle_meta.json
+        v2/   ...
+
+Each version directory is a plain
+:meth:`~repro.costmodel.pretrain.PretrainedCostModels.save` bundle plus a
+``bundle_meta.json`` manifest (name, version, creation time, device
+count, free-form metadata such as test MSEs).  Saving auto-increments
+the version; loading defaults to the latest, so long-lived engines can
+pick up retrained models by restarting without path changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.costmodel.pretrain import PretrainedCostModels
+
+__all__ = ["BundleInfo", "BundleStore"]
+
+_MANIFEST = "bundle_meta.json"
+_BUNDLE_META = "metadata.json"  # written by PretrainedCostModels.save
+
+
+@dataclass(frozen=True)
+class BundleInfo:
+    """Manifest of one stored bundle version.
+
+    Attributes:
+        name: bundle line name (e.g. ``"prod-4gpu"``).
+        version: 1-based version number within the line.
+        path: the version directory holding the bundle files.
+        created_at: POSIX timestamp of the save.
+        num_devices / batch_size: the bundle's deployment contract.
+        metadata: free-form caller metadata (e.g. test MSEs, pool seed).
+    """
+
+    name: str
+    version: int
+    path: str
+    created_at: float
+    num_devices: int
+    batch_size: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def version_tag(self) -> str:
+        """The ``name@vN`` tag used in reports and plan checkpoints."""
+        return f"{self.name}@v{self.version}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "created_at": self.created_at,
+            "num_devices": self.num_devices,
+            "batch_size": self.batch_size,
+            "metadata": self.metadata,
+        }
+
+
+class BundleStore:
+    """Save, list and load versioned cost-model bundles under one root.
+
+    Args:
+        root: store directory (created lazily on first save).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        models: PretrainedCostModels,
+        name: str = "default",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> BundleInfo:
+        """Store ``models`` as the next version of bundle line ``name``."""
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid bundle name {name!r}")
+        version = self.latest_version(name) + 1
+        directory = self.root / name / f"v{version}"
+        models.save(directory)
+        info = BundleInfo(
+            name=name,
+            version=version,
+            path=str(directory),
+            created_at=time.time(),
+            num_devices=models.num_devices,
+            batch_size=models.batch_size,
+            metadata=dict(metadata or {}),
+        )
+        (directory / _MANIFEST).write_text(json.dumps(info.to_dict(), indent=2))
+        return info
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def versions(self, name: str) -> list[int]:
+        """Stored version numbers of bundle line ``name``, ascending."""
+        line = self.root / name
+        if not line.is_dir():
+            return []
+        found = []
+        for entry in line.iterdir():
+            if (
+                entry.is_dir()
+                and entry.name.startswith("v")
+                and entry.name[1:].isdigit()
+                and (entry / _BUNDLE_META).exists()
+            ):
+                found.append(int(entry.name[1:]))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """Highest stored version of ``name`` (0 when none exist)."""
+        versions = self.versions(name)
+        return versions[-1] if versions else 0
+
+    def names(self) -> list[str]:
+        """Bundle line names with at least one stored version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self.versions(entry.name)
+        )
+
+    def list_bundles(self) -> list[BundleInfo]:
+        """Manifests of every stored version, ordered by name then version."""
+        return [
+            self.info(name, version)
+            for name in self.names()
+            for version in self.versions(name)
+        ]
+
+    def _version_dir(self, name: str, version: int | None) -> Path:
+        if version is None:
+            version = self.latest_version(name)
+            if version == 0:
+                raise FileNotFoundError(
+                    f"no bundle named {name!r} in store {self.root} "
+                    f"(known: {self.names() or 'none'})"
+                )
+        directory = self.root / name / f"v{version}"
+        if not (directory / _BUNDLE_META).exists():
+            raise FileNotFoundError(
+                f"no version v{version} of bundle {name!r} in store "
+                f"{self.root} (stored: {self.versions(name) or 'none'})"
+            )
+        return directory
+
+    def info(self, name: str = "default", version: int | None = None) -> BundleInfo:
+        """Manifest of one stored version (latest when unspecified)."""
+        directory = self._version_dir(name, version)
+        manifest_path = directory / _MANIFEST
+        if manifest_path.exists():
+            data = json.loads(manifest_path.read_text())
+        else:  # bundle dropped in by hand — synthesize a manifest
+            meta = json.loads((directory / _BUNDLE_META).read_text())
+            data = {
+                "name": name,
+                "version": int(directory.name[1:]),
+                "created_at": 0.0,
+                "num_devices": meta["num_devices"],
+                "batch_size": meta["batch_size"],
+                "metadata": {},
+            }
+        return BundleInfo(path=str(directory), **data)
+
+    def load(
+        self, name: str = "default", version: int | None = None
+    ) -> PretrainedCostModels:
+        """Load a stored bundle (latest version when unspecified)."""
+        return PretrainedCostModels.load(self._version_dir(name, version))
+
+    @staticmethod
+    def is_raw_bundle(path: str | os.PathLike) -> bool:
+        """True when ``path`` is a bare ``PretrainedCostModels`` directory."""
+        return (Path(path) / _BUNDLE_META).exists()

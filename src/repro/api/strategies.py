@@ -1,0 +1,422 @@
+"""Built-in strategy registrations for the sharding registry.
+
+Importing this module (done by :mod:`repro.api`) populates the registry
+with every algorithm the repository ships:
+
+========================  =========  ==============================================
+name                      category   algorithm
+========================  =========  ==============================================
+``beam``                  core       NeuroShard beam search (Algorithm 1 + 2)
+``greedy_grid``           core       greedy grid search only (w/o beam ablation)
+``random``                baseline   uniform random placement
+``greedy``                baseline   sorting-enhanced greedy (``variant=`` kwarg)
+``size_greedy`` ...       baseline   the four published greedy variants
+``planner``               baseline   TorchRec-style planner (alias ``torchrec``)
+``milp``                  baseline   RecShard-style MILP
+``rl``                    baseline   DreamShard-style REINFORCE (alias
+                                     ``dreamshard``)
+``autoshard``             baseline   AutoShard-style REINFORCE
+``surco``                 baseline   SurCo-style linear surrogate
+``rowwise``               extension  row-wise pre-processing over a base strategy
+``mixed``                 extension  mixed CPU-GPU drain-constrained greedy
+``guided``                extension  policy-guided grid search
+``imitation``             extension  behaviour-cloned policy
+``offline_rl``            extension  advantage-weighted regression policy
+========================  =========  ==============================================
+
+Factories with learned policies (``imitation``, ``offline_rl``,
+``guided``) accept ``train_tasks=[...]`` to fit at construction time, or
+a pre-trained ``policy=`` to reuse one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.registry import make_sharder, register_strategy
+from repro.api.schema import PlanOverTables
+from repro.baselines.greedy import GREEDY_COSTS, GreedySharder
+from repro.baselines.milp import MilpSharder
+from repro.baselines.planner import PlannerSharder
+from repro.baselines.random_sharding import RandomSharder
+from repro.baselines.rl import AutoShardSharder, DreamShardSharder
+from repro.baselines.surrogate import SurrogateSharder
+from repro.config import SearchConfig
+from repro.core.plan import ShardingPlan
+from repro.core.sharder import NeuroShard
+from repro.data.tasks import ShardingTask
+from repro.extensions.guided import PolicyGuidedSharder
+from repro.extensions.imitation import ImitationSharder
+from repro.extensions.mixed import MixedClusterSharder, MixedCostModels
+from repro.extensions.offline_rl import OfflineRLSharder
+from repro.extensions.rowwise import RowWiseSharder
+from repro.hardware.hetero import HeterogeneousCluster
+from repro.hardware.presets import device_class
+
+__all__ = ["MixedStrategySharder", "RowWiseStrategySharder"]
+
+
+# ----------------------------------------------------------------------
+# core
+# ----------------------------------------------------------------------
+
+
+@register_strategy(
+    "beam",
+    description="NeuroShard beam search over column- and table-wise plans",
+    category="core",
+    needs_bundle=True,
+    aliases=("neuroshard",),
+)
+def _make_beam(
+    cluster, bundle, search=None, lifelong_cache=False, cache=None, **kwargs
+):
+    # Per-request caches by default so batch results (including hit
+    # rates) are independent of serving order; opt into the paper's
+    # lifelong hash map with lifelong_cache=True (the engine then shares
+    # its bounded cache).
+    sharder = NeuroShard(
+        bundle,
+        search=search or SearchConfig(**kwargs),
+        lifelong_cache=lifelong_cache,
+        cache=cache if lifelong_cache else None,
+    )
+    sharder.name = "NeuroShard"
+    return sharder
+
+
+@register_strategy(
+    "greedy_grid",
+    description="greedy grid search only (the w/o-beam-search ablation)",
+    category="core",
+    needs_bundle=True,
+)
+def _make_greedy_grid(
+    cluster, bundle, search=None, lifelong_cache=False, cache=None, **kwargs
+):
+    search = search or SearchConfig(**kwargs)
+    sharder = NeuroShard(
+        bundle,
+        search=search.with_ablation("beam_search"),
+        lifelong_cache=lifelong_cache,
+        cache=cache if lifelong_cache else None,
+    )
+    sharder.name = "GreedyGrid"
+    return sharder
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+
+@register_strategy(
+    "random",
+    description="uniform random placement among feasible devices",
+    category="baseline",
+    stateful=True,
+)
+def _make_random(cluster, bundle, seed=0, **kwargs):
+    return RandomSharder(seed=seed)
+
+
+@register_strategy(
+    "greedy",
+    description="sorting-enhanced greedy balancing of a heuristic cost",
+    category="baseline",
+)
+def _make_greedy(cluster, bundle, variant="Dim-based", cost_fn=None, **kwargs):
+    return GreedySharder(variant, cost_fn=cost_fn)
+
+
+def _register_greedy_variant(alias: str, variant: str) -> None:
+    @register_strategy(
+        alias,
+        description=f"greedy balancing of the {variant} heuristic cost",
+        category="baseline",
+    )
+    def _factory(cluster, bundle, variant=variant, **kwargs):
+        return GreedySharder(variant)
+
+
+for _alias, _variant in {
+    "size_greedy": "Size-based",
+    "dim_greedy": "Dim-based",
+    "lookup_greedy": "Lookup-based",
+    "size_lookup_greedy": "Size-lookup-based",
+}.items():
+    _register_greedy_variant(_alias, _variant)
+assert set(GREEDY_COSTS) == {
+    "Size-based",
+    "Dim-based",
+    "Lookup-based",
+    "Size-lookup-based",
+}, "greedy variants drifted; update the registry aliases"
+
+
+@register_strategy(
+    "planner",
+    description="TorchRec-style planner with heuristic closed-form costs",
+    category="baseline",
+    aliases=("torchrec",),
+)
+def _make_planner(cluster, bundle, **kwargs):
+    kwargs.setdefault("batch_size", cluster.batch_size)
+    return PlannerSharder(**kwargs)
+
+
+@register_strategy(
+    "milp",
+    description="RecShard-style MILP balancing linear per-table costs",
+    category="baseline",
+)
+def _make_milp(cluster, bundle, time_limit_s=10.0, **kwargs):
+    return MilpSharder(time_limit_s=time_limit_s)
+
+
+@register_strategy(
+    "rl",
+    description="DreamShard-style REINFORCE on the learned cost models",
+    category="baseline",
+    needs_bundle=True,
+    stateful=True,
+    aliases=("dreamshard",),
+)
+def _make_rl(cluster, bundle, **kwargs):
+    return DreamShardSharder(bundle, **kwargs)
+
+
+@register_strategy(
+    "autoshard",
+    description="AutoShard-style REINFORCE balancing computation only",
+    category="baseline",
+    needs_bundle=True,
+    stateful=True,
+)
+def _make_autoshard(cluster, bundle, **kwargs):
+    return AutoShardSharder(bundle, **kwargs)
+
+
+@register_strategy(
+    "surco",
+    description="SurCo-style per-instance linear surrogate optimization",
+    category="baseline",
+    needs_bundle=True,
+)
+def _make_surco(cluster, bundle, **kwargs):
+    return SurrogateSharder(bundle, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# extensions
+# ----------------------------------------------------------------------
+
+
+class RowWiseStrategySharder:
+    """Row-wise pre-processing with schema-expressible results.
+
+    :class:`RowWiseSharder`'s plan indexes the row-split table list, which
+    a bare :class:`~repro.core.plan.ShardingPlan` cannot express over the
+    original task.  This wrapper returns the plan *with* the list it
+    applies to (:class:`~repro.api.schema.PlanOverTables`), which the
+    engine surfaces as ``ShardingResponse.effective_tables``.
+    """
+
+    def __init__(self, inner: RowWiseSharder) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    def shard(self, task: ShardingTask) -> PlanOverTables | None:
+        plan, decision = self._inner.shard_with_tables(task)
+        if plan is None:
+            return None
+        return PlanOverTables(plan=plan, tables=decision.tables)
+
+
+@register_strategy(
+    "rowwise",
+    description="row-wise oversized-table pre-processing over a base strategy",
+    category="extension",
+)
+def _make_rowwise(cluster, bundle, base=None, preprocessor=None, **kwargs):
+    if base is None:
+        base = "beam" if bundle is not None else "dim_greedy"
+    if isinstance(base, str):
+        base = make_sharder(base, cluster=cluster, bundle=bundle, **kwargs)
+    return RowWiseStrategySharder(RowWiseSharder(base, preprocessor=preprocessor))
+
+
+class MixedStrategySharder:
+    """Adapts :class:`MixedClusterSharder` to the ``Sharder`` protocol.
+
+    In the homogeneous registry context the heterogeneous machinery runs
+    with every device sharing the deployment cluster's device spec and
+    the bundle's computation model as the single class model; pass
+    ``hetero_cluster=`` and ``mixed_models=`` to ``make_sharder`` for a
+    genuinely mixed CPU-GPU setup.
+    """
+
+    name = "Mixed"
+
+    def __init__(
+        self,
+        cluster,
+        models: MixedCostModels,
+        hetero_cluster: HeterogeneousCluster | None = None,
+        **sharder_kwargs,
+    ) -> None:
+        self._spec = cluster.spec
+        self._batch_size = cluster.batch_size
+        self._noise_seed = cluster.noise_seed
+        self._models = models
+        self._hetero = hetero_cluster
+        self._kwargs = sharder_kwargs
+
+    def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        if self._hetero is not None:
+            hetero = self._hetero
+            if task.num_devices != hetero.num_devices:
+                raise ValueError(
+                    f"task has {task.num_devices} devices but the mixed "
+                    f"cluster has {hetero.num_devices}"
+                )
+        else:
+            hetero = HeterogeneousCluster(
+                [self._spec] * task.num_devices,
+                memory_bytes=task.memory_bytes,
+                batch_size=self._batch_size,
+                noise_seed=self._noise_seed,
+            )
+        sharder = MixedClusterSharder(hetero, self._models, **self._kwargs)
+        result = sharder.shard(list(task.tables))
+        if not result.feasible or result.assignment is None:
+            return None
+        return ShardingPlan(
+            column_plan=result.column_plan,
+            assignment=result.assignment,
+            num_devices=hetero.num_devices,
+        )
+
+
+@register_strategy(
+    "mixed",
+    description="drain-constrained greedy search for (mixed) device classes",
+    category="extension",
+    needs_bundle=True,
+)
+def _make_mixed(
+    cluster, bundle, hetero_cluster=None, mixed_models=None, **kwargs
+):
+    if mixed_models is None:
+        if hetero_cluster is not None:
+            raise ValueError(
+                "pass mixed_models= alongside hetero_cluster= (use "
+                "pretrain_mixed_cost_models to train per-class models)"
+            )
+        mixed_models = MixedCostModels(
+            by_class={device_class(cluster.spec): bundle.compute},
+            featurizer=bundle.featurizer,
+            reports={},
+            batch_size=bundle.batch_size,
+        )
+    return MixedStrategySharder(
+        cluster, mixed_models, hetero_cluster=hetero_cluster, **kwargs
+    )
+
+
+def _fit_policy_if_asked(
+    policy: ImitationSharder,
+    cluster,
+    bundle,
+    train_tasks: Sequence[ShardingTask] | None,
+    teacher,
+    epochs: int,
+) -> ImitationSharder:
+    if train_tasks:
+        if teacher is None:
+            teacher = make_sharder("beam", cluster=cluster, bundle=bundle)
+        policy.fit_from_search(teacher, train_tasks, epochs=epochs)
+    return policy
+
+
+@register_strategy(
+    "imitation",
+    description="behaviour-cloned table-wise policy (one-pass rollout)",
+    category="extension",
+    needs_bundle=True,
+)
+def _make_imitation(
+    cluster,
+    bundle,
+    train_tasks=None,
+    teacher=None,
+    epochs=40,
+    hidden=(128, 64),
+    seed=0,
+    **kwargs,
+):
+    policy = ImitationSharder(bundle, hidden=hidden, seed=seed)
+    return _fit_policy_if_asked(
+        policy, cluster, bundle, train_tasks, teacher, epochs
+    )
+
+
+@register_strategy(
+    "offline_rl",
+    description="advantage-weighted regression policy over a sharding log",
+    category="extension",
+    needs_bundle=True,
+)
+def _make_offline_rl(
+    cluster,
+    bundle,
+    train_tasks=None,
+    teachers=None,
+    epochs=40,
+    hidden=(128, 64),
+    seed=0,
+    **kwargs,
+):
+    policy = OfflineRLSharder(bundle, hidden=hidden, seed=seed, **kwargs)
+    if train_tasks:
+        if teachers is None:
+            teachers = [
+                make_sharder("beam", cluster=cluster, bundle=bundle),
+                make_sharder("dim_greedy", cluster=cluster, bundle=bundle),
+            ]
+        policy.fit_from_log(train_tasks, teachers, epochs=epochs)
+    return policy
+
+
+@register_strategy(
+    "guided",
+    description="greedy grid search pruned by a learned device-ranking policy",
+    category="extension",
+    needs_bundle=True,
+)
+def _make_guided(
+    cluster,
+    bundle,
+    policy=None,
+    train_tasks=None,
+    teacher=None,
+    epochs=40,
+    seed=0,
+    **kwargs,
+):
+    if policy is None:
+        if not train_tasks:
+            raise ValueError(
+                "strategy 'guided' needs a trained policy: pass policy= "
+                "(a fitted ImitationSharder) or train_tasks=[...] to fit "
+                "one at construction time"
+            )
+        policy = _fit_policy_if_asked(
+            ImitationSharder(bundle, seed=seed),
+            cluster,
+            bundle,
+            train_tasks,
+            teacher,
+            epochs,
+        )
+    return PolicyGuidedSharder(bundle, policy, **kwargs)

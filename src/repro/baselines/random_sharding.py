@@ -8,8 +8,6 @@ to max dimension 8).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.base import assignment_to_plan
 from repro.config import rng_from_seed
 from repro.core.plan import ShardingPlan

@@ -1,34 +1,46 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Mirrors the workflow of the paper's artifact scripts (Appendix I):
+Mirrors the workflow of the paper's artifact scripts (Appendix I), with
+all sharding algorithms served through the :mod:`repro.api` registry:
 
 - ``gen-data`` — synthesize the table pool and save it to JSON
   (the artifact's ``tools/gen_dlrm_data.py``).
 - ``gen-tasks`` — generate benchmark sharding tasks and save them to
   JSON (the artifact's ``tools/gen_tasks.py``).
 - ``pretrain`` — collect micro-benchmark data on the simulated cluster
-  and train the cost models, saving a bundle directory
+  and train the cost models, saving either a bare bundle directory or a
+  versioned :class:`~repro.api.store.BundleStore` entry
   (the artifact's ``collect_*_cost_data.py`` + ``train_*_cost_model.py``).
-- ``shard`` — load a bundle, generate (or load) benchmark tasks and run
-  the online search, reporting simulated and real (simulated-hardware)
-  costs (the artifact's ``eval_simulator.py`` / ``eval.py``).
-- ``compare`` — run a baseline algorithm on the same tasks for a
-  side-by-side (the artifact's ``--alg`` flag).
+- ``shard`` — load a bundle and run any registered strategy over
+  benchmark tasks, reporting simulated and real (simulated-hardware)
+  costs (the artifact's ``eval_simulator.py`` / ``eval.py``).  Exits
+  non-zero when every task is infeasible.
+- ``compare`` — run one or more registry strategies on the same tasks
+  for a side-by-side (the artifact's ``--alg`` flag).
+- ``serve-batch`` — answer a tasks file concurrently through
+  :meth:`~repro.api.engine.ShardingEngine.shard_batch`, writing
+  schema-versioned response JSON.
+- ``strategies`` — list every registered strategy.
+- ``list-bundles`` — list the contents of a bundle store.
+
+Exit codes: 0 success, 1 usage/input error, 2 every task infeasible.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from typing import Sequence
 
-from repro.baselines import (
-    GREEDY_COSTS,
-    GreedySharder,
-    MilpSharder,
-    PlannerSharder,
-    RandomSharder,
+from repro.api import (
+    BundleStore,
+    ShardingEngine,
+    ShardingRequest,
+    all_names,
+    iter_strategies,
+    strategy_info,
 )
 from repro.config import (
     ClusterConfig,
@@ -38,6 +50,7 @@ from repro.config import (
     TrainConfig,
 )
 from repro.core import NeuroShard
+from repro.costmodel import PretrainedCostModels
 from repro.data import (
     TablePool,
     generate_tasks,
@@ -49,18 +62,12 @@ from repro.data import (
 )
 from repro.evaluation import evaluate_sharder, format_text_table
 from repro.hardware import SimulatedCluster
+from repro.hardware.memory import OutOfMemoryError
 
 __all__ = ["main", "build_parser"]
 
-_BASELINES = {
-    "random": lambda seed: RandomSharder(seed=seed),
-    "size_greedy": lambda seed: GreedySharder("Size-based"),
-    "dim_greedy": lambda seed: GreedySharder("Dim-based"),
-    "lookup_greedy": lambda seed: GreedySharder("Lookup-based"),
-    "size_lookup_greedy": lambda seed: GreedySharder("Size-lookup-based"),
-    "torchrec": lambda seed: PlannerSharder(),
-    "milp": lambda seed: MilpSharder(),
-}
+#: All-tasks-infeasible exit status of ``shard`` / ``serve-batch``.
+EXIT_ALL_INFEASIBLE = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,7 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen_tasks.add_argument("--seed", type=int, default=0)
 
     pre = sub.add_parser("pretrain", help="pre-train cost models, save a bundle")
-    pre.add_argument("output", help="bundle directory to create")
+    pre.add_argument("output", help="bundle directory (or store root with "
+                     "--bundle-name) to create")
+    pre.add_argument("--bundle-name", help="save into a versioned bundle "
+                     "store under OUTPUT instead of a bare directory")
     pre.add_argument("--gpus", type=int, default=4)
     pre.add_argument("--samples", type=int, default=4000,
                      help="compute-model training samples (paper: 100000)")
@@ -98,22 +108,59 @@ def build_parser() -> argparse.ArgumentParser:
                      help="training epochs (paper: 1000)")
     pre.add_argument("--seed", type=int, default=0)
 
+    def add_bundle_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("bundle", help="bundle directory from 'pretrain', or "
+                       "a bundle-store root")
+        p.add_argument("--bundle-name", default="default",
+                       help="bundle line when BUNDLE is a store root")
+        p.add_argument("--bundle-version", type=int,
+                       help="store version (default: latest)")
+
     shard = sub.add_parser("shard", help="shard benchmark tasks with a bundle")
-    shard.add_argument("bundle", help="bundle directory from 'pretrain'")
+    add_bundle_args(shard)
+    shard.add_argument("--strategy", default="beam", choices=sorted(all_names()),
+                       help="registry strategy to run (default: beam)")
     shard.add_argument("--max-dim", type=int, default=128)
     shard.add_argument("--tasks", type=int, default=5)
     shard.add_argument("--tasks-file", help="tasks JSON from 'gen-tasks' "
                        "(overrides --max-dim/--tasks)")
     shard.add_argument("--seed", type=int, default=0)
 
-    cmp = sub.add_parser("compare", help="run a baseline on benchmark tasks")
-    cmp.add_argument("algorithm", choices=sorted(_BASELINES))
-    cmp.add_argument("--gpus", type=int, default=4)
+    cmp = sub.add_parser("compare", help="run registry strategies on "
+                         "benchmark tasks")
+    cmp.add_argument("algorithm", nargs="+", choices=sorted(all_names()),
+                     help="one or more registry strategies")
+    cmp.add_argument("--bundle", help="cost-model bundle (required by "
+                     "cost-model-driven strategies)")
+    cmp.add_argument("--bundle-name", default="default")
+    cmp.add_argument("--bundle-version", type=int)
+    cmp.add_argument("--gpus", type=int,
+                     help="device count (default: the bundle's, else 4)")
     cmp.add_argument("--max-dim", type=int, default=128)
     cmp.add_argument("--tasks", type=int, default=5)
     cmp.add_argument("--tasks-file", help="tasks JSON from 'gen-tasks' "
                      "(overrides --gpus/--max-dim/--tasks)")
     cmp.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve-batch", help="answer a tasks file through "
+                           "the engine's concurrent batch path")
+    add_bundle_args(serve)
+    serve.add_argument("tasks_file", help="tasks JSON from 'gen-tasks'")
+    serve.add_argument("--strategy", default="beam",
+                       choices=sorted(all_names()))
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread-pool size (default: 4)")
+    serve.add_argument("--output", help="write response JSON here "
+                       "(default: stdout)")
+
+    strategies = sub.add_parser("strategies", help="list registered "
+                                "sharding strategies")
+    strategies.add_argument("--category", choices=("core", "baseline",
+                            "extension"))
+
+    bundles = sub.add_parser("list-bundles", help="list a bundle store's "
+                             "contents")
+    bundles.add_argument("store", help="bundle store root directory")
     return parser
 
 
@@ -127,6 +174,15 @@ def _tasks(pool: TablePool, num_devices: int, max_dim: int, count: int, seed: in
         num_devices=num_devices, max_dim=max_dim, min_tables=lo, max_tables=hi
     )
     return generate_tasks(pool, cfg, count=count, seed=seed)
+
+
+def _load_bundle(args) -> PretrainedCostModels:
+    """Resolve ``args.bundle`` as a bare directory or a store entry."""
+    if BundleStore.is_raw_bundle(args.bundle):
+        return PretrainedCostModels.load(args.bundle)
+    return BundleStore(args.bundle).load(
+        args.bundle_name, getattr(args, "bundle_version", None)
+    )
 
 
 def _cmd_gen_data(args) -> int:
@@ -165,61 +221,251 @@ def _cmd_pretrain(args) -> int:
         train=TrainConfig(epochs=args.epochs),
         seed=args.seed,
     )
-    for name, mse in report.test_mse_rows().items():
+    mse_rows = report.test_mse_rows()
+    for name, mse in mse_rows.items():
         print(f"  {name:24s} test MSE = {mse:.3f} ms^2")
-    sharder.models.save(args.output)
-    print(f"saved bundle to {args.output}")
+    if args.bundle_name:
+        info = BundleStore(args.output).save(
+            sharder.models,
+            args.bundle_name,
+            metadata={"test_mse": mse_rows, "seed": args.seed},
+        )
+        print(f"saved bundle {info.version_tag} to {info.path}")
+    else:
+        sharder.models.save(args.output)
+        print(f"saved bundle to {args.output}")
     return 0
 
 
-def _cmd_shard(args) -> int:
-    sharder = NeuroShard.from_directory(args.bundle, search=SearchConfig())
-    num_devices = sharder.models.num_devices
-    cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
+def _load_or_generate_tasks(args, num_devices: int):
+    """Tasks for shard/compare; ``None`` on a device-count mismatch."""
     if args.tasks_file:
         tasks = load_tasks(args.tasks_file)
         bad = [t.task_id for t in tasks if t.num_devices != num_devices]
         if bad:
             print(
                 f"error: tasks {bad} target a different device count than "
-                f"the bundle's {num_devices}",
+                f"the expected {num_devices}",
                 file=sys.stderr,
             )
-            return 1
-    else:
-        tasks = _tasks(_pool(), num_devices, args.max_dim, args.tasks, args.seed)
-    evaluation = evaluate_sharder(sharder, tasks, cluster, name="NeuroShard")
-    rows = [
-        [o.task_id, "ok" if o.success else "OOM", o.cost_ms, o.sharding_time_s]
-        for o in evaluation.outcomes
-    ]
+            return None
+        return tasks
+    return _tasks(_pool(), num_devices, args.max_dim, args.tasks, args.seed)
+
+
+def _infeasible_exit(num_success: int, num_tasks: int, strategy: str) -> int:
+    """The all-tasks-infeasible contract: stderr one-liner + exit 2."""
+    if num_tasks and num_success == 0:
+        print(
+            f"error: {strategy} produced no feasible plan on any of "
+            f"{num_tasks} tasks",
+            file=sys.stderr,
+        )
+        return EXIT_ALL_INFEASIBLE
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    try:
+        bundle = _load_bundle(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    num_devices = bundle.num_devices
+    cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
+    tasks = _load_or_generate_tasks(args, num_devices)
+    if tasks is None:
+        return 1
+    engine = ShardingEngine(
+        cluster, bundle, search=SearchConfig(), default_strategy=args.strategy
+    )
+    try:
+        strategy_name = getattr(
+            engine.sharder_for(args.strategy), "name", args.strategy
+        )
+    except Exception as exc:  # factory error, e.g. guided without a policy
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    responses = [engine.shard(ShardingRequest(task)) for task in tasks]
+
+    rows = []
+    real_costs = []
+    errors = []
+    for task, resp in zip(tasks, responses):
+        real = math.nan
+        if resp.plan is not None:
+            per_device = resp.plan.per_device_tables(resp.plan_tables(task))
+            try:
+                real = cluster.evaluate_plan(per_device).max_cost_ms
+            except OutOfMemoryError:
+                pass
+        ok = resp.feasible and not math.isnan(real)
+        if resp.error is not None:
+            status = "error"
+            errors.append((task.task_id, resp.error))
+        else:
+            status = "ok" if ok else "OOM"
+        rows.append([task.task_id, status, real, resp.sharding_time_s])
+        if ok:
+            real_costs.append(real)
+    for task_id, message in errors:
+        print(f"task {task_id}: {message}", file=sys.stderr)
     print(
         format_text_table(
             ["task", "status", "real cost (ms)", "search time (s)"],
             rows,
-            title=f"NeuroShard on {len(tasks)} tasks "
+            title=f"{strategy_name} on {len(tasks)} tasks "
             f"({num_devices} GPUs, max dim {args.max_dim})",
         )
     )
-    mean = evaluation.mean_cost_ms
+    all_ok = len(real_costs) == len(tasks)
+    mean = sum(real_costs) / len(real_costs) if all_ok and real_costs else math.nan
     print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
-    print(f"Valid {evaluation.num_success} / {evaluation.num_tasks}")
-    return 0
+    print(f"Valid {len(real_costs)} / {len(tasks)}")
+    return _infeasible_exit(len(real_costs), len(tasks), strategy_name)
 
 
 def _cmd_compare(args) -> int:
+    bundle = None
+    if args.bundle:
+        try:
+            bundle = _load_bundle(
+                argparse.Namespace(
+                    bundle=args.bundle,
+                    bundle_name=args.bundle_name,
+                    bundle_version=args.bundle_version,
+                )
+            )
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    needy = [
+        name for name in args.algorithm
+        if strategy_info(name).needs_bundle and bundle is None
+    ]
+    if needy:
+        print(
+            f"error: strategies {needy} need a cost-model bundle; pass "
+            "--bundle",
+            file=sys.stderr,
+        )
+        return 1
     if args.tasks_file:
         tasks = load_tasks(args.tasks_file)
         num_devices = tasks[0].num_devices
-        cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
     else:
-        cluster = SimulatedCluster(ClusterConfig(num_devices=args.gpus))
-        tasks = _tasks(_pool(), args.gpus, args.max_dim, args.tasks, args.seed)
-    sharder = _BASELINES[args.algorithm](args.seed)
-    evaluation = evaluate_sharder(sharder, tasks, cluster)
-    mean = evaluation.mean_cost_ms
-    print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
-    print(f"Valid {evaluation.num_success} / {evaluation.num_tasks}")
+        num_devices = args.gpus or (
+            bundle.num_devices if bundle is not None else 4
+        )
+        tasks = _tasks(_pool(), num_devices, args.max_dim, args.tasks, args.seed)
+    if bundle is not None and bundle.num_devices != num_devices:
+        print(
+            f"error: the tasks target {num_devices} devices but the bundle "
+            f"was pre-trained for {bundle.num_devices}",
+            file=sys.stderr,
+        )
+        return 1
+    cluster = SimulatedCluster(ClusterConfig(num_devices=num_devices))
+    engine = ShardingEngine(
+        cluster, bundle, strategy_kwargs={"random": {"seed": args.seed}}
+    )
+    for name in args.algorithm:
+        try:
+            sharder = engine.sharder_for(name)
+        except Exception as exc:  # factory error, e.g. guided w/o policy
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        evaluation = evaluate_sharder(
+            sharder, tasks, cluster, name=strategy_info(name).name
+        )
+        mean = evaluation.mean_cost_ms
+        if len(args.algorithm) > 1:
+            print(f"[{evaluation.method}]")
+        print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
+        print(f"Valid {evaluation.num_success} / {evaluation.num_tasks}")
+    return 0
+
+
+def _cmd_serve_batch(args) -> int:
+    try:
+        bundle = _load_bundle(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    cluster = SimulatedCluster(ClusterConfig(num_devices=bundle.num_devices))
+    tasks = load_tasks(args.tasks_file)
+    bad = [t.task_id for t in tasks if t.num_devices != bundle.num_devices]
+    if bad:
+        print(
+            f"error: tasks {bad} target a different device count than the "
+            f"bundle's {bundle.num_devices}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 1
+    engine = ShardingEngine(cluster, bundle, default_strategy=args.strategy)
+    requests = [
+        ShardingRequest(task, strategy=args.strategy, request_id=str(task.task_id))
+        for task in tasks
+    ]
+    responses = engine.shard_batch(requests, max_workers=args.workers)
+    payload = json.dumps([r.to_dict() for r in responses], indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {len(responses)} responses to {args.output}")
+    else:
+        print(payload)
+    feasible = sum(1 for r in responses if r.feasible)
+    print(
+        f"{args.strategy}: {feasible} / {len(responses)} feasible "
+        f"({args.workers} workers)",
+        file=sys.stderr if feasible == 0 else sys.stdout,
+    )
+    return 0 if feasible else EXIT_ALL_INFEASIBLE
+
+
+def _cmd_strategies(args) -> int:
+    rows = [
+        [
+            info.name,
+            info.category,
+            "yes" if info.needs_bundle else "no",
+            ", ".join(info.aliases) or "-",
+            info.description,
+        ]
+        for info in iter_strategies()
+        if args.category is None or info.category == args.category
+    ]
+    print(
+        format_text_table(
+            ["strategy", "category", "bundle?", "aliases", "description"],
+            rows,
+            title=f"{len(rows)} registered sharding strategies",
+        )
+    )
+    return 0
+
+
+def _cmd_list_bundles(args) -> int:
+    store = BundleStore(args.store)
+    infos = store.list_bundles()
+    if not infos:
+        print(f"no bundles in {args.store}")
+        return 0
+    rows = [
+        [i.version_tag, i.num_devices, i.batch_size, i.path] for i in infos
+    ]
+    print(
+        format_text_table(
+            ["bundle", "gpus", "batch", "path"],
+            rows,
+            title=f"{len(infos)} bundles in {args.store}",
+        )
+    )
     return 0
 
 
@@ -231,6 +477,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "pretrain": _cmd_pretrain,
         "shard": _cmd_shard,
         "compare": _cmd_compare,
+        "serve-batch": _cmd_serve_batch,
+        "strategies": _cmd_strategies,
+        "list-bundles": _cmd_list_bundles,
     }
     return handlers[args.command](args)
 

@@ -15,7 +15,7 @@ touches the global NumPy random state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

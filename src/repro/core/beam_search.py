@@ -27,8 +27,6 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from repro.config import SearchConfig
 from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
 from repro.core.plan import ShardingPlan, apply_column_plan

@@ -7,10 +7,18 @@ the same device table sets over and over.  Keys are the canonical
 table-multiset keys from :func:`repro.data.table.table_set_key`, so two
 cost-identical device contents share an entry.  The paper reports a >95%
 hit rate (Table 3), which the full-search benchmark reproduces.
+
+Long-lived engine processes (:class:`repro.api.engine.ShardingEngine`)
+share one cache across every request, so the cache optionally runs in a
+bounded LRU mode (``max_entries``): least-recently-used entries are
+evicted once the bound is hit.  The default stays unbounded — the paper's
+lifelong hash map — so paper-mode hit rates are unaffected.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Hashable
 
 __all__ = ["CostCache"]
@@ -22,28 +30,57 @@ class CostCache:
     Args:
         enabled: when ``False`` every lookup misses (the "w/o caching"
             ablation of Table 3) but statistics are still recorded.
+        max_entries: optional LRU bound on stored entries; ``None``
+            (the default) keeps the cache unbounded.  Bounded caches are
+            safe to share across threads (lookups take a lock); unbounded
+            caches rely on the GIL's atomic dict operations, keeping the
+            paper-mode hot path lock-free.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.enabled = enabled
-        self._store: dict[Hashable, float] = {}
+        self.max_entries = max_entries
+        self._store: OrderedDict[Hashable, float] = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(self, key: Hashable) -> float | None:
         """Look up a predicted cost; records the hit/miss."""
         if self.enabled:
-            value = self._store.get(key)
-            if value is not None:
-                self._hits += 1
-                return value
+            if self.max_entries is None:
+                value = self._store.get(key)
+                if value is not None:
+                    self._hits += 1
+                    return value
+            else:
+                with self._lock:
+                    value = self._store.get(key)
+                    if value is not None:
+                        self._store.move_to_end(key)
+                        self._hits += 1
+                        return value
         self._misses += 1
         return None
 
     def put(self, key: Hashable, value: float) -> None:
         """Store a predicted cost (no-op when disabled)."""
-        if self.enabled:
+        if not self.enabled:
+            return
+        if self.max_entries is None:
             self._store[key] = float(value)
+            return
+        with self._lock:
+            self._store[key] = float(value)
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self._evictions += 1
 
     # ------------------------------------------------------------------
     # statistics
@@ -56,6 +93,11 @@ class CostCache:
     @property
     def misses(self) -> int:
         return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound (0 when unbounded)."""
+        return self._evictions
 
     @property
     def lookups(self) -> int:
@@ -72,6 +114,8 @@ class CostCache:
 
     def clear(self) -> None:
         """Drop entries and statistics."""
-        self._store.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0

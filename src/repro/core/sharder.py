@@ -74,6 +74,10 @@ class NeuroShard:
             :meth:`shard` calls (the paper's "life-long hash map").
             Disable to give each task a fresh cache (useful for measuring
             per-task hit rates, as Table 3 does).
+        cache: the lifelong cache to share (e.g. a
+            :class:`~repro.api.engine.ShardingEngine`'s bounded cache);
+            a fresh one is created when omitted.  Only consulted when
+            ``lifelong_cache`` is enabled.
     """
 
     def __init__(
@@ -81,11 +85,16 @@ class NeuroShard:
         models: PretrainedCostModels,
         search: SearchConfig | None = None,
         lifelong_cache: bool = True,
+        cache: CostCache | None = None,
     ) -> None:
         self.models = models
         self.search = search or SearchConfig()
         self._lifelong = lifelong_cache
-        self._shared_cache = CostCache(enabled=self.search.use_cache)
+        self._shared_cache = (
+            cache
+            if cache is not None
+            else CostCache(enabled=self.search.use_cache)
+        )
 
     # ------------------------------------------------------------------
     # construction helpers

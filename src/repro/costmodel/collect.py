@@ -16,7 +16,6 @@ The returned :class:`~repro.nn.data.ArrayDataset` objects carry
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.layers import Linear, Module, ReLU, SegmentSum, Sequential
+from repro.nn.layers import Linear, Module, SegmentSum, Sequential
 
 __all__ = ["ComputeCostModel"]
 

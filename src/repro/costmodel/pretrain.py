@@ -24,7 +24,6 @@ import numpy as np
 from repro.config import (
     CollectionConfig,
     TrainConfig,
-    rng_from_seed,
     spawn_rngs,
 )
 from repro.costmodel.collect import collect_comm_data, collect_compute_data
@@ -81,8 +80,8 @@ def fit_standardized(
     scale = std * std
     result.test_mse *= scale
     result.best_valid_mse *= scale
-    result.train_losses = [l * scale for l in result.train_losses]
-    result.valid_losses = [l * scale for l in result.valid_losses]
+    result.train_losses = [loss * scale for loss in result.train_losses]
+    result.valid_losses = [loss * scale for loss in result.valid_losses]
     return result
 
 

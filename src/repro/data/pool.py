@@ -18,7 +18,7 @@ generators, reproduced here exactly as the paper's appendix pseudo-code:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

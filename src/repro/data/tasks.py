@@ -12,7 +12,7 @@ for each of 12 settings — {4, 8} GPUs × max dimension {4, 8, 16, 32, 64,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

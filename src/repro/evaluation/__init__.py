@@ -20,6 +20,7 @@ from repro.evaluation.runner import (
     MethodEvaluation,
     TaskOutcome,
     evaluate_sharder,
+    evaluate_strategy,
     execute_plan,
 )
 from repro.evaluation.metrics import (
@@ -47,6 +48,7 @@ __all__ = [
     "TaskOutcome",
     "MethodEvaluation",
     "evaluate_sharder",
+    "evaluate_strategy",
     "execute_plan",
     "improvement_percent",
     "strongest_baseline",

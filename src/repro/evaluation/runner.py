@@ -22,7 +22,13 @@ from repro.data.tasks import ShardingTask
 from repro.hardware.cluster import PlanExecution, SimulatedCluster
 from repro.hardware.memory import OutOfMemoryError
 
-__all__ = ["TaskOutcome", "MethodEvaluation", "evaluate_sharder", "execute_plan"]
+__all__ = [
+    "TaskOutcome",
+    "MethodEvaluation",
+    "evaluate_sharder",
+    "evaluate_strategy",
+    "execute_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -86,15 +92,29 @@ class MethodEvaluation:
         return float(np.mean([o.sharding_time_s for o in self.outcomes]))
 
 
-def _extract_plan(result: object) -> ShardingPlan | None:
-    """Accept both raw plans and NeuroShard's ShardingResult."""
+def _extract_plan(
+    result: object, task: ShardingTask
+) -> tuple[ShardingPlan | None, tuple]:
+    """Accept raw plans, NeuroShard results and API return types.
+
+    Returns the plan plus the table list it assigns — the task's own
+    tables unless the strategy rewrote them (row-wise pre-processing).
+    """
+    # Imported here: repro.api sits above the evaluation layer.
+    from repro.api.schema import PlanOverTables, ShardingResponse
+
     if result is None or isinstance(result, ShardingPlan):
-        return result
+        return result, task.tables
+    if isinstance(result, PlanOverTables):
+        return result.plan, result.tables
+    if isinstance(result, ShardingResponse):
+        plan = result.plan if result.feasible else None
+        return plan, result.plan_tables(task)
     if isinstance(result, ShardingResult):
-        return result.plan if result.feasible else None
+        return (result.plan if result.feasible else None), task.tables
     raise TypeError(
         f"sharder returned {type(result).__name__}; expected ShardingPlan, "
-        "ShardingResult or None"
+        "PlanOverTables, ShardingResult, ShardingResponse or None"
     )
 
 
@@ -104,7 +124,13 @@ def execute_plan(
     cluster: SimulatedCluster,
 ) -> PlanExecution | None:
     """Execute a plan on the cluster; ``None`` on out-of-memory."""
-    per_device = plan.per_device_tables(task.tables)
+    return _execute_over_tables(plan, task.tables, cluster)
+
+
+def _execute_over_tables(
+    plan: ShardingPlan, tables, cluster: SimulatedCluster
+) -> PlanExecution | None:
+    per_device = plan.per_device_tables(tables)
     try:
         return cluster.evaluate_plan(per_device)
     except OutOfMemoryError:
@@ -134,14 +160,14 @@ def evaluate_sharder(
                 f"cluster has {cluster.num_devices}"
             )
         started = time.perf_counter()
-        plan = _extract_plan(sharder.shard(task))
+        plan, plan_tables = _extract_plan(sharder.shard(task), task)
         elapsed = time.perf_counter() - started
         if plan is None:
             outcomes.append(
                 TaskOutcome(task.task_id, False, math.nan, elapsed)
             )
             continue
-        execution = execute_plan(plan, task, cluster)
+        execution = _execute_over_tables(plan, plan_tables, cluster)
         if execution is None:
             outcomes.append(
                 TaskOutcome(task.task_id, False, math.nan, elapsed)
@@ -154,3 +180,23 @@ def evaluate_sharder(
         method=name or getattr(sharder, "name", type(sharder).__name__),
         outcomes=tuple(outcomes),
     )
+
+
+def evaluate_strategy(
+    strategy: str,
+    tasks: Sequence[ShardingTask],
+    cluster: SimulatedCluster,
+    bundle=None,
+    name: str | None = None,
+    **kwargs,
+) -> MethodEvaluation:
+    """Run a registry strategy over ``tasks`` (the new-API entry point).
+
+    Equivalent to ``evaluate_sharder(make_sharder(strategy, ...), ...)``:
+    the algorithm is resolved by name through :mod:`repro.api.registry`,
+    and ``kwargs`` are forwarded to its factory.
+    """
+    from repro.api import make_sharder
+
+    sharder = make_sharder(strategy, cluster=cluster, bundle=bundle, **kwargs)
+    return evaluate_sharder(sharder, tasks, cluster, name=name)

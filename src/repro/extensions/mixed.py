@@ -161,6 +161,12 @@ class MixedShardingResult:
             device cost (class-specific compute + drain proxy).
         column_splits: how many column-wise splits the outer loop applied.
         cache_hit_rate: computation-cost cache hit rate during the search.
+        assignment: device index per (post-split) table, in the same
+            replace-and-append order :func:`repro.core.plan.apply_column_plan`
+            produces (``None`` when infeasible).
+        column_plan: the split steps that produced the assigned table
+            list, expressed in :class:`~repro.core.plan.ShardingPlan`'s
+            column-plan convention.
     """
 
     feasible: bool
@@ -168,6 +174,8 @@ class MixedShardingResult:
     predicted_bottleneck_ms: float
     column_splits: int
     cache_hit_rate: float
+    assignment: tuple[int, ...] | None = None
+    column_plan: tuple[int, ...] = ()
 
     @property
     def device_dims(self) -> tuple[int, ...]:
@@ -285,8 +293,9 @@ class MixedClusterSharder:
         current = list(tables)
         best: MixedShardingResult | None = None
         splits = 0
+        split_history: list[int] = []
         for step in range(self.max_steps + 1):
-            candidate = self._grid_search(current, splits)
+            candidate = self._grid_search(current, splits, tuple(split_history))
             if candidate.feasible and (
                 best is None
                 or not best.feasible
@@ -307,6 +316,7 @@ class MixedClusterSharder:
                 + current[split_index + 1 :]
                 + [b]
             )
+            split_history.append(split_index)
             splits += 1
         assert best is not None
         return best
@@ -326,7 +336,10 @@ class MixedClusterSharder:
         return ranked[0][0]
 
     def _grid_search(
-        self, tables: Sequence[TableConfig], splits: int
+        self,
+        tables: Sequence[TableConfig],
+        splits: int,
+        column_plan: tuple[int, ...] = (),
     ) -> MixedShardingResult:
         """Inner loop: greedy allocation under a drain-constraint grid."""
         num_devices = self.cluster.num_devices
@@ -374,6 +387,7 @@ class MixedClusterSharder:
                 predicted_bottleneck_ms=math.inf,
                 column_splits=splits,
                 cache_hit_rate=hit_rate,
+                column_plan=column_plan,
             )
         per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
         for ti, d in enumerate(best_assignment):
@@ -384,6 +398,8 @@ class MixedClusterSharder:
             predicted_bottleneck_ms=best_cost,
             column_splits=splits,
             cache_hit_rate=hit_rate,
+            assignment=best_assignment,
+            column_plan=column_plan,
         )
 
     def _greedy_assign(

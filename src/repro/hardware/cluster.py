@@ -21,7 +21,7 @@ from repro.data.table import TableConfig
 from repro.hardware.comm import AllToAllModel, CommMeasurement
 from repro.hardware.device import DeviceSpec
 from repro.hardware.kernel import EmbeddingKernelModel
-from repro.hardware.memory import MemoryModel, OutOfMemoryError
+from repro.hardware.memory import MemoryModel
 from repro.hardware.trace import IterationTrace, TraceSimulator
 
 __all__ = ["PlanExecution", "SimulatedCluster"]

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Iterable
 
 import numpy as np
 

@@ -1,0 +1,233 @@
+"""Tests for the sharding service engine (repro.api.engine)."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    ShardingEngine,
+    ShardingRequest,
+    ShardingResponse,
+    available_strategies,
+    make_sharder,
+)
+from repro.config import TaskConfig
+from repro.data import generate_tasks
+from repro.evaluation import evaluate_sharder
+
+
+@pytest.fixture(scope="module")
+def engine(cluster2, tiny_bundle):
+    return ShardingEngine(cluster2, tiny_bundle)
+
+
+class TestShard:
+    def test_beam_response_matches_facade(self, engine, cluster2, tiny_bundle, tasks2):
+        response = engine.shard(ShardingRequest(tasks2[0], request_id="r0"))
+        assert response.strategy == "beam"
+        assert response.request_id == "r0"
+        assert response.feasible
+        assert response.plan is not None
+        assert response.evaluations > 0
+        assert 0.0 <= response.cache_hit_rate <= 1.0
+        # Same plan as calling the facade directly.
+        facade = make_sharder("beam", cluster=cluster2, bundle=tiny_bundle)
+        assert facade.shard(tasks2[0]).plan == response.plan
+
+    def test_baseline_gets_uniform_diagnostics(self, engine, tasks2):
+        response = engine.shard(ShardingRequest(tasks2[0], strategy="dim_greedy"))
+        assert response.strategy == "dim_greedy"
+        assert response.feasible
+        # A bare-plan baseline is scored on the engine's cost models.
+        assert math.isfinite(response.simulated_cost_ms)
+        assert response.simulated_cost_ms > 0
+
+    def test_no_bundle_engine_serves_heuristics(self, cluster2, tasks2):
+        engine = ShardingEngine(cluster2)
+        assert engine.default_strategy == "dim_greedy"
+        assert "beam" not in engine.available()
+        response = engine.shard(ShardingRequest(tasks2[0]))
+        assert response.feasible
+        assert math.isnan(response.simulated_cost_ms)  # nothing to score with
+
+    def test_errors_are_contained(self, engine, tasks2):
+        # 'guided' without a policy raises inside the factory; the
+        # engine reports it instead of crashing the server loop.
+        response = engine.shard(ShardingRequest(tasks2[0], strategy="guided"))
+        assert not response.feasible
+        assert response.plan is None
+        assert "policy" in response.error
+
+    def test_unknown_strategy_is_contained(self, engine, tasks2):
+        # A bad name in one request must not kill a whole batch.
+        responses = engine.shard_batch(
+            [
+                ShardingRequest(tasks2[0], strategy="dim_greedy"),
+                ShardingRequest(tasks2[0], strategy="not-a-strategy"),
+            ],
+            max_workers=2,
+        )
+        assert responses[0].feasible
+        assert not responses[1].feasible
+        assert "not-a-strategy" in responses[1].error
+
+    def test_planner_uses_cluster_batch_size(self, cluster2, tiny_bundle):
+        engine = ShardingEngine(cluster2, tiny_bundle)
+        planner = engine.sharder_for("planner")
+        assert planner.batch_size == cluster2.batch_size
+
+    def test_lifelong_cache_opt_in_shares_engine_cache(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(
+            cluster2,
+            tiny_bundle,
+            strategy_kwargs={"beam": {"lifelong_cache": True}},
+        )
+        engine.shard(ShardingRequest(tasks2[0]))
+        # The beam search populated the engine's shared cache.
+        assert engine.cache_stats()["entries"] > 0
+
+    def test_device_mismatch_engine_construction(self, cluster4, tiny_bundle):
+        with pytest.raises(ValueError, match="devices"):
+            ShardingEngine(cluster4, tiny_bundle)
+
+    def test_response_is_schema_valid_json(self, engine, tasks2):
+        response = engine.shard(ShardingRequest(tasks2[1], request_id="x"))
+        restored = ShardingResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert restored.deterministic_dict() == response.deterministic_dict()
+
+
+class TestShardBatch:
+    def test_batch_matches_sequential(self, cluster2, tiny_bundle, small_pool):
+        """Acceptance: 8 concurrent requests == 8 sequential calls."""
+        tasks = generate_tasks(
+            small_pool,
+            TaskConfig(
+                num_devices=2,
+                max_dim=64,
+                min_tables=4,
+                max_tables=10,
+                memory_bytes=2 * 1024**3,
+            ),
+            count=8,
+            seed=29,
+        )
+        requests = [
+            ShardingRequest(task, strategy="beam", request_id=str(i))
+            for i, task in enumerate(tasks)
+        ]
+        engine = ShardingEngine(cluster2, tiny_bundle)
+        sequential = [engine.shard(request) for request in requests]
+        batched = engine.shard_batch(requests, max_workers=4)
+        assert [r.deterministic_dict() for r in batched] == [
+            r.deterministic_dict() for r in sequential
+        ]
+
+    def test_order_preserved(self, engine, tasks2):
+        requests = [
+            ShardingRequest(task, strategy="dim_greedy", request_id=str(i))
+            for i, task in enumerate(tasks2)
+        ]
+        responses = engine.shard_batch(requests, max_workers=3)
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+
+    def test_single_worker_is_sequential_path(self, engine, tasks2):
+        responses = engine.shard_batch(
+            [ShardingRequest(t, strategy="dim_greedy") for t in tasks2],
+            max_workers=1,
+        )
+        assert all(r.feasible for r in responses)
+
+    def test_invalid_workers(self, engine, tasks2):
+        with pytest.raises(ValueError, match="max_workers"):
+            engine.shard_batch([ShardingRequest(tasks2[0])], max_workers=0)
+
+
+class TestCompare:
+    def test_default_roster(self, engine, tasks2):
+        responses = engine.compare(ShardingRequest(tasks2[0]))
+        names = [r.strategy for r in responses]
+        assert "beam" in names
+        assert "milp" in names
+        assert len(names) == len(set(names))
+        feasible = [r for r in responses if r.feasible]
+        assert feasible
+        # NeuroShard's simulated cost is the roster's best (or tied).
+        beam = next(r for r in responses if r.strategy == "beam")
+        best = min(r.simulated_cost_ms for r in feasible)
+        assert beam.simulated_cost_ms <= best * 1.25
+
+    def test_explicit_strategies_in_order(self, engine, tasks2):
+        responses = engine.compare(
+            ShardingRequest(tasks2[0]), strategies=["milp", "random", "beam"]
+        )
+        assert [r.strategy for r in responses] == ["milp", "random", "beam"]
+
+
+class TestEveryStrategyServes:
+    def test_all_strategies_return_schema_valid_responses(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        """Acceptance: every registered strategy answers through the
+        engine with a schema-valid response."""
+        policy = make_sharder(
+            "imitation",
+            cluster=cluster2,
+            bundle=tiny_bundle,
+            train_tasks=tasks2[:2],
+            epochs=2,
+        )
+        engine = ShardingEngine(
+            cluster2,
+            tiny_bundle,
+            strategy_kwargs={
+                "guided": {"policy": policy},
+                "imitation": {"train_tasks": tasks2[:2], "epochs": 2},
+                "offline_rl": {"train_tasks": tasks2[:2], "epochs": 2},
+                "rl": {"episodes": 2},
+                "autoshard": {"episodes": 2},
+                "surco": {"iterations": 2},
+            },
+        )
+        task = tasks2[0]
+        for name in available_strategies():
+            response = engine.shard(ShardingRequest(task, strategy=name))
+            assert response.error is None, f"{name}: {response.error}"
+            assert response.strategy == name
+            restored = ShardingResponse.from_dict(
+                json.loads(json.dumps(response.to_dict()))
+            )
+            assert restored.deterministic_dict() == response.deterministic_dict()
+            if response.feasible:
+                # The plan must be executable against its table list.
+                per_device = response.plan.per_device_tables(
+                    response.plan_tables(task)
+                )
+                assert len(per_device) == task.num_devices
+
+
+class TestEngineEvaluationIntegration:
+    def test_engine_sharder_in_evaluation_harness(
+        self, engine, cluster2, tasks2
+    ):
+        evaluation = evaluate_sharder(
+            engine.sharder_for("beam"), tasks2, cluster2
+        )
+        assert evaluation.num_tasks == len(tasks2)
+        assert evaluation.num_success >= 1
+
+    def test_cache_stats_shape(self, engine, tasks2):
+        engine.shard(ShardingRequest(tasks2[0], strategy="dim_greedy"))
+        stats = engine.cache_stats()
+        assert set(stats) == {
+            "entries",
+            "max_entries",
+            "hits",
+            "misses",
+            "evictions",
+            "hit_rate",
+        }

@@ -1,0 +1,134 @@
+"""Tests for the strategy registry (repro.api.registry / strategies)."""
+
+import pytest
+
+from repro.api import (
+    UnknownStrategyError,
+    all_names,
+    available_strategies,
+    iter_strategies,
+    make_sharder,
+    strategy_info,
+)
+from repro.baselines import GreedySharder, PlannerSharder, RandomSharder
+from repro.core import NeuroShard
+
+#: Every strategy the redesign promises (ISSUE 1 acceptance floor).
+EXPECTED = {
+    "beam",
+    "greedy_grid",
+    "random",
+    "greedy",
+    "size_greedy",
+    "dim_greedy",
+    "lookup_greedy",
+    "size_lookup_greedy",
+    "planner",
+    "milp",
+    "rl",
+    "autoshard",
+    "surco",
+    "rowwise",
+    "mixed",
+    "guided",
+    "imitation",
+    "offline_rl",
+}
+
+
+class TestRegistry:
+    def test_every_expected_strategy_registered(self):
+        assert EXPECTED <= set(available_strategies())
+
+    def test_every_name_resolves(self):
+        for name in all_names():
+            info = strategy_info(name)
+            assert info.name in available_strategies()
+            assert info.description
+            assert info.category in ("core", "baseline", "extension")
+
+    def test_categories_span_the_codebase(self):
+        assert available_strategies("core")
+        assert available_strategies("baseline")
+        assert available_strategies("extension")
+
+    def test_aliases_resolve_to_canonical(self):
+        assert strategy_info("torchrec").name == "planner"
+        assert strategy_info("dreamshard").name == "rl"
+        assert strategy_info("neuroshard").name == "beam"
+
+    def test_iter_strategies_sorted_and_complete(self):
+        names = [info.name for info in iter_strategies()]
+        assert names == sorted(names)
+        assert set(names) == set(available_strategies())
+
+    def test_unknown_name_is_helpful(self, cluster2):
+        with pytest.raises(UnknownStrategyError) as exc:
+            make_sharder("quantum", cluster=cluster2)
+        message = str(exc.value)
+        assert "quantum" in message
+        assert "available strategies" in message
+        assert "beam" in message  # the listing names real strategies
+
+    def test_unknown_name_in_strategy_info(self):
+        with pytest.raises(UnknownStrategyError):
+            strategy_info("nope")
+
+
+class TestMakeSharder:
+    def test_bundle_free_strategies_construct(self, cluster2):
+        assert isinstance(make_sharder("random", cluster=cluster2), RandomSharder)
+        assert isinstance(make_sharder("planner", cluster=cluster2), PlannerSharder)
+        greedy = make_sharder("greedy", cluster=cluster2, variant="Size-based")
+        assert isinstance(greedy, GreedySharder)
+        assert greedy.name == "Size-based"
+
+    def test_greedy_variant_names(self, cluster2):
+        for alias, display in {
+            "size_greedy": "Size-based",
+            "dim_greedy": "Dim-based",
+            "lookup_greedy": "Lookup-based",
+            "size_lookup_greedy": "Size-lookup-based",
+        }.items():
+            assert make_sharder(alias, cluster=cluster2).name == display
+
+    def test_needs_bundle_fails_fast(self, cluster2):
+        with pytest.raises(ValueError, match="bundle"):
+            make_sharder("beam", cluster=cluster2)
+
+    def test_alias_constructs_same_type(self, cluster2, tiny_bundle):
+        direct = make_sharder("beam", cluster=cluster2, bundle=tiny_bundle)
+        aliased = make_sharder("neuroshard", cluster=cluster2, bundle=tiny_bundle)
+        assert isinstance(direct, NeuroShard)
+        assert type(direct) is type(aliased)
+
+    def test_device_count_mismatch_rejected(self, cluster4, tiny_bundle):
+        # tiny_bundle is pre-trained for 2 devices.
+        with pytest.raises(ValueError, match="devices"):
+            make_sharder("beam", cluster=cluster4, bundle=tiny_bundle)
+
+    def test_guided_requires_policy_or_tasks(self, cluster2, tiny_bundle):
+        with pytest.raises(ValueError, match="policy"):
+            make_sharder("guided", cluster=cluster2, bundle=tiny_bundle)
+
+    def test_every_strategy_produces_a_sharder(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        """Acceptance: every registered name is constructible."""
+        heavy_kwargs = {
+            "imitation": {"train_tasks": tasks2[:2], "epochs": 2},
+            "offline_rl": {"train_tasks": tasks2[:2], "epochs": 2},
+            "guided": {"train_tasks": tasks2[:2], "epochs": 2},
+            "rl": {"episodes": 2},
+            "autoshard": {"episodes": 2},
+            "surco": {"iterations": 2},
+        }
+        for name in available_strategies():
+            sharder = make_sharder(
+                name,
+                cluster=cluster2,
+                bundle=tiny_bundle,
+                **heavy_kwargs.get(name, {}),
+            )
+            assert callable(sharder.shard), name
+            assert getattr(sharder, "name", None), name

@@ -1,0 +1,116 @@
+"""Tests for the request/response wire schema (repro.api.schema)."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    ShardingRequest,
+    ShardingResponse,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.core import ShardingPlan
+
+
+def _plan() -> ShardingPlan:
+    return ShardingPlan(column_plan=(1, 0), assignment=(0, 1, 0, 1), num_devices=2)
+
+
+class TestPlanDict:
+    def test_round_trip(self):
+        plan = _plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+
+class TestShardingRequest:
+    def test_round_trip_through_json(self, tasks2):
+        request = ShardingRequest(
+            tasks2[0],
+            strategy="beam",
+            request_id="job-1",
+            options={"lifelong_cache": True},
+        )
+        payload = json.loads(json.dumps(request.to_dict()))
+        restored = ShardingRequest.from_dict(payload)
+        assert restored.task == tasks2[0]
+        assert restored.strategy == "beam"
+        assert restored.request_id == "job-1"
+        assert restored.options == {"lifelong_cache": True}
+
+    def test_version_tag_present_and_checked(self, tasks2):
+        payload = ShardingRequest(tasks2[0]).to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            ShardingRequest.from_dict(payload)
+
+    def test_with_strategy_copies(self, tasks2):
+        request = ShardingRequest(tasks2[0], strategy="beam", request_id="x")
+        other = request.with_strategy("milp")
+        assert other.strategy == "milp"
+        assert other.request_id == "x"
+        assert request.strategy == "beam"
+
+
+class TestShardingResponse:
+    def test_round_trip_through_json(self):
+        response = ShardingResponse(
+            request_id="job-1",
+            strategy="beam",
+            feasible=True,
+            plan=_plan(),
+            simulated_cost_ms=12.5,
+            sharding_time_s=0.25,
+            cache_hit_rate=0.9,
+            evaluations=42,
+        )
+        payload = json.loads(json.dumps(response.to_dict()))
+        restored = ShardingResponse.from_dict(payload)
+        assert restored == response
+
+    def test_infeasible_inf_cost_is_json_safe(self):
+        response = ShardingResponse(
+            request_id="",
+            strategy="random",
+            feasible=False,
+            plan=None,
+            simulated_cost_ms=math.inf,
+            sharding_time_s=0.0,
+        )
+        payload = response.to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["simulated_cost_ms"] is None
+        restored = ShardingResponse.from_dict(payload)
+        assert math.isinf(restored.simulated_cost_ms)
+        assert restored.plan is None
+
+    def test_version_checked(self):
+        payload = ShardingResponse(
+            request_id="",
+            strategy="beam",
+            feasible=False,
+            plan=None,
+            simulated_cost_ms=math.inf,
+            sharding_time_s=0.0,
+        ).to_dict()
+        payload["schema_version"] = 0
+        with pytest.raises(ValueError, match="schema version"):
+            ShardingResponse.from_dict(payload)
+
+    def test_deterministic_dict_drops_only_wall_clock(self):
+        response = ShardingResponse(
+            request_id="r",
+            strategy="beam",
+            feasible=True,
+            plan=_plan(),
+            simulated_cost_ms=1.0,
+            sharding_time_s=123.0,
+        )
+        deterministic = response.deterministic_dict()
+        assert "sharding_time_s" not in deterministic
+        full = response.to_dict()
+        full.pop("sharding_time_s")
+        assert deterministic == full

@@ -1,0 +1,86 @@
+"""Tests for versioned bundle storage (repro.api.store)."""
+
+import numpy as np
+import pytest
+
+from repro.api import BundleStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return BundleStore(tmp_path / "bundles")
+
+
+class TestSaveLoad:
+    def test_versions_auto_increment(self, store, tiny_bundle):
+        first = store.save(tiny_bundle, "line")
+        second = store.save(tiny_bundle, "line")
+        assert (first.version, second.version) == (1, 2)
+        assert store.versions("line") == [1, 2]
+        assert store.latest_version("line") == 2
+        assert first.version_tag == "line@v1"
+
+    def test_load_latest_and_pinned(self, store, tiny_bundle, small_pool, rng):
+        store.save(tiny_bundle, "line")
+        store.save(tiny_bundle, "line")
+        latest = store.load("line")
+        pinned = store.load("line", version=1)
+        assert latest.num_devices == tiny_bundle.num_devices
+        assert latest.batch_size == tiny_bundle.batch_size
+        # The reloaded models predict identically to the originals.
+        tables = small_pool.sample_tables(3, rng)
+        features = tiny_bundle.featurizer.features_matrix(list(tables))
+        np.testing.assert_allclose(
+            latest.compute.predict_many([features]),
+            tiny_bundle.compute.predict_many([features]),
+        )
+        np.testing.assert_allclose(
+            pinned.compute.predict_many([features]),
+            tiny_bundle.compute.predict_many([features]),
+        )
+
+    def test_metadata_round_trips(self, store, tiny_bundle):
+        store.save(tiny_bundle, "line", metadata={"test_mse": {"Computation": 1.5}})
+        info = store.info("line")
+        assert info.metadata == {"test_mse": {"Computation": 1.5}}
+        assert info.num_devices == tiny_bundle.num_devices
+        assert info.created_at > 0
+
+    def test_list_bundles_across_lines(self, store, tiny_bundle):
+        store.save(tiny_bundle, "a")
+        store.save(tiny_bundle, "b")
+        store.save(tiny_bundle, "b")
+        tags = [i.version_tag for i in store.list_bundles()]
+        assert tags == ["a@v1", "b@v1", "b@v2"]
+        assert store.names() == ["a", "b"]
+
+
+class TestErrors:
+    def test_missing_name(self, store):
+        with pytest.raises(FileNotFoundError, match="no bundle named"):
+            store.load("ghost")
+
+    def test_missing_version(self, store, tiny_bundle):
+        store.save(tiny_bundle, "line")
+        with pytest.raises(FileNotFoundError, match="v7"):
+            store.load("line", version=7)
+
+    def test_invalid_name_rejected(self, store, tiny_bundle):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="bundle name"):
+                store.save(tiny_bundle, bad)
+
+    def test_empty_store_lists_nothing(self, store):
+        assert store.list_bundles() == []
+        assert store.names() == []
+        assert store.versions("anything") == []
+
+
+class TestRawBundleDetection:
+    def test_is_raw_bundle(self, store, tiny_bundle, tmp_path):
+        raw = tmp_path / "raw"
+        tiny_bundle.save(raw)
+        assert BundleStore.is_raw_bundle(raw)
+        info = store.save(tiny_bundle, "line")
+        assert BundleStore.is_raw_bundle(info.path)  # a version dir is one
+        assert not BundleStore.is_raw_bundle(tmp_path / "bundles")

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_ALL_INFEASIBLE, build_parser, main
+from repro.data import save_tasks
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
 
 
 class TestParser:
@@ -21,6 +26,159 @@ class TestParser:
     def test_compare_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "quantum"])
+
+    def test_compare_accepts_registry_names_and_aliases(self):
+        args = build_parser().parse_args(["compare", "torchrec", "dim_greedy"])
+        assert args.algorithm == ["torchrec", "dim_greedy"]
+
+    def test_shard_strategy_flag(self):
+        args = build_parser().parse_args(
+            ["shard", "/tmp/b", "--strategy", "planner"]
+        )
+        assert args.strategy == "planner"
+
+    def test_shard_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "/tmp/b", "--strategy", "no"])
+
+    def test_serve_batch_args(self):
+        args = build_parser().parse_args(
+            ["serve-batch", "/tmp/b", "/tmp/tasks.json", "--workers", "8"]
+        )
+        assert args.command == "serve-batch"
+        assert args.workers == 8
+
+
+class TestStrategiesCommand:
+    def test_lists_all_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("beam", "milp", "rowwise", "mixed", "offline_rl"):
+            assert name in out
+
+    def test_category_filter(self, capsys):
+        assert main(["strategies", "--category", "core"]) == 0
+        out = capsys.readouterr().out
+        assert "beam" in out
+        assert "milp" not in out
+
+
+def _oversized_task(num_devices: int = 2) -> ShardingTask:
+    """A task no algorithm can place: one table far beyond the budget."""
+    table = TableConfig(
+        table_id=0, hash_size=10_000_000, dim=128, pooling_factor=10.0,
+        zipf_alpha=1.05,
+    )
+    return ShardingTask(
+        tables=(table,), num_devices=num_devices, memory_bytes=1024**2
+    )
+
+
+class TestExitCodes:
+    @pytest.fixture()
+    def bundle_dir(self, tmp_path, tiny_bundle):
+        path = tmp_path / "bundle"
+        tiny_bundle.save(path)
+        return str(path)
+
+    def test_shard_all_infeasible_is_nonzero(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task()], tasks_file)
+        code = main(
+            ["shard", bundle_dir, "--strategy", "random",
+             "--tasks-file", tasks_file]
+        )
+        assert code == EXIT_ALL_INFEASIBLE
+        captured = capsys.readouterr()
+        assert "no feasible plan" in captured.err
+        assert "Valid 0 / 1" in captured.out
+
+    def test_shard_missing_bundle_is_error(self, tmp_path, capsys):
+        code = main(["shard", str(tmp_path / "ghost"), "--tasks", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_shard_factory_error_is_clean(self, tmp_path, bundle_dir, capsys):
+        # 'guided' needs a trained policy: a clean error, not a traceback.
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task()], tasks_file)
+        code = main(
+            ["shard", bundle_dir, "--strategy", "guided",
+             "--tasks-file", tasks_file]
+        )
+        assert code == 1
+        assert "policy" in capsys.readouterr().err
+
+    def test_compare_device_mismatch_is_clean(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        # The bundle is for 2 devices; asking for 4 must not traceback.
+        code = main(
+            ["compare", "beam", "--bundle", bundle_dir, "--gpus", "4",
+             "--tasks", "1"]
+        )
+        assert code == 1
+        assert "pre-trained for 2" in capsys.readouterr().err
+
+    def test_serve_batch_all_infeasible_is_nonzero(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task(), _oversized_task()], tasks_file)
+        code = main(
+            ["serve-batch", bundle_dir, tasks_file, "--strategy", "random",
+             "--output", str(tmp_path / "out.json")]
+        )
+        assert code == EXIT_ALL_INFEASIBLE
+        assert "0 / 2 feasible" in capsys.readouterr().err
+
+
+class TestServeBatch:
+    def test_writes_schema_valid_responses(
+        self, tmp_path, tiny_bundle, tasks2, capsys
+    ):
+        bundle_dir = tmp_path / "bundle"
+        tiny_bundle.save(bundle_dir)
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks(tasks2[:3], tasks_file)
+        out_file = tmp_path / "responses.json"
+        code = main(
+            ["serve-batch", str(bundle_dir), tasks_file,
+             "--strategy", "dim_greedy", "--workers", "2",
+             "--output", str(out_file)]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert len(payload) == 3
+        for record in payload:
+            assert record["schema_version"] == 1
+            assert record["strategy"] == "dim_greedy"
+            assert record["feasible"] is True
+            assert record["plan"]["num_devices"] == 2
+
+
+class TestBundleStoreCli:
+    def test_list_bundles_and_store_shard(
+        self, tmp_path, tiny_bundle, tasks2, capsys
+    ):
+        from repro.api import BundleStore
+
+        store_root = tmp_path / "store"
+        BundleStore(store_root).save(tiny_bundle, "default")
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks(tasks2[:2], tasks_file)
+
+        assert main(["list-bundles", str(store_root)]) == 0
+        assert "default@v1" in capsys.readouterr().out
+
+        code = main(
+            ["shard", str(store_root), "--strategy", "dim_greedy",
+             "--tasks-file", tasks_file]
+        )
+        assert code == 0
+        assert "Valid 2 / 2" in capsys.readouterr().out
 
 
 @pytest.mark.slow

@@ -1,5 +1,6 @@
 """Tests for repro.core.cache."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -40,6 +41,66 @@ class TestCostCache:
 
     def test_hit_rate_zero_when_unused(self):
         assert CostCache().hit_rate == 0.0
+
+
+class TestBoundedLRU:
+    def test_evicts_least_recently_used(self):
+        cache = CostCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("c", 3.0)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2.0
+        assert cache.get("c") == 3.0
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = CostCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.get("a") == 1.0  # "a" is now most recent
+        cache.put("c", 3.0)  # evicts "b", not "a"
+        assert cache.get("a") == 1.0
+        assert cache.get("b") is None
+        assert cache.get("c") == 3.0
+
+    def test_overwrite_does_not_evict(self):
+        cache = CostCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("a", 5.0)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 5.0
+
+    def test_unbounded_never_evicts(self):
+        cache = CostCache()
+        for i in range(1000):
+            cache.put(i, float(i))
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_clear_resets_evictions(self):
+        cache = CostCache(max_entries=1)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+        assert len(cache) == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            CostCache(max_entries=0)
+
+    def test_hit_statistics_in_bounded_mode(self):
+        cache = CostCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", 1.0)
+        assert cache.get("k") == 1.0
+        assert cache.hits == 1
+        assert cache.misses == 1
 
 
 @settings(max_examples=30, deadline=None)
