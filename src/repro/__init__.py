@@ -31,7 +31,9 @@ Package map — see README.md for the full inventory:
 - :mod:`repro.hardware` — the simulated multi-GPU ground truth.
 - :mod:`repro.nn` — from-scratch NumPy neural nets.
 - :mod:`repro.costmodel` — featurization, cost models, pre-training.
-- :mod:`repro.core` — plans, cache, beam + greedy grid search, facade.
+- :mod:`repro.core` — plans, cache, the incremental beam + greedy grid
+  search kernel (and its frozen pre-optimization reference), facade.
+- :mod:`repro.perf` — search instrumentation (stage timers, counters).
 - :mod:`repro.baselines` — random/greedy/RL/planner/MILP/SurCo comparators.
 - :mod:`repro.api` — the service layer: strategy registry, versioned
   request/response schema, :class:`~repro.api.engine.ShardingEngine`,
@@ -54,6 +56,7 @@ from repro.config import (
 )
 from repro.core import NeuroShard, ShardingPlan, ShardingResult
 from repro.costmodel import PretrainedCostModels, pretrain_cost_models
+from repro.perf import SearchProfile
 from repro.data import (
     ShardingTask,
     TableConfig,
@@ -68,7 +71,7 @@ from repro.hardware import (
     TopologySpec,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -83,6 +86,7 @@ __all__ = [
     "NeuroShard",
     "ShardingPlan",
     "ShardingResult",
+    "SearchProfile",
     "PretrainedCostModels",
     "pretrain_cost_models",
     "TableConfig",

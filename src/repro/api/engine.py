@@ -218,6 +218,7 @@ class ShardingEngine:
                 sharding_time_s=elapsed,
                 cache_hit_rate=raw.cache_hit_rate,
                 evaluations=raw.evaluations,
+                profile=getattr(raw, "profile", None),
             )
         if raw is None:
             return ShardingResponse(

@@ -168,6 +168,11 @@ class ShardingResponse:
         effective_tables: when set, the plan indexes this table list
             instead of the request task's (strategies that rewrite the
             task first, e.g. row-wise splitting of oversized tables).
+        profile: serialized :class:`~repro.perf.SearchProfile` (stage
+            timers and work counters of the search) when the serving
+            strategy ran with profiling enabled (request option
+            ``{"profile": True}`` on the core strategies); ``None``
+            otherwise.
     """
 
     request_id: str
@@ -180,6 +185,7 @@ class ShardingResponse:
     evaluations: int = 0
     error: str | None = None
     effective_tables: tuple[TableConfig, ...] | None = None
+    profile: Mapping[str, Any] | None = None
 
     def plan_tables(self, task: ShardingTask) -> tuple[TableConfig, ...]:
         """The table list :attr:`plan` assigns, for ``task``."""
@@ -203,6 +209,7 @@ class ShardingResponse:
                 if self.effective_tables is None
                 else [table_to_dict(t) for t in self.effective_tables]
             ),
+            "profile": None if self.profile is None else dict(self.profile),
         }
 
     @classmethod
@@ -230,15 +237,18 @@ class ShardingResponse:
                 if tables_data is None
                 else tuple(table_from_dict(t) for t in tables_data)
             ),
+            profile=data.get("profile"),
         )
 
     def deterministic_dict(self) -> dict[str, Any]:
-        """The serialized response minus its wall-clock timing.
+        """The serialized response minus its wall-clock measurements.
 
         Everything the engine computes is deterministic except
-        ``sharding_time_s``; this view is what batch-vs-sequential
-        equivalence is defined (and tested) over.
+        ``sharding_time_s`` and the profile's stage timers; this view is
+        what batch-vs-sequential equivalence is defined (and tested)
+        over.
         """
         payload = self.to_dict()
         payload.pop("sharding_time_s")
+        payload.pop("profile")
         return payload

@@ -69,17 +69,20 @@ __all__ = ["MixedStrategySharder", "RowWiseStrategySharder"]
     aliases=("neuroshard",),
 )
 def _make_beam(
-    cluster, bundle, search=None, lifelong_cache=False, cache=None, **kwargs
+    cluster, bundle, search=None, lifelong_cache=False, cache=None,
+    profile=False, **kwargs
 ):
     # Per-request caches by default so batch results (including hit
     # rates) are independent of serving order; opt into the paper's
     # lifelong hash map with lifelong_cache=True (the engine then shares
-    # its bounded cache).
+    # its bounded cache).  profile=True attaches a SearchProfile to
+    # every result (surfaced as ShardingResponse.profile).
     sharder = NeuroShard(
         bundle,
         search=search or SearchConfig(**kwargs),
         lifelong_cache=lifelong_cache,
         cache=cache if lifelong_cache else None,
+        profile=profile,
     )
     sharder.name = "NeuroShard"
     return sharder
@@ -92,7 +95,8 @@ def _make_beam(
     needs_bundle=True,
 )
 def _make_greedy_grid(
-    cluster, bundle, search=None, lifelong_cache=False, cache=None, **kwargs
+    cluster, bundle, search=None, lifelong_cache=False, cache=None,
+    profile=False, **kwargs
 ):
     search = search or SearchConfig(**kwargs)
     sharder = NeuroShard(
@@ -100,6 +104,7 @@ def _make_greedy_grid(
         search=search.with_ablation("beam_search"),
         lifelong_cache=lifelong_cache,
         cache=cache if lifelong_cache else None,
+        profile=profile,
     )
     sharder.name = "GreedyGrid"
     return sharder

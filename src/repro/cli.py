@@ -14,7 +14,9 @@ all sharding algorithms served through the :mod:`repro.api` registry:
 - ``shard`` — load a bundle and run any registered strategy over
   benchmark tasks, reporting simulated and real (simulated-hardware)
   costs (the artifact's ``eval_simulator.py`` / ``eval.py``).  Exits
-  non-zero when every task is infeasible.
+  non-zero when every task is infeasible.  ``--profile`` additionally
+  prints the aggregated search profile (stage timers, evaluation /
+  memoization / cache counters — see :mod:`repro.perf`).
 - ``compare`` — run one or more registry strategies on the same tasks
   for a side-by-side (the artifact's ``--alg`` flag).
 - ``serve-batch`` — answer a tasks file concurrently through
@@ -63,6 +65,7 @@ from repro.data import (
 from repro.evaluation import evaluate_sharder, format_text_table
 from repro.hardware import SimulatedCluster
 from repro.hardware.memory import OutOfMemoryError
+from repro.perf import SearchProfile
 
 __all__ = ["main", "build_parser"]
 
@@ -125,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--tasks-file", help="tasks JSON from 'gen-tasks' "
                        "(overrides --max-dim/--tasks)")
     shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--profile", action="store_true",
+                       help="collect search-stage timers and work counters "
+                       "(core strategies) and print the aggregate")
 
     cmp = sub.add_parser("compare", help="run registry strategies on "
                          "benchmark tasks")
@@ -286,7 +292,19 @@ def _cmd_shard(args) -> int:
     except Exception as exc:  # factory error, e.g. guided without a policy
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    responses = [engine.shard(ShardingRequest(task)) for task in tasks]
+    options = {}
+    if getattr(args, "profile", False):
+        if strategy_info(args.strategy).category == "core":
+            options = {"profile": True}
+        else:
+            print(
+                f"note: --profile instruments the core search; strategy "
+                f"{args.strategy!r} reports timing only",
+                file=sys.stderr,
+            )
+    responses = [
+        engine.shard(ShardingRequest(task, options=options)) for task in tasks
+    ]
 
     rows = []
     real_costs = []
@@ -322,6 +340,17 @@ def _cmd_shard(args) -> int:
     mean = sum(real_costs) / len(real_costs) if all_ok and real_costs else math.nan
     print(f"Average: {'-' if math.isnan(mean) else f'{mean:.3f}'}")
     print(f"Valid {len(real_costs)} / {len(tasks)}")
+    if getattr(args, "profile", False):
+        aggregate = SearchProfile()
+        profiled = 0
+        for resp in responses:
+            if resp.profile is not None:
+                aggregate.merge(resp.profile)
+                profiled += 1
+        if profiled:  # non-core strategies report no search profile
+            print(f"\nsearch profile (aggregated over {profiled} tasks):")
+            for line in aggregate.format_lines():
+                print(line)
     return _infeasible_exit(len(real_costs), len(tasks), strategy_name)
 
 

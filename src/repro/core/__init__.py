@@ -17,6 +17,9 @@ Public API:
 - :func:`~repro.core.beam_search.beam_search` — Algorithm 1.
 - :class:`~repro.core.sharder.NeuroShard` — the end-to-end facade
   (pre-train once, shard any task).
+- :mod:`~repro.core.reference` — the frozen pre-optimization search,
+  kept as the equivalence oracle and performance baseline for the
+  incremental/memoized hot path.
 """
 
 from repro.core.plan import (
@@ -29,6 +32,10 @@ from repro.core.cache import CostCache
 from repro.core.simulator import NeuroShardSimulator, PlanCost
 from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
 from repro.core.beam_search import BeamSearchResult, beam_search
+from repro.core.reference import (
+    reference_beam_search,
+    reference_greedy_grid_search,
+)
 from repro.core.sharder import NeuroShard, ShardingResult
 
 __all__ = [
@@ -43,6 +50,8 @@ __all__ = [
     "greedy_grid_search",
     "BeamSearchResult",
     "beam_search",
+    "reference_beam_search",
+    "reference_greedy_grid_search",
     "NeuroShard",
     "ShardingResult",
 ]

@@ -16,6 +16,25 @@ most promising candidates:
   plan (no splits) is evaluated first, so zero splits is always an
   option.
 
+**Plan memoization.**  Beam expansions are dominated by
+permutation-duplicate plans: with beam width ``K`` and overlapping
+candidate sets, different split orders routinely produce the *same
+multiset of shards*, and the inner loop's outcome depends only on that
+multiset.  ``evaluate`` therefore memoizes on the canonical key of the
+resulting table list (its sorted uid multiset — NOT the column-plan
+index sequence, whose permutations can legally produce different shard
+multisets), and serves hits by remapping the stored assignment across
+uid-equal tables (cost-identical by construction of
+:attr:`~repro.data.table.TableConfig.uid`).  A hit for a *permuted*
+ordering is only served when the greedy visit sequence matches the
+memoized one — distinct uids with bit-equal predicted costs (possible
+via the prediction floor) would otherwise tie-break differently — so
+memoized results are bit-identical to re-evaluation; the search
+trajectory — beam contents, tie-breaking, best plan — is unchanged, only
+the redundant grid searches disappear.  The memo is disabled alongside
+``use_cache`` so the "w/o caching" ablation measures a genuinely
+memo-free search.
+
 With ``use_beam_search`` disabled only the empty plan is evaluated —
 Table 3's "w/o beam search" ablation, which loses memory feasibility on
 tasks with oversized tables.
@@ -24,8 +43,11 @@ tasks with oversized tables.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from collections import defaultdict, deque
+from dataclasses import dataclass, replace
 from typing import Sequence
+
+import numpy as np
 
 from repro.config import SearchConfig
 from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
@@ -33,6 +55,7 @@ from repro.core.plan import ShardingPlan, apply_column_plan
 from repro.core.simulator import NeuroShardSimulator
 from repro.data.table import TableConfig
 from repro.hardware.memory import MemoryModel
+from repro.perf import SearchProfile, maybe_stage
 
 __all__ = ["BeamSearchResult", "beam_search"]
 
@@ -46,7 +69,11 @@ class BeamSearchResult:
         plan: the best complete plan (column plan may be empty); ``None``
             when nothing feasible was found.
         cost_ms: its simulated embedding cost.
-        evaluations: number of inner-loop (grid search) invocations.
+        evaluations: number of inner-loop (grid search) requests,
+            including requests served by the plan memo — comparable to
+            the pre-optimization search's count (the profile's
+            ``unique_evaluations`` counter reports the grid searches
+            actually executed).
     """
 
     feasible: bool
@@ -60,7 +87,12 @@ def _candidates(
     simulator: NeuroShardSimulator,
     top_n: int,
 ) -> list[int]:
-    """Top-N costly ∪ top-N largest splittable table indices."""
+    """Top-N costly ∪ top-N largest splittable table indices.
+
+    Order-preserving: the by-cost block first, then unseen by-size
+    entries — deduplicated through a set (the candidate lists are
+    ``O(top_n)`` long, but this runs on every beam expansion).
+    """
     splittable = [i for i, t in enumerate(tables) if t.can_halve]
     if not splittable:
         return []
@@ -68,10 +100,35 @@ def _candidates(
     by_cost = sorted(splittable, key=lambda i: -singles[i])[:top_n]
     by_size = sorted(splittable, key=lambda i: -tables[i].size_bytes)[:top_n]
     merged: list[int] = []
+    seen: set[int] = set()
     for i in by_cost + by_size:
-        if i not in merged:
+        if i not in seen:
+            seen.add(i)
             merged.append(i)
     return merged
+
+
+def _remap_assignment(
+    result: GridSearchResult,
+    ref_uids: tuple[str, ...],
+    uids: tuple[str, ...],
+) -> GridSearchResult:
+    """Re-align a memoized assignment to a permuted table list.
+
+    ``result`` was computed for a table list with uid sequence
+    ``ref_uids``; the requesting plan produced the same multiset in order
+    ``uids`` *with an identical greedy visit sequence* (checked by the
+    caller).  The allocator's behaviour depends only on that visit
+    sequence, and uid-equal tables are visited in position order, so the
+    k-th table of a given uid receives the same device in both
+    orderings: remapping by occurrence rank reproduces exactly what
+    direct re-evaluation would return.
+    """
+    devices_by_uid: dict[str, deque[int]] = defaultdict(deque)
+    for uid, device in zip(ref_uids, result.assignment):
+        devices_by_uid[uid].append(device)
+    assignment = tuple(devices_by_uid[uid].popleft() for uid in uids)
+    return replace(result, assignment=assignment)
 
 
 def beam_search(
@@ -80,6 +137,7 @@ def beam_search(
     simulator: NeuroShardSimulator,
     memory: MemoryModel,
     config: SearchConfig | None = None,
+    profile: SearchProfile | None = None,
 ) -> BeamSearchResult:
     """Algorithm 1: jointly search column-wise and table-wise plans."""
     config = config or SearchConfig()
@@ -87,12 +145,65 @@ def beam_search(
         raise ValueError("cannot shard an empty table list")
 
     evaluations = 0
+    memo_enabled = config.use_cache
+    # Canonical shard multiset -> (inner result, uid order it was
+    # computed for, greedy visit sequence).  Lives for one search
+    # request, like the uid memo.
+    plan_memo: dict[
+        tuple[str, ...],
+        tuple[GridSearchResult, tuple[str, ...], tuple[str, ...]],
+    ] = {}
+
+    def visit_sequence(sharded, uids: tuple[str, ...]) -> tuple[str, ...]:
+        """The uid sequence the greedy allocator would visit: descending
+        predicted single-table cost, stable on list position.  Cheap —
+        single-table costs are memo-served after the first evaluation."""
+        singles = simulator.single_table_costs(sharded)
+        order = np.argsort(-singles, kind="stable")
+        return tuple(uids[i] for i in order)
 
     def evaluate(column_plan: tuple[int, ...]) -> GridSearchResult:
         nonlocal evaluations
         evaluations += 1
-        sharded = apply_column_plan(base_tables, column_plan)
-        return greedy_grid_search(sharded, num_devices, simulator, memory, config)
+        with maybe_stage(profile, "evaluate"):
+            sharded = apply_column_plan(base_tables, column_plan)
+            if not memo_enabled:
+                if profile is not None:
+                    profile.count("unique_evaluations")
+                return greedy_grid_search(
+                    sharded, num_devices, simulator, memory, config,
+                    profile=profile,
+                )
+            uids = tuple(t.uid for t in sharded)
+            key = tuple(sorted(uids))
+            hit = plan_memo.get(key)
+            if hit is not None:
+                result, ref_uids, ref_visit = hit
+                if ref_uids == uids:
+                    if profile is not None:
+                        profile.count("plan_memo_hits")
+                    return result
+                # A permuted ordering replays the memoized trajectory
+                # only when the allocator would visit the same uid
+                # sequence.  Distinct uids with bit-equal predicted
+                # costs (e.g. both clamped to the prediction floor) can
+                # break that — then stable-argsort tie-breaking depends
+                # on list positions, so fall through and re-evaluate.
+                if visit_sequence(sharded, uids) == ref_visit:
+                    if profile is not None:
+                        profile.count("plan_memo_hits")
+                    if not result.feasible:
+                        return result
+                    return _remap_assignment(result, ref_uids, uids)
+            result = greedy_grid_search(
+                sharded, num_devices, simulator, memory, config,
+                profile=profile,
+            )
+            if hit is None:
+                plan_memo[key] = (result, uids, visit_sequence(sharded, uids))
+            if profile is not None:
+                profile.count("unique_evaluations")
+            return result
 
     best_plan: tuple[int, ...] | None = None
     best_inner: GridSearchResult = GridSearchResult.infeasible()
@@ -117,7 +228,9 @@ def beam_search(
             scored: list[tuple[tuple[int, ...], tuple[float, float]]] = []
             for plan, _ in beam:
                 sharded = apply_column_plan(base_tables, plan)
-                for index in _candidates(sharded, simulator, config.top_n):
+                with maybe_stage(profile, "candidates"):
+                    indices = _candidates(sharded, simulator, config.top_n)
+                for index in indices:
                     new_plan = plan + (index,)
                     result = evaluate(new_plan)
                     scored.append((new_plan, result.beam_key))
@@ -128,6 +241,9 @@ def beam_search(
                 break
             scored.sort(key=lambda item: item[1])
             beam = scored[: config.beam_width]
+
+    if profile is not None:
+        profile.count("evaluations", evaluations)
 
     if best_plan is None or not best_inner.feasible:
         return BeamSearchResult(

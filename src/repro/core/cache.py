@@ -32,9 +32,11 @@ class CostCache:
             ablation of Table 3) but statistics are still recorded.
         max_entries: optional LRU bound on stored entries; ``None``
             (the default) keeps the cache unbounded.  Bounded caches are
-            safe to share across threads (lookups take a lock); unbounded
-            caches rely on the GIL's atomic dict operations, keeping the
-            paper-mode hot path lock-free.
+            safe to share across threads: every store access *and* every
+            statistics update happens under one lock, so concurrent
+            lookups always satisfy ``hits + misses == lookups``.
+            Unbounded caches rely on the GIL's atomic dict operations,
+            keeping the paper-mode hot path lock-free.
     """
 
     def __init__(
@@ -51,22 +53,31 @@ class CostCache:
         self._evictions = 0
 
     def get(self, key: Hashable) -> float | None:
-        """Look up a predicted cost; records the hit/miss."""
-        if self.enabled:
-            if self.max_entries is None:
+        """Look up a predicted cost; records the hit/miss.
+
+        Locking scheme: in bounded mode *every* statistics update happens
+        under the lock together with the store access — miss counting
+        included, so concurrent lookups can never lose increments or
+        observe ``hits + misses != lookups``.  Unbounded (paper) mode
+        stays lock-free on the GIL's atomic dict operations.
+        """
+        if self.max_entries is None:
+            if self.enabled:
                 value = self._store.get(key)
                 if value is not None:
                     self._hits += 1
                     return value
-            else:
-                with self._lock:
-                    value = self._store.get(key)
-                    if value is not None:
-                        self._store.move_to_end(key)
-                        self._hits += 1
-                        return value
-        self._misses += 1
-        return None
+            self._misses += 1
+            return None
+        with self._lock:
+            if self.enabled:
+                value = self._store.get(key)
+                if value is not None:
+                    self._store.move_to_end(key)
+                    self._hits += 1
+                    return value
+            self._misses += 1
+            return None
 
     def put(self, key: Hashable, value: float) -> None:
         """Store a predicted cost (no-op when disabled)."""
@@ -81,6 +92,24 @@ class CostCache:
             while len(self._store) > self.max_entries:
                 self._store.popitem(last=False)
                 self._evictions += 1
+
+    def record_external_hits(self, n: int = 1) -> None:
+        """Count ``n`` lookups served by an upstream memo on this cache's
+        behalf.
+
+        The search keeps tiny per-request memo layers (e.g. single-table
+        costs by uid) in front of the cache; pre-optimization, those
+        lookups all reached the cache and were recorded as hits.  Routing
+        the bookkeeping here keeps reported hit rates comparable across
+        the optimization.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if self.max_entries is None:
+            self._hits += n
+        else:
+            with self._lock:
+                self._hits += n
 
     # ------------------------------------------------------------------
     # statistics

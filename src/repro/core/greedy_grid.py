@@ -18,6 +18,26 @@ bounds the max device dimension, which controls the communication
 bottleneck, while the greedy objective balances the non-linear
 computation costs (Observation 2).
 
+**Incremental hot loop.**  The greedy allocator is the innermost layer of
+the whole search (``O(L K N M T D)`` candidate evaluations), so it keeps
+*running per-device state* instead of recomputing from scratch:
+
+- table uids, feature rows, byte sizes and dimensions are materialized
+  once per grid search and shared across all ``M`` grid passes;
+- each device carries an incrementally-maintained sorted uid list, so a
+  candidate's canonical cache key is one binary-search splice
+  (:func:`~repro.data.table.extend_table_set_key`) instead of an
+  ``O(n log n)`` re-sort over re-materialized uids;
+- each device carries its feature rows in placement order, so a cache
+  miss stacks cached row references instead of re-featurizing the set;
+- all uncached candidates of a step are scored in one stacked
+  ``predict_many`` call (:meth:`~repro.core.simulator.NeuroShardSimulator
+  .device_compute_costs_keyed`).
+
+The results are bit-identical to the recompute-from-scratch reference
+(:mod:`repro.core.reference`): same keys, same stacked matrices in the
+same row order, same tie-breaking.
+
 Deviation from the paper (documented): when *every* grid point is
 infeasible — e.g. one table's dimension alone exceeds ``Me`` — we fall
 back to an unconstrained greedy pass (``max_dim = ∞``) so that the inner
@@ -37,8 +57,9 @@ import numpy as np
 
 from repro.config import SearchConfig
 from repro.core.simulator import NeuroShardSimulator, PlanCost
-from repro.data.table import TableConfig
+from repro.data.table import TableConfig, extend_table_set_key, insort_uid
 from repro.hardware.memory import MemoryModel
+from repro.perf import SearchProfile, maybe_stage
 
 __all__ = ["GridSearchResult", "greedy_grid_search"]
 
@@ -88,45 +109,94 @@ class GridSearchResult:
         return (self.cost_ms, self.overflow_bytes)
 
 
+@dataclass
+class _GreedyPass:
+    """Outcome of one greedy pass, carrying its incremental device state.
+
+    ``assignment`` is ``None`` when some table had no candidate device.
+    ``dim_bound_hit`` records whether the ``max_dim`` constraint ever
+    excluded a device: when it never did, any pass with a *larger*
+    ``max_dim`` is guaranteed to replay the identical trajectory (same
+    candidate sets at every step, by induction), so the caller can skip
+    the rest of the grid outright.
+    """
+
+    assignment: tuple[int, ...] | None
+    device_keys: list[list[str]]
+    device_rows: list[list[np.ndarray]]
+    device_dims: list[int]
+    dim_bound_hit: bool
+
+
 def _greedy_assign(
-    tables: Sequence[TableConfig],
     order: np.ndarray,
     num_devices: int,
     simulator: NeuroShardSimulator,
-    memory: MemoryModel,
+    memory_bytes: int,
     max_dim: float,
-) -> tuple[int, ...] | None:
+    uids: Sequence[str],
+    rows: Sequence[np.ndarray],
+    table_bytes: Sequence[int],
+    dims: Sequence[int],
+    profile: SearchProfile | None = None,
+) -> _GreedyPass:
     """One greedy pass under a ``max_dim`` constraint.
 
-    Returns the assignment or ``None`` when some table has no candidate
-    device.
+    Operates on pre-materialized per-table state (``uids``, feature
+    ``rows``, ``table_bytes``, ``dims`` — computed once per grid search)
+    and maintains incremental per-device state, so scoring a candidate
+    device costs one key splice and one cache lookup.
     """
-    device_tables: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+    device_keys: list[list[str]] = [[] for _ in range(num_devices)]
+    device_rows: list[list[np.ndarray]] = [[] for _ in range(num_devices)]
     device_bytes = [0] * num_devices
     device_dims = [0] * num_devices
-    assignment = [0] * len(tables)
+    assignment: list[int] | None = [0] * len(uids)
+    dim_bound_hit = False
+    steps = 0
+    scored = 0
 
     for ti in order:
-        table = tables[ti]
-        t_bytes = memory.table_bytes(table)
-        candidates = [
-            d
-            for d in range(num_devices)
-            if device_bytes[d] + t_bytes <= memory.memory_bytes
-            and device_dims[d] + table.dim <= max_dim
-        ]
+        steps += 1
+        t_bytes = table_bytes[ti]
+        t_dim = dims[ti]
+        candidates = []
+        for d in range(num_devices):
+            if device_bytes[d] + t_bytes > memory_bytes:
+                continue
+            if device_dims[d] + t_dim > max_dim:
+                dim_bound_hit = True
+                continue
+            candidates.append(d)
         if not candidates:
-            return None
+            assignment = None
+            break
+        uid = uids[ti]
+        row = rows[ti]
         # Cheapest resulting device per the computation cost model; the
-        # batched call predicts all uncached candidate sets at once.
-        resulting = [device_tables[d] + [table] for d in candidates]
-        costs = simulator.device_compute_costs(resulting)
-        best = candidates[int(np.argmin(costs))]
-        device_tables[best].append(table)
+        # keyed batch call predicts all uncached candidate sets at once.
+        entries = [
+            (extend_table_set_key(device_keys[d], uid), device_rows[d], row)
+            for d in candidates
+        ]
+        costs = simulator.device_compute_costs_keyed(entries)
+        scored += len(candidates)
+        best = candidates[min(range(len(costs)), key=costs.__getitem__)]
+        insort_uid(device_keys[best], uid)
+        device_rows[best].append(row)
         device_bytes[best] += t_bytes
-        device_dims[best] += table.dim
+        device_dims[best] += t_dim
         assignment[ti] = best
-    return tuple(assignment)
+    if profile is not None:
+        profile.count("greedy_steps", steps)
+        profile.count("scored_candidates", scored)
+    return _GreedyPass(
+        assignment=None if assignment is None else tuple(assignment),
+        device_keys=device_keys,
+        device_rows=device_rows,
+        device_dims=device_dims,
+        dim_bound_hit=dim_bound_hit,
+    )
 
 
 def greedy_grid_search(
@@ -135,6 +205,7 @@ def greedy_grid_search(
     simulator: NeuroShardSimulator,
     memory: MemoryModel,
     config: SearchConfig | None = None,
+    profile: SearchProfile | None = None,
 ) -> GridSearchResult:
     """Algorithm 2: find the best table-wise plan for ``tables``.
 
@@ -150,17 +221,23 @@ def greedy_grid_search(
     singles = simulator.single_table_costs(tables)
     order = np.argsort(-singles, kind="stable")
 
+    # Per-table state shared by every grid pass: uids, cached feature
+    # rows, memory footprints and dimensions are materialized exactly
+    # once per grid search instead of per candidate evaluation.
+    uids = [t.uid for t in tables]
+    rows = simulator.featurizer.features_rows(tables)
+    table_bytes = [memory.table_bytes(t) for t in tables]
+    dims = [t.dim for t in tables]
+    max_table_dim = max(dims)
+
     # How far this table list is from being placeable at all: tables
     # larger than one device can never fit, however they are assigned.
     overflow = float(
-        sum(
-            max(0, memory.table_bytes(t) - memory.memory_bytes)
-            for t in tables
-        )
+        sum(max(0, b - memory.memory_bytes) for b in table_bytes)
     )
 
     if config.use_grid_search:
-        avg_dim = sum(t.dim for t in tables) / num_devices
+        avg_dim = sum(dims) / num_devices
         ms = max(avg_dim, 1.0)
         me = config.grid_end_factor * ms
         if config.grid_points == 1:
@@ -172,25 +249,54 @@ def greedy_grid_search(
         grid = [math.inf]
 
     best = GridSearchResult.infeasible(overflow)
-    for max_dim in grid:
-        if math.isfinite(max_dim) and max(t.dim for t in tables) > max_dim:
+    for grid_index, max_dim in enumerate(grid):
+        if math.isfinite(max_dim) and max_table_dim > max_dim:
             continue  # no single table could be placed; skip early
-        assignment = _greedy_assign(
-            tables, order, num_devices, simulator, memory, max_dim
-        )
-        if assignment is None:
-            continue
-        per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
-        for ti, d in enumerate(assignment):
-            per_device[d].append(tables[ti])
-        breakdown = simulator.plan_cost(per_device)
-        cost = breakdown.max_cost_ms
-        if cost < best.cost_ms:
-            best = GridSearchResult(
-                feasible=True,
-                cost_ms=cost,
-                assignment=assignment,
-                max_dim_used=None if math.isinf(max_dim) else float(max_dim),
-                breakdown=breakdown,
+        with maybe_stage(profile, "greedy_assign"):
+            if profile is not None:
+                profile.count("grid_passes")
+            gpass = _greedy_assign(
+                order,
+                num_devices,
+                simulator,
+                memory.memory_bytes,
+                max_dim,
+                uids,
+                rows,
+                table_bytes,
+                dims,
+                profile=profile,
             )
+        if gpass.assignment is not None:
+            with maybe_stage(profile, "plan_cost"):
+                if simulator.cache.enabled:
+                    # Reuse the pass's incremental device state; repeated
+                    # placements (adjacent grid points frequently produce
+                    # the same assignment) are memo-served.
+                    breakdown = simulator.plan_cost_keyed(
+                        gpass.device_keys, gpass.device_rows, gpass.device_dims
+                    )
+                else:
+                    per_device: list[list[TableConfig]] = [
+                        [] for _ in range(num_devices)
+                    ]
+                    for ti, d in enumerate(gpass.assignment):
+                        per_device[d].append(tables[ti])
+                    breakdown = simulator.plan_cost(per_device)
+            cost = breakdown.max_cost_ms
+            if cost < best.cost_ms:
+                best = GridSearchResult(
+                    feasible=True,
+                    cost_ms=cost,
+                    assignment=gpass.assignment,
+                    max_dim_used=None if math.isinf(max_dim) else float(max_dim),
+                    breakdown=breakdown,
+                )
+        if not gpass.dim_bound_hit:
+            # The dimension bound never excluded a device, so every
+            # remaining (larger) grid point — the ∞ fallback included —
+            # would replay this exact trajectory.  Skip it.
+            if profile is not None:
+                profile.count("grid_passes_skipped", len(grid) - 1 - grid_index)
+            break
     return best

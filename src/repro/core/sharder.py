@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.config import (
     CollectionConfig,
@@ -35,6 +36,7 @@ from repro.data.pool import TablePool
 from repro.data.tasks import ShardingTask
 from repro.hardware.cluster import SimulatedCluster
 from repro.hardware.memory import MemoryModel
+from repro.perf import SearchProfile
 
 __all__ = ["NeuroShard", "ShardingResult"]
 
@@ -50,7 +52,11 @@ class ShardingResult:
             embedding cost.
         sharding_time_s: wall-clock time of the online search.
         cache_hit_rate: hit rate of the computation-cost cache.
-        evaluations: number of inner-loop invocations.
+        evaluations: number of inner-loop invocations (plan-memo hits
+            included, so counts are comparable across optimizations).
+        profile: serialized :class:`~repro.perf.SearchProfile` (stage
+            timers + work counters) when the sharder was constructed
+            with ``profile=True``; ``None`` otherwise.
     """
 
     feasible: bool
@@ -59,6 +65,7 @@ class ShardingResult:
     sharding_time_s: float
     cache_hit_rate: float
     evaluations: int
+    profile: Mapping[str, Any] | None = None
 
 
 class NeuroShard:
@@ -78,6 +85,11 @@ class NeuroShard:
             :class:`~repro.api.engine.ShardingEngine`'s bounded cache);
             a fresh one is created when omitted.  Only consulted when
             ``lifelong_cache`` is enabled.
+        profile: collect a :class:`~repro.perf.SearchProfile` (stage
+            timers, evaluation/memoization/cache counters) per
+            :meth:`shard` call and attach it to the result.  Off by
+            default — the instrumented search pays a small bookkeeping
+            overhead.
     """
 
     def __init__(
@@ -86,10 +98,12 @@ class NeuroShard:
         search: SearchConfig | None = None,
         lifelong_cache: bool = True,
         cache: CostCache | None = None,
+        profile: bool = False,
     ) -> None:
         self.models = models
         self.search = search or SearchConfig()
         self._lifelong = lifelong_cache
+        self.profile_enabled = profile
         self._shared_cache = (
             cache
             if cache is not None
@@ -146,7 +160,8 @@ class NeuroShard:
             else CostCache(enabled=self.search.use_cache)
         )
         hits_before, lookups_before = cache.hits, cache.lookups
-        simulator = NeuroShardSimulator(self.models, cache)
+        profile = SearchProfile() if self.profile_enabled else None
+        simulator = NeuroShardSimulator(self.models, cache, profile=profile)
         memory = MemoryModel(task.memory_bytes)
 
         started = time.perf_counter()
@@ -156,11 +171,16 @@ class NeuroShard:
             simulator,
             memory,
             self.search,
+            profile=profile,
         )
         elapsed = time.perf_counter() - started
 
         lookups = cache.lookups - lookups_before
         hits = cache.hits - hits_before
+        if profile is not None:
+            profile.add_time("search_total", elapsed)
+            profile.count("cache_lookups", lookups)
+            profile.count("cache_hits", hits)
         return ShardingResult(
             feasible=result.feasible,
             plan=result.plan,
@@ -168,4 +188,5 @@ class NeuroShard:
             sharding_time_s=elapsed,
             cache_hit_rate=hits / lookups if lookups else 0.0,
             evaluations=result.evaluations,
+            profile=profile.to_dict() if profile is not None else None,
         )

@@ -15,6 +15,19 @@ costs as the start times of both collectives.
 All computation-cost predictions flow through the
 :class:`~repro.core.cache.CostCache`; batch lookups collect the uncached
 device sets and predict them in one forward pass.
+
+Two fast paths serve the search hot loop:
+
+- :meth:`NeuroShardSimulator.device_compute_costs_keyed` takes
+  *pre-built* canonical keys and per-table feature-row lists, so the
+  greedy allocator's incrementally-maintained device state skips the
+  per-candidate key re-sort and re-featurization entirely;
+- :meth:`NeuroShardSimulator.single_table_costs` memoizes per table
+  ``uid`` for the simulator's lifetime (one search request), so the beam
+  search's repeated candidate rankings cost one dict lookup per table.
+
+Both paths return bit-identical values to the general
+:meth:`NeuroShardSimulator.device_compute_costs` route.
 """
 
 from __future__ import annotations
@@ -25,8 +38,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.cache import CostCache
+from repro.costmodel.features import TableFeaturizer
 from repro.costmodel.pretrain import PretrainedCostModels
 from repro.data.table import TableConfig, table_set_key
+from repro.perf import SearchProfile
 
 __all__ = ["PlanCost", "NeuroShardSimulator"]
 
@@ -59,19 +74,36 @@ class NeuroShardSimulator:
         models: the pre-trained bundle.
         cache: the lifelong computation-cost cache; a fresh enabled cache
             is created when omitted.
+        profile: optional :class:`~repro.perf.SearchProfile` recording
+            prediction-batch counters; ``None`` (the default) keeps the
+            hot path uninstrumented.
     """
 
     def __init__(
         self,
         models: PretrainedCostModels,
         cache: CostCache | None = None,
+        profile: SearchProfile | None = None,
     ) -> None:
         self.models = models
         self.cache = cache if cache is not None else CostCache()
+        self.profile = profile
+        # Per-simulator (i.e. per-search-request) memo layers.  Both are
+        # disabled alongside the cost cache so the "w/o caching" ablation
+        # measures a genuinely memo-free search.
+        self._single_cost_by_uid: dict[str, float] = {}
+        self._plan_cost_by_key: dict[
+            tuple[tuple[str, ...], ...], PlanCost
+        ] = {}
 
     @property
     def num_devices(self) -> int:
         return self.models.num_devices
+
+    @property
+    def featurizer(self) -> TableFeaturizer:
+        """The bundle's featurizer (row cache shared with the search)."""
+        return self.models.featurizer
 
     # ------------------------------------------------------------------
     # computation-cost prediction (cached)
@@ -103,21 +135,146 @@ class NeuroShardSimulator:
                 self.models.featurizer.features_matrix(list(table_sets[i]))
                 for i in missing_indices
             ]
-            predictions = self.models.compute.predict_many(matrices)
-            # The true cost is positive; a tiny floor also keeps greedy
-            # comparisons meaningful when the model extrapolates low.
-            predictions = np.maximum(predictions, 1e-3)
-            for i, key, value in zip(missing_indices, missing_keys, predictions):
-                self.cache.put(key, float(value))
-                costs[i] = float(value)
+            self._predict_missing(costs, missing_indices, missing_keys, matrices)
         return [float(c) for c in costs]  # type: ignore[arg-type]
+
+    def device_compute_costs_keyed(
+        self,
+        entries: Sequence[
+            tuple[
+                tuple[str, ...],
+                Sequence[np.ndarray],
+                np.ndarray | None,
+            ]
+        ],
+    ) -> list[float]:
+        """Cached predictions from pre-built keys and feature rows.
+
+        Args:
+            entries: per candidate set, a triple of
+
+                - its canonical :func:`~repro.data.table.table_set_key`
+                  (maintained incrementally by the caller),
+                - the device's existing per-table feature rows *in
+                  placement order* (the order tables were added), and
+                - optionally one more feature row, logically appended —
+                  the candidate table being scored.  Passing it
+                  separately lets the greedy allocator score ``base +
+                  table`` without copying the base list per candidate.
+
+        The row order matches what :meth:`device_compute_costs` would
+        have stacked for the same set, so predictions are bit-identical.
+        This is the greedy allocator's fast path: no key sorting, no uid
+        materialization, no featurization — only cache lookups plus one
+        flat-stacked forward pass over the misses.
+        """
+        costs: list[float | None] = []
+        missing_indices: list[int] = []
+        missing_keys: list[tuple[str, ...]] = []
+        for i, (key, base_rows, extra_row) in enumerate(entries):
+            if not base_rows and extra_row is None:
+                costs.append(0.0)
+                continue
+            cached = self.cache.get(key)
+            costs.append(cached)
+            if cached is None:
+                missing_indices.append(i)
+                missing_keys.append(key)
+        if missing_indices:
+            # One flat row matrix for all misses: concatenating the 1-D
+            # rows and reshaping equals the row-wise concatenation of
+            # the per-set np.stack matrices, so predictions are
+            # bit-identical to the general matrix route — without
+            # per-set stacking.
+            flat_rows: list[np.ndarray] = []
+            lengths: list[int] = []
+            for i in missing_indices:
+                _, base_rows, extra_row = entries[i]
+                flat_rows.extend(base_rows)
+                n = len(base_rows)
+                if extra_row is not None:
+                    flat_rows.append(extra_row)
+                    n += 1
+                lengths.append(n)
+            num_features = flat_rows[0].shape[-1]
+            rows_matrix = np.concatenate(flat_rows).reshape(-1, num_features)
+            segments = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+            predictions = self.models.compute.predict_rows(
+                rows_matrix, segments, len(lengths)
+            )
+            self._store_predictions(
+                costs, missing_indices, missing_keys, predictions
+            )
+        return costs  # type: ignore[return-value]
+
+    def _predict_missing(
+        self,
+        costs: list[float | None],
+        missing_indices: list[int],
+        missing_keys: Sequence[tuple[str, ...]],
+        matrices: Sequence[np.ndarray],
+    ) -> None:
+        """One stacked forward pass over the cache misses."""
+        predictions = self.models.compute.predict_many(matrices)
+        self._store_predictions(costs, missing_indices, missing_keys, predictions)
+
+    def _store_predictions(
+        self,
+        costs: list[float | None],
+        missing_indices: list[int],
+        missing_keys: Sequence[tuple[str, ...]],
+        predictions: np.ndarray,
+    ) -> None:
+        """Shared miss-handling tail of both prediction routes: floor,
+        cache, fill, count — one place so the keyed fast path can never
+        drift from the general route."""
+        # The true cost is positive; a tiny floor also keeps greedy
+        # comparisons meaningful when the model extrapolates low.
+        predictions = np.maximum(predictions, 1e-3)
+        for i, key, value in zip(missing_indices, missing_keys, predictions):
+            self.cache.put(key, float(value))
+            costs[i] = float(value)
+        if self.profile is not None:
+            self.profile.count("predict_batches")
+            self.profile.count("predicted_sets", len(missing_indices))
 
     def single_table_costs(
         self, tables: Sequence[TableConfig]
     ) -> np.ndarray:
         """Predicted isolated cost of each table (used for sorting and
-        for the beam search's "top-N costly" candidates)."""
-        return np.array(self.device_compute_costs([[t] for t in tables]))
+        for the beam search's "top-N costly" candidates).
+
+        Memoized per table ``uid`` for this simulator's lifetime: the
+        beam search ranks candidates of near-identical table lists on
+        every expansion, so repeat lookups skip the cost cache's key
+        construction entirely.  Memo hits are recorded as cache hits
+        (:meth:`~repro.core.cache.CostCache.record_external_hits`) to
+        keep hit-rate diagnostics comparable.
+        """
+        memo = self._single_cost_by_uid if self.cache.enabled else None
+        out = np.empty(len(tables), dtype=np.float64)
+        pending_indices: list[int] = []
+        pending_tables: list[TableConfig] = []
+        for i, table in enumerate(tables):
+            if memo is not None:
+                cost = memo.get(table.uid)
+                if cost is not None:
+                    out[i] = cost
+                    continue
+            pending_indices.append(i)
+            pending_tables.append(table)
+        if pending_indices:
+            costs = self.device_compute_costs([[t] for t in pending_tables])
+            for i, table, cost in zip(pending_indices, pending_tables, costs):
+                out[i] = cost
+                if memo is not None:
+                    memo[table.uid] = cost
+        served = len(tables) - len(pending_indices)
+        if served:
+            self.cache.record_external_hits(served)
+            if self.profile is not None:
+                self.profile.count("single_cost_memo_hits", served)
+        return out
 
     # ------------------------------------------------------------------
     # full plan cost
@@ -134,6 +291,55 @@ class NeuroShardSimulator:
             )
         compute = self.device_compute_costs(per_device_tables)
         dims = [sum(t.dim for t in dev) for dev in per_device_tables]
+        return self._comm_breakdown(compute, dims)
+
+    def plan_cost_keyed(
+        self,
+        device_keys: Sequence[Sequence[str]],
+        device_rows: Sequence[Sequence[np.ndarray]],
+        device_dims: Sequence[int],
+    ) -> PlanCost:
+        """:meth:`plan_cost` from the greedy allocator's incremental
+        per-device state, memoized on the exact placement.
+
+        Adjacent grid points frequently converge to the same assignment;
+        the memo (keyed on the ordered tuple of per-device canonical
+        keys, which fully determines the breakdown) serves those repeats
+        without re-running the communication models.  Compute lookups a
+        memo hit skips are recorded as cache hits to keep hit-rate
+        diagnostics comparable with the recompute-from-scratch path.
+
+        Only called with an enabled cost cache (the caller falls back to
+        :meth:`plan_cost` for the "w/o caching" ablation, preserving its
+        stacking order); device compute costs are then cache-served from
+        the greedy pass that just built the placement, so the breakdown
+        is bit-identical to rebuilding the table lists.
+        """
+        if len(device_keys) != self.num_devices:
+            raise ValueError(
+                f"placement has {len(device_keys)} devices, models are "
+                f"for {self.num_devices}"
+            )
+        placement_key = tuple(tuple(k) for k in device_keys)
+        hit = self._plan_cost_by_key.get(placement_key)
+        if hit is not None:
+            nonempty = sum(1 for k in placement_key if k)
+            if nonempty:
+                self.cache.record_external_hits(nonempty)
+            if self.profile is not None:
+                self.profile.count("plan_cost_memo_hits")
+            return hit
+        compute = self.device_compute_costs_keyed(
+            [(key, rows, None) for key, rows in zip(placement_key, device_rows)]
+        )
+        breakdown = self._comm_breakdown(compute, list(device_dims))
+        self._plan_cost_by_key[placement_key] = breakdown
+        return breakdown
+
+    def _comm_breakdown(
+        self, compute: Sequence[float], dims: Sequence[int]
+    ) -> PlanCost:
+        """Attach communication costs to per-device compute predictions."""
         # Compute imbalance is what skews collective starts; only the
         # relative skew matters, so anchor at zero (the comm models are
         # trained on zero-anchored skews).

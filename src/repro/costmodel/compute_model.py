@@ -19,9 +19,29 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.layers import Linear, Module, SegmentSum, Sequential
+from repro.nn.layers import Linear, Module, ReLU, SegmentSum, Sequential
 
 __all__ = ["ComputeCostModel"]
+
+
+def _infer_mlp(mlp: Sequential, x: np.ndarray) -> np.ndarray:
+    """Stateless MLP forward for inference.
+
+    Applies exactly the operations of ``mlp.forward`` — ``x @ W + b``
+    per :class:`Linear`, ``np.where(x > 0, x, 0.0)`` per :class:`ReLU` —
+    without recording activations for backprop, so results are
+    bit-identical to the training-path forward at a fraction of the
+    per-call overhead (the search issues tens of thousands of tiny
+    batches).
+    """
+    for module in mlp.modules:
+        if isinstance(module, Linear):
+            x = x @ module.weight.data + module.bias.data
+        elif isinstance(module, ReLU):
+            x = np.where(x > 0, x, 0.0)
+        else:  # pragma: no cover - compute MLPs are Linear/ReLU only
+            x = module.forward(x)
+    return x
 
 
 class ComputeCostModel(Module):
@@ -147,4 +167,43 @@ class ComputeCostModel(Module):
     def predict_many(self, matrices: Sequence[np.ndarray]) -> np.ndarray:
         """Latencies (ms) for many combinations."""
         raw = self.forward_batch(list(matrices))
+        return self.target_mean + self.target_std * raw
+
+    def predict_rows(
+        self,
+        rows: np.ndarray,
+        segments: np.ndarray,
+        num_segments: int,
+    ) -> np.ndarray:
+        """Latencies (ms) from pre-concatenated per-table feature rows.
+
+        The search's hot path already holds cached feature rows; this
+        entry point skips :meth:`forward_batch`'s per-combination
+        stacking, validation and segment-id rebuild.  Given ``rows``
+        equal to the row-wise concatenation of the per-combination
+        matrices (in combination order) and matching ``segments``, the
+        result is bit-identical to :meth:`predict_many` — the same
+        concatenated array flows through the same layer forwards.
+
+        Inference-only: no layer state is recorded, so it cannot be
+        followed by ``backward_batch`` (the training path keeps using
+        :meth:`forward_batch`).
+
+        Args:
+            rows: ``[total_tables, F]`` feature rows, float64.
+            segments: combination id per row, ``[total_tables]``.
+            num_segments: number of combinations predicted.
+        """
+        if rows.size:
+            if rows.shape[1] != self.num_features:
+                raise ValueError(
+                    f"rows have {rows.shape[1]} features, expected "
+                    f"{self.num_features}"
+                )
+            table_repr = _infer_mlp(self.table_mlp, rows)
+        else:
+            table_repr = np.zeros((0, self._repr_width()))
+        pooled = np.zeros((num_segments, table_repr.shape[1]), dtype=np.float64)
+        np.add.at(pooled, segments, table_repr)
+        raw = _infer_mlp(self.head_mlp, pooled)[:, 0]
         return self.target_mean + self.target_std * raw

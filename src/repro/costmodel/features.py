@@ -103,11 +103,23 @@ class TableFeaturizer:
         self._cache[table.uid] = vec
         return vec
 
+    def features_rows(
+        self, tables: Sequence[TableConfig]
+    ) -> list[np.ndarray]:
+        """Cached per-table feature rows, without stacking.
+
+        The incremental search keeps per-device *lists* of these rows
+        (appending a candidate row is O(1)) and stacks only the few
+        combinations the cost cache misses; returning the cached row
+        references directly avoids re-stacking on every candidate.
+        """
+        return [self.features(t) for t in tables]
+
     def features_matrix(self, tables: Sequence[TableConfig]) -> np.ndarray:
         """Stacked feature rows for a table combination ``[T, F]``."""
         if len(tables) == 0:
             return np.zeros((0, self.NUM_FEATURES))
-        return np.stack([self.features(t) for t in tables])
+        return np.stack(self.features_rows(tables))
 
     def clear_cache(self) -> None:
         self._cache.clear()

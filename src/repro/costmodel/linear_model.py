@@ -140,6 +140,29 @@ class LinearComputeCostModel:
     def predict_one(self, features_matrix: np.ndarray) -> float:
         return float(self.predict_many([features_matrix])[0])
 
+    def predict_rows(
+        self,
+        rows: np.ndarray,
+        segments: np.ndarray,
+        num_segments: int,
+    ) -> np.ndarray:
+        """Latencies (ms) from pre-concatenated feature rows.
+
+        Interface parity with
+        :meth:`~repro.costmodel.compute_model.ComputeCostModel
+        .predict_rows` (the search hot path's entry point): sum-pools the
+        rows per segment and applies the ridge coefficients, equal to
+        :meth:`predict_many` over the per-combination matrices.
+        """
+        if self._coef is None:
+            raise RuntimeError("fit() the model before predicting")
+        rows = np.asarray(rows, dtype=np.float64)
+        pooled = np.zeros((num_segments, self.num_features), dtype=np.float64)
+        np.add.at(pooled, segments, rows)
+        counts = np.bincount(segments, minlength=num_segments).astype(np.float64)
+        x = np.concatenate([pooled, counts[:, None]], axis=1)
+        return self._predict_pooled(x)
+
 
 class LinearCommCostModel:
     """Ridge regression on the flat communication feature rows.

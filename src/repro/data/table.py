@@ -22,9 +22,10 @@ to a fraction of a percent and vectorizes well.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Iterable, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +33,8 @@ __all__ = [
     "MIN_DIM",
     "TableConfig",
     "table_set_key",
+    "extend_table_set_key",
+    "insort_uid",
     "total_size_bytes",
 ]
 
@@ -281,8 +284,39 @@ def table_set_key(tables: Iterable[TableConfig]) -> Tuple[str, ...]:
     Used by the computation-cost cache (Section 3.3, "Implementation with
     caching"): two devices holding cost-identical table multisets map to
     the same key.
+
+    Building the key from scratch costs ``O(n log n)`` comparisons plus
+    one ``uid`` materialization per table.  The search's hot loop instead
+    maintains sorted uid lists incrementally and extends them in one
+    insertion via :func:`extend_table_set_key` / :func:`insort_uid`,
+    which produce byte-identical keys.
     """
     return tuple(sorted(t.uid for t in tables))
+
+
+def extend_table_set_key(
+    sorted_uids: Sequence[str], uid: str
+) -> Tuple[str, ...]:
+    """The :func:`table_set_key` of ``sorted_uids + {uid}``.
+
+    ``sorted_uids`` must already be in sorted order (an existing key, or
+    a running list maintained with :func:`insort_uid`); the new uid is
+    spliced in at its sorted position with a single binary search —
+    ``O(n)`` copying instead of an ``O(n log n)`` re-sort, and no
+    re-materialization of the existing uids.
+    """
+    i = bisect_left(sorted_uids, uid)
+    return (*sorted_uids[:i], uid, *sorted_uids[i:])
+
+
+def insort_uid(sorted_uids: list[str], uid: str) -> None:
+    """Insert ``uid`` into a running sorted uid list in place.
+
+    The in-place counterpart of :func:`extend_table_set_key`, used for
+    the per-device canonical-key state of the incremental greedy
+    allocator.
+    """
+    insort(sorted_uids, uid)
 
 
 def total_size_bytes(tables: Iterable[TableConfig]) -> int:

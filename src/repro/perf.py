@@ -1,0 +1,135 @@
+"""Search-performance instrumentation: stage timers and counters.
+
+The online search is the service's hot path, so its efficiency is a
+first-class, measured quantity (the same serving-efficiency concern FLSys
+raises for high-traffic ML services).  A :class:`SearchProfile` rides
+along a single search invocation and records
+
+- **stage timers** — cumulative wall-clock seconds per named stage
+  (candidate generation, inner-loop evaluation, greedy assignment, plan
+  scoring), and
+- **counters** — how much work each optimization layer did or avoided
+  (inner-loop evaluations requested vs. actually run, plan-memo hits,
+  cost-cache traffic, stacked prediction batches).
+
+Profiles are plain data: they serialize to nested dictionaries, surface
+on :class:`~repro.core.sharder.ShardingResult` /
+:class:`~repro.api.schema.ShardingResponse` as the ``profile`` field, and
+print from the CLI via ``python -m repro shard --profile``.
+
+Profiling is opt-in and near-free when off: the search passes ``None``
+around and every instrumentation site is guarded by a single ``is not
+None`` check, so the paper-mode hot path stays unencumbered.
+
+Counter vocabulary (written by the search layers):
+
+======================  ================================================
+``evaluations``         inner-loop (grid search) requests, memo hits
+                        included — comparable to the pre-optimization
+                        search's evaluation count
+``unique_evaluations``  grid searches actually executed
+``plan_memo_hits``      column plans served from the multiset memo
+``grid_passes``         greedy passes over the ``max_dim`` grid
+``greedy_steps``        table-placement steps across all greedy passes
+``scored_candidates``   candidate devices scored across all steps
+``predict_batches``     stacked cost-model forward passes
+``predicted_sets``      device table sets predicted (cache misses)
+``single_cost_memo_hits``  single-table costs served by the uid memo
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Any, Iterator, Mapping
+
+__all__ = ["SearchProfile", "maybe_stage"]
+
+
+class SearchProfile:
+    """Mutable counter/timer bag for one search invocation.
+
+    Not thread-safe: one profile instruments one (single-threaded)
+    search.  Concurrent requests each carry their own profile.
+    """
+
+    __slots__ = ("counters", "timers_s")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers_s: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to stage timer ``name`` (created at 0.0)."""
+        self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into stage ``name`` (cumulative)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # aggregation / serialization
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "SearchProfile | Mapping[str, Any]") -> None:
+        """Accumulate another profile (or its ``to_dict`` form) into this
+        one — used by the CLI to aggregate per-task profiles."""
+        if isinstance(other, SearchProfile):
+            counters: Mapping[str, Any] = other.counters
+            timers: Mapping[str, Any] = other.timers_s
+        else:
+            counters = other.get("counters", {})
+            timers = other.get("timers_s", {})
+        for name, n in counters.items():
+            self.count(name, int(n))
+        for name, seconds in timers.items():
+            self.add_time(name, float(seconds))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible snapshot ``{"counters": ..., "timers_s": ...}``."""
+        return {
+            "counters": dict(self.counters),
+            "timers_s": {k: float(v) for k, v in self.timers_s.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchProfile":
+        """Inverse of :meth:`to_dict`."""
+        profile = cls()
+        profile.merge(data)
+        return profile
+
+    def format_lines(self) -> list[str]:
+        """Human-readable summary lines (CLI ``--profile`` output)."""
+        lines = []
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:24s} {self.counters[name]}")
+        if self.timers_s:
+            lines.append("stage seconds:")
+            for name in sorted(self.timers_s):
+                lines.append(f"  {name:24s} {self.timers_s[name]:.4f}")
+        return lines or ["(empty profile)"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SearchProfile(counters={self.counters}, timers_s={self.timers_s})"
+
+
+def maybe_stage(profile: SearchProfile | None, name: str):
+    """``profile.stage(name)`` or a free no-op when profiling is off."""
+    return nullcontext() if profile is None else profile.stage(name)

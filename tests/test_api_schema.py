@@ -111,6 +111,10 @@ class TestShardingResponse:
         )
         deterministic = response.deterministic_dict()
         assert "sharding_time_s" not in deterministic
+        # The profile carries wall-clock stage timers, so it is dropped
+        # from the deterministic view alongside sharding_time_s.
+        assert "profile" not in deterministic
         full = response.to_dict()
         full.pop("sharding_time_s")
+        full.pop("profile")
         assert deterministic == full

@@ -41,6 +41,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["shard", "/tmp/b", "--strategy", "no"])
 
+    def test_shard_profile_flag(self):
+        args = build_parser().parse_args(["shard", "/tmp/b", "--profile"])
+        assert args.profile is True
+        assert build_parser().parse_args(["shard", "/tmp/b"]).profile is False
+
     def test_serve_batch_args(self):
         args = build_parser().parse_args(
             ["serve-batch", "/tmp/b", "/tmp/tasks.json", "--workers", "8"]
@@ -94,6 +99,21 @@ class TestExitCodes:
         captured = capsys.readouterr()
         assert "no feasible plan" in captured.err
         assert "Valid 0 / 1" in captured.out
+
+    def test_shard_profile_prints_counters(
+        self, tmp_path, bundle_dir, tasks2, capsys
+    ):
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([tasks2[0]], tasks_file)
+        code = main(
+            ["shard", bundle_dir, "--strategy", "beam",
+             "--tasks-file", tasks_file, "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "search profile (aggregated over 1 tasks)" in out
+        assert "evaluations" in out
+        assert "stage seconds" in out
 
     def test_shard_missing_bundle_is_error(self, tmp_path, capsys):
         code = main(["shard", str(tmp_path / "ghost"), "--tasks", "1"])

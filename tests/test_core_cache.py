@@ -1,5 +1,7 @@
 """Tests for repro.core.cache."""
 
+import threading
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -101,6 +103,61 @@ class TestBoundedLRU:
         assert cache.get("k") == 1.0
         assert cache.hits == 1
         assert cache.misses == 1
+
+
+class TestExternalHits:
+    def test_counts_as_hits(self):
+        cache = CostCache()
+        cache.record_external_hits(3)
+        assert cache.hits == 3
+        assert cache.lookups == 3
+        assert cache.hit_rate == 1.0
+
+    def test_bounded_mode(self):
+        cache = CostCache(max_entries=4)
+        cache.record_external_hits()
+        assert cache.hits == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            CostCache().record_external_hits(-1)
+
+
+class TestBoundedStatsThreadSafety:
+    """Regression for the bounded-LRU stats race: miss counting used to
+    happen outside the lock, so concurrent lookups could lose increments
+    and leave ``hits + misses != lookups``."""
+
+    def test_threaded_stress_counters_consistent(self):
+        cache = CostCache(max_entries=64)
+        num_threads = 8
+        ops_per_thread = 2000
+        barrier = threading.Barrier(num_threads)
+
+        def worker(thread_id: int) -> None:
+            barrier.wait()
+            for i in range(ops_per_thread):
+                key = (thread_id * 7 + i) % 200
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, float(key))
+                cache.record_external_hits(1)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total_ops = num_threads * ops_per_thread
+        # One real lookup and one external hit per op, none lost.
+        assert cache.lookups == 2 * total_ops
+        assert cache.hits + cache.misses == cache.lookups
+        assert cache.hits >= total_ops
+        assert len(cache) <= 64
 
 
 @settings(max_examples=30, deadline=None)

@@ -13,9 +13,11 @@ from repro.core import (
     beam_search,
     greedy_grid_search,
 )
+from repro.core.beam_search import _candidates
 from repro.data import ShardingTask
-from repro.data.table import table_set_key
+from repro.data.table import TableConfig, table_set_key
 from repro.hardware.memory import MemoryModel
+from repro.perf import SearchProfile
 
 
 @pytest.fixture()
@@ -136,6 +138,106 @@ class TestGreedyGridSearch:
     def test_rejects_empty(self, simulator, memory):
         with pytest.raises(ValueError):
             greedy_grid_search([], 2, simulator, memory, FAST_SEARCH)
+
+
+class _StubSimulator:
+    """Deterministic single-table costs for candidate-order tests."""
+
+    def __init__(self, costs):
+        self._costs = np.asarray(costs, dtype=np.float64)
+
+    def single_table_costs(self, tables):
+        return self._costs[: len(tables)]
+
+
+class TestCandidates:
+    def _tables(self, dims, sizes):
+        return [
+            TableConfig(
+                table_id=i,
+                hash_size=size,
+                dim=dim,
+                pooling_factor=10.0,
+                zipf_alpha=1.0,
+            )
+            for i, (dim, size) in enumerate(zip(dims, sizes))
+        ]
+
+    def test_order_pinned_cost_block_then_unseen_size(self):
+        # Costs rank: 2, 0, 3, 1, 4; sizes (hash*dim) rank: 4, 1, 0, 3, 2.
+        tables = self._tables(
+            dims=[8, 8, 8, 8, 8], sizes=[3000, 4000, 1000, 2000, 5000]
+        )
+        sim = _StubSimulator([4.0, 2.0, 5.0, 3.0, 1.0])
+        # top-3 by cost: [2, 0, 3]; top-3 by size: [4, 1, 0] -> merged
+        # keeps the cost block, then appends unseen size entries in order.
+        assert _candidates(tables, sim, top_n=3) == [2, 0, 3, 4, 1]
+
+    def test_duplicates_removed_once(self):
+        tables = self._tables(dims=[8, 8], sizes=[2000, 1000])
+        sim = _StubSimulator([2.0, 1.0])
+        # Both rankings produce [0, 1]; dedup keeps a single copy each.
+        assert _candidates(tables, sim, top_n=2) == [0, 1]
+
+    def test_unsplittable_dim4_skipped(self):
+        tables = self._tables(dims=[4, 8], sizes=[9000, 1000])
+        sim = _StubSimulator([9.0, 1.0])
+        assert _candidates(tables, sim, top_n=2) == [1]
+
+    def test_no_splittable_tables(self):
+        tables = self._tables(dims=[4, 4], sizes=[1000, 2000])
+        sim = _StubSimulator([1.0, 2.0])
+        assert _candidates(tables, sim, top_n=2) == []
+
+
+class TestSearchFastPaths:
+    def test_keyed_costs_match_general_route(self, simulator, tasks2):
+        tables = list(tasks2[0].tables)[:4]
+        general = simulator.device_compute_costs([tables])
+        featurizer = simulator.featurizer
+        keyed = simulator.device_compute_costs_keyed(
+            [(
+                table_set_key(tables),
+                featurizer.features_rows(tables[:-1]),
+                featurizer.features(tables[-1]),
+            )]
+        )
+        assert keyed == general
+
+    def test_single_table_costs_memoized_per_uid(self, tiny_bundle, tasks2):
+        cache = CostCache()
+        simulator = NeuroShardSimulator(tiny_bundle, cache)
+        tables = list(tasks2[0].tables)
+        first = simulator.single_table_costs(tables)
+        lookups_after_first = cache.lookups
+        second = simulator.single_table_costs(tables)
+        assert np.array_equal(first, second)
+        # Served from the uid memo, recorded as external cache hits.
+        assert cache.lookups == lookups_after_first + len(tables)
+        assert cache.hits >= len(tables)
+
+    def test_plan_memo_reduces_grid_searches(self, tiny_bundle, tasks2):
+        profile = SearchProfile()
+        cache = CostCache()
+        simulator = NeuroShardSimulator(tiny_bundle, cache, profile=profile)
+        task = tasks2[0]
+        largest = max(t.size_bytes + t.hash_size * 4 for t in task.tables)
+        memory = MemoryModel(max(int(largest * 0.75), 1))
+        result = beam_search(
+            list(task.tables), 2, simulator, memory,
+            SearchConfig(top_n=4, beam_width=2, max_steps=5, grid_points=4),
+            profile=profile,
+        )
+        counters = profile.counters
+        assert counters["evaluations"] == result.evaluations
+        assert counters["unique_evaluations"] <= result.evaluations
+        # Permutation-duplicate expansions must actually be deduplicated.
+        assert counters.get("plan_memo_hits", 0) > 0
+        assert (
+            counters["unique_evaluations"]
+            + counters.get("plan_memo_hits", 0)
+            == counters["evaluations"]
+        )
 
 
 class TestBeamSearch:

@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data.table import MIN_DIM, TableConfig, table_set_key, total_size_bytes
+from repro.data.table import (
+    MIN_DIM,
+    TableConfig,
+    extend_table_set_key,
+    insort_uid,
+    table_set_key,
+    total_size_bytes,
+)
 
 
 def make_table(**overrides) -> TableConfig:
@@ -171,6 +178,28 @@ class TestTableSetKey:
         a = make_table(table_id=1, dim=64)
         b = a.with_dim(32)
         assert table_set_key([a]) != table_set_key([b])
+
+
+class TestIncrementalKey:
+    def test_extend_matches_full_rebuild(self):
+        tables = [make_table(table_id=i, dim=8 * 2**(i % 3)) for i in range(6)]
+        running: list = []
+        held = []
+        for t in tables:
+            extended = extend_table_set_key(running, t.uid)
+            held.append(t)
+            assert extended == table_set_key(held)
+            insort_uid(running, t.uid)
+            assert tuple(running) == table_set_key(held)
+
+    def test_extend_with_duplicates(self):
+        a = make_table(table_id=1)
+        key = table_set_key([a])
+        assert extend_table_set_key(key, a.uid) == table_set_key([a, a])
+
+    def test_extend_from_empty(self):
+        a = make_table(table_id=3)
+        assert extend_table_set_key((), a.uid) == table_set_key([a])
 
 
 @settings(max_examples=40, deadline=None)

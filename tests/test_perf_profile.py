@@ -1,0 +1,134 @@
+"""Tests for repro.perf and profile plumbing through the stack.
+
+Covers the :class:`~repro.perf.SearchProfile` primitive, the
+:class:`~repro.core.sharder.NeuroShard` ``profile=True`` wiring, and the
+engine/schema surfacing (``ShardingResponse.profile``, request option
+``{"profile": True}``).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.api import ShardingEngine, ShardingRequest, ShardingResponse
+from repro.config import SearchConfig
+from repro.core import NeuroShard
+from repro.perf import SearchProfile, maybe_stage
+
+FAST_SEARCH = SearchConfig(top_n=3, beam_width=2, max_steps=3, grid_points=4)
+
+
+class TestSearchProfile:
+    def test_counts_accumulate(self):
+        p = SearchProfile()
+        p.count("evals")
+        p.count("evals", 4)
+        assert p.counters == {"evals": 5}
+
+    def test_stage_times_accumulate(self):
+        p = SearchProfile()
+        with p.stage("work"):
+            time.sleep(0.002)
+        with p.stage("work"):
+            pass
+        assert p.timers_s["work"] > 0.0
+        assert set(p.timers_s) == {"work"}
+
+    def test_merge_profile_and_dict(self):
+        a, b = SearchProfile(), SearchProfile()
+        a.count("x", 2)
+        a.add_time("t", 0.5)
+        b.count("x", 3)
+        b.count("y")
+        b.add_time("t", 0.25)
+        a.merge(b)
+        a.merge({"counters": {"x": 1}, "timers_s": {"u": 1.0}})
+        assert a.counters == {"x": 6, "y": 1}
+        assert a.timers_s == {"t": 0.75, "u": 1.0}
+
+    def test_round_trip(self):
+        p = SearchProfile()
+        p.count("n", 7)
+        p.add_time("s", 0.125)
+        clone = SearchProfile.from_dict(json.loads(json.dumps(p.to_dict())))
+        assert clone.counters == p.counters
+        assert clone.timers_s == p.timers_s
+
+    def test_format_lines(self):
+        p = SearchProfile()
+        assert p.format_lines() == ["(empty profile)"]
+        p.count("evals", 3)
+        p.add_time("evaluate", 0.5)
+        text = "\n".join(p.format_lines())
+        assert "evals" in text and "evaluate" in text
+
+    def test_maybe_stage_without_profile(self):
+        with maybe_stage(None, "anything"):
+            pass  # must be a free no-op
+
+    def test_maybe_stage_with_profile(self):
+        p = SearchProfile()
+        with maybe_stage(p, "s"):
+            pass
+        assert "s" in p.timers_s
+
+
+class TestNeuroShardProfile:
+    def test_profile_attached_when_enabled(self, tiny_bundle, tasks2):
+        sharder = NeuroShard(tiny_bundle, search=FAST_SEARCH, profile=True)
+        result = sharder.shard(tasks2[0])
+        assert result.feasible
+        profile = result.profile
+        assert profile is not None
+        counters = profile["counters"]
+        assert counters["evaluations"] == result.evaluations
+        assert counters["unique_evaluations"] >= 1
+        assert counters["cache_lookups"] >= counters["cache_hits"]
+        assert profile["timers_s"]["search_total"] > 0.0
+        assert profile["timers_s"]["evaluate"] > 0.0
+        # The profile is JSON-ready as-is.
+        json.dumps(profile)
+
+    def test_profile_off_by_default(self, tiny_bundle, tasks2):
+        sharder = NeuroShard(tiny_bundle, search=FAST_SEARCH)
+        assert sharder.shard(tasks2[0]).profile is None
+
+    def test_profiled_result_identical(self, tiny_bundle, tasks2):
+        """Instrumentation must not change the search outcome."""
+        plain = NeuroShard(tiny_bundle, search=FAST_SEARCH).shard(tasks2[0])
+        profiled = NeuroShard(
+            tiny_bundle, search=FAST_SEARCH, profile=True
+        ).shard(tasks2[0])
+        assert profiled.simulated_cost_ms == plain.simulated_cost_ms
+        assert profiled.plan == plain.plan
+        assert profiled.evaluations == plain.evaluations
+
+
+class TestEngineProfile:
+    @pytest.fixture(scope="class")
+    def engine(self, cluster2, tiny_bundle):
+        return ShardingEngine(cluster2, tiny_bundle)
+
+    def test_request_option_enables_profile(self, engine, tasks2):
+        response = engine.shard(
+            ShardingRequest(tasks2[0], options={"profile": True})
+        )
+        assert response.feasible
+        assert response.profile is not None
+        assert response.profile["counters"]["evaluations"] > 0
+
+    def test_profile_absent_by_default(self, engine, tasks2):
+        response = engine.shard(ShardingRequest(tasks2[0]))
+        assert response.profile is None
+
+    def test_schema_round_trip_and_deterministic_view(self, engine, tasks2):
+        response = engine.shard(
+            ShardingRequest(tasks2[0], options={"profile": True})
+        )
+        restored = ShardingResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert restored.profile == response.to_dict()["profile"]
+        # Stage timers are wall-clock: the deterministic view drops them.
+        assert "profile" not in response.deterministic_dict()

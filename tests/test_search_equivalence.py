@@ -1,0 +1,165 @@
+"""Equivalence regression: optimized search == frozen reference.
+
+The incremental/memoized hot path (:mod:`repro.core.greedy_grid`,
+:mod:`repro.core.beam_search`, the simulator's keyed/memo fast paths) is
+required to return results *identical* to the pre-optimization
+implementation preserved in :mod:`repro.core.reference` — same
+feasibility, bit-equal costs, same assignment, same column plan, and the
+same number of inner-loop evaluations (a trajectory fingerprint).
+
+The suites cover seeded small / medium / split-forcing / infeasible task
+mixes, plus the ablation configurations (no grid, no cache) that drive
+the alternative code paths.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import SearchConfig, TaskConfig
+from repro.core import (
+    CostCache,
+    NeuroShardSimulator,
+    beam_search,
+    greedy_grid_search,
+    reference_beam_search,
+    reference_greedy_grid_search,
+)
+from repro.data import generate_tasks
+from repro.hardware.memory import MemoryModel
+
+SMALL_SEARCH = SearchConfig(top_n=3, beam_width=2, max_steps=3, grid_points=4)
+MEDIUM_SEARCH = SearchConfig(top_n=4, beam_width=2, max_steps=5, grid_points=6)
+
+
+def _run_both(bundle, tables, num_devices, memory, search):
+    """Run reference and optimized beam search on fresh caches."""
+    ref = reference_beam_search(
+        list(tables), num_devices,
+        NeuroShardSimulator(bundle, CostCache(enabled=search.use_cache)),
+        memory, search,
+    )
+    opt = beam_search(
+        list(tables), num_devices,
+        NeuroShardSimulator(bundle, CostCache(enabled=search.use_cache)),
+        memory, search,
+    )
+    return ref, opt
+
+
+def _assert_identical(ref, opt):
+    assert opt.feasible == ref.feasible
+    assert opt.cost_ms == ref.cost_ms  # bit-equal, no tolerance
+    assert opt.evaluations == ref.evaluations
+    if ref.plan is None:
+        assert opt.plan is None
+    else:
+        assert opt.plan.column_plan == ref.plan.column_plan
+        assert opt.plan.assignment == ref.plan.assignment
+        assert opt.plan.num_devices == ref.plan.num_devices
+
+
+class TestBeamSearchEquivalence:
+    def test_small_tasks(self, tiny_bundle, tasks2):
+        for task in tasks2:
+            memory = MemoryModel(task.memory_bytes)
+            ref, opt = _run_both(
+                tiny_bundle, task.tables, 2, memory, SMALL_SEARCH
+            )
+            assert ref.feasible
+            _assert_identical(ref, opt)
+
+    def test_medium_tasks(self, tiny_bundle, small_pool):
+        cfg = TaskConfig(
+            num_devices=2,
+            max_dim=64,
+            min_tables=10,
+            max_tables=16,
+            memory_bytes=2 * 1024**3,
+        )
+        for task in generate_tasks(small_pool, cfg, count=3, seed=41):
+            memory = MemoryModel(task.memory_bytes)
+            ref, opt = _run_both(
+                tiny_bundle, task.tables, 2, memory, MEDIUM_SEARCH
+            )
+            _assert_identical(ref, opt)
+
+    def test_split_forcing_tasks(self, tiny_bundle, tasks2):
+        """Budgets below the largest table force column splits — the
+        regime where the plan memo and overflow ranking matter most."""
+        for task in tasks2[:3]:
+            largest = max(
+                t.size_bytes + t.hash_size * 4 for t in task.tables
+            )
+            memory = MemoryModel(max(int(largest * 0.75), 1))
+            ref, opt = _run_both(
+                tiny_bundle, task.tables, 2, memory, MEDIUM_SEARCH
+            )
+            _assert_identical(ref, opt)
+
+    def test_infeasible_tasks(self, tiny_bundle, tasks2):
+        memory = MemoryModel(1024)  # nothing fits, ever
+        for task in tasks2[:2]:
+            ref, opt = _run_both(
+                tiny_bundle, task.tables, 2, memory, SMALL_SEARCH
+            )
+            assert not ref.feasible
+            assert opt.cost_ms == math.inf
+            _assert_identical(ref, opt)
+
+    @pytest.mark.parametrize("ablation", ["grid_search", "caching"])
+    def test_ablation_configs(self, tiny_bundle, tasks2, ablation):
+        """The ablated configurations exercise the non-memoized and
+        single-pass code paths; equivalence must hold there too."""
+        search = MEDIUM_SEARCH.with_ablation(ablation)
+        for task in tasks2[:2]:
+            memory = MemoryModel(task.memory_bytes)
+            ref, opt = _run_both(
+                tiny_bundle, task.tables, 2, memory, search
+            )
+            _assert_identical(ref, opt)
+
+
+class TestGridSearchEquivalence:
+    def test_inner_loop_direct(self, tiny_bundle, tasks2):
+        for task in tasks2:
+            memory = MemoryModel(task.memory_bytes)
+            ref = reference_greedy_grid_search(
+                list(task.tables), 2,
+                NeuroShardSimulator(tiny_bundle, CostCache()),
+                memory, MEDIUM_SEARCH,
+            )
+            opt = greedy_grid_search(
+                list(task.tables), 2,
+                NeuroShardSimulator(tiny_bundle, CostCache()),
+                memory, MEDIUM_SEARCH,
+            )
+            assert opt.feasible == ref.feasible
+            assert opt.cost_ms == ref.cost_ms
+            assert opt.assignment == ref.assignment
+            assert opt.max_dim_used == ref.max_dim_used
+            assert opt.overflow_bytes == ref.overflow_bytes
+            if ref.breakdown is not None:
+                assert opt.breakdown.compute_ms == ref.breakdown.compute_ms
+                assert opt.breakdown.fwd_comm_ms == ref.breakdown.fwd_comm_ms
+                assert opt.breakdown.bwd_comm_ms == ref.breakdown.bwd_comm_ms
+
+    def test_shared_cache_between_runs_is_harmless(self, tiny_bundle, tasks2):
+        """Predictions are deterministic, so running the optimized search
+        on a cache pre-warmed by the reference changes nothing."""
+        task = tasks2[0]
+        memory = MemoryModel(task.memory_bytes)
+        shared = CostCache()
+        simulator = NeuroShardSimulator(tiny_bundle, shared)
+        ref = reference_greedy_grid_search(
+            list(task.tables), 2, simulator, memory, SMALL_SEARCH
+        )
+        opt = greedy_grid_search(
+            list(task.tables), 2,
+            NeuroShardSimulator(tiny_bundle, shared),
+            memory, SMALL_SEARCH,
+        )
+        assert opt.cost_ms == ref.cost_ms
+        assert opt.assignment == ref.assignment
