@@ -11,14 +11,30 @@ is preserved.  Scale knobs:
 - ``REPRO_BENCH_EPOCHS``: training epochs (default 300).
 - ``REPRO_BENCH_TASKS``: tasks per Table 1 setting (default 6).
 
-Pre-trained bundles are cached on disk under ``benchmarks/_cache`` keyed
-by their configuration, so repeated benchmark runs skip the ~2 minute
-pre-training.  Each benchmark writes its paper-style table to
-``benchmarks/results/*.txt`` as well as printing it.
+Pre-trained bundles are cached (and committed) under
+``benchmarks/_cache`` keyed by their configuration, so repeated
+benchmark runs skip the ~2 minute pre-training.  Pre-training is
+deterministic — rebuilding a cache entry under unchanged code reproduces
+the bundle bit-for-bit — and because the configuration key alone does
+not capture the code, every bundle directory carries a
+``code_fingerprint.txt`` hashing the source that determines it
+(``repro.costmodel``/``repro.data``/``repro.hardware``/``repro.nn``/
+``repro.config``);
+a cached bundle whose fingerprint no longer matches is retrained
+automatically instead of being served stale.  The hash covers raw
+source bytes, so a comment-only edit also invalidates it — deliberately
+erring on the side of a spurious retrain, which is cheap and, being
+deterministic, reproduces the bundle bit-for-bit (commit the refreshed
+fingerprint, nothing else moves).  After a retrain that *does* change
+the bundle, rerun the benchmarks so the committed ``results/*.txt`` are
+regenerated against it — git will show both moving together.  Each
+benchmark writes its paper-style table to ``benchmarks/results/*.txt``
+as well as printing it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 from pathlib import Path
 
@@ -87,6 +103,28 @@ def cluster8() -> SimulatedCluster:
     return make_cluster(8)
 
 
+def bundle_code_fingerprint() -> str:
+    """Hash of every source file a pre-trained bundle depends on.
+
+    The cache key of :func:`load_or_pretrain_bundle` captures the
+    *configuration* (devices, samples, epochs, seed) but not the *code*;
+    this digest covers the rest — featurization, the ``repro.nn``
+    model/training stack, the simulated hardware the samples are
+    collected on, and the config defaults — so a cached bundle trained
+    by older code is detected mechanically.
+    """
+    src_root = BENCH_DIR.parent / "src" / "repro"
+    digest = hashlib.sha256()
+    paths = [src_root / "config.py"]
+    for sub in ("costmodel", "data", "hardware", "nn"):
+        paths.extend(sorted((src_root / sub).rglob("*.py")))
+    for path in paths:
+        digest.update(path.relative_to(src_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
 def load_or_pretrain_bundle(
     pool: TablePool,
     cluster: SimulatedCluster,
@@ -95,6 +133,9 @@ def load_or_pretrain_bundle(
     """Disk-cached pre-training for a given cluster shape.
 
     Returns the bundle and the Table 2 test-MSE rows (also cached).
+    A cached bundle is only served when its ``code_fingerprint.txt``
+    matches the current source (see :func:`bundle_code_fingerprint`);
+    otherwise it is retrained and overwritten in place.
     """
     import json
 
@@ -103,7 +144,12 @@ def load_or_pretrain_bundle(
     )
     directory = CACHE_DIR / key
     mse_path = directory / "test_mse.json"
-    if mse_path.exists():
+    fingerprint = bundle_code_fingerprint()
+    fingerprint_path = directory / "code_fingerprint.txt"
+    if mse_path.exists() and (
+        fingerprint_path.exists()
+        and fingerprint_path.read_text().strip() == fingerprint
+    ):
         bundle = PretrainedCostModels.load(directory)
         return bundle, json.loads(mse_path.read_text())
     bundle, report = pretrain_cost_models(
@@ -117,6 +163,7 @@ def load_or_pretrain_bundle(
     bundle.save(directory)
     mse_rows = report.test_mse_rows()
     mse_path.write_text(json.dumps(mse_rows, indent=2))
+    fingerprint_path.write_text(fingerprint + "\n")
     return bundle, mse_rows
 
 

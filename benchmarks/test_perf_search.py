@@ -24,8 +24,11 @@ inner-loop evaluations per second (requested evaluations / optimized
 wall time), and the optimized search's work counters.  The file is
 committed, so the perf trajectory is tracked in git from this PR onward;
 the test fails when throughput regresses more than 2x against the
-committed baseline measured with the same configuration on the same
-platform (throughput is hardware-dependent; on other machines the
+**median** of the committed runs measured with the same configuration on
+the same OS family and architecture (the median absorbs run-to-run
+machine noise — single fast outliers in the log must not ratchet the
+floor upward; matching the full platform string would disarm the gate
+on every kernel upgrade; and where no committed run matches at all, the
 machine-independent >=5x speedup-ratio gate still applies).
 
 Scale knobs (environment):
@@ -33,6 +36,9 @@ Scale knobs (environment):
 - ``REPRO_PERF_TASKS``  — tasks measured (default 2).
 - ``REPRO_PERF_MAX_DIM`` — task max dimension (default 128).
 - ``REPRO_PERF_MIN_SPEEDUP`` — required aggregate speedup (default 5.0).
+- ``REPRO_PERF_REGRESSION_FACTOR`` — tolerated throughput regression vs.
+  the committed median (default 2.0; raise on hardware much slower than
+  the machines in the committed log).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import statistics
 import time
 
 import pytest
@@ -62,8 +69,12 @@ PERF_MAX_DIM = int(os.environ.get("REPRO_PERF_MAX_DIM", "128"))
 PERF_MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "5.0"))
 PERF_SEED = 777
 
-#: Maximum tolerated throughput regression vs. the committed baseline.
-REGRESSION_FACTOR = 2.0
+#: Maximum tolerated throughput regression vs. the committed baseline
+#: median (override with ``REPRO_PERF_REGRESSION_FACTOR``, e.g. for CI
+#: runners much slower than the machines in the committed log).
+REGRESSION_FACTOR = float(
+    os.environ.get("REPRO_PERF_REGRESSION_FACTOR", "2.0")
+)
 
 
 def _plans_identical(ref, opt) -> bool:
@@ -155,20 +166,35 @@ def test_perf_search_speedup(pool856, bundle4):
         ),
     )
 
-    baseline = None
+    baseline_eps = None
+    baseline_runs = 0
     if BENCH_JSON.exists():
         history = json.loads(BENCH_JSON.read_text())
-        for entry in reversed(history):
-            # Throughput is machine-dependent: compare only against a
-            # baseline measured with the same configuration on the same
-            # platform (the machine-independent >=5x speedup-ratio gate
-            # below applies everywhere).
-            if entry.get("config") == config and (
-                entry.get("machine", {}).get("platform")
-                == platform.platform()
-            ):
-                baseline = entry
-                break
+        # Throughput is machine-dependent: compare only against runs
+        # measured with the same configuration on the same OS family and
+        # architecture (the machine-independent >=5x speedup-ratio gate
+        # below applies everywhere).  Matching on the full
+        # platform.platform() string would embed the kernel build and
+        # silently disarm the gate on every kernel/runner-image upgrade.
+        # Use the median of the matching runs, not the most recent one:
+        # same-machine throughput varies well over 1.5x run to run, and
+        # a single fast outlier as the baseline would ratchet the floor
+        # up until healthy runs fail.
+        system, machine = platform.system(), platform.machine()
+        matching = [
+            entry["evaluations_per_sec"]
+            for entry in history
+            if entry.get("config") == config
+            and (
+                entry_platform := entry.get("machine", {}).get(
+                    "platform", ""
+                )
+            ).startswith(system)
+            and machine in entry_platform
+        ]
+        if matching:
+            baseline_eps = statistics.median(matching)
+            baseline_runs = len(matching)
     else:
         history = []
 
@@ -196,18 +222,21 @@ def test_perf_search_speedup(pool856, bundle4):
             for r in rows
         ],
     }
-    history.append(entry)
-    history = history[-50:]  # bound the trajectory file
-    BENCH_JSON.write_text(json.dumps(history, indent=1) + "\n")
-
     assert speedup >= PERF_MIN_SPEEDUP, (
         f"end-to-end speedup {speedup:.2f}x fell below the required "
         f"{PERF_MIN_SPEEDUP}x"
     )
-    if baseline is not None:
-        floor = baseline["evaluations_per_sec"] / REGRESSION_FACTOR
+    if baseline_eps is not None:
+        floor = baseline_eps / REGRESSION_FACTOR
         assert evals_per_sec >= floor, (
             f"evaluations/sec regressed more than {REGRESSION_FACTOR}x: "
-            f"{evals_per_sec:.1f}/s vs committed "
-            f"{baseline['evaluations_per_sec']:.1f}/s"
+            f"{evals_per_sec:.1f}/s vs the median {baseline_eps:.1f}/s "
+            f"of {baseline_runs} committed same-config/platform runs"
         )
+
+    # Record the run only after it passed both gates: a failing (regressed)
+    # run must not enter the history, or repeated failing reruns would drag
+    # the median floor down until the regression legitimizes itself.
+    history.append(entry)
+    history = history[-50:]  # bound the trajectory file
+    BENCH_JSON.write_text(json.dumps(history, indent=1) + "\n")

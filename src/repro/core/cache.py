@@ -101,7 +101,14 @@ class CostCache:
         costs by uid) in front of the cache; pre-optimization, those
         lookups all reached the cache and were recorded as hits.  Routing
         the bookkeeping here keeps reported hit rates comparable across
-        the optimization.
+        the optimization *for those per-lookup memos*.  The compensation
+        is deliberately not extended to the coarser short-circuits — a
+        beam-search plan-memo hit or a greedy-grid ``dim_bound`` skip
+        avoids an entire grid search whose would-be lookups (a
+        workload-dependent mix the skip never enumerates) simply do not
+        happen — so on duplicate-heavy workloads the reported hit rate
+        can drift from the pre-optimization search's figure even though
+        every served *result* is identical.
         """
         if n < 0:
             raise ValueError(f"n must be >= 0, got {n}")

@@ -34,6 +34,14 @@ Why the observations follow:
 - **Observation 1** (half-dim shards cost more than half): splitting a
   table leaves ``idx_t`` and the per-table overhead un-halved on *each*
   shard, and the shard's smaller ``dim`` has worse transaction efficiency.
+  This holds for every table on the supported dimension grid (dims up to
+  128, any storage width — verified exhaustively over the hash-size /
+  pooling / skew space).  It is NOT guaranteed for hypothetical dim-256
+  parents, which the pipeline never produces (``DIMENSION_GRID`` and
+  task ``max_dim`` stop at 128): there the transaction-efficiency
+  penalty has saturated while halving the working set still shifts
+  traffic from gather to cache bandwidth, so a shard can undercut half
+  the parent by up to ~9% (widest rows, working set near ``cache_bytes``).
 - **Observation 2** (multi-table cost is non-linear in the sum of
   single-table costs): single-table runs pay ``launch`` per table and get
   ``speedup(1) = 1``, while the fused run pays one launch and
