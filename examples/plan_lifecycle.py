@@ -1,0 +1,125 @@
+"""The plan lifecycle: deployments, drift, budgeted resharding, rollback.
+
+The one-shot workflow (pre-train, search, emit a plan) answers a single
+question; production keeps the answer *alive*.  This example plays one
+deployment's week through :class:`repro.api.ShardingService`:
+
+1. create a named deployment (engine + initial workload),
+2. plan and apply version 1,
+3. the workload shifts — the drift monitor fires and the model gains two
+   tables while retiring one,
+4. ``reshard`` under a migration budget: the incremental candidate
+   (warm-started from the live plan) is compared with a full re-search,
+   and the winner is applied with its :class:`repro.api.PlanDiff`
+   recorded — note how many megabytes of live embedding state it moves
+   versus re-sharding from scratch,
+5. something looks off — ``rollback`` restores version 1 byte-for-byte.
+
+Run:  python examples/plan_lifecycle.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    ClusterConfig,
+    CollectionConfig,
+    SimulatedCluster,
+    TablePool,
+    TaskConfig,
+    TrainConfig,
+    generate_tasks,
+    synthesize_table_pool,
+)
+from repro.api import (
+    ReshardConfig,
+    ShardingEngine,
+    ShardingService,
+    WorkloadDelta,
+)
+from repro.costmodel import DriftMonitor, pretrain_cost_models
+
+
+def main() -> None:
+    pool = TablePool(synthesize_table_pool(num_tables=128, seed=0))
+    cluster = SimulatedCluster(ClusterConfig(num_devices=4))
+
+    print("pre-training cost models (~1 minute)...")
+    models, report = pretrain_cost_models(
+        cluster,
+        pool,
+        collection=CollectionConfig(num_compute_samples=2000, num_comm_samples=800),
+        train=TrainConfig(epochs=120),
+        seed=0,
+    )
+    engine = ShardingEngine(cluster, models, cache_max_entries=50_000)
+
+    # --- 1+2. create, plan, apply -------------------------------------
+    task = generate_tasks(
+        pool, TaskConfig(num_devices=4, max_dim=64), count=1, seed=3
+    )[0]
+    service = ShardingService()  # pass PlanStore("deployments/") to persist
+    service.create_deployment("dlrm-prod", engine, tables=task.tables)
+    v1 = service.plan("dlrm-prod")
+    service.apply("dlrm-prod")
+    print(f"\nv1 applied: {len(v1.base_tables)} shards, "
+          f"{v1.simulated_cost_ms:.3f} ms simulated cost")
+
+    # --- 3. the workload drifts and grows -----------------------------
+    drifted_pool = TablePool(
+        [dataclasses.replace(t, zipf_alpha=round(t.zipf_alpha * 0.6, 6))
+         for t in pool.tables],
+        augment_dims=pool.augment_dims,
+    )
+    monitor = DriftMonitor(
+        models, cluster, drifted_pool,
+        threshold_mse=max(2.0 * report.compute.test_mse, 0.5), window=2,
+    )
+    drift = monitor.probe(num_samples=24, seed=42)
+    drift = monitor.probe(num_samples=24, seed=43)
+    print(f"\ndrift probe: rolling MSE {drift.rolling_mse:.2f} ms^2, "
+          f"retrain: {drift.needs_retraining}")
+
+    fresh = pool.sample_tables(2, np.random.default_rng(7))
+    max_id = max(t.table_id for t in task.tables)
+    added = tuple(
+        dataclasses.replace(t.with_dim(64), table_id=max_id + 1 + i)
+        for i, t in enumerate(fresh)
+    )
+    retired = (task.tables[0].table_id,)
+    delta = WorkloadDelta(
+        add_tables=added, remove_table_ids=retired, drift=drift
+    )
+
+    # --- 4. budgeted reshard ------------------------------------------
+    v2 = service.reshard(
+        "dlrm-prod",
+        delta,
+        ReshardConfig(migration_budget_ms=60_000, migration_lambda=1e-4),
+    )
+    assert v2.diff is not None
+    full = v2.metadata.get("full_search", {})
+    print(f"\nv2 ({v2.metadata['chosen']}) applied: "
+          f"{v2.simulated_cost_ms:.3f} ms simulated cost")
+    print(f"  moved {v2.diff.moved_bytes / 1e6:8.1f} MB "
+          f"({len(v2.diff.moves)} shards), migration "
+          f"{v2.diff.migration_cost_ms:.1f} ms")
+    if full:
+        print(f"  re-shard-from-scratch would move "
+              f"{full['moved_bytes'] / 1e6:8.1f} MB for "
+              f"{full['simulated_cost_ms']:.3f} ms simulated cost")
+
+    # --- 5. rollback ---------------------------------------------------
+    restored = service.rollback("dlrm-prod")
+    print(f"\nrolled back: v{restored.version} live again "
+          f"(byte-identical: {restored.plan == v1.plan})")
+
+    print("\nhistory:")
+    for data in service.history("dlrm-prod"):
+        print(f"  v{data['version']} [{data['kind']}/{data['strategy']}] "
+              f"cost={data['simulated_cost_ms']:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,9 @@
-"""The service API: registry-driven sharding behind one engine.
+"""The service API: registry-driven sharding behind one stateful service.
 
-This package is the stable public surface of the reproduction.  Instead
-of one constructor per algorithm, every sharding strategy registers in a
+This package is the stable public surface of the reproduction.  Two
+layers:
+
+**Stateless serving** — every sharding strategy registers in a
 :mod:`~repro.api.registry` and is served by a
 :class:`~repro.api.engine.ShardingEngine` with uniform
 :class:`~repro.api.schema.ShardingRequest` /
@@ -17,13 +19,34 @@ of one constructor per algorithm, every sharding strategy registers in a
     )
     roster = engine.compare(ShardingRequest(task))            # vs baselines
 
+**Plan lifecycle** — a :class:`~repro.api.service.ShardingService` owns
+named deployments whose applied plans are live, versioned state: plans
+are applied, diffed (:class:`~repro.api.diff.PlanDiff`), incrementally
+resharded under a migration budget when the workload drifts
+(:func:`~repro.api.reshard.incremental_reshard`), and rolled back —
+persisted through a :class:`~repro.api.store.PlanStore` and served over
+HTTP by :class:`~repro.api.server.ShardingHTTPServer`::
+
+    from repro.api import PlanStore, ShardingService, WorkloadDelta
+
+    service = ShardingService(PlanStore("deployments/"))
+    service.create_deployment("prod", engine, tables=task.tables)
+    service.plan("prod"); service.apply("prod")
+    service.reshard("prod", WorkloadDelta(add_tables=new_tables),
+                    ReshardConfig(migration_budget_ms=5_000))
+    service.rollback("prod")
+
 Modules:
 
 - :mod:`~repro.api.registry` — ``@register_strategy`` + ``make_sharder``.
 - :mod:`~repro.api.strategies` — the built-in registrations.
 - :mod:`~repro.api.schema` — versioned request/response dataclasses.
 - :mod:`~repro.api.engine` — single/batched/compare serving.
-- :mod:`~repro.api.store` — versioned cost-model bundle storage.
+- :mod:`~repro.api.store` — versioned bundle + plan-lifecycle storage.
+- :mod:`~repro.api.diff` — plan diffs and migration pricing.
+- :mod:`~repro.api.reshard` — budgeted incremental resharding.
+- :mod:`~repro.api.service` — named deployments, apply/rollback/history.
+- :mod:`~repro.api.server` — the threaded micro-batching HTTP front-end.
 """
 
 from repro.api.registry import (
@@ -46,24 +69,51 @@ from repro.api.schema import (
     plan_to_dict,
 )
 from repro.api.engine import ShardingEngine
-from repro.api.store import BundleInfo, BundleStore
+from repro.api.store import BundleInfo, BundleStore, PlanStore
+from repro.api.diff import MigrationCostModel, PlanDiff, ShardChange, TableMove
+from repro.api.reshard import (
+    ReshardConfig,
+    ReshardResult,
+    WorkloadDelta,
+    incremental_reshard,
+)
+from repro.api.service import (
+    DeploymentNotFoundError,
+    PlanRecord,
+    ShardingService,
+)
+from repro.api.server import ShardingHTTPServer, serve
 
 __all__ = [
     "SCHEMA_VERSION",
     "BundleInfo",
     "BundleStore",
+    "DeploymentNotFoundError",
+    "MigrationCostModel",
+    "PlanDiff",
     "PlanOverTables",
+    "PlanRecord",
+    "PlanStore",
+    "ReshardConfig",
+    "ReshardResult",
+    "ShardChange",
     "ShardingEngine",
+    "ShardingHTTPServer",
     "ShardingRequest",
     "ShardingResponse",
+    "ShardingService",
     "StrategyInfo",
+    "TableMove",
     "UnknownStrategyError",
+    "WorkloadDelta",
     "all_names",
     "available_strategies",
+    "incremental_reshard",
     "iter_strategies",
     "make_sharder",
     "plan_from_dict",
     "plan_to_dict",
     "register_strategy",
+    "serve",
     "strategy_info",
 ]

@@ -1,0 +1,310 @@
+"""Plan diffs and migration pricing: what it costs to *change* a plan.
+
+A deployment's applied plan is live state: embedding shards resident on
+devices.  Moving to a new plan is not free — every shard that changes
+device must be shipped over the same links the all-to-all uses, and every
+shard that exists only in the new plan (a new table, or a different
+column split) must be loaded onto its device.  This module makes that
+cost first-class:
+
+- :class:`PlanDiff` compares two plans *as shard placements*: shards are
+  identified by cost-identity (:attr:`~repro.data.table.TableConfig.uid`)
+  and occurrence rank, so a surviving shard that stays put costs nothing,
+  a surviving shard on a new device is a :class:`TableMove`, and shards
+  present on only one side are creations/removals (a re-split table shows
+  up as a removal plus two creations — it genuinely must be re-laid-out).
+- :class:`MigrationCostModel` prices a diff in milliseconds from the
+  per-device transfer bytes and the cluster's link calibration
+  (:class:`~repro.hardware.device.DeviceSpec`): device transfers overlap,
+  so the cost is the bottleneck device's ``bytes / comm bandwidth`` plus
+  a per-transfer latency term.
+
+Both serialize through the same versioned JSON convention as the rest of
+:mod:`repro.api.schema` (``schema_version`` checked on load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.api.schema import SCHEMA_VERSION, _check_version
+from repro.core.plan import ShardingPlan
+from repro.data.table import TableConfig
+from repro.hardware.device import DeviceSpec
+
+__all__ = ["MigrationCostModel", "PlanDiff", "ShardChange", "TableMove"]
+
+
+@dataclass(frozen=True)
+class TableMove:
+    """One surviving shard changing device between two plans.
+
+    Attributes:
+        uid: cost-identity of the shard (see ``TableConfig.uid``).
+        occurrence: rank among shards of the same uid (column splits of
+            one table are uid-equal; the k-th old one maps to the k-th
+            new one).
+        from_device / to_device: the shard's device in the old/new plan.
+        size_bytes: shard weight bytes that must travel.
+    """
+
+    uid: str
+    occurrence: int
+    from_device: int
+    to_device: int
+    size_bytes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "occurrence": self.occurrence,
+            "from_device": self.from_device,
+            "to_device": self.to_device,
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TableMove":
+        return cls(
+            uid=str(data["uid"]),
+            occurrence=int(data["occurrence"]),
+            from_device=int(data["from_device"]),
+            to_device=int(data["to_device"]),
+            size_bytes=int(data["size_bytes"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardChange:
+    """A shard present on only one side of the diff (created or removed)."""
+
+    uid: str
+    device: int
+    size_bytes: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "uid": self.uid,
+            "device": self.device,
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardChange":
+        return cls(
+            uid=str(data["uid"]),
+            device=int(data["device"]),
+            size_bytes=int(data["size_bytes"]),
+        )
+
+
+class MigrationCostModel:
+    """Price a plan transition from per-device transfer volumes.
+
+    Every moved shard leaves its old device and lands on its new one;
+    every created shard lands on its device (loaded over the same
+    fabric).  Devices transfer concurrently, so the wall-clock migration
+    cost is the bottleneck device's wire time:
+
+        cost_d = (egress_d + ingress_d) / comm_bandwidth
+                 + comm_latency * transfers_d
+        migration_cost_ms = max_d cost_d
+
+    Args:
+        spec: link calibration constants (defaults to the simulated
+            testbed's :class:`~repro.hardware.device.DeviceSpec`).
+    """
+
+    def __init__(self, spec: DeviceSpec | None = None) -> None:
+        self.spec = spec or DeviceSpec()
+
+    def cost_ms(
+        self,
+        egress_bytes: Sequence[int],
+        ingress_bytes: Sequence[int],
+        transfers: Sequence[int],
+    ) -> float:
+        """Bottleneck wire time of the per-device transfer volumes."""
+        if not (len(egress_bytes) == len(ingress_bytes) == len(transfers)):
+            raise ValueError("per-device sequences must have equal length")
+        worst = 0.0
+        for out_b, in_b, n in zip(egress_bytes, ingress_bytes, transfers):
+            cost = (
+                (out_b + in_b) / self.spec.comm_bandwidth_bytes_per_ms
+                + self.spec.comm_latency_ms * n
+            )
+            worst = max(worst, cost)
+        return worst
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """Shard-level difference between an applied plan and a candidate.
+
+    Attributes:
+        num_devices: device count both plans target.
+        moves: surviving shards that change device.
+        created: shards only the new plan has (new tables, re-splits).
+        removed: shards only the old plan had.
+        egress_bytes / ingress_bytes: per-device transfer volumes implied
+            by ``moves`` + ``created`` (removals are free).
+        migration_cost_ms: bottleneck wire time of the transition (priced
+            by :class:`MigrationCostModel` at diff time).
+    """
+
+    num_devices: int
+    moves: tuple[TableMove, ...] = ()
+    created: tuple[ShardChange, ...] = ()
+    removed: tuple[ShardChange, ...] = ()
+    egress_bytes: tuple[int, ...] = ()
+    ingress_bytes: tuple[int, ...] = ()
+    migration_cost_ms: float = 0.0
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def moved_bytes(self) -> int:
+        """Bytes of surviving shards that change device."""
+        return sum(m.size_bytes for m in self.moves)
+
+    @property
+    def created_bytes(self) -> int:
+        return sum(c.size_bytes for c in self.created)
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(c.size_bytes for c in self.removed)
+
+    @property
+    def transferred_bytes(self) -> int:
+        """Total bytes that must land on some device (moves + creations)."""
+        return self.moved_bytes + self.created_bytes
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.moves) + len(self.created) + len(self.removed)
+
+    @classmethod
+    def between(
+        cls,
+        old_plan: ShardingPlan,
+        old_base_tables: Sequence[TableConfig],
+        new_plan: ShardingPlan,
+        new_base_tables: Sequence[TableConfig],
+        cost_model: MigrationCostModel | None = None,
+    ) -> "PlanDiff":
+        """Diff two plans over their (possibly different) base tables.
+
+        Shards are matched by ``(uid, occurrence rank)``: uid-equal
+        shards are cost- and size-identical, so matching the k-th old
+        occurrence to the k-th new occurrence minimizes spurious moves
+        without changing total bytes.
+
+        Raises:
+            ValueError: when the plans target different device counts.
+        """
+        if old_plan.num_devices != new_plan.num_devices:
+            raise ValueError(
+                f"cannot diff plans for {old_plan.num_devices} vs "
+                f"{new_plan.num_devices} devices"
+            )
+        num_devices = new_plan.num_devices
+        cost_model = cost_model or MigrationCostModel()
+
+        old_sharded = old_plan.sharded_tables(old_base_tables)
+        new_sharded = new_plan.sharded_tables(new_base_tables)
+
+        # uid -> list of (occurrence, device, size) on the old side.
+        old_by_uid: dict[str, list[tuple[int, int, int]]] = {}
+        for table, device in zip(old_sharded, old_plan.assignment):
+            slots = old_by_uid.setdefault(table.uid, [])
+            slots.append((len(slots), device, table.size_bytes))
+
+        moves: list[TableMove] = []
+        created: list[ShardChange] = []
+        seen: dict[str, int] = {}
+        egress = [0] * num_devices
+        ingress = [0] * num_devices
+        transfers = [0] * num_devices
+        for table, device in zip(new_sharded, new_plan.assignment):
+            rank = seen.get(table.uid, 0)
+            seen[table.uid] = rank + 1
+            slots = old_by_uid.get(table.uid)
+            if slots and rank < len(slots):
+                occurrence, old_device, size = slots[rank]
+                if old_device != device:
+                    moves.append(
+                        TableMove(
+                            uid=table.uid,
+                            occurrence=occurrence,
+                            from_device=old_device,
+                            to_device=device,
+                            size_bytes=size,
+                        )
+                    )
+                    egress[old_device] += size
+                    ingress[device] += size
+                    transfers[old_device] += 1
+                    transfers[device] += 1
+            else:
+                created.append(
+                    ShardChange(
+                        uid=table.uid, device=device, size_bytes=table.size_bytes
+                    )
+                )
+                ingress[device] += table.size_bytes
+                transfers[device] += 1
+
+        removed = [
+            ShardChange(uid=uid, device=device, size_bytes=size)
+            for uid, slots in old_by_uid.items()
+            for rank, device, size in slots
+            if rank >= seen.get(uid, 0)
+        ]
+
+        return cls(
+            num_devices=num_devices,
+            moves=tuple(moves),
+            created=tuple(created),
+            removed=tuple(removed),
+            egress_bytes=tuple(egress),
+            ingress_bytes=tuple(ingress),
+            migration_cost_ms=cost_model.cost_ms(egress, ingress, transfers),
+        )
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "num_devices": self.num_devices,
+            "moves": [m.to_dict() for m in self.moves],
+            "created": [c.to_dict() for c in self.created],
+            "removed": [c.to_dict() for c in self.removed],
+            "egress_bytes": list(self.egress_bytes),
+            "ingress_bytes": list(self.ingress_bytes),
+            "migration_cost_ms": float(self.migration_cost_ms),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanDiff":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "plan diff")
+        return cls(
+            num_devices=int(data["num_devices"]),
+            moves=tuple(TableMove.from_dict(m) for m in data.get("moves", ())),
+            created=tuple(
+                ShardChange.from_dict(c) for c in data.get("created", ())
+            ),
+            removed=tuple(
+                ShardChange.from_dict(c) for c in data.get("removed", ())
+            ),
+            egress_bytes=tuple(int(b) for b in data.get("egress_bytes", ())),
+            ingress_bytes=tuple(int(b) for b in data.get("ingress_bytes", ())),
+            migration_cost_ms=float(data.get("migration_cost_ms", 0.0)),
+            metadata=dict(data.get("metadata", {})),
+        )

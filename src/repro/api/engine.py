@@ -40,6 +40,7 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Mapping, Sequence
 
 from repro.api.registry import available_strategies, make_sharder, strategy_info
@@ -82,6 +83,15 @@ class ShardingEngine:
             ``{"milp": {"time_limit_s": 2.0}, "guided": {"policy": p}}``.
         cache_max_entries: LRU bound of the engine's shared cost cache
             (``None`` keeps the paper's unbounded lifelong hash map).
+        max_workers: default thread-pool size of :meth:`shard_batch`
+            (overridable per call).
+        cache_stats_in_profile: attach the engine's shared-cache
+            statistics (hits, misses, LRU evictions — see
+            :meth:`cache_stats`) to every response's ``profile`` under
+            ``"engine_cache"``, so serving hit rates are observable per
+            response.  Off by default; timing-like, so excluded from
+            :meth:`~repro.api.schema.ShardingResponse.deterministic_dict`
+            along with the rest of the profile.
     """
 
     def __init__(
@@ -93,7 +103,11 @@ class ShardingEngine:
         default_strategy: str | None = None,
         strategy_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
         cache_max_entries: int | None = None,
+        max_workers: int = 4,
+        cache_stats_in_profile: bool = False,
     ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if bundle is not None and bundle.num_devices != cluster.num_devices:
             raise ValueError(
                 f"bundle was pre-trained for {bundle.num_devices} devices "
@@ -111,8 +125,13 @@ class ShardingEngine:
             strategy_info(name).name: dict(kwargs)
             for name, kwargs in (strategy_kwargs or {}).items()
         }
+        self.max_workers = max_workers
+        self.cache_stats_in_profile = cache_stats_in_profile
         self.cache = CostCache(max_entries=cache_max_entries)
-        self._simulator = (
+        #: Cost-model simulator over the engine's bundle + shared cache
+        #: (``None`` without a bundle).  Backs the uniform plan scoring
+        #: and the incremental reshard search.
+        self.simulator = (
             NeuroShardSimulator(bundle, self.cache) if bundle is not None else None
         )
         self._sharders: dict[str, Any] = {}
@@ -188,17 +207,27 @@ class ShardingEngine:
             sharder = self.sharder_for(name, request.options)
             raw = sharder.shard(request.task)
         except Exception as exc:  # noqa: BLE001 — service boundary
-            return ShardingResponse(
-                request_id=request.request_id,
-                strategy=canonical,
-                feasible=False,
-                plan=None,
-                simulated_cost_ms=math.inf,
-                sharding_time_s=time.perf_counter() - started,
-                error=f"{type(exc).__name__}: {exc}",
+            return self._finalize(
+                ShardingResponse(
+                    request_id=request.request_id,
+                    strategy=canonical,
+                    feasible=False,
+                    plan=None,
+                    simulated_cost_ms=math.inf,
+                    sharding_time_s=time.perf_counter() - started,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             )
         elapsed = time.perf_counter() - started
-        return self._normalize(request, canonical, raw, elapsed)
+        return self._finalize(self._normalize(request, canonical, raw, elapsed))
+
+    def _finalize(self, response: ShardingResponse) -> ShardingResponse:
+        """Attach per-response engine diagnostics when enabled."""
+        if not self.cache_stats_in_profile:
+            return response
+        profile = dict(response.profile or {})
+        profile["engine_cache"] = self.cache_stats()
+        return replace(response, profile=profile)
 
     def _normalize(
         self,
@@ -256,22 +285,29 @@ class ShardingEngine:
 
     def _simulate(self, plan: ShardingPlan, tables) -> float:
         """Score a plan on the engine's cost models (nan without them)."""
-        if self._simulator is None:
+        if self.simulator is None:
             return math.nan
         per_device = plan.per_device_tables(tables)
-        return self._simulator.plan_cost(per_device).max_cost_ms
+        return self.simulator.plan_cost(per_device).max_cost_ms
 
     def shard_batch(
         self,
         requests: Sequence[ShardingRequest],
-        max_workers: int = 4,
+        max_workers: int | None = None,
     ) -> list[ShardingResponse]:
         """Answer many requests concurrently, in request order.
 
         Responses are identical to sequential :meth:`shard` calls except
         for wall-clock timing (see
         :meth:`~repro.api.schema.ShardingResponse.deterministic_dict`).
+
+        Args:
+            requests: the batch, answered in order.
+            max_workers: thread-pool size for this batch; the engine's
+                construction-time default when omitted.
         """
+        if max_workers is None:
+            max_workers = self.max_workers
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         requests = list(requests)

@@ -1,0 +1,598 @@
+"""Incremental resharding: keep a live plan good under a moving workload.
+
+The one-shot search answers "what is the best plan for this task?"; a
+deployment needs the answer to "the workload changed — what is the best
+plan *reachable from the one currently applied*?".  Re-searching from
+scratch typically reshuffles most shards, and every moved shard is live
+state that must travel (:mod:`repro.api.diff`), so the right objective
+is the paper's simulated embedding cost plus an amortized migration
+term:
+
+    objective = simulated_cost_ms + lambda * migration_cost_ms
+
+where ``lambda`` converts a one-time migration into per-iteration cost
+(roughly ``1 / iterations-until-the-next-reshard``).
+
+:func:`incremental_reshard` evaluates two candidates under that
+objective and a hard ``migration_budget_ms``:
+
+1. **warm start** — surviving shards keep their devices, added tables
+   (column-split until they fit a device) are placed greedily by the
+   cost models, then a bounded local search moves bottleneck-device
+   shards while the objective improves and the budget holds;
+2. **full re-search** — the engine's regular strategy on the new task,
+   considered when ``allow_full_search`` and its migration cost fits the
+   budget ("fall back to full re-search when the budget allows").
+
+Workload deltas (:class:`WorkloadDelta`) carry added/removed tables and
+optionally the :class:`~repro.costmodel.drift.DriftReport` that triggered
+the reshard, so drift-driven replans are recorded with their evidence.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.api.diff import MigrationCostModel, PlanDiff
+from repro.api.schema import SCHEMA_VERSION, ShardingRequest, ShardingResponse, _check_version
+from repro.core.plan import ShardingPlan
+from repro.core.simulator import NeuroShardSimulator
+from repro.costmodel.drift import DriftReport
+from repro.data.io import table_from_dict, table_to_dict
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+from repro.hardware.memory import MemoryModel
+
+__all__ = [
+    "ReshardConfig",
+    "ReshardResult",
+    "WorkloadDelta",
+    "incremental_reshard",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadDelta:
+    """A workload change between the applied plan and now.
+
+    Attributes:
+        add_tables: tables the model gained.
+        remove_table_ids: ``table_id``s the model dropped (every shard of
+            a removed table disappears).
+        drift: the drift probe that motivated the reshard, when one did
+            (see :class:`~repro.costmodel.drift.DriftMonitor`).
+    """
+
+    add_tables: tuple[TableConfig, ...] = ()
+    remove_table_ids: tuple[int, ...] = ()
+    drift: DriftReport | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.add_tables and not self.remove_table_ids
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "add_tables": [table_to_dict(t) for t in self.add_tables],
+            "remove_table_ids": list(self.remove_table_ids),
+            "drift": None if self.drift is None else self.drift.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadDelta":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "workload delta")
+        drift = data.get("drift")
+        return cls(
+            add_tables=tuple(
+                table_from_dict(t) for t in data.get("add_tables", ())
+            ),
+            remove_table_ids=tuple(
+                int(i) for i in data.get("remove_table_ids", ())
+            ),
+            drift=None if drift is None else DriftReport.from_dict(drift),
+        )
+
+
+@dataclass(frozen=True)
+class ReshardConfig:
+    """Knobs of the incremental reshard search.
+
+    Attributes:
+        migration_budget_ms: hard cap on the chosen plan's migration cost
+            (``None`` = unbounded).
+        migration_lambda: weight of the migration term in the objective —
+            the amortization rate of a one-time migration into the
+            per-iteration cost (``1e-4`` ≈ "the plan will live for ten
+            thousand iterations").
+        allow_full_search: also evaluate the engine's from-scratch search
+            and adopt it when it wins the objective within budget.
+        max_refine_steps: bound on local-search move acceptances.
+    """
+
+    migration_budget_ms: float | None = None
+    migration_lambda: float = 1e-4
+    allow_full_search: bool = True
+    max_refine_steps: int = 64
+
+    def __post_init__(self) -> None:
+        if self.migration_budget_ms is not None and self.migration_budget_ms < 0:
+            raise ValueError(
+                f"migration_budget_ms must be >= 0, got {self.migration_budget_ms}"
+            )
+        if self.migration_lambda < 0:
+            raise ValueError(
+                f"migration_lambda must be >= 0, got {self.migration_lambda}"
+            )
+        if self.max_refine_steps < 0:
+            raise ValueError(
+                f"max_refine_steps must be >= 0, got {self.max_refine_steps}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "migration_budget_ms": self.migration_budget_ms,
+            "migration_lambda": self.migration_lambda,
+            "allow_full_search": self.allow_full_search,
+            "max_refine_steps": self.max_refine_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReshardConfig":
+        return cls(
+            migration_budget_ms=data.get("migration_budget_ms"),
+            migration_lambda=float(data.get("migration_lambda", 1e-4)),
+            allow_full_search=bool(data.get("allow_full_search", True)),
+            max_refine_steps=int(data.get("max_refine_steps", 64)),
+        )
+
+
+@dataclass(frozen=True)
+class ReshardResult:
+    """Outcome of one incremental reshard.
+
+    Attributes:
+        response: the chosen plan as a regular engine response
+            (``effective_tables`` set when the plan indexes a table list
+            other than the new task's).
+        new_task: the post-delta task both candidates answered
+            (``response.plan_tables(new_task)`` is the list the chosen
+            plan indexes).
+        diff: shard-level difference of the chosen plan vs the applied
+            plan, migration cost included.
+        chosen: ``"incremental"`` or ``"full"``.
+        objective_ms: the chosen candidate's combined objective.
+        within_budget: the chosen plan's migration cost respects the
+            budget (``False`` only when *no* candidate could).
+        drift_triggered: the delta carried a drift report that demanded
+            re-training.
+        full_response / full_diff: the from-scratch candidate, when it
+            was evaluated (for migration-savings reporting).
+    """
+
+    response: ShardingResponse
+    new_task: ShardingTask
+    diff: PlanDiff
+    chosen: str
+    objective_ms: float
+    within_budget: bool
+    drift_triggered: bool = False
+    full_response: ShardingResponse | None = None
+    full_diff: PlanDiff | None = None
+
+
+def _split_to_fit(
+    table: TableConfig, memory: MemoryModel
+) -> list[TableConfig]:
+    """Column-split ``table`` until each shard fits an empty device."""
+    shards = [table]
+    while True:
+        oversized = [t for t in shards if memory.table_bytes(t) > memory.memory_bytes]
+        if not oversized or not all(t.can_halve for t in oversized):
+            return shards
+        next_shards: list[TableConfig] = []
+        for t in shards:
+            if memory.table_bytes(t) > memory.memory_bytes:
+                next_shards.extend(t.halved())
+            else:
+                next_shards.append(t)
+        shards = next_shards
+
+
+def _place_added(
+    added: Sequence[TableConfig],
+    per_device: list[list[TableConfig]],
+    device_bytes: list[int],
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel,
+) -> list[int] | None:
+    """Greedily place ``added`` tables onto the warm per-device state.
+
+    Returns the device chosen per added table (in input order), or
+    ``None`` when some table fits no device.  Mirrors the inner search's
+    greedy rule: costliest tables first, cheapest resulting device wins.
+    """
+    singles = simulator.single_table_costs(added)
+    order = sorted(range(len(added)), key=lambda i: -singles[i])
+    devices: list[int] = [0] * len(added)
+    for i in order:
+        table = added[i]
+        t_bytes = memory.table_bytes(table)
+        candidates = [
+            d
+            for d in range(len(per_device))
+            if device_bytes[d] + t_bytes <= memory.memory_bytes
+        ]
+        if not candidates:
+            return None
+        costs = simulator.device_compute_costs(
+            [[*per_device[d], table] for d in candidates]
+        )
+        best = candidates[min(range(len(costs)), key=costs.__getitem__)]
+        per_device[best].append(table)
+        device_bytes[best] += t_bytes
+        devices[i] = best
+    return devices
+
+
+def _plan_metrics(
+    plan: ShardingPlan,
+    base_tables: Sequence[TableConfig],
+    applied_plan: ShardingPlan,
+    applied_base: Sequence[TableConfig],
+    simulator: NeuroShardSimulator,
+    cost_model: MigrationCostModel,
+) -> tuple[float, PlanDiff]:
+    """Simulated cost and diff-vs-applied of a candidate plan."""
+    cost = simulator.plan_cost(plan.per_device_tables(base_tables)).max_cost_ms
+    diff = PlanDiff.between(
+        applied_plan, applied_base, plan, base_tables, cost_model
+    )
+    return cost, diff
+
+
+def _refine(
+    assignment: list[int],
+    tables: Sequence[TableConfig],
+    applied_plan: ShardingPlan,
+    applied_base: Sequence[TableConfig],
+    simulator: NeuroShardSimulator,
+    memory: MemoryModel,
+    cost_model: MigrationCostModel,
+    config: ReshardConfig,
+) -> tuple[list[TableConfig], list[int]]:
+    """Bounded local search around the warm-started placement.
+
+    Three move families, tried cheapest-disruption first on the
+    bottleneck device (the max-cost objective can only improve by
+    changing the bottleneck):
+
+    1. **move** a shard to another device,
+    2. **swap** a shard with one on another device (escapes the
+       partition local optima single moves hit),
+    3. **split** a shard column-wise and place the halves (the paper's
+       compute/balance trade, Observation 1, in incremental form).
+
+    A mutation is accepted only when it improves ``simulated + lambda *
+    migration`` and its migration cost respects the budget; the loop
+    stops at a local optimum or after ``max_refine_steps`` acceptances.
+    Returns the (possibly grown) table list and its assignment.
+    """
+    num_devices = applied_plan.num_devices
+    working = list(tables)
+    lam = config.migration_lambda
+    budget = config.migration_budget_ms
+
+    def metrics(
+        tbls: Sequence[TableConfig], assign: Sequence[int]
+    ) -> tuple[float, PlanDiff]:
+        plan = ShardingPlan(
+            column_plan=(), assignment=tuple(assign), num_devices=num_devices
+        )
+        return _plan_metrics(
+            plan, tbls, applied_plan, applied_base, simulator, cost_model
+        )
+
+    cost, diff = metrics(working, assignment)
+    objective = cost + lam * diff.migration_cost_ms
+    for _ in range(config.max_refine_steps):
+        table_bytes = [memory.table_bytes(t) for t in working]
+        device_bytes = [0] * num_devices
+        for ti, d in enumerate(assignment):
+            device_bytes[d] += table_bytes[ti]
+        breakdown = simulator.plan_cost(
+            ShardingPlan(
+                column_plan=(),
+                assignment=tuple(assignment),
+                num_devices=num_devices,
+            ).per_device_tables(working)
+        )
+        bottleneck = max(
+            range(num_devices), key=lambda d: breakdown.device_costs_ms[d]
+        )
+        movers = [ti for ti, d in enumerate(assignment) if d == bottleneck]
+        others = [ti for ti, d in enumerate(assignment) if d != bottleneck]
+
+        # Each candidate: (tables, assignment) after the mutation.
+        candidates: list[tuple[list[TableConfig], list[int]]] = []
+
+        def stage(candidate_tables, candidate_assignment) -> None:
+            candidates.append((candidate_tables, candidate_assignment))
+
+        for ti in movers:
+            for target in range(num_devices):
+                if target == bottleneck:
+                    continue
+                if device_bytes[target] + table_bytes[ti] > memory.memory_bytes:
+                    continue
+                moved = list(assignment)
+                moved[ti] = target
+                stage(working, moved)
+        for ti in movers:
+            for tj in others:
+                d_j = assignment[tj]
+                fits_j = (
+                    device_bytes[d_j] - table_bytes[tj] + table_bytes[ti]
+                    <= memory.memory_bytes
+                )
+                fits_b = (
+                    device_bytes[bottleneck]
+                    - table_bytes[ti]
+                    + table_bytes[tj]
+                    <= memory.memory_bytes
+                )
+                if fits_j and fits_b:
+                    swapped = list(assignment)
+                    swapped[ti], swapped[tj] = d_j, bottleneck
+                    stage(working, swapped)
+        for ti in movers:
+            if not working[ti].can_halve:
+                continue
+            first, second = working[ti].halved()
+            half_bytes = memory.table_bytes(first)
+            freed = device_bytes[bottleneck] - table_bytes[ti]
+            for target in range(num_devices):
+                on_bottleneck = half_bytes + (
+                    half_bytes if target == bottleneck else 0
+                )
+                if freed + on_bottleneck > memory.memory_bytes:
+                    continue
+                if (
+                    target != bottleneck
+                    and device_bytes[target] + half_bytes > memory.memory_bytes
+                ):
+                    continue
+                split_tables = list(working)
+                split_tables[ti] = first
+                split_tables.append(second)
+                split_assignment = list(assignment)
+                split_assignment.append(target)
+                stage(split_tables, split_assignment)
+
+        best: tuple[float, tuple[list[TableConfig], list[int]] | None] = (
+            objective,
+            None,
+        )
+        for candidate_tables, candidate_assignment in candidates:
+            c, m_diff = metrics(candidate_tables, candidate_assignment)
+            if budget is not None and m_diff.migration_cost_ms > budget:
+                continue
+            candidate_objective = c + lam * m_diff.migration_cost_ms
+            if candidate_objective < best[0] - 1e-12:
+                best = (candidate_objective, (candidate_tables, candidate_assignment))
+        if best[1] is None:
+            break
+        working, assignment = best[1]
+        objective = best[0]
+    return working, assignment
+
+
+def incremental_reshard(
+    engine,
+    applied_plan: ShardingPlan,
+    applied_base_tables: Sequence[TableConfig],
+    delta: WorkloadDelta,
+    config: ReshardConfig | None = None,
+    strategy: str | None = None,
+    memory_bytes: int | None = None,
+    request_id: str = "",
+) -> ReshardResult:
+    """Search for the best budget-respecting plan for the changed workload.
+
+    Args:
+        engine: a :class:`~repro.api.engine.ShardingEngine` with a bundle
+            (the cost models score candidates and drive the full search).
+        applied_plan: the deployment's currently applied plan.
+        applied_base_tables: the base table list ``applied_plan`` was
+            planned over.
+        delta: tables added/removed (and optionally the drift report).
+        config: budget / lambda / refinement knobs.
+        strategy: full-search strategy name (engine default when omitted).
+        memory_bytes: per-device budget (engine cluster's when omitted).
+        request_id: correlation id echoed in the chosen response.
+
+    Raises:
+        ValueError: when the engine has no cost-model bundle, or the
+            delta removes every table.
+    """
+    if engine.bundle is None:
+        raise ValueError(
+            "incremental resharding needs an engine with a cost-model "
+            "bundle to score candidate plans"
+        )
+    config = config or ReshardConfig()
+    memory = MemoryModel(
+        memory_bytes
+        if memory_bytes is not None
+        else engine.cluster.config.memory_bytes
+    )
+    num_devices = applied_plan.num_devices
+    cost_model = MigrationCostModel(engine.cluster.spec)
+    simulator = engine.simulator
+    removed = set(delta.remove_table_ids)
+    drift_triggered = bool(delta.drift is not None and delta.drift.needs_retraining)
+
+    # The new task as the full search sees it: applied base tables minus
+    # removals, plus the added tables (unsplit — the search decides).
+    new_base = tuple(
+        t for t in applied_base_tables if t.table_id not in removed
+    ) + tuple(delta.add_tables)
+    if not new_base:
+        raise ValueError("the workload delta removes every table")
+    new_task = ShardingTask(
+        tables=new_base,
+        num_devices=num_devices,
+        memory_bytes=memory.memory_bytes,
+    )
+
+    # ------------------------------------------------------------------
+    # candidate 1: warm start + bounded local refinement
+    # ------------------------------------------------------------------
+    started = time.perf_counter()
+    old_sharded = applied_plan.sharded_tables(applied_base_tables)
+    surviving = [
+        (t, d)
+        for t, d in zip(old_sharded, applied_plan.assignment)
+        if t.table_id not in removed
+    ]
+    added: list[TableConfig] = []
+    for table in delta.add_tables:
+        added.extend(_split_to_fit(table, memory))
+
+    warm_tables = tuple(t for t, _ in surviving) + tuple(added)
+    per_device: list[list[TableConfig]] = [[] for _ in range(num_devices)]
+    device_bytes = [0] * num_devices
+    for t, d in surviving:
+        per_device[d].append(t)
+        device_bytes[d] += memory.table_bytes(t)
+    warm_feasible = all(b <= memory.memory_bytes for b in device_bytes)
+    warm_assignment: list[int] | None = None
+    if warm_feasible:
+        placed = _place_added(added, per_device, device_bytes, simulator, memory)
+        if placed is None:
+            warm_feasible = False
+        else:
+            warm_assignment = [d for _, d in surviving] + placed
+
+    warm_response: ShardingResponse | None = None
+    warm_diff: PlanDiff | None = None
+    if warm_feasible and warm_assignment is not None:
+        refined_tables, warm_assignment = _refine(
+            warm_assignment,
+            warm_tables,
+            applied_plan,
+            applied_base_tables,
+            simulator,
+            memory,
+            cost_model,
+            config,
+        )
+        warm_tables = tuple(refined_tables)
+        warm_plan = ShardingPlan(
+            column_plan=(),
+            assignment=tuple(warm_assignment),
+            num_devices=num_devices,
+        )
+        warm_cost, warm_diff = _plan_metrics(
+            warm_plan,
+            warm_tables,
+            applied_plan,
+            applied_base_tables,
+            simulator,
+            cost_model,
+        )
+        warm_response = ShardingResponse(
+            request_id=request_id,
+            strategy="reshard-incremental",
+            feasible=True,
+            plan=warm_plan,
+            simulated_cost_ms=warm_cost,
+            sharding_time_s=time.perf_counter() - started,
+            effective_tables=(
+                warm_tables if warm_tables != new_task.tables else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # candidate 2: full re-search (only when allowed — with the warm
+    # candidate infeasible and the full search disabled, the reshard is
+    # honestly infeasible rather than silently overriding the flag)
+    # ------------------------------------------------------------------
+    full_response: ShardingResponse | None = None
+    full_diff: PlanDiff | None = None
+    if config.allow_full_search:
+        resp = engine.shard(
+            ShardingRequest(new_task, strategy=strategy, request_id=request_id)
+        )
+        if resp.feasible and resp.plan is not None:
+            full_response = resp
+            full_diff = PlanDiff.between(
+                applied_plan,
+                applied_base_tables,
+                resp.plan,
+                resp.plan_tables(new_task),
+                cost_model,
+            )
+
+    # ------------------------------------------------------------------
+    # selection under the objective + budget
+    # ------------------------------------------------------------------
+    lam = config.migration_lambda
+    budget = config.migration_budget_ms
+    candidates: list[tuple[str, ShardingResponse, PlanDiff]] = []
+    if warm_response is not None and warm_diff is not None:
+        candidates.append(("incremental", warm_response, warm_diff))
+    if full_response is not None and full_diff is not None:
+        candidates.append(("full", full_response, full_diff))
+    if not candidates:
+        infeasible = full_response or ShardingResponse(
+            request_id=request_id,
+            strategy="reshard-incremental",
+            feasible=False,
+            plan=None,
+            simulated_cost_ms=math.inf,
+            sharding_time_s=time.perf_counter() - started,
+            error="no feasible reshard candidate",
+        )
+        return ReshardResult(
+            response=infeasible,
+            new_task=new_task,
+            diff=PlanDiff(num_devices=num_devices),
+            chosen="none",
+            objective_ms=math.inf,
+            within_budget=False,
+            drift_triggered=drift_triggered,
+        )
+
+    def objective(item: tuple[str, ShardingResponse, PlanDiff]) -> float:
+        _, resp, diff = item
+        return resp.simulated_cost_ms + lam * diff.migration_cost_ms
+
+    in_budget = [
+        c for c in candidates
+        if budget is None or c[2].migration_cost_ms <= budget
+    ]
+    pool = in_budget or candidates
+    if not in_budget:
+        # Nothing fits the budget; take the cheapest migration so the
+        # deployment overshoots by as little as possible.
+        pool = [min(candidates, key=lambda c: c[2].migration_cost_ms)]
+    name, response, diff = min(pool, key=objective)
+    return ReshardResult(
+        response=response,
+        new_task=new_task,
+        diff=diff,
+        chosen=name,
+        objective_ms=objective((name, response, diff)),
+        within_budget=bool(
+            budget is None or diff.migration_cost_ms <= budget
+        ),
+        drift_triggered=drift_triggered,
+        full_response=full_response,
+        full_diff=full_diff,
+    )

@@ -1,0 +1,689 @@
+"""The plan-lifecycle service: named deployments with live, versioned plans.
+
+:class:`~repro.api.engine.ShardingEngine` answers one-shot questions;
+production serving needs *state*: a model deployment has a current
+applied plan, the plan has a version history, and workload changes are
+handled by migrating the live plan, not recomputing it from nothing.
+:class:`ShardingService` owns that lifecycle for any number of named
+deployments::
+
+    service = ShardingService(PlanStore("deployments/"))
+    service.create_deployment("dlrm-prod", engine, tables=task.tables)
+    record = service.plan("dlrm-prod")            # version 1, not live yet
+    service.apply("dlrm-prod")                    # version 1 goes live
+    service.reshard(                              # drift + new tables
+        "dlrm-prod",
+        WorkloadDelta(add_tables=new, drift=report),
+        ReshardConfig(migration_budget_ms=5_000),
+    )                                             # version 2, applied
+    service.rollback("dlrm-prod")                 # version 1 again, byte-equal
+
+Every plan/reshard produces an immutable :class:`PlanRecord` (plan, the
+table list it indexes, simulated cost, the :class:`~repro.api.diff
+.PlanDiff` against the plan it replaced) persisted through
+:class:`~repro.api.store.PlanStore`, and ``apply``/``rollback`` only move
+the applied-version stack — so the entire history is auditable and any
+applied state is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api.diff import MigrationCostModel, PlanDiff
+from repro.api.engine import ShardingEngine
+from repro.api.reshard import (
+    ReshardConfig,
+    WorkloadDelta,
+    incremental_reshard,
+)
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    ShardingRequest,
+    ShardingResponse,
+    _check_version,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.api.store import PlanStore
+from repro.core.plan import ShardingPlan
+from repro.data.io import table_from_dict, table_to_dict
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+
+__all__ = ["DeploymentNotFoundError", "PlanRecord", "ShardingService"]
+
+
+class DeploymentNotFoundError(KeyError):
+    """Raised when a deployment name is unknown to the service."""
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """One immutable version in a deployment's plan history.
+
+    Attributes:
+        version: 1-based version within the deployment.
+        kind: ``"plan"`` (one-shot) or ``"reshard"`` (incremental).
+        strategy: registry strategy (or reshard candidate) that produced
+            the plan.
+        feasible: a memory-legal plan was found.
+        plan: the plan itself (``None`` when infeasible).
+        base_tables: the table list ``plan``'s column plan applies to —
+            the workload this version serves.
+        num_devices / memory_bytes: the deployment contract the plan was
+            made under.
+        simulated_cost_ms: the cost models' estimate of the plan.
+        sharding_time_s: wall-clock planning time.
+        created_at: POSIX timestamp of record creation.
+        request_id: caller correlation id.
+        diff: shard-level difference against the plan that was applied
+            when this record was created (``None`` for the first plan).
+        metadata: free-form context (reshard objective, drift report,
+            migration budget, ...).
+    """
+
+    version: int
+    kind: str
+    strategy: str
+    feasible: bool
+    plan: ShardingPlan | None
+    base_tables: tuple[TableConfig, ...]
+    num_devices: int
+    memory_bytes: int
+    simulated_cost_ms: float
+    sharding_time_s: float
+    created_at: float
+    request_id: str = ""
+    diff: PlanDiff | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "version": self.version,
+            "kind": self.kind,
+            "strategy": self.strategy,
+            "feasible": self.feasible,
+            "plan": None if self.plan is None else plan_to_dict(self.plan),
+            "base_tables": [table_to_dict(t) for t in self.base_tables],
+            "num_devices": self.num_devices,
+            "memory_bytes": self.memory_bytes,
+            "simulated_cost_ms": (
+                None
+                if not math.isfinite(self.simulated_cost_ms)
+                else float(self.simulated_cost_ms)
+            ),
+            "sharding_time_s": float(self.sharding_time_s),
+            "created_at": float(self.created_at),
+            "request_id": self.request_id,
+            "diff": None if self.diff is None else self.diff.to_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanRecord":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "plan record")
+        plan_data = data.get("plan")
+        cost = data.get("simulated_cost_ms")
+        diff_data = data.get("diff")
+        return cls(
+            version=int(data["version"]),
+            kind=str(data["kind"]),
+            strategy=str(data["strategy"]),
+            feasible=bool(data["feasible"]),
+            plan=None if plan_data is None else plan_from_dict(plan_data),
+            base_tables=tuple(
+                table_from_dict(t) for t in data.get("base_tables", ())
+            ),
+            num_devices=int(data["num_devices"]),
+            memory_bytes=int(data["memory_bytes"]),
+            simulated_cost_ms=(
+                math.inf if cost is None else float(cost)
+            ),
+            sharding_time_s=float(data.get("sharding_time_s", 0.0)),
+            created_at=float(data.get("created_at", 0.0)),
+            request_id=str(data.get("request_id", "")),
+            diff=None if diff_data is None else PlanDiff.from_dict(diff_data),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+class _Deployment:
+    """Runtime state of one named deployment."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: ShardingEngine,
+        tables: tuple[TableConfig, ...],
+        memory_bytes: int,
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.initial_tables = tables
+        self.memory_bytes = memory_bytes
+        self.records: dict[int, PlanRecord] = {}
+        self.applied_stack: list[int] = []
+        self.lock = threading.RLock()
+        # Highest version ever handed out (>= max(records): versions are
+        # reserved before their records exist, so concurrent planners
+        # never collide).
+        self._version_counter = 0
+
+    @property
+    def applied_version(self) -> int | None:
+        return self.applied_stack[-1] if self.applied_stack else None
+
+    @property
+    def applied_record(self) -> PlanRecord | None:
+        version = self.applied_version
+        return None if version is None else self.records[version]
+
+    @property
+    def current_tables(self) -> tuple[TableConfig, ...]:
+        """The workload this deployment currently serves."""
+        record = self.applied_record
+        return self.initial_tables if record is None else record.base_tables
+
+    def reserve_versions(self, count: int) -> int:
+        """Claim ``count`` consecutive versions; returns the first."""
+        with self.lock:
+            self._version_counter = max(
+                self._version_counter, max(self.records, default=0)
+            )
+            first = self._version_counter + 1
+            self._version_counter += count
+            return first
+
+
+class ShardingService:
+    """Plan-lifecycle front-end over one or more deployments.
+
+    Args:
+        store: persistence for deployment metadata, plan records and the
+            applied stack; ``None`` keeps everything in memory (tests,
+            notebooks).
+    """
+
+    def __init__(self, store: PlanStore | None = None) -> None:
+        self.store = store
+        self._deployments: dict[str, _Deployment] = {}
+        self._lock = threading.Lock()
+        #: Deployments :meth:`open` left out (name -> reason), only
+        #: populated with ``on_error="skip"``.
+        self.skipped_deployments: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # deployment management
+    # ------------------------------------------------------------------
+
+    def deployments(self) -> list[str]:
+        """Names of deployments this service instance holds."""
+        with self._lock:
+            return sorted(self._deployments)
+
+    def _get(self, name: str) -> _Deployment:
+        with self._lock:
+            try:
+                return self._deployments[name]
+            except KeyError:
+                raise DeploymentNotFoundError(
+                    f"no deployment named {name!r} "
+                    f"(known: {sorted(self._deployments) or 'none'})"
+                ) from None
+
+    def create_deployment(
+        self,
+        name: str,
+        engine: ShardingEngine,
+        tables: Sequence[TableConfig],
+        memory_bytes: int | None = None,
+        bundle_ref: str | None = None,
+    ) -> dict[str, Any]:
+        """Register a new deployment and persist its metadata.
+
+        Args:
+            name: deployment name (also its store directory).
+            engine: the serving engine (cluster + bundle) for this
+                deployment.
+            tables: the initial workload (the tables the model embeds).
+            memory_bytes: per-device embedding budget (engine cluster's
+                when omitted).
+            bundle_ref: free-form pointer to the engine's bundle (path or
+                ``name@vN`` tag), persisted so a restarted service can
+                rebuild the engine.
+
+        Returns:
+            The deployment's status dictionary.
+
+        Raises:
+            ValueError: when the name is already in use (in memory or in
+                the store).
+        """
+        tables = tuple(tables)
+        if not tables:
+            raise ValueError("a deployment needs at least one table")
+        memory = (
+            memory_bytes
+            if memory_bytes is not None
+            else engine.cluster.config.memory_bytes
+        )
+        with self._lock:
+            if name in self._deployments:
+                raise ValueError(f"deployment {name!r} already exists")
+            if self.store is not None and self.store.has_deployment(name):
+                raise ValueError(
+                    f"deployment {name!r} already exists in store "
+                    f"{self.store.root}; use ShardingService.open"
+                )
+            deployment = _Deployment(name, engine, tables, memory)
+            self._deployments[name] = deployment
+        if self.store is not None:
+            self.store.save_meta(
+                name,
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "name": name,
+                    "created_at": time.time(),
+                    "num_devices": engine.cluster.num_devices,
+                    "batch_size": engine.cluster.batch_size,
+                    "memory_bytes": memory,
+                    "bundle_ref": bundle_ref,
+                    "tables": [table_to_dict(t) for t in tables],
+                },
+            )
+            self.store.save_state(name, {"applied_stack": []})
+        return self.status(name)
+
+    @classmethod
+    def open(
+        cls,
+        store: PlanStore,
+        engine_factory: Callable[[dict[str, Any]], ShardingEngine],
+        on_error: str = "raise",
+    ) -> "ShardingService":
+        """Rebuild a service from a store.
+
+        Args:
+            store: the persisted deployments.
+            engine_factory: builds each deployment's engine from its
+                stored metadata (``meta["bundle_ref"]`` points at the
+                bundle, ``meta["num_devices"]``/``memory_bytes`` describe
+                the cluster).
+            on_error: ``"raise"`` propagates a deployment's load/factory
+                failure; ``"skip"`` leaves that deployment out (recorded
+                in :attr:`skipped_deployments`) so one bad deployment —
+                e.g. a device-count mismatch with the provided bundle —
+                does not block listing/serving the others.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        service = cls(store)
+        for name in store.names():
+            try:
+                meta = store.load_meta(name)
+                _check_version(meta, "deployment metadata")
+                engine = engine_factory(meta)
+                deployment = _Deployment(
+                    name,
+                    engine,
+                    tuple(table_from_dict(t) for t in meta["tables"]),
+                    int(meta["memory_bytes"]),
+                )
+                for data in store.load_records(name):
+                    record = PlanRecord.from_dict(data)
+                    deployment.records[record.version] = record
+                state = store.load_state(name)
+                stack = [int(v) for v in state.get("applied_stack", [])]
+                for version in stack:
+                    if version not in deployment.records:
+                        raise ValueError(
+                            f"deployment {name!r} state references missing "
+                            f"plan record v{version}"
+                        )
+                deployment.applied_stack = stack
+            except Exception as exc:  # noqa: BLE001 — per-deployment boundary
+                if on_error == "raise":
+                    raise
+                service.skipped_deployments[name] = f"{type(exc).__name__}: {exc}"
+                continue
+            service._deployments[name] = deployment
+        return service
+
+    # ------------------------------------------------------------------
+    # lifecycle verbs
+    # ------------------------------------------------------------------
+
+    def _task(self, deployment: _Deployment, version: int) -> ShardingTask:
+        return ShardingTask(
+            tables=deployment.current_tables,
+            num_devices=deployment.engine.cluster.num_devices,
+            memory_bytes=deployment.memory_bytes,
+            task_id=version,
+        )
+
+    def _record_response(
+        self,
+        deployment: _Deployment,
+        response: ShardingResponse,
+        task: ShardingTask,
+        version: int,
+        kind: str,
+        diff: PlanDiff | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> PlanRecord:
+        record = PlanRecord(
+            version=version,
+            kind=kind,
+            strategy=response.strategy,
+            feasible=response.feasible,
+            plan=response.plan,
+            base_tables=(
+                response.plan_tables(task) if response.feasible else task.tables
+            ),
+            num_devices=task.num_devices,
+            memory_bytes=task.memory_bytes,
+            simulated_cost_ms=response.simulated_cost_ms,
+            sharding_time_s=response.sharding_time_s,
+            created_at=time.time(),
+            request_id=response.request_id,
+            diff=diff,
+            metadata=dict(metadata or {}),
+        )
+        deployment.records[version] = record
+        if self.store is not None:
+            self.store.save_record(deployment.name, record.to_dict())
+        return record
+
+    def plan(
+        self,
+        name: str,
+        strategy: str | None = None,
+        options: Mapping[str, Any] | None = None,
+        request_id: str = "",
+    ) -> PlanRecord:
+        """Compute (but do not apply) a new plan for the current workload."""
+        return self.plan_batch(
+            name, [(strategy, options, request_id)]
+        )[0]
+
+    def plan_batch(
+        self,
+        name: str,
+        specs: Sequence[
+            tuple[str | None, Mapping[str, Any] | None, str]
+        ],
+        max_workers: int | None = None,
+    ) -> list[PlanRecord]:
+        """Compute several plans concurrently (the serving micro-batch path).
+
+        Each spec is ``(strategy, options, request_id)``.  Responses are
+        identical to sequential :meth:`plan` calls (the engine's batch
+        path is sequential-deterministic); records are versioned in spec
+        order.
+
+        The deployment lock is held only to reserve versions and to
+        insert the finished records — the search itself runs unlocked,
+        so ``status``/``history``/``apply`` stay responsive during a
+        slow plan.  Diffs are computed against the plan applied at
+        reservation time.
+        """
+        deployment = self._get(name)
+        with deployment.lock:
+            first_version = deployment.reserve_versions(len(specs))
+            task_by_version = {
+                first_version + i: self._task(deployment, first_version + i)
+                for i in range(len(specs))
+            }
+            applied = deployment.applied_record
+        requests = [
+            ShardingRequest(
+                task=task_by_version[first_version + i],
+                strategy=spec[0],
+                request_id=spec[2],
+                options=dict(spec[1] or {}),
+            )
+            for i, spec in enumerate(specs)
+        ]
+        responses = deployment.engine.shard_batch(
+            requests, max_workers=max_workers
+        )
+        records = []
+        with deployment.lock:
+            for i, response in enumerate(responses):
+                version = first_version + i
+                task = task_by_version[version]
+                diff = None
+                if (
+                    applied is not None
+                    and applied.plan is not None
+                    and response.feasible
+                    and response.plan is not None
+                ):
+                    diff = PlanDiff.between(
+                        applied.plan,
+                        applied.base_tables,
+                        response.plan,
+                        response.plan_tables(task),
+                        # Price with the deployment's actual links, as
+                        # reshard does — one spec per history.
+                        MigrationCostModel(deployment.engine.cluster.spec),
+                    )
+                records.append(
+                    self._record_response(
+                        deployment, response, task, version, "plan", diff
+                    )
+                )
+        return records
+
+    def apply(self, name: str, version: int | None = None) -> PlanRecord:
+        """Make a stored plan version the deployment's live plan.
+
+        Args:
+            name: the deployment.
+            version: the record to apply; defaults to the latest feasible
+                record.
+
+        Raises:
+            ValueError: when the version is unknown, infeasible, or no
+                feasible record exists.
+        """
+        deployment = self._get(name)
+        with deployment.lock:
+            if version is None:
+                feasible = [
+                    v
+                    for v, r in sorted(deployment.records.items())
+                    if r.feasible
+                ]
+                if not feasible:
+                    raise ValueError(
+                        f"deployment {name!r} has no feasible plan record to "
+                        "apply"
+                    )
+                version = feasible[-1]
+            record = deployment.records.get(version)
+            if record is None:
+                raise ValueError(
+                    f"deployment {name!r} has no plan record v{version} "
+                    f"(stored: {sorted(deployment.records) or 'none'})"
+                )
+            if not record.feasible or record.plan is None:
+                raise ValueError(
+                    f"plan record v{version} of deployment {name!r} is "
+                    "infeasible and cannot be applied"
+                )
+            deployment.applied_stack.append(version)
+            self._persist_state(deployment)
+            return record
+
+    def rollback(self, name: str) -> PlanRecord:
+        """Restore the previously applied plan version.
+
+        Returns:
+            The record that is live after the rollback.
+
+        Raises:
+            ValueError: when fewer than two versions have been applied.
+        """
+        deployment = self._get(name)
+        with deployment.lock:
+            if len(deployment.applied_stack) < 2:
+                raise ValueError(
+                    f"deployment {name!r} has no earlier applied version to "
+                    "roll back to"
+                )
+            deployment.applied_stack.pop()
+            self._persist_state(deployment)
+            record = deployment.applied_record
+            assert record is not None
+            return record
+
+    def reshard(
+        self,
+        name: str,
+        delta: WorkloadDelta,
+        config: ReshardConfig | None = None,
+        strategy: str | None = None,
+        apply: bool = True,
+        request_id: str = "",
+    ) -> PlanRecord:
+        """Re-plan the deployment for a changed workload, migration-aware.
+
+        Runs :func:`~repro.api.reshard.incremental_reshard` from the
+        applied plan, records the chosen candidate (diff included), and —
+        by default — applies it.
+
+        Raises:
+            ValueError: when no plan is applied yet.
+        """
+        deployment = self._get(name)
+        config = config or ReshardConfig()
+        with deployment.lock:
+            applied = deployment.applied_record
+            if applied is None or applied.plan is None:
+                raise ValueError(
+                    f"deployment {name!r} has no applied plan; call plan() "
+                    "and apply() first"
+                )
+            version = deployment.reserve_versions(1)
+            result = incremental_reshard(
+                deployment.engine,
+                applied.plan,
+                applied.base_tables,
+                delta,
+                config=config,
+                strategy=strategy,
+                memory_bytes=deployment.memory_bytes,
+                request_id=request_id,
+            )
+            task = result.new_task
+            metadata: dict[str, Any] = {
+                "delta": delta.to_dict(),
+                "reshard_config": config.to_dict(),
+                "chosen": result.chosen,
+                "objective_ms": (
+                    None
+                    if not math.isfinite(result.objective_ms)
+                    else result.objective_ms
+                ),
+                "within_budget": result.within_budget,
+                "drift_triggered": result.drift_triggered,
+            }
+            if result.full_response is not None and result.full_diff is not None:
+                metadata["full_search"] = {
+                    "strategy": result.full_response.strategy,
+                    "simulated_cost_ms": result.full_response.simulated_cost_ms,
+                    "migration_cost_ms": result.full_diff.migration_cost_ms,
+                    "moved_bytes": result.full_diff.moved_bytes,
+                    "transferred_bytes": result.full_diff.transferred_bytes,
+                }
+            record = self._record_response(
+                deployment,
+                result.response,
+                task,
+                version,
+                "reshard",
+                diff=result.diff,
+                metadata=metadata,
+            )
+            if apply and record.feasible:
+                self.apply(name, record.version)
+            return record
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def get_record(self, name: str, version: int) -> PlanRecord:
+        deployment = self._get(name)
+        with deployment.lock:
+            record = deployment.records.get(version)
+            if record is None:
+                raise ValueError(
+                    f"deployment {name!r} has no plan record v{version}"
+                )
+            return record
+
+    def applied_record(self, name: str) -> PlanRecord | None:
+        """The live plan record of ``name`` (``None`` before apply)."""
+        deployment = self._get(name)
+        with deployment.lock:
+            return deployment.applied_record
+
+    def history(self, name: str) -> list[dict[str, Any]]:
+        """All plan records of ``name``, version-ascending, as dicts."""
+        deployment = self._get(name)
+        with deployment.lock:
+            return [
+                deployment.records[v].to_dict()
+                for v in sorted(deployment.records)
+            ]
+
+    def status(self, name: str) -> dict[str, Any]:
+        """Operational snapshot of one deployment."""
+        deployment = self._get(name)
+        with deployment.lock:
+            applied = deployment.applied_record
+            return {
+                "name": name,
+                "num_devices": deployment.engine.cluster.num_devices,
+                "memory_bytes": deployment.memory_bytes,
+                # Logical tables: column shards of one table share a
+                # table_id, so the count is stable across re-splits.
+                "num_tables": len(
+                    {t.table_id for t in deployment.current_tables}
+                ),
+                "num_shards": len(deployment.current_tables),
+                "num_records": len(deployment.records),
+                "applied_version": deployment.applied_version,
+                "applied_stack": list(deployment.applied_stack),
+                # None when nothing is applied or the cost is non-finite
+                # (bundle-less engines score plans as nan; bare NaN/inf
+                # tokens are not valid JSON for strict parsers).
+                "applied_cost_ms": (
+                    applied.simulated_cost_ms
+                    if applied is not None
+                    and math.isfinite(applied.simulated_cost_ms)
+                    else None
+                ),
+                "applied_strategy": (
+                    None if applied is None else applied.strategy
+                ),
+                "default_strategy": deployment.engine.default_strategy,
+                "cache": deployment.engine.cache_stats(),
+            }
+
+    def _persist_state(self, deployment: _Deployment) -> None:
+        if self.store is not None:
+            self.store.save_state(
+                deployment.name,
+                {"applied_stack": list(deployment.applied_stack)},
+            )

@@ -1,9 +1,11 @@
-"""Versioned cost-model bundle storage (Section 3.2's version control).
+"""Versioned cost-model bundle and plan-lifecycle storage.
 
 The paper's production deployment keeps cost models under "strict
-version control": a sharding plan must always be reproducible from the
-exact bundle that produced it.  :class:`BundleStore` provides that
-discipline on a directory tree::
+version control" (Section 3.2): a sharding plan must always be
+reproducible from the exact bundle that produced it.  Two stores provide
+that discipline on directory trees:
+
+:class:`BundleStore` — cost-model bundles::
 
     <root>/
       <name>/
@@ -17,6 +19,21 @@ Each version directory is a plain
 count, free-form metadata such as test MSEs).  Saving auto-increments
 the version; loading defaults to the latest, so long-lived engines can
 pick up retrained models by restarting without path changes.
+
+:class:`PlanStore` — plan-lifecycle records of named deployments (the
+:class:`~repro.api.service.ShardingService`'s persistence)::
+
+    <root>/
+      <deployment>/
+        deployment.json      # cluster shape, bundle reference
+        state.json           # applied-version stack
+        plans/
+          v1.json  v2.json   # one immutable record per plan version
+
+Records are stored as the versioned JSON dictionaries the service's
+:class:`~repro.api.service.PlanRecord` serializes to, so a deployment's
+entire history — every plan, diff and rollback — survives restarts and
+is replayable byte-for-byte.
 """
 
 from __future__ import annotations
@@ -30,10 +47,15 @@ from typing import Any, Mapping
 
 from repro.costmodel.pretrain import PretrainedCostModels
 
-__all__ = ["BundleInfo", "BundleStore"]
+__all__ = ["BundleInfo", "BundleStore", "PlanStore"]
 
 _MANIFEST = "bundle_meta.json"
 _BUNDLE_META = "metadata.json"  # written by PretrainedCostModels.save
+
+
+def _check_name(name: str, kind: str) -> None:
+    if not name or "/" in name or name.startswith("."):
+        raise ValueError(f"invalid {kind} name {name!r}")
 
 
 @dataclass(frozen=True)
@@ -94,8 +116,7 @@ class BundleStore:
         metadata: Mapping[str, Any] | None = None,
     ) -> BundleInfo:
         """Store ``models`` as the next version of bundle line ``name``."""
-        if not name or "/" in name or name.startswith("."):
-            raise ValueError(f"invalid bundle name {name!r}")
+        _check_name(name, "bundle")
         version = self.latest_version(name) + 1
         directory = self.root / name / f"v{version}"
         models.save(directory)
@@ -198,3 +219,131 @@ class BundleStore:
     def is_raw_bundle(path: str | os.PathLike) -> bool:
         """True when ``path`` is a bare ``PretrainedCostModels`` directory."""
         return (Path(path) / _BUNDLE_META).exists()
+
+
+class PlanStore:
+    """Persist named deployments' plan-version histories under one root.
+
+    The store holds plain JSON dictionaries; the semantics (what a plan
+    record contains, what the state means) belong to
+    :class:`~repro.api.service.ShardingService`.  Records are immutable:
+    ``save_record`` refuses to overwrite an existing version, so history
+    can only grow — rollbacks are state changes, not record rewrites.
+
+    Args:
+        root: store directory (created lazily on first save).
+    """
+
+    _DEPLOYMENT = "deployment.json"
+    _STATE = "state.json"
+    _PLANS = "plans"
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def _deployment_dir(self, name: str) -> Path:
+        _check_name(name, "deployment")
+        return self.root / name
+
+    # ------------------------------------------------------------------
+    # deployments
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Deployment names with stored metadata."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / self._DEPLOYMENT).exists()
+        )
+
+    def has_deployment(self, name: str) -> bool:
+        return (self._deployment_dir(name) / self._DEPLOYMENT).exists()
+
+    def save_meta(self, name: str, meta: Mapping[str, Any]) -> None:
+        """Write a deployment's metadata (cluster shape, bundle ref)."""
+        directory = self._deployment_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / self._DEPLOYMENT).write_text(
+            json.dumps(dict(meta), indent=2)
+        )
+
+    def load_meta(self, name: str) -> dict[str, Any]:
+        path = self._deployment_dir(name) / self._DEPLOYMENT
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no deployment named {name!r} in store {self.root} "
+                f"(known: {self.names() or 'none'})"
+            )
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------
+    # plan records
+    # ------------------------------------------------------------------
+
+    def versions(self, name: str) -> list[int]:
+        """Stored plan-record versions of ``name``, ascending."""
+        plans = self._deployment_dir(name) / self._PLANS
+        if not plans.is_dir():
+            return []
+        found = []
+        for entry in plans.iterdir():
+            stem, suffix = entry.name[:-5], entry.name[-5:]
+            if (
+                entry.is_file()
+                and suffix == ".json"
+                and stem.startswith("v")
+                and stem[1:].isdigit()
+            ):
+                found.append(int(stem[1:]))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        """Highest stored plan version of ``name`` (0 when none exist)."""
+        versions = self.versions(name)
+        return versions[-1] if versions else 0
+
+    def save_record(self, name: str, record: Mapping[str, Any]) -> None:
+        """Append one immutable plan record (its ``version`` keys it)."""
+        version = int(record["version"])
+        if version < 1:
+            raise ValueError(f"record version must be >= 1, got {version}")
+        plans = self._deployment_dir(name) / self._PLANS
+        plans.mkdir(parents=True, exist_ok=True)
+        path = plans / f"v{version}.json"
+        if path.exists():
+            raise FileExistsError(
+                f"plan record v{version} of deployment {name!r} already "
+                "exists; records are immutable"
+            )
+        path.write_text(json.dumps(dict(record), indent=1))
+
+    def load_record(self, name: str, version: int) -> dict[str, Any]:
+        path = self._deployment_dir(name) / self._PLANS / f"v{version}.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no plan record v{version} of deployment {name!r} in store "
+                f"{self.root} (stored: {self.versions(name) or 'none'})"
+            )
+        return json.loads(path.read_text())
+
+    def load_records(self, name: str) -> list[dict[str, Any]]:
+        """All stored records of ``name``, version-ascending."""
+        return [self.load_record(name, v) for v in self.versions(name)]
+
+    # ------------------------------------------------------------------
+    # mutable deployment state (applied stack)
+    # ------------------------------------------------------------------
+
+    def save_state(self, name: str, state: Mapping[str, Any]) -> None:
+        directory = self._deployment_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / self._STATE).write_text(json.dumps(dict(state), indent=2))
+
+    def load_state(self, name: str) -> dict[str, Any]:
+        path = self._deployment_dir(name) / self._STATE
+        if not path.exists():
+            return {}
+        return json.loads(path.read_text())

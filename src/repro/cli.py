@@ -22,24 +22,40 @@ all sharding algorithms served through the :mod:`repro.api` registry:
 - ``serve-batch`` — answer a tasks file concurrently through
   :meth:`~repro.api.engine.ShardingEngine.shard_batch`, writing
   schema-versioned response JSON.
+- ``serve`` — run the plan-lifecycle HTTP server
+  (:mod:`repro.api.server`) over a deployment store.
+- ``deployment`` — drive the plan lifecycle from the shell:
+  ``create / plan / apply / reshard / rollback / status / history /
+  list`` against a persistent :class:`~repro.api.store.PlanStore`.
 - ``strategies`` — list every registered strategy.
 - ``list-bundles`` — list the contents of a bundle store.
 
-Exit codes: 0 success, 1 usage/input error, 2 every task infeasible.
+Exit codes: 0 success, 1 usage/input error, 2 every task infeasible
+(``shard`` / ``serve-batch`` / ``deployment plan`` / ``deployment
+reshard`` / ``deployment apply``, failing task ids on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
+import signal
 import sys
 from typing import Sequence
 
+import numpy as np
+
 from repro.api import (
     BundleStore,
+    PlanStore,
+    ReshardConfig,
     ShardingEngine,
+    ShardingHTTPServer,
     ShardingRequest,
+    ShardingService,
+    WorkloadDelta,
     all_names,
     iter_strategies,
     strategy_info,
@@ -159,6 +175,99 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--output", help="write response JSON here "
                        "(default: stdout)")
 
+    serve_http = sub.add_parser("serve", help="run the plan-lifecycle HTTP "
+                                "server over a deployment store")
+    add_bundle_args(serve_http)
+    serve_http.add_argument("--store", required=True,
+                            help="plan-store root directory (deployments "
+                            "persist here)")
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8731)
+    serve_http.add_argument("--max-batch", type=int, default=8,
+                            help="plan micro-batch size (default: 8)")
+    serve_http.add_argument("--batch-wait-ms", type=float, default=10.0,
+                            help="micro-batch collection window (default: 10)")
+    serve_http.add_argument("--verbose", action="store_true",
+                            help="log one line per HTTP request")
+
+    dep = sub.add_parser("deployment", help="drive the plan lifecycle: "
+                         "create/plan/apply/reshard/rollback/status/history")
+    dep_sub = dep.add_subparsers(dest="action", required=True)
+
+    def add_dep_args(p: argparse.ArgumentParser, bundle: bool = True) -> None:
+        p.add_argument("name", help="deployment name")
+        p.add_argument("--store", required=True,
+                       help="plan-store root directory")
+        if bundle:
+            add_bundle_args(p)
+
+    dep_create = dep_sub.add_parser("create", help="register a deployment "
+                                    "with an initial workload")
+    add_dep_args(dep_create)
+    dep_create.add_argument("--tasks-file", help="tasks JSON from "
+                            "'gen-tasks'; the first task is the workload")
+    dep_create.add_argument("--task-index", type=int, default=0,
+                            help="which task of --tasks-file to deploy")
+    dep_create.add_argument("--max-dim", type=int, default=128)
+    dep_create.add_argument("--seed", type=int, default=0)
+    dep_create.add_argument("--memory-bytes", type=int,
+                            help="per-device budget (default: 4 GiB)")
+
+    dep_plan = dep_sub.add_parser("plan", help="compute a new plan version "
+                                  "for the current workload")
+    add_dep_args(dep_plan)
+    dep_plan.add_argument("--strategy", choices=sorted(all_names()),
+                          help="registry strategy (deployment default "
+                          "when omitted)")
+
+    dep_apply = dep_sub.add_parser("apply", help="make a plan version live")
+    add_dep_args(dep_apply)
+    dep_apply.add_argument("--version", type=int,
+                           help="record to apply (default: latest feasible)")
+
+    dep_reshard = dep_sub.add_parser("reshard", help="incrementally re-plan "
+                                     "for a changed workload")
+    add_dep_args(dep_reshard)
+    dep_reshard.add_argument("--add", type=int, default=0, metavar="N",
+                             help="add N fresh tables sampled from the "
+                             "built-in pool")
+    dep_reshard.add_argument("--remove", type=int, nargs="*", default=[],
+                             metavar="TABLE_ID",
+                             help="table ids to drop from the workload")
+    dep_reshard.add_argument("--max-dim", type=int, default=128,
+                             help="max dimension of added tables")
+    dep_reshard.add_argument("--seed", type=int, default=0,
+                             help="sampling seed of added tables")
+    dep_reshard.add_argument("--budget-ms", type=float,
+                             help="hard migration budget (default: "
+                             "unbounded)")
+    dep_reshard.add_argument("--lam", type=float, default=1e-4,
+                             help="migration amortization weight lambda "
+                             "(default: 1e-4)")
+    dep_reshard.add_argument("--no-full-search", action="store_true",
+                             help="skip the from-scratch candidate")
+    dep_reshard.add_argument("--no-apply", action="store_true",
+                             help="record the reshard without applying it")
+    dep_reshard.add_argument("--strategy", choices=sorted(all_names()),
+                             help="full-search strategy")
+
+    dep_rollback = dep_sub.add_parser("rollback", help="restore the "
+                                      "previously applied plan version")
+    add_dep_args(dep_rollback)
+
+    dep_status = dep_sub.add_parser("status", help="one deployment's "
+                                    "operational snapshot")
+    add_dep_args(dep_status)
+
+    dep_history = dep_sub.add_parser("history", help="all plan records of "
+                                     "one deployment")
+    add_dep_args(dep_history)
+
+    dep_list = dep_sub.add_parser("list", help="deployments in a store")
+    dep_list.add_argument("--store", required=True,
+                          help="plan-store root directory")
+    add_bundle_args(dep_list)
+
     strategies = sub.add_parser("strategies", help="list registered "
                                 "sharding strategies")
     strategies.add_argument("--category", choices=("core", "baseline",
@@ -259,12 +368,23 @@ def _load_or_generate_tasks(args, num_devices: int):
     return _tasks(_pool(), num_devices, args.max_dim, args.tasks, args.seed)
 
 
-def _infeasible_exit(num_success: int, num_tasks: int, strategy: str) -> int:
-    """The all-tasks-infeasible contract: stderr one-liner + exit 2."""
+def _infeasible_exit(
+    num_success: int,
+    num_tasks: int,
+    strategy: str,
+    failed_task_ids: Sequence[int | str] = (),
+) -> int:
+    """The all-tasks-infeasible contract: stderr + exit 2.
+
+    Shared by ``shard``, ``serve-batch`` and the ``deployment``
+    plan/apply/reshard actions: when *every* task is infeasible the
+    command prints the failing task ids to stderr and exits 2.
+    """
     if num_tasks and num_success == 0:
         print(
             f"error: {strategy} produced no feasible plan on any of "
-            f"{num_tasks} tasks",
+            f"{num_tasks} tasks "
+            f"(failing tasks: {', '.join(str(i) for i in failed_task_ids) or '-'})",
             file=sys.stderr,
         )
         return EXIT_ALL_INFEASIBLE
@@ -309,6 +429,7 @@ def _cmd_shard(args) -> int:
     rows = []
     real_costs = []
     errors = []
+    failed_ids = []
     for task, resp in zip(tasks, responses):
         real = math.nan
         if resp.plan is not None:
@@ -318,6 +439,8 @@ def _cmd_shard(args) -> int:
             except OutOfMemoryError:
                 pass
         ok = resp.feasible and not math.isnan(real)
+        if not ok:
+            failed_ids.append(task.task_id)
         if resp.error is not None:
             status = "error"
             errors.append((task.task_id, resp.error))
@@ -351,7 +474,7 @@ def _cmd_shard(args) -> int:
             print(f"\nsearch profile (aggregated over {profiled} tasks):")
             for line in aggregate.format_lines():
                 print(line)
-    return _infeasible_exit(len(real_costs), len(tasks), strategy_name)
+    return _infeasible_exit(len(real_costs), len(tasks), strategy_name, failed_ids)
 
 
 def _cmd_compare(args) -> int:
@@ -454,7 +577,300 @@ def _cmd_serve_batch(args) -> int:
         f"({args.workers} workers)",
         file=sys.stderr if feasible == 0 else sys.stdout,
     )
-    return 0 if feasible else EXIT_ALL_INFEASIBLE
+    return _infeasible_exit(
+        feasible,
+        len(responses),
+        args.strategy,
+        [t.task_id for t, r in zip(tasks, responses) if not r.feasible],
+    )
+
+
+def _deployment_engine(args, bundle: PretrainedCostModels) -> ShardingEngine:
+    """The serving engine of CLI-driven deployments."""
+    memory = getattr(args, "memory_bytes", None) or 4 * 1024**3
+    cluster = SimulatedCluster(
+        ClusterConfig(num_devices=bundle.num_devices, memory_bytes=memory)
+    )
+    return ShardingEngine(cluster, bundle, search=SearchConfig())
+
+
+def _open_service(args) -> tuple[ShardingService, ShardingEngine] | None:
+    """Load the plan store and rebuild its deployments' engines.
+
+    Every deployment is served by one engine built from the CLI's bundle
+    arguments; deployments whose stored device count mismatches fail
+    loudly.  Returns ``None`` (after printing) on input errors.
+    """
+    try:
+        bundle = _load_bundle(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    store = PlanStore(args.store)
+
+    def factory(meta) -> ShardingEngine:
+        if meta["num_devices"] != bundle.num_devices:
+            raise ValueError(
+                f"deployment {meta['name']!r} targets {meta['num_devices']} "
+                f"devices but the bundle was pre-trained for "
+                f"{bundle.num_devices}"
+            )
+        cluster = SimulatedCluster(
+            ClusterConfig(
+                num_devices=meta["num_devices"],
+                memory_bytes=meta["memory_bytes"],
+                batch_size=meta.get("batch_size", 65536),
+            )
+        )
+        return ShardingEngine(cluster, bundle, search=SearchConfig())
+
+    try:
+        service = ShardingService.open(store, factory, on_error="skip")
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    for name, reason in service.skipped_deployments.items():
+        print(
+            f"warning: skipping deployment {name!r}: {reason}",
+            file=sys.stderr,
+        )
+    return service, _deployment_engine(args, bundle)
+
+
+def _cmd_serve(args) -> int:
+    opened = _open_service(args)
+    if opened is None:
+        return 1
+    service, engine = opened
+
+    # Shut down cleanly on SIGTERM too (docker stop, CI cleanup, and
+    # non-interactive shells where background jobs ignore SIGINT).
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    server = ShardingHTTPServer(
+        service,
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        batch_wait_s=args.batch_wait_ms / 1000.0,
+        bundle_ref=args.bundle,
+        verbose=args.verbose,
+    )
+    names = service.deployments()
+    print(
+        f"serving {len(names)} deployment(s) "
+        f"({', '.join(names) or 'none yet'}) on "
+        f"http://{args.host}:{server.port} — Ctrl-C to stop"
+    )
+    server.run()
+    return 0
+
+
+def _record_line(record) -> str:
+    cost = (
+        "-"
+        if not record.feasible or math.isinf(record.simulated_cost_ms)
+        else f"{record.simulated_cost_ms:.3f} ms"
+    )
+    extra = ""
+    if record.diff is not None:
+        extra = (
+            f", moved {record.diff.moved_bytes / 1e6:.1f} MB "
+            f"(migration {record.diff.migration_cost_ms:.1f} ms)"
+        )
+    return (
+        f"v{record.version} [{record.kind}/{record.strategy}] "
+        f"feasible={record.feasible} cost={cost}{extra}"
+    )
+
+
+def _record_exit(record, action: str) -> int:
+    """The shared infeasibility contract for plan/reshard/apply actions."""
+    if not record.feasible:
+        return _infeasible_exit(0, 1, f"deployment {action}", [record.version])
+    return 0
+
+
+def _cmd_deployment(args) -> int:
+    opened = _open_service(args)
+    if opened is None:
+        return 1
+    service, engine = opened
+
+    try:
+        if args.action == "list":
+            names = service.deployments()
+            if not names:
+                print(f"no deployments in {args.store}")
+                return 0
+            rows = []
+            for name in names:
+                status = service.status(name)
+                rows.append([
+                    name,
+                    status["num_devices"],
+                    status["num_tables"],
+                    status["num_records"],
+                    status["applied_version"] or "-",
+                ])
+            print(
+                format_text_table(
+                    ["deployment", "gpus", "tables", "records", "applied"],
+                    rows,
+                    title=f"{len(names)} deployments in {args.store}",
+                )
+            )
+            return 0
+
+        if args.action == "create":
+            if args.tasks_file:
+                tasks = load_tasks(args.tasks_file)
+                if not 0 <= args.task_index < len(tasks):
+                    print(
+                        f"error: --task-index {args.task_index} out of range "
+                        f"(file has {len(tasks)} tasks)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                task = tasks[args.task_index]
+                if task.num_devices != engine.cluster.num_devices:
+                    print(
+                        f"error: task targets {task.num_devices} devices but "
+                        f"the bundle serves {engine.cluster.num_devices}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                tables = task.tables
+                memory = args.memory_bytes or task.memory_bytes
+            else:
+                generated = _tasks(
+                    _pool(), engine.cluster.num_devices, args.max_dim, 1,
+                    args.seed,
+                )
+                tables = generated[0].tables
+                memory = args.memory_bytes or generated[0].memory_bytes
+            status = service.create_deployment(
+                args.name,
+                engine,
+                tables=tables,
+                memory_bytes=memory,
+                bundle_ref=args.bundle,
+            )
+            print(
+                f"created deployment {args.name!r}: "
+                f"{status['num_tables']} tables on "
+                f"{status['num_devices']} GPUs"
+            )
+            return 0
+
+        if args.action == "plan":
+            record = service.plan(args.name, strategy=args.strategy)
+            print(_record_line(record))
+            return _record_exit(record, "plan")
+
+        if args.action == "apply":
+            if args.version is not None:
+                record = service.get_record(args.name, args.version)
+                if not record.feasible:
+                    return _infeasible_exit(
+                        0, 1, "deployment apply", [record.version]
+                    )
+            else:
+                history = service.history(args.name)
+                if history and not any(r["feasible"] for r in history):
+                    return _infeasible_exit(
+                        0,
+                        len(history),
+                        "deployment apply",
+                        [r["version"] for r in history],
+                    )
+            record = service.apply(args.name, args.version)
+            print(f"applied {_record_line(record)}")
+            return 0
+
+        if args.action == "reshard":
+            add_tables = ()
+            if args.add:
+                rng = np.random.default_rng(args.seed)
+                sampled = _pool().sample_tables(args.add, rng)
+                dims = rng.choice(
+                    [d for d in (4, 8, 16, 32, 64, 128) if d <= args.max_dim],
+                    size=len(sampled),
+                )
+                # Fresh table ids: added tables are *new* tables, never
+                # aliases of workload tables the pool also contains
+                # (colliding ids would make --remove drop both and let
+                # the diff under-price the addition as "surviving").
+                applied = service.applied_record(args.name)
+                next_id = 1 + max(
+                    (t.table_id for t in applied.base_tables)
+                    if applied is not None
+                    else (t.table_id for t in sampled),
+                    default=0,
+                )
+                add_tables = tuple(
+                    dataclasses.replace(t.with_dim(int(d)), table_id=next_id + i)
+                    for i, (t, d) in enumerate(zip(sampled, dims))
+                )
+            delta = WorkloadDelta(
+                add_tables=add_tables,
+                remove_table_ids=tuple(args.remove),
+            )
+            config = ReshardConfig(
+                migration_budget_ms=args.budget_ms,
+                migration_lambda=args.lam,
+                allow_full_search=not args.no_full_search,
+            )
+            record = service.reshard(
+                args.name,
+                delta,
+                config=config,
+                strategy=args.strategy,
+                apply=not args.no_apply,
+            )
+            print(_record_line(record))
+            full = record.metadata.get("full_search")
+            if full is not None and record.diff is not None:
+                print(
+                    f"  vs re-shard-from-scratch: cost "
+                    f"{full['simulated_cost_ms']:.3f} ms, moved "
+                    f"{full['moved_bytes'] / 1e6:.1f} MB "
+                    f"(chosen: {record.metadata['chosen']})"
+                )
+            return _record_exit(record, "reshard")
+
+        if args.action == "rollback":
+            record = service.rollback(args.name)
+            print(f"rolled back to {_record_line(record)}")
+            return 0
+
+        if args.action == "status":
+            status = service.status(args.name)
+            for key, value in status.items():
+                print(f"{key:18s} {value}")
+            return 0
+
+        if args.action == "history":
+            records = service.history(args.name)
+            applied = service.status(args.name)["applied_version"]
+            for data in records:
+                marker = " *live*" if data["version"] == applied else ""
+                cost = data["simulated_cost_ms"]
+                print(
+                    f"v{data['version']} [{data['kind']}/{data['strategy']}] "
+                    f"feasible={data['feasible']} "
+                    f"cost={'-' if cost is None else f'{cost:.3f} ms'}"
+                    f"{marker}"
+                )
+            return 0
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled deployment action {args.action!r}")
 
 
 def _cmd_strategies(args) -> int:
@@ -507,6 +923,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "shard": _cmd_shard,
         "compare": _cmd_compare,
         "serve-batch": _cmd_serve_batch,
+        "serve": _cmd_serve,
+        "deployment": _cmd_deployment,
         "strategies": _cmd_strategies,
         "list-bundles": _cmd_list_bundles,
     }

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -37,6 +38,23 @@ class DriftReport:
     probe_mse: float
     rolling_mse: float
     needs_retraining: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view, e.g. for the service API's workload deltas."""
+        return {
+            "probe_mse": float(self.probe_mse),
+            "rolling_mse": float(self.rolling_mse),
+            "needs_retraining": bool(self.needs_retraining),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DriftReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            probe_mse=float(data["probe_mse"]),
+            rolling_mse=float(data["rolling_mse"]),
+            needs_retraining=bool(data["needs_retraining"]),
+        )
 
 
 class DriftMonitor:

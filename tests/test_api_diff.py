@@ -1,0 +1,145 @@
+"""Tests for plan diffs and migration pricing (repro.api.diff)."""
+
+import json
+
+import pytest
+
+from repro.api import MigrationCostModel, PlanDiff, ShardChange, TableMove
+from repro.core import ShardingPlan
+from repro.data.table import TableConfig
+from repro.hardware.device import DeviceSpec
+
+
+def _table(table_id: int, dim: int = 16, hash_size: int = 1000) -> TableConfig:
+    return TableConfig(
+        table_id=table_id,
+        hash_size=hash_size,
+        dim=dim,
+        pooling_factor=10.0,
+        zipf_alpha=1.0,
+    )
+
+
+TABLES = tuple(_table(i) for i in range(4))
+
+
+def _plan(assignment, column_plan=(), num_devices=2) -> ShardingPlan:
+    return ShardingPlan(
+        column_plan=tuple(column_plan),
+        assignment=tuple(assignment),
+        num_devices=num_devices,
+    )
+
+
+class TestPlanDiffBetween:
+    def test_identical_plans_diff_empty(self):
+        plan = _plan([0, 1, 0, 1])
+        diff = PlanDiff.between(plan, TABLES, plan, TABLES)
+        assert diff.moves == ()
+        assert diff.created == ()
+        assert diff.removed == ()
+        assert diff.moved_bytes == 0
+        assert diff.migration_cost_ms == 0.0
+
+    def test_single_move_detected_with_bytes(self):
+        old = _plan([0, 1, 0, 1])
+        new = _plan([1, 1, 0, 1])
+        diff = PlanDiff.between(old, TABLES, new, TABLES)
+        assert len(diff.moves) == 1
+        move = diff.moves[0]
+        assert move.from_device == 0
+        assert move.to_device == 1
+        assert move.size_bytes == TABLES[0].size_bytes
+        assert diff.moved_bytes == TABLES[0].size_bytes
+        assert diff.egress_bytes[0] == TABLES[0].size_bytes
+        assert diff.ingress_bytes[1] == TABLES[0].size_bytes
+        assert diff.migration_cost_ms > 0.0
+
+    def test_added_table_is_created_not_moved(self):
+        old = _plan([0, 1, 0, 1])
+        new_tables = TABLES + (_table(99),)
+        new = _plan([0, 1, 0, 1, 1])
+        diff = PlanDiff.between(old, TABLES, new, new_tables)
+        assert diff.moves == ()
+        assert [c.uid for c in diff.created] == [new_tables[-1].uid]
+        assert diff.created[0].device == 1
+        assert diff.created_bytes == new_tables[-1].size_bytes
+        assert diff.transferred_bytes == new_tables[-1].size_bytes
+
+    def test_removed_table_is_free(self):
+        old = _plan([0, 1, 0, 1])
+        new = _plan([1, 0, 1])
+        diff = PlanDiff.between(old, TABLES, new, TABLES[:3])
+        assert [c.uid for c in diff.removed] == [TABLES[3].uid]
+        # Removals cost nothing; the surviving tables here all moved.
+        assert len(diff.moves) == 3
+
+    def test_column_split_shards_match_by_occurrence(self):
+        # Splitting table 0 once: old sharded list has two dim-8 shards.
+        old = _plan([0, 1, 0, 1, 0], column_plan=(0,))
+        same = _plan([0, 1, 0, 1, 0], column_plan=(0,))
+        diff = PlanDiff.between(old, TABLES, same, TABLES)
+        assert diff.num_changes == 0
+
+    def test_resplit_is_removal_plus_creations(self):
+        old = _plan([0, 1, 0, 1])
+        new = _plan([0, 1, 0, 1, 0], column_plan=(0,))
+        diff = PlanDiff.between(old, TABLES, new, TABLES)
+        # Table 0's dim-16 shard vanished; two dim-8 shards were created.
+        assert [c.uid for c in diff.removed] == [TABLES[0].uid]
+        assert len(diff.created) == 2
+        assert diff.created_bytes == TABLES[0].size_bytes
+
+    def test_device_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="devices"):
+            PlanDiff.between(
+                _plan([0, 1, 0, 1]),
+                TABLES,
+                _plan([0, 1, 0, 1], num_devices=4),
+                TABLES,
+            )
+
+
+class TestMigrationCostModel:
+    def test_more_bytes_cost_more(self):
+        model = MigrationCostModel()
+        small = model.cost_ms([100], [0], [1])
+        large = model.cost_ms([100_000_000], [0], [1])
+        assert large > small > 0.0
+
+    def test_bottleneck_device_dominates(self):
+        model = MigrationCostModel()
+        balanced = model.cost_ms([500, 500], [500, 500], [1, 1])
+        skewed = model.cost_ms([1000, 0], [1000, 0], [2, 0])
+        assert skewed > balanced
+
+    def test_priced_with_spec_bandwidth(self):
+        fast = MigrationCostModel(DeviceSpec(comm_bandwidth_bytes_per_ms=1e9))
+        slow = MigrationCostModel(DeviceSpec(comm_bandwidth_bytes_per_ms=1e6))
+        volume = ([10_000_000], [0], [0])
+        assert slow.cost_ms(*volume) > fast.cost_ms(*volume)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            MigrationCostModel().cost_ms([1, 2], [1], [1, 1])
+
+
+class TestPlanDiffWire:
+    def test_round_trip_through_json(self):
+        old = _plan([0, 1, 0, 1])
+        new = _plan([1, 1, 0, 1, 1], column_plan=(2,))
+        diff = PlanDiff.between(old, TABLES, new, TABLES)
+        restored = PlanDiff.from_dict(json.loads(json.dumps(diff.to_dict())))
+        assert restored == diff
+
+    def test_version_mismatch_rejected(self):
+        payload = PlanDiff(num_devices=2).to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            PlanDiff.from_dict(payload)
+
+    def test_nested_types_round_trip(self):
+        move = TableMove("t1:d8", 0, 1, 0, 4096)
+        assert TableMove.from_dict(move.to_dict()) == move
+        change = ShardChange("t2:d4", 1, 512)
+        assert ShardChange.from_dict(change.to_dict()) == change

@@ -231,3 +231,82 @@ class TestEngineEvaluationIntegration:
             "evictions",
             "hit_rate",
         }
+
+
+class TestEngineKnobs:
+    """The serving knobs: pool size and per-response cache diagnostics."""
+
+    def test_max_workers_constructor_default_used_by_batch(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, max_workers=2)
+        assert engine.max_workers == 2
+        requests = [
+            ShardingRequest(t, strategy="dim_greedy", request_id=str(t.task_id))
+            for t in tasks2[:3]
+        ]
+        batch = engine.shard_batch(requests)  # no per-call override
+        sequential = [engine.shard(r) for r in requests]
+        assert [r.deterministic_dict() for r in batch] == [
+            r.deterministic_dict() for r in sequential
+        ]
+
+    def test_max_workers_per_call_override_wins(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, max_workers=1)
+        requests = [
+            ShardingRequest(t, strategy="dim_greedy") for t in tasks2[:2]
+        ]
+        assert len(engine.shard_batch(requests, max_workers=4)) == 2
+
+    def test_invalid_max_workers_rejected(self, cluster2, tiny_bundle):
+        with pytest.raises(ValueError, match="max_workers"):
+            ShardingEngine(cluster2, tiny_bundle, max_workers=0)
+
+    def test_cache_stats_in_profile_off_by_default(self, engine, tasks2):
+        response = engine.shard(ShardingRequest(tasks2[0], strategy="dim_greedy"))
+        assert response.profile is None
+
+    def test_cache_stats_attached_to_every_response(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(
+            cluster2,
+            tiny_bundle,
+            cache_max_entries=64,
+            cache_stats_in_profile=True,
+        )
+        first = engine.shard(ShardingRequest(tasks2[0], strategy="dim_greedy"))
+        stats = first.profile["engine_cache"]
+        assert set(stats) == {
+            "entries", "max_entries", "hits", "misses", "evictions", "hit_rate",
+        }
+        assert stats["max_entries"] == 64
+        # A later response observes the shared cache's evolution.
+        second = engine.shard(ShardingRequest(tasks2[1], strategy="dim_greedy"))
+        assert (
+            second.profile["engine_cache"]["misses"]
+            >= stats["misses"]
+        )
+
+    def test_cache_stats_merge_with_search_profile(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(
+            cluster2, tiny_bundle, cache_stats_in_profile=True
+        )
+        response = engine.shard(
+            ShardingRequest(tasks2[0], options={"profile": True})
+        )
+        assert "engine_cache" in response.profile
+        assert "stage_seconds" in response.profile or len(response.profile) > 1
+
+    def test_cache_stats_do_not_break_determinism_view(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(
+            cluster2, tiny_bundle, cache_stats_in_profile=True
+        )
+        response = engine.shard(ShardingRequest(tasks2[0], strategy="dim_greedy"))
+        assert "profile" not in response.deterministic_dict()

@@ -1,0 +1,312 @@
+"""Property-based JSON round-trips of the service API wire types.
+
+Every versioned payload (``ShardingRequest``, ``ShardingResponse``,
+``PlanDiff``, ``WorkloadDelta``, ``PlanRecord``) must satisfy
+``from_dict(json(to_dict(x))) == x`` for arbitrary valid instances, and
+must reject payloads carrying a different schema version.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    PlanDiff,
+    PlanRecord,
+    ShardingRequest,
+    ShardingResponse,
+    WorkloadDelta,
+)
+from repro.core import ShardingPlan
+from repro.costmodel.drift import DriftReport
+from repro.data.table import TableConfig
+from repro.data.tasks import ShardingTask
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+tables_st = st.builds(
+    TableConfig,
+    table_id=st.integers(min_value=0, max_value=5000),
+    hash_size=st.integers(min_value=1, max_value=10**7),
+    dim=st.sampled_from([4, 8, 16, 32, 64, 128]),
+    pooling_factor=st.floats(min_value=0.01, max_value=200.0,
+                             allow_nan=False, allow_infinity=False),
+    zipf_alpha=st.floats(min_value=0.0, max_value=3.0,
+                         allow_nan=False, allow_infinity=False),
+    bytes_per_element=st.sampled_from([1, 2, 4, 8]),
+)
+
+table_lists_st = st.lists(tables_st, min_size=1, max_size=6)
+
+
+@st.composite
+def tasks_st(draw):
+    return ShardingTask(
+        tables=tuple(draw(table_lists_st)),
+        num_devices=draw(st.integers(min_value=1, max_value=8)),
+        memory_bytes=draw(st.integers(min_value=1, max_value=2**40)),
+        task_id=draw(st.integers(min_value=0, max_value=999)),
+    )
+
+
+options_st = st.dictionaries(
+    st.text(min_size=1, max_size=12),
+    st.one_of(
+        st.booleans(),
+        st.integers(min_value=-1000, max_value=1000),
+        st.text(max_size=12),
+    ),
+    max_size=3,
+)
+
+
+@st.composite
+def plans_st(draw, tables=None):
+    """A legal plan over ``tables`` (or a drawn list): random splits of
+    splittable tables, then a random assignment."""
+    if tables is None:
+        tables = draw(table_lists_st)
+    num_devices = draw(st.integers(min_value=1, max_value=4))
+    working = list(tables)
+    column_plan = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        candidates = [i for i, t in enumerate(working) if t.can_halve]
+        if not candidates:
+            break
+        index = draw(st.sampled_from(candidates))
+        column_plan.append(index)
+        first, second = working[index].halved()
+        working[index] = first
+        working.append(second)
+    assignment = tuple(
+        draw(st.integers(min_value=0, max_value=num_devices - 1))
+        for _ in working
+    )
+    return tables, ShardingPlan(
+        column_plan=tuple(column_plan),
+        assignment=assignment,
+        num_devices=num_devices,
+    )
+
+
+@st.composite
+def responses_st(draw):
+    feasible = draw(st.booleans())
+    plan = None
+    effective = None
+    if feasible:
+        tables, plan = draw(plans_st())
+        if draw(st.booleans()):
+            effective = tuple(plan.sharded_tables(tables))
+    return ShardingResponse(
+        request_id=draw(st.text(max_size=12)),
+        strategy=draw(st.sampled_from(["beam", "dim_greedy", "random"])),
+        feasible=feasible,
+        plan=plan,
+        simulated_cost_ms=(
+            draw(st.floats(min_value=0.0, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+            if feasible
+            else math.inf
+        ),
+        sharding_time_s=draw(st.floats(min_value=0.0, max_value=1e4,
+                                       allow_nan=False, allow_infinity=False)),
+        cache_hit_rate=draw(st.floats(min_value=0.0, max_value=1.0,
+                                      allow_nan=False)),
+        evaluations=draw(st.integers(min_value=0, max_value=10**6)),
+        error=draw(st.one_of(st.none(), st.text(max_size=20))),
+        effective_tables=effective,
+        profile=draw(st.one_of(
+            st.none(),
+            st.dictionaries(st.text(min_size=1, max_size=8),
+                            st.integers(min_value=0, max_value=100),
+                            max_size=3),
+        )),
+    )
+
+
+@st.composite
+def diffs_st(draw):
+    tables = draw(table_lists_st)
+    _, old = draw(plans_st(tables=tables))
+    # The new plan must target the same device count.
+    working = list(tables)
+    column_plan = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        candidates = [i for i, t in enumerate(working) if t.can_halve]
+        if not candidates:
+            break
+        index = draw(st.sampled_from(candidates))
+        column_plan.append(index)
+        first, second = working[index].halved()
+        working[index] = first
+        working.append(second)
+    new = ShardingPlan(
+        column_plan=tuple(column_plan),
+        assignment=tuple(
+            draw(st.integers(min_value=0, max_value=old.num_devices - 1))
+            for _ in working
+        ),
+        num_devices=old.num_devices,
+    )
+    return PlanDiff.between(old, tables, new, tables)
+
+
+drift_st = st.builds(
+    DriftReport,
+    probe_mse=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    rolling_mse=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    needs_retraining=st.booleans(),
+)
+
+deltas_st = st.builds(
+    WorkloadDelta,
+    add_tables=st.lists(tables_st, max_size=4).map(tuple),
+    remove_table_ids=st.lists(
+        st.integers(min_value=0, max_value=5000), max_size=4
+    ).map(tuple),
+    drift=st.one_of(st.none(), drift_st),
+)
+
+
+@st.composite
+def records_st(draw):
+    feasible = draw(st.booleans())
+    tables = draw(table_lists_st)
+    plan = None
+    if feasible:
+        tables, plan = draw(plans_st(tables=tables))
+        base = tuple(tables)
+    else:
+        base = tuple(tables)
+    return PlanRecord(
+        version=draw(st.integers(min_value=1, max_value=500)),
+        kind=draw(st.sampled_from(["plan", "reshard"])),
+        strategy=draw(st.sampled_from(["beam", "reshard-incremental"])),
+        feasible=feasible,
+        plan=plan,
+        base_tables=base,
+        num_devices=plan.num_devices if plan is not None else 2,
+        memory_bytes=draw(st.integers(min_value=1, max_value=2**40)),
+        simulated_cost_ms=(
+            draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                           allow_infinity=False))
+            if feasible
+            else math.inf
+        ),
+        sharding_time_s=draw(st.floats(min_value=0.0, max_value=1e4,
+                                       allow_nan=False, allow_infinity=False)),
+        created_at=draw(st.floats(min_value=0.0, max_value=2e9,
+                                  allow_nan=False, allow_infinity=False)),
+        request_id=draw(st.text(max_size=10)),
+        diff=draw(st.one_of(st.none(), diffs_st())),
+        metadata=draw(st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(st.booleans(), st.integers(-10, 10), st.text(max_size=8)),
+            max_size=3,
+        )),
+    )
+
+
+def _json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# identity properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTripIdentity:
+    @_SETTINGS
+    @given(task=tasks_st(), strategy=st.one_of(st.none(), st.text(min_size=1, max_size=10)),
+           request_id=st.text(max_size=10), options=options_st)
+    def test_request(self, task, strategy, request_id, options):
+        request = ShardingRequest(
+            task=task, strategy=strategy, request_id=request_id,
+            options=options,
+        )
+        restored = ShardingRequest.from_dict(
+            _json_round_trip(request.to_dict())
+        )
+        assert restored == request
+
+    @_SETTINGS
+    @given(response=responses_st())
+    def test_response(self, response):
+        restored = ShardingResponse.from_dict(
+            _json_round_trip(response.to_dict())
+        )
+        assert restored == response
+
+    @_SETTINGS
+    @given(diff=diffs_st())
+    def test_plan_diff(self, diff):
+        assert PlanDiff.from_dict(_json_round_trip(diff.to_dict())) == diff
+
+    @_SETTINGS
+    @given(delta=deltas_st)
+    def test_workload_delta(self, delta):
+        assert (
+            WorkloadDelta.from_dict(_json_round_trip(delta.to_dict())) == delta
+        )
+
+    @_SETTINGS
+    @given(record=records_st())
+    def test_plan_record(self, record):
+        assert (
+            PlanRecord.from_dict(_json_round_trip(record.to_dict())) == record
+        )
+
+
+# ----------------------------------------------------------------------
+# version-mismatch rejection
+# ----------------------------------------------------------------------
+
+
+class TestVersionRejection:
+    @_SETTINGS
+    @given(version=st.one_of(st.none(), st.integers(min_value=2, max_value=99)))
+    def test_all_wire_types_reject_foreign_versions(self, version, tasks2):
+        task = tasks2[0]
+        tables, plan = (
+            task.tables,
+            ShardingPlan(
+                column_plan=(),
+                assignment=tuple(0 for _ in task.tables),
+                num_devices=task.num_devices,
+            ),
+        )
+        payloads = [
+            (ShardingRequest, ShardingRequest(task).to_dict()),
+            (
+                ShardingResponse,
+                ShardingResponse(
+                    request_id="", strategy="beam", feasible=True, plan=plan,
+                    simulated_cost_ms=1.0, sharding_time_s=0.0,
+                ).to_dict(),
+            ),
+            (PlanDiff, PlanDiff.between(plan, tables, plan, tables).to_dict()),
+            (WorkloadDelta, WorkloadDelta().to_dict()),
+            (
+                PlanRecord,
+                PlanRecord(
+                    version=1, kind="plan", strategy="beam", feasible=True,
+                    plan=plan, base_tables=tables,
+                    num_devices=task.num_devices, memory_bytes=task.memory_bytes,
+                    simulated_cost_ms=1.0, sharding_time_s=0.0, created_at=0.0,
+                ).to_dict(),
+            ),
+        ]
+        for cls, payload in payloads:
+            payload["schema_version"] = version
+            with pytest.raises(ValueError, match="schema version"):
+                cls.from_dict(payload)

@@ -1,0 +1,239 @@
+"""Tests for the lifecycle HTTP server (repro.api.server)."""
+
+import dataclasses
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    ShardingEngine,
+    ShardingHTTPServer,
+    ShardingRequest,
+    ShardingService,
+)
+from repro.data.io import table_to_dict
+from repro.data.tasks import ShardingTask
+
+
+@pytest.fixture(scope="module")
+def engine(cluster2, tiny_bundle):
+    return ShardingEngine(cluster2, tiny_bundle)
+
+
+@pytest.fixture()
+def server(engine, tasks2):
+    service = ShardingService()
+    service.create_deployment("prod", engine, tables=tasks2[0].tables)
+    server = ShardingHTTPServer(
+        service, engine, port=0, max_batch=4, batch_wait_s=0.02
+    )
+    server.start()
+    yield server
+    server.close()
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.port}{path}"
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, path, body):
+    url = f"http://127.0.0.1:{server.port}{path}"
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_strategies_listing(self, server):
+        status, payload = _get(server, "/v1/strategies")
+        assert status == 200
+        names = {s["name"] for s in payload["strategies"]}
+        assert {"beam", "dim_greedy", "random"} <= names
+
+    def test_deployments_listing(self, server):
+        status, payload = _get(server, "/v1/deployments")
+        assert status == 200
+        assert payload == {"deployments": ["prod"]}
+
+    def test_status_and_history(self, server):
+        _post(server, "/v1/deployments/prod/plan", {})
+        status, payload = _get(server, "/v1/deployments/prod/status")
+        assert status == 200
+        assert payload["name"] == "prod"
+        assert payload["num_records"] == 1
+        status, payload = _get(server, "/v1/deployments/prod/history")
+        assert status == 200
+        assert [r["version"] for r in payload["history"]] == [1]
+
+    def test_unknown_deployment_is_404(self, server):
+        status, payload = _post(server, "/v1/deployments/nope/plan", {})
+        assert status == 404
+        assert "nope" in payload["error"]
+
+    def test_unknown_path_is_404(self, server):
+        status, _ = _post(server, "/v1/deployments/prod/frobnicate", {})
+        assert status == 404
+
+    def test_bad_body_is_400(self, server):
+        status, payload = _post(server, "/v1/deployments/prod/reshard", {})
+        assert status == 400
+        assert "delta" in payload["error"]
+
+
+class TestLifecycleOverHTTP:
+    def test_plan_apply_reshard_rollback_round_trip(self, server, tasks2):
+        status, v1 = _post(
+            server, "/v1/deployments/prod/plan", {"strategy": "beam"}
+        )
+        assert status == 200 and v1["feasible"]
+        status, applied = _post(server, "/v1/deployments/prod/apply", {})
+        assert status == 200 and applied["version"] == v1["version"]
+
+        added = [
+            table_to_dict(dataclasses.replace(t, table_id=91_000 + i))
+            for i, t in enumerate(tasks2[1].tables[:2])
+        ]
+        delta = {
+            "schema_version": 1,
+            "add_tables": added,
+            "remove_table_ids": [],
+            "drift": None,
+        }
+        status, v2 = _post(
+            server,
+            "/v1/deployments/prod/reshard",
+            {"delta": delta, "config": {"migration_budget_ms": 1e9}},
+        )
+        assert status == 200 and v2["feasible"]
+        assert v2["kind"] == "reshard"
+        assert v2["diff"] is not None
+
+        status, restored = _post(
+            server, "/v1/deployments/prod/rollback", {}
+        )
+        assert status == 200
+        assert restored["version"] == v1["version"]
+        assert restored["plan"] == v1["plan"]
+
+    def test_create_deployment_over_http(self, server, tasks2):
+        body = {
+            "name": "canary",
+            "tables": [table_to_dict(t) for t in tasks2[2].tables],
+        }
+        status, payload = _post(server, "/v1/deployments", body)
+        assert status == 200
+        assert payload["name"] == "canary"
+        status, payload = _get(server, "/v1/deployments")
+        assert payload["deployments"] == ["canary", "prod"]
+
+
+class TestConcurrencyAndBatching:
+    def test_concurrent_plans_match_sequential_engine(
+        self, server, engine, tasks2
+    ):
+        """Acceptance: concurrent HTTP plans == sequential engine.shard."""
+        task = ShardingTask(
+            tables=tasks2[0].tables,
+            num_devices=tasks2[0].num_devices,
+            memory_bytes=engine.cluster.config.memory_bytes,
+        )
+        expected = engine.shard(ShardingRequest(task, strategy="beam"))
+
+        def plan(i):
+            return _post(
+                server,
+                "/v1/deployments/prod/plan",
+                {"strategy": "beam", "request_id": f"c{i}"},
+            )
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(plan, range(6)))
+        versions = set()
+        for status, record in results:
+            assert status == 200
+            assert record["feasible"]
+            assert record["plan"]["assignment"] == list(expected.plan.assignment)
+            assert record["plan"]["column_plan"] == list(expected.plan.column_plan)
+            assert record["simulated_cost_ms"] == expected.simulated_cost_ms
+            versions.add(record["version"])
+        # Every request got its own record version.
+        assert len(versions) == 6
+        assert {r["request_id"] for _, r in results} == {
+            f"c{i}" for i in range(6)
+        }
+
+    def test_start_request_shutdown_round_trip(self, engine, tasks2):
+        """The CI smoke: boot a fresh server, serve one plan, shut down."""
+        service = ShardingService()
+        service.create_deployment("smoke", engine, tables=tasks2[0].tables)
+        server = ShardingHTTPServer(service, engine, port=0)
+        server.start()
+        try:
+            status, record = _post(
+                server, "/v1/deployments/smoke/plan", {"strategy": "dim_greedy"}
+            )
+            assert status == 200
+            assert record["strategy"] == "dim_greedy"
+        finally:
+            server.close()
+        # The socket is released: a fresh server can bind immediately.
+        again = ShardingHTTPServer(service, engine, port=0)
+        again.start()
+        again.close()
+
+
+class TestKeepAliveBodyDrain:
+    def test_404_with_body_does_not_desync_the_connection(self, server):
+        """Persistent connections survive an error response: the unread
+        request body must be drained before replying, or the next
+        request on the same socket parses garbage."""
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            body = json.dumps({"x": 1})
+            conn.request(
+                "POST", "/v1/deployments/prod/frobnicate", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            first = conn.getresponse()
+            assert first.status == 404
+            first.read()
+            # Same connection: a valid follow-up must still work.
+            conn.request("GET", "/v1/deployments")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read()) == {"deployments": ["prod"]}
+        finally:
+            conn.close()
+
+    def test_rollback_with_body_keeps_connection_synchronized(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/deployments/prod/rollback",
+                body=json.dumps({"ignored": True}),
+            )
+            first = conn.getresponse()
+            assert first.status == 400  # nothing applied yet: clean error
+            first.read()
+            conn.request("GET", "/v1/deployments/prod/status")
+            second = conn.getresponse()
+            assert second.status == 200
+            second.read()
+        finally:
+            conn.close()

@@ -237,3 +237,156 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "Valid 2 / 2" in out
+
+
+class TestDeploymentParser:
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "/tmp/bundle", "--store", "/tmp/deps", "--port", "0"]
+        )
+        assert args.command == "serve"
+        assert args.store == "/tmp/deps"
+        assert args.port == 0
+
+    def test_deployment_actions_parse(self):
+        for action in ("plan", "apply", "reshard", "rollback", "status",
+                       "history"):
+            args = build_parser().parse_args(
+                ["deployment", action, "prod", "--store", "/tmp/d",
+                 "/tmp/bundle"]
+            )
+            assert args.command == "deployment"
+            assert args.action == action
+            assert args.name == "prod"
+
+    def test_reshard_knobs(self):
+        args = build_parser().parse_args(
+            ["deployment", "reshard", "prod", "--store", "/tmp/d",
+             "/tmp/bundle", "--add", "3", "--remove", "1", "2",
+             "--budget-ms", "500", "--lam", "0.01", "--no-apply"]
+        )
+        assert args.add == 3
+        assert args.remove == [1, 2]
+        assert args.budget_ms == 500.0
+        assert args.lam == 0.01
+        assert args.no_apply
+
+
+class TestDeploymentLifecycleCli:
+    @pytest.fixture()
+    def bundle_dir(self, tmp_path, tiny_bundle):
+        path = tmp_path / "bundle"
+        tiny_bundle.save(path)
+        return str(path)
+
+    def test_full_lifecycle(self, tmp_path, bundle_dir, tasks2, capsys):
+        store = str(tmp_path / "deps")
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([tasks2[0]], tasks_file)
+
+        assert main(["deployment", "create", "prod", "--store", store,
+                     bundle_dir, "--tasks-file", tasks_file]) == 0
+        assert "created deployment 'prod'" in capsys.readouterr().out
+
+        assert main(["deployment", "plan", "prod", "--store", store,
+                     bundle_dir]) == 0
+        assert "v1 [plan/beam]" in capsys.readouterr().out
+
+        assert main(["deployment", "apply", "prod", "--store", store,
+                     bundle_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["deployment", "reshard", "prod", "--store", store,
+                     bundle_dir, "--add", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "v2 [reshard/" in out
+        assert "re-shard-from-scratch" in out
+
+        assert main(["deployment", "rollback", "prod", "--store", store,
+                     bundle_dir]) == 0
+        assert "rolled back to v1" in capsys.readouterr().out
+
+        assert main(["deployment", "status", "prod", "--store", store,
+                     bundle_dir]) == 0
+        out = capsys.readouterr().out
+        assert "applied_version" in out
+
+        assert main(["deployment", "history", "prod", "--store", store,
+                     bundle_dir]) == 0
+        out = capsys.readouterr().out
+        assert "*live*" in out
+
+        assert main(["deployment", "list", "--store", store,
+                     bundle_dir]) == 0
+        assert "prod" in capsys.readouterr().out
+
+    def test_duplicate_create_is_clean_error(
+        self, tmp_path, bundle_dir, tasks2, capsys
+    ):
+        store = str(tmp_path / "deps")
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([tasks2[0]], tasks_file)
+        assert main(["deployment", "create", "prod", "--store", store,
+                     bundle_dir, "--tasks-file", tasks_file]) == 0
+        capsys.readouterr()
+        assert main(["deployment", "create", "prod", "--store", store,
+                     bundle_dir, "--tasks-file", tasks_file]) == 1
+        assert "already exists" in capsys.readouterr().err
+
+    def test_rollback_without_history_is_clean(
+        self, tmp_path, bundle_dir, tasks2, capsys
+    ):
+        store = str(tmp_path / "deps")
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([tasks2[0]], tasks_file)
+        main(["deployment", "create", "prod", "--store", store, bundle_dir,
+              "--tasks-file", tasks_file])
+        capsys.readouterr()
+        assert main(["deployment", "rollback", "prod", "--store", store,
+                     bundle_dir]) == 1
+        assert "roll back" in capsys.readouterr().err
+
+
+class TestFailingTaskIdsOnStderr:
+    """The shared infeasibility contract: ids of the failing tasks."""
+
+    @pytest.fixture()
+    def bundle_dir(self, tmp_path, tiny_bundle):
+        path = tmp_path / "bundle"
+        tiny_bundle.save(path)
+        return str(path)
+
+    def test_shard_prints_failing_ids(self, tmp_path, bundle_dir, capsys):
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task()], tasks_file)
+        code = main(["shard", bundle_dir, "--strategy", "random",
+                     "--tasks-file", tasks_file])
+        assert code == EXIT_ALL_INFEASIBLE
+        assert "failing tasks: 0" in capsys.readouterr().err
+
+    def test_serve_batch_prints_failing_ids(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task(), _oversized_task()], tasks_file)
+        code = main(["serve-batch", bundle_dir, tasks_file, "--strategy",
+                     "random", "--output", str(tmp_path / "out.json")])
+        assert code == EXIT_ALL_INFEASIBLE
+        assert "failing tasks: 0, 0" in capsys.readouterr().err
+
+    def test_deployment_apply_infeasible_is_exit_2(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        store = str(tmp_path / "deps")
+        tasks_file = str(tmp_path / "tasks.json")
+        save_tasks([_oversized_task()], tasks_file)
+        assert main(["deployment", "create", "prod", "--store", store,
+                     bundle_dir, "--tasks-file", tasks_file]) == 0
+        # Every plan over the oversized workload is infeasible.
+        assert main(["deployment", "plan", "prod", "--store", store,
+                     bundle_dir]) == EXIT_ALL_INFEASIBLE
+        capsys.readouterr()
+        code = main(["deployment", "apply", "prod", "--store", store,
+                     bundle_dir])
+        assert code == EXIT_ALL_INFEASIBLE
+        assert "failing tasks" in capsys.readouterr().err
