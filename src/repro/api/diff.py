@@ -56,6 +56,7 @@ class TableMove:
     size_bytes: int
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the move."""
         return {
             "uid": self.uid,
             "occurrence": self.occurrence,
@@ -66,6 +67,7 @@ class TableMove:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TableMove":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             uid=str(data["uid"]),
             occurrence=int(data["occurrence"]),
@@ -84,6 +86,7 @@ class ShardChange:
     size_bytes: int
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the change."""
         return {
             "uid": self.uid,
             "device": self.device,
@@ -92,6 +95,7 @@ class ShardChange:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ShardChange":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             uid=str(data["uid"]),
             device=int(data["device"]),
@@ -169,10 +173,12 @@ class PlanDiff:
 
     @property
     def created_bytes(self) -> int:
+        """Bytes of shards only the new plan has."""
         return sum(c.size_bytes for c in self.created)
 
     @property
     def removed_bytes(self) -> int:
+        """Bytes of shards only the old plan had."""
         return sum(c.size_bytes for c in self.removed)
 
     @property
@@ -182,6 +188,7 @@ class PlanDiff:
 
     @property
     def num_changes(self) -> int:
+        """Total shard-level changes (moves + creations + removals)."""
         return len(self.moves) + len(self.created) + len(self.removed)
 
     @classmethod

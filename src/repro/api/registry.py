@@ -102,6 +102,7 @@ def register_strategy(
         )
 
     def decorator(factory: StrategyFactory) -> StrategyFactory:
+        """Record ``factory`` (and its aliases) in the registry."""
         for key in (name, *aliases):
             if key in _REGISTRY or key in _ALIASES:
                 raise ValueError(f"strategy name {key!r} already registered")

@@ -24,13 +24,16 @@ objective and a hard ``migration_budget_ms``:
    considered when ``allow_full_search`` and its migration cost fits the
    budget ("fall back to full re-search when the budget allows").
 
-Workload deltas (:class:`WorkloadDelta`) carry added/removed tables and
-optionally the :class:`~repro.costmodel.drift.DriftReport` that triggered
-the reshard, so drift-driven replans are recorded with their evidence.
+Workload deltas (:class:`WorkloadDelta`) carry added/removed tables,
+in-place access-statistics updates (``update_stats`` — pooling/skew
+changes that move no bytes by themselves), and optionally the
+:class:`~repro.costmodel.drift.DriftReport` that triggered the reshard,
+so drift-driven replans are recorded with their evidence.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass
@@ -62,17 +65,51 @@ class WorkloadDelta:
         add_tables: tables the model gained.
         remove_table_ids: ``table_id``s the model dropped (every shard of
             a removed table disappears).
+        update_stats: tables (matched by ``table_id`` against the applied
+            workload) whose *access statistics* — ``pooling_factor`` and
+            ``zipf_alpha`` — changed while the stored weights did not.
+            The reshard rewrites the surviving shards' statistics in
+            place, so a stats update moves no bytes by itself; only
+            rebalancing the search then chooses to do is priced.  A
+            storage change (``dim``, ``hash_size``) must instead be
+            expressed as remove + add of the same id, which prices the
+            re-materialization.
         drift: the drift probe that motivated the reshard, when one did
             (see :class:`~repro.costmodel.drift.DriftMonitor`).
+
+    Raises:
+        ValueError: when one ``table_id`` appears in more than one of
+            ``add_tables`` / ``remove_table_ids`` / ``update_stats`` in a
+            contradictory way (an id both updated and removed, or both
+            updated and re-added).
     """
 
     add_tables: tuple[TableConfig, ...] = ()
     remove_table_ids: tuple[int, ...] = ()
+    update_stats: tuple[TableConfig, ...] = ()
     drift: DriftReport | None = None
+
+    def __post_init__(self) -> None:
+        updated = {t.table_id for t in self.update_stats}
+        if len(updated) != len(self.update_stats):
+            raise ValueError("update_stats repeats a table_id")
+        clashes = updated & (
+            set(self.remove_table_ids) | {t.table_id for t in self.add_tables}
+        )
+        if clashes:
+            raise ValueError(
+                f"table ids {sorted(clashes)} appear in update_stats and in "
+                "add_tables/remove_table_ids of the same delta"
+            )
 
     @property
     def is_empty(self) -> bool:
-        return not self.add_tables and not self.remove_table_ids
+        """Whether the delta changes nothing about the workload."""
+        return (
+            not self.add_tables
+            and not self.remove_table_ids
+            and not self.update_stats
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize to a versioned, JSON-compatible dictionary."""
@@ -80,6 +117,7 @@ class WorkloadDelta:
             "schema_version": SCHEMA_VERSION,
             "add_tables": [table_to_dict(t) for t in self.add_tables],
             "remove_table_ids": list(self.remove_table_ids),
+            "update_stats": [table_to_dict(t) for t in self.update_stats],
             "drift": None if self.drift is None else self.drift.to_dict(),
         }
 
@@ -94,6 +132,9 @@ class WorkloadDelta:
             ),
             remove_table_ids=tuple(
                 int(i) for i in data.get("remove_table_ids", ())
+            ),
+            update_stats=tuple(
+                table_from_dict(t) for t in data.get("update_stats", ())
             ),
             drift=None if drift is None else DriftReport.from_dict(drift),
         )
@@ -135,6 +176,7 @@ class ReshardConfig:
             )
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the knobs."""
         return {
             "migration_budget_ms": self.migration_budget_ms,
             "migration_lambda": self.migration_lambda,
@@ -144,6 +186,7 @@ class ReshardConfig:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ReshardConfig":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             migration_budget_ms=data.get("migration_budget_ms"),
             migration_lambda=float(data.get("migration_lambda", 1e-4)),
@@ -291,6 +334,7 @@ def _refine(
     def metrics(
         tbls: Sequence[TableConfig], assign: Sequence[int]
     ) -> tuple[float, PlanDiff]:
+        """Simulated cost + diff-vs-applied of one candidate state."""
         plan = ShardingPlan(
             column_plan=(), assignment=tuple(assign), num_devices=num_devices
         )
@@ -410,7 +454,8 @@ def incremental_reshard(
         applied_plan: the deployment's currently applied plan.
         applied_base_tables: the base table list ``applied_plan`` was
             planned over.
-        delta: tables added/removed (and optionally the drift report).
+        delta: tables added/removed, in-place stats updates, and
+            optionally the drift report.
         config: budget / lambda / refinement knobs.
         strategy: full-search strategy name (engine default when omitted).
         memory_bytes: per-device budget (engine cluster's when omitted).
@@ -436,6 +481,32 @@ def incremental_reshard(
     simulator = engine.simulator
     removed = set(delta.remove_table_ids)
     drift_triggered = bool(delta.drift is not None and delta.drift.needs_retraining)
+
+    # Stats updates rewrite the surviving shards' access statistics in
+    # place *before* anything is diffed or scored: the stored weights are
+    # unchanged, so the update itself moves no bytes — both candidates
+    # are searched and priced against the stat-updated applied state.
+    if delta.update_stats:
+        present = {t.table_id for t in applied_base_tables}
+        missing = sorted(
+            t.table_id for t in delta.update_stats if t.table_id not in present
+        )
+        if missing:
+            raise ValueError(
+                f"update_stats references table ids {missing} that are not "
+                "in the applied workload"
+            )
+        stats = {t.table_id: t for t in delta.update_stats}
+        applied_base_tables = tuple(
+            t
+            if t.table_id not in stats
+            else dataclasses.replace(
+                t,
+                pooling_factor=stats[t.table_id].pooling_factor,
+                zipf_alpha=stats[t.table_id].zipf_alpha,
+            )
+            for t in applied_base_tables
+        )
 
     # The new task as the full search sees it: applied base tables minus
     # removals, plus the added tables (unsplit — the search decides).
@@ -570,6 +641,7 @@ def incremental_reshard(
         )
 
     def objective(item: tuple[str, ShardingResponse, PlanDiff]) -> float:
+        """The combined simulated + amortized-migration objective."""
         _, resp, diff = item
         return resp.simulated_cost_ms + lam * diff.migration_cost_ms
 

@@ -80,10 +80,12 @@ class _PlanJob:
         self.error: Exception | None = None
 
     def resolve(self, record: PlanRecord) -> None:
+        """Deliver the finished record and wake the waiting handler."""
         self.record = record
         self.event.set()
 
     def fail(self, error: Exception) -> None:
+        """Deliver a planning failure and wake the waiting handler."""
         self.error = error
         self.event.set()
 
@@ -116,15 +118,18 @@ class _PlanBatcher(threading.Thread):
         self._closed = False
 
     def submit(self, job: _PlanJob) -> None:
+        """Enqueue one plan job for the next micro-batch."""
         if self._closed:
             raise RuntimeError("server is shutting down")
         self._queue.put(job)
 
     def stop(self) -> None:
+        """Drain the queue and stop the batcher thread."""
         self._closed = True
         self._queue.put(None)
 
     def run(self) -> None:  # pragma: no cover — exercised via HTTP tests
+        """Collect jobs into micro-batches and dispatch them."""
         while True:
             job = self._queue.get()
             if job is None:
@@ -184,6 +189,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Log one line per request only in ``--verbose`` mode."""
         if self.server.verbose:
             super().log_message(format, *args)
 
@@ -234,6 +240,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        """Route the read-only endpoints (strategies/deployments/status/...)."""
         self._drain_body()  # GET handlers never use a body; keep the
         # connection synchronized if a client sent one anyway
         if self.path == "/v1/strategies":
@@ -252,6 +259,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_error_json(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
+        """Route the mutating endpoints (create/plan/apply/reshard/rollback)."""
         if self.path == "/v1/deployments":
             self._guard(self._post_create)
             return

@@ -179,10 +179,12 @@ class _Deployment:
 
     @property
     def applied_version(self) -> int | None:
+        """The live plan version (``None`` before the first apply)."""
         return self.applied_stack[-1] if self.applied_stack else None
 
     @property
     def applied_record(self) -> PlanRecord | None:
+        """The live plan record (``None`` before the first apply)."""
         version = self.applied_version
         return None if version is None else self.records[version]
 
@@ -299,7 +301,9 @@ class ShardingService:
                     "tables": [table_to_dict(t) for t in tables],
                 },
             )
-            self.store.save_state(name, {"applied_stack": []})
+            self.store.save_state(
+                name, {"applied_stack": [], "memory_bytes": memory}
+            )
         return self.status(name)
 
     @classmethod
@@ -349,6 +353,20 @@ class ShardingService:
                             f"plan record v{version}"
                         )
                 deployment.applied_stack = stack
+                # The budget the deployment actually runs under is
+                # mutable state: reshard(memory_bytes=...) may have
+                # changed it since the metadata snapshot at creation
+                # time, independently of which plan is applied (capacity
+                # loss survives infeasible reshards and rollbacks).
+                # Stores written before the budget was state-tracked
+                # fall back to the applied record's contract.
+                state_memory = state.get("memory_bytes")
+                if state_memory is not None:
+                    deployment.memory_bytes = int(state_memory)
+                elif deployment.applied_record is not None:
+                    deployment.memory_bytes = (
+                        deployment.applied_record.memory_bytes
+                    )
             except Exception as exc:  # noqa: BLE001 — per-deployment boundary
                 if on_error == "raise":
                     raise
@@ -554,6 +572,7 @@ class ShardingService:
         strategy: str | None = None,
         apply: bool = True,
         request_id: str = "",
+        memory_bytes: int | None = None,
     ) -> PlanRecord:
         """Re-plan the deployment for a changed workload, migration-aware.
 
@@ -561,8 +580,22 @@ class ShardingService:
         applied plan, records the chosen candidate (diff included), and —
         by default — applies it.
 
+        Args:
+            name: the deployment.
+            delta: tables added/removed/stat-updated since the applied
+                plan.
+            config: budget / lambda / refinement knobs.
+            strategy: full-search strategy (engine default when omitted).
+            apply: make the chosen plan live when it is feasible.
+            memory_bytes: new per-device budget for this deployment from
+                this reshard on (device degradation / capacity changes).
+                The deployment keeps the new budget even when the reshard
+                finds no feasible plan — lost capacity stays lost.
+            request_id: caller correlation id.
+
         Raises:
-            ValueError: when no plan is applied yet.
+            ValueError: when no plan is applied yet, or ``memory_bytes``
+                is not positive.
         """
         deployment = self._get(name)
         config = config or ReshardConfig()
@@ -573,6 +606,17 @@ class ShardingService:
                     f"deployment {name!r} has no applied plan; call plan() "
                     "and apply() first"
                 )
+            if memory_bytes is not None:
+                if memory_bytes <= 0:
+                    raise ValueError(
+                        f"memory_bytes must be > 0, got {memory_bytes}"
+                    )
+                deployment.memory_bytes = int(memory_bytes)
+                # Budget changes are deployment state, not plan state:
+                # persist immediately so the new budget survives a
+                # restart even when this reshard finds no feasible plan,
+                # and is not reverted by a later rollback.
+                self._persist_state(deployment)
             version = deployment.reserve_versions(1)
             result = incremental_reshard(
                 deployment.engine,
@@ -623,6 +667,11 @@ class ShardingService:
     # ------------------------------------------------------------------
 
     def get_record(self, name: str, version: int) -> PlanRecord:
+        """One stored plan record of ``name``.
+
+        Raises:
+            ValueError: when the version does not exist.
+        """
         deployment = self._get(name)
         with deployment.lock:
             record = deployment.records.get(version)
@@ -685,5 +734,8 @@ class ShardingService:
         if self.store is not None:
             self.store.save_state(
                 deployment.name,
-                {"applied_stack": list(deployment.applied_stack)},
+                {
+                    "applied_stack": list(deployment.applied_stack),
+                    "memory_bytes": deployment.memory_bytes,
+                },
             )

@@ -85,6 +85,7 @@ class BundleInfo:
         return f"{self.name}@v{self.version}"
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the bundle metadata."""
         return {
             "name": self.name,
             "version": self.version,
@@ -260,6 +261,7 @@ class PlanStore:
         )
 
     def has_deployment(self, name: str) -> bool:
+        """Whether the store holds a deployment named ``name``."""
         return (self._deployment_dir(name) / self._DEPLOYMENT).exists()
 
     def save_meta(self, name: str, meta: Mapping[str, Any]) -> None:
@@ -271,6 +273,11 @@ class PlanStore:
         )
 
     def load_meta(self, name: str) -> dict[str, Any]:
+        """Read a deployment's metadata.
+
+        Raises:
+            FileNotFoundError: when the deployment does not exist.
+        """
         path = self._deployment_dir(name) / self._DEPLOYMENT
         if not path.exists():
             raise FileNotFoundError(
@@ -321,6 +328,11 @@ class PlanStore:
         path.write_text(json.dumps(dict(record), indent=1))
 
     def load_record(self, name: str, version: int) -> dict[str, Any]:
+        """Read one stored plan record.
+
+        Raises:
+            FileNotFoundError: when the version is not stored.
+        """
         path = self._deployment_dir(name) / self._PLANS / f"v{version}.json"
         if not path.exists():
             raise FileNotFoundError(
@@ -338,11 +350,13 @@ class PlanStore:
     # ------------------------------------------------------------------
 
     def save_state(self, name: str, state: Mapping[str, Any]) -> None:
+        """Write the mutable deployment state (the applied stack)."""
         directory = self._deployment_dir(name)
         directory.mkdir(parents=True, exist_ok=True)
         (directory / self._STATE).write_text(json.dumps(dict(state), indent=2))
 
     def load_state(self, name: str) -> dict[str, Any]:
+        """Read the mutable deployment state (empty when never saved)."""
         path = self._deployment_dir(name) / self._STATE
         if not path.exists():
             return {}

@@ -232,6 +232,7 @@ class RowWiseStrategySharder:
         self.name = inner.name
 
     def shard(self, task: ShardingTask) -> PlanOverTables | None:
+        """Plan ``task``, returning the plan plus its rewritten table list."""
         plan, decision = self._inner.shard_with_tables(task)
         if plan is None:
             return None
@@ -278,6 +279,7 @@ class MixedStrategySharder:
         self._kwargs = sharder_kwargs
 
     def shard(self, task: ShardingTask) -> ShardingPlan | None:
+        """Plan ``task`` on the (possibly synthesized) mixed cluster."""
         if self._hetero is not None:
             hetero = self._hetero
             if task.num_devices != hetero.num_devices:

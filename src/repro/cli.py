@@ -27,12 +27,18 @@ all sharding algorithms served through the :mod:`repro.api` registry:
 - ``deployment`` — drive the plan lifecycle from the shell:
   ``create / plan / apply / reshard / rollback / status / history /
   list`` against a persistent :class:`~repro.api.store.PlanStore`.
+- ``scenario`` — the workload scenario atlas (:mod:`repro.scenarios`):
+  ``list`` the registry, ``run`` one scenario's trace through the
+  lifecycle service (per-step report, optional JSON artifacts),
+  ``compare`` several scenarios' aggregate replay metrics side by side.
 - ``strategies`` — list every registered strategy.
 - ``list-bundles`` — list the contents of a bundle store.
 
-Exit codes: 0 success, 1 usage/input error, 2 every task infeasible
+Exit codes: 0 success, 1 usage/input error, 2 everything infeasible
 (``shard`` / ``serve-batch`` / ``deployment plan`` / ``deployment
-reshard`` / ``deployment apply``, failing task ids on stderr).
+reshard`` / ``deployment apply`` with the failing task ids on stderr;
+``scenario run`` when the initial workload is unplannable or every
+reshard step of the replay fails, failing step numbers on stderr).
 """
 
 from __future__ import annotations
@@ -78,10 +84,22 @@ from repro.data import (
     save_tasks,
     synthesize_table_pool,
 )
-from repro.evaluation import evaluate_sharder, format_text_table
+from repro.evaluation import (
+    REPLAY_SEARCH_CONFIG,
+    evaluate_sharder,
+    format_text_table,
+    replay_workload_trace,
+)
 from repro.hardware import SimulatedCluster
 from repro.hardware.memory import OutOfMemoryError
 from repro.perf import SearchProfile
+from repro.scenarios import (
+    UnknownScenarioError,
+    format_scenario_report,
+    iter_scenarios,
+    make_trace,
+)
+from repro.scenarios.catalog import DEFAULT_MEMORY_BYTES
 
 __all__ = ["main", "build_parser"]
 
@@ -268,6 +286,60 @@ def build_parser() -> argparse.ArgumentParser:
                           help="plan-store root directory")
     add_bundle_args(dep_list)
 
+    scen = sub.add_parser("scenario", help="workload scenario atlas: "
+                          "list/run/compare production regimes")
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="list registered workload "
+                                    "scenarios")
+    scen_list.add_argument("--tag", help="only scenarios carrying this tag")
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        add_bundle_args(p)
+        p.add_argument("--seed", type=int, default=0,
+                       help="trace generator seed (default: 0)")
+        p.add_argument("--pool-seed", type=int, default=0,
+                       help="synthesis seed of the table pool the "
+                       "scenario samples from (default: 0; the "
+                       "committed benchmark artifacts use 2023)")
+        p.add_argument("--tables", type=int,
+                       help="initial workload size (scenario default "
+                       "when omitted)")
+        p.add_argument("--steps", type=int,
+                       help="trace steps (scenario default when omitted)")
+        p.add_argument("--memory-bytes", type=int,
+                       help="base per-device budget (default: 2 GiB)")
+        p.add_argument("--budget-ms", type=float,
+                       help="hard migration budget per reshard step "
+                       "(default: unbounded)")
+        p.add_argument("--lam", type=float, default=1e-4,
+                       help="migration amortization weight lambda "
+                       "(default: 1e-4)")
+        p.add_argument("--refine-steps", type=int, default=32,
+                       help="local-search bound per reshard (default: 32)")
+        p.add_argument("--no-full-search", action="store_true",
+                       help="skip the re-shard-from-scratch candidate")
+        p.add_argument("--strategy", choices=sorted(all_names()),
+                       help="full-search strategy (engine default when "
+                       "omitted)")
+
+    scen_run = scen_sub.add_parser("run", help="replay one scenario through "
+                                   "the plan-lifecycle service")
+    scen_run.add_argument("name", help="registry scenario name "
+                          "(see 'scenario list')")
+    add_scenario_args(scen_run)
+    scen_run.add_argument("--output", help="write the ScenarioReport JSON "
+                          "here")
+    scen_run.add_argument("--trace-output", help="write the generated "
+                          "WorkloadTrace JSON here")
+
+    scen_cmp = scen_sub.add_parser("compare", help="replay several scenarios, "
+                                   "summarize side by side")
+    scen_cmp.add_argument("names", nargs="+", metavar="name",
+                          help="registry scenario names (see "
+                          "'scenario list')")
+    add_scenario_args(scen_cmp)
+
     strategies = sub.add_parser("strategies", help="list registered "
                                 "sharding strategies")
     strategies.add_argument("--category", choices=("core", "baseline",
@@ -373,18 +445,20 @@ def _infeasible_exit(
     num_tasks: int,
     strategy: str,
     failed_task_ids: Sequence[int | str] = (),
+    unit: str = "tasks",
 ) -> int:
-    """The all-tasks-infeasible contract: stderr + exit 2.
+    """The everything-infeasible contract: stderr + exit 2.
 
-    Shared by ``shard``, ``serve-batch`` and the ``deployment``
-    plan/apply/reshard actions: when *every* task is infeasible the
-    command prints the failing task ids to stderr and exits 2.
+    Shared by ``shard``, ``serve-batch``, the ``deployment``
+    plan/apply/reshard actions and ``scenario run``: when *every* unit
+    of work (task, or reshard step of a replay) is infeasible the
+    command prints the failing ids to stderr and exits 2.
     """
     if num_tasks and num_success == 0:
         print(
             f"error: {strategy} produced no feasible plan on any of "
-            f"{num_tasks} tasks "
-            f"(failing tasks: {', '.join(str(i) for i in failed_task_ids) or '-'})",
+            f"{num_tasks} {unit} "
+            f"(failing {unit}: {', '.join(str(i) for i in failed_task_ids) or '-'})",
             file=sys.stderr,
         )
         return EXIT_ALL_INFEASIBLE
@@ -873,6 +947,180 @@ def _cmd_deployment(args) -> int:
     raise AssertionError(f"unhandled deployment action {args.action!r}")
 
 
+def _scenario_memory(args) -> int:
+    """The replay's base per-device budget (explicit zero is not 'unset')."""
+    if args.memory_bytes is None:
+        return DEFAULT_MEMORY_BYTES
+    return args.memory_bytes
+
+
+def _scenario_trace(args, name: str, num_devices: int):
+    """Build one registry scenario's trace from the CLI knobs."""
+    kwargs = {"num_devices": num_devices, "seed": args.seed}
+    kwargs["memory_bytes"] = _scenario_memory(args)
+    if args.tables is not None:
+        kwargs["num_tables"] = args.tables
+    if args.steps is not None:
+        kwargs["steps"] = args.steps
+    pool = (
+        _pool()
+        if args.pool_seed == 0
+        else TablePool(synthesize_table_pool(seed=args.pool_seed))
+    )
+    return make_trace(name, pool, **kwargs)
+
+
+def _scenario_engine(bundle: PretrainedCostModels, memory_bytes: int) -> ShardingEngine:
+    """A lifecycle-scale engine (reduced search: one reshard per step).
+
+    Built on the same ``REPLAY_SEARCH_CONFIG`` as the committed scenario
+    benchmarks; a CLI replay byte-reproduces a committed
+    ``benchmarks/results/scenario_*.txt`` artifact when the remaining
+    inputs also match — that benchmark's 4-GPU cached bundle plus
+    ``--pool-seed 2023 --seed 2023 --tables 16 --budget-ms 150
+    --refine-steps 16`` (and the default 2 GiB ``--memory-bytes``).
+    """
+    cluster = SimulatedCluster(
+        ClusterConfig(
+            num_devices=bundle.num_devices, memory_bytes=memory_bytes
+        )
+    )
+    return ShardingEngine(cluster, bundle, search=REPLAY_SEARCH_CONFIG)
+
+
+def _scenario_config(args) -> ReshardConfig:
+    return ReshardConfig(
+        migration_budget_ms=args.budget_ms,
+        migration_lambda=args.lam,
+        allow_full_search=not args.no_full_search,
+        max_refine_steps=args.refine_steps,
+    )
+
+
+def _replay_exit(report, name: str) -> int:
+    """Exit 2 when *every* reshard step of a replay was infeasible."""
+    failing = [s.step for s in report.steps if s.resharded and not s.feasible]
+    reshards = report.num_reshard_steps
+    if reshards:
+        return _infeasible_exit(
+            reshards - len(failing),
+            reshards,
+            f"scenario {name}",
+            failing,
+            unit="reshard steps",
+        )
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    if args.action == "list":
+        rows = [
+            [
+                info.name,
+                ", ".join(info.tags) or "-",
+                info.default_steps,
+                info.description,
+            ]
+            for info in iter_scenarios()
+            if args.tag is None or args.tag in info.tags
+        ]
+        print(
+            format_text_table(
+                ["scenario", "tags", "steps", "description"],
+                rows,
+                title=f"{len(rows)} registered workload scenarios",
+            )
+        )
+        return 0
+
+    try:
+        bundle = _load_bundle(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    memory = _scenario_memory(args)
+    if memory <= 0:
+        print(f"error: --memory-bytes must be > 0, got {memory}",
+              file=sys.stderr)
+        return 1
+    config = _scenario_config(args)
+
+    if args.action == "run":
+        try:
+            trace = _scenario_trace(args, args.name, bundle.num_devices)
+        except (UnknownScenarioError, ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.trace_output:
+            with open(args.trace_output, "w", encoding="utf-8") as fh:
+                json.dump(trace.to_dict(), fh, indent=1)
+                fh.write("\n")
+            print(f"wrote trace to {args.trace_output}")
+        engine = _scenario_engine(bundle, memory)
+        try:
+            report = replay_workload_trace(
+                trace, engine, reshard_config=config, strategy=args.strategy
+            )
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ALL_INFEASIBLE
+        print(format_scenario_report(report))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=1)
+                fh.write("\n")
+            print(f"wrote report to {args.output}")
+        return _replay_exit(report, args.name)
+
+    if args.action == "compare":
+        engine = _scenario_engine(bundle, memory)
+        rows = []
+        failures = 0
+        for name in args.names:
+            try:
+                trace = _scenario_trace(args, name, bundle.num_devices)
+            except (UnknownScenarioError, ValueError, RuntimeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            try:
+                report = replay_workload_trace(
+                    trace, engine, reshard_config=config,
+                    strategy=args.strategy,
+                )
+            except RuntimeError as exc:
+                print(f"warning: scenario {name}: {exc}", file=sys.stderr)
+                failures += 1
+                rows.append([name, "-", "-", "-", "-", "-", "-", "-"])
+                continue
+            summary = report.summary()
+            rows.append([
+                name,
+                summary["steps"],
+                summary["reshards"],
+                f"{summary['infeasible_rate']:.2f}",
+                f"{summary['budget_bound_rate']:.2f}",
+                f"{summary['total_moved_mb']:.1f}",
+                f"{summary['total_scratch_moved_mb']:.1f}",
+                f"{summary['peak_serving_cost_ms']:.3f}",
+            ])
+        print(
+            format_text_table(
+                ["scenario", "steps", "reshards", "infeasible",
+                 "budget-bound", "moved (MB)", "scratch (MB)",
+                 "peak cost (ms)"],
+                rows,
+                title=f"{len(args.names)} scenarios on "
+                f"{bundle.num_devices} devices "
+                f"(budget {'-' if args.budget_ms is None else args.budget_ms} ms)",
+            )
+        )
+        if failures == len(args.names):
+            return EXIT_ALL_INFEASIBLE
+        return 0
+
+    raise AssertionError(f"unhandled scenario action {args.action!r}")
+
+
 def _cmd_strategies(args) -> int:
     rows = [
         [
@@ -925,6 +1173,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve-batch": _cmd_serve_batch,
         "serve": _cmd_serve,
         "deployment": _cmd_deployment,
+        "scenario": _cmd_scenario,
         "strategies": _cmd_strategies,
         "list-bundles": _cmd_list_bundles,
     }

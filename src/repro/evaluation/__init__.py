@@ -28,7 +28,14 @@ from repro.evaluation.metrics import (
     strongest_baseline,
 )
 from repro.evaluation.reporting import format_markdown_table, format_text_table
-from repro.evaluation.production import ProductionRow, run_production_experiment
+from repro.evaluation.production import (
+    REPLAY_SEARCH_CONFIG,
+    LifecycleRow,
+    ProductionRow,
+    replay_workload_trace,
+    run_lifecycle_experiment,
+    run_production_experiment,
+)
 from repro.evaluation.analysis import (
     PlanAnalysis,
     WhatIfResult,
@@ -54,6 +61,10 @@ __all__ = [
     "strongest_baseline",
     "format_text_table",
     "format_markdown_table",
+    "LifecycleRow",
     "ProductionRow",
+    "REPLAY_SEARCH_CONFIG",
+    "replay_workload_trace",
+    "run_lifecycle_experiment",
     "run_production_experiment",
 ]

@@ -1,0 +1,75 @@
+"""The scenario atlas: replayable production workload regimes.
+
+The paper evaluates sharding on static task distributions; a production
+deployment lives inside a *moving* one.  This package makes workload
+regimes first-class, the same way :mod:`repro.api.registry` made
+algorithms first-class:
+
+- a :class:`~repro.scenarios.trace.WorkloadTrace` is a deterministic,
+  seeded, JSON-serializable sequence of timestamped workload changes
+  (table adds/removes, in-place stats updates, traffic multipliers,
+  capacity loss);
+- the :mod:`~repro.scenarios.registry` maps short names to trace
+  generators (``@register_scenario`` — adding a regime is one decorator);
+- the :mod:`~repro.scenarios.catalog` ships eight production-inspired
+  regimes (diurnal load, flash crowds, table churn, dimension migration,
+  skew drift, multi-tenant contention, device degradation, capacity
+  crunch);
+- replaying a trace through the plan-lifecycle service
+  (:func:`repro.evaluation.production.replay_workload_trace`) yields a
+  :class:`~repro.scenarios.report.ScenarioReport` — per-step serving
+  cost, migrated bytes, budget binding, infeasible rate, and the
+  re-shard-from-scratch counterfactual.
+
+Quick tour::
+
+    from repro.data import TablePool, synthesize_table_pool
+    from repro.scenarios import available_scenarios, make_trace
+
+    pool = TablePool(synthesize_table_pool(seed=0))
+    print(available_scenarios())          # the atlas
+    trace = make_trace("flash_crowd", pool, num_devices=4, seed=7)
+    payload = trace.to_dict()             # versioned JSON — commit/replay
+
+``repro scenario list | run | compare`` exposes the same surface from
+the command line.
+"""
+
+from repro.scenarios.registry import (
+    ScenarioInfo,
+    UnknownScenarioError,
+    available_scenarios,
+    iter_scenarios,
+    make_trace,
+    register_scenario,
+    scenario_info,
+)
+from repro.scenarios.trace import (
+    TraceStep,
+    WorkloadTrace,
+    rebuild_delta,
+    stats_update_delta,
+)
+from repro.scenarios.report import (
+    ScenarioReport,
+    ScenarioStepMetrics,
+    format_scenario_report,
+)
+from repro.scenarios import catalog as _catalog  # noqa: F401 — populates registry
+
+__all__ = [
+    "ScenarioInfo",
+    "ScenarioReport",
+    "ScenarioStepMetrics",
+    "TraceStep",
+    "UnknownScenarioError",
+    "WorkloadTrace",
+    "available_scenarios",
+    "format_scenario_report",
+    "iter_scenarios",
+    "make_trace",
+    "rebuild_delta",
+    "register_scenario",
+    "scenario_info",
+    "stats_update_delta",
+]

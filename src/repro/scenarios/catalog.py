@@ -1,0 +1,615 @@
+"""The built-in scenario atlas: eight production workload regimes.
+
+Every generator below is registered with
+:func:`~repro.scenarios.registry.register_scenario` and builds a
+deterministic, seeded :class:`~repro.scenarios.trace.WorkloadTrace` from
+a table pool.  The regimes are the ones production sharding deployments
+actually meet:
+
+- ``diurnal`` — the daily load curve: traffic swings while the table set
+  barely changes, so the question is how much a *fixed* plan's bottleneck
+  cost breathes with load.
+- ``flash_crowd`` — a hot-table event: a subset of tables' lookup rates
+  spike 6x and decay; stats-only updates let the reshard rebalance
+  without phantom migration.
+- ``table_churn`` — model-iteration waves: every step onboards fresh
+  tables and retires old ones.
+- ``dim_migration`` — an embedding-dimension upgrade rolled out in
+  batches; each batch re-materializes its tables (remove + add).
+- ``skew_drift`` — access skew flattens week over week (cache behaviour
+  degrades), ending in a drift-monitor trigger.
+- ``multi_tenant`` — a second tenant onboards onto the same cluster,
+  both tenants peak together, then the first tenant partially retires.
+- ``device_degradation`` — per-device memory budget shrinks in stages
+  (hardware faults / co-located growth) and later recovers.
+- ``capacity_crunch`` — steady table growth pushes aggregate utilization
+  toward the feasibility edge.
+
+All generators share the same core knobs (``num_devices``,
+``memory_bytes``, ``num_tables``, ``steps``, ``seed``) so the CLI and the
+benchmarks can drive the whole atlas uniformly; scenario-specific knobs
+keep their physical meaning (spike factor, wave size, ...).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.costmodel.drift import DriftReport
+from repro.data.pool import TablePool
+from repro.data.table import TableConfig
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.trace import (
+    TraceStep,
+    WorkloadTrace,
+    rebuild_delta,
+    stats_update_delta,
+)
+from repro.api.reshard import WorkloadDelta
+
+__all__ = ["DEFAULT_MEMORY_BYTES"]
+
+#: Per-device memory budget the atlas defaults to (the tier-1 tests' 2 GiB).
+DEFAULT_MEMORY_BYTES = 2 * 1024**3
+
+
+# ----------------------------------------------------------------------
+# shared scaffolding
+# ----------------------------------------------------------------------
+
+
+def _base_workload(
+    pool: TablePool,
+    rng: np.random.Generator,
+    num_tables: int,
+    num_devices: int,
+    memory_bytes: int,
+    dims: Sequence[int] = (16, 32, 64),
+    utilization: float = 0.45,
+) -> list[TableConfig]:
+    """Sample an initial workload under a target aggregate utilization.
+
+    Tables are sampled from the pool, re-dimensioned from ``dims``, then
+    the largest are dropped until total bytes fit ``utilization`` of the
+    aggregate cluster memory — the same solvability guard the production
+    experiment uses.
+    """
+    tables = pool.sample_tables(num_tables, rng)
+    drawn = rng.choice(list(dims), size=len(tables))
+    tables = [t.with_dim(int(d)) for t, d in zip(tables, drawn)]
+    tables.sort(key=lambda t: (t.size_bytes, t.table_id))
+    budget = utilization * memory_bytes * num_devices
+    while tables and sum(t.size_bytes for t in tables) > budget:
+        tables.pop()
+    if not tables:
+        raise RuntimeError(
+            f"memory budget too small for any scenario table "
+            f"({memory_bytes} B x {num_devices} devices)"
+        )
+    return tables
+
+
+def _fresh_tables(
+    pool: TablePool,
+    rng: np.random.Generator,
+    count: int,
+    next_id: int,
+    dims: Sequence[int],
+) -> tuple[TableConfig, ...]:
+    """``count`` new tables with fresh ids (production-style onboarding)."""
+    sampled = pool.sample_tables(count, rng)
+    drawn = rng.choice(list(dims), size=len(sampled))
+    return tuple(
+        dataclasses.replace(t.with_dim(int(d)), table_id=next_id + i)
+        for i, (t, d) in enumerate(zip(sampled, drawn))
+    )
+
+
+def _next_id(pool: TablePool) -> int:
+    """First table id no pool (hence no workload) table uses."""
+    return max(t.table_id for t in pool.tables) + 1
+
+
+def _scaled_pooling(table: TableConfig, factor: float) -> TableConfig:
+    """Copy of ``table`` with its lookup rate scaled by ``factor``."""
+    return dataclasses.replace(
+        table, pooling_factor=round(max(table.pooling_factor * factor, 0.01), 4)
+    )
+
+
+def _require_steps(steps: int, minimum: int, name: str) -> None:
+    if steps < minimum:
+        raise ValueError(
+            f"scenario {name!r} needs at least {minimum} steps, got {steps}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the atlas
+# ----------------------------------------------------------------------
+
+
+@register_scenario(
+    "diurnal",
+    description="daily traffic curve over a near-static table set",
+    tags=("load",),
+    default_steps=8,
+)
+def _diurnal(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 24,
+    steps: int = 8,
+    seed: int = 0,
+    peak_multiplier: float = 2.2,
+    trough_multiplier: float = 0.4,
+) -> WorkloadTrace:
+    """Diurnal load swings: traffic follows a 24 h sine, tiny midday churn."""
+    _require_steps(steps, 3, "diurnal")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(pool, rng, num_tables, num_devices, memory_bytes)
+    initial = tuple(base)
+    next_id = _next_id(pool)
+    mean = (peak_multiplier + trough_multiplier) / 2.0
+    amp = (peak_multiplier - trough_multiplier) / 2.0
+    trace_steps = []
+    for i in range(steps):
+        hour = 24.0 * (i + 1) / steps
+        traffic = round(mean + amp * math.sin(2 * math.pi * hour / 24 - math.pi / 2), 3)
+        delta = WorkloadDelta()
+        label = f"{hour:04.1f}h"
+        if i == steps // 2:
+            # The one release of the day: two tables in, one out.
+            added = _fresh_tables(pool, rng, 2, next_id, (16, 32))
+            next_id += len(added)
+            retired = min(t.table_id for t in base)
+            base = [t for t in base if t.table_id != retired] + list(added)
+            delta = WorkloadDelta(
+                add_tables=added, remove_table_ids=(retired,)
+            )
+            label += " release"
+        trace_steps.append(
+            TraceStep(
+                timestamp=hour,
+                delta=delta,
+                traffic_multiplier=traffic,
+                label=label,
+            )
+        )
+    return WorkloadTrace(
+        name="diurnal",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=initial,
+        steps=tuple(trace_steps),
+        description="daily traffic curve over a near-static table set",
+    )
+
+
+@register_scenario(
+    "flash_crowd",
+    description="a hot-table event: lookup rates spike 6x and decay",
+    tags=("load", "skew"),
+    default_steps=6,
+)
+def _flash_crowd(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 24,
+    steps: int = 6,
+    seed: int = 0,
+    spike_factor: float = 6.0,
+    hot_fraction: float = 0.2,
+) -> WorkloadTrace:
+    """Flash crowd: a hot subset's pooling factors spike, then decay."""
+    _require_steps(steps, 5, "flash_crowd")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(pool, rng, num_tables, num_devices, memory_bytes)
+    hot_count = max(1, int(round(hot_fraction * len(base))))
+    hot_idx = sorted(
+        int(i) for i in rng.choice(len(base), size=hot_count, replace=False)
+    )
+    hot = [base[i] for i in hot_idx]
+    # Phase profile: pre-event, spike, peak hold, decay, recovery, then
+    # flat 1.0 hours when the caller asks for a longer trace.
+    phases = [
+        ("pre-event", 1.0, 1.1),
+        ("crowd hits", spike_factor, 1.8),
+        ("peak hold", spike_factor, 2.4),
+        ("decay", max(spike_factor / 3.0, 1.0), 1.4),
+        ("recovered", 1.0, 1.0),
+    ]
+    trace_steps = []
+    last_factor = 1.0  # the initial workload carries unscaled pooling
+    for i in range(steps):
+        label, factor, traffic = (
+            phases[i] if i < len(phases) else ("steady", 1.0, 1.0)
+        )
+        if factor != last_factor:
+            delta = stats_update_delta(
+                _scaled_pooling(t, factor) for t in hot
+            )
+            last_factor = factor
+        else:
+            delta = WorkloadDelta()
+        trace_steps.append(
+            TraceStep(
+                timestamp=float(i + 1),
+                delta=delta,
+                traffic_multiplier=traffic,
+                label=label,
+            )
+        )
+    return WorkloadTrace(
+        name="flash_crowd",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="a hot-table event: lookup rates spike 6x and decay",
+    )
+
+
+@register_scenario(
+    "table_churn",
+    description="model-iteration waves: tables onboard and retire every step",
+    tags=("churn",),
+    default_steps=8,
+)
+def _table_churn(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 24,
+    steps: int = 8,
+    seed: int = 0,
+    wave: int | None = None,
+) -> WorkloadTrace:
+    """Table churn: every step adds a wave of fresh tables, retires old ones."""
+    _require_steps(steps, 1, "table_churn")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(pool, rng, num_tables, num_devices, memory_bytes)
+    wave = wave if wave is not None else max(2, len(base) // 8)
+    current = list(base)
+    next_id = _next_id(pool)
+    trace_steps = []
+    for i in range(steps):
+        added = _fresh_tables(pool, rng, wave, next_id, (16, 32, 64))
+        next_id += len(added)
+        ids = sorted(t.table_id for t in current)
+        removable = min(wave, max(len(ids) - 1, 0))
+        retired = tuple(ids[:removable])  # oldest ids retire first
+        current = [t for t in current if t.table_id not in set(retired)]
+        current.extend(added)
+        trace_steps.append(
+            TraceStep(
+                timestamp=float(i + 1),
+                delta=WorkloadDelta(
+                    add_tables=added, remove_table_ids=retired
+                ),
+                label=f"wave {i + 1}",
+            )
+        )
+    return WorkloadTrace(
+        name="table_churn",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="model-iteration waves: tables onboard and retire every step",
+    )
+
+
+@register_scenario(
+    "dim_migration",
+    description="an embedding-dimension upgrade rolled out in batches",
+    tags=("churn", "capacity"),
+    default_steps=6,
+)
+def _dim_migration(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 22,
+    steps: int = 6,
+    seed: int = 0,
+    max_dim: int = 64,
+) -> WorkloadTrace:
+    """Dimension migration: batches of tables double their embedding dim."""
+    _require_steps(steps, 2, "dim_migration")
+    rng = np.random.default_rng(seed)
+    # Start low-dimensional and headroomy: the rollout doubles sizes.
+    base = _base_workload(
+        pool, rng, num_tables, num_devices, memory_bytes,
+        dims=(16, 32), utilization=0.35,
+    )
+    current = {t.table_id: t for t in base}
+    order = sorted(current)  # deterministic rollout order
+    batches = [order[i::steps] for i in range(steps)]
+    trace_steps = []
+    for i, batch in enumerate(batches):
+        upgraded = tuple(
+            current[tid].with_dim(min(current[tid].dim * 2, max_dim))
+            for tid in batch
+            if current[tid].dim < max_dim
+        )
+        for t in upgraded:
+            current[t.table_id] = t
+        delta = rebuild_delta(upgraded) if upgraded else WorkloadDelta()
+        trace_steps.append(
+            TraceStep(
+                timestamp=float(i + 1),
+                delta=delta,
+                label=f"batch {i + 1} ({len(upgraded)} tables)",
+            )
+        )
+    return WorkloadTrace(
+        name="dim_migration",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="an embedding-dimension upgrade rolled out in batches",
+    )
+
+
+@register_scenario(
+    "skew_drift",
+    description="access skew flattens step over step until drift triggers",
+    tags=("skew", "drift"),
+    default_steps=6,
+)
+def _skew_drift(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 24,
+    steps: int = 6,
+    seed: int = 0,
+    final_alpha_factor: float = 0.55,
+) -> WorkloadTrace:
+    """Skew drift: every table's Zipf exponent decays toward flat access."""
+    _require_steps(steps, 2, "skew_drift")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(pool, rng, num_tables, num_devices, memory_bytes)
+    original = {t.table_id: t for t in base}
+    trace_steps = []
+    for i in range(steps):
+        frac = (i + 1) / steps
+        factor = 1.0 + (final_alpha_factor - 1.0) * frac
+        updates = tuple(
+            dataclasses.replace(
+                t, zipf_alpha=round(t.zipf_alpha * factor, 6)
+            )
+            for t in original.values()
+        )
+        last = i == steps - 1
+        # The drift monitor's rolling MSE crosses its threshold on the
+        # final step (synthetic but deterministic evidence trail).
+        drift = DriftReport(
+            probe_mse=round(0.2 + 1.6 * frac, 4),
+            rolling_mse=round(0.2 + 1.1 * frac, 4),
+            needs_retraining=last,
+        )
+        trace_steps.append(
+            TraceStep(
+                timestamp=float(i + 1),
+                delta=WorkloadDelta(update_stats=updates, drift=drift),
+                label=f"alpha x{factor:.2f}" + (" [drift]" if last else ""),
+            )
+        )
+    return WorkloadTrace(
+        name="skew_drift",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="access skew flattens step over step until drift triggers",
+    )
+
+
+@register_scenario(
+    "multi_tenant",
+    description="a second tenant onboards, both peak, the first retires",
+    tags=("churn", "load"),
+    default_steps=8,
+)
+def _multi_tenant(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 20,
+    steps: int = 8,
+    seed: int = 0,
+    tenant_b_tables: int | None = None,
+) -> WorkloadTrace:
+    """Multi-tenant contention: tenant B grows onto tenant A's cluster."""
+    _require_steps(steps, 6, "multi_tenant")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(
+        pool, rng, num_tables, num_devices, memory_bytes, utilization=0.35
+    )
+    tenant_a_ids = sorted(t.table_id for t in base)
+    b_total = tenant_b_tables if tenant_b_tables is not None else max(
+        4, len(base) // 2
+    )
+    next_id = _next_id(pool)
+    onboard_steps = 3
+    waves = [
+        b_total // onboard_steps + (1 if i < b_total % onboard_steps else 0)
+        for i in range(onboard_steps)
+    ]
+    trace_steps = []
+    retired_so_far = 0
+    for i in range(steps):
+        if i < onboard_steps:
+            added = _fresh_tables(pool, rng, waves[i], next_id, (16, 32))
+            next_id += len(added)
+            trace_steps.append(
+                TraceStep(
+                    timestamp=float(i + 1),
+                    delta=WorkloadDelta(add_tables=added),
+                    traffic_multiplier=round(1.0 + 0.2 * (i + 1), 3),
+                    label=f"tenant B wave {i + 1}",
+                )
+            )
+        elif i < steps - 2:
+            trace_steps.append(
+                TraceStep(
+                    timestamp=float(i + 1),
+                    traffic_multiplier=1.8,
+                    label="both tenants peak",
+                )
+            )
+        else:
+            # Tenant A winds down: retire a quarter of its tables per step.
+            quota = max(1, len(tenant_a_ids) // 4)
+            retire = tuple(
+                tenant_a_ids[retired_so_far : retired_so_far + quota]
+            )
+            retired_so_far += len(retire)
+            trace_steps.append(
+                TraceStep(
+                    timestamp=float(i + 1),
+                    delta=WorkloadDelta(remove_table_ids=retire),
+                    traffic_multiplier=1.2,
+                    label=f"tenant A retires {len(retire)}",
+                )
+            )
+    return WorkloadTrace(
+        name="multi_tenant",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="a second tenant onboards, both peak, the first retires",
+    )
+
+
+@register_scenario(
+    "device_degradation",
+    description="per-device memory shrinks in stages, then recovers",
+    tags=("capacity", "hardware"),
+    default_steps=5,
+)
+def _device_degradation(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 24,
+    steps: int = 5,
+    seed: int = 0,
+    worst_scale: float = 0.7,
+) -> WorkloadTrace:
+    """Device degradation: the memory budget steps down, holds, recovers."""
+    _require_steps(steps, 4, "device_degradation")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(
+        pool, rng, num_tables, num_devices, memory_bytes, utilization=0.5
+    )
+    # Degrade over the first steps, hold, recover on the last step.
+    degrade_steps = steps - 2
+    scales = [
+        round(1.0 + (worst_scale - 1.0) * (i + 1) / degrade_steps, 3)
+        for i in range(degrade_steps)
+    ]
+    scales += [scales[-1], 1.0]
+    labels = [f"degrade to {s:.0%}" for s in scales[:degrade_steps]]
+    labels += ["holding", "capacity restored"]
+    trace_steps = [
+        TraceStep(
+            timestamp=float(i + 1),
+            memory_scale=scales[i],
+            traffic_multiplier=1.0,
+            label=labels[i],
+        )
+        for i in range(steps)
+    ]
+    return WorkloadTrace(
+        name="device_degradation",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="per-device memory shrinks in stages, then recovers",
+    )
+
+
+@register_scenario(
+    "capacity_crunch",
+    description="steady growth pushes utilization toward the feasibility edge",
+    tags=("capacity", "churn"),
+    default_steps=6,
+)
+def _capacity_crunch(
+    pool: TablePool,
+    *,
+    num_devices: int = 4,
+    memory_bytes: int = DEFAULT_MEMORY_BYTES,
+    num_tables: int = 20,
+    steps: int = 6,
+    seed: int = 0,
+    target_utilization: float = 0.88,
+) -> WorkloadTrace:
+    """Capacity crunch: each step adds big tables until memory nearly binds."""
+    _require_steps(steps, 2, "capacity_crunch")
+    rng = np.random.default_rng(seed)
+    base = _base_workload(
+        pool, rng, num_tables, num_devices, memory_bytes, utilization=0.5
+    )
+    aggregate = memory_bytes * num_devices
+    used = sum(t.size_bytes for t in base)
+    next_id = _next_id(pool)
+    per_step_budget = (target_utilization * aggregate - used) / steps
+    trace_steps = []
+    for i in range(steps):
+        added: list[TableConfig] = []
+        step_bytes = 0
+        # Draw large-dim candidates until the step's growth budget fills.
+        for _ in range(16):
+            candidate = _fresh_tables(pool, rng, 1, next_id, (64, 128))[0]
+            if step_bytes + candidate.size_bytes > per_step_budget:
+                continue
+            next_id += 1
+            added.append(candidate)
+            step_bytes += candidate.size_bytes
+        used += step_bytes
+        trace_steps.append(
+            TraceStep(
+                timestamp=float(i + 1),
+                delta=WorkloadDelta(add_tables=tuple(added)),
+                label=(
+                    f"+{step_bytes / 1e6:.0f} MB "
+                    f"({used / aggregate:.0%} full)"
+                ),
+            )
+        )
+    return WorkloadTrace(
+        name="capacity_crunch",
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory_bytes,
+        initial_tables=tuple(base),
+        steps=tuple(trace_steps),
+        description="steady growth pushes utilization toward the feasibility edge",
+    )

@@ -1,0 +1,156 @@
+"""The scenario registry: one namespace for every workload scenario.
+
+The strategy registry (:mod:`repro.api.registry`) made *algorithms*
+pluggable; this registry does the same for *workloads*.  Every
+production-inspired scenario — diurnal load swings, flash crowds, table
+churn, capacity crunches — registers a *generator* under a short name.  A
+generator builds a deterministic :class:`~repro.scenarios.trace
+.WorkloadTrace` from a table pool plus scenario-specific keyword
+arguments; the same ``(pool, seed, kwargs)`` always yields a
+byte-identical trace.
+
+Call :func:`make_trace` to build by name, or replay straight through the
+lifecycle service with
+:func:`repro.evaluation.production.replay_workload_trace`.
+
+Registering a new scenario is one decorator::
+
+    @register_scenario(
+        "my_regime",
+        description="what the workload does",
+        tags=("load",),
+    )
+    def _make_my_regime(pool, *, num_devices=4, seed=0, **kwargs):
+        return WorkloadTrace(...)
+
+The built-in registrations live in :mod:`repro.scenarios.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.data.pool import TablePool
+from repro.scenarios.trace import WorkloadTrace
+
+__all__ = [
+    "ScenarioInfo",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "iter_scenarios",
+    "make_trace",
+    "register_scenario",
+    "scenario_info",
+]
+
+#: Generator signature: ``(pool, **kwargs) -> WorkloadTrace``.
+ScenarioFactory = Callable[..., WorkloadTrace]
+
+
+class UnknownScenarioError(ValueError):
+    """Raised when a scenario name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Registry record of one workload scenario.
+
+    Attributes:
+        name: canonical registry name.
+        factory: builds the trace from ``(pool, **kwargs)``.
+        description: one-line summary for listings and docs.
+        tags: free-form facets (``"load"``, ``"churn"``, ``"capacity"``,
+            ...) for filtering.
+        default_steps: step count the generator produces when the caller
+            does not override ``steps=`` (shown in listings).
+    """
+
+    name: str
+    factory: ScenarioFactory
+    description: str
+    tags: tuple[str, ...] = ()
+    default_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            raise ValueError(f"scenario {self.name!r} needs a description")
+
+
+_REGISTRY: dict[str, ScenarioInfo] = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    description: str,
+    tags: tuple[str, ...] = (),
+    default_steps: int = 0,
+) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Decorator registering a trace generator under ``name``.
+
+    Raises:
+        ValueError: on a duplicate name or an empty description.
+    """
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        """Record ``factory`` in the registry."""
+        if name in _REGISTRY:
+            raise ValueError(f"scenario name {name!r} already registered")
+        _REGISTRY[name] = ScenarioInfo(
+            name=name,
+            factory=factory,
+            description=description,
+            tags=tuple(tags),
+            default_steps=default_steps,
+        )
+        return factory
+
+    return decorator
+
+
+def scenario_info(name: str) -> ScenarioInfo:
+    """Look up a scenario record.
+
+    Raises:
+        UnknownScenarioError: when the name is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownScenarioError(
+            f"unknown workload scenario {name!r}; available scenarios: {known}"
+        ) from None
+
+
+def available_scenarios(tag: str | None = None) -> list[str]:
+    """Sorted scenario names, optionally filtered by tag."""
+    return sorted(
+        info.name
+        for info in _REGISTRY.values()
+        if tag is None or tag in info.tags
+    )
+
+
+def iter_scenarios() -> Iterator[ScenarioInfo]:
+    """All registered scenarios in name order."""
+    for name in available_scenarios():
+        yield _REGISTRY[name]
+
+
+def make_trace(name: str, pool: TablePool, **kwargs: Any) -> WorkloadTrace:
+    """Build the workload trace registered under ``name``.
+
+    Args:
+        name: a registry name (see :func:`available_scenarios`).
+        pool: the table pool the scenario samples its workload from.
+        **kwargs: scenario knobs forwarded to the generator; all built-in
+            scenarios accept ``num_devices``, ``memory_bytes``,
+            ``num_tables``, ``steps`` and ``seed``.
+
+    Raises:
+        UnknownScenarioError: when ``name`` is not registered.
+    """
+    info = scenario_info(name)
+    return info.factory(pool, **kwargs)

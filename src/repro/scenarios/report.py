@@ -1,0 +1,326 @@
+"""Scenario replay reports: what a trace did to the lifecycle service.
+
+:func:`repro.evaluation.production.replay_workload_trace` turns a
+:class:`~repro.scenarios.trace.WorkloadTrace` plus an engine into a
+:class:`ScenarioReport` — one :class:`ScenarioStepMetrics` row per step
+(the initial plan is row 0) recording the serving cost under that step's
+traffic, the migration the applied plan paid, whether the budget bound
+the choice, and the always-evaluated re-shard-from-scratch counterfactual.
+
+Everything in a report is deterministic (costs come from the cost-model
+simulator, never wall clocks), so same seed ⇒ byte-identical report JSON
+— which is what the committed ``benchmarks/results/scenario_*.txt``
+artifacts and the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.api.schema import SCHEMA_VERSION, _check_version
+
+__all__ = ["ScenarioReport", "ScenarioStepMetrics", "format_scenario_report"]
+
+
+def _to_finite(value: float) -> float | None:
+    """JSON-safe float: non-finite values become ``None``."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _from_finite(value: float | None) -> float:
+    return math.nan if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class ScenarioStepMetrics:
+    """One replayed step of a scenario (step 0 is the initial plan).
+
+    Attributes:
+        step: 0-based replay position (0 = initial plan + apply).
+        timestamp: the trace step's timestamp (0.0 for step 0).
+        label: the trace step's annotation.
+        resharded: the step went through the reshard path (non-empty
+            delta or a memory change) rather than re-scoring only.
+        feasible: the step left the deployment with an applicable plan
+            (an infeasible reshard keeps the previous plan serving).
+        chosen: ``"plan"`` (step 0), ``"hold"`` (no reshard needed),
+            ``"incremental"``, ``"full"``, or ``"none"`` (infeasible).
+        num_tables: logical tables after the step (column shards of one
+            table count once).
+        num_shards: physical shards the applied plan places.
+        traffic_multiplier: the step's load factor.
+        memory_bytes: per-device budget in effect at the step.
+        plan_cost_ms: the applied plan's simulated cost at planned
+            (multiplier 1.0) load.
+        serving_cost_ms: the applied plan's simulated cost under the
+            step's traffic multiplier.
+        moved_mb: megabytes of surviving shards this step moved.
+        migration_ms: priced migration wall-clock of this step's change.
+        within_budget: this step's migration respected the budget.
+        budget_bound: the migration budget constrained this step — the
+            applied candidate exceeded it (nothing fit) or the
+            from-scratch candidate was priced out.
+        scratch_cost_ms / scratch_moved_mb / scratch_migration_ms: the
+            re-shard-from-scratch counterfactual evaluated from the same
+            applied state (``nan``/0 when not evaluated).
+        cumulative_moved_mb / cumulative_scratch_moved_mb: running totals
+            of both migration columns.
+    """
+
+    step: int
+    timestamp: float
+    label: str
+    resharded: bool
+    feasible: bool
+    chosen: str
+    num_tables: int
+    num_shards: int
+    traffic_multiplier: float
+    memory_bytes: int
+    plan_cost_ms: float
+    serving_cost_ms: float
+    moved_mb: float
+    migration_ms: float
+    within_budget: bool
+    budget_bound: bool
+    scratch_cost_ms: float
+    scratch_moved_mb: float
+    scratch_migration_ms: float
+    cumulative_moved_mb: float
+    cumulative_scratch_moved_mb: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "step": int(self.step),
+            "timestamp": float(self.timestamp),
+            "label": self.label,
+            "resharded": bool(self.resharded),
+            "feasible": bool(self.feasible),
+            "chosen": self.chosen,
+            "num_tables": int(self.num_tables),
+            "num_shards": int(self.num_shards),
+            "traffic_multiplier": float(self.traffic_multiplier),
+            "memory_bytes": int(self.memory_bytes),
+            "plan_cost_ms": _to_finite(self.plan_cost_ms),
+            "serving_cost_ms": _to_finite(self.serving_cost_ms),
+            "moved_mb": float(self.moved_mb),
+            "migration_ms": float(self.migration_ms),
+            "within_budget": bool(self.within_budget),
+            "budget_bound": bool(self.budget_bound),
+            "scratch_cost_ms": _to_finite(self.scratch_cost_ms),
+            "scratch_moved_mb": float(self.scratch_moved_mb),
+            "scratch_migration_ms": _to_finite(self.scratch_migration_ms),
+            "cumulative_moved_mb": float(self.cumulative_moved_mb),
+            "cumulative_scratch_moved_mb": float(
+                self.cumulative_scratch_moved_mb
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioStepMetrics":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "scenario step metrics")
+        return cls(
+            step=int(data["step"]),
+            timestamp=float(data["timestamp"]),
+            label=str(data.get("label", "")),
+            resharded=bool(data["resharded"]),
+            feasible=bool(data["feasible"]),
+            chosen=str(data["chosen"]),
+            num_tables=int(data["num_tables"]),
+            num_shards=int(data["num_shards"]),
+            traffic_multiplier=float(data["traffic_multiplier"]),
+            memory_bytes=int(data["memory_bytes"]),
+            plan_cost_ms=_from_finite(data.get("plan_cost_ms")),
+            serving_cost_ms=_from_finite(data.get("serving_cost_ms")),
+            moved_mb=float(data["moved_mb"]),
+            migration_ms=float(data["migration_ms"]),
+            within_budget=bool(data["within_budget"]),
+            budget_bound=bool(data["budget_bound"]),
+            scratch_cost_ms=_from_finite(data.get("scratch_cost_ms")),
+            scratch_moved_mb=float(data.get("scratch_moved_mb", 0.0)),
+            scratch_migration_ms=_from_finite(data.get("scratch_migration_ms")),
+            cumulative_moved_mb=float(data["cumulative_moved_mb"]),
+            cumulative_scratch_moved_mb=float(
+                data["cumulative_scratch_moved_mb"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Replay outcome of one workload trace through the lifecycle service.
+
+    Attributes:
+        scenario: registry name of the scenario (the trace's ``name``).
+        seed: the trace generator's seed.
+        num_devices: cluster size the replay ran on.
+        memory_bytes: the trace's base per-device budget.
+        strategy: full-search strategy used (``None`` = engine default).
+        reshard_config: the :class:`~repro.api.reshard.ReshardConfig`
+            knobs the replay ran under, as a plain dictionary.
+        steps: per-step metrics, step 0 first.
+    """
+
+    scenario: str
+    seed: int
+    num_devices: int
+    memory_bytes: int
+    strategy: str | None
+    reshard_config: Mapping[str, Any]
+    steps: tuple[ScenarioStepMetrics, ...]
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Total rows, the initial plan included."""
+        return len(self.steps)
+
+    @property
+    def num_reshard_steps(self) -> int:
+        """Rows that went through the reshard path."""
+        return sum(1 for s in self.steps if s.resharded)
+
+    @property
+    def infeasible_rate(self) -> float:
+        """Fraction of reshard steps that found no applicable plan."""
+        reshards = [s for s in self.steps if s.resharded]
+        if not reshards:
+            return 0.0
+        return sum(1 for s in reshards if not s.feasible) / len(reshards)
+
+    @property
+    def budget_bound_rate(self) -> float:
+        """Fraction of reshard steps where the migration budget bound."""
+        reshards = [s for s in self.steps if s.resharded]
+        if not reshards:
+            return 0.0
+        return sum(1 for s in reshards if s.budget_bound) / len(reshards)
+
+    @property
+    def total_moved_mb(self) -> float:
+        """Megabytes of surviving shards the whole replay moved."""
+        return self.steps[-1].cumulative_moved_mb if self.steps else 0.0
+
+    @property
+    def total_scratch_moved_mb(self) -> float:
+        """The re-shard-from-scratch counterfactual's cumulative total."""
+        return (
+            self.steps[-1].cumulative_scratch_moved_mb if self.steps else 0.0
+        )
+
+    @property
+    def mean_serving_cost_ms(self) -> float:
+        """Mean per-step serving cost over steps with a finite cost."""
+        costs = [
+            s.serving_cost_ms
+            for s in self.steps
+            if math.isfinite(s.serving_cost_ms)
+        ]
+        return sum(costs) / len(costs) if costs else math.nan
+
+    @property
+    def peak_serving_cost_ms(self) -> float:
+        """Worst per-step serving cost over the replay."""
+        costs = [
+            s.serving_cost_ms
+            for s in self.steps
+            if math.isfinite(s.serving_cost_ms)
+        ]
+        return max(costs) if costs else math.nan
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a versioned, JSON-compatible dictionary."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "seed": int(self.seed),
+            "num_devices": int(self.num_devices),
+            "memory_bytes": int(self.memory_bytes),
+            "strategy": self.strategy,
+            "reshard_config": dict(self.reshard_config),
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioReport":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        _check_version(data, "scenario report")
+        return cls(
+            scenario=str(data["scenario"]),
+            seed=int(data["seed"]),
+            num_devices=int(data["num_devices"]),
+            memory_bytes=int(data["memory_bytes"]),
+            strategy=data.get("strategy"),
+            reshard_config=dict(data.get("reshard_config", {})),
+            steps=tuple(
+                ScenarioStepMetrics.from_dict(s) for s in data.get("steps", ())
+            ),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """One-row aggregate view (CLI ``scenario compare``, benchmarks)."""
+        return {
+            "scenario": self.scenario,
+            "steps": self.num_steps,
+            "reshards": self.num_reshard_steps,
+            "infeasible_rate": self.infeasible_rate,
+            "budget_bound_rate": self.budget_bound_rate,
+            "total_moved_mb": self.total_moved_mb,
+            "total_scratch_moved_mb": self.total_scratch_moved_mb,
+            "mean_serving_cost_ms": self.mean_serving_cost_ms,
+            "peak_serving_cost_ms": self.peak_serving_cost_ms,
+        }
+
+
+def format_scenario_report(report: ScenarioReport) -> str:
+    """Render a report as the paper-style text table the benchmarks commit."""
+    from repro.evaluation.reporting import format_text_table
+
+    rows = []
+    for s in report.steps:
+        rows.append(
+            [
+                s.step,
+                s.label or "-",
+                s.num_tables,
+                f"{s.traffic_multiplier:.2f}x",
+                s.chosen,
+                f"{s.serving_cost_ms:.3f}" if math.isfinite(s.serving_cost_ms) else "-",
+                f"{s.moved_mb:.1f}",
+                f"{s.scratch_moved_mb:.1f}",
+                "yes" if s.budget_bound else "no",
+            ]
+        )
+    title = (
+        f"scenario {report.scenario} (seed {report.seed}, "
+        f"{report.num_devices} devices): cumulative moved "
+        f"{report.total_moved_mb:.1f} MB vs {report.total_scratch_moved_mb:.1f} MB "
+        f"from scratch, infeasible rate {report.infeasible_rate:.2f}"
+    )
+    return format_text_table(
+        [
+            "step",
+            "label",
+            "tables",
+            "traffic",
+            "chosen",
+            "serve cost (ms)",
+            "moved (MB)",
+            "scratch (MB)",
+            "budget-bound",
+        ],
+        rows,
+        title=title,
+    )

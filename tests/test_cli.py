@@ -390,3 +390,74 @@ class TestFailingTaskIdsOnStderr:
                      bundle_dir])
         assert code == EXIT_ALL_INFEASIBLE
         assert "failing tasks" in capsys.readouterr().err
+
+
+class TestScenarioCommand:
+    @pytest.fixture()
+    def bundle_dir(self, tmp_path, tiny_bundle):
+        path = tmp_path / "bundle"
+        tiny_bundle.save(path)
+        return str(path)
+
+    def test_scenario_args_parse(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "flash_crowd", "/tmp/b", "--steps", "5",
+             "--budget-ms", "2000", "--tables", "8", "--pool-seed", "2023"]
+        )
+        assert args.command == "scenario"
+        assert args.action == "run"
+        assert args.name == "flash_crowd"
+        assert args.steps == 5
+        assert args.budget_ms == 2000.0
+        assert args.pool_seed == 2023
+
+    def test_scenario_compare_args_parse(self):
+        args = build_parser().parse_args(
+            ["scenario", "compare", "diurnal", "table_churn", "/tmp/b"]
+        )
+        assert args.names == ["diurnal", "table_churn"]
+
+    def test_list_shows_the_whole_atlas(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("diurnal", "flash_crowd", "table_churn", "dim_migration",
+                     "skew_drift", "multi_tenant", "device_degradation",
+                     "capacity_crunch"):
+            assert name in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["scenario", "list", "--tag", "capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity_crunch" in out
+        assert "diurnal" not in out
+
+    def test_unknown_scenario_is_clean_error(
+        self, bundle_dir, capsys
+    ):
+        assert main(["scenario", "run", "quantum", bundle_dir]) == 1
+        err = capsys.readouterr().err
+        assert "quantum" in err
+        assert "available scenarios" in err
+
+    def test_run_writes_report_and_trace_json(
+        self, tmp_path, bundle_dir, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "scenario", "run", "flash_crowd", bundle_dir,
+            "--tables", "8", "--steps", "5", "--budget-ms", "2000",
+            "--refine-steps", "4",
+            "--output", str(report_path),
+            "--trace-output", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flash_crowd" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["scenario"] == "flash_crowd"
+        assert len(report["steps"]) == 6  # 5 trace steps + the initial plan
+        trace = json.loads(trace_path.read_text())
+        assert trace["name"] == "flash_crowd"
+        assert len(trace["steps"]) == 5

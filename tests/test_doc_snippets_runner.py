@@ -1,0 +1,74 @@
+"""Tests for tools/run_doc_snippets.py (the executable-docs contract)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "run_doc_snippets",
+    Path(__file__).parent.parent / "tools" / "run_doc_snippets.py",
+)
+runner = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(runner)
+
+
+class TestExtractBlocks:
+    def test_extracts_python_blocks_with_line_numbers(self):
+        text = "# Title\n\n```python\nx = 1\n```\n\n```bash\nls\n```\n"
+        blocks = runner.extract_blocks(text)
+        assert len(blocks) == 1
+        line, info, source = blocks[0]
+        assert line == 3
+        assert info == ""
+        assert source == "x = 1\n"
+
+    def test_no_run_marker_preserved(self):
+        text = "```python no-run\nraise RuntimeError\n```\n"
+        [(_, info, _)] = runner.extract_blocks(text)
+        assert "no-run" in info.split()
+
+    def test_list_nested_blocks_dedented(self):
+        text = "- item:\n\n  ```python\n  x = 1\n  y = x\n  ```\n"
+        [(_, _, source)] = runner.extract_blocks(text)
+        assert source == "x = 1\ny = x\n"
+
+
+class TestRunFile:
+    def test_blocks_share_a_namespace(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```python\nx = 2\n```\n\n```python\nassert x == 2\n```\n")
+        run, skipped = runner.run_file(doc, verbose=False)
+        assert (run, skipped) == (2, 0)
+
+    def test_no_run_blocks_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```python no-run\nraise RuntimeError('never')\n```\n")
+        assert runner.run_file(doc, verbose=False) == (0, 1)
+
+    def test_failing_block_raises(self, tmp_path, capsys):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```python\nboom()\n```\n")
+        with pytest.raises(runner.SnippetError):
+            runner.run_file(doc, verbose=False)
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_sys_exit_zero_is_a_failure(self, tmp_path, capsys):
+        """sys.exit(0) must not end the run green with blocks unexecuted."""
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```python\nimport sys\nsys.exit(0)\n```\n\n"
+            "```python\nnever_reached\n```\n"
+        )
+        with pytest.raises(runner.SnippetError):
+            runner.run_file(doc, verbose=False)
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_main_runs_repo_docs_headless(self, capsys):
+        """The committed docs themselves execute green (the CI contract)."""
+        # Scoped to architecture.md: cheap (no pretraining) but real.
+        path = Path(__file__).parent.parent / "docs" / "architecture.md"
+        assert runner.main(["-q", str(path)]) == 0
+        assert "all green" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Execute every fenced ``python`` block in the docs — so they cannot rot.
+
+The documentation under ``docs/`` is a contract: every fenced code block
+tagged ``python`` must run, unmodified, against the current code.  This
+extractor walks the given markdown files (default: every ``*.md`` under
+``docs/``), pulls the fenced blocks out, and executes them top to bottom.
+
+Execution model:
+
+- blocks within one file share a namespace, in document order — a recipe
+  can build on the previous one exactly as a reader would in a REPL;
+- each file starts from a fresh namespace and runs inside its own
+  temporary working directory, so snippets may write files ("bundles/",
+  "deployments/") without littering the repository;
+- a block tagged ``python no-run`` is skipped (illustrative fragments);
+  everything else tagged ``python`` runs;
+- the first failing block aborts with the file, the markdown line number
+  of the fence, and the traceback — exit status 1 (0 when everything
+  passes).
+
+Usage::
+
+    python tools/run_doc_snippets.py              # docs/*.md
+    python tools/run_doc_snippets.py docs/cookbook.md README.md
+
+CI runs this headless in the ``docs-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+import time
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _display(path: Path) -> str:
+    """Repo-relative when possible, absolute otherwise (files elsewhere)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+#: ```python [marker...]\n ... \n``` — tolerates indentation inside lists.
+_FENCE = re.compile(
+    r"^(?P<indent>[ \t]*)```python(?P<info>[^\n`]*)\n"
+    r"(?P<body>.*?)"
+    r"^(?P=indent)```[ \t]*$",
+    re.DOTALL | re.MULTILINE,
+)
+
+
+def extract_blocks(text: str) -> list[tuple[int, str, str]]:
+    """``(fence_line_number, info_string, source)`` per ``python`` block."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        indent = match.group("indent")
+        body = match.group("body")
+        if indent:  # de-indent blocks nested in markdown lists
+            body = re.sub(rf"^{indent}", "", body, flags=re.MULTILINE)
+        blocks.append((line, match.group("info").strip(), body))
+    return blocks
+
+
+def run_file(path: Path, verbose: bool = True) -> tuple[int, int]:
+    """Execute one markdown file's blocks; returns (run, skipped).
+
+    Raises:
+        SnippetError: when a block fails (carries the report already
+            printed).
+    """
+    text = path.read_text(encoding="utf-8")
+    blocks = extract_blocks(text)
+    namespace: dict = {"__name__": f"doc_snippet_{path.stem}"}
+    run = skipped = 0
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix=f"docs-{path.stem}-") as workdir:
+        os.chdir(workdir)
+        try:
+            for line, info, source in blocks:
+                if "no-run" in info.split():
+                    skipped += 1
+                    continue
+                label = f"{_display(path)}:{line}"
+                started = time.perf_counter()
+                try:
+                    code = compile(source, str(label), "exec")
+                    exec(code, namespace)  # noqa: S102 — the whole point
+                # SystemExit included: a block calling sys.exit() —
+                # even with status 0 — would otherwise terminate the
+                # runner green and silently skip every remaining block.
+                except (Exception, SystemExit):
+                    print(f"FAIL {label}")
+                    print("----- block -----")
+                    print(source.rstrip())
+                    print("----- traceback -----")
+                    traceback.print_exc()
+                    raise SnippetError(label) from None
+                run += 1
+                if verbose:
+                    print(
+                        f"  ok {label} ({time.perf_counter() - started:.1f}s)"
+                    )
+        finally:
+            os.chdir(cwd)
+    return run, skipped
+
+
+class SnippetError(Exception):
+    """A documentation block failed to execute."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="execute every fenced python block in the given "
+        "markdown files (default: docs/*.md)"
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="markdown files or directories (default: docs/)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only report failures and the summary",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    roots = [Path(p) for p in args.paths] or [REPO_ROOT / "docs"]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"error: {root} does not exist", file=sys.stderr)
+            return 1
+    if not files:
+        print("error: no markdown files found", file=sys.stderr)
+        return 1
+
+    total_run = total_skipped = 0
+    for path in files:
+        path = path.resolve()
+        if not args.quiet:
+            print(f"{_display(path)}:")
+        try:
+            run, skipped = run_file(path, verbose=not args.quiet)
+        except SnippetError:
+            return 1
+        total_run += run
+        total_skipped += skipped
+    print(
+        f"{total_run} block(s) executed, {total_skipped} skipped, "
+        f"across {len(files)} file(s): all green"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
