@@ -65,6 +65,7 @@ from repro.api.schema import (
     PlanOverTables,
     ShardingRequest,
     ShardingResponse,
+    check_version,
     plan_from_dict,
     plan_to_dict,
 )
@@ -80,6 +81,7 @@ from repro.api.reshard import (
 from repro.api.service import (
     DeploymentNotFoundError,
     PlanRecord,
+    PlanValidationError,
     ShardingService,
 )
 from repro.api.server import ShardingHTTPServer, serve
@@ -94,6 +96,7 @@ __all__ = [
     "PlanOverTables",
     "PlanRecord",
     "PlanStore",
+    "PlanValidationError",
     "ReshardConfig",
     "ReshardResult",
     "ShardChange",
@@ -108,6 +111,7 @@ __all__ = [
     "WorkloadDelta",
     "all_names",
     "available_strategies",
+    "check_version",
     "incremental_reshard",
     "iter_strategies",
     "make_sharder",

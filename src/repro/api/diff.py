@@ -218,14 +218,16 @@ class PlanDiff:
         num_devices = new_plan.num_devices
         cost_model = cost_model or MigrationCostModel()
 
-        old_sharded = old_plan.sharded_tables(old_base_tables)
         new_sharded = new_plan.sharded_tables(new_base_tables)
 
-        # uid -> list of (occurrence, device, size) on the old side.
+        # uid -> list of (occurrence, device, size) on the old side —
+        # the shard-identity convention of ShardingPlan.shard_identities,
+        # shared with the validation layer.
         old_by_uid: dict[str, list[tuple[int, int, int]]] = {}
-        for table, device in zip(old_sharded, old_plan.assignment):
-            slots = old_by_uid.setdefault(table.uid, [])
-            slots.append((len(slots), device, table.size_bytes))
+        for uid, occurrence, device, size in old_plan.shard_identities(
+            old_base_tables
+        ):
+            old_by_uid.setdefault(uid, []).append((occurrence, device, size))
 
         moves: list[TableMove] = []
         created: list[ShardChange] = []

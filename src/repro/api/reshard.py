@@ -53,8 +53,49 @@ __all__ = [
     "ReshardConfig",
     "ReshardResult",
     "WorkloadDelta",
+    "apply_stats_updates",
     "incremental_reshard",
 ]
+
+
+def apply_stats_updates(
+    tables: Sequence[TableConfig], updates: Sequence[TableConfig]
+) -> tuple[TableConfig, ...]:
+    """Rewrite tables' access statistics in place (zero bytes moved).
+
+    Each update is matched by ``table_id`` and replaces only the
+    cost-statistics fields (``pooling_factor``, ``zipf_alpha``) of every
+    matching table — the stored weights (``dim``, ``hash_size``,
+    ``bytes_per_element``) are untouched, which is what makes a stats
+    update migration-free by construction.  Shared by the incremental
+    reshard (applying a :attr:`WorkloadDelta.update_stats`) and the
+    validation layer (recomputing transition diffs against the same
+    stat-updated base the reshard searched from).
+
+    Raises:
+        ValueError: when an update references a ``table_id`` absent from
+            ``tables``.
+    """
+    present = {t.table_id for t in tables}
+    missing = sorted(
+        t.table_id for t in updates if t.table_id not in present
+    )
+    if missing:
+        raise ValueError(
+            f"update_stats references table ids {missing} that are not "
+            "in the applied workload"
+        )
+    stats = {t.table_id: t for t in updates}
+    return tuple(
+        t
+        if t.table_id not in stats
+        else dataclasses.replace(
+            t,
+            pooling_factor=stats[t.table_id].pooling_factor,
+            zipf_alpha=stats[t.table_id].zipf_alpha,
+        )
+        for t in tables
+    )
 
 
 @dataclass(frozen=True)
@@ -487,25 +528,8 @@ def incremental_reshard(
     # unchanged, so the update itself moves no bytes — both candidates
     # are searched and priced against the stat-updated applied state.
     if delta.update_stats:
-        present = {t.table_id for t in applied_base_tables}
-        missing = sorted(
-            t.table_id for t in delta.update_stats if t.table_id not in present
-        )
-        if missing:
-            raise ValueError(
-                f"update_stats references table ids {missing} that are not "
-                "in the applied workload"
-            )
-        stats = {t.table_id: t for t in delta.update_stats}
-        applied_base_tables = tuple(
-            t
-            if t.table_id not in stats
-            else dataclasses.replace(
-                t,
-                pooling_factor=stats[t.table_id].pooling_factor,
-                zipf_alpha=stats[t.table_id].zipf_alpha,
-            )
-            for t in applied_base_tables
+        applied_base_tables = apply_stats_updates(
+            applied_base_tables, delta.update_stats
         )
 
     # The new task as the full search sees it: applied base tables minus

@@ -34,6 +34,7 @@ __all__ = [
     "PlanOverTables",
     "ShardingRequest",
     "ShardingResponse",
+    "check_version",
     "plan_from_dict",
     "plan_to_dict",
 ]
@@ -73,13 +74,23 @@ def plan_from_dict(data: Mapping[str, Any]) -> ShardingPlan:
     )
 
 
-def _check_version(data: Mapping[str, Any], kind: str) -> None:
+def check_version(data: Mapping[str, Any], kind: str) -> None:
+    """Reject a payload whose ``schema_version`` this code cannot read.
+
+    Raises:
+        ValueError: when the version tag is missing or differs from
+            :data:`SCHEMA_VERSION`.
+    """
     version = data.get("schema_version")
     if version != SCHEMA_VERSION:
         raise ValueError(
             f"{kind} payload has schema version {version!r}, this code "
             f"reads {SCHEMA_VERSION}"
         )
+
+
+#: Backward-compatible alias (pre-validation-layer internal name).
+_check_version = check_version
 
 
 def _to_finite(value: float) -> float | None:

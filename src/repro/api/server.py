@@ -18,6 +18,7 @@ Endpoints (all bodies and responses are JSON)::
     POST /v1/deployments                      create {name, tables, ...}
     GET  /v1/deployments/<name>/status
     GET  /v1/deployments/<name>/history
+    GET  /v1/deployments/<name>/validate      run the invariant suite
     POST /v1/deployments/<name>/plan          {strategy?, options?, request_id?}
     POST /v1/deployments/<name>/apply         {version?}
     POST /v1/deployments/<name>/reshard       {delta, config?, strategy?, apply?}
@@ -256,6 +257,9 @@ class _Handler(BaseHTTPRequestHandler):
         if match and match["verb"] == "history":
             self._guard(self._get_history, match["name"])
             return
+        if match and match["verb"] == "validate":
+            self._guard(self._get_validate, match["name"])
+            return
         self._send_error_json(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
@@ -307,6 +311,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_history(self, name: str) -> None:
         self._send_json(200, {"history": self.server.service.history(name)})
+
+    def _get_validate(self, name: str) -> None:
+        # Violations are reported in the body, not as an HTTP error:
+        # the validation *ran* successfully either way.
+        self._send_json(
+            200, self.server.service.validate_deployment(name).to_dict()
+        )
 
     # ------------------------------------------------------------------
     # POST routes

@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.diff import MigrationCostModel, PlanDiff
@@ -54,8 +54,18 @@ from repro.core.plan import ShardingPlan
 from repro.data.io import table_from_dict, table_to_dict
 from repro.data.table import TableConfig
 from repro.data.tasks import ShardingTask
+from repro.validation.invariants import (
+    PlanValidationError,
+    PlanValidator,
+    ValidationReport,
+)
 
-__all__ = ["DeploymentNotFoundError", "PlanRecord", "ShardingService"]
+__all__ = [
+    "DeploymentNotFoundError",
+    "PlanRecord",
+    "PlanValidationError",
+    "ShardingService",
+]
 
 
 class DeploymentNotFoundError(KeyError):
@@ -84,7 +94,12 @@ class PlanRecord:
         diff: shard-level difference against the plan that was applied
             when this record was created (``None`` for the first plan).
         metadata: free-form context (reshard objective, drift report,
-            migration budget, ...).
+            migration budget, the ``base_version`` the diff was computed
+            against, ...).
+        validation: the :class:`~repro.validation.invariants
+            .ValidationReport` of the invariant checks run on this record
+            (``None`` when the service validates nothing, or for records
+            written before the validation layer existed).
     """
 
     version: int
@@ -101,6 +116,7 @@ class PlanRecord:
     request_id: str = ""
     diff: PlanDiff | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+    validation: ValidationReport | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize to a versioned, JSON-compatible dictionary."""
@@ -124,6 +140,9 @@ class PlanRecord:
             "request_id": self.request_id,
             "diff": None if self.diff is None else self.diff.to_dict(),
             "metadata": dict(self.metadata),
+            "validation": (
+                None if self.validation is None else self.validation.to_dict()
+            ),
         }
 
     @classmethod
@@ -133,6 +152,7 @@ class PlanRecord:
         plan_data = data.get("plan")
         cost = data.get("simulated_cost_ms")
         diff_data = data.get("diff")
+        validation_data = data.get("validation")
         return cls(
             version=int(data["version"]),
             kind=str(data["kind"]),
@@ -152,6 +172,11 @@ class PlanRecord:
             request_id=str(data.get("request_id", "")),
             diff=None if diff_data is None else PlanDiff.from_dict(diff_data),
             metadata=dict(data.get("metadata", {})),
+            validation=(
+                None
+                if validation_data is None
+                else ValidationReport.from_dict(validation_data)
+            ),
         )
 
 
@@ -212,15 +237,41 @@ class ShardingService:
         store: persistence for deployment metadata, plan records and the
             applied stack; ``None`` keeps everything in memory (tests,
             notebooks).
+        validator: the invariant checker (a default-configured
+            :class:`~repro.validation.invariants.PlanValidator` when
+            omitted).
+        validate: run the validator on every lifecycle verb by default
+            (overridable per call).  ``plan``/``reshard`` *record* the
+            validation report on the produced record;
+            ``apply``/``reshard``-apply/``rollback`` additionally refuse
+            to change the live plan when a check fails (raising
+            :class:`~repro.validation.invariants.PlanValidationError`),
+            so an invariant-violating plan can be recorded and audited
+            but never serves traffic.
     """
 
-    def __init__(self, store: PlanStore | None = None) -> None:
+    def __init__(
+        self,
+        store: PlanStore | None = None,
+        validator: PlanValidator | None = None,
+        validate: bool = True,
+    ) -> None:
         self.store = store
+        self.validator = validator or PlanValidator()
+        self.validate_by_default = validate
         self._deployments: dict[str, _Deployment] = {}
         self._lock = threading.Lock()
         #: Deployments :meth:`open` left out (name -> reason), only
         #: populated with ``on_error="skip"``.
         self.skipped_deployments: dict[str, str] = {}
+        #: Corrupted-tail recoveries :meth:`open` performed
+        #: (deployment name -> notes), e.g. a torn plan-record file
+        #: dropped or an applied stack truncated to its last consistent
+        #: version.
+        self.recovery_notes: dict[str, list[str]] = {}
+
+    def _validating(self, override: bool | None) -> bool:
+        return self.validate_by_default if override is None else override
 
     # ------------------------------------------------------------------
     # deployment management
@@ -315,6 +366,14 @@ class ShardingService:
     ) -> "ShardingService":
         """Rebuild a service from a store.
 
+        Corrupted-tail recovery: a plan-record file that no longer
+        parses (a torn write from a pre-atomic store, disk corruption) is
+        dropped, and an applied stack referencing a missing or invalid
+        record is truncated to its longest consistent prefix — so the
+        service always comes back serving the **last consistent applied
+        version**.  Every such repair is recorded in
+        :attr:`recovery_notes`; a clean store produces none.
+
         Args:
             store: the persisted deployments.
             engine_factory: builds each deployment's engine from its
@@ -331,6 +390,7 @@ class ShardingService:
             raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
         service = cls(store)
         for name in store.names():
+            notes: list[str] = []
             try:
                 meta = store.load_meta(name)
                 _check_version(meta, "deployment metadata")
@@ -341,18 +401,51 @@ class ShardingService:
                     tuple(table_from_dict(t) for t in meta["tables"]),
                     int(meta["memory_bytes"]),
                 )
-                for data in store.load_records(name):
-                    record = PlanRecord.from_dict(data)
-                    deployment.records[record.version] = record
-                state = store.load_state(name)
-                stack = [int(v) for v in state.get("applied_stack", [])]
-                for version in stack:
-                    if version not in deployment.records:
-                        raise ValueError(
-                            f"deployment {name!r} state references missing "
-                            f"plan record v{version}"
+                stored_versions = store.versions(name)
+                for version in stored_versions:
+                    try:
+                        record = PlanRecord.from_dict(
+                            store.load_record(name, version)
                         )
-                deployment.applied_stack = stack
+                    except Exception as exc:  # noqa: BLE001 — corrupted tail
+                        notes.append(
+                            f"dropped unreadable plan record v{version} "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                        continue
+                    deployment.records[record.version] = record
+                # Version allocation must clear every *stored* version,
+                # readable or not: a dropped corrupt v<N> still occupies
+                # its file, and records are immutable — reusing N would
+                # wedge every future plan on FileExistsError.
+                deployment._version_counter = max(
+                    stored_versions, default=0
+                )
+                try:
+                    state = store.load_state(name)
+                except Exception as exc:  # noqa: BLE001 — corrupted tail
+                    notes.append(
+                        f"reset unreadable deployment state "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                    state = {}
+                stack = [int(v) for v in state.get("applied_stack", [])]
+                consistent: list[int] = []
+                for version in stack:
+                    record = deployment.records.get(version)
+                    if record is None or not record.feasible or record.plan is None:
+                        notes.append(
+                            f"truncated applied stack at v{version} "
+                            "(missing or invalid record); recovered to "
+                            + (
+                                f"v{consistent[-1]}"
+                                if consistent
+                                else "no applied version"
+                            )
+                        )
+                        break
+                    consistent.append(version)
+                deployment.applied_stack = consistent
                 # The budget the deployment actually runs under is
                 # mutable state: reshard(memory_bytes=...) may have
                 # changed it since the metadata snapshot at creation
@@ -372,6 +465,8 @@ class ShardingService:
                     raise
                 service.skipped_deployments[name] = f"{type(exc).__name__}: {exc}"
                 continue
+            if notes:
+                service.recovery_notes[name] = notes
             service._deployments[name] = deployment
         return service
 
@@ -396,6 +491,8 @@ class ShardingService:
         kind: str,
         diff: PlanDiff | None = None,
         metadata: Mapping[str, Any] | None = None,
+        applied: PlanRecord | None = None,
+        validate: bool | None = None,
     ) -> PlanRecord:
         record = PlanRecord(
             version=version,
@@ -415,9 +512,27 @@ class ShardingService:
             diff=diff,
             metadata=dict(metadata or {}),
         )
-        deployment.records[version] = record
+        if self._validating(validate):
+            # Record the verdict, do not gate: an invariant-violating
+            # plan may be recorded and audited — apply() is the gate
+            # that keeps it from serving traffic.
+            report = self.validator.validate_record(
+                record, subject=f"{deployment.name}/v{version}"
+            )
+            if (
+                applied is not None
+                and applied.plan is not None
+                and record.feasible
+            ):
+                report = report.merged(
+                    self.validator.validate_transition(applied, record)
+                )
+            record = replace(record, validation=report)
+        # Disk before memory: a crash mid-write must never leave the
+        # in-process service ahead of what a restart would recover.
         if self.store is not None:
             self.store.save_record(deployment.name, record.to_dict())
+        deployment.records[version] = record
         return record
 
     def plan(
@@ -426,10 +541,11 @@ class ShardingService:
         strategy: str | None = None,
         options: Mapping[str, Any] | None = None,
         request_id: str = "",
+        validate: bool | None = None,
     ) -> PlanRecord:
         """Compute (but do not apply) a new plan for the current workload."""
         return self.plan_batch(
-            name, [(strategy, options, request_id)]
+            name, [(strategy, options, request_id)], validate=validate
         )[0]
 
     def plan_batch(
@@ -439,6 +555,7 @@ class ShardingService:
             tuple[str | None, Mapping[str, Any] | None, str]
         ],
         max_workers: int | None = None,
+        validate: bool | None = None,
     ) -> list[PlanRecord]:
         """Compute several plans concurrently (the serving micro-batch path).
 
@@ -479,6 +596,11 @@ class ShardingService:
                 version = first_version + i
                 task = task_by_version[version]
                 diff = None
+                metadata: dict[str, Any] = {}
+                if applied is not None:
+                    # Anchor the diff (and its validation) to the base
+                    # it was computed against.
+                    metadata["base_version"] = applied.version
                 if (
                     applied is not None
                     and applied.plan is not None
@@ -496,22 +618,43 @@ class ShardingService:
                     )
                 records.append(
                     self._record_response(
-                        deployment, response, task, version, "plan", diff
+                        deployment,
+                        response,
+                        task,
+                        version,
+                        "plan",
+                        diff,
+                        metadata=metadata,
+                        applied=applied,
+                        validate=validate,
                     )
                 )
         return records
 
-    def apply(self, name: str, version: int | None = None) -> PlanRecord:
+    def apply(
+        self, name: str, version: int | None = None, validate: bool | None = None
+    ) -> PlanRecord:
         """Make a stored plan version the deployment's live plan.
+
+        With validation on (the default), the record's structural
+        invariants — and the conservation laws of the transition from the
+        currently applied plan — are checked *before* the stack moves: an
+        invariant-violating plan never goes live.
 
         Args:
             name: the deployment.
             version: the record to apply; defaults to the latest feasible
                 record.
+            validate: override the service's ``validate`` default.
+
+        Returns:
+            The applied record, byte-identical to how it was recorded
+            (its ``validation`` field is the creation-time report).
 
         Raises:
             ValueError: when the version is unknown, infeasible, or no
                 feasible record exists.
+            PlanValidationError: when validation finds a violation.
         """
         deployment = self._get(name)
         with deployment.lock:
@@ -538,18 +681,40 @@ class ShardingService:
                     f"plan record v{version} of deployment {name!r} is "
                     "infeasible and cannot be applied"
                 )
+            if self._validating(validate):
+                previous = deployment.applied_record
+                report = self.validator.validate_record(
+                    record, subject=f"{name}/v{version}"
+                )
+                if previous is not None and previous.plan is not None:
+                    report = report.merged(
+                        self.validator.validate_transition(previous, record)
+                    )
+                # Gate, but return the record unchanged: what apply hands
+                # back must be byte-identical to what was recorded.
+                report.raise_if_failed()
             deployment.applied_stack.append(version)
             self._persist_state(deployment)
             return record
 
-    def rollback(self, name: str) -> PlanRecord:
+    def rollback(self, name: str, validate: bool | None = None) -> PlanRecord:
         """Restore the previously applied plan version.
+
+        With validation on (the default), the record being restored is
+        checked for byte-identity against its stored serialization —
+        rollback replays history, it must never rewrite it — *before*
+        the stack moves.
+
+        Args:
+            name: the deployment.
+            validate: override the service's ``validate`` default.
 
         Returns:
             The record that is live after the rollback.
 
         Raises:
             ValueError: when fewer than two versions have been applied.
+            PlanValidationError: when validation finds a violation.
         """
         deployment = self._get(name)
         with deployment.lock:
@@ -558,10 +723,26 @@ class ShardingService:
                     f"deployment {name!r} has no earlier applied version to "
                     "roll back to"
                 )
+            target = deployment.applied_stack[-2]
+            record = deployment.records[target]
+            if self._validating(validate):
+                stored = None
+                if self.store is not None:
+                    try:
+                        stored = self.store.load_record(deployment.name, target)
+                    except Exception:  # noqa: BLE001 — missing/unreadable
+                        # Either way the file cannot vouch for the
+                        # record's bytes; the validator reports it.
+                        stored = {}
+                report = self.validator.validate_record(
+                    record, subject=f"{name}/v{target}"
+                ).merged(self.validator.validate_rollback(record, stored))
+                # Gate, but return the record unchanged: rollback must
+                # restore v{target} byte-identically, validation report
+                # included.
+                report.raise_if_failed()
             deployment.applied_stack.pop()
             self._persist_state(deployment)
-            record = deployment.applied_record
-            assert record is not None
             return record
 
     def reshard(
@@ -573,6 +754,7 @@ class ShardingService:
         apply: bool = True,
         request_id: str = "",
         memory_bytes: int | None = None,
+        validate: bool | None = None,
     ) -> PlanRecord:
         """Re-plan the deployment for a changed workload, migration-aware.
 
@@ -592,10 +774,14 @@ class ShardingService:
                 The deployment keeps the new budget even when the reshard
                 finds no feasible plan — lost capacity stays lost.
             request_id: caller correlation id.
+            validate: override the service's ``validate`` default.
 
         Raises:
             ValueError: when no plan is applied yet, or ``memory_bytes``
                 is not positive.
+            PlanValidationError: when validation rejects the chosen plan
+                at apply time (the record is still persisted for audit;
+                it just does not go live).
         """
         deployment = self._get(name)
         config = config or ReshardConfig()
@@ -630,6 +816,7 @@ class ShardingService:
             )
             task = result.new_task
             metadata: dict[str, Any] = {
+                "base_version": applied.version,
                 "delta": delta.to_dict(),
                 "reshard_config": config.to_dict(),
                 "chosen": result.chosen,
@@ -657,9 +844,11 @@ class ShardingService:
                 "reshard",
                 diff=result.diff,
                 metadata=metadata,
+                applied=applied,
+                validate=validate,
             )
             if apply and record.feasible:
-                self.apply(name, record.version)
+                self.apply(name, record.version, validate=validate)
             return record
 
     # ------------------------------------------------------------------
@@ -695,6 +884,34 @@ class ShardingService:
                 deployment.records[v].to_dict()
                 for v in sorted(deployment.records)
             ]
+
+    def validate_deployment(self, name: str) -> ValidationReport:
+        """Run the full invariant suite over one deployment's history.
+
+        Checks every stored record (structure, memory, coherence), every
+        transition along the applied stack (diff conservation laws), the
+        applied stack itself, and — for store-backed services — that the
+        in-memory records are byte-identical to their stored
+        serializations.  Never raises on violations; the report carries
+        them.
+        """
+        deployment = self._get(name)
+        with deployment.lock:
+            records = [
+                deployment.records[v] for v in sorted(deployment.records)
+            ]
+            stack = list(deployment.applied_stack)
+        stored: dict[int, dict[str, Any]] | None = None
+        if self.store is not None:
+            stored = {}
+            for version in self.store.versions(name):
+                try:
+                    stored[version] = self.store.load_record(name, version)
+                except Exception:  # noqa: BLE001 — unreadable = missing
+                    continue  # validate_history flags the byte mismatch
+        return self.validator.validate_history(
+            records, stack, stored=stored, subject=f"deployment:{name}"
+        )
 
     def status(self, name: str) -> dict[str, Any]:
         """Operational snapshot of one deployment."""

@@ -222,6 +222,23 @@ class BundleStore:
         return (Path(path) / _BUNDLE_META).exists()
 
 
+class _LocalFS:
+    """Direct filesystem operations (the default :class:`PlanStore` backend).
+
+    The two-method interface exists so fault injection
+    (:class:`~repro.validation.faults.FaultyFS`) can fail writes at
+    named points; this default implementation ignores the point names.
+    """
+
+    def write_text(self, path: Path, text: str, point: str = "") -> None:
+        """Write ``text`` to ``path``."""
+        Path(path).write_text(text)
+
+    def replace(self, src: Path, dst: Path, point: str = "") -> None:
+        """Atomically rename ``src`` onto ``dst``."""
+        os.replace(src, dst)
+
+
 class PlanStore:
     """Persist named deployments' plan-version histories under one root.
 
@@ -231,16 +248,53 @@ class PlanStore:
     ``save_record`` refuses to overwrite an existing version, so history
     can only grow — rollbacks are state changes, not record rewrites.
 
+    Every write is **crash-atomic**: the payload lands in a same-directory
+    temp file first and is renamed into place with ``os.replace``, so a
+    crash at any point leaves the destination either untouched or fully
+    written — never torn.  The write sites are named
+    (:data:`WRITE_POINTS`) so a fault injector can crash each one and a
+    recovery test can sweep them all.
+
     Args:
         root: store directory (created lazily on first save).
+        fs: filesystem shim (``write_text`` / ``replace``); the real
+            filesystem when omitted.  Tests inject
+            :class:`~repro.validation.faults.FaultyFS` here.
     """
 
     _DEPLOYMENT = "deployment.json"
     _STATE = "state.json"
     _PLANS = "plans"
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    #: Every named atomic-write point, ``"<kind>#<phase>"``: the logical
+    #: write site (deployment metadata / applied-stack state / plan
+    #: record) crossed with the atomic-write step (temp-file write /
+    #: rename into place).  A crash injected at any of these must leave
+    #: :meth:`~repro.api.service.ShardingService.open` recovering the
+    #: last consistent applied version.
+    WRITE_POINTS = (
+        "meta#write",
+        "meta#rename",
+        "state#write",
+        "state#rename",
+        "record#write",
+        "record#rename",
+    )
+
+    def __init__(self, root: str | os.PathLike, fs: Any | None = None) -> None:
         self.root = Path(root)
+        self.fs = fs if fs is not None else _LocalFS()
+
+    def _write_json(
+        self, path: Path, payload: Mapping[str, Any], point: str, indent: int
+    ) -> None:
+        """Crash-atomic JSON write: same-directory temp file + rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp"
+        self.fs.write_text(
+            tmp, json.dumps(dict(payload), indent=indent), point=f"{point}#write"
+        )
+        self.fs.replace(tmp, path, point=f"{point}#rename")
 
     def _deployment_dir(self, name: str) -> Path:
         _check_name(name, "deployment")
@@ -267,10 +321,7 @@ class PlanStore:
     def save_meta(self, name: str, meta: Mapping[str, Any]) -> None:
         """Write a deployment's metadata (cluster shape, bundle ref)."""
         directory = self._deployment_dir(name)
-        directory.mkdir(parents=True, exist_ok=True)
-        (directory / self._DEPLOYMENT).write_text(
-            json.dumps(dict(meta), indent=2)
-        )
+        self._write_json(directory / self._DEPLOYMENT, meta, "meta", indent=2)
 
     def load_meta(self, name: str) -> dict[str, Any]:
         """Read a deployment's metadata.
@@ -318,14 +369,13 @@ class PlanStore:
         if version < 1:
             raise ValueError(f"record version must be >= 1, got {version}")
         plans = self._deployment_dir(name) / self._PLANS
-        plans.mkdir(parents=True, exist_ok=True)
         path = plans / f"v{version}.json"
         if path.exists():
             raise FileExistsError(
                 f"plan record v{version} of deployment {name!r} already "
                 "exists; records are immutable"
             )
-        path.write_text(json.dumps(dict(record), indent=1))
+        self._write_json(path, record, "record", indent=1)
 
     def load_record(self, name: str, version: int) -> dict[str, Any]:
         """Read one stored plan record.
@@ -341,10 +391,6 @@ class PlanStore:
             )
         return json.loads(path.read_text())
 
-    def load_records(self, name: str) -> list[dict[str, Any]]:
-        """All stored records of ``name``, version-ascending."""
-        return [self.load_record(name, v) for v in self.versions(name)]
-
     # ------------------------------------------------------------------
     # mutable deployment state (applied stack)
     # ------------------------------------------------------------------
@@ -352,8 +398,7 @@ class PlanStore:
     def save_state(self, name: str, state: Mapping[str, Any]) -> None:
         """Write the mutable deployment state (the applied stack)."""
         directory = self._deployment_dir(name)
-        directory.mkdir(parents=True, exist_ok=True)
-        (directory / self._STATE).write_text(json.dumps(dict(state), indent=2))
+        self._write_json(directory / self._STATE, state, "state", indent=2)
 
     def load_state(self, name: str) -> dict[str, Any]:
         """Read the mutable deployment state (empty when never saved)."""

@@ -31,6 +31,11 @@ all sharding algorithms served through the :mod:`repro.api` registry:
   ``list`` the registry, ``run`` one scenario's trace through the
   lifecycle service (per-step report, optional JSON artifacts),
   ``compare`` several scenarios' aggregate replay metrics side by side.
+- ``validate`` — run the invariant suite (:mod:`repro.validation`) over
+  stored deployments (plan structure, memory feasibility, lifecycle
+  conservation laws, store byte-identity) and/or stored bundles
+  (manifest + loadability).  No engine or bundle is needed to validate
+  a plan store: the checks re-derive everything from the stored records.
 - ``strategies`` — list every registered strategy.
 - ``list-bundles`` — list the contents of a bundle store.
 
@@ -38,7 +43,10 @@ Exit codes: 0 success, 1 usage/input error, 2 everything infeasible
 (``shard`` / ``serve-batch`` / ``deployment plan`` / ``deployment
 reshard`` / ``deployment apply`` with the failing task ids on stderr;
 ``scenario run`` when the initial workload is unplannable or every
-reshard step of the replay fails, failing step numbers on stderr).
+reshard step of the replay fails, failing step numbers on stderr;
+``validate`` when *any* validated unit has violations — a validator
+that half-passes must not exit 0 — with the failing deployment/bundle
+names on stderr).
 """
 
 from __future__ import annotations
@@ -339,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="registry scenario names (see "
                           "'scenario list')")
     add_scenario_args(scen_cmp)
+
+    val = sub.add_parser("validate", help="validate stored deployments "
+                         "and/or bundles against the invariant suite")
+    val.add_argument("--store", help="plan-store root whose deployments "
+                     "to validate")
+    val.add_argument("--deployment", action="append", metavar="NAME",
+                     help="restrict --store validation to this "
+                     "deployment (repeatable; default: all)")
+    val.add_argument("--bundle-store", help="bundle-store root whose "
+                     "bundles to validate")
+    val.add_argument("--json", action="store_true",
+                     help="print the full reports as JSON instead of a "
+                     "table")
 
     strategies = sub.add_parser("strategies", help="list registered "
                                 "sharding strategies")
@@ -1121,6 +1142,132 @@ def _cmd_scenario(args) -> int:
     raise AssertionError(f"unhandled scenario action {args.action!r}")
 
 
+def _validate_deployment_unit(store, name, validator):
+    """Validate one stored deployment offline; returns (report_dict, errors).
+
+    Everything is re-derived from the stored JSON — no engine or bundle
+    is needed — so ``repro validate`` can audit a store the serving
+    process cannot even load (e.g. after a bundle mismatch).
+    """
+    from repro.api import check_version
+    from repro.api.service import PlanRecord
+
+    extra: list[str] = []
+    try:
+        meta = store.load_meta(name)
+        check_version(meta, "deployment metadata")
+    except Exception as exc:  # corrupted metadata is a finding, not a crash
+        extra.append(f"meta: {type(exc).__name__}: {exc}")
+    records = []
+    stored = {}
+    for version in store.versions(name):
+        try:
+            data = store.load_record(name, version)
+        except Exception as exc:
+            extra.append(f"record v{version}: unreadable ({type(exc).__name__})")
+            continue
+        stored[version] = data
+        try:
+            records.append(PlanRecord.from_dict(data))
+        except Exception as exc:
+            extra.append(
+                f"record v{version}: does not deserialize "
+                f"({type(exc).__name__}: {exc})"
+            )
+    try:
+        state = store.load_state(name)
+        stack = [int(v) for v in state.get("applied_stack", [])]
+    except Exception as exc:
+        extra.append(f"state: unreadable ({type(exc).__name__})")
+        stack = []
+    report = validator.validate_history(
+        records, stack, stored=stored, subject=f"deployment:{name}"
+    )
+    payload = report.to_dict()
+    payload["extra_errors"] = extra
+    payload["num_records"] = len(records)
+    payload["applied_version"] = stack[-1] if stack else None
+    errors = [f"{e.code}: {e.message}" for e in report.errors] + extra
+    return payload, errors
+
+
+def _cmd_validate(args) -> int:
+    from repro.validation import PlanValidator
+
+    if not args.store and not args.bundle_store:
+        print("error: validate needs --store and/or --bundle-store",
+              file=sys.stderr)
+        return 1
+    validator = PlanValidator()
+    units: list[tuple[str, dict, list[str]]] = []
+
+    if args.store:
+        store = PlanStore(args.store)
+        names = args.deployment or store.names()
+        unknown = sorted(set(names) - set(store.names()))
+        if unknown:
+            print(
+                f"error: no deployment named {unknown} in store "
+                f"{args.store} (known: {store.names() or 'none'})",
+                file=sys.stderr,
+            )
+            return 1
+        for name in names:
+            payload, errors = _validate_deployment_unit(store, name, validator)
+            units.append((f"deployment:{name}", payload, errors))
+
+    if args.bundle_store:
+        bundles = BundleStore(args.bundle_store)
+        for name in bundles.names():
+            for version in bundles.versions(name):
+                errors = []
+                try:
+                    info = bundles.info(name, version)
+                    loaded = bundles.load(name, version)
+                    if loaded.num_devices != info.num_devices:
+                        errors.append(
+                            f"manifest says {info.num_devices} devices, "
+                            f"bundle has {loaded.num_devices}"
+                        )
+                except Exception as exc:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                units.append((
+                    f"bundle:{name}@v{version}",
+                    {"subject": f"bundle:{name}@v{version}",
+                     "ok": not errors, "errors": errors},
+                    errors,
+                ))
+
+    if args.json:
+        print(json.dumps([payload for _, payload, _ in units], indent=1))
+    else:
+        rows = [
+            [unit, payload.get("num_records", "-"),
+             payload.get("applied_version", "-") or "-",
+             "ok" if not errors else f"{len(errors)} violation(s)"]
+            for unit, payload, errors in units
+        ]
+        print(
+            format_text_table(
+                ["unit", "records", "applied", "result"],
+                rows,
+                title=f"validated {len(units)} unit(s)",
+            )
+        )
+    failing = [unit for unit, _, errors in units if errors]
+    for unit, _, errors in units:
+        for error in errors:
+            print(f"{unit}: {error}", file=sys.stderr)
+    if failing:
+        print(
+            f"error: validation found violations in {len(failing)} of "
+            f"{len(units)} unit(s): {', '.join(failing)}",
+            file=sys.stderr,
+        )
+        return EXIT_ALL_INFEASIBLE
+    return 0
+
+
 def _cmd_strategies(args) -> int:
     rows = [
         [
@@ -1174,6 +1321,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "deployment": _cmd_deployment,
         "scenario": _cmd_scenario,
+        "validate": _cmd_validate,
         "strategies": _cmd_strategies,
         "list-bundles": _cmd_list_bundles,
     }

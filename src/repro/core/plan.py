@@ -113,6 +113,27 @@ class ShardingPlan:
             )
         return sharded
 
+    def shard_identities(
+        self, base_tables: Sequence[TableConfig]
+    ) -> list[tuple[str, int, int, int]]:
+        """``(uid, occurrence, device, size_bytes)`` per placed shard.
+
+        The shard identity convention shared by the plan-diff layer and
+        the validation layer: shards are keyed by cost-identity
+        (:attr:`~repro.data.table.TableConfig.uid`) plus occurrence rank
+        among uid-equal shards (the two halves of a column split share a
+        uid and are distinguished by rank, in assignment order).
+        """
+        seen: dict[str, int] = {}
+        entries: list[tuple[str, int, int, int]] = []
+        for table, device in zip(
+            self.sharded_tables(base_tables), self.assignment
+        ):
+            rank = seen.get(table.uid, 0)
+            seen[table.uid] = rank + 1
+            entries.append((table.uid, rank, device, table.size_bytes))
+        return entries
+
     def per_device_tables(
         self, base_tables: Sequence[TableConfig]
     ) -> list[list[TableConfig]]:

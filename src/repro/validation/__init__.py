@@ -1,0 +1,43 @@
+"""Independent verification of plans, lifecycle transitions and storage.
+
+The :mod:`repro.api` service layer *produces* results — plans, diffs,
+reshards, rollbacks; this package *checks* them, from first principles,
+in code that shares nothing with the producers:
+
+- :class:`~repro.validation.invariants.PlanValidator` — structural plan
+  invariants (coverage, legality, memory) and lifecycle conservation
+  laws (diff accounting, zero-byte stats updates, byte-identical
+  rollback).  Wired into :class:`~repro.api.service.ShardingService`
+  behind its ``validate=True`` flag and exposed as ``repro validate``
+  in the CLI.
+- :func:`~repro.validation.differential.differential_matrix` — every
+  registered strategy must answer a seeded task matrix validator-clean.
+- :class:`~repro.validation.faults.FaultyFS` — named crash points and
+  torn writes for :class:`~repro.api.store.PlanStore`, proving the
+  store's crash-consistency contract under test.
+"""
+
+from repro.validation.differential import (
+    DifferentialCell,
+    DifferentialReport,
+    differential_matrix,
+)
+from repro.validation.faults import CrashPoint, FaultyFS
+from repro.validation.invariants import (
+    PlanValidationError,
+    PlanValidator,
+    ValidationError,
+    ValidationReport,
+)
+
+__all__ = [
+    "CrashPoint",
+    "DifferentialCell",
+    "DifferentialReport",
+    "FaultyFS",
+    "PlanValidationError",
+    "PlanValidator",
+    "ValidationError",
+    "ValidationReport",
+    "differential_matrix",
+]

@@ -1,0 +1,157 @@
+"""Cross-strategy differential validation: one contract, every algorithm.
+
+Eighteen strategies answer the same :class:`~repro.api.schema
+.ShardingRequest`; the registry guarantees they share a wire format, but
+nothing guarantees they share *semantics* — a baseline could return an
+assignment that silently overflows a device, an extension could emit a
+column plan its own table list cannot apply.  :func:`differential_matrix`
+closes that gap: it runs every strategy over a seeded task matrix and
+holds each answer to the :class:`~repro.validation.invariants
+.PlanValidator` invariants, so "registered" comes to mean
+"validator-clean on the shared contract", not just "importable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.api.schema import ShardingRequest
+from repro.validation.invariants import PlanValidator
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.api.engine import ShardingEngine
+    from repro.data.tasks import ShardingTask
+
+__all__ = ["DifferentialCell", "DifferentialReport", "differential_matrix"]
+
+
+@dataclass(frozen=True)
+class DifferentialCell:
+    """One (strategy, task) outcome of the differential matrix.
+
+    Attributes:
+        strategy: registry strategy name.
+        task_id: the task answered.
+        feasible: the strategy produced a plan.
+        error: the strategy's error message, when it raised.
+        codes: validator violation codes of the produced plan.
+    """
+
+    strategy: str
+    task_id: int
+    feasible: bool
+    error: str | None = None
+    codes: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """Feasible, error-free, and validator-clean."""
+        return self.feasible and self.error is None and not self.codes
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the cell."""
+        return {
+            "strategy": self.strategy,
+            "task_id": self.task_id,
+            "feasible": self.feasible,
+            "error": self.error,
+            "codes": list(self.codes),
+        }
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """All cells of one differential run.
+
+    Attributes:
+        cells: one per (strategy, task) pair, strategy-major order.
+    """
+
+    cells: tuple[DifferentialCell, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Whether every strategy answered every task validator-clean."""
+        return all(cell.clean for cell in self.cells)
+
+    @property
+    def failures(self) -> tuple[DifferentialCell, ...]:
+        """The cells that are not clean."""
+        return tuple(cell for cell in self.cells if not cell.clean)
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate counts for logs and CI output."""
+        strategies = sorted({c.strategy for c in self.cells})
+        return {
+            "strategies": len(strategies),
+            "tasks": len({c.task_id for c in self.cells}),
+            "cells": len(self.cells),
+            "clean": sum(1 for c in self.cells if c.clean),
+            "failing_strategies": sorted(
+                {c.strategy for c in self.failures}
+            ),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view: summary plus every cell."""
+        return {
+            "summary": self.summary(),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+
+def differential_matrix(
+    engine: "ShardingEngine",
+    tasks: Sequence["ShardingTask"],
+    strategies: Sequence[str] | None = None,
+    options: Mapping[str, Mapping[str, Any]] | None = None,
+    validator: PlanValidator | None = None,
+) -> DifferentialReport:
+    """Run every strategy over every task and validate every plan.
+
+    Args:
+        engine: the serving engine (its bundle scores and, for the core
+            strategies, drives the searches).
+        tasks: the seeded task matrix; choose budgets generous enough
+            that *every* strategy — including the random baseline — can
+            place every task, so an infeasible cell is a genuine defect.
+        strategies: registry names to sweep (default: everything the
+            engine can serve).
+        options: per-strategy request options, e.g. a pre-fitted policy
+            for ``guided`` (``{"guided": {"policy": policy}}``).
+        validator: the invariant checker (a default-configured
+            :class:`~repro.validation.invariants.PlanValidator` when
+            omitted).
+
+    Returns:
+        A :class:`DifferentialReport`; ``report.clean`` is the
+        all-strategies-pass acceptance gate.
+    """
+    validator = validator or PlanValidator()
+    names = list(strategies if strategies is not None else engine.available())
+    options = dict(options or {})
+    cells: list[DifferentialCell] = []
+    for name in names:
+        for task in tasks:
+            response = engine.shard(
+                ShardingRequest(
+                    task,
+                    strategy=name,
+                    options=dict(options.get(name) or {}),
+                    request_id=f"differential-{name}-{task.task_id}",
+                )
+            )
+            codes: tuple[str, ...] = ()
+            if response.feasible and response.plan is not None:
+                codes = validator.validate_response(response, task).error_codes
+            cells.append(
+                DifferentialCell(
+                    strategy=response.strategy,
+                    task_id=task.task_id,
+                    feasible=response.feasible,
+                    error=response.error,
+                    codes=codes,
+                )
+            )
+    return DifferentialReport(tuple(cells))

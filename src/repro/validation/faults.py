@@ -1,0 +1,114 @@
+"""Fault injection for the plan store: named crash points, torn writes.
+
+:class:`~repro.api.store.PlanStore` persists every record and state
+change through a pluggable filesystem shim (two operations: write a
+file, atomically rename it into place).  :class:`FaultyFS` implements
+that shim but fails on demand at **named write points**, so tests can
+prove the crash-consistency contract instead of assuming it:
+
+    >>> fs = FaultyFS()
+    >>> store = PlanStore(tmp_path, fs=fs)
+    >>> fs.arm("state#rename")          # next applied-stack persist dies
+    >>> service.apply("prod")           # raises CrashPoint mid-write
+    >>> ShardingService.open(...)       # recovers the pre-crash state
+
+Point names are ``"<kind>#<phase>"`` where ``kind`` is the logical write
+site (``meta`` — deployment metadata, ``state`` — the applied-version
+stack, ``record`` — one immutable plan record) and ``phase`` is the
+atomic-write step (``write`` — the temp file, ``rename`` — the
+``os.replace`` into place).  :data:`repro.api.store.PlanStore
+.WRITE_POINTS` enumerates them all, so a chaos suite can sweep every
+point mechanically.
+
+Failure modes per point:
+
+- ``"crash"`` — the operation does nothing and raises
+  :class:`CrashPoint`: a process death *before* the step.  With atomic
+  writes this can never corrupt the destination file.
+- ``"torn"`` — half the payload lands on the destination, then
+  :class:`CrashPoint`: models the legacy non-atomic ``write_text`` (or
+  plain disk corruption).  At the ``rename`` phase the *final* file is
+  torn, which is exactly the corrupted-tail case
+  :meth:`~repro.api.service.ShardingService.open` must recover from.
+
+Faults are one-shot: an armed point fires once and disarms, so recovery
+paths run against a healthy filesystem — like a real crash-and-restart.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["CrashPoint", "FaultyFS"]
+
+_MODES = ("crash", "torn")
+
+
+class CrashPoint(RuntimeError):
+    """An injected failure at a named :class:`~repro.api.store.PlanStore`
+    write point (the simulated process death)."""
+
+
+class FaultyFS:
+    """Plan-store filesystem shim with one-shot injected write failures.
+
+    Attributes:
+        writes: point names of every *completed* operation, in order.
+        crashes: point names of every injected failure, in order.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, str] = {}
+        self.writes: list[str] = []
+        self.crashes: list[str] = []
+
+    def arm(self, point: str, mode: str = "crash") -> None:
+        """Make the next operation at ``point`` fail with ``mode``."""
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if "#" not in point:
+            raise ValueError(
+                f"point must be '<kind>#<phase>' (see PlanStore"
+                f".WRITE_POINTS), got {point!r}"
+            )
+        self._armed[point] = mode
+
+    @property
+    def armed(self) -> dict[str, str]:
+        """Currently armed (not yet fired) faults, point -> mode."""
+        return dict(self._armed)
+
+    def _trip(self, point: str, destination: Path, payload: str | None) -> None:
+        """Fire (and disarm) the fault armed at ``point``, if any."""
+        mode = self._armed.pop(point, None)
+        if mode is None:
+            return
+        self.crashes.append(point)
+        if mode == "torn" and payload is not None:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            destination.write_text(payload[: max(1, len(payload) // 2)])
+        raise CrashPoint(f"injected {mode} at {point}")
+
+    # ------------------------------------------------------------------
+    # the PlanStore filesystem interface
+    # ------------------------------------------------------------------
+
+    def write_text(self, path: Path, text: str, point: str = "") -> None:
+        """Write ``text`` to ``path`` unless a fault is armed at ``point``."""
+        self._trip(point, Path(path), text)
+        Path(path).write_text(text)
+        self.writes.append(point)
+
+    def replace(self, src: Path, dst: Path, point: str = "") -> None:
+        """Atomically rename ``src`` onto ``dst`` unless a fault is armed.
+
+        A ``"torn"`` fault here corrupts the *destination* with half the
+        temp file's contents — the legacy non-atomic write's failure
+        shape, driving the corrupted-tail recovery path.
+        """
+        src, dst = Path(src), Path(dst)
+        payload = src.read_text() if src.exists() else None
+        self._trip(point, dst, payload)
+        os.replace(src, dst)
+        self.writes.append(point)

@@ -237,3 +237,30 @@ class TestKeepAliveBodyDrain:
             second.read()
         finally:
             conn.close()
+
+
+class TestValidateEndpoint:
+    def test_validate_reports_clean_history(self, server):
+        _post(server, "/v1/deployments/prod/plan", {"strategy": "dim_greedy"})
+        _post(server, "/v1/deployments/prod/apply", {})
+        status, payload = _get(server, "/v1/deployments/prod/validate")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["subject"] == "deployment:prod"
+        assert "state/applied-version" in payload["checks"]
+        assert payload["errors"] == []
+
+    def test_validate_unknown_deployment_is_404(self, server):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/v1/deployments/nope/validate")
+        assert excinfo.value.code == 404
+
+    def test_plan_response_carries_validation_report(self, server):
+        status, record = _post(
+            server, "/v1/deployments/prod/plan", {"strategy": "dim_greedy"}
+        )
+        assert status == 200
+        assert record["validation"]["ok"] is True
+        assert "plan/memory" in record["validation"]["checks"]

@@ -1,0 +1,297 @@
+"""Soak tests: sustained concurrent traffic must equal sequential execution.
+
+The contract under load: the engine's answers are bit-identical to
+sequential execution (interleaving may change *when* work happens, never
+*what* is computed), and the service's record history survives mixed
+plan/reshard/rollback traffic uncorrupted — contiguous versions, clean
+validator reports, and byte-identical store round-trips.
+
+Marked ``soak``.  ``REPRO_SOAK_ITERS`` scales the per-thread iteration
+budget (default is small enough for tier-1; CI's ``soak-smoke`` job and
+manual soaks raise it).
+"""
+
+import dataclasses
+import json
+import os
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    ShardingEngine,
+    ShardingHTTPServer,
+    ShardingRequest,
+    ShardingService,
+    WorkloadDelta,
+)
+
+pytestmark = pytest.mark.soak
+
+#: Per-thread operations per soak phase (CI smoke raises this).
+ITERS = int(os.environ.get("REPRO_SOAK_ITERS", "4"))
+
+_STRATEGIES = ("beam", "dim_greedy", "size_greedy", "lookup_greedy")
+
+
+@pytest.fixture(scope="module")
+def engine(cluster2, tiny_bundle):
+    return ShardingEngine(cluster2, tiny_bundle, max_workers=4)
+
+
+def _reference_responses(cluster2, tiny_bundle, tasks):
+    """Sequential ground truth on a *fresh* engine (no shared state)."""
+    fresh = ShardingEngine(cluster2, tiny_bundle)
+    return {
+        (task.task_id, strategy): fresh.shard(
+            ShardingRequest(task, strategy=strategy)
+        ).deterministic_dict()
+        for task in tasks
+        for strategy in _STRATEGIES
+    }
+
+
+class TestEngineSoak:
+    def test_concurrent_shard_is_bit_identical_to_sequential(
+        self, engine, cluster2, tiny_bundle, tasks2
+    ):
+        tasks = tasks2[:3]
+        reference = _reference_responses(cluster2, tiny_bundle, tasks)
+        failures = []
+
+        def hammer(thread_id: int) -> None:
+            for i in range(ITERS * len(_STRATEGIES)):
+                task = tasks[(thread_id + i) % len(tasks)]
+                strategy = _STRATEGIES[i % len(_STRATEGIES)]
+                got = engine.shard(
+                    ShardingRequest(task, strategy=strategy)
+                ).deterministic_dict()
+                want = dict(reference[(task.task_id, strategy)])
+                # The correlation id is the only legitimate difference.
+                want["request_id"] = got["request_id"]
+                if got != want:
+                    failures.append((task.task_id, strategy))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_shard_batch_soak_matches_sequential(
+        self, engine, cluster2, tiny_bundle, tasks2
+    ):
+        tasks = tasks2[:3]
+        reference = _reference_responses(cluster2, tiny_bundle, tasks)
+        requests = [
+            ShardingRequest(task, strategy=strategy)
+            for _ in range(max(ITERS // 2, 1))
+            for task in tasks
+            for strategy in _STRATEGIES
+        ]
+        responses = engine.shard_batch(requests, max_workers=8)
+        assert len(responses) == len(requests)
+        for request, response in zip(requests, responses):
+            assert (
+                response.deterministic_dict()
+                == reference[(request.task.task_id, request.strategy)]
+            )
+
+
+class TestServiceSoak:
+    def test_concurrent_plan_storm_matches_sequential(
+        self, engine, cluster2, tiny_bundle, tasks2, tmp_path
+    ):
+        from repro.api import PlanStore
+
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        reference = _reference_responses(
+            cluster2, tiny_bundle, [tasks2[0]]
+        )
+
+        def storm(thread_id: int) -> None:
+            for i in range(ITERS):
+                strategy = _STRATEGIES[(thread_id + i) % len(_STRATEGIES)]
+                service.plan("prod", strategy=strategy)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(storm, range(4)))
+
+        history = service.history("prod")
+        versions = [r["version"] for r in history]
+        assert versions == list(range(1, 4 * ITERS + 1))
+        for data in history:
+            # Workload never changed: every record must be bit-identical
+            # to a sequential plan with its strategy.  Base tables are
+            # keyed by the reference task's id for lookup only.
+            want = reference[(tasks2[0].task_id, data["strategy"])]
+            assert data["plan"] == want["plan"]
+            assert data["simulated_cost_ms"] == want["simulated_cost_ms"]
+            assert data["feasible"] == want["feasible"]
+        assert service.validate_deployment("prod").ok
+
+        # The store round-trips the whole history byte-for-byte.
+        reopened = ShardingService.open(store, lambda meta: engine)
+        assert reopened.history("prod") == history
+
+    def test_mixed_traffic_leaves_history_uncorrupted(
+        self, engine, tasks2, tmp_path
+    ):
+        from repro.api import PlanStore
+
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        service.plan("prod")
+        service.apply("prod")
+        errors: list[str] = []
+        tolerated = (ValueError,)  # rollback with a 1-deep stack, races
+
+        def planner(thread_id: int) -> None:
+            for i in range(ITERS):
+                try:
+                    service.plan(
+                        "prod",
+                        strategy=_STRATEGIES[i % len(_STRATEGIES)],
+                    )
+                except tolerated:
+                    pass
+                except Exception as exc:  # noqa: BLE001 — soak verdict
+                    errors.append(f"plan: {exc}")
+
+        def resharder(thread_id: int) -> None:
+            for i in range(max(ITERS // 2, 1)):
+                added = dataclasses.replace(
+                    tasks2[1].tables[i % len(tasks2[1].tables)],
+                    table_id=100_000 + 1000 * thread_id + i,
+                )
+                try:
+                    service.reshard(
+                        "prod", WorkloadDelta(add_tables=(added,))
+                    )
+                except tolerated:
+                    pass
+                except Exception as exc:  # noqa: BLE001 — soak verdict
+                    errors.append(f"reshard: {exc}")
+
+        def roller(thread_id: int) -> None:
+            for _ in range(ITERS):
+                try:
+                    service.rollback("prod")
+                except tolerated:
+                    pass
+                except Exception as exc:  # noqa: BLE001 — soak verdict
+                    errors.append(f"rollback: {exc}")
+
+        def reader(thread_id: int) -> None:
+            for _ in range(ITERS * 2):
+                try:
+                    service.status("prod")
+                    service.history("prod")
+                except Exception as exc:  # noqa: BLE001 — soak verdict
+                    errors.append(f"read: {exc}")
+
+        workers = [
+            threading.Thread(target=fn, args=(i,))
+            for i, fn in enumerate(
+                (planner, planner, resharder, roller, reader)
+            )
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert errors == []
+
+        # No history corruption: contiguous versions, a live feasible
+        # plan, a clean validator report, and disk == memory.
+        history = service.history("prod")
+        versions = [r["version"] for r in history]
+        assert versions == list(range(1, len(versions) + 1))
+        status = service.status("prod")
+        assert status["applied_version"] is not None
+        report = service.validate_deployment("prod")
+        assert report.ok, report.errors
+        reopened = ShardingService.open(store, lambda meta: engine)
+        assert reopened.history("prod") == history
+        assert (
+            reopened.status("prod")["applied_stack"]
+            == status["applied_stack"]
+        )
+        assert reopened.validate_deployment("prod").ok
+
+
+class TestServerSoak:
+    def test_http_plan_storm_and_validate(self, engine, tasks2):
+        service = ShardingService()
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        server = ShardingHTTPServer(
+            service, engine, port=0, max_batch=4, batch_wait_s=0.005
+        )
+        server.start()
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            reference = {
+                strategy: engine.shard(
+                    ShardingRequest(
+                        dataclasses.replace(
+                            tasks2[0],
+                            memory_bytes=engine.cluster.config.memory_bytes,
+                        ),
+                        strategy=strategy,
+                    )
+                )
+                for strategy in _STRATEGIES
+            }
+            failures: list[str] = []
+
+            def client(thread_id: int) -> None:
+                for i in range(ITERS):
+                    strategy = _STRATEGIES[(thread_id + i) % len(_STRATEGIES)]
+                    request = urllib.request.Request(
+                        f"{base}/v1/deployments/prod/plan",
+                        data=json.dumps({"strategy": strategy}).encode(),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    with urllib.request.urlopen(request, timeout=120) as resp:
+                        record = json.loads(resp.read())
+                    want = reference[strategy]
+                    if record["plan"] != {
+                        "column_plan": list(want.plan.column_plan),
+                        "assignment": list(want.plan.assignment),
+                        "num_devices": want.plan.num_devices,
+                    }:
+                        failures.append(strategy)
+                    with urllib.request.urlopen(
+                        f"{base}/v1/deployments/prod/status", timeout=60
+                    ) as resp:
+                        json.loads(resp.read())
+
+            threads = [
+                threading.Thread(target=client, args=(t,)) for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert failures == []
+
+            with urllib.request.urlopen(
+                f"{base}/v1/deployments/prod/validate", timeout=60
+            ) as resp:
+                payload = json.loads(resp.read())
+            assert payload["ok"] is True
+            assert payload["subject"] == "deployment:prod"
+            history = service.history("prod")
+            assert [r["version"] for r in history] == list(
+                range(1, 4 * ITERS + 1)
+            )
+        finally:
+            server.close()

@@ -1,0 +1,115 @@
+"""Differential validation matrix: every registered strategy, one contract.
+
+The acceptance gate: all registered strategies must answer a seeded task
+matrix with validator-clean plans — full coverage, legal column plans,
+in-range devices, memory-feasible placements.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.api import (
+    ShardingEngine,
+    ShardingResponse,
+    available_strategies,
+    make_sharder,
+)
+from repro.core.plan import ShardingPlan
+from repro.validation import differential_matrix
+
+
+@pytest.fixture(scope="module")
+def engine(cluster2, tiny_bundle):
+    return ShardingEngine(
+        cluster2, tiny_bundle, strategy_kwargs={"random": {"seed": 7}}
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix_tasks(tasks2):
+    """Seeded tasks with budgets generous enough for *any* placement.
+
+    Doubling the worst-case single-device footprint means even the random
+    baseline cannot go infeasible, so a non-clean cell is a genuine
+    strategy defect — the matrix tests plan validity, not search skill.
+    """
+    tasks = []
+    for task in tasks2[:2]:
+        total = sum(t.size_bytes + 4 * t.hash_size for t in task.tables)
+        tasks.append(dataclasses.replace(task, memory_bytes=2 * total))
+    return tasks
+
+
+@pytest.fixture(scope="module")
+def strategy_options(cluster2, tiny_bundle, matrix_tasks):
+    """Construction options for strategies that need a trained artifact."""
+    policy = make_sharder(
+        "imitation",
+        cluster=cluster2,
+        bundle=tiny_bundle,
+        train_tasks=matrix_tasks[:1],
+        epochs=2,
+    )
+    fit = {"train_tasks": matrix_tasks[:1], "epochs": 2}
+    return {"guided": {"policy": policy}, "imitation": fit, "offline_rl": fit}
+
+
+class TestDifferentialMatrix:
+    def test_every_registered_strategy_is_validator_clean(
+        self, engine, matrix_tasks, strategy_options
+    ):
+        report = differential_matrix(
+            engine, matrix_tasks, options=strategy_options
+        )
+        swept = {cell.strategy for cell in report.cells}
+        assert swept == set(available_strategies()), (
+            "the matrix must sweep every registered strategy"
+        )
+        assert len(swept) >= 18
+        assert report.clean, [c.to_dict() for c in report.failures]
+        summary = report.summary()
+        assert summary["clean"] == summary["cells"] == len(swept) * len(
+            matrix_tasks
+        )
+        assert summary["failing_strategies"] == []
+
+    def test_matrix_flags_an_invalid_plan(self, engine, matrix_tasks, monkeypatch):
+        task = matrix_tasks[0]
+        broken = ShardingResponse(
+            request_id="",
+            strategy="beam",
+            feasible=True,
+            # One assignment entry short: a shard is left unplaced.
+            plan=ShardingPlan(
+                column_plan=(),
+                assignment=(0,) * (len(task.tables) - 1),
+                num_devices=task.num_devices,
+            ),
+            simulated_cost_ms=1.0,
+            sharding_time_s=0.0,
+        )
+        monkeypatch.setattr(engine, "shard", lambda request: broken)
+        report = differential_matrix(engine, [task], strategies=["beam"])
+        assert not report.clean
+        assert report.failures[0].codes == ("plan/coverage",)
+        assert report.summary()["failing_strategies"] == ["beam"]
+
+    def test_matrix_flags_infeasible_cells(self, engine, matrix_tasks):
+        tight = dataclasses.replace(matrix_tasks[0], memory_bytes=1024)
+        report = differential_matrix(engine, [tight], strategies=["dim_greedy"])
+        assert not report.clean
+        cell = report.failures[0]
+        assert not cell.feasible and cell.codes == ()
+
+    def test_report_serializes(self, engine, matrix_tasks):
+        report = differential_matrix(
+            engine, matrix_tasks[:1], strategies=["dim_greedy", "size_greedy"]
+        )
+        payload = report.to_dict()
+        assert payload["summary"]["strategies"] == 2
+        assert all(
+            not math.isnan(0) and set(c) >= {"strategy", "task_id", "feasible"}
+            for c in payload["cells"]
+        )

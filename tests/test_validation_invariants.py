@@ -1,0 +1,289 @@
+"""Tests for the invariant layer (repro.validation.invariants) and its
+wiring into the plan-lifecycle service."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    PlanStore,
+    PlanValidationError,
+    ShardingEngine,
+    ShardingService,
+    WorkloadDelta,
+)
+from repro.api.service import PlanRecord
+from repro.core.plan import ShardingPlan
+from repro.data.table import TableConfig
+from repro.validation import PlanValidator, ValidationReport
+
+
+@pytest.fixture()
+def engine(cluster2, tiny_bundle):
+    return ShardingEngine(cluster2, tiny_bundle)
+
+
+@pytest.fixture()
+def service(engine, tasks2):
+    service = ShardingService()
+    service.create_deployment("prod", engine, tables=tasks2[0].tables)
+    return service
+
+
+def _tables(count=3, dim=16, hash_size=2000):
+    return tuple(
+        TableConfig(
+            table_id=i,
+            hash_size=hash_size,
+            dim=dim,
+            pooling_factor=4.0,
+            zipf_alpha=0.8,
+        )
+        for i in range(count)
+    )
+
+
+class TestValidatePlan:
+    def test_clean_plan_runs_every_structural_check(self):
+        tables = _tables()
+        plan = ShardingPlan(
+            column_plan=(0,), assignment=(0, 1, 0, 1), num_devices=2
+        )
+        report = PlanValidator().validate_plan(
+            plan, tables, num_devices=2, memory_bytes=10**8
+        )
+        assert report.ok
+        assert set(report.checks) == {
+            "plan/device-count",
+            "plan/column-plan",
+            "plan/coverage",
+            "plan/device-range",
+            "plan/memory",
+        }
+
+    def test_memory_check_includes_optimizer_state(self):
+        # One table of exactly weight-budget size: the row-wise optimizer
+        # accumulator pushes it over, and the validator must see that.
+        table = _tables(1)[0]
+        plan = ShardingPlan(column_plan=(), assignment=(0,), num_devices=1)
+        weights = table.size_bytes
+        just_weights = PlanValidator().validate_plan(
+            plan, (table,), num_devices=1, memory_bytes=weights
+        )
+        assert just_weights.error_codes == ("plan/memory",)
+        with_optimizer = PlanValidator().validate_plan(
+            plan, (table,), num_devices=1,
+            memory_bytes=weights + 4 * table.hash_size,
+        )
+        assert with_optimizer.ok
+
+    def test_report_round_trips_through_json(self):
+        tables = _tables()
+        plan = ShardingPlan(
+            column_plan=(), assignment=(0, 1, 0), num_devices=4
+        )
+        report = PlanValidator().validate_plan(
+            plan, tables, num_devices=2, memory_bytes=10
+        )
+        assert not report.ok
+        reloaded = ValidationReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert reloaded == report
+
+    def test_report_version_mismatch_rejected(self):
+        report = PlanValidator().validate_plan(
+            ShardingPlan(column_plan=(), assignment=(0,), num_devices=1),
+            _tables(1),
+            num_devices=1,
+            memory_bytes=10**8,
+        )
+        payload = report.to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            ValidationReport.from_dict(payload)
+
+
+class TestServiceWiring:
+    def test_plan_records_carry_validation_reports(self, service):
+        record = service.plan("prod")
+        assert record.validation is not None
+        assert record.validation.ok
+        assert "plan/memory" in record.validation.checks
+        assert record.to_dict()["validation"]["ok"] is True
+
+    def test_reshard_records_carry_transition_checks(self, service, tasks2):
+        service.plan("prod")
+        service.apply("prod")
+        added = tuple(
+            dataclasses.replace(t, table_id=90_000 + i)
+            for i, t in enumerate(tasks2[1].tables[:2])
+        )
+        record = service.reshard("prod", WorkloadDelta(add_tables=added))
+        assert record.validation is not None
+        assert record.validation.ok
+        assert "diff/conservation" in record.validation.checks
+        assert "diff/mismatch" in record.validation.checks
+        assert record.metadata["base_version"] == 1
+
+    def test_apply_rejects_corrupted_record(self, service):
+        record = service.plan("prod")
+        # Corrupt the stored record in place: claim a device the cluster
+        # does not have.  The validator must refuse to make it live.
+        deployment = service._get("prod")
+        bad_plan = ShardingPlan(
+            column_plan=record.plan.column_plan,
+            assignment=record.plan.assignment,
+            num_devices=record.plan.num_devices + 1,
+        )
+        deployment.records[record.version] = dataclasses.replace(
+            record, plan=bad_plan
+        )
+        with pytest.raises(PlanValidationError) as excinfo:
+            service.apply("prod")
+        assert "plan/device-count" in excinfo.value.report.error_codes
+        assert service.status("prod")["applied_version"] is None
+
+    def test_validate_flag_disables_gating(self, engine, tasks2):
+        service = ShardingService(validate=False)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        record = service.plan("prod")
+        assert record.validation is None
+        deployment = service._get("prod")
+        bad_plan = ShardingPlan(
+            column_plan=record.plan.column_plan,
+            assignment=record.plan.assignment,
+            num_devices=record.plan.num_devices + 1,
+        )
+        deployment.records[record.version] = dataclasses.replace(
+            record, plan=bad_plan
+        )
+        applied = service.apply("prod")  # no gate without validation
+        assert applied.version == record.version
+
+    def test_per_call_validate_override(self, service):
+        record = service.plan("prod", validate=False)
+        assert record.validation is None
+        record = service.plan("prod", validate=True)
+        assert record.validation is not None
+
+    def test_validate_deployment_full_history(self, service, tasks2):
+        service.plan("prod")
+        service.apply("prod")
+        added = tuple(
+            dataclasses.replace(t, table_id=91_000 + i)
+            for i, t in enumerate(tasks2[1].tables[:1])
+        )
+        service.reshard("prod", WorkloadDelta(add_tables=added))
+        service.rollback("prod")
+        report = service.validate_deployment("prod")
+        assert report.ok
+        assert "state/applied-version" in report.checks
+
+    def test_validate_deployment_detects_store_drift(
+        self, engine, tasks2, tmp_path
+    ):
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        service.plan("prod")
+        service.apply("prod")
+        assert service.validate_deployment("prod").ok
+        # Rewrite history on disk behind the service's back.
+        path = tmp_path / "deps" / "prod" / "plans" / "v1.json"
+        data = json.loads(path.read_text())
+        data["strategy"] = "rewritten"
+        path.write_text(json.dumps(data, indent=1))
+        report = service.validate_deployment("prod")
+        assert "rollback/byte-identity" in report.error_codes
+
+    def test_rollback_gates_on_unreadable_target_record(
+        self, engine, tasks2, tmp_path
+    ):
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        service.plan("prod")
+        service.apply("prod")
+        service.plan("prod")
+        service.apply("prod", version=2)
+        path = tmp_path / "deps" / "prod" / "plans" / "v1.json"
+        path.write_text(path.read_text()[:80])  # torn on disk after the fact
+        with pytest.raises(PlanValidationError) as excinfo:
+            service.rollback("prod")
+        assert "rollback/byte-identity" in excinfo.value.report.error_codes
+        assert service.status("prod")["applied_version"] == 2
+
+    def test_rollback_gates_on_store_drift(self, engine, tasks2, tmp_path):
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        service.plan("prod")
+        service.apply("prod")
+        service.plan("prod")
+        service.apply("prod", version=2)
+        path = tmp_path / "deps" / "prod" / "plans" / "v1.json"
+        data = json.loads(path.read_text())
+        data["strategy"] = "rewritten"
+        path.write_text(json.dumps(data, indent=1))
+        with pytest.raises(PlanValidationError) as excinfo:
+            service.rollback("prod")
+        assert "rollback/byte-identity" in excinfo.value.report.error_codes
+        # The gate fired before the stack moved.
+        assert service.status("prod")["applied_version"] == 2
+
+
+class TestHistoryValidation:
+    def test_stats_update_reshard_is_zero_move_clean(self, service, tasks2):
+        service.plan("prod")
+        service.apply("prod")
+        base = tasks2[0].tables
+        updates = (
+            dataclasses.replace(base[0], pooling_factor=base[0].pooling_factor * 3),
+        )
+        record = service.reshard(
+            "prod",
+            WorkloadDelta(update_stats=updates),
+            apply=False,
+        )
+        assert record.validation is not None
+        assert record.validation.ok, record.validation.errors
+
+    def test_validator_codes_are_exhaustive(self):
+        # Every code the validator can emit is declared, and vice versa:
+        # the negative suite keys off this list.
+        declared = set(PlanValidator.ALL_CODES)
+        assert len(declared) == len(PlanValidator.ALL_CODES)
+        prefixes = {c.split("/")[0] for c in declared}
+        assert prefixes == {"plan", "record", "diff", "transition",
+                            "rollback", "state"}
+
+
+def test_infeasible_record_is_recorded_not_gated(engine, tasks2):
+    """An infeasible plan may be recorded (audit trail) — apply refuses it
+    via the plain ValueError path, not a validation crash."""
+    service = ShardingService()
+    oversized = (
+        TableConfig(
+            table_id=0, hash_size=10_000_000, dim=128,
+            pooling_factor=10.0, zipf_alpha=1.05,
+        ),
+    )
+    service.create_deployment(
+        "tight", engine, tables=oversized, memory_bytes=1024**2
+    )
+    record = service.plan("tight")
+    assert not record.feasible
+    assert record.validation is not None
+    assert record.validation.ok  # an infeasible record is coherent
+    with pytest.raises(ValueError, match="no feasible plan record"):
+        service.apply("tight")
+
+
+def test_plan_record_round_trip_with_validation_report(service):
+    record = service.plan("prod")
+    payload = json.loads(json.dumps(record.to_dict()))
+    reloaded = PlanRecord.from_dict(payload)
+    assert reloaded.validation == record.validation
+    assert reloaded.to_dict() == record.to_dict()
