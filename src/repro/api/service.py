@@ -639,7 +639,11 @@ class ShardingService:
         With validation on (the default), the record's structural
         invariants — and the conservation laws of the transition from the
         currently applied plan — are checked *before* the stack moves: an
-        invariant-violating plan never goes live.
+        invariant-violating plan never goes live.  Memory feasibility is
+        checked against the deployment's *current* per-device budget, not
+        the record's creation-time snapshot — capacity lost to a later
+        ``reshard(memory_bytes=...)`` makes an old plan's own snapshot a
+        stale contract.
 
         Args:
             name: the deployment.
@@ -681,21 +685,46 @@ class ShardingService:
                     f"plan record v{version} of deployment {name!r} is "
                     "infeasible and cannot be applied"
                 )
-            if self._validating(validate):
+            return self._apply_locked(deployment, record, validate)
+
+    def _apply_locked(
+        self,
+        deployment: _Deployment,
+        record: PlanRecord,
+        validate: bool | None,
+        report: ValidationReport | None = None,
+    ) -> PlanRecord:
+        """Gate ``record`` and push it onto the applied stack.
+
+        Caller holds ``deployment.lock`` and has vetted feasibility.
+        ``report`` lets :meth:`reshard` reuse the report stamped on the
+        record it just created — same base, same budget, same lock hold —
+        instead of re-running the full suite.
+        """
+        if self._validating(validate):
+            if report is None:
                 previous = deployment.applied_record
                 report = self.validator.validate_record(
-                    record, subject=f"{name}/v{version}"
+                    record,
+                    subject=f"{deployment.name}/v{record.version}",
+                    memory_bytes=deployment.memory_bytes,
                 )
                 if previous is not None and previous.plan is not None:
                     report = report.merged(
                         self.validator.validate_transition(previous, record)
                     )
-                # Gate, but return the record unchanged: what apply hands
-                # back must be byte-identical to what was recorded.
-                report.raise_if_failed()
-            deployment.applied_stack.append(version)
-            self._persist_state(deployment)
-            return record
+            # Gate, but return the record unchanged: what apply hands
+            # back must be byte-identical to what was recorded.
+            report.raise_if_failed()
+        # Disk before memory: persist the post-apply stack first, so a
+        # crashed/failed state write leaves the in-process service on
+        # the same version a restart would recover.
+        self._persist_state(
+            deployment,
+            applied_stack=[*deployment.applied_stack, record.version],
+        )
+        deployment.applied_stack.append(record.version)
+        return record
 
     def rollback(self, name: str, validate: bool | None = None) -> PlanRecord:
         """Restore the previously applied plan version.
@@ -734,15 +763,25 @@ class ShardingService:
                         # Either way the file cannot vouch for the
                         # record's bytes; the validator reports it.
                         stored = {}
+                # The restored plan serves under the deployment's current
+                # budget, not the (possibly larger) one it was created
+                # under — degradation survives rollbacks.
                 report = self.validator.validate_record(
-                    record, subject=f"{name}/v{target}"
+                    record,
+                    subject=f"{name}/v{target}",
+                    memory_bytes=deployment.memory_bytes,
                 ).merged(self.validator.validate_rollback(record, stored))
                 # Gate, but return the record unchanged: rollback must
                 # restore v{target} byte-identically, validation report
                 # included.
                 report.raise_if_failed()
+            # Disk before memory, as in apply: a failed state write must
+            # not leave the in-process service behind the stack a
+            # restart would recover.
+            self._persist_state(
+                deployment, applied_stack=deployment.applied_stack[:-1]
+            )
             deployment.applied_stack.pop()
-            self._persist_state(deployment)
             return record
 
     def reshard(
@@ -797,12 +836,13 @@ class ShardingService:
                     raise ValueError(
                         f"memory_bytes must be > 0, got {memory_bytes}"
                     )
-                deployment.memory_bytes = int(memory_bytes)
                 # Budget changes are deployment state, not plan state:
-                # persist immediately so the new budget survives a
-                # restart even when this reshard finds no feasible plan,
-                # and is not reverted by a later rollback.
-                self._persist_state(deployment)
+                # persist immediately (disk before memory) so the new
+                # budget survives a restart even when this reshard finds
+                # no feasible plan, and is not reverted by a later
+                # rollback.
+                self._persist_state(deployment, memory_bytes=int(memory_bytes))
+                deployment.memory_bytes = int(memory_bytes)
             version = deployment.reserve_versions(1)
             result = incremental_reshard(
                 deployment.engine,
@@ -848,7 +888,14 @@ class ShardingService:
                 validate=validate,
             )
             if apply and record.feasible:
-                self.apply(name, record.version, validate=validate)
+                # Reuse the report stamped moments ago under this same
+                # lock: the base plan and budget are unchanged, so
+                # re-running validate_record + validate_transition here
+                # would double the validator cost of every default
+                # reshard for no new information.
+                self._apply_locked(
+                    deployment, record, validate, report=record.validation
+                )
             return record
 
     # ------------------------------------------------------------------
@@ -901,6 +948,7 @@ class ShardingService:
                 deployment.records[v] for v in sorted(deployment.records)
             ]
             stack = list(deployment.applied_stack)
+            budget = deployment.memory_bytes
         stored: dict[int, dict[str, Any]] | None = None
         if self.store is not None:
             stored = {}
@@ -910,7 +958,11 @@ class ShardingService:
                 except Exception:  # noqa: BLE001 — unreadable = missing
                     continue  # validate_history flags the byte mismatch
         return self.validator.validate_history(
-            records, stack, stored=stored, subject=f"deployment:{name}"
+            records,
+            stack,
+            stored=stored,
+            subject=f"deployment:{name}",
+            memory_bytes=budget,
         )
 
     def status(self, name: str) -> dict[str, Any]:
@@ -947,12 +999,28 @@ class ShardingService:
                 "cache": deployment.engine.cache_stats(),
             }
 
-    def _persist_state(self, deployment: _Deployment) -> None:
+    def _persist_state(
+        self,
+        deployment: _Deployment,
+        applied_stack: Sequence[int] | None = None,
+        memory_bytes: int | None = None,
+    ) -> None:
+        """Write deployment state; overrides let mutating verbs persist
+        the post-mutation state *before* touching memory (disk before
+        memory — a failed write must leave process and disk agreeing)."""
         if self.store is not None:
             self.store.save_state(
                 deployment.name,
                 {
-                    "applied_stack": list(deployment.applied_stack),
-                    "memory_bytes": deployment.memory_bytes,
+                    "applied_stack": list(
+                        deployment.applied_stack
+                        if applied_stack is None
+                        else applied_stack
+                    ),
+                    "memory_bytes": (
+                        deployment.memory_bytes
+                        if memory_bytes is None
+                        else memory_bytes
+                    ),
                 },
             )

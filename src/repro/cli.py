@@ -1174,14 +1174,43 @@ def _validate_deployment_unit(store, name, validator):
                 f"record v{version}: does not deserialize "
                 f"({type(exc).__name__}: {exc})"
             )
+    memory = None
     try:
         state = store.load_state(name)
-        stack = [int(v) for v in state.get("applied_stack", [])]
     except Exception as exc:
         extra.append(f"state: unreadable ({type(exc).__name__})")
+        state = {}
+    if not isinstance(state, dict):
+        extra.append(f"state: expected an object, got {type(state).__name__}")
+        state = {}
+    raw_stack = state.get("applied_stack", [])
+    try:
+        if not isinstance(raw_stack, list):
+            raise TypeError(type(raw_stack).__name__)
+        stack = [int(v) for v in raw_stack]
+    except (TypeError, ValueError):
+        extra.append(
+            f"state: applied_stack {raw_stack!r} is not a list of integers"
+        )
         stack = []
+    # The budget the deployment currently runs under (absent in stores
+    # written before budgets were state-tracked): the applied record is
+    # audited against it, not its creation-time snapshot.  A bad budget
+    # field degrades to the snapshot audit without dropping the stack.
+    if state.get("memory_bytes") is not None:
+        try:
+            memory = int(state["memory_bytes"])
+        except (TypeError, ValueError):
+            extra.append(
+                f"state: memory_bytes {state['memory_bytes']!r} is not an "
+                "integer"
+            )
     report = validator.validate_history(
-        records, stack, stored=stored, subject=f"deployment:{name}"
+        records,
+        stack,
+        stored=stored,
+        subject=f"deployment:{name}",
+        memory_bytes=memory,
     )
     payload = report.to_dict()
     payload["extra_errors"] = extra

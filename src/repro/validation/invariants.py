@@ -348,9 +348,23 @@ class PlanValidator:
     # ------------------------------------------------------------------
 
     def validate_record(
-        self, record: "PlanRecord", subject: str | None = None
+        self,
+        record: "PlanRecord",
+        subject: str | None = None,
+        memory_bytes: int | None = None,
     ) -> ValidationReport:
-        """Record coherence plus structural invariants of its plan."""
+        """Record coherence plus structural invariants of its plan.
+
+        Args:
+            record: the plan record under audit.
+            subject: report label.
+            memory_bytes: the per-device budget the plan must fit *now*.
+                Defaults to the record's creation-time snapshot; gates
+                that put a plan live (apply/rollback) must pass the
+                deployment's current budget instead — capacity lost to a
+                later ``reshard(memory_bytes=...)`` makes an old plan's
+                own snapshot a stale contract.
+        """
         out = _Collector(subject or f"record:v{record.version}")
 
         out.ran("record/version")
@@ -379,7 +393,7 @@ class PlanValidator:
                 record.plan,
                 record.base_tables,
                 record.num_devices,
-                record.memory_bytes,
+                record.memory_bytes if memory_bytes is None else memory_bytes,
             )
         return out.report()
 
@@ -682,6 +696,7 @@ class PlanValidator:
         applied_stack: Sequence[int],
         stored: Mapping[int, Mapping[str, Any]] | None = None,
         subject: str = "history",
+        memory_bytes: int | None = None,
     ) -> ValidationReport:
         """Every record, every applied transition, the stack, the store.
 
@@ -692,13 +707,27 @@ class PlanValidator:
                 deployment is store-backed — each in-memory record must
                 match its stored form byte-for-byte.
             subject: report label.
+            memory_bytes: the deployment's *current* per-device budget.
+                When given, the applied (top-of-stack) record — the plan
+                serving traffic — is held to it instead of its own
+                creation-time snapshot; historical records keep theirs.
         """
         out = _Collector(subject)
         by_version = {r.version: r for r in records}
+        applied_version = applied_stack[-1] if applied_stack else None
 
         report = out.report()
         for record in sorted(records, key=lambda r: r.version):
-            report = report.merged(self.validate_record(record))
+            report = report.merged(
+                self.validate_record(
+                    record,
+                    memory_bytes=(
+                        memory_bytes
+                        if record.version == applied_version
+                        else None
+                    ),
+                )
+            )
             if stored is not None:
                 # A version the store cannot produce compares against {}
                 # — "missing" is itself a byte-identity violation.

@@ -104,6 +104,62 @@ class TestCrashAtEveryWritePoint:
         assert reopened.validate_deployment("prod").ok
 
 
+class TestFailedWriteLeavesMemoryConsistent:
+    """Disk before memory: a failed state write must leave the live
+    in-process service on exactly the state a restart would recover —
+    a caller that catches the error must not keep serving a version (or
+    budget) that durable state never saw."""
+
+    def test_apply_state_crash_keeps_memory_on_old_version(
+        self, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        service.plan("prod")
+        fs.arm("state#write")
+        with pytest.raises(CrashPoint):
+            service.apply("prod", version=2)
+        assert service.status("prod")["applied_version"] == 1
+        assert _open(store, light_engine).status("prod")["applied_version"] == 1
+
+    def test_rollback_state_crash_keeps_memory_on_current_version(
+        self, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        service.plan("prod")
+        service.apply("prod", version=2)
+        fs.arm("state#write")
+        with pytest.raises(CrashPoint):
+            service.rollback("prod")
+        assert service.status("prod")["applied_version"] == 2
+        assert _open(store, light_engine).status("prod")["applied_version"] == 2
+
+    def test_reshard_budget_crash_keeps_memory_budget(
+        self, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        budget = service.status("prod")["memory_bytes"]
+        fs.arm("state#write")
+        with pytest.raises(CrashPoint):
+            service.reshard("prod", WorkloadDelta(), memory_bytes=budget // 2)
+        assert service.status("prod")["memory_bytes"] == budget
+        assert _open(store, light_engine).status("prod")["memory_bytes"] == budget
+
+
 class TestAtomicity:
     def test_state_file_is_old_or_new_never_torn(self, tmp_path, light_engine):
         fs = FaultyFS()

@@ -245,6 +245,70 @@ class TestValidateCommand:
         assert payload and payload[0]["subject"] == "deployment:prod"
         assert payload[0]["ok"] is False
 
+    def test_bad_budget_field_keeps_applied_stack_audit(
+        self, tmp_path, cluster2, capsys
+    ):
+        """A malformed memory_bytes in state.json is its own finding — it
+        must not discard the parsed applied stack (and with it the
+        state/applied-version and current-budget audits)."""
+        store_dir = tmp_path / "deps"
+        service = ShardingService(PlanStore(store_dir))
+        service.create_deployment(
+            "prod",
+            ShardingEngine(cluster2),
+            tables=(
+                TableConfig(table_id=0, hash_size=2000, dim=16,
+                            pooling_factor=4.0, zipf_alpha=0.8),
+            ),
+        )
+        service.plan("prod")
+        service.apply("prod")
+        state_path = store_dir / "prod" / "state.json"
+        state = json.loads(state_path.read_text())
+        state["memory_bytes"] = "garbage"
+        state_path.write_text(json.dumps(state))
+        code = main(["validate", "--store", str(store_dir), "--json"])
+        captured = capsys.readouterr()
+        assert code == EXIT_ALL_INFEASIBLE
+        assert "memory_bytes" in captured.err
+        payload = json.loads(captured.out)
+        # The stack survived the bad budget field: the applied version is
+        # still audited (and reported).
+        assert payload[0]["applied_version"] == 1
+        assert "state/applied-version" in payload[0]["checks"]
+
+    @pytest.mark.parametrize(
+        "bad_state, needle",
+        [
+            ([1, 2], "expected an object"),
+            ({"applied_stack": "12"}, "applied_stack"),
+        ],
+        ids=["non-dict-state", "string-applied-stack"],
+    )
+    def test_malformed_state_is_a_finding_not_a_crash(
+        self, tmp_path, cluster2, capsys, bad_state, needle
+    ):
+        """Valid-JSON-but-wrong-shape state files are findings the audit
+        reports, not tracebacks (a string stack must not misparse into
+        per-character phantom versions either)."""
+        store_dir = tmp_path / "deps"
+        service = ShardingService(PlanStore(store_dir))
+        service.create_deployment(
+            "prod",
+            ShardingEngine(cluster2),
+            tables=(
+                TableConfig(table_id=0, hash_size=2000, dim=16,
+                            pooling_factor=4.0, zipf_alpha=0.8),
+            ),
+        )
+        service.plan("prod")
+        service.apply("prod")
+        (store_dir / "prod" / "state.json").write_text(json.dumps(bad_state))
+        code = main(["validate", "--store", str(store_dir)])
+        captured = capsys.readouterr()
+        assert code == EXIT_ALL_INFEASIBLE
+        assert needle in captured.err
+
     def test_bundle_store_validation(self, tmp_path, tiny_bundle, capsys):
         from repro.api import BundleStore
 

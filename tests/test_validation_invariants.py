@@ -14,8 +14,9 @@ from repro.api import (
     WorkloadDelta,
 )
 from repro.api.service import PlanRecord
-from repro.core.plan import ShardingPlan
+from repro.core.plan import ShardingPlan, apply_column_plan
 from repro.data.table import TableConfig
+from repro.hardware.memory import MemoryModel
 from repro.validation import PlanValidator, ValidationReport
 
 
@@ -29,6 +30,16 @@ def service(engine, tasks2):
     service = ShardingService()
     service.create_deployment("prod", engine, tables=tasks2[0].tables)
     return service
+
+
+def _max_device_usage(record):
+    """Peak per-device bytes of a record's plan (validator's memory law)."""
+    memory = MemoryModel(record.memory_bytes)
+    sharded = apply_column_plan(record.base_tables, record.plan.column_plan)
+    used = [0] * record.plan.num_devices
+    for table, device in zip(sharded, record.plan.assignment):
+        used[device] += memory.table_bytes(table)
+    return max(used)
 
 
 def _tables(count=3, dim=16, hash_size=2000):
@@ -214,6 +225,70 @@ class TestServiceWiring:
             service.rollback("prod")
         assert "rollback/byte-identity" in excinfo.value.report.error_codes
         assert service.status("prod")["applied_version"] == 2
+
+    def test_degraded_budget_gates_apply_of_stale_version(self, service):
+        """The gate checks the deployment's *current* budget: a version
+        recorded under more capacity must not go live after degradation."""
+        service.plan("prod")
+        v1 = service.apply("prod")
+        # Capacity loss since v1 was recorded (reshard(memory_bytes=...)
+        # persists exactly this state change).
+        service._get("prod").memory_bytes = _max_device_usage(v1) - 1
+        with pytest.raises(PlanValidationError) as excinfo:
+            service.apply("prod", version=1)
+        assert "plan/memory" in excinfo.value.report.error_codes
+
+    def test_degraded_budget_gates_rollback(self, service):
+        service.plan("prod")
+        service.apply("prod")
+        service.plan("prod")
+        service.apply("prod", version=2)
+        v1 = service.get_record("prod", 1)
+        service._get("prod").memory_bytes = _max_device_usage(v1) - 1
+        with pytest.raises(PlanValidationError) as excinfo:
+            service.rollback("prod")
+        assert "plan/memory" in excinfo.value.report.error_codes
+        # The gate fired before the stack moved: v2 keeps serving.
+        assert service.status("prod")["applied_version"] == 2
+
+    def test_validate_deployment_flags_applied_plan_over_current_budget(
+        self, service
+    ):
+        service.plan("prod")
+        v1 = service.apply("prod")
+        assert service.validate_deployment("prod").ok
+        service._get("prod").memory_bytes = _max_device_usage(v1) - 1
+        report = service.validate_deployment("prod")
+        assert "plan/memory" in report.error_codes
+
+    def test_reshard_apply_validates_once(self, service, tasks2, monkeypatch):
+        """reshard(apply=True) reuses the report stamped on its record —
+        the full suite must not run a second time inside apply()."""
+        service.plan("prod")
+        service.apply("prod")
+        calls = {"record": 0, "transition": 0}
+        real_record = service.validator.validate_record
+        real_transition = service.validator.validate_transition
+
+        def counting_record(*args, **kwargs):
+            calls["record"] += 1
+            return real_record(*args, **kwargs)
+
+        def counting_transition(*args, **kwargs):
+            calls["transition"] += 1
+            return real_transition(*args, **kwargs)
+
+        monkeypatch.setattr(service.validator, "validate_record",
+                            counting_record)
+        monkeypatch.setattr(service.validator, "validate_transition",
+                            counting_transition)
+        added = tuple(
+            dataclasses.replace(t, table_id=92_000 + i)
+            for i, t in enumerate(tasks2[1].tables[:1])
+        )
+        record = service.reshard("prod", WorkloadDelta(add_tables=added))
+        assert calls == {"record": 1, "transition": 1}
+        assert service.status("prod")["applied_version"] == record.version
 
     def test_rollback_gates_on_store_drift(self, engine, tasks2, tmp_path):
         store = PlanStore(tmp_path / "deps")
