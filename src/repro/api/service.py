@@ -997,6 +997,10 @@ class ShardingService:
                 ),
                 "default_strategy": deployment.engine.default_strategy,
                 "cache": deployment.engine.cache_stats(),
+                # Corrupted-tail repairs open() performed on this
+                # deployment (empty for a clean store) — operators see
+                # at a glance that the served version is a recovery.
+                "recovery_notes": list(self.recovery_notes.get(name, [])),
             }
 
     def _persist_state(

@@ -31,6 +31,11 @@ all sharding algorithms served through the :mod:`repro.api` registry:
   ``list`` the registry, ``run`` one scenario's trace through the
   lifecycle service (per-step report, optional JSON artifacts),
   ``compare`` several scenarios' aggregate replay metrics side by side.
+- ``simulate`` — the discrete-event cluster simulator
+  (:mod:`repro.simulator`): ``list`` the online-policy registry,
+  ``run`` one policy over one scenario regime (time-weighted SLO
+  metrics, optional report JSON), ``compare`` a policy x scenario
+  matrix side by side.
 - ``validate`` — run the invariant suite (:mod:`repro.validation`) over
   stored deployments (plan structure, memory feasibility, lifecycle
   conservation laws, store byte-identity) and/or stored bundles
@@ -108,6 +113,17 @@ from repro.scenarios import (
     make_trace,
 )
 from repro.scenarios.catalog import DEFAULT_MEMORY_BYTES
+from repro.simulator import (
+    FleetSpec,
+    SimulationConfig,
+    UnknownPolicyError,
+    available_policies,
+    format_policy_matrix,
+    format_simulation_report,
+    iter_policies,
+    make_policy,
+    simulate_policy,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -347,6 +363,66 @@ def build_parser() -> argparse.ArgumentParser:
                           help="registry scenario names (see "
                           "'scenario list')")
     add_scenario_args(scen_cmp)
+
+    sim = sub.add_parser("simulate", help="discrete-event cluster "
+                         "simulation: online when-to-reshard policies "
+                         "over scenario regimes")
+    sim_sub = sim.add_subparsers(dest="action", required=True)
+
+    sim_sub.add_parser("list", help="list registered online resharding "
+                       "policies")
+
+    def add_simulate_args(p: argparse.ArgumentParser) -> None:
+        add_scenario_args(p)
+        p.add_argument("--slo-factor", type=float, default=1.5,
+                       help="SLO = factor x initial plan cost "
+                       "(default: 1.5)")
+        p.add_argument("--tick-hours", type=float, default=1.0,
+                       help="policy wake-up cadence in simulated hours "
+                       "(default: 1.0)")
+        p.add_argument("--horizon-hours", type=float,
+                       help="simulated span (default: one tick past the "
+                       "last scheduled event)")
+        p.add_argument("--sim-seed", type=int, default=0,
+                       help="seed of the fleet/machine processes "
+                       "(default: 0)")
+        p.add_argument("--mtbf-hours", type=float, default=0.0,
+                       help="per-device mean time between failures; 0 "
+                       "disables device flaps (default: 0)")
+        p.add_argument("--mttr-hours", type=float, default=0.25,
+                       help="mean repair time of a down device "
+                       "(default: 0.25)")
+        p.add_argument("--straggler-rate", type=float, default=0.0,
+                       help="straggler episodes per device-hour; 0 "
+                       "disables stragglers (default: 0)")
+        p.add_argument("--straggler-hours", type=float, default=0.5,
+                       help="mean straggler episode duration "
+                       "(default: 0.5)")
+
+    sim_run = sim_sub.add_parser("run", help="simulate one policy over one "
+                                 "scenario regime")
+    sim_run.add_argument("name", help="registry scenario name "
+                         "(see 'scenario list')")
+    add_simulate_args(sim_run)
+    sim_run.add_argument("--policy", default="periodic",
+                         help="online policy (see 'simulate list'; "
+                         "default: periodic)")
+    sim_run.add_argument("--policy-arg", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="policy knob override, repeatable "
+                         "(e.g. --policy-arg interval_hours=4)")
+    sim_run.add_argument("--output", help="write the SimulationReport "
+                         "JSON here")
+
+    sim_cmp = sim_sub.add_parser("compare", help="simulate several policies "
+                                 "x scenarios, tabulate side by side")
+    sim_cmp.add_argument("names", nargs="+", metavar="name",
+                         help="registry scenario names (see "
+                         "'scenario list')")
+    add_simulate_args(sim_cmp)
+    sim_cmp.add_argument("--policies", nargs="+", metavar="policy",
+                         help="online policies (default: every "
+                         "registered policy)")
 
     val = sub.add_parser("validate", help="validate stored deployments "
                          "and/or bundles against the invariant suite")
@@ -1142,6 +1218,160 @@ def _cmd_scenario(args) -> int:
     raise AssertionError(f"unhandled scenario action {args.action!r}")
 
 
+def _policy_kwargs(pairs: list[str]) -> dict[str, object]:
+    """Parse repeatable ``--policy-arg key=value`` into typed kwargs.
+
+    Values parse as JSON when possible (numbers, booleans) and fall back
+    to the raw string.
+
+    Raises:
+        ValueError: on an argument without ``=``.
+    """
+    kwargs: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"--policy-arg wants KEY=VALUE, got {pair!r}"
+            )
+        try:
+            kwargs[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            kwargs[key] = raw
+    return kwargs
+
+
+def _simulation_config(args) -> SimulationConfig:
+    return SimulationConfig(
+        horizon_hours=args.horizon_hours,
+        tick_hours=args.tick_hours,
+        slo_factor=args.slo_factor,
+        sim_seed=args.sim_seed,
+        fleet=FleetSpec(
+            mtbf_hours=args.mtbf_hours,
+            mttr_hours=args.mttr_hours,
+            straggler_rate_per_hour=args.straggler_rate,
+            straggler_duration_hours=args.straggler_hours,
+        ),
+    )
+
+
+def _cmd_simulate(args) -> int:
+    if args.action == "list":
+        rows = [
+            [
+                info.name,
+                ", ".join(
+                    f"{k}={v}" for k, v in sorted(info.defaults.items())
+                ) or "-",
+                info.description,
+            ]
+            for info in iter_policies()
+        ]
+        print(
+            format_text_table(
+                ["policy", "defaults", "description"],
+                rows,
+                title=f"{len(rows)} registered online resharding policies",
+            )
+        )
+        return 0
+
+    try:
+        bundle = _load_bundle(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    memory = _scenario_memory(args)
+    if memory <= 0:
+        print(f"error: --memory-bytes must be > 0, got {memory}",
+              file=sys.stderr)
+        return 1
+    try:
+        sim_config = _simulation_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    reshard_config = _scenario_config(args)
+    engine = _scenario_engine(bundle, memory)
+
+    if args.action == "run":
+        try:
+            policy = make_policy(args.policy, **_policy_kwargs(args.policy_arg))
+        except (UnknownPolicyError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            trace = _scenario_trace(args, args.name, bundle.num_devices)
+        except (UnknownScenarioError, ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            report = simulate_policy(
+                trace, engine, policy,
+                reshard_config=reshard_config,
+                strategy=args.strategy,
+                config=sim_config,
+            )
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ALL_INFEASIBLE
+        print(format_simulation_report(report))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=1)
+                fh.write("\n")
+            print(f"wrote report to {args.output}")
+        if report.reshard_count and (
+            report.infeasible_reshards == report.reshard_count
+        ):
+            print(
+                f"simulate {args.name}: every reshard was infeasible",
+                file=sys.stderr,
+            )
+            return EXIT_ALL_INFEASIBLE
+        return 0
+
+    if args.action == "compare":
+        policies = args.policies or available_policies()
+        try:
+            for name in policies:
+                make_policy(name)  # fail fast on unknown names
+        except UnknownPolicyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        reports = []
+        failures = 0
+        for name in args.names:
+            try:
+                trace = _scenario_trace(args, name, bundle.num_devices)
+            except (UnknownScenarioError, ValueError, RuntimeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            for policy_name in policies:
+                try:
+                    reports.append(
+                        simulate_policy(
+                            trace, engine, make_policy(policy_name),
+                            reshard_config=reshard_config,
+                            strategy=args.strategy,
+                            config=sim_config,
+                        )
+                    )
+                except RuntimeError as exc:
+                    print(
+                        f"warning: {name} x {policy_name}: {exc}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+        print(format_policy_matrix(reports))
+        if not reports and failures:
+            return EXIT_ALL_INFEASIBLE
+        return 0
+
+    raise AssertionError(f"unhandled simulate action {args.action!r}")
+
+
 def _validate_deployment_unit(store, name, validator):
     """Validate one stored deployment offline; returns (report_dict, errors).
 
@@ -1350,6 +1580,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "deployment": _cmd_deployment,
         "scenario": _cmd_scenario,
+        "simulate": _cmd_simulate,
         "validate": _cmd_validate,
         "strategies": _cmd_strategies,
         "list-bundles": _cmd_list_bundles,

@@ -33,27 +33,57 @@ class DriftReport:
         probe_mse: MSE of the probe batch.
         rolling_mse: mean MSE over the monitor's window.
         needs_retraining: rolling MSE exceeded the threshold.
+        timestamp: when the probe ran, in the caller's time base
+            (simulated hours, a trace timestamp, POSIX seconds — the
+            monitor does not interpret it).  ``None`` when not recorded.
+        step_index: ordinal of the probe within the caller's sequence
+            (trace step, policy tick, ...).  ``None`` when not recorded.
     """
 
     probe_mse: float
     rolling_mse: float
     needs_retraining: bool
+    timestamp: float | None = None
+    step_index: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-JSON view, e.g. for the service API's workload deltas."""
+        """Versioned plain-JSON view (service API workload deltas,
+        simulation reports)."""
+        from repro.api.schema import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "probe_mse": float(self.probe_mse),
             "rolling_mse": float(self.rolling_mse),
             "needs_retraining": bool(self.needs_retraining),
+            "timestamp": (
+                None if self.timestamp is None else float(self.timestamp)
+            ),
+            "step_index": (
+                None if self.step_index is None else int(self.step_index)
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DriftReport":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Payloads written before the schema was versioned (no
+        ``schema_version`` key) are accepted; versioned payloads must
+        match the current schema.
+        """
+        if "schema_version" in data:
+            from repro.api.schema import check_version
+
+            check_version(data, "DriftReport")
+        timestamp = data.get("timestamp")
+        step_index = data.get("step_index")
         return cls(
             probe_mse=float(data["probe_mse"]),
             rolling_mse=float(data["rolling_mse"]),
             needs_retraining=bool(data["needs_retraining"]),
+            timestamp=None if timestamp is None else float(timestamp),
+            step_index=None if step_index is None else int(step_index),
         )
 
 
@@ -100,6 +130,8 @@ class DriftMonitor:
         num_samples: int = 16,
         seed: int | np.random.Generator = 0,
         max_tables: int = 15,
+        timestamp: float | None = None,
+        step_index: int | None = None,
     ) -> DriftReport:
         """Sample combinations, measure, compare, and report.
 
@@ -107,6 +139,10 @@ class DriftMonitor:
             num_samples: probe batch size.
             seed: sampling seed.
             max_tables: upper bound of tables per probe combination.
+            timestamp: stamped onto the report verbatim (caller's time
+                base; e.g. simulated hours or a trace timestamp).
+            step_index: stamped onto the report verbatim (caller's probe
+                ordinal).
         """
         if num_samples < 1:
             raise ValueError(f"num_samples must be >= 1, got {num_samples}")
@@ -126,6 +162,8 @@ class DriftMonitor:
             probe_mse=probe_mse,
             rolling_mse=rolling,
             needs_retraining=rolling > self.threshold_mse,
+            timestamp=timestamp,
+            step_index=step_index,
         )
 
     def reset(self) -> None:

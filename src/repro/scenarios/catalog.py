@@ -405,6 +405,8 @@ def _skew_drift(
             probe_mse=round(0.2 + 1.6 * frac, 4),
             rolling_mse=round(0.2 + 1.1 * frac, 4),
             needs_retraining=last,
+            timestamp=float(i + 1),
+            step_index=i,
         )
         trace_steps.append(
             TraceStep(

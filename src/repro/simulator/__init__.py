@@ -1,0 +1,102 @@
+"""Discrete-event cluster simulator with online resharding policies.
+
+The deployment layer (:mod:`repro.api`) answers *how* to reshard; this
+package answers *when*.  It simulates a serving cluster over days of
+operation — device failures and stragglers from seeded stochastic
+processes, traffic and workload changes from the scenario atlas's
+regimes — and lets an :class:`~repro.simulator.policies.OnlinePolicy`
+decide when accumulated changes justify paying the migration cost of a
+:meth:`~repro.api.service.ShardingService.reshard`.
+
+Layout:
+
+- :mod:`~repro.simulator.events` — typed events + the forward-only
+  priority-queue :class:`~repro.simulator.events.EventClock`;
+- :mod:`~repro.simulator.processes` — seed-reproducible machine
+  dynamics (:class:`~repro.simulator.processes.FleetSpec` /
+  :class:`~repro.simulator.processes.FleetProcess`);
+- :mod:`~repro.simulator.adapter` — scenario
+  :class:`~repro.scenarios.trace.WorkloadTrace` → event stream;
+- :mod:`~repro.simulator.policies` — the online-policy registry
+  (``immediate``, ``periodic``, ``drift_threshold``, ``cost_of_delay``);
+- :mod:`~repro.simulator.runner` — the simulation loop
+  (:func:`~repro.simulator.runner.simulate_policy`);
+- :mod:`~repro.simulator.report` — versioned-JSON
+  :class:`~repro.simulator.report.SimulationReport` + text tables.
+
+Everything is deterministic from ``(trace, sim_seed, policy, config)``;
+the same inputs produce a byte-identical report JSON.
+"""
+
+from repro.simulator.adapter import trace_to_events
+from repro.simulator.events import (
+    DEGRADE_END,
+    DEGRADE_START,
+    DEVICE_DOWN,
+    DEVICE_UP,
+    EVENT_KINDS,
+    MEMORY,
+    POLICY_TICK,
+    TRAFFIC,
+    WORKLOAD_DELTA,
+    Event,
+    EventClock,
+)
+from repro.simulator.policies import (
+    OnlinePolicy,
+    PolicyInfo,
+    PolicyObservation,
+    UnknownPolicyError,
+    available_policies,
+    iter_policies,
+    make_policy,
+    policy_info,
+    register_policy,
+)
+from repro.simulator.processes import FleetProcess, FleetSpec
+from repro.simulator.report import (
+    CostSegment,
+    ReshardDecision,
+    SimulationReport,
+    format_policy_matrix,
+    format_simulation_report,
+    time_weighted_mean,
+    time_weighted_quantile,
+)
+from repro.simulator.runner import SimulationConfig, merge_deltas, simulate_policy
+
+__all__ = [
+    "DEGRADE_END",
+    "DEGRADE_START",
+    "DEVICE_DOWN",
+    "DEVICE_UP",
+    "EVENT_KINDS",
+    "MEMORY",
+    "POLICY_TICK",
+    "TRAFFIC",
+    "WORKLOAD_DELTA",
+    "CostSegment",
+    "Event",
+    "EventClock",
+    "FleetProcess",
+    "FleetSpec",
+    "OnlinePolicy",
+    "PolicyInfo",
+    "PolicyObservation",
+    "ReshardDecision",
+    "SimulationConfig",
+    "SimulationReport",
+    "UnknownPolicyError",
+    "available_policies",
+    "format_policy_matrix",
+    "format_simulation_report",
+    "iter_policies",
+    "make_policy",
+    "merge_deltas",
+    "policy_info",
+    "register_policy",
+    "simulate_policy",
+    "time_weighted_mean",
+    "time_weighted_quantile",
+    "trace_to_events",
+]

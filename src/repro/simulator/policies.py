@@ -1,0 +1,426 @@
+"""Online resharding policies: *when* to call the lifecycle service.
+
+The strategy registry made algorithms pluggable and the scenario
+registry made workloads pluggable; this registry does the same for the
+third axis — the **decision rule** that watches a drifting cluster and
+chooses the moment to pay a migration.  A policy never computes a plan:
+it only answers "reshard now?" and the simulation runner drives
+:meth:`~repro.api.service.ShardingService.reshard` under the migration
+budget when it says yes.
+
+Built-ins:
+
+- ``immediate`` — reshard the instant anything is pending (the replay
+  harness's behaviour; the zero-latency upper bound on migration spend).
+- ``periodic`` — batch pending changes into fixed maintenance windows.
+- ``drift_threshold`` — act on evidence: a
+  :class:`~repro.costmodel.drift.DriftReport` crossing its threshold or
+  the serving cost degrading past a ratio of the post-reshard baseline.
+- ``cost_of_delay`` — integrate the regret of *not* resharding
+  (serving-cost excess plus unplaced-table backlog) and act when it
+  exceeds λ times the estimated migration cost.
+
+Every policy reshards unconditionally when the applied plan no longer
+fits the (possibly shrunk) device budget — a capacity violation is not a
+judgement call.
+
+Registering a policy is one decorator on a factory::
+
+    @register_policy("my_rule", description="when to reshard")
+    def _make(**kwargs) -> OnlinePolicy:
+        return MyRule(**kwargs)
+
+Factories take keyword knobs only, so CLI/benchmark callers can build
+any policy from a name plus a ``key=value`` mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.costmodel.drift import DriftReport
+
+__all__ = [
+    "OnlinePolicy",
+    "PolicyInfo",
+    "PolicyObservation",
+    "UnknownPolicyError",
+    "available_policies",
+    "iter_policies",
+    "make_policy",
+    "policy_info",
+    "register_policy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyObservation:
+    """What a policy sees at one decision point.
+
+    Attributes:
+        time_hours: simulated time of the decision point.
+        hours_since_reshard: time since the last applied plan change
+            (since t=0 before any reshard).
+        serving_cost_ms: current simulated serving cost (traffic,
+            pending stats overlays and machine slowdowns included).
+        baseline_cost_ms: serving cost observed right after the last
+            plan change — the "what resharding bought us" reference.
+        slo_ms: the simulation's serving-cost SLO.
+        traffic_multiplier: current load factor.
+        pending_adds / pending_removes / pending_updates: accumulated
+            workload-delta sizes awaiting a reshard.
+        pending_add_mb: megabytes of unplaced added tables.
+        pending_memory_change: a capacity change awaits the reshard path.
+        over_budget: the applied plan no longer fits the pending budget.
+        estimated_migration_ms: priced lower bound of the pending
+            migration (added bytes over the device interconnect).
+        drift: the latest drift probe seen since the last reshard.
+    """
+
+    time_hours: float
+    hours_since_reshard: float
+    serving_cost_ms: float
+    baseline_cost_ms: float
+    slo_ms: float
+    traffic_multiplier: float
+    pending_adds: int
+    pending_removes: int
+    pending_updates: int
+    pending_add_mb: float
+    pending_memory_change: bool
+    over_budget: bool
+    estimated_migration_ms: float
+    drift: DriftReport | None = None
+
+    @property
+    def pending(self) -> bool:
+        """Anything at all awaiting the reshard path."""
+        return (
+            self.pending_adds > 0
+            or self.pending_removes > 0
+            or self.pending_updates > 0
+            or self.pending_memory_change
+        )
+
+
+class OnlinePolicy:
+    """Base class: a (possibly stateful) reshard decision rule.
+
+    Subclasses override :meth:`decide`; stateful rules also override
+    :meth:`reset` and :meth:`notify_reshard`.
+    """
+
+    #: Registry name, stamped by :func:`make_policy`.
+    name: str = "?"
+
+    def reset(self) -> None:
+        """Forget accumulated state (called once before a simulation)."""
+
+    def decide(self, obs: PolicyObservation) -> str | None:
+        """Return a short reason to reshard now, or ``None`` to wait.
+
+        Called after every state-changing event batch and every policy
+        tick.  The runner only acts on a reason when something is
+        pending (an empty reshard is a no-op it refuses to pay a plan
+        version for).
+        """
+        raise NotImplementedError
+
+    def notify_reshard(self, obs: PolicyObservation) -> None:
+        """Hook invoked after a reshard attempt at ``obs.time_hours``."""
+
+
+def _capacity_reason(obs: PolicyObservation) -> str | None:
+    """The rule shared by every built-in: never serve over budget."""
+    if obs.over_budget:
+        return "over budget"
+    return None
+
+
+class ImmediatePolicy(OnlinePolicy):
+    """Reshard the instant anything is pending (the replay behaviour)."""
+
+    def decide(self, obs: PolicyObservation) -> str | None:
+        if obs.pending:
+            return "pending change"
+        return None
+
+
+class PeriodicPolicy(OnlinePolicy):
+    """Batch pending changes into fixed maintenance windows.
+
+    Args:
+        interval_hours: minimum spacing between reshards.
+    """
+
+    def __init__(self, interval_hours: float = 6.0) -> None:
+        if interval_hours <= 0:
+            raise ValueError(
+                f"interval_hours must be > 0, got {interval_hours}"
+            )
+        self.interval_hours = float(interval_hours)
+
+    def decide(self, obs: PolicyObservation) -> str | None:
+        reason = _capacity_reason(obs)
+        if reason:
+            return reason
+        if obs.pending and obs.hours_since_reshard >= self.interval_hours:
+            return f"window ({self.interval_hours:g}h)"
+        return None
+
+
+class DriftThresholdPolicy(OnlinePolicy):
+    """Act on drift evidence, not on a schedule.
+
+    Triggers when a :class:`~repro.costmodel.drift.DriftReport` (from a
+    workload delta or a live :meth:`~repro.costmodel.drift.DriftMonitor
+    .probe` the runner feeds in) crosses the MSE threshold or recommends
+    retraining — or when the serving cost itself has degraded past
+    ``degradation_ratio`` × the post-reshard baseline.
+
+    Args:
+        threshold_mse: rolling-MSE level that counts as drifted.
+        degradation_ratio: serving-cost growth (vs baseline) that counts
+            as drifted even without a probe.
+    """
+
+    def __init__(
+        self,
+        threshold_mse: float = 1.0,
+        degradation_ratio: float = 1.25,
+    ) -> None:
+        if threshold_mse <= 0:
+            raise ValueError(f"threshold_mse must be > 0, got {threshold_mse}")
+        if degradation_ratio <= 1.0:
+            raise ValueError(
+                f"degradation_ratio must be > 1, got {degradation_ratio}"
+            )
+        self.threshold_mse = float(threshold_mse)
+        self.degradation_ratio = float(degradation_ratio)
+
+    def decide(self, obs: PolicyObservation) -> str | None:
+        reason = _capacity_reason(obs)
+        if reason:
+            return reason
+        if not obs.pending:
+            return None
+        if obs.drift is not None and (
+            obs.drift.needs_retraining
+            or obs.drift.rolling_mse >= self.threshold_mse
+        ):
+            return f"drift mse {obs.drift.rolling_mse:.3f}"
+        if (
+            obs.baseline_cost_ms > 0
+            and obs.serving_cost_ms
+            >= self.degradation_ratio * obs.baseline_cost_ms
+        ):
+            return (
+                f"cost x{obs.serving_cost_ms / obs.baseline_cost_ms:.2f} "
+                "vs baseline"
+            )
+        return None
+
+
+class CostOfDelayPolicy(OnlinePolicy):
+    """Reshard when accumulated regret exceeds λ·(migration cost).
+
+    Between decisions the policy integrates the *cost of delay*: the
+    serving-cost excess over the post-reshard baseline, plus a backlog
+    charge for every added table that cannot serve until it is placed.
+    When the integral (ms·hours) passes ``lam`` × the estimated pending
+    migration cost (ms), the migration has paid for itself and the
+    policy fires.
+
+    Args:
+        lam: hours of accumulated excess that justify one ms of
+            migration (smaller = more eager).
+        backlog_cost_ms: serving-cost-equivalent charge per unplaced
+            added table, per hour.
+    """
+
+    def __init__(
+        self, lam: float = 0.05, backlog_cost_ms: float = 2.0
+    ) -> None:
+        if lam <= 0:
+            raise ValueError(f"lam must be > 0, got {lam}")
+        if backlog_cost_ms < 0:
+            raise ValueError(
+                f"backlog_cost_ms must be >= 0, got {backlog_cost_ms}"
+            )
+        self.lam = float(lam)
+        self.backlog_cost_ms = float(backlog_cost_ms)
+        self._accumulated = 0.0
+        self._last_time = 0.0
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._last_time = 0.0
+
+    def notify_reshard(self, obs: PolicyObservation) -> None:
+        self._accumulated = 0.0
+        self._last_time = obs.time_hours
+
+    def decide(self, obs: PolicyObservation) -> str | None:
+        dt = max(obs.time_hours - self._last_time, 0.0)
+        self._last_time = obs.time_hours
+        excess = max(obs.serving_cost_ms - obs.baseline_cost_ms, 0.0)
+        self._accumulated += dt * (
+            excess + self.backlog_cost_ms * obs.pending_adds
+        )
+        reason = _capacity_reason(obs)
+        if reason:
+            return reason
+        if not obs.pending:
+            return None
+        threshold = self.lam * max(obs.estimated_migration_ms, 1.0)
+        if self._accumulated >= threshold:
+            return (
+                f"delay {self._accumulated:.1f} ms*h >= "
+                f"{self.lam:g} x {obs.estimated_migration_ms:.1f} ms"
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+#: Factory signature: ``(**kwargs) -> OnlinePolicy``.
+PolicyFactory = Callable[..., OnlinePolicy]
+
+
+class UnknownPolicyError(ValueError):
+    """Raised when a policy name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class PolicyInfo:
+    """Registry record of one online resharding policy.
+
+    Attributes:
+        name: canonical registry name.
+        factory: builds a fresh policy instance from keyword knobs.
+        description: one-line summary for listings and docs.
+        defaults: the factory's default knobs (shown in listings).
+    """
+
+    name: str
+    factory: PolicyFactory
+    description: str
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            raise ValueError(f"policy {self.name!r} needs a description")
+
+
+_REGISTRY: dict[str, PolicyInfo] = {}
+
+
+def register_policy(
+    name: str,
+    *,
+    description: str,
+    defaults: Mapping[str, Any] | None = None,
+) -> Callable[[PolicyFactory], PolicyFactory]:
+    """Decorator registering a policy factory under ``name``.
+
+    Raises:
+        ValueError: on a duplicate name or an empty description.
+    """
+
+    def decorator(factory: PolicyFactory) -> PolicyFactory:
+        """Record ``factory`` in the registry."""
+        if name in _REGISTRY:
+            raise ValueError(f"policy name {name!r} already registered")
+        _REGISTRY[name] = PolicyInfo(
+            name=name,
+            factory=factory,
+            description=description,
+            defaults=dict(defaults or {}),
+        )
+        return factory
+
+    return decorator
+
+
+def policy_info(name: str) -> PolicyInfo:
+    """Look up a policy record.
+
+    Raises:
+        UnknownPolicyError: when the name is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownPolicyError(
+            f"unknown resharding policy {name!r}; available policies: {known}"
+        ) from None
+
+
+def available_policies() -> list[str]:
+    """Sorted policy names."""
+    return sorted(_REGISTRY)
+
+
+def iter_policies() -> Iterator[PolicyInfo]:
+    """All registered policies in name order."""
+    for name in available_policies():
+        yield _REGISTRY[name]
+
+
+def make_policy(name: str, **kwargs: Any) -> OnlinePolicy:
+    """Build a fresh policy instance registered under ``name``.
+
+    Args:
+        name: a registry name (see :func:`available_policies`).
+        **kwargs: knobs forwarded to the factory (see its ``defaults``).
+
+    Raises:
+        UnknownPolicyError: when ``name`` is not registered.
+        TypeError / ValueError: on bad knobs (propagated from the
+            factory).
+    """
+    info = policy_info(name)
+    policy = info.factory(**kwargs)
+    policy.name = name
+    return policy
+
+
+@register_policy(
+    "immediate",
+    description="reshard the instant anything is pending (replay behaviour)",
+)
+def _make_immediate(**kwargs: Any) -> OnlinePolicy:
+    if kwargs:
+        raise TypeError(f"immediate takes no knobs, got {sorted(kwargs)}")
+    return ImmediatePolicy()
+
+
+@register_policy(
+    "periodic",
+    description="batch pending changes into fixed maintenance windows",
+    defaults={"interval_hours": 6.0},
+)
+def _make_periodic(**kwargs: Any) -> OnlinePolicy:
+    return PeriodicPolicy(**kwargs)
+
+
+@register_policy(
+    "drift_threshold",
+    description="reshard on drift-probe or serving-cost degradation evidence",
+    defaults={"threshold_mse": 1.0, "degradation_ratio": 1.25},
+)
+def _make_drift_threshold(**kwargs: Any) -> OnlinePolicy:
+    return DriftThresholdPolicy(**kwargs)
+
+
+@register_policy(
+    "cost_of_delay",
+    description="reshard when accumulated regret exceeds lambda x migration cost",
+    defaults={"lam": 0.05, "backlog_cost_ms": 2.0},
+)
+def _make_cost_of_delay(**kwargs: Any) -> OnlinePolicy:
+    return CostOfDelayPolicy(**kwargs)

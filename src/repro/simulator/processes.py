@@ -1,0 +1,244 @@
+"""Seeded stochastic processes for device availability and latency.
+
+The scenario atlas scripts *workload* dynamics (tables, traffic,
+capacity); real fleets add *machine* dynamics on top — devices flap,
+straggle, and degrade on their own clocks.  :class:`FleetProcess` draws
+those dynamics as a deterministic event stream: exponential failure /
+repair clocks per device, Poisson straggler onsets with log-uniform
+slowdown factors, and rarer long-lived degradations.
+
+Everything is parameterized in simulated hours and seeded through
+:func:`numpy.random.default_rng` with a ``(seed, device, stream)`` key,
+so the same configuration always yields a byte-identical event stream —
+the property the simulator's determinism contract (same seed ⇒ identical
+:class:`~repro.simulator.report.SimulationReport` JSON) rests on.
+
+Rates default to zero (a *quiet* fleet): the base simulator reproduces
+the pure trace replay exactly, and callers opt into machine noise.
+:meth:`FleetSpec.light` derives a mildly flaky fleet whose straggler
+severity comes from the cluster's :class:`~repro.hardware.device
+.DeviceSpec` — a noisier measured device straggles harder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device import DeviceSpec
+from repro.simulator.events import (
+    DEGRADE_END,
+    DEGRADE_START,
+    DEVICE_DOWN,
+    DEVICE_UP,
+    Event,
+)
+
+__all__ = ["FleetSpec", "FleetProcess"]
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Rates of the machine-dynamics processes (simulated hours).
+
+    Attributes:
+        mtbf_hours: mean time between device failures (0 disables the
+            up/down process).
+        mttr_hours: mean repair time of a down device.
+        straggler_rate_per_hour: Poisson rate of straggler onsets per
+            device (0 disables).
+        straggler_duration_hours: mean straggler episode length.
+        straggler_factor_range: ``(lo, hi)`` bounds of the log-uniform
+            latency multiplier a straggling device serves under.
+        degrade_rate_per_hour: Poisson rate of long-lived degradations
+            per device (0 disables).
+        degrade_duration_hours: mean degradation length.
+        degrade_factor: latency multiplier of a degraded device.
+    """
+
+    mtbf_hours: float = 0.0
+    mttr_hours: float = 0.25
+    straggler_rate_per_hour: float = 0.0
+    straggler_duration_hours: float = 0.5
+    straggler_factor_range: tuple[float, float] = (1.5, 3.0)
+    degrade_rate_per_hour: float = 0.0
+    degrade_duration_hours: float = 2.0
+    degrade_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mtbf_hours",
+            "mttr_hours",
+            "straggler_rate_per_hour",
+            "straggler_duration_hours",
+            "degrade_rate_per_hour",
+            "degrade_duration_hours",
+        ):
+            value = getattr(self, name)
+            if value < 0 or not math.isfinite(value):
+                raise ValueError(f"{name} must be finite and >= 0, got {value}")
+        lo, hi = self.straggler_factor_range
+        if not (1.0 <= lo <= hi):
+            raise ValueError(
+                f"straggler_factor_range must satisfy 1 <= lo <= hi, got "
+                f"({lo}, {hi})"
+            )
+        if self.degrade_factor < 1.0:
+            raise ValueError(
+                f"degrade_factor must be >= 1, got {self.degrade_factor}"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """True when every process is disabled (no machine events)."""
+        return (
+            self.mtbf_hours == 0.0
+            and self.straggler_rate_per_hour == 0.0
+            and self.degrade_rate_per_hour == 0.0
+        )
+
+    @classmethod
+    def light(cls, spec: DeviceSpec | None = None) -> "FleetSpec":
+        """A mildly flaky fleet calibrated from a :class:`DeviceSpec`.
+
+        The straggler ceiling scales with the device's measured noise
+        floor: a device whose micro-benchmarks already wobble by
+        ``noise_fraction`` is modelled as straggling proportionally
+        harder when contention hits it.
+        """
+        spec = spec or DeviceSpec()
+        ceiling = 2.0 + 50.0 * spec.noise_fraction  # 2.5x at the 1% default
+        return cls(
+            mtbf_hours=96.0,
+            mttr_hours=0.5,
+            straggler_rate_per_hour=1.0 / 12.0,
+            straggler_duration_hours=0.75,
+            straggler_factor_range=(1.25, ceiling),
+        )
+
+
+class FleetProcess:
+    """Deterministic generator of per-device availability/latency events.
+
+    Args:
+        spec: the process rates.
+        num_devices: fleet size (device indices ``0..num_devices-1``).
+        seed: master seed; each ``(device, stream)`` pair derives its own
+            independent :func:`numpy.random.default_rng` stream.
+    """
+
+    #: Stream ids keeping each process's draws independent of the others.
+    _FLAP, _STRAGGLE, _DEGRADE = 0, 1, 2
+
+    def __init__(self, spec: FleetSpec, num_devices: int, seed: int = 0) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.spec = spec
+        self.num_devices = num_devices
+        self.seed = int(seed)
+
+    def _rng(self, device: int, stream: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, device, stream])
+
+    def _episodes(
+        self,
+        rng: np.random.Generator,
+        horizon: float,
+        gap_hours: float,
+        duration_hours: float,
+    ) -> list[tuple[float, float]]:
+        """Exponential-gap episodes ``(start, end)`` within the horizon."""
+        episodes = []
+        t = rng.exponential(gap_hours)
+        while t < horizon:
+            end = t + rng.exponential(duration_hours)
+            episodes.append((t, min(end, horizon)))
+            t = end + rng.exponential(gap_hours)
+        return episodes
+
+    def generate(self, horizon_hours: float) -> list[Event]:
+        """All machine events up to ``horizon_hours``, time-ascending.
+
+        Episodes are clamped to the horizon, so every onset has its
+        matching recovery inside the stream.
+        """
+        if horizon_hours <= 0 or not math.isfinite(horizon_hours):
+            raise ValueError(
+                f"horizon_hours must be finite and > 0, got {horizon_hours}"
+            )
+        events: list[Event] = []
+        spec = self.spec
+        for device in range(self.num_devices):
+            if spec.mtbf_hours > 0:
+                rng = self._rng(device, self._FLAP)
+                for start, end in self._episodes(
+                    rng, horizon_hours, spec.mtbf_hours, spec.mttr_hours
+                ):
+                    events.append(
+                        Event(start, DEVICE_DOWN, device, label=f"d{device} down")
+                    )
+                    events.append(
+                        Event(end, DEVICE_UP, device, label=f"d{device} up")
+                    )
+            if spec.straggler_rate_per_hour > 0:
+                rng = self._rng(device, self._STRAGGLE)
+                gap = 1.0 / spec.straggler_rate_per_hour
+                lo, hi = spec.straggler_factor_range
+                for i, (start, end) in enumerate(
+                    self._episodes(
+                        rng, horizon_hours, gap, spec.straggler_duration_hours
+                    )
+                ):
+                    factor = float(
+                        np.exp(rng.uniform(np.log(lo), np.log(hi)))
+                    )
+                    # Episode ids disambiguate overlapping straggle /
+                    # degrade episodes on the same device at END time.
+                    episode = f"d{device}-straggle-{i}"
+                    events.append(
+                        Event(
+                            start,
+                            DEGRADE_START,
+                            (device, factor, episode),
+                            label=f"d{device} straggles x{factor:.2f}",
+                        )
+                    )
+                    events.append(
+                        Event(
+                            end,
+                            DEGRADE_END,
+                            (device, episode),
+                            label=f"d{device} recovers",
+                        )
+                    )
+            if spec.degrade_rate_per_hour > 0:
+                rng = self._rng(device, self._DEGRADE)
+                gap = 1.0 / spec.degrade_rate_per_hour
+                for i, (start, end) in enumerate(
+                    self._episodes(
+                        rng, horizon_hours, gap, spec.degrade_duration_hours
+                    )
+                ):
+                    episode = f"d{device}-degrade-{i}"
+                    events.append(
+                        Event(
+                            start,
+                            DEGRADE_START,
+                            (device, spec.degrade_factor, episode),
+                            label=f"d{device} degrades",
+                        )
+                    )
+                    events.append(
+                        Event(
+                            end,
+                            DEGRADE_END,
+                            (device, episode),
+                            label=f"d{device} recovers",
+                        )
+                    )
+        # Deterministic global order; the sort is stable, so same-time
+        # events keep their per-device generation order.
+        events.sort(key=lambda e: e.time)
+        return events

@@ -165,6 +165,10 @@ drift_st = st.builds(
     probe_mse=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
     rolling_mse=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
     needs_retraining=st.booleans(),
+    timestamp=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+    ),
+    step_index=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
 )
 
 deltas_st = st.builds(

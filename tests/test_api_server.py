@@ -73,6 +73,9 @@ class TestRoutes:
         assert status == 200
         assert payload["name"] == "prod"
         assert payload["num_records"] == 1
+        # The store-recovery audit trail is part of the HTTP status
+        # surface (empty for this in-memory service, but present).
+        assert payload["recovery_notes"] == []
         status, payload = _get(server, "/v1/deployments/prod/history")
         assert status == 200
         assert [r["version"] for r in payload["history"]] == [1]

@@ -269,6 +269,10 @@ class TestCorruptedTailRecovery:
         notes = reopened.recovery_notes["prod"]
         assert any("truncated applied stack at v2" in n for n in notes)
         assert reopened.validate_deployment("prod").ok
+        # Operators see the repair without reaching into service
+        # internals: status() carries the notes verbatim (and with it
+        # the CLI's `deployment status` and the HTTP status route).
+        assert reopened.status("prod")["recovery_notes"] == notes
 
     def test_clean_store_has_no_recovery_notes(self, tmp_path, light_engine):
         store = PlanStore(tmp_path / "deps")
@@ -279,6 +283,7 @@ class TestCorruptedTailRecovery:
         reopened = _open(store, light_engine)
         assert reopened.recovery_notes == {}
         assert reopened.status("prod")["applied_version"] == 1
+        assert reopened.status("prod")["recovery_notes"] == []
 
 
 class TestFaultyFS:

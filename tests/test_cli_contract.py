@@ -3,7 +3,7 @@
 Three contracts, enforced uniformly instead of piecemeal:
 
 1. ``--help`` round-trips (exit 0, usage on stdout) for every subcommand
-   and every ``deployment``/``scenario`` action;
+   and every ``deployment``/``scenario``/``simulate`` action;
 2. usage errors exit 2 via argparse with usage on stderr, for every
    subcommand;
 3. the shared all-infeasible contract: commands whose work can come back
@@ -35,6 +35,7 @@ TOP_COMMANDS = (
     "serve",
     "deployment",
     "scenario",
+    "simulate",
     "validate",
     "strategies",
     "list-bundles",
@@ -44,6 +45,7 @@ DEPLOYMENT_ACTIONS = (
     "list",
 )
 SCENARIO_ACTIONS = ("list", "run", "compare")
+SIMULATE_ACTIONS = ("list", "run", "compare")
 
 
 def _subcommands(parser):
@@ -62,12 +64,15 @@ def test_sweep_covers_every_registered_subcommand():
     assert set(_subcommands(deployment)) == set(DEPLOYMENT_ACTIONS)
     scenario = _subcommands(build_parser())["scenario"]
     assert set(_subcommands(scenario)) == set(SCENARIO_ACTIONS)
+    simulate = _subcommands(build_parser())["simulate"]
+    assert set(_subcommands(simulate)) == set(SIMULATE_ACTIONS)
 
 
 HELP_INVOCATIONS = (
     [[command, "--help"] for command in TOP_COMMANDS]
     + [["deployment", action, "--help"] for action in DEPLOYMENT_ACTIONS]
     + [["scenario", action, "--help"] for action in SCENARIO_ACTIONS]
+    + [["simulate", action, "--help"] for action in SIMULATE_ACTIONS]
 )
 
 
@@ -207,6 +212,50 @@ def test_scenario_run_unplannable_workload_exits_2(
     captured = capsys.readouterr()
     assert code == EXIT_ALL_INFEASIBLE
     assert "no feasible plan" in captured.err
+
+
+def test_simulate_run_unplannable_workload_exits_2(
+    contract_env, capsys, monkeypatch
+):
+    """Same contract as ``scenario run``: an unplannable initial
+    workload is the all-infeasible outcome, not a crash."""
+    import repro.cli as cli
+
+    def unplannable(*args, **kwargs):
+        raise RuntimeError("the initial workload has no feasible plan")
+
+    monkeypatch.setattr(cli, "simulate_policy", unplannable)
+    code = main([
+        "simulate", "run", "flash_crowd", contract_env["bundle"],
+        "--tables", "6",
+    ])
+    captured = capsys.readouterr()
+    assert code == EXIT_ALL_INFEASIBLE
+    assert "no feasible plan" in captured.err
+
+
+def test_deployment_status_surfaces_recovery_notes(contract_env, capsys):
+    """Opening the corrupted store repairs it; `deployment status` must
+    show the repair notes, not bury them in service internals."""
+    code = main([
+        "deployment", "status", "prod", "--store",
+        contract_env["corrupt_store"], contract_env["bundle"],
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "recovery_notes" in captured.out
+    # v1 (the applied record) was truncated on disk: the note names it.
+    assert "v1" in captured.out
+
+
+def test_simulate_unknown_policy_is_input_error(contract_env, capsys):
+    code = main([
+        "simulate", "run", "flash_crowd", contract_env["bundle"],
+        "--policy", "wishful_thinking",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "wishful_thinking" in captured.err
 
 
 class TestValidateCommand:

@@ -1,10 +1,13 @@
 """Tests for collection, pre-training, evaluation and drift monitoring."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.costmodel import (
     DriftMonitor,
+    DriftReport,
     PretrainedCostModels,
     TableFeaturizer,
     collect_comm_data,
@@ -170,3 +173,55 @@ class TestDriftMonitor:
         other = SimulatedCluster(ClusterConfig(num_devices=2, batch_size=1024))
         with pytest.raises(ValueError, match="batch size"):
             DriftMonitor(tiny_bundle, other, small_pool)
+
+    def test_probe_stamps_timestamp_and_step(
+        self, tiny_bundle, cluster2, small_pool
+    ):
+        monitor = DriftMonitor(
+            tiny_bundle, cluster2, small_pool, threshold_mse=1e6
+        )
+        report = monitor.probe(
+            num_samples=6, seed=0, max_tables=5, timestamp=3.5, step_index=7
+        )
+        assert report.timestamp == 3.5
+        assert report.step_index == 7
+        # Defaults stay unstamped — a probe outside any sequence is legal.
+        bare = monitor.probe(num_samples=6, seed=1, max_tables=5)
+        assert bare.timestamp is None and bare.step_index is None
+
+
+class TestDriftReportSchema:
+    def test_round_trip_preserves_probe_provenance(self):
+        from repro.api.schema import SCHEMA_VERSION
+
+        report = DriftReport(
+            probe_mse=0.5, rolling_mse=0.4, needs_retraining=False,
+            timestamp=12.25, step_index=3,
+        )
+        data = report.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert DriftReport.from_dict(json.loads(json.dumps(data))) == report
+
+    def test_round_trip_without_provenance(self):
+        report = DriftReport(
+            probe_mse=1.5, rolling_mse=1.2, needs_retraining=True
+        )
+        restored = DriftReport.from_dict(report.to_dict())
+        assert restored == report
+        assert restored.timestamp is None and restored.step_index is None
+
+    def test_legacy_unversioned_payload_still_loads(self):
+        legacy = {
+            "probe_mse": 0.3, "rolling_mse": 0.2, "needs_retraining": False,
+        }
+        report = DriftReport.from_dict(legacy)
+        assert report.probe_mse == 0.3
+        assert report.timestamp is None and report.step_index is None
+
+    def test_wrong_schema_version_rejected(self):
+        data = DriftReport(
+            probe_mse=0.3, rolling_mse=0.2, needs_retraining=False
+        ).to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            DriftReport.from_dict(data)
