@@ -167,6 +167,18 @@ def load_or_pretrain_bundle(
     return bundle, mse_rows
 
 
+def bundle_cache_path(num_devices: int, seed: int = 1) -> Path:
+    """The on-disk cache directory of :func:`load_or_pretrain_bundle`.
+
+    The service benchmark hands this to :class:`repro.api.EngineSpec`
+    so worker processes bootstrap from the same cached bundle the
+    in-process fixtures load.
+    """
+    return CACHE_DIR / (
+        f"bundle_{num_devices}gpu_{BENCH_SAMPLES}s_{BENCH_EPOCHS}e_s{seed}"
+    )
+
+
 @pytest.fixture(scope="session")
 def bundle4(pool856, cluster4):
     return load_or_pretrain_bundle(pool856, cluster4)[0]

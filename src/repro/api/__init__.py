@@ -42,6 +42,7 @@ Modules:
 - :mod:`~repro.api.strategies` — the built-in registrations.
 - :mod:`~repro.api.schema` — versioned request/response dataclasses.
 - :mod:`~repro.api.engine` — single/batched/compare serving.
+- :mod:`~repro.api.workers` — shared-nothing process-pool execution.
 - :mod:`~repro.api.store` — versioned bundle + plan-lifecycle storage.
 - :mod:`~repro.api.diff` — plan diffs and migration pricing.
 - :mod:`~repro.api.reshard` — budgeted incremental resharding.
@@ -70,6 +71,7 @@ from repro.api.schema import (
     plan_to_dict,
 )
 from repro.api.engine import ShardingEngine
+from repro.api.workers import EngineSpec, WorkerPool
 from repro.api.store import BundleInfo, BundleStore, PlanStore
 from repro.api.diff import MigrationCostModel, PlanDiff, ShardChange, TableMove
 from repro.api.reshard import (
@@ -91,6 +93,7 @@ __all__ = [
     "BundleInfo",
     "BundleStore",
     "DeploymentNotFoundError",
+    "EngineSpec",
     "MigrationCostModel",
     "PlanDiff",
     "PlanOverTables",
@@ -108,6 +111,7 @@ __all__ = [
     "StrategyInfo",
     "TableMove",
     "UnknownStrategyError",
+    "WorkerPool",
     "WorkloadDelta",
     "all_names",
     "available_strategies",

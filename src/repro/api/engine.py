@@ -8,9 +8,13 @@ LRU-bounded) :class:`~repro.core.cache.CostCache` — and answers
 strategy serves them:
 
 - :meth:`ShardingEngine.shard` — answer one request;
-- :meth:`ShardingEngine.shard_batch` — answer many concurrently on a
-  thread pool, preserving request order and sequential-identical
-  results;
+- :meth:`ShardingEngine.shard_batch` — answer many concurrently,
+  preserving request order and sequential-identical results: on the
+  engine's persistent thread pool by default, or fanned out to a
+  shared-nothing :class:`~repro.api.workers.WorkerPool` of worker
+  *processes* when one is attached (the GIL-free path — thread
+  concurrency only overlaps waiting, process workers overlap the
+  scoring work itself);
 - :meth:`ShardingEngine.compare` — answer one task with several
   strategies side by side.
 
@@ -41,7 +45,10 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.api.workers import WorkerPool
 
 from repro.api.registry import available_strategies, make_sharder, strategy_info
 from repro.api.schema import PlanOverTables, ShardingRequest, ShardingResponse
@@ -84,7 +91,22 @@ class ShardingEngine:
         cache_max_entries: LRU bound of the engine's shared cost cache
             (``None`` keeps the paper's unbounded lifelong hash map).
         max_workers: default thread-pool size of :meth:`shard_batch`
-            (overridable per call).
+            (overridable per call).  The default-sized pool is created
+            lazily once and reused across batches (release it with
+            :meth:`close` or a ``with`` block); per-call overrides run
+            on a transient pool.
+        worker_pool: a :class:`~repro.api.workers.WorkerPool` of
+            shard-serving worker *processes*.  When attached,
+            :meth:`shard_batch` calls that leave ``max_workers`` at the
+            engine default fan out to the pool instead of the in-process
+            thread path — results stay bit-identical under
+            :meth:`~repro.api.schema.ShardingResponse
+            .deterministic_dict` (the pool's workers bootstrap from a
+            spec describing this same engine).  Pass an explicit
+            ``max_workers`` (``1`` for the sequential determinism path)
+            to force in-process execution.  The pool is shared state and
+            is **not** closed by :meth:`close` — whoever built it owns
+            its lifetime.
         cache_stats_in_profile: attach the engine's shared-cache
             statistics (hits, misses, LRU evictions — see
             :meth:`cache_stats`) to every response's ``profile`` under
@@ -105,6 +127,7 @@ class ShardingEngine:
         cache_max_entries: int | None = None,
         max_workers: int = 4,
         cache_stats_in_profile: bool = False,
+        worker_pool: "WorkerPool | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -112,6 +135,14 @@ class ShardingEngine:
             raise ValueError(
                 f"bundle was pre-trained for {bundle.num_devices} devices "
                 f"but the cluster has {cluster.num_devices}"
+            )
+        if (
+            worker_pool is not None
+            and worker_pool.spec.cluster.num_devices != cluster.num_devices
+        ):
+            raise ValueError(
+                f"worker pool serves {worker_pool.spec.cluster.num_devices} "
+                f"devices but the cluster has {cluster.num_devices}"
             )
         self.cluster = cluster
         self.bundle = bundle
@@ -134,10 +165,51 @@ class ShardingEngine:
         self.simulator = (
             NeuroShardSimulator(bundle, self.cache) if bundle is not None else None
         )
+        self.worker_pool = worker_pool
         self._sharders: dict[str, Any] = {}
         self._sharders_lock = threading.Lock()
+        # Persistent default-size batch executor, created on first use
+        # (spinning a fresh pool up per request would tax the hot path).
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
         # Fail fast on an unknown default.
         strategy_info(self.default_strategy)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        """The engine's persistent default-size batch executor."""
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="engine-shard",
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Release the persistent batch executor; idempotent.
+
+        An attached :attr:`worker_pool` is shared state (one pool may
+        back many engines) and is deliberately *not* closed here — its
+        owner closes it.
+        """
+        with self._executor_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # strategy management
@@ -299,20 +371,36 @@ class ShardingEngine:
 
         Responses are identical to sequential :meth:`shard` calls except
         for wall-clock timing (see
-        :meth:`~repro.api.schema.ShardingResponse.deterministic_dict`).
+        :meth:`~repro.api.schema.ShardingResponse.deterministic_dict`) —
+        on the thread path, the process-pool path, and the sequential
+        path alike.
+
+        Routing: with a :attr:`worker_pool` attached and ``max_workers``
+        omitted, the batch fans out to the worker processes (any size,
+        including 1 — a lone request still benefits from leaving this
+        process's GIL to concurrent callers).  Otherwise batches run in
+        process: sequentially for ``max_workers == 1`` or trivial
+        batches, on the engine's persistent executor at the default
+        size, on a transient pool for per-call size overrides.
 
         Args:
             requests: the batch, answered in order.
-            max_workers: thread-pool size for this batch; the engine's
-                construction-time default when omitted.
+            max_workers: in-process pool size for this batch; the
+                engine's construction-time default when omitted.  Passing
+                it explicitly (even the default value) forces in-process
+                execution past an attached worker pool.
         """
+        requests = list(requests)
         if max_workers is None:
+            if self.worker_pool is not None and not self.worker_pool.closed:
+                return self.worker_pool.shard_batch(requests)
             max_workers = self.max_workers
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        requests = list(requests)
         if max_workers == 1 or len(requests) <= 1:
             return [self.shard(r) for r in requests]
+        if max_workers == self.max_workers:
+            return list(self._thread_executor().map(self.shard, requests))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(self.shard, requests))
 

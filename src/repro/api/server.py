@@ -117,17 +117,57 @@ class _PlanBatcher(threading.Thread):
         self.batch_wait_s = batch_wait_s
         self._queue: queue.Queue[_PlanJob | None] = queue.Queue()
         self._closed = False
+        # In-flight accounting for the graceful drain: a job counts from
+        # submit() until resolve()/fail() delivers its outcome.
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     def submit(self, job: _PlanJob) -> None:
         """Enqueue one plan job for the next micro-batch."""
         if self._closed:
             raise RuntimeError("server is shutting down")
+        with self._inflight_cv:
+            self._inflight += 1
         self._queue.put(job)
 
-    def stop(self) -> None:
-        """Drain the queue and stop the batcher thread."""
+    def _settle(self, jobs: list[_PlanJob]) -> None:
+        """Mark delivered jobs no longer in flight."""
+        with self._inflight_cv:
+            self._inflight -= len(jobs)
+            self._inflight_cv.notify_all()
+
+    def stop(self, drain_s: float = 0.0) -> None:
+        """Stop accepting jobs, then (optionally) drain the in-flight ones.
+
+        With ``drain_s > 0`` the call blocks — up to the deadline —
+        until every accepted plan job has been delivered an outcome, so
+        a graceful shutdown never strands a client that was already
+        promised an answer.  Jobs that raced past the close flag into
+        the queue after the batcher thread exited are failed explicitly
+        rather than left waiting out their HTTP timeout.
+        """
+        deadline = time.monotonic() + max(drain_s, 0.0)
         self._closed = True
         self._queue.put(None)
+        if drain_s <= 0:
+            return
+        if self.is_alive():
+            self.join(timeout=max(deadline - time.monotonic(), 0.0))
+        # The batcher thread is gone; anything still queued will never
+        # be dispatched — deliver the failure now.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not None:
+                job.fail(RuntimeError("server is shutting down"))
+                self._settle([job])
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(
+                lambda: self._inflight <= 0,
+                timeout=max(deadline - time.monotonic(), 0.0),
+            )
 
     def run(self) -> None:  # pragma: no cover — exercised via HTTP tests
         """Collect jobs into micro-batches and dispatch them."""
@@ -174,9 +214,11 @@ class _PlanBatcher(threading.Thread):
         except Exception as exc:  # noqa: BLE001 — service boundary
             for job in jobs:
                 job.fail(exc)
-            return
-        for job, record in zip(jobs, records):
-            job.resolve(record)
+        else:
+            for job, record in zip(jobs, records):
+                job.resolve(record)
+        finally:
+            self._settle(jobs)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -188,6 +230,31 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Arm the per-request socket timeout before reading anything.
+
+        One stalled or half-open client must not pin a handler thread
+        forever: ``BaseRequestHandler`` applies :attr:`timeout` to the
+        connection socket, so a read that sits idle past the server's
+        ``request_timeout_s`` raises ``TimeoutError`` and the connection
+        is torn down instead of leaking the thread.
+        """
+        self.timeout = self.server.request_timeout_s
+        super().setup()
+
+    def handle(self) -> None:
+        """Serve the connection; a mid-body stall tears it down.
+
+        ``BaseHTTPRequestHandler`` only maps a timeout on the *request
+        line* to a clean close; a client that stalls mid-headers or
+        mid-body instead raises ``TimeoutError`` out of the read.  Catch
+        it here so the handler thread always exits.
+        """
+        try:
+            super().handle()
+        except TimeoutError:
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Log one line per request only in ``--verbose`` mode."""
@@ -413,6 +480,16 @@ class ShardingHTTPServer(ThreadingHTTPServer):
             endpoint.
         bundle_ref: bundle pointer recorded on HTTP-created deployments.
         verbose: log one line per request to stderr.
+        request_timeout_s: per-connection socket timeout — a client that
+            stalls (half-open connection, abandoned upload) is torn down
+            after this instead of pinning its handler thread forever.
+            Conservative by default; it bounds *socket idle time*, not
+            planning time (a slow search keeps the handler legitimately
+            busy and is bounded separately by the plan-job timeout).
+        drain_s: graceful-drain budget of :meth:`close` — how long to
+            wait for already-accepted plan jobs to finish before the
+            socket goes away (``0`` restores the old drop-everything
+            shutdown).
     """
 
     daemon_threads = True
@@ -427,12 +504,22 @@ class ShardingHTTPServer(ThreadingHTTPServer):
         batch_wait_s: float = 0.01,
         bundle_ref: str | None = None,
         verbose: bool = False,
+        request_timeout_s: float = 60.0,
+        drain_s: float = 30.0,
     ) -> None:
+        if request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {request_timeout_s}"
+            )
+        if drain_s < 0:
+            raise ValueError(f"drain_s must be >= 0, got {drain_s}")
         super().__init__((host, port), _Handler)
         self.service = service
         self.engine = engine
         self.bundle_ref = bundle_ref
         self.verbose = verbose
+        self.request_timeout_s = request_timeout_s
+        self.drain_s = drain_s
         self.batcher = _PlanBatcher(
             service, max_batch=max_batch, batch_wait_s=batch_wait_s
         )
@@ -462,8 +549,15 @@ class ShardingHTTPServer(ThreadingHTTPServer):
             self.close()
 
     def close(self) -> None:
-        """Stop serving and release the socket."""
-        self.batcher.stop()
+        """Stop serving and release the socket, draining in-flight work.
+
+        Shutdown order is deliberate: first stop *accepting* plan jobs
+        and wait (up to :attr:`drain_s`) for the accepted ones to
+        deliver their outcome — their handler threads are still writing
+        responses on live connections — then stop the accept loop and
+        release the listening socket.
+        """
+        self.batcher.stop(drain_s=self.drain_s)
         self.shutdown()
         self.server_close()
         if self._thread is not None:

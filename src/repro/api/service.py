@@ -233,6 +233,20 @@ class _Deployment:
 class ShardingService:
     """Plan-lifecycle front-end over one or more deployments.
 
+    Concurrency model: deployments are independent — any number may
+    plan/apply/reshard concurrently (each has its own lock, and
+    searches run unlocked), and one deployment's searches fan out to
+    the engine's worker pool when it has one.  Store writes follow the
+    **single-writer-per-deployment** rule: one service handle owns each
+    deployment's version allocation, and horizontal scale comes from
+    worker fan-out inside that handle, not from multiple handles.  A
+    second handle on the same store directory is nevertheless *safe*:
+    records are immutable (the store refuses overwrites and this
+    service re-keys past foreign versions on collision), every write is
+    crash-atomic, and state is last-writer-wins over records both
+    writers have persisted — so contention can cost performance and
+    interleaving, never a torn record or an inconsistent applied stack.
+
     Args:
         store: persistence for deployment metadata, plan records and the
             applied stack; ``None`` keeps everything in memory (tests,
@@ -482,6 +496,12 @@ class ShardingService:
             task_id=version,
         )
 
+    #: Bound on version-collision retries against a store another
+    #: writer is appending to (each retry allocates strictly past every
+    #: stored version, so hitting the bound means something is rewriting
+    #: the store far faster than any legitimate sibling service).
+    _COLLISION_RETRIES = 100
+
     def _record_response(
         self,
         deployment: _Deployment,
@@ -494,45 +514,75 @@ class ShardingService:
         applied: PlanRecord | None = None,
         validate: bool | None = None,
     ) -> PlanRecord:
-        record = PlanRecord(
-            version=version,
-            kind=kind,
-            strategy=response.strategy,
-            feasible=response.feasible,
-            plan=response.plan,
-            base_tables=(
-                response.plan_tables(task) if response.feasible else task.tables
-            ),
-            num_devices=task.num_devices,
-            memory_bytes=task.memory_bytes,
-            simulated_cost_ms=response.simulated_cost_ms,
-            sharding_time_s=response.sharding_time_s,
-            created_at=time.time(),
-            request_id=response.request_id,
-            diff=diff,
-            metadata=dict(metadata or {}),
-        )
-        if self._validating(validate):
-            # Record the verdict, do not gate: an invariant-violating
-            # plan may be recorded and audited — apply() is the gate
-            # that keeps it from serving traffic.
-            report = self.validator.validate_record(
-                record, subject=f"{deployment.name}/v{version}"
+        def build(record_version: int) -> PlanRecord:
+            record = PlanRecord(
+                version=record_version,
+                kind=kind,
+                strategy=response.strategy,
+                feasible=response.feasible,
+                plan=response.plan,
+                base_tables=(
+                    response.plan_tables(task)
+                    if response.feasible
+                    else task.tables
+                ),
+                num_devices=task.num_devices,
+                memory_bytes=task.memory_bytes,
+                simulated_cost_ms=response.simulated_cost_ms,
+                sharding_time_s=response.sharding_time_s,
+                created_at=time.time(),
+                request_id=response.request_id,
+                diff=diff,
+                metadata=dict(metadata or {}),
             )
-            if (
-                applied is not None
-                and applied.plan is not None
-                and record.feasible
-            ):
-                report = report.merged(
-                    self.validator.validate_transition(applied, record)
+            if self._validating(validate):
+                # Record the verdict, do not gate: an invariant-violating
+                # plan may be recorded and audited — apply() is the gate
+                # that keeps it from serving traffic.
+                report = self.validator.validate_record(
+                    record, subject=f"{deployment.name}/v{record_version}"
                 )
-            record = replace(record, validation=report)
+                if (
+                    applied is not None
+                    and applied.plan is not None
+                    and record.feasible
+                ):
+                    report = report.merged(
+                        self.validator.validate_transition(applied, record)
+                    )
+                record = replace(record, validation=report)
+            return record
+
+        record = build(version)
         # Disk before memory: a crash mid-write must never leave the
         # in-process service ahead of what a restart would recover.
         if self.store is not None:
-            self.store.save_record(deployment.name, record.to_dict())
-        deployment.records[version] = record
+            for _ in range(self._COLLISION_RETRIES):
+                try:
+                    self.store.save_record(deployment.name, record.to_dict())
+                    break
+                except FileExistsError:
+                    # Another writer on the same store took this version.
+                    # Single-writer-per-deployment is the design rule —
+                    # worker fan-out happens *inside* one service handle
+                    # — but a collision must stay safe, not corrupt: the
+                    # store's immutable records already refused the
+                    # overwrite, so re-sync allocation past every stored
+                    # version and re-key the record.
+                    with deployment.lock:
+                        deployment._version_counter = max(
+                            deployment._version_counter,
+                            self.store.latest_version(deployment.name),
+                        )
+                        version = deployment.reserve_versions(1)
+                    record = build(version)
+            else:
+                raise RuntimeError(
+                    f"could not allocate a free plan version for deployment "
+                    f"{deployment.name!r} after "
+                    f"{self._COLLISION_RETRIES} collisions"
+                )
+        deployment.records[record.version] = record
         return record
 
     def plan(

@@ -38,6 +38,7 @@ is replayable byte-for-byte.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
@@ -238,6 +239,21 @@ class _LocalFS:
         """Atomically rename ``src`` onto ``dst``."""
         os.replace(src, dst)
 
+    def link(self, src: Path, dst: Path, point: str = "") -> None:
+        """Atomically commit ``src`` to ``dst``, refusing to overwrite.
+
+        Raises:
+            FileExistsError: when ``dst`` already exists — the atomic
+                claim-and-commit that keeps concurrent writers from
+                silently clobbering each other's immutable records.
+        """
+        os.link(src, dst)
+
+
+#: Disambiguates concurrent temp files within one process; the pid in
+#: the name disambiguates across processes.
+_TMP_COUNTER = itertools.count()
+
 
 class PlanStore:
     """Persist named deployments' plan-version histories under one root.
@@ -249,11 +265,19 @@ class PlanStore:
     can only grow — rollbacks are state changes, not record rewrites.
 
     Every write is **crash-atomic**: the payload lands in a same-directory
-    temp file first and is renamed into place with ``os.replace``, so a
-    crash at any point leaves the destination either untouched or fully
-    written — never torn.  The write sites are named
-    (:data:`WRITE_POINTS`) so a fault injector can crash each one and a
-    recovery test can sweep them all.
+    temp file first and is committed into place atomically, so a crash at
+    any point leaves the destination either untouched or fully written —
+    never torn.  The write sites are named (:data:`WRITE_POINTS`) so a
+    fault injector can crash each one and a recovery test can sweep them
+    all.
+
+    The store is also safe for **multiple writers** — several service
+    handles (threads or processes) sharing one root: temp names are
+    writer-unique, mutable files (metadata, applied-stack state) commit
+    by rename with last-writer-wins semantics, and immutable plan
+    records commit by *exclusive* link, so racing writers can never
+    silently clobber a version — the loser gets ``FileExistsError`` and
+    allocates a fresh one.
 
     Args:
         root: store directory (created lazily on first save).
@@ -285,12 +309,23 @@ class PlanStore:
         self.root = Path(root)
         self.fs = fs if fs is not None else _LocalFS()
 
+    def _tmp_path(self, path: Path) -> Path:
+        """A writer-unique same-directory temp name.
+
+        The pid + counter suffix keeps concurrent writers — service
+        handles in different processes sharing one store — from writing
+        through the same temp file and renaming each other's bytes.
+        """
+        return path.parent / (
+            f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
+
     def _write_json(
         self, path: Path, payload: Mapping[str, Any], point: str, indent: int
     ) -> None:
         """Crash-atomic JSON write: same-directory temp file + rename."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.tmp"
+        tmp = self._tmp_path(path)
         self.fs.write_text(
             tmp, json.dumps(dict(payload), indent=indent), point=f"{point}#write"
         )
@@ -364,7 +399,18 @@ class PlanStore:
         return versions[-1] if versions else 0
 
     def save_record(self, name: str, record: Mapping[str, Any]) -> None:
-        """Append one immutable plan record (its ``version`` keys it)."""
+        """Append one immutable plan record (its ``version`` keys it).
+
+        The commit is an atomic *exclusive* link, not a rename: a rename
+        overwrites, so two service handles racing on the same version —
+        e.g. two processes serving one store directory — would silently
+        clobber each other's records.  The loser gets
+        ``FileExistsError`` instead and re-allocates a fresh version.
+
+        Raises:
+            FileExistsError: when the version is already stored; records
+                are immutable, so the caller must allocate a new one.
+        """
         version = int(record["version"])
         if version < 1:
             raise ValueError(f"record version must be >= 1, got {version}")
@@ -375,7 +421,24 @@ class PlanStore:
                 f"plan record v{version} of deployment {name!r} already "
                 "exists; records are immutable"
             )
-        self._write_json(path, record, "record", indent=1)
+        plans.mkdir(parents=True, exist_ok=True)
+        tmp = self._tmp_path(path)
+        try:
+            self.fs.write_text(
+                tmp, json.dumps(dict(record), indent=1), point="record#write"
+            )
+            try:
+                self.fs.link(tmp, path, point="record#rename")
+            except FileExistsError:
+                raise FileExistsError(
+                    f"plan record v{version} of deployment {name!r} already "
+                    "exists; records are immutable"
+                ) from None
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
 
     def load_record(self, name: str, version: int) -> dict[str, Any]:
         """Read one stored plan record.

@@ -1,0 +1,276 @@
+"""Shared-nothing process-pool execution of sharding searches.
+
+The search hot loop is pure Python: a :class:`~repro.api.engine
+.ShardingEngine` running ``shard_batch`` on a thread pool merely
+time-slices one core across requests (the GIL serializes the scoring
+work), so a serving process cannot scale past a single core no matter
+how many clients it accepts.  This module is the horizontal escape
+hatch: a :class:`WorkerPool` executes requests on a
+``concurrent.futures.ProcessPoolExecutor`` of **shared-nothing
+workers** — each worker process bootstraps its own engine exactly once
+(bundle loaded from disk, featurizer built, a private warm
+:class:`~repro.core.cache.CostCache`; nothing is shared or synchronized
+across processes) and then answers requests for the life of the pool.
+
+Everything that crosses the process boundary is a plain, picklable
+payload: requests travel as :meth:`~repro.api.schema.ShardingRequest
+.to_dict` dictionaries, responses come back as
+:meth:`~repro.api.schema.ShardingResponse.to_dict` dictionaries and are
+re-hydrated on the caller's side.  Because every worker constructs its
+engine from the same :class:`EngineSpec` — and the search is
+deterministic given the bundle bytes and the request — pool execution is
+**bit-identical** to in-process execution under
+:meth:`~repro.api.schema.ShardingResponse.deterministic_dict`: the
+equivalence guarantees of the optimized search survive the process
+boundary (``tests/test_api_workers.py`` pins this across every
+registered strategy).
+
+Typical use, directly or through an engine::
+
+    spec = EngineSpec(cluster=ClusterConfig(num_devices=4),
+                      bundle_path="bundles/prod/v3")
+    with WorkerPool(spec, max_workers=4) as pool:
+        responses = pool.shard_batch(requests)          # fan out
+
+    engine = ShardingEngine(cluster, bundle, worker_pool=pool)
+    engine.shard_batch(requests)                        # routed to the pool
+
+One pool may back many engines (``repro serve --workers N`` shares one
+pool across every deployment's engine): results depend only on the
+request task, the bundle and the search configuration, so any engine
+with the same device count can fan out to the same workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.api.schema import ShardingRequest, ShardingResponse
+from repro.config import ClusterConfig, SearchConfig
+
+__all__ = ["EngineSpec", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable recipe for constructing a :class:`ShardingEngine`.
+
+    The spec is everything a worker process needs to bootstrap its own
+    engine — no live objects, so it crosses the process boundary and the
+    resulting engines are constructed *identically* everywhere (the
+    caller's in-process reference engine and every pool worker build
+    from the same recipe, which is what makes pool execution
+    bit-identical to in-process execution).
+
+    Attributes:
+        cluster: the deployment cluster shape.
+        bundle_path: directory of a saved
+            :class:`~repro.costmodel.pretrain.PretrainedCostModels`
+            bundle, loaded once per worker process (``None`` builds a
+            bundle-less engine serving only the heuristic strategies).
+        search: default search hyperparameters.
+        default_strategy: served when a request names no strategy.
+        strategy_kwargs: per-strategy construction keywords.  Values
+            must be picklable — a fitted policy object is fine, an open
+            file handle is not.
+        cache_max_entries: LRU bound of each worker's private cost cache.
+    """
+
+    cluster: ClusterConfig
+    bundle_path: str | None = None
+    search: SearchConfig | None = None
+    default_strategy: str | None = None
+    strategy_kwargs: dict[str, dict[str, Any]] = field(default_factory=dict)
+    cache_max_entries: int | None = None
+
+    def build_engine(self):
+        """Construct the engine this spec describes (no pool attached)."""
+        from repro.api.engine import ShardingEngine
+        from repro.costmodel.pretrain import PretrainedCostModels
+        from repro.hardware.cluster import SimulatedCluster
+
+        bundle = (
+            None
+            if self.bundle_path is None
+            else PretrainedCostModels.load(self.bundle_path)
+        )
+        return ShardingEngine(
+            SimulatedCluster(self.cluster),
+            bundle,
+            search=self.search,
+            default_strategy=self.default_strategy,
+            strategy_kwargs=self.strategy_kwargs,
+            cache_max_entries=self.cache_max_entries,
+        )
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+
+#: The engine of *this* worker process (set once by the initializer).
+_worker_engine = None
+#: Times the initializer ran in this process — 1 for the life of a
+#: worker; observable through :meth:`WorkerPool.probe_workers` so tests
+#: can pin the bootstrap-once contract.
+_worker_bootstraps = 0
+
+
+def _bootstrap_worker(spec: EngineSpec) -> None:
+    """Process-pool initializer: build this worker's engine once."""
+    global _worker_engine, _worker_bootstraps
+    _worker_engine = spec.build_engine()
+    _worker_bootstraps += 1
+
+
+def _serve_shard(request_data: Mapping[str, Any]) -> dict[str, Any]:
+    """Answer one serialized request on this worker's engine."""
+    if _worker_engine is None:  # pragma: no cover — initializer contract
+        raise RuntimeError("worker engine was never bootstrapped")
+    response = _worker_engine.shard(ShardingRequest.from_dict(request_data))
+    return response.to_dict()
+
+
+def _probe_worker(_: int) -> dict[str, Any]:
+    """Report this worker's identity and bootstrap/cache state."""
+    if _worker_engine is None:  # pragma: no cover — initializer contract
+        raise RuntimeError("worker engine was never bootstrapped")
+    return {
+        "pid": os.getpid(),
+        "bootstraps": _worker_bootstraps,
+        "cache": _worker_engine.cache_stats(),
+    }
+
+
+# ----------------------------------------------------------------------
+# caller side
+# ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A pool of shard-serving worker processes built from one spec.
+
+    The executor is created lazily on first use (so constructing a pool
+    is free) and each worker runs :func:`_bootstrap_worker` exactly once
+    before serving.  The pool is thread-safe: any number of caller
+    threads — e.g. the HTTP server's per-deployment dispatch threads —
+    may submit concurrently.
+
+    Args:
+        spec: the engine recipe every worker bootstraps from.
+        max_workers: worker-process count.
+        start_method: ``multiprocessing`` start method (``"fork"`` /
+            ``"spawn"`` / ``"forkserver"``); the platform default when
+            omitted.  Workers bootstrap from the spec either way — the
+            method only changes how the OS process is brought up.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        max_workers: int = 4,
+        start_method: str | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.spec = spec
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._executor is None:
+                context = (
+                    multiprocessing.get_context(self.start_method)
+                    if self.start_method is not None
+                    else multiprocessing.get_context()
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=context,
+                    initializer=_bootstrap_worker,
+                    initargs=(self.spec,),
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent.  Waits for in-flight work."""
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def shard(self, request: ShardingRequest) -> ShardingResponse:
+        """Answer one request on some worker (blocking)."""
+        return self.shard_batch([request])[0]
+
+    def shard_batch(
+        self, requests: Sequence[ShardingRequest]
+    ) -> list[ShardingResponse]:
+        """Answer many requests across the workers, in request order.
+
+        Strategy failures never propagate — they come back as infeasible
+        responses with ``error`` set, exactly as in-process serving
+        contains them.  Only infrastructure failures (a worker killed by
+        the OS, an unpicklable spec) raise, as
+        :class:`concurrent.futures.process.BrokenProcessPool`.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        executor = self._ensure_executor()
+        payloads = [request.to_dict() for request in requests]
+        return [
+            ShardingResponse.from_dict(data)
+            for data in executor.map(_serve_shard, payloads)
+        ]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def probe_workers(self, samples: int | None = None) -> list[dict[str, Any]]:
+        """Snapshot worker identities (pid, bootstrap count, cache stats).
+
+        Submits ``samples`` probe tasks (4x the worker count when
+        omitted) and returns one entry per *distinct* worker pid that
+        answered.  Which workers answer depends on scheduling; with
+        enough samples every live worker is typically represented.
+        """
+        executor = self._ensure_executor()
+        if samples is None:
+            samples = 4 * self.max_workers
+        seen: dict[int, dict[str, Any]] = {}
+        for probe in executor.map(_probe_worker, range(samples)):
+            seen[probe["pid"]] = probe
+        return [seen[pid] for pid in sorted(seen)]

@@ -60,6 +60,7 @@ import argparse
 import dataclasses
 import json
 import math
+import os
 import signal
 import sys
 from typing import Sequence
@@ -68,12 +69,14 @@ import numpy as np
 
 from repro.api import (
     BundleStore,
+    EngineSpec,
     PlanStore,
     ReshardConfig,
     ShardingEngine,
     ShardingHTTPServer,
     ShardingRequest,
     ShardingService,
+    WorkerPool,
     WorkloadDelta,
     all_names,
     iter_strategies,
@@ -229,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="plan micro-batch size (default: 8)")
     serve_http.add_argument("--batch-wait-ms", type=float, default=10.0,
                             help="micro-batch collection window (default: 10)")
+    serve_http.add_argument("--workers", type=int, default=1,
+                            help="process-pool search workers; 1 serves "
+                            "in-process (default: 1)")
+    serve_http.add_argument("--request-timeout", type=float, default=60.0,
+                            help="per-connection socket timeout in seconds "
+                            "(default: 60)")
     serve_http.add_argument("--verbose", action="store_true",
                             help="log one line per HTTP request")
 
@@ -467,6 +476,16 @@ def _load_bundle(args) -> PretrainedCostModels:
     return BundleStore(args.bundle).load(
         args.bundle_name, getattr(args, "bundle_version", None)
     )
+
+
+def _bundle_path(args) -> str:
+    """The on-disk directory ``_load_bundle`` reads — pool workers
+    re-load the bundle from this path in their own process."""
+    if BundleStore.is_raw_bundle(args.bundle):
+        return args.bundle
+    return BundleStore(args.bundle).info(
+        args.bundle_name, getattr(args, "bundle_version", None)
+    ).path
 
 
 def _cmd_gen_data(args) -> int:
@@ -756,21 +775,30 @@ def _cmd_serve_batch(args) -> int:
     )
 
 
-def _deployment_engine(args, bundle: PretrainedCostModels) -> ShardingEngine:
+def _deployment_engine(
+    args, bundle: PretrainedCostModels, worker_pool: WorkerPool | None = None
+) -> ShardingEngine:
     """The serving engine of CLI-driven deployments."""
     memory = getattr(args, "memory_bytes", None) or 4 * 1024**3
     cluster = SimulatedCluster(
         ClusterConfig(num_devices=bundle.num_devices, memory_bytes=memory)
     )
-    return ShardingEngine(cluster, bundle, search=SearchConfig())
+    return ShardingEngine(
+        cluster, bundle, search=SearchConfig(), worker_pool=worker_pool
+    )
 
 
-def _open_service(args) -> tuple[ShardingService, ShardingEngine] | None:
+def _open_service(
+    args, worker_pool: WorkerPool | None = None
+) -> tuple[ShardingService, ShardingEngine] | None:
     """Load the plan store and rebuild its deployments' engines.
 
     Every deployment is served by one engine built from the CLI's bundle
     arguments; deployments whose stored device count mismatches fail
-    loudly.  Returns ``None`` (after printing) on input errors.
+    loudly.  One optional ``worker_pool`` is shared by *every* engine —
+    search results depend only on the request and the bundle, so any
+    same-device-count deployment can fan out to the same workers.
+    Returns ``None`` (after printing) on input errors.
     """
     try:
         bundle = _load_bundle(args)
@@ -793,7 +821,9 @@ def _open_service(args) -> tuple[ShardingService, ShardingEngine] | None:
                 batch_size=meta.get("batch_size", 65536),
             )
         )
-        return ShardingEngine(cluster, bundle, search=SearchConfig())
+        return ShardingEngine(
+            cluster, bundle, search=SearchConfig(), worker_pool=worker_pool
+        )
 
     try:
         service = ShardingService.open(store, factory, on_error="skip")
@@ -805,12 +835,40 @@ def _open_service(args) -> tuple[ShardingService, ShardingEngine] | None:
             f"warning: skipping deployment {name!r}: {reason}",
             file=sys.stderr,
         )
-    return service, _deployment_engine(args, bundle)
+    return service, _deployment_engine(args, bundle, worker_pool)
+
+
+def _serve_worker_pool(args) -> WorkerPool | None:
+    """The shared search pool of ``repro serve`` (``None`` below 2 workers)."""
+    if args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.workers == 1:
+        return None
+    bundle_path = _bundle_path(args)
+    with open(os.path.join(bundle_path, "metadata.json")) as handle:
+        num_devices = int(json.load(handle)["num_devices"])
+    spec = EngineSpec(
+        cluster=ClusterConfig(num_devices=num_devices),
+        bundle_path=bundle_path,
+        search=SearchConfig(),
+    )
+    return WorkerPool(spec, max_workers=args.workers)
 
 
 def _cmd_serve(args) -> int:
-    opened = _open_service(args)
+    try:
+        worker_pool = _serve_worker_pool(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    opened = _open_service(args, worker_pool)
     if opened is None:
+        if worker_pool is not None:
+            worker_pool.close()
         return 1
     service, engine = opened
 
@@ -829,14 +887,22 @@ def _cmd_serve(args) -> int:
         batch_wait_s=args.batch_wait_ms / 1000.0,
         bundle_ref=args.bundle,
         verbose=args.verbose,
+        request_timeout_s=args.request_timeout,
     )
     names = service.deployments()
+    workers = "in-process" if worker_pool is None else (
+        f"{args.workers} worker processes"
+    )
     print(
         f"serving {len(names)} deployment(s) "
         f"({', '.join(names) or 'none yet'}) on "
-        f"http://{args.host}:{server.port} — Ctrl-C to stop"
+        f"http://{args.host}:{server.port} [{workers}] — Ctrl-C to stop"
     )
-    server.run()
+    try:
+        server.run()
+    finally:
+        if worker_pool is not None:
+            worker_pool.close()
     return 0
 
 

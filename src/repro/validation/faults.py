@@ -112,3 +112,16 @@ class FaultyFS:
         self._trip(point, dst, payload)
         os.replace(src, dst)
         self.writes.append(point)
+
+    def link(self, src: Path, dst: Path, point: str = "") -> None:
+        """Exclusively commit ``src`` to ``dst`` unless a fault is armed.
+
+        The immutable-record commit path: same fault semantics as
+        :meth:`replace` (``"torn"`` corrupts the destination), but the
+        underlying operation refuses to overwrite an existing ``dst``.
+        """
+        src, dst = Path(src), Path(dst)
+        payload = src.read_text() if src.exists() else None
+        self._trip(point, dst, payload)
+        os.link(src, dst)
+        self.writes.append(point)

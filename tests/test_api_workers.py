@@ -1,0 +1,244 @@
+"""Tests for the process-pool serving plane (repro.api.workers).
+
+The load-bearing contract: pool execution is **bit-identical** to
+in-process execution under ``deterministic_dict`` — for every registered
+strategy — because every worker bootstraps its engine from the same
+:class:`EngineSpec` the caller's reference engine is built from.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    EngineSpec,
+    ShardingEngine,
+    ShardingRequest,
+    WorkerPool,
+    available_strategies,
+    make_sharder,
+)
+from repro.config import ClusterConfig, SearchConfig
+
+from tests.conftest import TEST_MEMORY_BYTES
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tiny_bundle, tmp_path_factory):
+    """The session bundle saved to disk, loadable by worker processes."""
+    directory = tmp_path_factory.mktemp("bundle") / "tiny"
+    tiny_bundle.save(directory)
+    return str(directory)
+
+
+@pytest.fixture(scope="module")
+def spec(bundle_dir):
+    return EngineSpec(
+        cluster=ClusterConfig(
+            num_devices=2, memory_bytes=TEST_MEMORY_BYTES
+        ),
+        bundle_path=bundle_dir,
+        search=SearchConfig(),
+        strategy_kwargs={"random": {"seed": 7}},
+    )
+
+
+@pytest.fixture(scope="module")
+def pool(spec):
+    with WorkerPool(spec, max_workers=2) as pool:
+        yield pool
+
+
+class TestEngineSpec:
+    def test_build_engine_matches_fields(self, spec):
+        engine = spec.build_engine()
+        assert engine.cluster.num_devices == 2
+        assert engine.bundle is not None
+
+    def test_bundleless_spec_builds(self):
+        engine = EngineSpec(
+            cluster=ClusterConfig(num_devices=2),
+            default_strategy="dim_greedy",
+        ).build_engine()
+        assert engine.bundle is None
+        assert engine.default_strategy == "dim_greedy"
+
+
+class TestWorkerLifecycle:
+    def test_workers_bootstrap_exactly_once(self, pool, tasks2):
+        # Enough traffic that both workers have almost surely served.
+        pool.shard_batch(
+            [ShardingRequest(t, strategy="dim_greedy") for t in tasks2]
+        )
+        probes = pool.probe_workers()
+        assert 1 <= len(probes) <= 2
+        for probe in probes:
+            # The bootstrap-once contract: re-bootstrapping per request
+            # (or per batch) would make warm per-worker caches a lie.
+            assert probe["bootstraps"] == 1
+            assert set(probe["cache"]) >= {"hits", "misses"}
+        assert len({p["pid"] for p in probes}) == len(probes)
+
+    def test_close_is_idempotent_and_rejects_new_work(self, spec, tasks2):
+        pool = WorkerPool(spec, max_workers=1)
+        response = pool.shard(ShardingRequest(tasks2[0]))
+        assert response.strategy
+        pool.close()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.shard(ShardingRequest(tasks2[0]))
+
+    def test_unused_pool_closes_without_spawning(self, spec):
+        pool = WorkerPool(spec, max_workers=2)
+        assert pool._executor is None
+        pool.close()
+        assert pool.closed
+
+    def test_rejects_bad_worker_count(self, spec):
+        with pytest.raises(ValueError, match="max_workers"):
+            WorkerPool(spec, max_workers=0)
+
+    def test_empty_batch_short_circuits(self, spec):
+        pool = WorkerPool(spec, max_workers=2)
+        assert pool.shard_batch([]) == []
+        # The empty batch must not have paid for worker processes.
+        assert pool._executor is None
+        pool.close()
+
+
+class TestBitIdentity:
+    def test_pool_matches_in_process_for_every_strategy(
+        self, spec, pool, tasks2
+    ):
+        """The acceptance gate: all 18+ registered strategies answer
+        bit-identically through the pool and in-process."""
+        # Budgets generous enough that any placement is feasible: the
+        # gate tests serving equivalence, not search skill.
+        task = tasks2[0]
+        total = sum(t.size_bytes + 4 * t.hash_size for t in task.tables)
+        task = dataclasses.replace(task, memory_bytes=2 * total)
+
+        local = spec.build_engine()
+        policy = make_sharder(
+            "imitation",
+            cluster=local.cluster,
+            bundle=local.bundle,
+            train_tasks=[task],
+            epochs=2,
+        )
+        fit = {"train_tasks": [task], "epochs": 2}
+        options = {
+            "guided": {"policy": policy},
+            "imitation": fit,
+            "offline_rl": fit,
+        }
+        fitted_spec = dataclasses.replace(
+            spec, strategy_kwargs={**spec.strategy_kwargs, **options}
+        )
+        local = fitted_spec.build_engine()
+        strategies = sorted(available_strategies())
+        assert len(strategies) >= 18
+
+        requests = [
+            ShardingRequest(task, strategy=name) for name in strategies
+        ]
+        with WorkerPool(fitted_spec, max_workers=2) as fitted_pool:
+            pooled = fitted_pool.shard_batch(requests)
+        for request, response in zip(requests, pooled):
+            want = local.shard(request).deterministic_dict()
+            got = response.deterministic_dict()
+            # The correlation id is the only legitimate difference.
+            want["request_id"] = got["request_id"]
+            assert got == want, request.strategy
+
+    def test_strategy_failure_is_contained_not_raised(self, pool, tasks2):
+        # An impossible budget comes back infeasible, like in-process.
+        tight = dataclasses.replace(tasks2[0], memory_bytes=1024)
+        response = pool.shard(
+            ShardingRequest(tight, strategy="dim_greedy")
+        )
+        assert not response.feasible
+        assert response.plan is None
+
+
+class TestEngineRouting:
+    def test_engine_routes_batches_through_pool(
+        self, spec, pool, tasks2, cluster2, tiny_bundle
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, worker_pool=pool)
+        requests = [ShardingRequest(t) for t in tasks2[:3]]
+        pooled = engine.shard_batch(requests)
+        local = [engine.shard(r) for r in requests]
+        for a, b in zip(pooled, local):
+            da, db = a.deterministic_dict(), b.deterministic_dict()
+            db["request_id"] = da["request_id"]
+            assert da == db
+
+    def test_explicit_max_workers_stays_in_process(
+        self, spec, pool, tasks2, cluster2, tiny_bundle
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, worker_pool=pool)
+        closed_probe = WorkerPool(spec, max_workers=1)
+        closed_probe.close()
+        # max_workers forces the in-process path even with a pool
+        # attached — a closed pool would raise if it were consulted.
+        engine_closed = ShardingEngine(
+            cluster2, tiny_bundle, worker_pool=closed_probe
+        )
+        for target in (engine, engine_closed):
+            responses = target.shard_batch(
+                [ShardingRequest(t) for t in tasks2[:2]], max_workers=1
+            )
+            assert len(responses) == 2
+
+    def test_engine_falls_back_when_pool_closes(
+        self, spec, tasks2, cluster2, tiny_bundle
+    ):
+        pool = WorkerPool(spec, max_workers=1)
+        engine = ShardingEngine(cluster2, tiny_bundle, worker_pool=pool)
+        pool.close()
+        responses = engine.shard_batch(
+            [ShardingRequest(t) for t in tasks2[:2]]
+        )
+        assert all(r.strategy for r in responses)
+
+    def test_pool_device_count_must_match_cluster(
+        self, spec, pool, cluster4, tiny_bundle
+    ):
+        with pytest.raises(ValueError, match="devices"):
+            ShardingEngine(cluster4, None, worker_pool=pool)
+
+
+class TestPersistentThreadExecutor:
+    def test_default_thread_executor_is_reused(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, max_workers=4)
+        requests = [ShardingRequest(t) for t in tasks2[:2]]
+        engine.shard_batch(requests)
+        first = engine._executor
+        assert first is not None
+        engine.shard_batch(requests)
+        # One persistent executor, not a fresh pool per call.
+        assert engine._executor is first
+        engine.close()
+        assert engine._executor is None
+
+    def test_closed_engine_rejects_batches(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        with ShardingEngine(cluster2, tiny_bundle, max_workers=4) as engine:
+            engine.shard_batch([ShardingRequest(t) for t in tasks2[:2]])
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.shard_batch([ShardingRequest(t) for t in tasks2[:2]])
+
+    def test_override_max_workers_does_not_touch_executor(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, max_workers=4)
+        engine.shard_batch(
+            [ShardingRequest(t) for t in tasks2[:3]], max_workers=2
+        )
+        assert engine._executor is None
+        engine.close()

@@ -373,3 +373,50 @@ class TestValidateCommand:
         captured = capsys.readouterr()
         assert code == EXIT_ALL_INFEASIBLE
         assert "bundle:prod@v1" in captured.err
+
+
+# ----------------------------------------------------------------------
+# README examples are real commands, not aspirational prose
+# ----------------------------------------------------------------------
+
+
+def _readme_cli_lines():
+    """Every ``python -m repro ...`` invocation in README fenced blocks,
+    with backslash continuations joined."""
+    import pathlib
+    import re
+
+    readme = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+    blocks = re.findall(r"```(?:bash|sh|console)\n(.*?)```", readme.read_text(), re.S)
+    lines: list[str] = []
+    for block in blocks:
+        joined = block.replace("\\\n", " ")
+        for line in joined.splitlines():
+            line = line.strip()
+            if line.startswith("python -m repro "):
+                lines.append(line)
+    return lines
+
+
+def test_readme_has_cli_examples():
+    assert len(_readme_cli_lines()) >= 10
+
+
+@pytest.mark.parametrize(
+    "line", _readme_cli_lines(), ids=lambda line: " ".join(line.split()[3:5])
+)
+def test_readme_cli_examples_parse(line):
+    """Machine-verify the docs: every README invocation must be accepted
+    by the real parser (flags exist, choices are legal, arity is right).
+    A drive-by rename that silently rots the README fails here."""
+    import shlex
+
+    argv = shlex.split(line)[3:]  # strip "python -m repro"
+    # Trailing "# comment" annotations are shell syntax, not argv.
+    if "#" in [a[0] for a in argv if a]:
+        argv = argv[: [a[0] for a in argv].index("#")]
+    parser = build_parser()
+    try:
+        parser.parse_args(argv)
+    except SystemExit as exc:  # pragma: no cover — failure reporting
+        pytest.fail(f"README example no longer parses: {line!r} ({exc})")
