@@ -34,7 +34,6 @@ as well as printing it.
 
 from __future__ import annotations
 
-import hashlib
 import os
 from pathlib import Path
 
@@ -49,6 +48,7 @@ from repro.config import (
 from repro.costmodel import PretrainedCostModels, pretrain_cost_models
 from repro.data import TablePool, synthesize_table_pool
 from repro.hardware import SimulatedCluster
+from repro.utils import source_fingerprint
 
 BENCH_DIR = Path(__file__).parent
 CACHE_DIR = BENCH_DIR / "_cache"
@@ -103,26 +103,25 @@ def cluster8() -> SimulatedCluster:
     return make_cluster(8)
 
 
+#: Source entries (relative to ``src/repro``) a pre-trained bundle's
+#: bytes depend on: featurization, the ``repro.nn`` model/training
+#: stack, the simulated hardware the samples are collected on, and the
+#: config defaults.
+BUNDLE_SOURCES = ("config.py", "costmodel", "data", "hardware", "nn")
+
+
 def bundle_code_fingerprint() -> str:
     """Hash of every source file a pre-trained bundle depends on.
 
     The cache key of :func:`load_or_pretrain_bundle` captures the
     *configuration* (devices, samples, epochs, seed) but not the *code*;
-    this digest covers the rest — featurization, the ``repro.nn``
-    model/training stack, the simulated hardware the samples are
-    collected on, and the config defaults — so a cached bundle trained
-    by older code is detected mechanically.
+    this digest covers the rest — so a cached bundle trained by older
+    code is detected mechanically.  Delegates to the shared (cached)
+    :func:`repro.utils.source_fingerprint`, the same helper provenance
+    stamps use; the digest is byte-identical to the one historical
+    ``code_fingerprint.txt`` files were written with.
     """
-    src_root = BENCH_DIR.parent / "src" / "repro"
-    digest = hashlib.sha256()
-    paths = [src_root / "config.py"]
-    for sub in ("costmodel", "data", "hardware", "nn"):
-        paths.extend(sorted((src_root / sub).rglob("*.py")))
-    for path in paths:
-        digest.update(path.relative_to(src_root).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-    return digest.hexdigest()
+    return source_fingerprint(*BUNDLE_SOURCES)
 
 
 def load_or_pretrain_bundle(

@@ -16,6 +16,15 @@ Both types round-trip through versioned JSON dictionaries
 incompatible layout changes and checked on load, so stale payloads fail
 loudly instead of deserializing garbage.  Non-finite floats (the
 infeasible-plan ``inf`` cost) map to ``None`` in JSON and back.
+
+Additive, ``None``-defaulted keys do **not** bump the version: a
+serialized :class:`~repro.api.service.PlanRecord` carries a
+``provenance`` object (its hash-chain link — see
+:mod:`repro.provenance.chain`) and its ``validation`` report carries
+``code_fingerprint``/``validated_digest`` stamps, but payloads written
+before those fields existed still load (the fields default to
+``None``/empty, and the offline auditor reports them as legacy
+advisories, not errors).
 """
 
 from __future__ import annotations

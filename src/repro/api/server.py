@@ -19,6 +19,7 @@ Endpoints (all bodies and responses are JSON)::
     GET  /v1/deployments/<name>/status
     GET  /v1/deployments/<name>/history
     GET  /v1/deployments/<name>/validate      run the invariant suite
+    GET  /v1/deployments/<name>/audit         verify the provenance chain
     POST /v1/deployments/<name>/plan          {strategy?, options?, request_id?}
     POST /v1/deployments/<name>/apply         {version?}
     POST /v1/deployments/<name>/reshard       {delta, config?, strategy?, apply?}
@@ -327,6 +328,9 @@ class _Handler(BaseHTTPRequestHandler):
         if match and match["verb"] == "validate":
             self._guard(self._get_validate, match["name"])
             return
+        if match and match["verb"] == "audit":
+            self._guard(self._get_audit, match["name"])
+            return
         self._send_error_json(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
@@ -385,6 +389,15 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             200, self.server.service.validate_deployment(name).to_dict()
         )
+
+    def _get_audit(self, name: str) -> None:
+        # As with validate: findings live in the body; the audit itself
+        # ran.  A memory-only service has no store to audit → 400.
+        try:
+            report = self.server.service.audit_deployment(name)
+        except FileNotFoundError as exc:
+            raise DeploymentNotFoundError(str(exc)) from None
+        self._send_json(200, report.to_dict())
 
     # ------------------------------------------------------------------
     # POST routes

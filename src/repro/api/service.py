@@ -23,12 +23,17 @@ table list it indexes, simulated cost, the :class:`~repro.api.diff
 .PlanDiff` against the plan it replaced) persisted through
 :class:`~repro.api.store.PlanStore`, and ``apply``/``rollback`` only move
 the applied-version stack — so the entire history is auditable and any
-applied state is reproducible byte-for-byte.
+applied state is reproducible byte-for-byte.  Each persisted record also
+carries a hash-chain link to its predecessor and a provenance-stamped
+validation report (:mod:`repro.provenance`), making the stored history
+tamper-evident: :meth:`ShardingService.audit_deployment` (or ``repro
+audit``) verifies it offline, no engine or bundle needed.
 """
 
 from __future__ import annotations
 
 import math
+import re
 import threading
 import time
 from dataclasses import dataclass, field, replace
@@ -51,6 +56,16 @@ from repro.api.schema import (
 )
 from repro.api.store import PlanStore
 from repro.core.plan import ShardingPlan
+from repro.provenance.chain import (
+    ProvenanceLink,
+    genesis_digest,
+    link_digest_of_payload,
+    link_record,
+    raw_digest,
+    record_digest,
+    stamp_fingerprint,
+    state_stamp,
+)
 from repro.data.io import table_from_dict, table_to_dict
 from repro.data.table import TableConfig
 from repro.data.tasks import ShardingTask
@@ -100,6 +115,11 @@ class PlanRecord:
             .ValidationReport` of the invariant checks run on this record
             (``None`` when the service validates nothing, or for records
             written before the validation layer existed).
+        provenance: the record's hash-chain link (:class:`~repro
+            .provenance.chain.ProvenanceLink`) — it commits to the
+            record's own canonical content digest and its predecessor's
+            chain digest, so the stored history is tamper-evident
+            (``None`` for records written before the chain existed).
     """
 
     version: int
@@ -117,6 +137,7 @@ class PlanRecord:
     diff: PlanDiff | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
     validation: ValidationReport | None = None
+    provenance: ProvenanceLink | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize to a versioned, JSON-compatible dictionary."""
@@ -143,6 +164,9 @@ class PlanRecord:
             "validation": (
                 None if self.validation is None else self.validation.to_dict()
             ),
+            "provenance": (
+                None if self.provenance is None else self.provenance.to_dict()
+            ),
         }
 
     @classmethod
@@ -153,6 +177,7 @@ class PlanRecord:
         cost = data.get("simulated_cost_ms")
         diff_data = data.get("diff")
         validation_data = data.get("validation")
+        provenance_data = data.get("provenance")
         return cls(
             version=int(data["version"]),
             kind=str(data["kind"]),
@@ -177,6 +202,11 @@ class PlanRecord:
                 if validation_data is None
                 else ValidationReport.from_dict(validation_data)
             ),
+            provenance=(
+                None
+                if provenance_data is None
+                else ProvenanceLink.from_dict(provenance_data)
+            ),
         )
 
 
@@ -197,6 +227,14 @@ class _Deployment:
         self.records: dict[int, PlanRecord] = {}
         self.applied_stack: list[int] = []
         self.lock = threading.RLock()
+        #: Chain anchor: digest of the deployment metadata the first
+        #: record links to (see :func:`repro.provenance.chain
+        #: .genesis_digest`).
+        self.genesis_digest = ""
+        #: version -> the digest a successor's chain link commits to
+        #: (the record's stored chain digest; legacy/unreadable records
+        #: get content/raw digests) — saves a disk read per new record.
+        self.chain_digests: dict[int, str] = {}
         # Highest version ever handed out (>= max(records): versions are
         # reserved before their records exist, so concurrent planners
         # never collide).
@@ -352,23 +390,22 @@ class ShardingService:
                 )
             deployment = _Deployment(name, engine, tables, memory)
             self._deployments[name] = deployment
+        meta = {
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "created_at": time.time(),
+            "num_devices": engine.cluster.num_devices,
+            "batch_size": engine.cluster.batch_size,
+            "memory_bytes": memory,
+            "bundle_ref": bundle_ref,
+            "tables": [table_to_dict(t) for t in tables],
+        }
+        # The chain anchor is the digest of this metadata — computed
+        # here (not from a re-read) so storeless deployments chain too.
+        deployment.genesis_digest = genesis_digest(meta)
         if self.store is not None:
-            self.store.save_meta(
-                name,
-                {
-                    "schema_version": SCHEMA_VERSION,
-                    "name": name,
-                    "created_at": time.time(),
-                    "num_devices": engine.cluster.num_devices,
-                    "batch_size": engine.cluster.batch_size,
-                    "memory_bytes": memory,
-                    "bundle_ref": bundle_ref,
-                    "tables": [table_to_dict(t) for t in tables],
-                },
-            )
-            self.store.save_state(
-                name, {"applied_stack": [], "memory_bytes": memory}
-            )
+            self.store.save_meta(name, meta)
+            self._persist_state(deployment)
         return self.status(name)
 
     @classmethod
@@ -415,18 +452,38 @@ class ShardingService:
                     tuple(table_from_dict(t) for t in meta["tables"]),
                     int(meta["memory_bytes"]),
                 )
+                deployment.genesis_digest = genesis_digest(meta)
                 stored_versions = store.versions(name)
                 for version in stored_versions:
+                    data = None
                     try:
-                        record = PlanRecord.from_dict(
-                            store.load_record(name, version)
-                        )
+                        data = store.load_record(name, version)
+                        record = PlanRecord.from_dict(data)
                     except Exception as exc:  # noqa: BLE001 — corrupted tail
                         notes.append(
                             f"dropped unreadable plan record v{version} "
                             f"({type(exc).__name__}: {exc})"
                         )
+                        # Register what a successor would chain over —
+                        # the raw file bytes when the record does not
+                        # parse — so new records written after this
+                        # recovery stay verifiably linked past the
+                        # damage instead of silently skipping it.
+                        if data is not None:
+                            deployment.chain_digests[version] = (
+                                link_digest_of_payload(data)
+                            )
+                        else:
+                            try:
+                                deployment.chain_digests[version] = raw_digest(
+                                    store.read_record_bytes(name, version)
+                                )
+                            except OSError:
+                                pass
                         continue
+                    deployment.chain_digests[version] = (
+                        link_digest_of_payload(data)
+                    )
                     deployment.records[record.version] = record
                 # Version allocation must clear every *stored* version,
                 # readable or not: a dropped corrupt v<N> still occupies
@@ -550,8 +607,25 @@ class ShardingService:
                     report = report.merged(
                         self.validator.validate_transition(applied, record)
                     )
+                # Stamp the report with the code fingerprint that ran
+                # the checks and the digest of what they checked (the
+                # digest excludes the report itself, so stamping cannot
+                # invalidate it).
+                report = report.stamped(
+                    stamp_fingerprint(), record_digest(record.to_dict())
+                )
                 record = replace(record, validation=report)
-            return record
+            # Chain link last: the content digest must cover the final
+            # payload, validation stamp included.
+            prev_version, prev_digest = self._chain_prev(
+                deployment, record_version
+            )
+            return replace(
+                record,
+                provenance=link_record(
+                    record.to_dict(), prev_version, prev_digest
+                ),
+            )
 
         record = build(version)
         # Disk before memory: a crash mid-write must never leave the
@@ -583,7 +657,57 @@ class ShardingService:
                     f"{self._COLLISION_RETRIES} collisions"
                 )
         deployment.records[record.version] = record
+        if record.provenance is not None:
+            deployment.chain_digests[record.version] = (
+                record.provenance.chain_digest
+            )
         return record
+
+    def _chain_prev(self, deployment: _Deployment, version: int) -> tuple[int, str]:
+        """The predecessor a new record at ``version`` chains to.
+
+        The highest version strictly below ``version`` that this handle
+        knows (its own records) or the store holds (a sibling writer's),
+        falling back to the genesis anchor when none exists.  Foreign
+        records' digests are read from disk once and cached; a stored
+        version whose digest cannot be derived at all (deleted between
+        listing and reading) falls through to the next-lower candidate.
+        """
+        candidates = {
+            v
+            for v in (*deployment.chain_digests, *deployment.records)
+            if v < version
+        }
+        if self.store is not None:
+            candidates.update(
+                v for v in self.store.versions(deployment.name) if v < version
+            )
+        for prev in sorted(candidates, reverse=True):
+            digest = deployment.chain_digests.get(prev)
+            if digest is None:
+                digest = self._stored_link_digest(deployment.name, prev)
+                if digest is None:
+                    continue
+                deployment.chain_digests[prev] = digest
+            return prev, digest
+        return 0, deployment.genesis_digest
+
+    def _stored_link_digest(self, name: str, version: int) -> str | None:
+        """The chain digest a successor commits to for a stored record.
+
+        Parses the record when possible; digests its raw bytes when it
+        is torn (the chain accounts for damage instead of skipping it);
+        ``None`` when the file is gone entirely.
+        """
+        try:
+            return link_digest_of_payload(self.store.load_record(name, version))
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 — torn record: digest raw bytes
+            try:
+                return raw_digest(self.store.read_record_bytes(name, version))
+            except OSError:
+                return None
 
     def plan(
         self,
@@ -1015,6 +1139,68 @@ class ShardingService:
             memory_bytes=budget,
         )
 
+    def audit_deployment(self, name: str) -> Any:
+        """Audit one deployment's stored provenance chain offline.
+
+        Runs :func:`repro.provenance.audit.audit_deployment` over the
+        service's store — verifying the hash chain, the validation
+        stamps, and the state anchor, and re-running the validator —
+        then cross-checks this handle's :attr:`recovery_notes` against
+        the findings: every version a recovery note blames must carry a
+        corresponding audit finding (damage :meth:`open` repaired in
+        memory is still on disk and must be visible to a third party).
+        An unconfirmed note is reported as a ``chain/recovery-unconfirmed``
+        advisory.
+
+        Returns:
+            The :class:`repro.provenance.audit.AuditReport`.
+
+        Raises:
+            ValueError: when the service has no store (there is nothing
+                on disk to audit).
+            FileNotFoundError: when the store has no such deployment.
+        """
+        if self.store is None:
+            raise ValueError(
+                "audit requires a store-backed service; this service "
+                "holds deployments in memory only"
+            )
+        from repro.provenance.audit import AuditFinding
+        from repro.provenance.audit import audit_deployment as _audit
+
+        report = _audit(self.store, name, validator=self.validator)
+        flagged = {f.version for f in report.findings if f.version is not None}
+        state_flagged = any(
+            f.code.startswith("chain/state") or f.code.startswith("state/")
+            for f in report.findings
+        )
+        extra = []
+        for note in self.recovery_notes.get(name, []):
+            match = re.search(r"v(\d+)", note)
+            if match is not None:
+                version = int(match.group(1))
+                if version not in flagged:
+                    extra.append(
+                        AuditFinding(
+                            "chain/recovery-unconfirmed",
+                            "advisory",
+                            version,
+                            f"open() recovery blamed v{version} but the "
+                            f"audit found no damage there: {note}",
+                        )
+                    )
+            elif "state" in note and not state_flagged:
+                extra.append(
+                    AuditFinding(
+                        "chain/recovery-unconfirmed",
+                        "advisory",
+                        None,
+                        "open() recovery reported state damage the audit "
+                        f"did not confirm: {note}",
+                    )
+                )
+        return report.with_findings(extra)
+
     def status(self, name: str) -> dict[str, Any]:
         """Operational snapshot of one deployment."""
         deployment = self._get(name)
@@ -1061,20 +1247,39 @@ class ShardingService:
     ) -> None:
         """Write deployment state; overrides let mutating verbs persist
         the post-mutation state *before* touching memory (disk before
-        memory — a failed write must leave process and disk agreeing)."""
-        if self.store is not None:
-            self.store.save_state(
-                deployment.name,
-                {
-                    "applied_stack": list(
-                        deployment.applied_stack
-                        if applied_stack is None
-                        else applied_stack
-                    ),
-                    "memory_bytes": (
-                        deployment.memory_bytes
-                        if memory_bytes is None
-                        else memory_bytes
-                    ),
-                },
-            )
+        memory — a failed write must leave process and disk agreeing).
+
+        The state carries a provenance stamp anchored at the
+        top-of-stack record's chain digest (the genesis digest when
+        nothing is applied), so a truncated or edited applied stack is
+        detectable offline (see :func:`repro.provenance.chain
+        .state_stamp`).
+        """
+        if self.store is None:
+            return
+        stack = list(
+            deployment.applied_stack if applied_stack is None else applied_stack
+        )
+        memory = (
+            deployment.memory_bytes if memory_bytes is None else memory_bytes
+        )
+        anchor_version = stack[-1] if stack else 0
+        if anchor_version == 0:
+            anchor_digest = deployment.genesis_digest
+        else:
+            anchor_digest = deployment.chain_digests.get(anchor_version)
+            if anchor_digest is None:
+                anchor_digest = (
+                    self._stored_link_digest(deployment.name, anchor_version)
+                    or ""
+                )
+        self.store.save_state(
+            deployment.name,
+            {
+                "applied_stack": stack,
+                "memory_bytes": memory,
+                "provenance": state_stamp(
+                    stack, memory, anchor_version, anchor_digest
+                ),
+            },
+        )

@@ -33,7 +33,11 @@ pick up retrained models by restarting without path changes.
 Records are stored as the versioned JSON dictionaries the service's
 :class:`~repro.api.service.PlanRecord` serializes to, so a deployment's
 entire history — every plan, diff and rollback — survives restarts and
-is replayable byte-for-byte.
+is replayable byte-for-byte.  Records carry provenance chain fields
+(each commits to its predecessor's digest — see
+:mod:`repro.provenance`), persisted through the same exclusive-link
+commit path; :meth:`PlanStore.read_record_bytes` exposes raw file bytes
+so the offline auditor can digest even records that no longer parse.
 """
 
 from __future__ import annotations
@@ -453,6 +457,24 @@ class PlanStore:
                 f"{self.root} (stored: {self.versions(name) or 'none'})"
             )
         return json.loads(path.read_text())
+
+    def read_record_bytes(self, name: str, version: int) -> bytes:
+        """Read one stored plan record's raw file bytes, unparsed.
+
+        The provenance layer (:mod:`repro.provenance`) uses this to
+        digest record files that no longer parse — a torn write the
+        chain must still account for.
+
+        Raises:
+            FileNotFoundError: when the version is not stored.
+        """
+        path = self._deployment_dir(name) / self._PLANS / f"v{version}.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no plan record v{version} of deployment {name!r} in store "
+                f"{self.root} (stored: {self.versions(name) or 'none'})"
+            )
+        return path.read_bytes()
 
     # ------------------------------------------------------------------
     # mutable deployment state (applied stack)

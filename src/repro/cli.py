@@ -41,6 +41,13 @@ all sharding algorithms served through the :mod:`repro.api` registry:
   conservation laws, store byte-identity) and/or stored bundles
   (manifest + loadability).  No engine or bundle is needed to validate
   a plan store: the checks re-derive everything from the stored records.
+- ``audit`` — verify a plan store's provenance hash chain offline
+  (:mod:`repro.provenance`): every record's committed content digest
+  and predecessor link, every validation stamp, the state anchor, plus
+  a full validator re-run — localizing any tampering, deletion or
+  reordering to the first offending version.  Like ``validate``, no
+  engine or bundle is needed: a store copied off a production box is
+  independently checkable.
 - ``strategies`` — list every registered strategy.
 - ``list-bundles`` — list the contents of a bundle store.
 
@@ -51,7 +58,9 @@ reshard`` / ``deployment apply`` with the failing task ids on stderr;
 reshard step of the replay fails, failing step numbers on stderr;
 ``validate`` when *any* validated unit has violations — a validator
 that half-passes must not exit 0 — with the failing deployment/bundle
-names on stderr).
+names on stderr; ``audit`` when any audited deployment has
+error-severity findings, with the first broken version per failing
+deployment on stderr).
 """
 
 from __future__ import annotations
@@ -445,6 +454,17 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--json", action="store_true",
                      help="print the full reports as JSON instead of a "
                      "table")
+
+    aud = sub.add_parser("audit", help="verify a plan store's provenance "
+                         "hash chain offline (no engine or bundle needed)")
+    aud.add_argument("--store", required=True,
+                     help="plan-store root whose deployments to audit")
+    aud.add_argument("--deployment", action="append", metavar="NAME",
+                     help="restrict the audit to this deployment "
+                     "(repeatable; default: all)")
+    aud.add_argument("--json", action="store_true",
+                     help="print the full audit reports as JSON instead "
+                     "of a table")
 
     strategies = sub.add_parser("strategies", help="list registered "
                                 "sharding strategies")
@@ -1593,6 +1613,76 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_audit(args) -> int:
+    from repro.provenance import audit_deployment
+
+    store = PlanStore(args.store)
+    names = args.deployment or store.names()
+    unknown = sorted(set(names) - set(store.names()))
+    if unknown:
+        print(
+            f"error: no deployment named {unknown} in store "
+            f"{args.store} (known: {store.names() or 'none'})",
+            file=sys.stderr,
+        )
+        return 1
+    reports = [audit_deployment(store, name) for name in sorted(names)]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=1))
+    else:
+        rows = [
+            [
+                r.deployment,
+                len(r.versions),
+                (r.applied_stack[-1] if r.applied_stack else "-"),
+                len(r.advisories),
+                (
+                    "ok"
+                    if r.ok
+                    else f"{len(r.errors)} error(s), first broken "
+                    f"v{r.first_broken_version}"
+                    if r.first_broken_version is not None
+                    else f"{len(r.errors)} error(s)"
+                ),
+            ]
+            for r in reports
+        ]
+        print(
+            format_text_table(
+                ["deployment", "records", "applied", "advisories", "result"],
+                rows,
+                title=f"audited {len(reports)} deployment(s)",
+            )
+        )
+    failing = [r for r in reports if not r.ok]
+    for report in reports:
+        for finding in report.errors:
+            tag = "-" if finding.version is None else f"v{finding.version}"
+            print(
+                f"{report.deployment}/{tag}: {finding.code}: "
+                f"{finding.message}",
+                file=sys.stderr,
+            )
+    if failing:
+        print(
+            "error: audit found tampering or damage in "
+            f"{len(failing)} of {len(reports)} deployment(s): "
+            + ", ".join(
+                f"{r.deployment} (first broken: "
+                + (
+                    f"v{r.first_broken_version}"
+                    if r.first_broken_version is not None
+                    else "deployment state"
+                )
+                + ")"
+                for r in failing
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_ALL_INFEASIBLE
+    return 0
+
+
 def _cmd_strategies(args) -> int:
     rows = [
         [
@@ -1648,6 +1738,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scenario": _cmd_scenario,
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
+        "audit": _cmd_audit,
         "strategies": _cmd_strategies,
         "list-bundles": _cmd_list_bundles,
     }

@@ -1,4 +1,4 @@
-"""Small shared utilities: stable hashing and deterministic noise.
+"""Small shared utilities: stable hashing, deterministic noise, fingerprints.
 
 The real testbed's latency measurements carry run-to-run variance which the
 paper suppresses with a warm-up + median-of-100 protocol (Appendix A).  Our
@@ -6,16 +6,29 @@ simulator reproduces the *residual* post-median variance as deterministic
 pseudo-noise: the noise for a measurement is a pure function of the
 workload key and a seed, so identical workloads measure identical costs in
 any process — which is what makes benchmarks and tests reproducible.
+
+:func:`source_fingerprint` hashes the repo's own source files.  Two
+consumers share it: cached pre-trained bundles (``benchmarks/conftest.py``
+retrains a bundle whose fingerprint no longer matches the code that
+determines it) and provenance stamps (:mod:`repro.provenance` stamps every
+validation report with the fingerprint of the code that validated it).
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import struct
+from pathlib import Path
 
 import numpy as np
 
-__all__ = ["stable_hash64", "deterministic_normal", "deterministic_uniform"]
+__all__ = [
+    "stable_hash64",
+    "deterministic_normal",
+    "deterministic_uniform",
+    "source_fingerprint",
+]
 
 
 def stable_hash64(*parts: object) -> int:
@@ -41,3 +54,38 @@ def deterministic_uniform(*key_parts: object) -> float:
     """A U[0, 1) draw that is a pure function of the key."""
     rng = np.random.default_rng(stable_hash64(*key_parts))
     return float(rng.random())
+
+
+def source_fingerprint(*entries: str) -> str:
+    """sha256 over the named source entries of the ``repro`` package.
+
+    Each entry is a path relative to ``src/repro``: a single ``.py`` file
+    (``"config.py"``) or a subpackage directory hashed recursively in
+    sorted order (``"costmodel"``).  The digest covers relative posix
+    paths and raw file bytes, so a comment-only edit also changes it —
+    deliberately erring on the side of a spurious mismatch, which is
+    cheap for both consumers (a deterministic bundle retrain; an
+    advisory, not an error, in the provenance audit).
+
+    Cached per entry tuple: callers on hot paths (one stamp per plan
+    record) pay the file walk once per process.
+    """
+    return _source_fingerprint(tuple(entries))
+
+
+@functools.lru_cache(maxsize=None)
+def _source_fingerprint(entries: tuple[str, ...]) -> str:
+    root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    paths: list[Path] = []
+    for entry in entries:
+        target = root / entry
+        if target.is_dir():
+            paths.extend(sorted(target.rglob("*.py")))
+        else:
+            paths.append(target)
+    for path in paths:
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()

@@ -125,11 +125,21 @@ class ValidationReport:
             that could not run — e.g. a memory check on an infeasible
             record without a plan — is absent, not silently passed).
         errors: the violations found (empty = all checks passed).
+        code_fingerprint: provenance stamp — the fingerprint of the
+            source tree that ran the checks (see
+            :func:`repro.provenance.chain.stamp_fingerprint`); empty for
+            unstamped reports.
+        validated_digest: provenance stamp — the canonical digest of the
+            record content the checks ran against (see
+            :func:`repro.provenance.chain.record_digest`); empty for
+            unstamped reports.
     """
 
     subject: str
     checks: tuple[str, ...] = ()
     errors: tuple[ValidationError, ...] = ()
+    code_fingerprint: str = ""
+    validated_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -154,15 +164,36 @@ class ValidationReport:
         if not self.ok:
             raise PlanValidationError(self)
 
+    def stamped(self, fingerprint: str, digest: str) -> "ValidationReport":
+        """This report carrying provenance stamps.
+
+        ``fingerprint`` names the source tree that ran the checks,
+        ``digest`` the canonical record content they ran against — the
+        offline auditor re-derives both and flags disagreement.
+        """
+        return replace(
+            self, code_fingerprint=fingerprint, validated_digest=digest
+        )
+
     def to_dict(self) -> dict[str, Any]:
-        """Serialize to a versioned, JSON-compatible dictionary."""
-        return {
+        """Serialize to a versioned, JSON-compatible dictionary.
+
+        The provenance stamps are emitted only when present, so reports
+        written before the stamps existed serialize byte-identically to
+        how they always did.
+        """
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "subject": self.subject,
             "ok": self.ok,
             "checks": list(self.checks),
             "errors": [e.to_dict() for e in self.errors],
         }
+        if self.code_fingerprint:
+            payload["code_fingerprint"] = self.code_fingerprint
+        if self.validated_digest:
+            payload["validated_digest"] = self.validated_digest
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ValidationReport":
@@ -174,6 +205,8 @@ class ValidationReport:
             errors=tuple(
                 ValidationError.from_dict(e) for e in data.get("errors", ())
             ),
+            code_fingerprint=str(data.get("code_fingerprint", "")),
+            validated_digest=str(data.get("validated_digest", "")),
         )
 
 
@@ -674,9 +707,11 @@ class PlanValidator:
         if stored is not None:
             normalized = dict(stored)
             # Records written before the validation layer existed lack
-            # the (optional, None-defaulted) 'validation' key; absence
-            # is not rewriting.
+            # the (optional, None-defaulted) 'validation' key; records
+            # written before the provenance chain lack 'provenance'.
+            # Absence is not rewriting.
             normalized.setdefault("validation", None)
+            normalized.setdefault("provenance", None)
             if normalized != payload:
                 out.fail(
                     "rollback/byte-identity",

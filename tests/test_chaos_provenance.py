@@ -1,0 +1,179 @@
+"""Fault injection against the provenance chain commit path.
+
+The contract under test: a *crash* at any named write point leaves a
+store that audits clean after recovery (atomic writes — nothing torn
+lands), while a *torn* write leaves damage the auditor localizes to
+exactly the versions the reopening service's recovery notes blame, and
+post-recovery planning chains verifiably over the damaged file's raw
+bytes instead of wedging the deployment.
+"""
+
+import pytest
+
+from repro.api import PlanStore, ShardingEngine, ShardingService
+from repro.data.table import TableConfig
+from repro.provenance import audit_deployment, audit_store
+from repro.validation import CrashPoint, FaultyFS
+
+pytestmark = pytest.mark.chaos
+
+TABLES = tuple(
+    TableConfig(
+        table_id=i, hash_size=2000, dim=16, pooling_factor=4.0,
+        zipf_alpha=0.8,
+    )
+    for i in range(4)
+)
+
+
+@pytest.fixture()
+def light_engine(cluster2):
+    """A bundle-less engine (dim_greedy default): plans instantly."""
+    return ShardingEngine(cluster2)
+
+
+def _open(store, engine):
+    return ShardingService.open(store, lambda meta: engine)
+
+
+class TestCrashSweepAuditsClean:
+    """Atomic writes: a pure crash never leaves auditable damage."""
+
+    @pytest.mark.parametrize("point", PlanStore.WRITE_POINTS)
+    def test_crash_at_every_write_point_audits_clean(
+        self, point, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        kind = point.split("#")[0]
+
+        if kind == "meta":
+            fs.arm(point)
+            with pytest.raises(CrashPoint):
+                service.create_deployment("prod", light_engine, tables=TABLES)
+            assert audit_store(store) == []
+            return
+
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        fs.arm(point)
+        if kind == "state":
+            service.plan("prod")
+            with pytest.raises(CrashPoint):
+                service.apply("prod", version=2)
+        else:  # record: the crash hits v2's record write itself
+            with pytest.raises(CrashPoint):
+                service.plan("prod")
+
+        _open(store, light_engine)  # recovery must not disturb the chain
+        report = audit_deployment(store, "prod")
+        assert report.ok, [f.to_dict() for f in report.findings]
+        assert report.findings == ()  # no advisories either
+
+
+class TestTornWritesAreLocalized:
+    def test_torn_record_is_localized_to_the_noted_version(
+        self, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        fs.arm("record#rename", mode="torn")
+        with pytest.raises(CrashPoint):
+            service.plan("prod")
+
+        reopened = _open(store, light_engine)
+        notes = reopened.recovery_notes["prod"]
+        assert any("v2" in n for n in notes)
+        report = reopened.audit_deployment("prod")
+        assert not report.ok
+        assert report.first_broken_version == 2
+        assert report.error_codes == ("chain/unreadable-record",)
+        # Every error the audit raises is a version the notes blame.
+        assert {f.version for f in report.errors} == {2}
+        assert "chain/recovery-unconfirmed" not in {
+            f.code for f in report.findings
+        }
+
+    def test_planning_after_torn_record_chains_over_raw_bytes(
+        self, tmp_path, light_engine
+    ):
+        """Recovery must not wedge the chain: the next record commits to
+        the damaged file's raw-byte digest, so the auditor can verify
+        every link *except* the torn record itself."""
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        fs.arm("record#rename", mode="torn")
+        with pytest.raises(CrashPoint):
+            service.plan("prod")
+
+        reopened = _open(store, light_engine)
+        replanned = reopened.plan("prod")
+        assert replanned.version == 3
+        reopened.apply("prod", version=3)
+        report = reopened.audit_deployment("prod")
+        # Still broken at v2 and only at v2: v3's link and the state
+        # anchor both verify against the raw bytes v2 left behind.
+        assert {f.version for f in report.errors} == {2}
+        assert "chain/broken-link" not in report.error_codes
+
+    def test_torn_state_is_an_unreadable_state_finding(
+        self, tmp_path, light_engine
+    ):
+        fs = FaultyFS()
+        store = PlanStore(tmp_path / "deps", fs=fs)
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        fs.arm("state#rename", mode="torn")
+        with pytest.raises(CrashPoint):
+            service.apply("prod")
+
+        reopened = _open(store, light_engine)
+        assert any("state" in n for n in reopened.recovery_notes["prod"])
+        report = reopened.audit_deployment("prod")
+        assert not report.ok
+        assert "chain/state-unreadable" in report.error_codes
+        # The note names state damage and the audit confirms it.
+        assert "chain/recovery-unconfirmed" not in {
+            f.code for f in report.findings
+        }
+
+    def test_corrupt_middle_record_of_a_deep_store_is_pinpointed(
+        self, tmp_path, light_engine
+    ):
+        """The acceptance scenario: ≥5 versions, bit rot in the middle;
+        the reopening service notes the drop and the audit names exactly
+        that version, with the successor's link an advisory (its
+        predecessor is already damaged — no cascade)."""
+        store = PlanStore(tmp_path / "deps")
+        service = ShardingService(store)
+        service.create_deployment("prod", light_engine, tables=TABLES)
+        service.plan("prod")
+        service.apply("prod")
+        for _ in range(4):
+            service.plan("prod")
+        service.apply("prod", version=2)
+        path = tmp_path / "deps" / "prod" / "plans" / "v3.json"
+        path.write_bytes(path.read_bytes()[:80])
+
+        reopened = _open(store, light_engine)
+        assert any(
+            "v3" in n for n in reopened.recovery_notes["prod"]
+        )
+        report = reopened.audit_deployment("prod")
+        assert not report.ok
+        assert report.first_broken_version == 3
+        assert {f.version for f in report.errors} == {3}
+        advisory_codes = {f.code for f in report.advisories}
+        assert "chain/unverifiable-link" in advisory_codes
+        assert "chain/recovery-unconfirmed" not in advisory_codes

@@ -37,6 +37,7 @@ TOP_COMMANDS = (
     "scenario",
     "simulate",
     "validate",
+    "audit",
     "strategies",
     "list-bundles",
 )
@@ -176,6 +177,10 @@ def _infeasible_cases():
         (
             "validate",
             lambda env: ["validate", "--store", env["corrupt_store"]],
+        ),
+        (
+            "audit",
+            lambda env: ["audit", "--store", env["corrupt_store"]],
         ),
     ]
 
@@ -357,6 +362,43 @@ class TestValidateCommand:
         captured = capsys.readouterr()
         assert code == EXIT_ALL_INFEASIBLE
         assert needle in captured.err
+
+    def test_audit_unknown_deployment_is_input_error(
+        self, contract_env, capsys
+    ):
+        code = main([
+            "audit", "--store", contract_env["store"],
+            "--deployment", "nope",
+        ])
+        assert code == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_audit_clean_store_exits_0(self, contract_env, capsys):
+        code = main(["audit", "--store", contract_env["store"]])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "ok" in captured.out
+
+    def test_audit_corrupt_store_names_first_broken_version(
+        self, contract_env, capsys
+    ):
+        code = main(["audit", "--store", contract_env["corrupt_store"]])
+        captured = capsys.readouterr()
+        assert code == EXIT_ALL_INFEASIBLE
+        # v1 was truncated on disk: the audit pinpoints it on stderr.
+        assert "first broken: v1" in captured.err
+        assert "chain/unreadable-record" in captured.err
+
+    def test_audit_json_output(self, contract_env, capsys):
+        code = main([
+            "audit", "--store", contract_env["corrupt_store"], "--json",
+        ])
+        captured = capsys.readouterr()
+        assert code == EXIT_ALL_INFEASIBLE
+        payload = json.loads(captured.out)
+        assert payload[0]["deployment"] == "prod"
+        assert payload[0]["ok"] is False
+        assert payload[0]["first_broken_version"] == 1
 
     def test_bundle_store_validation(self, tmp_path, tiny_bundle, capsys):
         from repro.api import BundleStore

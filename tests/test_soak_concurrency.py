@@ -375,6 +375,17 @@ class TestMultiProcessStoreContention:
             record = PlanRecord.from_dict(store.load_record("prod", version))
             assert record.version == version
             assert record.feasible
+            # Contention must not cost tamper evidence: every record a
+            # racing writer lands still carries its chain link.
+            assert record.provenance is not None
+
+        # The full-store audit sees no errors; non-immediate predecessor
+        # links from interleaved writers are advisory forks, not damage.
+        from repro.provenance import audit_deployment
+
+        audit = audit_deployment(store, "prod")
+        assert audit.ok, [f.to_dict() for f in audit.errors]
+        assert {f.code for f in audit.advisories} <= {"chain/fork"}
 
         # A fresh handle reopens without a single repair: the applied
         # stack on disk is a consistent prefix (every referenced
