@@ -81,6 +81,11 @@ class SearchConfig:
         use_grid_search: disable to reproduce "w/o greedy grid search"
             (the max-dimension constraint is dropped; pure greedy).
         use_cache: disable to reproduce "w/o caching".
+        use_batch_scoring: score whole grid passes / beam frontiers as
+            one batched NumPy forward pass (bit-identical results);
+            disable to fall back to per-candidate sequential scoring
+            (the "w/o batch scoring" ablation, also the route for cost
+            models whose featurizer lacks the feature bank).
     """
 
     top_n: int = 10
@@ -91,6 +96,7 @@ class SearchConfig:
     use_beam_search: bool = True
     use_grid_search: bool = True
     use_cache: bool = True
+    use_batch_scoring: bool = True
 
     def __post_init__(self) -> None:
         if self.top_n < 1:
@@ -114,9 +120,11 @@ class SearchConfig:
             return replace(self, use_grid_search=False)
         if name == "caching":
             return replace(self, use_cache=False)
+        if name == "batch_scoring":
+            return replace(self, use_batch_scoring=False)
         raise ValueError(
             f"unknown ablation {name!r}; expected one of "
-            "'beam_search', 'grid_search', 'caching'"
+            "'beam_search', 'grid_search', 'caching', 'batch_scoring'"
         )
 
 

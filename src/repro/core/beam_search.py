@@ -35,6 +35,14 @@ the redundant grid searches disappear.  The memo is disabled alongside
 ``use_cache`` so the "w/o caching" ablation measures a genuinely
 memo-free search.
 
+**Frontier batching** (``use_batch_scoring``, the default).  All
+expansions of a beam iteration are evaluated as one frontier: their
+grid searches run in lockstep (:mod:`repro.core.greedy_grid`), every
+step of the frontier scores in a single flat ``predict_rows`` call, and
+the plan-memo decisions (serve / remap / fall-through / store) are made
+up front in the sequential visit order, so memo semantics — and
+therefore the search trajectory — are unchanged bit for bit.
+
 With ``use_beam_search`` disabled only the empty plan is evaluated —
 Table 3's "w/o beam search" ablation, which loses memory feasibility on
 tasks with oversized tables.
@@ -50,7 +58,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import SearchConfig
-from repro.core.greedy_grid import GridSearchResult, greedy_grid_search
+from repro.core.greedy_grid import (
+    GridSearchResult,
+    _drive_grid_instances,
+    _GridInstance,
+    greedy_grid_search,
+)
 from repro.core.plan import ShardingPlan, apply_column_plan
 from repro.core.simulator import NeuroShardSimulator
 from repro.data.table import TableConfig
@@ -205,10 +218,137 @@ def beam_search(
                 profile.count("unique_evaluations")
             return result
 
+    batch_mode = config.use_batch_scoring and simulator.supports_batch_scoring()
+
+    def evaluate_frontier(
+        plans: Sequence[tuple[int, ...]],
+    ) -> list[GridSearchResult]:
+        """Batched ``evaluate`` over a whole beam frontier.
+
+        Every expansion that must actually run becomes a
+        :class:`~repro.core.greedy_grid._GridInstance` and the whole
+        frontier is driven in lockstep — one merged scoring batch per
+        greedy step across all expansions and all their grid passes.
+
+        The plan-memo decisions ``evaluate`` makes sequentially (serve /
+        remap / fall-through / store) depend only on uid multisets and
+        visit sequences, all known before any result exists, so they are
+        mirrored up front: a later expansion whose key matches an
+        earlier *pending* one is served that instance's result after the
+        drive, exactly as the sequential loop — where the earlier
+        expansion would already have been memoized — would serve it.
+        """
+        nonlocal evaluations
+        with maybe_stage(profile, "evaluate"):
+            # outcome per plan:
+            #   ("done", result)                      memo-served now
+            #   ("inst", idx, store_key_or_None)      runs as instance idx
+            #   ("direct", idx)                       pending result as-is
+            #   ("remap", idx, ref_uids, uids)        pending result remapped
+            outcomes: list[tuple] = []
+            instances: list[_GridInstance] = []
+            pending_by_key: dict[
+                tuple[str, ...], tuple[int, tuple[str, ...], tuple[str, ...]]
+            ] = {}
+
+            def spawn(sharded, store=None) -> None:
+                if profile is not None:
+                    profile.count("unique_evaluations")
+                instances.append(
+                    _GridInstance(
+                        sharded, num_devices, simulator, memory, config, profile
+                    )
+                )
+                outcomes.append(("inst", len(instances) - 1, store))
+
+            for plan in plans:
+                evaluations += 1
+                sharded = apply_column_plan(base_tables, plan)
+                if not memo_enabled:
+                    spawn(sharded)
+                    continue
+                uids = tuple(t.uid for t in sharded)
+                key = tuple(sorted(uids))
+                hit = plan_memo.get(key)
+                if hit is not None:
+                    result, ref_uids, ref_visit = hit
+                    if ref_uids == uids:
+                        if profile is not None:
+                            profile.count("plan_memo_hits")
+                        outcomes.append(("done", result))
+                        continue
+                    if visit_sequence(sharded, uids) == ref_visit:
+                        if profile is not None:
+                            profile.count("plan_memo_hits")
+                        outcomes.append(
+                            (
+                                "done",
+                                result
+                                if not result.feasible
+                                else _remap_assignment(result, ref_uids, uids),
+                            )
+                        )
+                        continue
+                    # Visit-sequence mismatch: re-evaluate, and (like the
+                    # sequential path, where ``hit`` is non-None) do not
+                    # overwrite the stored entry.
+                    spawn(sharded)
+                    continue
+                pending = pending_by_key.get(key)
+                if pending is not None:
+                    # An earlier expansion of this frontier owns the key;
+                    # sequentially it would already be memoized by now.
+                    idx, ref_uids, ref_visit = pending
+                    if ref_uids == uids:
+                        if profile is not None:
+                            profile.count("plan_memo_hits")
+                        outcomes.append(("direct", idx))
+                        continue
+                    if visit_sequence(sharded, uids) == ref_visit:
+                        if profile is not None:
+                            profile.count("plan_memo_hits")
+                        outcomes.append(("remap", idx, ref_uids, uids))
+                        continue
+                    spawn(sharded)
+                    continue
+                visit = visit_sequence(sharded, uids)
+                pending_by_key[key] = (len(instances), uids, visit)
+                spawn(sharded, store=(key, uids, visit))
+
+            inner = (
+                _drive_grid_instances(instances, simulator, profile=profile)
+                if instances
+                else []
+            )
+
+            results: list[GridSearchResult] = []
+            for outcome in outcomes:
+                tag = outcome[0]
+                if tag == "done":
+                    results.append(outcome[1])
+                elif tag == "inst":
+                    _, idx, store = outcome
+                    result = inner[idx]
+                    if store is not None:
+                        skey, suids, svisit = store
+                        plan_memo[skey] = (result, suids, svisit)
+                    results.append(result)
+                elif tag == "direct":
+                    results.append(inner[outcome[1]])
+                else:  # remap
+                    _, idx, ref_uids, uids = outcome
+                    result = inner[idx]
+                    results.append(
+                        result
+                        if not result.feasible
+                        else _remap_assignment(result, ref_uids, uids)
+                    )
+            return results
+
     best_plan: tuple[int, ...] | None = None
     best_inner: GridSearchResult = GridSearchResult.infeasible()
 
-    empty_result = evaluate(())
+    empty_result = evaluate_frontier([()])[0] if batch_mode else evaluate(())
     if empty_result.feasible:
         best_plan = ()
         best_inner = empty_result
@@ -225,20 +365,24 @@ def beam_search(
             ((), empty_result.beam_key)
         ]
         for _ in range(config.max_steps):
-            scored: list[tuple[tuple[int, ...], tuple[float, float]]] = []
+            expansions: list[tuple[int, ...]] = []
             for plan, _ in beam:
                 sharded = apply_column_plan(base_tables, plan)
                 with maybe_stage(profile, "candidates"):
                     indices = _candidates(sharded, simulator, config.top_n)
-                for index in indices:
-                    new_plan = plan + (index,)
-                    result = evaluate(new_plan)
-                    scored.append((new_plan, result.beam_key))
-                    if result.feasible and result.cost_ms < best_inner.cost_ms:
-                        best_plan = new_plan
-                        best_inner = result
-            if not scored:
+                expansions.extend(plan + (index,) for index in indices)
+            if not expansions:
                 break
+            if batch_mode:
+                results = evaluate_frontier(expansions)
+            else:
+                results = [evaluate(new_plan) for new_plan in expansions]
+            scored: list[tuple[tuple[int, ...], tuple[float, float]]] = []
+            for new_plan, result in zip(expansions, results):
+                scored.append((new_plan, result.beam_key))
+                if result.feasible and result.cost_ms < best_inner.cost_ms:
+                    best_plan = new_plan
+                    best_inner = result
             scored.sort(key=lambda item: item[1])
             beam = scored[: config.beam_width]
 

@@ -38,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.cache import CostCache
+from repro.costmodel.comm_model import comm_features
 from repro.costmodel.features import TableFeaturizer
 from repro.costmodel.pretrain import PretrainedCostModels
 from repro.data.table import TableConfig, table_set_key
@@ -207,6 +208,105 @@ class NeuroShardSimulator:
             )
         return costs  # type: ignore[return-value]
 
+    def supports_batch_scoring(self) -> bool:
+        """Whether the bundle's featurizer exposes the feature bank.
+
+        The batched scoring path gathers candidate matrices straight
+        from :class:`~repro.costmodel.features.TableFeaturizer`'s
+        preallocated bank by integer row id; featurizers without that
+        API (e.g. the feature-ablation wrapper) fall back to the
+        sequential per-candidate route.
+        """
+        featurizer = self.models.featurizer
+        return hasattr(featurizer, "row_indices") and hasattr(featurizer, "gather")
+
+    def device_compute_costs_batch(
+        self,
+        entries: Sequence[tuple[tuple[str, ...], Sequence[int], int | None]],
+    ) -> list[float]:
+        """Frontier-level batched predictions from bank row ids.
+
+        The lockstep search enumerates every candidate placement of a
+        whole grid pass / beam frontier into ``entries`` and this method
+        assembles **one** flat feature matrix — a single fancy-index
+        gather from the featurizer bank — and makes a single
+        ``predict_rows`` call for all cache misses.
+
+        Args:
+            entries: per candidate set, a triple of
+
+                - its canonical :func:`~repro.data.table.table_set_key`,
+                - the device's feature-bank row ids *in placement
+                  order*, and
+                - optionally one more row id, logically appended — the
+                  candidate table being scored.
+
+        Duplicate missing keys inside one call are predicted once and
+        fanned out (recorded as external cache hits — the sequential
+        route would have cache-served the repeats); with the cache
+        disabled every entry is predicted, keeping the "w/o caching"
+        ablation honest about its prediction volume.  Values are
+        bit-identical to the sequential keyed route: same placement-order
+        rows, same chunk-stable kernel.
+        """
+        costs: list[float | None] = []
+        missing_indices: list[int] = []
+        missing_keys: list[tuple[str, ...]] = []
+        first_missing: dict[tuple[str, ...], int] | None = (
+            {} if self.cache.enabled else None
+        )
+        dup_serves: list[tuple[int, int]] = []
+        for i, (key, base_ids, extra_id) in enumerate(entries):
+            if not base_ids and extra_id is None:
+                costs.append(0.0)
+                continue
+            if first_missing is not None:
+                j = first_missing.get(key)
+                if j is not None:
+                    costs.append(None)
+                    dup_serves.append((i, j))
+                    continue
+            cached = self.cache.get(key)
+            costs.append(cached)
+            if cached is None:
+                missing_indices.append(i)
+                missing_keys.append(key)
+                if first_missing is not None:
+                    first_missing[key] = i
+        if missing_indices:
+            flat_ids: list[int] = []
+            lengths: list[int] = []
+            for i in missing_indices:
+                _, base_ids, extra_id = entries[i]
+                flat_ids.extend(base_ids)
+                n = len(base_ids)
+                if extra_id is not None:
+                    flat_ids.append(extra_id)
+                    n += 1
+                lengths.append(n)
+            rows_matrix = self.models.featurizer.gather(
+                np.asarray(flat_ids, dtype=np.intp)
+            )
+            segments = np.repeat(
+                np.arange(len(lengths), dtype=np.int64), lengths
+            )
+            predictions = self.models.compute.predict_rows(
+                rows_matrix, segments, len(lengths)
+            )
+            self._store_predictions(
+                costs, missing_indices, missing_keys, predictions
+            )
+            if self.profile is not None:
+                self.profile.observe("predict_rows_per_batch", len(flat_ids))
+                self.profile.observe("predict_sets_per_batch", len(lengths))
+        if dup_serves:
+            for i, j in dup_serves:
+                costs[i] = costs[j]
+            self.cache.record_external_hits(len(dup_serves))
+            if self.profile is not None:
+                self.profile.count("batch_dedup_hits", len(dup_serves))
+        return costs  # type: ignore[return-value]
+
     def _predict_missing(
         self,
         costs: list[float | None],
@@ -335,6 +435,120 @@ class NeuroShardSimulator:
         breakdown = self._comm_breakdown(compute, list(device_dims))
         self._plan_cost_by_key[placement_key] = breakdown
         return breakdown
+
+    def plan_costs_keyed_batch(
+        self,
+        items: Sequence[
+            tuple[
+                Sequence[Sequence[str]],
+                Sequence[Sequence[int]],
+                Sequence[int],
+            ]
+        ],
+    ) -> list[PlanCost]:
+        """Batched :meth:`plan_cost_keyed` over many placements.
+
+        The lockstep search finalizes every surviving grid pass / beam
+        frontier member at once: placement-memo lookups run first, the
+        remaining placements' device sets flow through **one**
+        :meth:`device_compute_costs_batch` call, and both communication
+        models score all placements in one ``predict_batch`` each.
+        Bit-identical to calling :meth:`plan_cost_keyed` per placement
+        in order (same memo, same chunk-stable kernels); only called
+        with an enabled cost cache, like :meth:`plan_cost_keyed`.
+
+        Args:
+            items: per placement, ``(device_keys, device_row_ids,
+                device_dims)`` with the featurizer-bank row ids of each
+                device's tables in placement order.
+        """
+        out: list[PlanCost | None] = [None] * len(items)
+        pending: list[int] = []
+        pending_keys: list[tuple[tuple[str, ...], ...]] = []
+        first_pending: dict[tuple[tuple[str, ...], ...], int] = {}
+        dup_serves: list[tuple[int, int]] = []
+        for i, (device_keys, _, _) in enumerate(items):
+            if len(device_keys) != self.num_devices:
+                raise ValueError(
+                    f"placement has {len(device_keys)} devices, models are "
+                    f"for {self.num_devices}"
+                )
+            placement_key = tuple(tuple(k) for k in device_keys)
+            hit = self._plan_cost_by_key.get(placement_key)
+            if hit is not None:
+                nonempty = sum(1 for k in placement_key if k)
+                if nonempty:
+                    self.cache.record_external_hits(nonempty)
+                if self.profile is not None:
+                    self.profile.count("plan_cost_memo_hits")
+                out[i] = hit
+                continue
+            j = first_pending.get(placement_key)
+            if j is not None:
+                # Same placement appears twice before it is memoized;
+                # sequential order would memo-serve the second call.
+                nonempty = sum(1 for k in placement_key if k)
+                if nonempty:
+                    self.cache.record_external_hits(nonempty)
+                if self.profile is not None:
+                    self.profile.count("plan_cost_memo_hits")
+                dup_serves.append((i, j))
+                continue
+            first_pending[placement_key] = i
+            pending.append(i)
+            pending_keys.append(placement_key)
+        if pending:
+            entries: list[tuple[tuple[str, ...], Sequence[int], int | None]] = []
+            for i, placement_key in zip(pending, pending_keys):
+                _, device_row_ids, _ = items[i]
+                entries.extend(
+                    (key, row_ids, None)
+                    for key, row_ids in zip(placement_key, device_row_ids)
+                )
+            flat_compute = self.device_compute_costs_batch(entries)
+            d = self.num_devices
+            computes = [
+                flat_compute[n * d : (n + 1) * d] for n in range(len(pending))
+            ]
+            breakdowns = self._comm_breakdowns(
+                computes, [list(items[i][2]) for i in pending]
+            )
+            for i, placement_key, breakdown in zip(
+                pending, pending_keys, breakdowns
+            ):
+                self._plan_cost_by_key[placement_key] = breakdown
+                out[i] = breakdown
+        for i, j in dup_serves:
+            out[i] = out[j]
+        return out  # type: ignore[return-value]
+
+    def _comm_breakdowns(
+        self,
+        computes: Sequence[Sequence[float]],
+        dims_list: Sequence[Sequence[int]],
+    ) -> list[PlanCost]:
+        """Batched :meth:`_comm_breakdown`: one stacked forward per
+        direction for all placements (chunk-stable, so each row equals
+        its single-placement prediction bitwise)."""
+        starts_list = []
+        rows = np.empty(
+            (len(computes), 2 * self.num_devices), dtype=np.float64
+        )
+        for n, (compute, dims) in enumerate(zip(computes, dims_list)):
+            min_compute = min(compute)
+            starts = [c - min_compute for c in compute]
+            starts_list.append(starts)
+            rows[n] = comm_features(dims, starts, self.models.batch_size)
+        fwd = np.maximum(self.models.forward_comm.predict_batch(rows), 0.0)
+        bwd = np.maximum(self.models.backward_comm.predict_batch(rows), 0.0)
+        return [
+            PlanCost(
+                compute_ms=tuple(compute),
+                fwd_comm_ms=tuple(float(x) for x in fwd[n]),
+                bwd_comm_ms=tuple(float(x) for x in bwd[n]),
+            )
+            for n, compute in enumerate(computes)
+        ]
 
     def _comm_breakdown(
         self, compute: Sequence[float], dims: Sequence[int]

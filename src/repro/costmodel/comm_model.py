@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.costmodel.kernels import chunked_infer_mlp
 from repro.nn.layers import Module, Sequential
 
 __all__ = ["CommCostModel", "comm_features"]
@@ -108,6 +109,23 @@ class CommCostModel(Module):
     # convenience prediction
     # ------------------------------------------------------------------
 
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Per-device latencies ``[N, D]`` (ms) for stacked feature rows.
+
+        Inference-side entry point for the batched plan finalization:
+        one call predicts the collectives of every placement in a grid
+        pass / beam frontier.  Runs on the chunk-stable kernel
+        (:mod:`repro.costmodel.kernels`), so row ``i`` is bitwise equal
+        to a lone :meth:`predict` call with the same features.
+        """
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if x.shape[1] != 2 * self.num_devices:
+            raise ValueError(
+                f"expected {2 * self.num_devices} features, got {x.shape[1]}"
+            )
+        raw = chunked_infer_mlp(self.mlp, x)
+        return self.target_mean + self.target_std * raw
+
     def predict(
         self,
         device_dims: Sequence[int],
@@ -120,5 +138,4 @@ class CommCostModel(Module):
                 f"model is for {self.num_devices} devices, got {len(device_dims)}"
             )
         feats = comm_features(device_dims, start_times_ms, batch_size)
-        raw = self.forward_batch(feats[None, :])[0]
-        return self.target_mean + self.target_std * raw
+        return self.predict_batch(feats[None, :])[0]

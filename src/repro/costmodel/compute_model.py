@@ -19,29 +19,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.nn.layers import Linear, Module, ReLU, SegmentSum, Sequential
+from repro.costmodel.kernels import chunked_infer_mlp, stable_segment_sum
+from repro.nn.layers import Linear, Module, SegmentSum, Sequential
 
 __all__ = ["ComputeCostModel"]
-
-
-def _infer_mlp(mlp: Sequential, x: np.ndarray) -> np.ndarray:
-    """Stateless MLP forward for inference.
-
-    Applies exactly the operations of ``mlp.forward`` — ``x @ W + b``
-    per :class:`Linear`, ``np.where(x > 0, x, 0.0)`` per :class:`ReLU` —
-    without recording activations for backprop, so results are
-    bit-identical to the training-path forward at a fraction of the
-    per-call overhead (the search issues tens of thousands of tiny
-    batches).
-    """
-    for module in mlp.modules:
-        if isinstance(module, Linear):
-            x = x @ module.weight.data + module.bias.data
-        elif isinstance(module, ReLU):
-            x = np.where(x > 0, x, 0.0)
-        else:  # pragma: no cover - compute MLPs are Linear/ReLU only
-            x = module.forward(x)
-    return x
 
 
 class ComputeCostModel(Module):
@@ -165,9 +146,34 @@ class ComputeCostModel(Module):
         return float(self.predict_many([features_matrix])[0])
 
     def predict_many(self, matrices: Sequence[np.ndarray]) -> np.ndarray:
-        """Latencies (ms) for many combinations."""
-        raw = self.forward_batch(list(matrices))
-        return self.target_mean + self.target_std * raw
+        """Latencies (ms) for many combinations.
+
+        Routed through :meth:`predict_rows` (the chunk-stable inference
+        kernel), so a combination's prediction is bitwise identical
+        however it is batched — one call per set, one call per search
+        step, or one call per beam frontier all agree.
+        """
+        if len(matrices) == 0:
+            raise ValueError("batch must contain at least one combination")
+        mats = [np.atleast_2d(np.asarray(m, dtype=np.float64)) for m in matrices]
+        for i, m in enumerate(mats):
+            if m.size and m.shape[1] != self.num_features:
+                raise ValueError(
+                    f"combination {i} has {m.shape[1]} features, expected "
+                    f"{self.num_features}"
+                )
+        rows = np.concatenate(
+            [m for m in mats if m.size] or [np.zeros((0, self.num_features))]
+        )
+        segments = np.concatenate(
+            [
+                np.full(m.shape[0], i, dtype=np.int64)
+                for i, m in enumerate(mats)
+                if m.size
+            ]
+            or [np.zeros(0, dtype=np.int64)]
+        )
+        return self.predict_rows(rows, segments, len(mats))
 
     def predict_rows(
         self,
@@ -178,12 +184,19 @@ class ComputeCostModel(Module):
         """Latencies (ms) from pre-concatenated per-table feature rows.
 
         The search's hot path already holds cached feature rows; this
-        entry point skips :meth:`forward_batch`'s per-combination
-        stacking, validation and segment-id rebuild.  Given ``rows``
-        equal to the row-wise concatenation of the per-combination
-        matrices (in combination order) and matching ``segments``, the
-        result is bit-identical to :meth:`predict_many` — the same
-        concatenated array flows through the same layer forwards.
+        entry point skips per-combination stacking, validation and
+        segment-id rebuild.  It is the *single* inference kernel: all
+        ``predict_*`` entry points route here, and every affine runs at
+        the fixed chunk shape (:mod:`repro.costmodel.kernels`), so a
+        set's predicted cost is bitwise independent of how many other
+        sets share the call — the property that lets the batched search
+        merge a whole grid pass / beam frontier into one forward pass
+        while staying bit-identical to the per-candidate reference.
+
+        Within a set, row order is also free: pooling runs through
+        :func:`~repro.costmodel.kernels.stable_segment_sum`, which sums
+        in a canonical content order, so any permutation of a set's rows
+        predicts the bitwise-same cost.
 
         Inference-only: no layer state is recorded, so it cannot be
         followed by ``backward_batch`` (the training path keeps using
@@ -200,10 +213,9 @@ class ComputeCostModel(Module):
                     f"rows have {rows.shape[1]} features, expected "
                     f"{self.num_features}"
                 )
-            table_repr = _infer_mlp(self.table_mlp, rows)
+            table_repr = chunked_infer_mlp(self.table_mlp, rows)
         else:
             table_repr = np.zeros((0, self._repr_width()))
-        pooled = np.zeros((num_segments, table_repr.shape[1]), dtype=np.float64)
-        np.add.at(pooled, segments, table_repr)
-        raw = _infer_mlp(self.head_mlp, pooled)[:, 0]
+        pooled = stable_segment_sum(table_repr, segments, num_segments)
+        raw = chunked_infer_mlp(self.head_mlp, pooled)[:, 0]
         return self.target_mean + self.target_std * raw

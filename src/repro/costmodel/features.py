@@ -11,6 +11,13 @@ All heavy-tailed quantities enter in log scale and are shifted/scaled to
 O(1) magnitudes so the MLP trains without per-dataset normalization
 statistics (which would complicate the "once-for-all" deployment story —
 a pre-trained model must featurize unseen tables identically).
+
+**Feature bank.**  Feature rows live in one preallocated 2-D array (the
+*bank*), grown geometrically and indexed by an interned per-``uid`` row
+id.  The batched search keeps per-device state as lists of those integer
+row ids and materializes a whole grid pass / beam frontier of candidate
+sets with a single fancy-index gather (:meth:`TableFeaturizer.gather`)
+instead of re-stacking Python lists of vectors per candidate.
 """
 
 from __future__ import annotations
@@ -50,27 +57,47 @@ class TableFeaturizer:
            letting the head model the fused-kernel speedup, which is a
            function of how many tables are fused (Observation 2)
 
-    Feature vectors are cached per table ``uid`` — the search queries the
-    same tables thousands of times.
+    Feature rows are interned per table ``uid`` into a preallocated bank
+    (the search queries the same tables thousands of times); callers on
+    the hot path hold integer row ids (:meth:`row_index`,
+    :meth:`row_indices`) and gather flat candidate matrices straight
+    from the bank.
     """
 
     NUM_FEATURES = 15
+    _INITIAL_CAPACITY = 64
 
     def __init__(self, batch_size: int) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
-        self._cache: dict[str, np.ndarray] = {}
+        self._bank = np.empty(
+            (self._INITIAL_CAPACITY, self.NUM_FEATURES), dtype=np.float64
+        )
+        self._row_by_uid: dict[str, int] = {}
+        self._num_rows = 0
+        # Per-uid view objects into the bank, so repeated features()
+        # calls return the same array object (callers rely on identity
+        # for their own caching).  Views from before a geometric grow
+        # keep the retired buffer alive — values stay correct because
+        # interned rows are immutable until clear_cache().
+        self._views: dict[str, np.ndarray] = {}
 
     @property
     def num_features(self) -> int:
         return self.NUM_FEATURES
 
-    def features(self, table: TableConfig) -> np.ndarray:
-        """Feature vector of one table (cached)."""
-        cached = self._cache.get(table.uid)
-        if cached is not None:
-            return cached
+    @property
+    def bank(self) -> np.ndarray:
+        """The preallocated feature bank; rows ``< num_interned`` are live."""
+        return self._bank
+
+    @property
+    def num_interned(self) -> int:
+        """Number of live rows in :attr:`bank`."""
+        return self._num_rows
+
+    def _compute_features(self, table: TableConfig) -> np.ndarray:
         b = self.batch_size
         indices = table.indices_per_batch(b)
         unique = table.expected_unique_rows(b)
@@ -100,18 +127,71 @@ class TableFeaturizer:
                 f"feature layout drifted: got {vec.shape}, "
                 f"expected ({self.NUM_FEATURES},)"
             )
-        self._cache[table.uid] = vec
         return vec
+
+    def row_index(self, table: TableConfig) -> int:
+        """Bank row id of ``table``, interning its features on first use."""
+        idx = self._row_by_uid.get(table.uid)
+        if idx is not None:
+            return idx
+        idx = self._num_rows
+        if idx == self._bank.shape[0]:
+            # Geometric growth: copy live rows into a fresh buffer twice
+            # the size.  Never shrinks, never rebuilds from Python lists,
+            # and never writes new rows into a buffer an outstanding view
+            # aliases past its live region.
+            grown = np.empty(
+                (2 * self._bank.shape[0], self.NUM_FEATURES), dtype=np.float64
+            )
+            grown[:idx] = self._bank[:idx]
+            self._bank = grown
+        self._bank[idx] = self._compute_features(table)
+        self._row_by_uid[table.uid] = idx
+        self._num_rows = idx + 1
+        return idx
+
+    def row_indices(self, tables: Sequence[TableConfig]) -> np.ndarray:
+        """Bank row ids for a table list (interning as needed)."""
+        return np.fromiter(
+            (self.row_index(t) for t in tables), dtype=np.intp, count=len(tables)
+        )
+
+    def gather(self, flat_row_ids: np.ndarray) -> np.ndarray:
+        """Stack bank rows ``[len(flat_row_ids), F]`` by fancy index.
+
+        The batched scoring path concatenates the row-id lists of every
+        candidate set in a grid pass / beam frontier and materializes the
+        whole flat feature matrix in this one gather.  Ids must be live
+        (interned in the current epoch): ids issued before a
+        :meth:`clear_cache` are rejected rather than silently resolved
+        against re-interned rows.
+        """
+        flat_row_ids = np.asarray(flat_row_ids)
+        if flat_row_ids.size and int(flat_row_ids.max()) >= self._num_rows:
+            raise IndexError(
+                f"stale feature row id {int(flat_row_ids.max())}: only "
+                f"{self._num_rows} rows are interned in the current epoch "
+                "(row ids do not survive clear_cache())"
+            )
+        return self._bank[flat_row_ids]
+
+    def features(self, table: TableConfig) -> np.ndarray:
+        """Feature vector of one table (interned; stable object identity)."""
+        view = self._views.get(table.uid)
+        if view is None:
+            view = self._bank[self.row_index(table)]
+            self._views[table.uid] = view
+        return view
 
     def features_rows(
         self, tables: Sequence[TableConfig]
     ) -> list[np.ndarray]:
         """Cached per-table feature rows, without stacking.
 
-        The incremental search keeps per-device *lists* of these rows
-        (appending a candidate row is O(1)) and stacks only the few
-        combinations the cost cache misses; returning the cached row
-        references directly avoids re-stacking on every candidate.
+        The non-batched (ablation) search keeps per-device *lists* of
+        these rows and stacks only the combinations the cost cache
+        misses; returning interned row references avoids re-stacking on
+        every candidate.
         """
         return [self.features(t) for t in tables]
 
@@ -119,7 +199,22 @@ class TableFeaturizer:
         """Stacked feature rows for a table combination ``[T, F]``."""
         if len(tables) == 0:
             return np.zeros((0, self.NUM_FEATURES))
-        return np.stack(self.features_rows(tables))
+        return self.gather(self.row_indices(tables))
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        """Drop every interned row *and* the preallocated bank.
+
+        Replacing the bank (instead of only clearing the uid map) is
+        load-bearing: previously handed-out row ids must never resolve
+        to stale rows after a :class:`TableConfig` changes under a
+        reused ``uid`` — re-interning into a retained buffer would let
+        an old id silently alias the old features.  The fresh epoch
+        starts at zero live rows, so :meth:`gather` rejects stale ids
+        loudly until they are re-interned.
+        """
+        self._row_by_uid.clear()
+        self._views.clear()
+        self._num_rows = 0
+        self._bank = np.empty(
+            (self._INITIAL_CAPACITY, self.NUM_FEATURES), dtype=np.float64
+        )

@@ -1,0 +1,134 @@
+"""Fixed-shape chunked inference kernels for the cost models.
+
+**Why chunking exists.**  The batched scoring path merges an entire grid
+pass / beam frontier into one ``predict_rows`` call, while the frozen
+reference (:mod:`repro.core.reference`) predicts the same device sets in
+many small calls.  Bit-identical plans therefore require per-row model
+outputs that do not depend on *how rows are batched* — and BLAS matmul
+does not guarantee that: ``x @ W`` selects different micro-kernels for
+different ``M``, so the same row can produce different low bits inside a
+1-row call than inside a 10k-row call (measured on this hardware for
+every layer width the models use).
+
+**The fix.**  Every inference-side affine runs at one fixed shape: the
+input is processed in chunks of exactly :data:`CHUNK_ROWS` rows, the last
+chunk zero-padded up to that shape, and the padding rows sliced away.
+With the GEMM shape pinned, a row's output depends only on that row's
+data — verified empirically to be bitwise independent of batch
+composition, ordering and size.  Training (``forward_batch``) keeps the
+unchunked layer forwards: gradients never flow through this module, so
+pre-trained weights are unaffected.
+
+The cost is padding waste on tiny batches (a 1-row query computes 128
+rows), which is microseconds per call and is what buys exact
+reference-vs-batched equivalence for free everywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CHUNK_ROWS",
+    "chunked_affine",
+    "chunked_infer_mlp",
+    "stable_segment_sum",
+]
+
+#: Fixed GEMM row count for all inference-side affines.
+CHUNK_ROWS = 128
+
+
+def chunked_affine(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """``x @ weight + bias`` with a batch-composition-independent result.
+
+    Args:
+        x: ``[M, F]`` float64 input rows.
+        weight: ``[F, H]`` weights.
+        bias: optional ``[H]`` bias, added per row.
+
+    Returns:
+        ``[M, H]`` output; row ``i`` is bitwise equal to the same row
+        computed in any other call, whatever the surrounding rows.
+    """
+    m = x.shape[0]
+    h = weight.shape[1]
+    out = np.empty((m, h), dtype=np.float64)
+    pad = None
+    for start in range(0, m, CHUNK_ROWS):
+        stop = min(start + CHUNK_ROWS, m)
+        n = stop - start
+        if n == CHUNK_ROWS:
+            chunk = x[start:stop] @ weight
+        else:
+            if pad is None:
+                pad = np.zeros((CHUNK_ROWS, x.shape[1]), dtype=np.float64)
+            pad[:n] = x[start:stop]
+            chunk = (pad @ weight)[:n]
+        if bias is not None:
+            chunk = chunk + bias
+        out[start:stop] = chunk
+    return out
+
+
+def stable_segment_sum(
+    rows: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-segment row sum whose result is *permutation-invariant*.
+
+    Float addition is not associative, so a plain sequential segment sum
+    (``np.add.at``) depends on the order rows arrive in — which would
+    force every caller of the cost models to reproduce one blessed
+    intra-set row order, and would let the batched search's different
+    *prediction order* poison the cost cache with last-ulp-different
+    values for the same table multiset.  Instead, rows are first brought
+    into a canonical order — sorted by segment, then by the raw bit
+    pattern of their contents — and summed sequentially in that order.
+    Bit-pattern sorting (not float comparison) makes the order total:
+    ``-0.0``/``0.0`` and any otherwise-tied rows order deterministically,
+    so any permutation of the same rows yields the bitwise-same sums.
+
+    Args:
+        rows: ``[N, F]`` float64 rows.
+        segments: segment id per row, ``[N]``.
+        num_segments: number of output rows.
+
+    Returns:
+        ``[num_segments, F]`` per-segment sums (zeros for empty segments).
+    """
+    out = np.zeros((num_segments, rows.shape[1]), dtype=np.float64)
+    if rows.shape[0] == 0:
+        return out
+    bits = np.ascontiguousarray(rows, dtype=np.float64).view(np.uint64)
+    # lexsort's last key is primary: segment first, then columns 0..F-1.
+    order = np.lexsort((*bits.T[::-1], segments))
+    np.add.at(out, segments[order], rows[order])
+    return out
+
+
+def chunked_infer_mlp(mlp, x: np.ndarray) -> np.ndarray:
+    """Stateless MLP forward built on :func:`chunked_affine`.
+
+    Applies the operations of ``mlp.forward`` — affine per ``Linear``,
+    ``np.where(x > 0, x, 0.0)`` per ``ReLU`` — without recording
+    activations, with every affine at the fixed chunk shape.
+    """
+    from repro.nn.layers import Linear, ReLU
+
+    if x.shape[0] == 0:
+        # Walk the widths only; zero rows in, zero rows out.
+        width = x.shape[1]
+        for module in mlp.modules:
+            if isinstance(module, Linear):
+                width = module.weight.data.shape[1]
+        return np.zeros((0, width), dtype=np.float64)
+    for module in mlp.modules:
+        if isinstance(module, Linear):
+            x = chunked_affine(x, module.weight.data, module.bias.data)
+        elif isinstance(module, ReLU):
+            x = np.where(x > 0, x, 0.0)
+        else:  # pragma: no cover - inference MLPs are Linear/ReLU only
+            x = module.forward(x)
+    return x

@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.costmodel.kernels import chunked_affine, stable_segment_sum
 from repro.nn.data import ArrayDataset
 
 __all__ = [
@@ -115,7 +116,10 @@ class LinearComputeCostModel:
     def _predict_pooled(self, x: np.ndarray) -> np.ndarray:
         assert self._coef is not None
         xb = np.concatenate([x, np.ones((len(x), 1))], axis=1)
-        return xb @ self._coef
+        # Chunk-stable affine (see repro.costmodel.kernels): a set's
+        # prediction must not depend on how many other sets share the
+        # call, so the batched search can merge calls freely.
+        return chunked_affine(xb, self._coef[:, None])[:, 0]
 
     # ------------------------------------------------------------------
     # ComputeCostModel-compatible prediction
@@ -129,13 +133,34 @@ class LinearComputeCostModel:
         self.target_std = float(std)
 
     def predict_many(self, matrices: Sequence[np.ndarray]) -> np.ndarray:
-        """Latencies (ms) for many combinations."""
+        """Latencies (ms) for many combinations.
+
+        Routed through :meth:`predict_rows` so every prediction entry
+        point pools and projects identically — a set's latency is
+        bitwise the same whether it is scored alone, per search step, or
+        merged into a whole-frontier batch.
+        """
         if self._coef is None:
             raise RuntimeError("fit() the model before predicting")
-        x = np.stack(
-            [_pooled_features(m, self.num_features) for m in matrices]
+        mats = [np.atleast_2d(np.asarray(m, dtype=np.float64)) for m in matrices]
+        for m in mats:
+            if m.size and m.shape[1] != self.num_features:
+                raise ValueError(
+                    f"combination has {m.shape[1]} features, expected "
+                    f"{self.num_features}"
+                )
+        rows = np.concatenate(
+            [m for m in mats if m.size] or [np.zeros((0, self.num_features))]
         )
-        return self._predict_pooled(x)
+        segments = np.concatenate(
+            [
+                np.full(m.shape[0], i, dtype=np.int64)
+                for i, m in enumerate(mats)
+                if m.size
+            ]
+            or [np.zeros(0, dtype=np.int64)]
+        )
+        return self.predict_rows(rows, segments, len(mats))
 
     def predict_one(self, features_matrix: np.ndarray) -> float:
         return float(self.predict_many([features_matrix])[0])
@@ -151,14 +176,15 @@ class LinearComputeCostModel:
         Interface parity with
         :meth:`~repro.costmodel.compute_model.ComputeCostModel
         .predict_rows` (the search hot path's entry point): sum-pools the
-        rows per segment and applies the ridge coefficients, equal to
-        :meth:`predict_many` over the per-combination matrices.
+        rows per segment (in canonical content order, so any intra-set
+        row permutation predicts identically) and applies the ridge
+        coefficients, equal to :meth:`predict_many` over the
+        per-combination matrices.
         """
         if self._coef is None:
             raise RuntimeError("fit() the model before predicting")
         rows = np.asarray(rows, dtype=np.float64)
-        pooled = np.zeros((num_segments, self.num_features), dtype=np.float64)
-        np.add.at(pooled, segments, rows)
+        pooled = stable_segment_sum(rows, segments, num_segments)
         counts = np.bincount(segments, minlength=num_segments).astype(np.float64)
         x = np.concatenate([pooled, counts[:, None]], axis=1)
         return self._predict_pooled(x)
@@ -206,13 +232,28 @@ class LinearCommCostModel:
     def _predict_rows(self, x: np.ndarray) -> np.ndarray:
         assert self._coef is not None
         xb = np.concatenate([x, np.ones((len(x), 1))], axis=1)
-        return xb @ self._coef
+        # Chunk-stable: single-collective and whole-frontier queries
+        # must agree bitwise (see repro.costmodel.kernels).
+        return chunked_affine(xb, self._coef)
 
     def set_target_stats(self, mean: float, std: float) -> None:
         if std <= 0:
             raise ValueError(f"std must be > 0, got {std}")
         self.target_mean = float(mean)
         self.target_std = float(std)
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Per-device latencies ``[N, D]`` for stacked feature rows.
+
+        Interface parity with
+        :meth:`~repro.costmodel.comm_model.CommCostModel.predict_batch`:
+        the simulator's batched plan finalization predicts every
+        placement's collectives in one call.  Row ``i`` equals the
+        single-query :meth:`predict` for the same features bitwise.
+        """
+        if self._coef is None:
+            raise RuntimeError("fit() the model before predicting")
+        return self._predict_rows(np.atleast_2d(np.asarray(features, dtype=np.float64)))
 
     def predict(
         self,

@@ -67,6 +67,9 @@ class AblatedFeaturizer:
     def features(self, table: TableConfig) -> np.ndarray:
         return self._inner.features(table) * self._mask
 
+    def features_rows(self, tables: Sequence[TableConfig]) -> list[np.ndarray]:
+        return [self.features(t) for t in tables]
+
     def features_matrix(self, tables: Sequence[TableConfig]) -> np.ndarray:
         return self._inner.features_matrix(tables) * self._mask
 

@@ -157,17 +157,19 @@ class TestIncrementalReshard:
 
     def test_full_search_chosen_when_warm_impossible(self, engine, applied):
         task, plan, base = applied
-        # Remove nothing but shrink memory so the surviving layout is
-        # illegal: the warm candidate cannot exist, so the full search
-        # must serve the reshard even though it migrates more.
-        total = sum(t.size_bytes for t in base)
+        # Remove nothing but shrink memory below the applied layout's
+        # most loaded device: the warm candidate cannot exist, so only
+        # the full search (or nothing) can serve the reshard.
+        device_bytes = [0] * task.num_devices
+        for shard, device in zip(base, plan.assignment):
+            device_bytes[device] += shard.size_bytes
         result = incremental_reshard(
             engine,
             plan,
             base,
             WorkloadDelta(),
             config=ReshardConfig(allow_full_search=True),
-            memory_bytes=max(total // 2, max(t.size_bytes for t in base) * 2),
+            memory_bytes=max(device_bytes) - 1,
         )
         assert result.chosen in ("full", "none")
 

@@ -1,0 +1,279 @@
+"""Property tests for the vectorized batch-scoring kernel.
+
+Three invariants make whole-frontier batching safe, and each is pinned
+here with Hypothesis rather than a handful of fixed cases:
+
+1. **Batch composition freedom** — ``predict_rows`` over many candidate
+   sets equals scoring each set alone, element-wise and with *exact*
+   float equality (the chunk-stable kernels of
+   :mod:`repro.costmodel.kernels` pin every GEMM to a fixed chunk
+   shape, so merging calls cannot shift a single low bit).
+2. **Row-order freedom** — within a set, any permutation of the feature
+   rows predicts the bitwise-same cost
+   (:func:`~repro.costmodel.kernels.stable_segment_sum` pools in a
+   canonical content order), and the feature bank itself is independent
+   of interning order.
+3. **Bank integrity** — geometric growth of the preallocated feature
+   bank never aliases or corrupts previously issued rows, and ids from
+   before a :meth:`~repro.costmodel.features.TableFeaturizer.clear_cache`
+   fail loudly instead of resolving against re-interned rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.features import TableFeaturizer
+from repro.costmodel.kernels import stable_segment_sum
+
+# Candidate sets are drawn as lists of indices into the 48-table pool;
+# duplicates are legal (a set scoring the same uid twice simply repeats
+# the row, as the reference scorer would).
+_table_idx = st.integers(min_value=0, max_value=47)
+_candidate_set = st.lists(_table_idx, min_size=0, max_size=6)
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact equality including the sign of zero (no tolerance)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return a.shape == b.shape and bool(
+        np.all(a.view(np.uint64) == b.view(np.uint64))
+    )
+
+
+def _stack_sets(featurizer, pool_tables, sets):
+    """Concatenate the sets' feature rows with a segment-id vector."""
+    rows = []
+    segments = []
+    for seg, indices in enumerate(sets):
+        for i in indices:
+            rows.append(featurizer.features(pool_tables[i]))
+            segments.append(seg)
+    flat = (
+        np.stack(rows)
+        if rows
+        else np.zeros((0, featurizer.num_features))
+    )
+    return flat, np.asarray(segments, dtype=np.int64)
+
+
+class TestBatchCompositionFreedom:
+    """Merging candidate sets into one ``predict_rows`` call is free."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(sets=st.lists(_candidate_set, min_size=1, max_size=8))
+    def test_batched_equals_per_candidate(self, tiny_bundle, small_pool, sets):
+        model = tiny_bundle.compute
+        featurizer = tiny_bundle.featurizer
+        tables = small_pool.tables
+
+        flat, segments = _stack_sets(featurizer, tables, sets)
+        batched = model.predict_rows(flat, segments, len(sets))
+
+        solo = np.empty(len(sets), dtype=np.float64)
+        for seg, indices in enumerate(sets):
+            one, one_seg = _stack_sets(featurizer, tables, [indices])
+            solo[seg] = model.predict_rows(one, one_seg, 1)[0]
+        assert _bitwise_equal(batched, solo)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sets=st.lists(_candidate_set, min_size=2, max_size=8),
+        data=st.data(),
+    )
+    def test_split_point_is_irrelevant(
+        self, tiny_bundle, small_pool, sets, data
+    ):
+        """Scoring a frontier in one call or in two arbitrary halves
+        produces bitwise-identical per-set results."""
+        model = tiny_bundle.compute
+        featurizer = tiny_bundle.featurizer
+        tables = small_pool.tables
+        cut = data.draw(st.integers(min_value=1, max_value=len(sets) - 1))
+
+        flat, segments = _stack_sets(featurizer, tables, sets)
+        merged = model.predict_rows(flat, segments, len(sets))
+
+        halves = []
+        for part in (sets[:cut], sets[cut:]):
+            part_flat, part_seg = _stack_sets(featurizer, tables, part)
+            halves.append(model.predict_rows(part_flat, part_seg, len(part)))
+        assert _bitwise_equal(merged, np.concatenate(halves))
+
+    @settings(max_examples=20, deadline=None)
+    @given(sets=st.lists(_candidate_set, min_size=1, max_size=6))
+    def test_comm_predict_batch_equals_rowwise(
+        self, tiny_bundle, small_pool, sets
+    ):
+        """The collective models' batched entry point matches the
+        single-query path row for row."""
+        from repro.costmodel.comm_model import comm_features
+
+        tables = small_pool.tables
+        for model in (tiny_bundle.forward_comm, tiny_bundle.backward_comm):
+            feats = np.stack(
+                [
+                    comm_features(
+                        [
+                            tables[indices[0]].dim if indices else 4,
+                            tables[indices[-1]].dim if len(indices) > 1 else 4,
+                        ],
+                        [0.0, float(len(indices))],
+                        512,
+                    )
+                    for indices in sets
+                ]
+            )
+            batched = model.predict_batch(feats)
+            solo = np.stack([model.predict_batch(f[None, :])[0] for f in feats])
+            assert _bitwise_equal(batched, solo)
+
+
+class TestRowOrderFreedom:
+    """Within a set, feature-row order never changes the prediction."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(indices=st.lists(_table_idx, min_size=1, max_size=8), data=st.data())
+    def test_prediction_is_permutation_invariant(
+        self, tiny_bundle, small_pool, indices, data
+    ):
+        model = tiny_bundle.compute
+        featurizer = tiny_bundle.featurizer
+        tables = small_pool.tables
+        perm = data.draw(st.permutations(range(len(indices))))
+
+        flat, segments = _stack_sets(featurizer, tables, [indices])
+        base = model.predict_rows(flat, segments, 1)
+        shuffled = model.predict_rows(flat[list(perm)], segments, 1)
+        assert _bitwise_equal(base, shuffled)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    width=64,
+                ).map(lambda x: -0.0 if x == 0.0 else x),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=0,
+            max_size=12,
+        ),
+        data=st.data(),
+    )
+    def test_stable_segment_sum_permutation_invariant(self, rows, data):
+        """The pooling kernel itself: any permutation of (row, segment)
+        pairs — including duplicate rows and ±0.0 entries — sums to the
+        bitwise-same per-segment result."""
+        mat = (
+            np.asarray(rows, dtype=np.float64)
+            if rows
+            else np.zeros((0, 3))
+        )
+        segments = np.asarray(
+            [data.draw(st.integers(min_value=0, max_value=3)) for _ in rows],
+            dtype=np.int64,
+        )
+        perm = list(data.draw(st.permutations(range(len(rows)))))
+        base = stable_segment_sum(mat, segments, 4)
+        shuffled = stable_segment_sum(mat[perm], segments[perm], 4)
+        assert _bitwise_equal(base, shuffled)
+        # Empty segments pool to exactly +0.0 (the bias-only input).
+        empty = np.flatnonzero(np.isin(np.arange(4), segments, invert=True))
+        assert _bitwise_equal(base[empty], np.zeros((len(empty), 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_feature_rows_independent_of_interning_order(
+        self, small_pool, data
+    ):
+        """Two featurizers fed the same tables in different orders hold
+        bitwise-identical rows, whatever bank slots they land in."""
+        tables = list(small_pool.tables[:16])
+        order = data.draw(st.permutations(range(len(tables))))
+
+        forward = TableFeaturizer(batch_size=512)
+        shuffled = TableFeaturizer(batch_size=512)
+        for t in tables:
+            forward.row_index(t)
+        for i in order:
+            shuffled.row_index(tables[i])
+        for t in tables:
+            assert _bitwise_equal(forward.features(t), shuffled.features(t))
+        assert _bitwise_equal(
+            forward.features_matrix(tables), shuffled.features_matrix(tables)
+        )
+
+
+class TestBankIntegrity:
+    """Geometric growth and epoch invalidation of the feature bank."""
+
+    def _synthetic_tables(self, pool_tables, count):
+        """Fabricate ``count`` distinct-uid tables from the pool."""
+        return [
+            dataclasses.replace(
+                pool_tables[i % len(pool_tables)], table_id=10_000 + i
+            )
+            for i in range(count)
+        ]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        count=st.integers(min_value=65, max_value=160),
+        probe=st.data(),
+    )
+    def test_growth_never_aliases_stale_rows(self, small_pool, count, probe):
+        """Interning past capacity (64 → 128 → 256) must preserve every
+        previously issued row id, row value and view object."""
+        featurizer = TableFeaturizer(batch_size=512)
+        tables = self._synthetic_tables(small_pool.tables, count)
+
+        ids, views, snapshots = [], [], []
+        for t in tables:
+            ids.append(featurizer.row_index(t))
+            views.append(featurizer.features(t))
+            snapshots.append(featurizer.features(t).copy())
+
+        assert ids == list(range(count))  # interning is dense + stable
+        assert featurizer.num_interned == count
+        assert featurizer.bank.shape[0] >= count
+
+        # Every row survives growth bit-for-bit, via gather and via the
+        # pre-growth view objects (which alias the retired buffer).
+        gathered = featurizer.gather(np.asarray(ids))
+        for i in probe.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=count - 1),
+                min_size=5,
+                max_size=20,
+            )
+        ):
+            assert _bitwise_equal(gathered[i], snapshots[i])
+            assert _bitwise_equal(views[i], snapshots[i])
+            assert featurizer.row_index(tables[i]) == ids[i]
+
+    def test_clear_cache_rejects_stale_ids(self, small_pool):
+        featurizer = TableFeaturizer(batch_size=512)
+        stale = featurizer.row_indices(small_pool.tables[:8])
+        featurizer.clear_cache()
+        with pytest.raises(IndexError, match="stale feature row id"):
+            featurizer.gather(stale)
+        # Re-interning starts a fresh epoch with correct values.
+        fresh = featurizer.row_indices(small_pool.tables[:8])
+        assert list(fresh) == list(range(8))
+        assert _bitwise_equal(
+            featurizer.features_matrix(small_pool.tables[:8]),
+            TableFeaturizer(batch_size=512).features_matrix(
+                small_pool.tables[:8]
+            ),
+        )

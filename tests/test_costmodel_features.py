@@ -70,3 +70,57 @@ class TestFeaturizer:
         """Features should stay O(10) so the MLP needs no normalizer."""
         mats = featurizer.features_matrix(tables)
         assert np.abs(mats).max() < 50
+
+
+class TestCacheCoherence:
+    """Interned features vs in-place table mutation.
+
+    ``bytes_per_element`` feeds ``size_bytes`` (feature 9) but is absent
+    from the ``uid`` the bank interns by — the one way a table can change
+    cost behaviour under a reused uid.  ``clear_cache()`` is the
+    invalidation contract: it must drop the preallocated bank itself, so
+    row ids issued before the mutation fail loudly instead of silently
+    resolving against stale (or re-interned) rows.
+    """
+
+    def test_mid_search_mutation_never_serves_stale_features(self, tables):
+        featurizer = TableFeaturizer(batch_size=65536)
+        victim = tables[0]
+        # A search in flight: row ids handed out, matrices materialized.
+        stale_ids = featurizer.row_indices(tables[:6])
+        before = featurizer.features_matrix(tables[:6]).copy()
+        old_bank = featurizer.bank
+
+        # The table changes under the same uid mid-search.
+        object.__setattr__(victim, "bytes_per_element", 8)
+        try:
+            featurizer.clear_cache()
+            # The bank is replaced, not merely re-keyed: stale ids must
+            # not alias rows of any buffer, old or new.
+            assert featurizer.bank is not old_bank
+            assert featurizer.num_interned == 0
+            with pytest.raises(IndexError, match="stale feature row id"):
+                featurizer.gather(stale_ids)
+
+            fresh = featurizer.features_matrix(tables[:6])
+            # The mutated table featurizes differently despite the
+            # unchanged uid — the gap clear_cache() exists to close.
+            assert not np.allclose(fresh[0], before[0])
+            # Untouched tables re-featurize bit-identically.
+            assert np.array_equal(fresh[1:], before[1:])
+            # Re-issued ids are live again and serve the fresh rows.
+            assert np.array_equal(
+                featurizer.gather(featurizer.row_indices(tables[:6])), fresh
+            )
+        finally:
+            object.__setattr__(victim, "bytes_per_element", 4)
+
+    def test_stale_ids_fail_even_after_partial_reintern(self, tables):
+        """Re-interning fewer tables than before must still reject the
+        out-of-range tail of a stale id list."""
+        featurizer = TableFeaturizer(batch_size=65536)
+        stale_ids = featurizer.row_indices(tables[:6])
+        featurizer.clear_cache()
+        featurizer.row_indices(tables[:3])  # new epoch, 3 live rows
+        with pytest.raises(IndexError, match="stale feature row id"):
+            featurizer.gather(stale_ids)

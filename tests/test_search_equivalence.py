@@ -9,7 +9,8 @@ same number of inner-loop evaluations (a trajectory fingerprint).
 
 The suites cover seeded small / medium / split-forcing / infeasible task
 mixes, plus the ablation configurations (no grid, no cache) that drive
-the alternative code paths.
+the alternative code paths, and a full (strategy × cache × batch)
+matrix pinning the vectorized batch-scoring kernel cell by cell.
 """
 
 from __future__ import annotations
@@ -146,6 +147,28 @@ class TestGridSearchEquivalence:
                 assert opt.breakdown.fwd_comm_ms == ref.breakdown.fwd_comm_ms
                 assert opt.breakdown.bwd_comm_ms == ref.breakdown.bwd_comm_ms
 
+    def test_grid_batch_vs_sequential(self, tiny_bundle, tasks2):
+        """The lockstep batched grid search equals its own sequential
+        route bit-for-bit, breakdown included."""
+        for task in tasks2:
+            memory = MemoryModel(task.memory_bytes)
+            results = []
+            for search in (
+                MEDIUM_SEARCH,
+                MEDIUM_SEARCH.with_ablation("batch_scoring"),
+            ):
+                results.append(
+                    greedy_grid_search(
+                        list(task.tables), 2,
+                        NeuroShardSimulator(tiny_bundle, CostCache()),
+                        memory, search,
+                    )
+                )
+            batched, sequential = results
+            assert batched.cost_ms == sequential.cost_ms
+            assert batched.assignment == sequential.assignment
+            assert batched.max_dim_used == sequential.max_dim_used
+
     def test_shared_cache_between_runs_is_harmless(self, tiny_bundle, tasks2):
         """Predictions are deterministic, so running the optimized search
         on a cache pre-warmed by the reference changes nothing."""
@@ -163,3 +186,93 @@ class TestGridSearchEquivalence:
         )
         assert opt.cost_ms == ref.cost_ms
         assert opt.assignment == ref.assignment
+
+
+def _config_for(base: SearchConfig, strategy: str, cache: bool, batch: bool):
+    """Build the matrix cell's configuration from its coordinates."""
+    config = base
+    if strategy == "mixed":
+        # Beam search over column splits with the inner grid ablated to a
+        # single unconstrained greedy pass — the remaining hybrid of the
+        # two loops, and the only strategy shape not covered above.
+        config = config.with_ablation("grid_search")
+    if not cache:
+        config = config.with_ablation("caching")
+    if not batch:
+        config = config.with_ablation("batch_scoring")
+    return config
+
+
+class TestEquivalenceMatrix:
+    """(strategy ∈ greedy/beam/mixed) × (cache on/off) × (batch on/off).
+
+    Every cell is held to *byte-identical plans and bit-equal costs*
+    against the frozen reference — including the batched-scoring cells,
+    whose whole-frontier forward passes must not perturb a single low
+    bit, and the cache-off cells, whose ablation must stay honest under
+    batching.
+    """
+
+    STRATEGIES = ("greedy", "beam", "mixed")
+
+    def _check(self, bundle, tables, memory, search, strategy):
+        if strategy == "greedy":
+            ref = reference_greedy_grid_search(
+                list(tables), 2,
+                NeuroShardSimulator(
+                    bundle, CostCache(enabled=search.use_cache)
+                ),
+                memory, search,
+            )
+            opt = greedy_grid_search(
+                list(tables), 2,
+                NeuroShardSimulator(
+                    bundle, CostCache(enabled=search.use_cache)
+                ),
+                memory, search,
+            )
+            assert opt.feasible == ref.feasible
+            assert opt.cost_ms == ref.cost_ms  # bit-equal, no tolerance
+            assert opt.assignment == ref.assignment
+            assert opt.max_dim_used == ref.max_dim_used
+            assert opt.overflow_bytes == ref.overflow_bytes
+            if ref.breakdown is not None:
+                assert opt.breakdown.compute_ms == ref.breakdown.compute_ms
+                assert opt.breakdown.fwd_comm_ms == ref.breakdown.fwd_comm_ms
+                assert opt.breakdown.bwd_comm_ms == ref.breakdown.bwd_comm_ms
+        else:
+            ref, opt = _run_both(bundle, tables, 2, memory, search)
+            _assert_identical(ref, opt)
+
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "seq"])
+    @pytest.mark.parametrize("cache", [True, False], ids=["cache", "nocache"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_cell(self, tiny_bundle, tasks2, strategy, cache, batch):
+        search = _config_for(SMALL_SEARCH, strategy, cache, batch)
+        for task in tasks2[:2]:
+            memory = MemoryModel(task.memory_bytes)
+            self._check(tiny_bundle, task.tables, memory, search, strategy)
+
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "seq"])
+    @pytest.mark.parametrize("cache", [True, False], ids=["cache", "nocache"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_split_forcing_cell(
+        self, tiny_bundle, tasks2, strategy, cache, batch
+    ):
+        """Budgets below the largest table force column splits (beam) or
+        outright infeasibility (greedy alone) in every cell."""
+        search = _config_for(SMALL_SEARCH, strategy, cache, batch)
+        task = tasks2[2]
+        largest = max(t.size_bytes + t.hash_size * 4 for t in task.tables)
+        memory = MemoryModel(max(int(largest * 0.75), 1))
+        self._check(tiny_bundle, task.tables, memory, search, strategy)
+
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "seq"])
+    @pytest.mark.parametrize("cache", [True, False], ids=["cache", "nocache"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_infeasible_cell(self, tiny_bundle, tasks2, strategy, cache, batch):
+        """Nothing fits: every cell must agree on (in)feasibility, the
+        overflow ranking and the evaluation count."""
+        search = _config_for(SMALL_SEARCH, strategy, cache, batch)
+        memory = MemoryModel(1024)
+        self._check(tiny_bundle, tasks2[4].tables, memory, search, strategy)
