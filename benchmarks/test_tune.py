@@ -1,0 +1,148 @@
+"""Budget-aware auto-tuning: the committed tuned-vs-default frontier.
+
+Two registered regimes are tuned over a small fixed knob grid with an
+effectively unlimited budget (every candidate always evaluates, so the
+candidate set never depends on wall clocks) and the resulting frontier
+is committed to ``results/tune_frontier.txt``.  Every number in the
+artifact comes from the cost-model simulator — knobs, the deterministic
+work proxy, and replay serving costs — so it is bit-reproducible.
+
+Gates:
+
+- the chosen config is never worse than the pinned replay default
+  (the default is always evaluated first, so tuned is non-dominated at
+  an equal wall-clock budget by construction — the gate pins that the
+  machinery preserves it);
+- a warm-cache rerun evaluates nothing and completes in under 10% of
+  the cold run's wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import once, record_result
+from repro.evaluation.reporting import format_text_table
+from repro.tuning import tune_scenario
+
+TUNE_SEED = 2023
+TUNE_TABLES = 16
+REGIMES = ("flash_crowd", "table_churn")
+
+#: Small fixed grid whose cross product contains the pinned replay
+#: default (top_n=4, max_steps=6, unbudgeted reshard), so the committed
+#: table compares like with like.  The budget below never binds, so the
+#: committed frontier is a pure function of the simulator — no wall
+#: clock ever shapes it.
+TUNE_SPACE = {
+    "top_n": (2, 4, 8),
+    "beam_width": (2,),
+    "max_steps": (6, 10),
+    "grid_points": (5,),
+    "grid_end_factor": (1.5,),
+    "migration_lambda": (1e-4,),
+    "migration_budget_ms": (None,),
+}
+TUNE_BUDGET_S = 3600.0
+
+#: Frontier rows accumulated by the parametrized runs (definition
+#: order: the artifact test below runs after them in one session).
+_PROFILES: dict[str, object] = {}
+
+
+def _tune(pool856, bundle4, name: str, cache_dir):
+    return tune_scenario(
+        name,
+        bundle4,
+        pool856,
+        budget_s=TUNE_BUDGET_S,
+        num_tables=TUNE_TABLES,
+        seed=TUNE_SEED,
+        search_space=TUNE_SPACE,
+        cache_dir=cache_dir,
+    )
+
+
+@pytest.mark.parametrize("name", REGIMES)
+def test_tune_regime(benchmark, pool856, bundle4, tmp_path_factory, name):
+    cache_dir = tmp_path_factory.mktemp(f"tune-cache-{name}")
+    started = time.perf_counter()
+    profile = once(
+        benchmark, lambda: _tune(pool856, bundle4, name, cache_dir)
+    )
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = _tune(pool856, bundle4, name, cache_dir)
+    warm_s = time.perf_counter() - started
+
+    # Every candidate evaluated: the frontier is budget-independent.
+    assert profile.skipped == 0
+    assert profile.cache_hits == 0
+    # Tuned is non-dominated vs the pinned default at equal budget.
+    assert profile.chosen.feasible
+    assert profile.chosen.cost_ms <= profile.default.cost_ms
+    # Warm rerun: all disk, no evaluation, <10% of the cold wall-clock.
+    assert warm.cache_hits == warm.evaluated == profile.evaluated
+    assert warm_s < 0.10 * cold_s, (
+        f"warm tune rerun took {warm_s:.2f}s vs cold {cold_s:.2f}s"
+    )
+    # ...and the warm outcome is the cold outcome.
+    assert warm.chosen.search == profile.chosen.search
+    assert warm.chosen.reshard == profile.chosen.reshard
+    assert warm.chosen.cost_ms == profile.chosen.cost_ms
+
+    _PROFILES[name] = profile
+
+
+def test_tune_frontier_artifact():
+    """The committed artifact: one frontier block per tuned regime."""
+    assert sorted(_PROFILES) == sorted(REGIMES), (
+        "run the full module: the artifact aggregates the tuning runs"
+    )
+    blocks = []
+    for name in REGIMES:
+        profile = _PROFILES[name]
+        rows = []
+        listed = list(profile.frontier)
+        if profile.default not in listed:
+            listed.append(profile.default)
+        for candidate in listed:
+            marks = []
+            if candidate.search == profile.chosen.search and (
+                candidate.reshard == profile.chosen.reshard
+            ):
+                marks.append("chosen")
+            if candidate.search == profile.default.search and (
+                candidate.reshard == profile.default.reshard
+            ):
+                marks.append("default")
+            budget = candidate.reshard.migration_budget_ms
+            rows.append([
+                candidate.search.top_n,
+                candidate.search.beam_width,
+                candidate.search.max_steps,
+                candidate.search.grid_points,
+                f"{candidate.search.grid_end_factor:g}",
+                f"{candidate.reshard.migration_lambda:g}",
+                "-" if budget is None else f"{budget:g}",
+                candidate.work,
+                f"{candidate.cost_ms:.3f}",
+                f"{candidate.peak_cost_ms:.3f}",
+                " ".join(marks) or "-",
+            ])
+        blocks.append(
+            format_text_table(
+                ["N", "K", "L", "M", "end", "lambda", "budget_ms", "work",
+                 "cost_ms", "peak_ms", "mark"],
+                rows,
+                title=(
+                    f"tuned vs default — {name} "
+                    f"(4 GPUs, {TUNE_TABLES} tables, seed {TUNE_SEED}, "
+                    f"{profile.evaluated} configs evaluated)"
+                ),
+            )
+        )
+    record_result("tune_frontier", "\n\n".join(blocks))

@@ -146,7 +146,9 @@ class ShardingEngine:
             )
         self.cluster = cluster
         self.bundle = bundle
-        self.search = search
+        # A mapping (engine spec / JSON config) is validated here, at
+        # construction, not when the first sharder is built.
+        self.search = None if search is None else SearchConfig.coerce(search)
         self.default_strategy = default_strategy or (
             "beam" if bundle is not None else "dim_greedy"
         )

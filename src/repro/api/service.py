@@ -210,6 +210,31 @@ class PlanRecord:
         )
 
 
+def _coerce_profile(profile: Any) -> "Any | None":
+    """Normalize a ``profile`` argument to a validated ``TunedProfile``.
+
+    Accepts ``None``, a :class:`repro.tuning.TunedProfile`, or its dict
+    form (the persisted metadata) — the dict path re-validates every
+    embedded knob, so a hand-edited profile fails loudly here.  The
+    import is deferred: :mod:`repro.tuning` layers *above* the api
+    package and only loads when profiles are actually used.
+    """
+    if profile is None:
+        return None
+    from collections.abc import Mapping as _Mapping
+
+    from repro.tuning.profile import TunedProfile
+
+    if isinstance(profile, TunedProfile):
+        return profile
+    if isinstance(profile, _Mapping):
+        return TunedProfile.from_dict(profile)
+    raise TypeError(
+        "profile must be a TunedProfile or its dict form, got "
+        f"{type(profile).__name__}"
+    )
+
+
 class _Deployment:
     """Runtime state of one named deployment."""
 
@@ -219,11 +244,16 @@ class _Deployment:
         engine: ShardingEngine,
         tables: tuple[TableConfig, ...],
         memory_bytes: int,
+        profile: "Any | None" = None,
     ) -> None:
         self.name = name
         self.engine = engine
         self.initial_tables = tables
         self.memory_bytes = memory_bytes
+        #: Tuned profile (:class:`repro.tuning.TunedProfile`) applied at
+        #: creation: its chosen search config becomes the default plan
+        #: options and its reshard knobs the default reshard config.
+        self.profile = profile
         self.records: dict[int, PlanRecord] = {}
         self.applied_stack: list[int] = []
         self.lock = threading.RLock()
@@ -351,6 +381,7 @@ class ShardingService:
         tables: Sequence[TableConfig],
         memory_bytes: int | None = None,
         bundle_ref: str | None = None,
+        profile: "Any | None" = None,
     ) -> dict[str, Any]:
         """Register a new deployment and persist its metadata.
 
@@ -364,17 +395,33 @@ class ShardingService:
             bundle_ref: free-form pointer to the engine's bundle (path or
                 ``name@vN`` tag), persisted so a restarted service can
                 rebuild the engine.
+            profile: a :class:`repro.tuning.TunedProfile` (or its dict
+                form) to apply: the chosen search config becomes this
+                deployment's default plan options, the chosen reshard
+                knobs its default reshard config.  Persisted in the
+                metadata, so a reopened service keeps planning with it.
 
         Returns:
             The deployment's status dictionary.
 
         Raises:
             ValueError: when the name is already in use (in memory or in
-                the store).
+                the store), the profile's device count does not match the
+                engine's, or the profile payload is invalid.
         """
         tables = tuple(tables)
         if not tables:
             raise ValueError("a deployment needs at least one table")
+        profile = _coerce_profile(profile)
+        if (
+            profile is not None
+            and profile.num_devices != engine.cluster.num_devices
+        ):
+            raise ValueError(
+                f"tuned profile {profile.scenario!r} was tuned for "
+                f"{profile.num_devices} devices but the engine serves "
+                f"{engine.cluster.num_devices}"
+            )
         memory = (
             memory_bytes
             if memory_bytes is not None
@@ -388,7 +435,7 @@ class ShardingService:
                     f"deployment {name!r} already exists in store "
                     f"{self.store.root}; use ShardingService.open"
                 )
-            deployment = _Deployment(name, engine, tables, memory)
+            deployment = _Deployment(name, engine, tables, memory, profile)
             self._deployments[name] = deployment
         meta = {
             "schema_version": SCHEMA_VERSION,
@@ -400,6 +447,8 @@ class ShardingService:
             "bundle_ref": bundle_ref,
             "tables": [table_to_dict(t) for t in tables],
         }
+        if profile is not None:
+            meta["tuned_profile"] = profile.to_dict()
         # The chain anchor is the digest of this metadata — computed
         # here (not from a re-read) so storeless deployments chain too.
         deployment.genesis_digest = genesis_digest(meta)
@@ -451,6 +500,7 @@ class ShardingService:
                     engine,
                     tuple(table_from_dict(t) for t in meta["tables"]),
                     int(meta["memory_bytes"]),
+                    _coerce_profile(meta.get("tuned_profile")),
                 )
                 deployment.genesis_digest = genesis_digest(meta)
                 stored_versions = store.versions(name)
@@ -709,6 +759,23 @@ class ShardingService:
             except OSError:
                 return None
 
+    @staticmethod
+    def _plan_options(
+        deployment: _Deployment, options: Mapping[str, Any] | None
+    ) -> dict[str, Any]:
+        """Request options with the deployment's tuned defaults applied.
+
+        The tuned profile's chosen search config is injected as the
+        ``search`` option (in dict form — request options must stay
+        JSON-serializable for worker pools and the HTTP wire) unless the
+        caller set one explicitly; an explicit per-request ``search``
+        always wins.
+        """
+        merged = dict(options or {})
+        if deployment.profile is not None and "search" not in merged:
+            merged["search"] = deployment.profile.chosen.search.to_dict()
+        return merged
+
     def plan(
         self,
         name: str,
@@ -757,7 +824,7 @@ class ShardingService:
                 task=task_by_version[first_version + i],
                 strategy=spec[0],
                 request_id=spec[2],
-                options=dict(spec[1] or {}),
+                options=self._plan_options(deployment, spec[1]),
             )
             for i, spec in enumerate(specs)
         ]
@@ -997,7 +1064,14 @@ class ShardingService:
                 it just does not go live).
         """
         deployment = self._get(name)
-        config = config or ReshardConfig()
+        if config is None:
+            # The tuned profile's reshard knobs are the deployment
+            # default; an explicit config always wins.
+            config = (
+                deployment.profile.chosen.reshard
+                if deployment.profile is not None
+                else ReshardConfig()
+            )
         with deployment.lock:
             applied = deployment.applied_record
             if applied is None or applied.plan is None:
@@ -1232,6 +1306,13 @@ class ShardingService:
                     None if applied is None else applied.strategy
                 ),
                 "default_strategy": deployment.engine.default_strategy,
+                # Scenario name of the tuned profile applied at creation
+                # (None for untuned deployments).
+                "tuned_profile": (
+                    None
+                    if deployment.profile is None
+                    else deployment.profile.scenario
+                ),
                 "cache": deployment.engine.cache_stats(),
                 # Corrupted-tail repairs open() performed on this
                 # deployment (empty for a clean store) — operators see

@@ -61,6 +61,20 @@ __all__ = ["MixedStrategySharder", "RowWiseStrategySharder"]
 # ----------------------------------------------------------------------
 
 
+def _coerce_search(search, kwargs) -> SearchConfig:
+    """Resolve a factory's ``search`` argument to a validated config.
+
+    ``search`` wins over loose knob kwargs when both are given.  Request
+    options arrive here as plain JSON (HTTP bodies, stored profiles,
+    CLI-built dicts), so a mapping is pushed through
+    :meth:`SearchConfig.coerce` — out-of-range knobs fail loudly at this
+    entry point instead of surfacing later as attribute errors on a dict.
+    """
+    if search is None:
+        return SearchConfig(**kwargs)
+    return SearchConfig.coerce(search)
+
+
 @register_strategy(
     "beam",
     description="NeuroShard beam search over column- and table-wise plans",
@@ -79,7 +93,7 @@ def _make_beam(
     # every result (surfaced as ShardingResponse.profile).
     sharder = NeuroShard(
         bundle,
-        search=search or SearchConfig(**kwargs),
+        search=_coerce_search(search, kwargs),
         lifelong_cache=lifelong_cache,
         cache=cache if lifelong_cache else None,
         profile=profile,
@@ -98,7 +112,7 @@ def _make_greedy_grid(
     cluster, bundle, search=None, lifelong_cache=False, cache=None,
     profile=False, **kwargs
 ):
-    search = search or SearchConfig(**kwargs)
+    search = _coerce_search(search, kwargs)
     sharder = NeuroShard(
         bundle,
         search=search.with_ablation("beam_search"),

@@ -136,6 +136,15 @@ from repro.simulator import (
     make_policy,
     simulate_policy,
 )
+from repro.tuning import (
+    DEFAULT_SEARCH_SPACE,
+    list_profiles,
+    load_profile,
+    profile_path,
+    save_profile,
+    tune_scenario,
+)
+from repro.utils import parse_key_value_args
 
 __all__ = ["main", "build_parser"]
 
@@ -272,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     dep_create.add_argument("--seed", type=int, default=0)
     dep_create.add_argument("--memory-bytes", type=int,
                             help="per-device budget (default: 4 GiB)")
+    dep_create.add_argument("--profile", metavar="PROFILE_JSON",
+                            help="TunedProfile JSON from 'tune run'; its "
+                            "chosen search/reshard knobs become the "
+                            "deployment defaults")
 
     dep_plan = dep_sub.add_parser("plan", help="compute a new plan version "
                                   "for the current workload")
@@ -441,6 +454,57 @@ def build_parser() -> argparse.ArgumentParser:
     sim_cmp.add_argument("--policies", nargs="+", metavar="policy",
                          help="online policies (default: every "
                          "registered policy)")
+
+    tune = sub.add_parser("tune", help="budget-aware auto-tuning of the "
+                          "search/reshard knobs per workload scenario")
+    tune_sub = tune.add_subparsers(dest="action", required=True)
+
+    def add_profiles_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profiles", default="profiles",
+                       help="profile directory, one JSON per scenario "
+                       "(default: profiles/)")
+
+    tune_run = tune_sub.add_parser("run", help="tune one scenario under a "
+                                   "wall-clock budget, save its profile")
+    tune_run.add_argument("name", help="registry scenario name "
+                          "(see 'scenario list')")
+    add_bundle_args(tune_run)
+    tune_run.add_argument("--budget-s", type=float, default=60.0,
+                          help="hard wall-clock tuning budget in seconds "
+                          "(default: 60)")
+    tune_run.add_argument("--seed", type=int, default=0,
+                          help="trace generator seed (default: 0)")
+    tune_run.add_argument("--pool-seed", type=int, default=0,
+                          help="synthesis seed of the table pool the "
+                          "scenario samples from (default: 0)")
+    tune_run.add_argument("--tables", type=int,
+                          help="initial workload size (scenario default "
+                          "when omitted)")
+    tune_run.add_argument("--steps", type=int,
+                          help="trace steps (scenario default when omitted)")
+    tune_run.add_argument("--memory-bytes", type=int,
+                          help="base per-device budget (default: 2 GiB)")
+    tune_run.add_argument("--max-candidates", type=int,
+                          help="stop after this many evaluated configs "
+                          "even with budget left")
+    tune_run.add_argument("--cache-dir",
+                          help="disk cache of per-config evaluations; "
+                          "reruns with the same code are free")
+    tune_run.add_argument("--tune-arg", action="append", default=[],
+                          metavar="KEY=VALUE",
+                          help="override one knob's value grid, "
+                          "repeatable (e.g. --tune-arg top_n=[2,4])")
+    add_profiles_arg(tune_run)
+
+    tune_list = tune_sub.add_parser("list", help="list saved tuned profiles")
+    add_profiles_arg(tune_list)
+
+    tune_show = tune_sub.add_parser("show", help="one profile's chosen "
+                                    "config and frontier")
+    tune_show.add_argument("name", help="scenario name of the profile")
+    add_profiles_arg(tune_show)
+    tune_show.add_argument("--json", action="store_true",
+                           help="print the raw profile JSON")
 
     val = sub.add_parser("validate", help="validate stored deployments "
                          "and/or bundles against the invariant suite")
@@ -1009,17 +1073,29 @@ def _cmd_deployment(args) -> int:
                 )
                 tables = generated[0].tables
                 memory = args.memory_bytes or generated[0].memory_bytes
+            profile = None
+            if args.profile:
+                try:
+                    profile = load_profile(args.profile)
+                except (FileNotFoundError, json.JSONDecodeError) as exc:
+                    print(f"error: --profile: {exc}", file=sys.stderr)
+                    return 1
             status = service.create_deployment(
                 args.name,
                 engine,
                 tables=tables,
                 memory_bytes=memory,
                 bundle_ref=args.bundle,
+                profile=profile,
+            )
+            tuned = (
+                "" if profile is None
+                else f" [tuned: {profile.scenario}]"
             )
             print(
                 f"created deployment {args.name!r}: "
                 f"{status['num_tables']} tables on "
-                f"{status['num_devices']} GPUs"
+                f"{status['num_devices']} GPUs{tuned}"
             )
             return 0
 
@@ -1307,24 +1383,16 @@ def _cmd_scenario(args) -> int:
 def _policy_kwargs(pairs: list[str]) -> dict[str, object]:
     """Parse repeatable ``--policy-arg key=value`` into typed kwargs.
 
-    Values parse as JSON when possible (numbers, booleans) and fall back
-    to the raw string.
+    Delegates to the shared typed parser
+    (:func:`repro.utils.parse_key_value_args`), so ``--policy-arg`` and
+    ``tune --tune-arg`` coerce values identically — including the
+    Python-style boolean spellings the old JSON fallback kept as
+    (truthy) strings.
 
     Raises:
         ValueError: on an argument without ``=``.
     """
-    kwargs: dict[str, object] = {}
-    for pair in pairs:
-        key, sep, raw = pair.partition("=")
-        if not sep or not key:
-            raise ValueError(
-                f"--policy-arg wants KEY=VALUE, got {pair!r}"
-            )
-        try:
-            kwargs[key] = json.loads(raw)
-        except json.JSONDecodeError:
-            kwargs[key] = raw
-    return kwargs
+    return parse_key_value_args(pairs, flag="--policy-arg")
 
 
 def _simulation_config(args) -> SimulationConfig:
@@ -1456,6 +1524,167 @@ def _cmd_simulate(args) -> int:
         return 0
 
     raise AssertionError(f"unhandled simulate action {args.action!r}")
+
+
+def _tune_search_space(pairs: list[str]) -> dict | None:
+    """``--tune-arg KEY=VALUE`` pairs as per-knob value-grid overrides.
+
+    A JSON-list value replaces the knob's whole grid; a scalar pins the
+    knob to that single value.  Unknown knob names fail loudly inside
+    :func:`repro.tuning.enumerate_candidates`.
+    """
+    overrides = parse_key_value_args(pairs, flag="--tune-arg")
+    if not overrides:
+        return None
+    space = dict(DEFAULT_SEARCH_SPACE)
+    for knob, value in overrides.items():
+        space[knob] = (
+            tuple(value) if isinstance(value, (list, tuple)) else (value,)
+        )
+    return space
+
+
+def _candidate_row(candidate, chosen, default) -> list:
+    marks = []
+    if candidate.search == chosen.search and candidate.reshard == chosen.reshard:
+        marks.append("chosen")
+    if (
+        candidate.search == default.search
+        and candidate.reshard == default.reshard
+    ):
+        marks.append("default")
+    budget = candidate.reshard.migration_budget_ms
+    return [
+        candidate.search.top_n,
+        candidate.search.beam_width,
+        candidate.search.max_steps,
+        candidate.search.grid_points,
+        f"{candidate.search.grid_end_factor:g}",
+        f"{candidate.reshard.migration_lambda:g}",
+        "-" if budget is None else f"{budget:g}",
+        candidate.work,
+        "-" if not candidate.feasible else f"{candidate.cost_ms:.3f}",
+        " ".join(marks) or "-",
+    ]
+
+
+_FRONTIER_HEADER = [
+    "N", "K", "L", "M", "end", "lambda", "budget_ms", "work", "cost_ms",
+    "mark",
+]
+
+
+def _print_profile(profile) -> None:
+    print(
+        f"scenario {profile.scenario}: chosen cost "
+        f"{profile.chosen.cost_ms:.3f} ms (default "
+        f"{profile.default.cost_ms:.3f} ms) — "
+        f"{profile.evaluated} evaluated, {profile.pruned} pruned, "
+        f"{profile.skipped} skipped, {profile.cache_hits} cache hits "
+        f"in {profile.elapsed_s:.1f}s of {profile.budget_s:g}s budget"
+    )
+    rows = [
+        _candidate_row(c, profile.chosen, profile.default)
+        for c in profile.frontier
+    ]
+    print(
+        format_text_table(
+            _FRONTIER_HEADER,
+            rows,
+            title=f"frontier: {len(rows)} non-dominated configs",
+        )
+    )
+
+
+def _cmd_tune(args) -> int:
+    if args.action == "list":
+        profiles = list_profiles(args.profiles)
+        if not profiles:
+            print(f"no profiles in {args.profiles}")
+            return 0
+        rows = [
+            [
+                p.scenario,
+                p.num_devices,
+                p.evaluated,
+                f"{p.chosen.cost_ms:.3f}",
+                f"{p.default.cost_ms:.3f}",
+                p.bundle_key,
+            ]
+            for p in profiles
+        ]
+        print(
+            format_text_table(
+                ["scenario", "gpus", "evaluated", "chosen_ms", "default_ms",
+                 "bundle"],
+                rows,
+                title=f"{len(rows)} tuned profiles in {args.profiles}",
+            )
+        )
+        return 0
+
+    if args.action == "show":
+        path = profile_path(args.profiles, args.name)
+        try:
+            profile = load_profile(path)
+        except FileNotFoundError:
+            print(
+                f"error: no profile for {args.name!r} in {args.profiles}",
+                file=sys.stderr,
+            )
+            return 1
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+            return 0
+        _print_profile(profile)
+        return 0
+
+    if args.action == "run":
+        try:
+            bundle = _load_bundle(args)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.memory_bytes is not None and args.memory_bytes <= 0:
+            print(
+                f"error: --memory-bytes must be > 0, got {args.memory_bytes}",
+                file=sys.stderr,
+            )
+            return 1
+        pool = (
+            _pool()
+            if args.pool_seed == 0
+            else TablePool(synthesize_table_pool(seed=args.pool_seed))
+        )
+        try:
+            profile = tune_scenario(
+                args.name,
+                bundle,
+                pool,
+                budget_s=args.budget_s,
+                memory_bytes=args.memory_bytes,
+                num_tables=args.tables,
+                steps=args.steps,
+                seed=args.seed,
+                search_space=_tune_search_space(args.tune_arg),
+                max_candidates=args.max_candidates,
+                cache_dir=args.cache_dir,
+            )
+        except (UnknownScenarioError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ALL_INFEASIBLE
+        path = save_profile(profile, args.profiles)
+        _print_profile(profile)
+        print(f"wrote profile to {path}")
+        return 0
+
+    raise AssertionError(f"unhandled tune action {args.action!r}")
 
 
 def _validate_deployment_unit(store, name, validator):
@@ -1737,6 +1966,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "deployment": _cmd_deployment,
         "scenario": _cmd_scenario,
         "simulate": _cmd_simulate,
+        "tune": _cmd_tune,
         "validate": _cmd_validate,
         "audit": _cmd_audit,
         "strategies": _cmd_strategies,

@@ -14,8 +14,9 @@ touches the global NumPy random state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Tuple
 
 import numpy as np
 
@@ -111,6 +112,46 @@ class SearchConfig:
             raise ValueError(
                 f"grid_end_factor must be >= 1.0, got {self.grid_end_factor}"
             )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view of the knobs (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchConfig":
+        """Build a validated config from a plain mapping.
+
+        Unlike ``SearchConfig(**data)`` this rejects unknown keys with a
+        readable error instead of a ``TypeError``; range checks run in
+        ``__post_init__`` either way, so an out-of-range knob arriving
+        from JSON fails as loudly as one passed to the constructor.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SearchConfig knobs {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def coerce(cls, value: "SearchConfig | Mapping[str, Any]") -> "SearchConfig":
+        """Normalize a ``search`` argument to a validated ``SearchConfig``.
+
+        Every surface that accepts search knobs as data — engine options,
+        HTTP request payloads, stored profiles, CLI-built dicts — funnels
+        through here, so a mapping is always re-validated by the
+        constructor instead of riding along as an unchecked dict.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(
+            "search must be a SearchConfig or a mapping of knobs, got "
+            f"{type(value).__name__}"
+        )
 
     def with_ablation(self, name: str) -> "SearchConfig":
         """Return a copy with one mechanism disabled (Table 3 rows)."""

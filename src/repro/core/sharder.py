@@ -104,6 +104,14 @@ class NeuroShard:
         self.search = search or SearchConfig()
         self._lifelong = lifelong_cache
         self.profile_enabled = profile
+        # The config outranks the provided cache: a "w/o caching"
+        # (use_cache=False) sharder must run cache-disabled semantics —
+        # memo gating, keyed-plan routing, grid-pass grouping, hit-rate
+        # stats — even when a shared engine offers its always-enabled
+        # lifelong cache.  Otherwise sibling configs served from one
+        # engine silently inherit cached-mode behavior.
+        if not self.search.use_cache:
+            cache = None
         self._shared_cache = (
             cache
             if cache is not None

@@ -535,8 +535,18 @@ def _rerun_validator(
         subject=f"deployment:{walker.name}",
         memory_bytes=memory,
     )
+    # The validator names the version a record *claims*; a tampered
+    # version field would misdirect first_broken_version at a version
+    # with no file to restore.  Blame the file that makes the claim.
+    claimed_to_file = {}
+    for file_version in sorted(payloads):
+        claimed = payloads[file_version].get("version")
+        if isinstance(claimed, int) and claimed != file_version:
+            claimed_to_file.setdefault(claimed, file_version)
     for error in report.errors:
         version = error.context.get("version")
+        if isinstance(version, int) and version not in payloads:
+            version = claimed_to_file.get(version, version)
         walker.error(
             error.code,
             version if isinstance(version, int) else None,

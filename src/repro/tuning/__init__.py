@@ -1,0 +1,64 @@
+"""Budget-aware auto-tuning of the search/reshard knobs.
+
+The paper pins the ``N``/``K``/``L``/``M`` search hyperparameters and
+the reshard λ / migration-budget pair as constants; this package tunes
+them per workload scenario under a hard wall-clock budget and emits a
+versioned :class:`~repro.tuning.profile.TunedProfile` artifact the
+serving layer loads at deployment creation::
+
+    from repro.tuning import save_profile, tune_scenario
+
+    profile = tune_scenario("flash_crowd", bundle, pool, budget_s=120.0,
+                            cache_dir="tune-cache/")
+    save_profile(profile, "profiles/")
+    service.create_deployment("prod", engine, tables=tables,
+                              profile=profile)
+
+- :mod:`~repro.tuning.tuner` — the budget loop: cheapest-first
+  candidate enumeration, dominated-config pruning, disk-cached
+  evaluations keyed by canonical config hash + code fingerprint.
+- :mod:`~repro.tuning.profile` — the versioned-JSON artifact and its
+  on-disk profile directory.
+"""
+
+from repro.tuning.profile import (
+    PROFILE_SCHEMA_VERSION,
+    TunedCandidate,
+    TunedProfile,
+    candidate_work,
+    list_profiles,
+    load_profile,
+    profile_path,
+    save_profile,
+)
+from repro.tuning.tuner import (
+    DEFAULT_SEARCH_SPACE,
+    TUNE_SOURCE_ENTRIES,
+    EvaluationCache,
+    default_candidate,
+    enumerate_candidates,
+    pareto_frontier,
+    proven_dominated,
+    tune_scenario,
+    tuning_code_fingerprint,
+)
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "TunedCandidate",
+    "TunedProfile",
+    "candidate_work",
+    "list_profiles",
+    "load_profile",
+    "profile_path",
+    "save_profile",
+    "DEFAULT_SEARCH_SPACE",
+    "TUNE_SOURCE_ENTRIES",
+    "EvaluationCache",
+    "default_candidate",
+    "enumerate_candidates",
+    "pareto_frontier",
+    "proven_dominated",
+    "tune_scenario",
+    "tuning_code_fingerprint",
+]

@@ -1,0 +1,274 @@
+"""Tuned-profile artifacts: the versioned JSON the auto-tuner emits.
+
+A :class:`TunedProfile` is the durable outcome of one
+:func:`~repro.tuning.tuner.tune_scenario` run: the chosen
+search/reshard configuration, the Pareto frontier of non-dominated
+candidates, and enough provenance (scenario knobs, seed, code
+fingerprint, budget, counts) to reproduce or audit the run.  Profiles
+are plain versioned JSON in the house style of
+:mod:`repro.api.schema` — an explicit ``schema_version`` checked on
+read — and are loaded at deployment creation time
+(``ShardingService.create_deployment(..., profile=...)`` /
+``repro deployment create --profile``).
+
+Every config embedded in a profile round-trips through the validating
+constructors (:meth:`SearchConfig.from_dict`,
+:meth:`ReshardConfig.from_dict`), so a hand-edited profile with an
+out-of-range knob fails loudly at load time, not deep inside a search.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.api.reshard import ReshardConfig
+from repro.config import SearchConfig
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "TunedCandidate",
+    "TunedProfile",
+    "list_profiles",
+    "load_profile",
+    "profile_path",
+    "save_profile",
+]
+
+#: Version of the on-disk profile payload; readers reject anything else.
+PROFILE_SCHEMA_VERSION = 1
+
+
+def _check_version(data: Mapping[str, Any], kind: str) -> None:
+    version = data.get("schema_version")
+    if version != PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{kind} payload has schema version {version!r}, "
+            f"this code reads {PROFILE_SCHEMA_VERSION}"
+        )
+
+
+def candidate_work(search: SearchConfig) -> int:
+    """Deterministic search-effort proxy: the N*K*L*M knob product.
+
+    Monotone in every count knob, machine-independent, and stable across
+    runs — the frontier and the committed benchmark tables rank effort
+    by this, never by wall clocks.
+    """
+    return (
+        search.top_n
+        * search.beam_width
+        * max(search.max_steps, 1)
+        * search.grid_points
+    )
+
+
+@dataclass(frozen=True)
+class TunedCandidate:
+    """One evaluated configuration: knobs plus its replay objective.
+
+    Attributes:
+        search: the evaluated :class:`~repro.config.SearchConfig`.
+        reshard: the evaluated reshard λ / migration-budget pair (as a
+            full :class:`~repro.api.reshard.ReshardConfig`).
+        cost_ms: objective — mean serving cost over the scenario replay
+            (``inf`` when the replay found no feasible initial plan).
+        peak_cost_ms: peak serving cost over the replay (``inf`` when
+            infeasible).
+        feasible: the replay produced an applicable plan.
+        from_cache: this evaluation was served from the disk cache.
+    """
+
+    search: SearchConfig
+    reshard: ReshardConfig
+    cost_ms: float
+    peak_cost_ms: float
+    feasible: bool = True
+    from_cache: bool = False
+
+    @property
+    def work(self) -> int:
+        """Deterministic effort proxy (see :func:`candidate_work`)."""
+        return candidate_work(self.search)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view (non-finite costs serialize as ``None``)."""
+        return {
+            "search": self.search.to_dict(),
+            "reshard": self.reshard.to_dict(),
+            "cost_ms": self.cost_ms if math.isfinite(self.cost_ms) else None,
+            "peak_cost_ms": (
+                self.peak_cost_ms if math.isfinite(self.peak_cost_ms) else None
+            ),
+            "work": self.work,
+            "feasible": self.feasible,
+            "from_cache": self.from_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TunedCandidate":
+        """Inverse of :meth:`to_dict`; knobs re-validate on the way in."""
+        cost = data.get("cost_ms")
+        peak = data.get("peak_cost_ms")
+        return cls(
+            search=SearchConfig.from_dict(data["search"]),
+            reshard=ReshardConfig.from_dict(data["reshard"]),
+            cost_ms=math.inf if cost is None else float(cost),
+            peak_cost_ms=math.inf if peak is None else float(peak),
+            feasible=bool(data.get("feasible", True)),
+            from_cache=bool(data.get("from_cache", False)),
+        )
+
+
+@dataclass(frozen=True)
+class TunedProfile:
+    """The versioned tuning artifact for one scenario.
+
+    Attributes:
+        scenario: registry name of the tuned scenario.
+        chosen: the winning candidate (lowest cost, ties to lower work).
+        default: the pinned-constants baseline the tuner always
+            evaluates first (``REPLAY_SEARCH_CONFIG`` + the default
+            reshard knobs) — the committed tuned-vs-default tables
+            compare against this.
+        frontier: non-dominated candidates over (cost_ms, work),
+            ascending work.
+        seed / num_devices / memory_bytes / num_tables / steps /
+        scenario_kwargs: the trace-generation inputs (``None`` keeps a
+            scenario default).
+        budget_s: the wall-clock budget the run was given.
+        elapsed_s: wall-clock the run actually used (provenance only —
+            never part of dominance decisions or committed tables).
+        code_fingerprint: source fingerprint of the code that produced
+            the evaluations (cache staleness key).
+        bundle_key: identity of the evaluated cost-model bundle.
+        evaluated / pruned / skipped / cache_hits: run accounting —
+            configs evaluated, pruned as proven dominated, skipped on
+            budget/candidate-cap exhaustion, and served from the disk
+            cache.
+        created_at: POSIX timestamp of profile creation.
+    """
+
+    scenario: str
+    chosen: TunedCandidate
+    default: TunedCandidate
+    frontier: tuple[TunedCandidate, ...]
+    seed: int
+    num_devices: int
+    memory_bytes: int
+    num_tables: int | None
+    steps: int | None
+    budget_s: float
+    elapsed_s: float
+    code_fingerprint: str
+    bundle_key: str
+    evaluated: int
+    pruned: int
+    skipped: int
+    cache_hits: int
+    created_at: float
+    scenario_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned plain-JSON view (inverse of :meth:`from_dict`)."""
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "chosen": self.chosen.to_dict(),
+            "default": self.default.to_dict(),
+            "frontier": [c.to_dict() for c in self.frontier],
+            "seed": self.seed,
+            "num_devices": self.num_devices,
+            "memory_bytes": self.memory_bytes,
+            "num_tables": self.num_tables,
+            "steps": self.steps,
+            "budget_s": self.budget_s,
+            "elapsed_s": self.elapsed_s,
+            "code_fingerprint": self.code_fingerprint,
+            "bundle_key": self.bundle_key,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "skipped": self.skipped,
+            "cache_hits": self.cache_hits,
+            "created_at": self.created_at,
+            "scenario_kwargs": dict(self.scenario_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TunedProfile":
+        """Parse a versioned payload; rejects other schema versions."""
+        _check_version(data, "tuned profile")
+        return cls(
+            scenario=str(data["scenario"]),
+            chosen=TunedCandidate.from_dict(data["chosen"]),
+            default=TunedCandidate.from_dict(data["default"]),
+            frontier=tuple(
+                TunedCandidate.from_dict(c) for c in data.get("frontier", [])
+            ),
+            seed=int(data["seed"]),
+            num_devices=int(data["num_devices"]),
+            memory_bytes=int(data["memory_bytes"]),
+            num_tables=(
+                None if data.get("num_tables") is None
+                else int(data["num_tables"])
+            ),
+            steps=None if data.get("steps") is None else int(data["steps"]),
+            budget_s=float(data["budget_s"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            code_fingerprint=str(data.get("code_fingerprint", "")),
+            bundle_key=str(data.get("bundle_key", "")),
+            evaluated=int(data.get("evaluated", 0)),
+            pruned=int(data.get("pruned", 0)),
+            skipped=int(data.get("skipped", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            created_at=float(data.get("created_at", 0.0)),
+            scenario_kwargs=dict(data.get("scenario_kwargs", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# on-disk profile directory (one JSON file per scenario)
+# ----------------------------------------------------------------------
+
+
+def _check_scenario_name(name: str) -> str:
+    """Profile files are named after the scenario; refuse path tricks."""
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise ValueError(f"invalid scenario name for a profile: {name!r}")
+    return name
+
+
+def profile_path(directory: str | os.PathLike, scenario: str) -> Path:
+    """The canonical profile file for ``scenario`` under ``directory``."""
+    return Path(directory) / f"{_check_scenario_name(scenario)}.json"
+
+
+def save_profile(profile: TunedProfile, directory: str | os.PathLike) -> Path:
+    """Write ``profile`` to its canonical path (atomic rename)."""
+    path = profile_path(directory, profile.scenario)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    tmp.replace(path)
+    return path
+
+
+def load_profile(path: str | os.PathLike) -> TunedProfile:
+    """Read one profile JSON file (schema-checked)."""
+    return TunedProfile.from_dict(json.loads(Path(path).read_text()))
+
+
+def list_profiles(directory: str | os.PathLike) -> list[TunedProfile]:
+    """Every readable profile under ``directory``, sorted by scenario."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    profiles = []
+    for path in sorted(root.glob("*.json")):
+        profiles.append(load_profile(path))
+    return sorted(profiles, key=lambda p: p.scenario)

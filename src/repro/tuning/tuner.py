@@ -1,0 +1,512 @@
+"""Budget-aware auto-tuning of the search / reshard knobs (ROADMAP item 4).
+
+The paper's fig9 shows the ``N``/``K``/``L``/``M`` knobs trade plan
+quality against search time per workload; this module searches that
+space — plus the reshard λ / migration-budget pair — for one registered
+scenario under a hard wall-clock budget, in the economical-tuning idiom
+of FLAML: cheap configurations first, provably-unpromising ones pruned,
+and every evaluation disk-cached so reruns are free.
+
+Mechanics:
+
+- **Candidates** are the cross product of a small per-knob value grid
+  (:data:`DEFAULT_SEARCH_SPACE`), enumerated cheapest-first by a
+  deterministic effort proxy (the N*K*L*M product,
+  :func:`~repro.tuning.profile.candidate_work`).  The repo's pinned
+  replay constants (``REPLAY_SEARCH_CONFIG`` + default reshard knobs)
+  are always evaluated first, so the chosen config can never be worse
+  than the default.
+- **Evaluation** replays the scenario's workload trace end-to-end
+  through the plan-lifecycle service
+  (:func:`~repro.evaluation.production.replay_workload_trace`) on a
+  fresh engine built with the candidate config; the objective is the
+  replay's mean serving cost.  Everything in an evaluation comes from
+  the cost-model simulator, so results are bit-reproducible.
+- **Pruning** (:func:`proven_dominated`): a pending candidate is
+  skipped when, for its reshard pair, two already-evaluated candidates
+  ``a <= b`` (component-wise on the search-effort knobs, both below the
+  pending one) show the cost plateaued or got worse as effort grew —
+  the pending config would be slower at an equal-or-larger budget share
+  with no evidence of a better cost.
+- **Caching** (:class:`EvaluationCache`): each evaluation is stored
+  under a canonical config hash; entries carry the
+  :func:`~repro.utils.source_fingerprint` of the code that produced
+  them and are re-evaluated when it goes stale.  Cached payload bytes
+  are canonical JSON, so the same config hash always maps to a
+  byte-identical cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+import os
+import time
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.api.engine import ShardingEngine
+from repro.api.reshard import ReshardConfig
+from repro.config import ClusterConfig, SearchConfig
+from repro.costmodel.pretrain import PretrainedCostModels
+from repro.data import TablePool
+from repro.evaluation.production import (
+    REPLAY_SEARCH_CONFIG,
+    replay_workload_trace,
+)
+from repro.hardware import SimulatedCluster
+from repro.scenarios import make_trace
+from repro.tuning.profile import (
+    TunedCandidate,
+    TunedProfile,
+    candidate_work,
+)
+from repro.utils import source_fingerprint
+
+__all__ = [
+    "DEFAULT_SEARCH_SPACE",
+    "EvaluationCache",
+    "TUNE_SOURCE_ENTRIES",
+    "default_candidate",
+    "enumerate_candidates",
+    "pareto_frontier",
+    "proven_dominated",
+    "tune_scenario",
+    "tuning_code_fingerprint",
+]
+
+#: Knob grids the tuner crosses by default.  Search-effort knobs stay at
+#: lifecycle scale (the replay re-searches every step, so fig9-scale
+#: defaults would blow any reasonable budget); the reshard pair covers
+#: "amortize fast vs slow" and "bounded vs unbounded migration".
+DEFAULT_SEARCH_SPACE: Mapping[str, tuple] = {
+    "top_n": (2, 4, 8),
+    "beam_width": (1, 2, 3),
+    "max_steps": (2, 4, 6),
+    "grid_points": (3, 5, 7),
+    "grid_end_factor": (1.25, 1.5),
+    "migration_lambda": (1e-4, 1e-3),
+    "migration_budget_ms": (None, 150.0),
+}
+
+_SEARCH_KNOBS = (
+    "top_n", "beam_width", "max_steps", "grid_points", "grid_end_factor",
+)
+_RESHARD_KNOBS = ("migration_lambda", "migration_budget_ms")
+
+#: Source entries whose bytes determine an evaluation's outcome — the
+#: staleness key of the disk cache (same idiom as the benchmark bundle
+#: cache in ``benchmarks/conftest.py``).
+TUNE_SOURCE_ENTRIES = (
+    "config.py", "core", "costmodel", "data", "hardware", "nn",
+    "api", "scenarios", "evaluation",
+)
+
+
+def tuning_code_fingerprint() -> str:
+    """Fingerprint of every source entry an evaluation depends on."""
+    return source_fingerprint(*TUNE_SOURCE_ENTRIES)
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON: the one byte representation of a payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(
+    scenario: str,
+    search: SearchConfig,
+    reshard: ReshardConfig,
+    *,
+    seed: int,
+    num_devices: int,
+    memory_bytes: int,
+    num_tables: int | None,
+    steps: int | None,
+    scenario_kwargs: Mapping[str, Any],
+    bundle_key: str,
+    pool_key: str,
+) -> str:
+    """Canonical config hash: sha256 over every evaluation input."""
+    payload = {
+        "scenario": scenario,
+        "search": search.to_dict(),
+        "reshard": reshard.to_dict(),
+        "seed": seed,
+        "num_devices": num_devices,
+        "memory_bytes": memory_bytes,
+        "num_tables": num_tables,
+        "steps": steps,
+        "scenario_kwargs": dict(scenario_kwargs),
+        "bundle_key": bundle_key,
+        "pool_key": pool_key,
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def pool_fingerprint(pool: TablePool) -> str:
+    """Identity of the table pool an evaluation samples from."""
+    digest = hashlib.sha256()
+    for t in pool.tables:
+        digest.update(
+            _canonical(
+                [t.table_id, t.hash_size, t.dim, t.pooling_factor,
+                 t.zipf_alpha]
+            ).encode()
+        )
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class EvaluationCache:
+    """Disk cache of per-config evaluation results.
+
+    One JSON file per canonical config hash; the payload carries the
+    producing code fingerprint, and a mismatching fingerprint is a miss
+    (the stale entry is overwritten by the re-evaluation).  Payload
+    bytes are canonical JSON — the same key always stores the same
+    bytes, which the cache-determinism tests pin.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str, fingerprint: str) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or ``None`` on miss/stale."""
+        path = self.path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("code_fingerprint") != fingerprint:
+            return None
+        return data
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store ``payload`` (must include ``code_fingerprint``)."""
+        path = self.path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(_canonical(dict(payload)))
+        tmp.replace(path)
+
+
+def default_candidate(max_refine_steps: int) -> tuple[SearchConfig, ReshardConfig]:
+    """The pinned-constants baseline every tuning run evaluates first."""
+    return (
+        REPLAY_SEARCH_CONFIG,
+        ReshardConfig(max_refine_steps=max_refine_steps),
+    )
+
+
+def enumerate_candidates(
+    search_space: Mapping[str, Sequence] | None = None,
+    *,
+    max_refine_steps: int = 16,
+) -> list[tuple[SearchConfig, ReshardConfig]]:
+    """The candidate grid, cheapest-first.
+
+    The cross product of the per-knob grids, each candidate built
+    through the validating :class:`SearchConfig` /
+    :class:`ReshardConfig` constructors (an out-of-range value in a
+    user-supplied space fails loudly here, before anything runs), sorted
+    ascending by the deterministic work proxy with the canonical config
+    dict as tiebreak.
+
+    Raises:
+        ValueError: on unknown knob names, an empty grid, or an
+            out-of-range knob value.
+    """
+    space = dict(DEFAULT_SEARCH_SPACE if search_space is None else search_space)
+    unknown = sorted(set(space) - set(_SEARCH_KNOBS) - set(_RESHARD_KNOBS))
+    if unknown:
+        raise ValueError(
+            f"unknown tuning knobs {unknown}; expected a subset of "
+            f"{sorted(_SEARCH_KNOBS + _RESHARD_KNOBS)}"
+        )
+    for knob, values in space.items():
+        if not values:
+            raise ValueError(f"tuning knob {knob!r} has an empty value grid")
+    names = [k for k in (*_SEARCH_KNOBS, *_RESHARD_KNOBS) if k in space]
+    candidates = []
+    for values in itertools.product(*(space[k] for k in names)):
+        knobs = dict(zip(names, values))
+        search = SearchConfig(
+            **{k: v for k, v in knobs.items() if k in _SEARCH_KNOBS}
+        )
+        reshard = ReshardConfig(
+            max_refine_steps=max_refine_steps,
+            **{k: v for k, v in knobs.items() if k in _RESHARD_KNOBS},
+        )
+        candidates.append((search, reshard))
+    candidates.sort(
+        key=lambda c: (
+            candidate_work(c[0]),
+            _canonical([c[0].to_dict(), c[1].to_dict()]),
+        )
+    )
+    return candidates
+
+
+def _effort(search: SearchConfig) -> tuple:
+    return (
+        search.top_n, search.beam_width, search.max_steps,
+        search.grid_points, search.grid_end_factor,
+    )
+
+
+def _leq(a: tuple, b: tuple) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def proven_dominated(
+    search: SearchConfig,
+    reshard: ReshardConfig,
+    evaluated: Sequence[TunedCandidate],
+) -> bool:
+    """Is the pending config proven dominated by the evidence so far?
+
+    True when two evaluated candidates with the pending config's reshard
+    pair satisfy ``effort(a) <= effort(b) <= effort(pending)``
+    component-wise with strictly less work for ``a``, yet
+    ``cost(a) <= cost(b)`` — growing the effort along the pending
+    config's own knob directions already failed to improve the cost, so
+    the pending config is slower at an equal-or-larger budget share
+    with a worse-or-equal expected cost.
+    """
+    target = _effort(search)
+    peers = [
+        c for c in evaluated
+        if c.reshard == reshard and _leq(_effort(c.search), target)
+    ]
+    for a in peers:
+        for b in peers:
+            if (
+                _leq(_effort(a.search), _effort(b.search))
+                and a.work < b.work
+                and a.cost_ms <= b.cost_ms
+            ):
+                return True
+    return False
+
+
+def pareto_frontier(
+    candidates: Sequence[TunedCandidate],
+) -> tuple[TunedCandidate, ...]:
+    """Non-dominated candidates over (cost_ms, work), ascending work."""
+    frontier = []
+    for c in candidates:
+        dominated = any(
+            d.cost_ms <= c.cost_ms
+            and d.work <= c.work
+            and (d.cost_ms < c.cost_ms or d.work < c.work)
+            for d in candidates
+            if d is not c
+        )
+        if not dominated:
+            frontier.append(c)
+    frontier.sort(key=lambda c: (c.work, c.cost_ms, _canonical(c.to_dict())))
+    return tuple(frontier)
+
+
+def _evaluate_replay(
+    trace,
+    bundle: PretrainedCostModels,
+    search: SearchConfig,
+    reshard: ReshardConfig,
+    *,
+    num_devices: int,
+    memory_bytes: int,
+) -> dict[str, Any]:
+    """One candidate's replay, as the (cacheable) deterministic payload."""
+    cluster = SimulatedCluster(
+        ClusterConfig(num_devices=num_devices, memory_bytes=memory_bytes)
+    )
+    engine = ShardingEngine(cluster, bundle, search=search)
+    try:
+        report = replay_workload_trace(trace, engine, reshard_config=reshard)
+    except RuntimeError:
+        # No feasible initial plan under these knobs: a legitimate —
+        # and cacheable — outcome, dominated by any feasible config.
+        return {"feasible": False, "cost_ms": None, "peak_cost_ms": None}
+    summary = report.summary()
+    return {
+        "feasible": True,
+        "cost_ms": summary["mean_serving_cost_ms"],
+        "peak_cost_ms": summary["peak_serving_cost_ms"],
+    }
+
+
+def tune_scenario(
+    scenario: str,
+    bundle: PretrainedCostModels,
+    pool: TablePool,
+    *,
+    budget_s: float,
+    memory_bytes: int | None = None,
+    num_tables: int | None = None,
+    steps: int | None = None,
+    seed: int = 0,
+    search_space: Mapping[str, Sequence] | None = None,
+    max_candidates: int | None = None,
+    max_refine_steps: int = 16,
+    cache_dir: str | os.PathLike | None = None,
+    scenario_kwargs: Mapping[str, Any] | None = None,
+    bundle_key: str | None = None,
+) -> TunedProfile:
+    """Tune the search/reshard knobs for one scenario under a budget.
+
+    Args:
+        scenario: registry name (see
+            :func:`repro.scenarios.available_scenarios`).
+        bundle: the pre-trained cost-model bundle to evaluate on; its
+            device count sets the cluster size.
+        pool: the table pool the scenario samples its workload from.
+        budget_s: hard wall-clock budget.  The pinned-default baseline
+            always runs; after that, a candidate only starts while the
+            budget has room (a running evaluation is never killed, so
+            the run can overshoot by one evaluation).
+        memory_bytes: base per-device budget (scenario atlas default,
+            2 GiB, when omitted).
+        num_tables / steps: trace-generation overrides (``None`` keeps
+            the scenario's default).
+        seed: trace generator seed.
+        search_space: per-knob value grids overriding
+            :data:`DEFAULT_SEARCH_SPACE` (the CLI's repeatable
+            ``--tune-arg KEY=VALUE`` feeds this).
+        max_candidates: cap on evaluations (budget still applies).
+        max_refine_steps: reshard local-search bound shared by every
+            candidate (and the default baseline), so candidates differ
+            only in the tuned knobs.
+        cache_dir: disk-cache directory; ``None`` disables caching.
+        scenario_kwargs: extra scenario-generator knobs forwarded to
+            :func:`~repro.scenarios.make_trace`.
+        bundle_key: identity of the bundle for cache keying (a
+            shape-derived key when omitted — pass the store's
+            ``name@vN`` tag for cross-process reuse guarantees).
+
+    Returns:
+        The :class:`TunedProfile`, chosen config included.  Not written
+        to disk — see :func:`repro.tuning.profile.save_profile`.
+
+    Raises:
+        ValueError: on a non-positive budget, an invalid search space,
+            or an unknown scenario.
+        RuntimeError: when every evaluated candidate (the default
+            included) found no feasible plan.
+    """
+    if budget_s <= 0:
+        raise ValueError(f"budget_s must be > 0, got {budget_s}")
+    if max_candidates is not None and max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+    from repro.scenarios.catalog import DEFAULT_MEMORY_BYTES
+
+    memory = DEFAULT_MEMORY_BYTES if memory_bytes is None else memory_bytes
+    extra = dict(scenario_kwargs or {})
+    num_devices = bundle.num_devices
+    fingerprint = tuning_code_fingerprint()
+    key_of_bundle = (
+        bundle_key
+        if bundle_key is not None
+        else f"shape:{bundle.num_devices}dev:b{bundle.batch_size}"
+    )
+    pool_key = pool_fingerprint(pool)
+
+    trace_kwargs: dict[str, Any] = {
+        "num_devices": num_devices,
+        "memory_bytes": memory,
+        "seed": seed,
+        **extra,
+    }
+    if num_tables is not None:
+        trace_kwargs["num_tables"] = num_tables
+    if steps is not None:
+        trace_kwargs["steps"] = steps
+    trace = make_trace(scenario, pool, **trace_kwargs)
+
+    cache = None if cache_dir is None else EvaluationCache(cache_dir)
+    candidates = enumerate_candidates(
+        search_space, max_refine_steps=max_refine_steps
+    )
+    default = default_candidate(max_refine_steps)
+    candidates = [default] + [c for c in candidates if c != default]
+
+    started = time.monotonic()
+    evaluated: list[TunedCandidate] = []
+    pruned = skipped = cache_hits = 0
+    for search, reshard in candidates:
+        if evaluated and (
+            time.monotonic() - started >= budget_s
+            or (max_candidates is not None and len(evaluated) >= max_candidates)
+        ):
+            skipped += 1
+            continue
+        if proven_dominated(search, reshard, evaluated):
+            pruned += 1
+            continue
+        key = config_key(
+            scenario, search, reshard,
+            seed=seed, num_devices=num_devices, memory_bytes=memory,
+            num_tables=num_tables, steps=steps, scenario_kwargs=extra,
+            bundle_key=key_of_bundle, pool_key=pool_key,
+        )
+        payload = None if cache is None else cache.get(key, fingerprint)
+        from_cache = payload is not None
+        if payload is None:
+            payload = _evaluate_replay(
+                trace, bundle, search, reshard,
+                num_devices=num_devices, memory_bytes=memory,
+            )
+            if cache is not None:
+                cache.put(key, {**payload, "code_fingerprint": fingerprint})
+        else:
+            cache_hits += 1
+        cost = payload["cost_ms"]
+        peak = payload["peak_cost_ms"]
+        evaluated.append(
+            TunedCandidate(
+                search=search,
+                reshard=reshard,
+                cost_ms=math.inf if cost is None else float(cost),
+                peak_cost_ms=math.inf if peak is None else float(peak),
+                feasible=bool(payload["feasible"]),
+                from_cache=from_cache,
+            )
+        )
+    default_result = evaluated[0]
+    chosen = min(
+        evaluated,
+        key=lambda c: (c.cost_ms, c.work, _canonical(c.to_dict())),
+    )
+    if not chosen.feasible:
+        raise RuntimeError(
+            f"scenario {scenario!r}: no evaluated configuration found a "
+            "feasible initial plan"
+        )
+    return TunedProfile(
+        scenario=scenario,
+        chosen=chosen,
+        default=default_result,
+        frontier=pareto_frontier([c for c in evaluated if c.feasible]),
+        seed=seed,
+        num_devices=num_devices,
+        memory_bytes=memory,
+        num_tables=num_tables,
+        steps=steps,
+        budget_s=float(budget_s),
+        elapsed_s=time.monotonic() - started,
+        code_fingerprint=fingerprint,
+        bundle_key=key_of_bundle,
+        evaluated=len(evaluated),
+        pruned=pruned,
+        skipped=skipped,
+        cache_hits=cache_hits,
+        created_at=time.time(),
+        scenario_kwargs=extra,
+    )

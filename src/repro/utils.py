@@ -12,12 +12,17 @@ consumers share it: cached pre-trained bundles (``benchmarks/conftest.py``
 retrains a bundle whose fingerprint no longer matches the code that
 determines it) and provenance stamps (:mod:`repro.provenance` stamps every
 validation report with the fingerprint of the code that validated it).
+
+:func:`parse_key_value_args` is the one typed parser behind every
+repeatable ``KEY=VALUE`` CLI flag (``repro simulate --policy-arg``,
+``repro tune --tune-arg``), so all of them share one coercion table.
 """
 
 from __future__ import annotations
 
 import functools
 import hashlib
+import json
 import struct
 from pathlib import Path
 
@@ -28,6 +33,8 @@ __all__ = [
     "deterministic_normal",
     "deterministic_uniform",
     "source_fingerprint",
+    "coerce_option_value",
+    "parse_key_value_args",
 ]
 
 
@@ -54,6 +61,77 @@ def deterministic_uniform(*key_parts: object) -> float:
     """A U[0, 1) draw that is a pure function of the key."""
     rng = np.random.default_rng(stable_hash64(*key_parts))
     return float(rng.random())
+
+
+#: Words accepted as booleans / null, case-insensitively.  Python-style
+#: spellings ("True", "None") are included on purpose: the previous
+#: ad-hoc parser fell back to ``json.loads``, which accepts only the
+#: JSON spellings — ``--policy-arg flag=True`` silently arrived as the
+#: (truthy) *string* ``"True"``.
+_TRUE_WORDS = frozenset({"true", "yes", "on"})
+_FALSE_WORDS = frozenset({"false", "no", "off"})
+_NULL_WORDS = frozenset({"none", "null"})
+
+
+def coerce_option_value(raw: str) -> object:
+    """Coerce one ``KEY=VALUE`` value string to a typed Python value.
+
+    The coercion table, first match wins (matching is on the stripped,
+    case-folded text):
+
+    ==================================  ================================
+    value text                          result
+    ==================================  ================================
+    ``true`` / ``yes`` / ``on``         ``True``
+    ``false`` / ``no`` / ``off``        ``False``
+    ``none`` / ``null``                 ``None``
+    integer literal (``42``, ``-3``)    ``int``
+    float literal (``0.5``, ``1e-4``)   ``float``
+    valid JSON (``[1,2]``, ``"x"``)     the parsed value
+    anything else                       the raw string, unchanged
+    ==================================  ================================
+    """
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    if lowered in _NULL_WORDS:
+        return None
+    try:
+        return int(text, 10)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return raw
+
+
+def parse_key_value_args(
+    pairs: "list[str] | tuple[str, ...]", flag: str = "--arg"
+) -> dict[str, object]:
+    """Parse repeatable ``KEY=VALUE`` CLI arguments into typed kwargs.
+
+    Values go through :func:`coerce_option_value`; ``flag`` names the
+    originating option in error messages.
+
+    Raises:
+        ValueError: on an argument without ``=`` or with an empty key.
+    """
+    kwargs: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"{flag} wants KEY=VALUE, got {pair!r}")
+        kwargs[key] = coerce_option_value(raw)
+    return kwargs
 
 
 def source_fingerprint(*entries: str) -> str:

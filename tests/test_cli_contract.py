@@ -36,6 +36,7 @@ TOP_COMMANDS = (
     "deployment",
     "scenario",
     "simulate",
+    "tune",
     "validate",
     "audit",
     "strategies",
@@ -47,6 +48,7 @@ DEPLOYMENT_ACTIONS = (
 )
 SCENARIO_ACTIONS = ("list", "run", "compare")
 SIMULATE_ACTIONS = ("list", "run", "compare")
+TUNE_ACTIONS = ("run", "list", "show")
 
 
 def _subcommands(parser):
@@ -67,6 +69,8 @@ def test_sweep_covers_every_registered_subcommand():
     assert set(_subcommands(scenario)) == set(SCENARIO_ACTIONS)
     simulate = _subcommands(build_parser())["simulate"]
     assert set(_subcommands(simulate)) == set(SIMULATE_ACTIONS)
+    tune = _subcommands(build_parser())["tune"]
+    assert set(_subcommands(tune)) == set(TUNE_ACTIONS)
 
 
 HELP_INVOCATIONS = (
@@ -74,6 +78,7 @@ HELP_INVOCATIONS = (
     + [["deployment", action, "--help"] for action in DEPLOYMENT_ACTIONS]
     + [["scenario", action, "--help"] for action in SCENARIO_ACTIONS]
     + [["simulate", action, "--help"] for action in SIMULATE_ACTIONS]
+    + [["tune", action, "--help"] for action in TUNE_ACTIONS]
 )
 
 

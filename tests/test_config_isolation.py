@@ -1,0 +1,139 @@
+"""Cross-config isolation of the shared cache / engine path.
+
+One engine serves many search configurations (per-request ``options``,
+tuned-profile injection, the auto-tuner's candidate sweep).  The
+contract pinned here: a config's results on a *shared* engine are
+bit-identical (under ``deterministic_dict``) to the same requests run on
+a fresh engine that never saw any other config.
+
+The regression this guards: ``use_cache=False`` semantics used to be
+silently overridden by a provided always-enabled shared cache, so a
+"w/o caching" config interleaved with a cached sibling inherited the
+sibling's warm entries — observable as a non-zero ``cache_hit_rate``
+and a different evaluation count.
+"""
+
+import pytest
+
+from repro.api import ShardingEngine, ShardingRequest
+from repro.config import SearchConfig
+from repro.core import NeuroShard
+from repro.core.cache import CostCache
+
+CACHED = SearchConfig(top_n=3, beam_width=2, max_steps=3, grid_points=4)
+UNCACHED = SearchConfig(
+    top_n=3, beam_width=2, max_steps=3, grid_points=4, use_cache=False
+)
+WIDER = SearchConfig(
+    top_n=4, beam_width=2, max_steps=3, grid_points=4, grid_end_factor=2.0
+)
+
+
+def _options(search: SearchConfig) -> dict:
+    # lifelong_cache=True opts into the engine's shared cache — the
+    # exact path where one config could poison another.
+    return {"search": search.to_dict(), "lifelong_cache": True}
+
+
+def _request(task, search: SearchConfig, rid: str) -> ShardingRequest:
+    return ShardingRequest(
+        task=task, strategy="beam", request_id=rid,
+        options=_options(search),
+    )
+
+
+def _serve(engine, tasks, search, prefix):
+    return [
+        engine.shard(_request(task, search, f"{prefix}{i}"))
+        .deterministic_dict()
+        for i, task in enumerate(tasks)
+    ]
+
+
+def test_uncached_config_is_immune_to_a_warm_shared_engine(
+    cluster2, tiny_bundle, tasks2
+):
+    """Interleave cached + uncached configs over the same tasks on one
+    engine; each config's full responses must be bit-identical to a
+    fresh engine that served only that config."""
+    shared = ShardingEngine(cluster2, tiny_bundle)
+    shared_cached, shared_uncached = [], []
+    for i, task in enumerate(tasks2):
+        shared_cached.append(
+            shared.shard(_request(task, CACHED, f"c{i}")).deterministic_dict()
+        )
+        shared_uncached.append(
+            shared.shard(
+                _request(task, UNCACHED, f"u{i}")
+            ).deterministic_dict()
+        )
+
+    fresh_cached = _serve(
+        ShardingEngine(cluster2, tiny_bundle), tasks2, CACHED, "c"
+    )
+    fresh_uncached = _serve(
+        ShardingEngine(cluster2, tiny_bundle), tasks2, UNCACHED, "u"
+    )
+    # The uncached stream must not see the cached stream's warm entries
+    # (pre-fix this leaked: non-zero hit rate, fewer evaluations) ...
+    assert shared_uncached == fresh_uncached
+    assert all(r["cache_hit_rate"] == 0.0 for r in shared_uncached)
+    # ... and the uncached stream must not warm (or pollute) the cached
+    # stream's view either.
+    assert shared_cached == fresh_cached
+
+
+def test_sibling_enabled_configs_keep_their_plan_contract(
+    cluster2, tiny_bundle, tasks2
+):
+    """Two cache-enabled configs interleaved on one engine legitimately
+    share cost memos (the memo values are config-independent), so hit
+    *accounting* may differ from fresh engines — but plans, costs, and
+    feasibility must stay bit-identical."""
+
+    def plan_view(payload):
+        return {
+            k: payload[k]
+            for k in ("strategy", "feasible", "plan", "simulated_cost_ms",
+                      "error")
+        }
+
+    shared = ShardingEngine(cluster2, tiny_bundle)
+    shared_a, shared_b = [], []
+    for i, task in enumerate(tasks2):
+        shared_a.append(
+            shared.shard(_request(task, CACHED, f"a{i}")).deterministic_dict()
+        )
+        shared_b.append(
+            shared.shard(_request(task, WIDER, f"b{i}")).deterministic_dict()
+        )
+    fresh_a = _serve(
+        ShardingEngine(cluster2, tiny_bundle), tasks2, CACHED, "a"
+    )
+    fresh_b = _serve(
+        ShardingEngine(cluster2, tiny_bundle), tasks2, WIDER, "b"
+    )
+    assert [plan_view(r) for r in shared_a] == [plan_view(r) for r in fresh_a]
+    assert [plan_view(r) for r in shared_b] == [plan_view(r) for r in fresh_b]
+
+
+def test_disabled_config_never_touches_a_provided_cache(tiny_bundle, tasks2):
+    """The config outranks the provided cache: a ``use_cache=False``
+    sharder handed a live shared cache must neither read it, write it,
+    nor skew its statistics."""
+    cache = CostCache(enabled=True)
+    sharder = NeuroShard(tiny_bundle, search=UNCACHED, cache=cache)
+    result = sharder.shard(tasks2[0])
+    assert result.feasible
+    assert len(cache) == 0
+    assert cache.hits == 0
+    assert cache.misses == 0
+
+
+def test_enabled_config_still_shares_the_provided_cache(tiny_bundle, tasks2):
+    """Control for the fix: with caching enabled the provided cache is
+    used (warm reuse is the point of the lifelong cache)."""
+    cache = CostCache(enabled=True)
+    sharder = NeuroShard(tiny_bundle, search=CACHED, cache=cache)
+    sharder.shard(tasks2[0])
+    assert len(cache) > 0

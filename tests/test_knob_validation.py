@@ -1,0 +1,285 @@
+"""Knob validation round-trips at every config entry point.
+
+Out-of-range search/reshard knobs must fail loudly — with the
+``__post_init__`` message — no matter which surface builds the config
+from a dict: the dataclass constructors, ``SearchConfig.from_dict`` /
+``coerce``, the strategy factory (``make_sharder(..., search={...})``),
+the engine constructor, per-request engine options, the plan-lifecycle
+service, the HTTP plan endpoint, tuned-profile payloads, and the CLI's
+``--tune-arg`` grids.  The historical bypass: strategy factories did
+``search or SearchConfig(**kwargs)``, so a provided *dict* skipped
+validation entirely.
+
+Also pins the shared ``KEY=VALUE`` coercion table
+(:func:`repro.utils.parse_key_value_args`) used by
+``simulate --policy-arg`` and ``tune --tune-arg`` — the old ad-hoc
+parser kept ``True``/``False`` as truthy strings.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ReshardConfig, ShardingEngine, ShardingRequest
+from repro.api.strategies import make_sharder
+from repro.config import SearchConfig
+from repro.utils import coerce_option_value, parse_key_value_args
+
+BAD_KNOBS = [
+    ({"top_n": 0}, "top_n must be >= 1, got 0"),
+    ({"beam_width": 0}, "beam_width must be >= 1, got 0"),
+    ({"max_steps": -1}, "max_steps must be >= 0, got -1"),
+    ({"grid_points": 0}, "grid_points must be >= 1, got 0"),
+    ({"grid_end_factor": 0.5}, "grid_end_factor must be >= 1.0, got 0.5"),
+]
+_IDS = [next(iter(knobs)) for knobs, _ in BAD_KNOBS]
+
+
+class TestConstructorSurfaces:
+    @pytest.mark.parametrize("knobs, message", BAD_KNOBS, ids=_IDS)
+    def test_from_dict_validates(self, knobs, message):
+        with pytest.raises(ValueError, match=message):
+            SearchConfig.from_dict(knobs)
+
+    def test_from_dict_rejects_unknown_knobs(self):
+        with pytest.raises(ValueError, match="unknown SearchConfig knobs"):
+            SearchConfig.from_dict({"top_k": 5})
+
+    def test_round_trip_is_identity(self):
+        config = SearchConfig(top_n=7, beam_width=2, grid_end_factor=2.0)
+        assert SearchConfig.from_dict(config.to_dict()) == config
+
+    def test_coerce_passthrough_and_type_error(self):
+        config = SearchConfig()
+        assert SearchConfig.coerce(config) is config
+        assert SearchConfig.coerce({"top_n": 3}).top_n == 3
+        with pytest.raises(TypeError, match="search must be a SearchConfig"):
+            SearchConfig.coerce("top_n=3")
+
+    @pytest.mark.parametrize("knobs, message", BAD_KNOBS, ids=_IDS)
+    def test_replace_revalidates(self, knobs, message):
+        with pytest.raises(ValueError, match=message):
+            dataclasses.replace(SearchConfig(), **knobs)
+
+    def test_reshard_config_from_dict_validates(self):
+        with pytest.raises(ValueError,
+                           match="migration_lambda must be >= 0"):
+            ReshardConfig.from_dict({"migration_lambda": -0.1})
+        with pytest.raises(ValueError,
+                           match="migration_budget_ms must be >= 0"):
+            ReshardConfig.from_dict({"migration_budget_ms": -1.0})
+
+
+class TestFactoryAndEngineSurfaces:
+    @pytest.mark.parametrize("strategy", ["beam", "greedy_grid"])
+    @pytest.mark.parametrize("knobs, message", BAD_KNOBS, ids=_IDS)
+    def test_make_sharder_validates_dict_search(
+        self, cluster2, tiny_bundle, strategy, knobs, message
+    ):
+        """The historical bypass: a dict reached the sharder unvalidated."""
+        with pytest.raises(ValueError, match=message):
+            make_sharder(
+                strategy, cluster=cluster2, bundle=tiny_bundle, search=knobs
+            )
+
+    def test_engine_constructor_validates_dict_search(
+        self, cluster2, tiny_bundle
+    ):
+        with pytest.raises(ValueError, match="grid_points must be >= 1"):
+            ShardingEngine(cluster2, tiny_bundle, search={"grid_points": 0})
+
+    def test_engine_constructor_coerces_valid_dicts(
+        self, cluster2, tiny_bundle
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle, search={"top_n": 3})
+        assert engine.search == SearchConfig(top_n=3)
+
+    def test_request_options_error_is_contained_and_exact(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        """The serving boundary: a bad per-request config is an error
+        *response* carrying the exact message, not a crash."""
+        engine = ShardingEngine(cluster2, tiny_bundle)
+        response = engine.shard(
+            ShardingRequest(
+                task=tasks2[0], strategy="beam",
+                options={"search": {"top_n": 0}},
+            )
+        )
+        assert not response.feasible
+        assert "top_n must be >= 1, got 0" in response.error
+
+    def test_request_options_unknown_knob_is_contained(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        engine = ShardingEngine(cluster2, tiny_bundle)
+        response = engine.shard(
+            ShardingRequest(
+                task=tasks2[0], strategy="beam",
+                options={"search": {"top_k": 5}},
+            )
+        )
+        assert not response.feasible
+        assert "unknown SearchConfig knobs" in response.error
+
+
+class TestServiceAndHTTPSurfaces:
+    def test_service_plan_options_record_infeasible(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        from repro.api import ShardingService
+
+        service = ShardingService()
+        service.create_deployment(
+            "prod", ShardingEngine(cluster2, tiny_bundle),
+            tables=tasks2[0].tables,
+        )
+        record = service.plan(
+            "prod", options={"search": {"beam_width": 0}}
+        )
+        assert not record.feasible
+
+    def test_http_plan_with_bad_knob_records_infeasible(
+        self, cluster2, tiny_bundle, tasks2
+    ):
+        import json as _json
+        import urllib.request
+
+        from repro.api import ShardingHTTPServer, ShardingService
+
+        engine = ShardingEngine(cluster2, tiny_bundle)
+        service = ShardingService()
+        service.create_deployment("prod", engine, tables=tasks2[0].tables)
+        server = ShardingHTTPServer(
+            service, engine, port=0, max_batch=2, batch_wait_s=0.01
+        )
+        server.start()
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/v1/deployments/prod/plan",
+                data=_json.dumps(
+                    {"options": {"search": {"grid_points": 0}}}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                payload = _json.loads(resp.read())
+        finally:
+            server.close()
+        assert payload["feasible"] is False
+
+    def test_tuned_profile_payload_validates_knobs(self):
+        from repro.tuning import TunedCandidate
+
+        payload = TunedCandidate(
+            search=SearchConfig(), reshard=ReshardConfig(),
+            cost_ms=1.0, peak_cost_ms=1.0,
+        ).to_dict()
+        payload["search"]["max_steps"] = -1
+        with pytest.raises(ValueError, match="max_steps must be >= 0"):
+            TunedCandidate.from_dict(payload)
+
+
+class TestCLISurface:
+    def test_tune_arg_out_of_range_value_exits_1(
+        self, tmp_path, tiny_bundle, capsys
+    ):
+        from repro.cli import main
+
+        bundle_dir = tmp_path / "bundle"
+        tiny_bundle.save(bundle_dir)
+        code = main([
+            "tune", "run", "flash_crowd", str(bundle_dir),
+            "--tune-arg", "top_n=0",
+            "--profiles", str(tmp_path / "profiles"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "top_n must be >= 1, got 0" in captured.err
+
+    def test_tune_arg_unknown_knob_exits_1(
+        self, tmp_path, tiny_bundle, capsys
+    ):
+        from repro.cli import main
+
+        bundle_dir = tmp_path / "bundle"
+        tiny_bundle.save(bundle_dir)
+        code = main([
+            "tune", "run", "flash_crowd", str(bundle_dir),
+            "--tune-arg", "top_k=3",
+            "--profiles", str(tmp_path / "profiles"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "unknown tuning knobs" in captured.err
+
+    def test_malformed_pair_exits_1(self, tmp_path, tiny_bundle, capsys):
+        from repro.cli import main
+
+        bundle_dir = tmp_path / "bundle"
+        tiny_bundle.save(bundle_dir)
+        code = main([
+            "tune", "run", "flash_crowd", str(bundle_dir),
+            "--tune-arg", "top_n",
+            "--profiles", str(tmp_path / "profiles"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--tune-arg wants KEY=VALUE" in captured.err
+
+
+# ----------------------------------------------------------------------
+# the shared KEY=VALUE coercion table
+# ----------------------------------------------------------------------
+
+COERCION_TABLE = [
+    ("true", True), ("True", True), ("YES", True), ("on", True),
+    ("false", False), ("False", False), ("no", False), ("off", False),
+    ("none", None), ("null", None), ("None", None),
+    ("42", 42), ("-3", -3), ("0", 0),
+    ("0.5", 0.5), ("1e-4", 1e-4), ("-2.5", -2.5),
+    ("[1, 2]", [1, 2]), ('{"a": 1}', {"a": 1}), ('"quoted"', "quoted"),
+    ("hello", "hello"), ("4x", "4x"), ("", ""),
+    (" 7 ", 7),
+]
+
+
+@pytest.mark.parametrize(
+    "raw, expected", COERCION_TABLE, ids=[repr(r) for r, _ in COERCION_TABLE]
+)
+def test_coercion_table(raw, expected):
+    value = coerce_option_value(raw)
+    assert value == expected
+    assert type(value) is type(expected)
+
+
+class TestParseKeyValueArgs:
+    def test_typed_kwargs(self):
+        kwargs = parse_key_value_args(
+            ["a=True", "b=3", "c=0.5", "d=none", "e=[1,2]", "f=hello"]
+        )
+        assert kwargs == {
+            "a": True, "b": 3, "c": 0.5, "d": None, "e": [1, 2],
+            "f": "hello",
+        }
+        assert type(kwargs["a"]) is bool
+        assert type(kwargs["b"]) is int
+
+    def test_last_duplicate_wins(self):
+        assert parse_key_value_args(["k=1", "k=2"]) == {"k": 2}
+
+    def test_value_may_contain_equals(self):
+        assert parse_key_value_args(["k=a=b"]) == {"k": "a=b"}
+
+    @pytest.mark.parametrize("bad", ["novalue", "=1", " =1"])
+    def test_malformed_pair_names_the_flag(self, bad):
+        with pytest.raises(ValueError,
+                           match=r"--policy-arg wants KEY=VALUE"):
+            parse_key_value_args([bad], flag="--policy-arg")
+
+    def test_policy_arg_boolean_regression(self):
+        """The bug this parser replaced: ``flag=True`` arrived as the
+        truthy *string* ``"True"`` through the JSON fallback."""
+        kwargs = parse_key_value_args(["aggressive=True"],
+                                      flag="--policy-arg")
+        assert kwargs["aggressive"] is True

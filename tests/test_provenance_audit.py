@@ -94,6 +94,22 @@ class TestTamperLocalization:
         # Localized: no *error* findings on any other version.
         assert {f.version for f in report.errors} == {version}
 
+    @pytest.mark.parametrize("claimed", [0, 7])
+    def test_tampered_version_field_blames_the_file(self, store_copy, claimed):
+        """A flip of the version *field* must not misdirect the blame to
+        a version with no file to restore — the validator's findings
+        name the claimed version, the audit re-anchors them at the file
+        making the claim."""
+        path = _record_path(store_copy, 2)
+        data = json.loads(path.read_text())
+        data["version"] = claimed
+        path.write_text(json.dumps(data, indent=1))
+        report = audit_deployment(store_copy, "prod")
+        assert not report.ok
+        assert "chain/version-mismatch" in report.error_codes
+        assert report.first_broken_version == 2
+        assert all(f.version in report.versions for f in report.errors)
+
     @pytest.mark.parametrize("version", [2, 3, 4])
     def test_deleted_record_is_blamed_at_the_deleted_version(
         self, store_copy, version
